@@ -1,0 +1,84 @@
+// Fig. 11: the exascale achievement runs — Summit 1.411 EFLOPS
+// (B=768, Pr=Pc=162, Bcast, 3x2 grid) and Frontier 2.387 EFLOPS on ~40% of
+// the system (B=3072, Pr=Pc=172, Ring2M) — plus the full-Frontier ~5 EFLOPS
+// projection (Sec. VIII) and the HPL-AI vs HPL comparison (9.5x, abstract).
+#include "bench_util.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Fig. 11", "Exascale achievement runs (model)");
+
+  Table t({"run", "N", "GCDs", "B", "strategy", "time (s)", "EFLOPS",
+           "GF/GCD", "paper EFLOPS"});
+
+  {
+    const ScaleSimConfig cfg = bench::summitAchievementConfig();
+    const ScaleSimResult r = simulateRun(cfg);
+    t.addRow({"Summit 162x162", Table::num((long long)r.n),
+              Table::num((long long)r.ranks), "768", "bcast+3x2",
+              Table::num(r.totalSeconds, 0), Table::num(r.exaflops, 3),
+              Table::num(r.ratePerGcd / 1e9, 0), "1.411"});
+  }
+  {
+    const ScaleSimConfig cfg = bench::frontierAchievementConfig();
+    const ScaleSimResult r = simulateRun(cfg);
+    t.addRow({"Frontier 172x172 (~40%)", Table::num((long long)r.n),
+              Table::num((long long)r.ranks), "3072", "ring2m+4x2",
+              Table::num(r.totalSeconds, 0), Table::num(r.exaflops, 3),
+              Table::num(r.ratePerGcd / 1e9, 0), "2.387"});
+  }
+  {
+    ScaleSimConfig cfg = bench::frontierAchievementConfig();
+    cfg.pr = cfg.pc = 272;  // ~full system (73984 of 75264 GCDs)
+    const ScaleSimResult r = simulateRun(cfg);
+    t.addRow({"Frontier 272x272 (full, proj.)", Table::num((long long)r.n),
+              Table::num((long long)r.ranks), "3072", "ring2m+4x2",
+              Table::num(r.totalSeconds, 0), Table::num(r.exaflops, 3),
+              Table::num(r.ratePerGcd / 1e9, 0), "~5 (predicted)"});
+  }
+  t.print();
+
+  std::printf("\nNote on problem sizes: Frontier solves N = 20.6M vs ~10M "
+              "on Summit — the 4x GCD memory at work. (The paper prints "
+              "Summit's N as 1368570, a typo; N_L=61440 x 162 = 9.95M is "
+              "the size consistent with V100 memory.)\n");
+
+  bench::banner("Abstract", "HPL-AI vs HPL on Summit (mixed vs FP64)");
+  {
+    const ScaleSimResult mxp = simulateRun(bench::summitAchievementConfig());
+    ScaleSimConfig hplCfg = bench::summitAchievementConfig();
+    hplCfg.fp64 = true;
+    const ScaleSimResult hpl = simulateRun(hplCfg);
+    Table c({"benchmark", "precision", "PFLOPS (system-scaled)", "GF/GCD"});
+    c.addRow({"HPL-AI", "FP16/FP32 + FP64 IR",
+              Table::num(mxp.exaflops * 1000.0, 0),
+              Table::num(mxp.ratePerGcd / 1e9, 0)});
+    c.addRow({"HPL", "FP64 + partial pivoting",
+              Table::num(hpl.exaflops * 1000.0, 0),
+              Table::num(hpl.ratePerGcd / 1e9, 0)});
+    c.print();
+    std::printf("HPL-AI / HPL speedup: %.1fx (paper: 9.5x; Summit HPL was "
+                "148.6 PFLOPS)\n",
+                mxp.ratePerGcd / hpl.ratePerGcd);
+  }
+
+  bench::banner("Sec. VI-B", "Slow-node exclusion effect on the pipeline");
+  {
+    // One degraded die in the fleet paces the whole run; scanning it out
+    // recovers the loss (the reason for the mini-benchmark scan).
+    ScaleSimConfig cfg = bench::frontierAchievementConfig();
+    cfg.slowestGcdMultiplier = 1.0;
+    const double clean = simulateRun(cfg).exaflops;
+    cfg.slowestGcdMultiplier = 0.75;
+    const double stalled = simulateRun(cfg).exaflops;
+    cfg.slowestGcdMultiplier = 0.95;  // post-scan: healthy spread only
+    const double scanned = simulateRun(cfg).exaflops;
+    Table s({"fleet", "EFLOPS"});
+    s.addRow({"ideal (no variability)", Table::num(clean, 3)});
+    s.addRow({"one 25%-degraded GCD kept", Table::num(stalled, 3)});
+    s.addRow({"degraded GCDs excluded (5% spread)", Table::num(scanned, 3)});
+    s.print();
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 3: rocBLAS mixed-precision GEMM flop rate on one MI250X GCD as a
+// function of matrix size, C = A^T B with A (k x m), B (k x n), m = n = B.
+// The heat map shows that peak performance is NOT uniformly achievable:
+// tile-aligned sizes run fast (bands), and the k (block size) dimension
+// must be large before the matrix cores saturate (Finding 2).
+#include <vector>
+
+#include "bench_util.h"
+#include "perfmodel/kernel_model.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Fig. 3",
+                "MI250X mixed GEMM rate heat map (TFLOP/s), m = n = B");
+
+  const KernelModel mi250x(MachineKind::kFrontier);
+
+  const std::vector<index_t> mn = {512,  1024, 1536, 2048, 3000,
+                                   3072, 4096, 6144, 8192};
+  const std::vector<index_t> k = {256, 512, 768, 1024, 1536, 2048, 3072};
+
+  std::vector<std::string> header{"k \\ m=n"};
+  for (index_t m : mn) {
+    header.push_back(Table::num((long long)m));
+  }
+  Table t(header);
+  for (index_t kk : k) {
+    std::vector<std::string> row{Table::num((long long)kk)};
+    for (index_t m : mn) {
+      row.push_back(Table::num(
+          mi250x.gemmRate((double)m, (double)m, (double)kk) / 1e12, 1));
+    }
+    t.addRow(row);
+  }
+  t.print();
+
+  std::printf(
+      "\nPaper observations reproduced:\n"
+      " * highest rates only in the large-size / tile-aligned cells\n"
+      "   (misaligned sizes like 3000 sit ~18%% below their neighbours),\n"
+      " * the optimal B = 3072 reaches peak only for a few sizes,\n"
+      " * rates keep climbing with k: the MI250X needs big blocks.\n");
+
+  // The paper's companion observation (Finding 3): GETRF underperforms.
+  bench::banner("Fig. 3 (companion)", "Critical-path GETRF rate vs B");
+  Table g({"B", "GETRF TFLOP/s", "share of GEMM peak"});
+  for (index_t b : {512, 1024, 2048, 3072}) {
+    const double r = mi250x.getrfRate((double)b);
+    g.addRow({Table::num((long long)b), Table::num(r / 1e12, 2),
+              Table::num(r / mi250x.gemmPeak() * 100.0, 2) + "%"});
+  }
+  g.print();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Fig. 4: total performance (GFLOPS/GCD) versus block size B in a
+// distributed setting — Summit with 2916 GCDs (Pr = 54) and Frontier with
+// 1024 GCDs (Pr = 32) — under distinct communication layouts.
+// Reproduces the selections B = 768/1024 (Summit) and B = 3072 (Frontier).
+#include <vector>
+
+#include "bench_util.h"
+#include "perfmodel/param_search.h"
+
+using namespace hplmxp;
+
+namespace {
+
+void sweep(const char* name, ScaleSimConfig base,
+           const std::vector<std::pair<std::string, ScaleSimConfig>>& comms) {
+  std::vector<std::string> header{"B"};
+  for (const auto& [label, cfg] : comms) {
+    (void)cfg;
+    header.push_back(label + " (GF/GCD)");
+  }
+  Table t(header);
+
+  index_t bestB = 0;
+  double best = 0.0;
+  for (index_t b : {256, 512, 768, 1024, 1536, 2048, 3072, 4096}) {
+    if ((base.nl * base.pr) % b != 0) {
+      continue;
+    }
+    std::vector<std::string> row{Table::num((long long)b)};
+    for (const auto& [label, comm] : comms) {
+      (void)label;
+      ScaleSimConfig cfg = comm;
+      cfg.b = b;
+      const double rate = simulateRun(cfg).ratePerGcd;
+      row.push_back(Table::num(rate / 1e9, 0));
+      if (rate > best) {
+        best = rate;
+        bestB = b;
+      }
+    }
+    t.addRow(row);
+  }
+  std::printf("\n%s\n", name);
+  t.print();
+  std::printf("best B overall: %lld\n", (long long)bestB);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 4",
+                "GFLOPS/GCD vs block size B, distributed (model)");
+
+  {
+    ScaleSimConfig s = bench::summitEvalConfig();
+    ScaleSimConfig sCol = s;
+    sCol.gridOrder = GridOrder::kColumnMajor;
+    ScaleSimConfig sRing = s;
+    sRing.strategy = simmpi::BcastStrategy::kRing2M;
+    sweep("Summit, 2916 GCDs (Pr=54), N_L=61440", s,
+          {{"Bcast 3x2", s}, {"Bcast col-major", sCol}, {"Ring2M 3x2",
+                                                         sRing}});
+  }
+  {
+    ScaleSimConfig f = bench::frontierEvalConfig();
+    ScaleSimConfig fCol = f;
+    fCol.gridOrder = GridOrder::kColumnMajor;
+    ScaleSimConfig fBcast = f;
+    fBcast.strategy = simmpi::BcastStrategy::kBcast;
+    sweep("Frontier, 1024 GCDs (Pr=32), N_L=119808", f,
+          {{"Ring2M 4x2", f}, {"Ring2M col-major", fCol}, {"Bcast 4x2",
+                                                           fBcast}});
+  }
+
+  bench::banner("Fig. 4 (analytic)",
+                "Paper B-selection heuristic over the Eq. 3 model");
+  for (MachineKind kind : {MachineKind::kSummit, MachineKind::kFrontier}) {
+    const KernelModel m(kind);
+    const bool summit = kind == MachineKind::kSummit;
+    ModelInput in{.n = summit ? 61440 * 54 : index_t{119808} * 32,
+                  .b = 0,
+                  .pr = summit ? 54 : 32,
+                  .pc = summit ? 54 : 32,
+                  .nbb = summit ? 4e9 : 8e9};
+    const BSearchResult r = searchBlockSize(m, in);
+    Table t({"B", "Eq.3 rate (GF/GCD)", "GETRF/GEMM", "admissible"});
+    for (const BSearchEntry& e : r.entries) {
+      t.addRow({Table::num((long long)e.b),
+                Table::num(e.ratePerGcd / 1e9, 0),
+                Table::num(e.getrfOverGemm * 100.0, 1) + "%",
+                e.admissible ? "yes" : "no"});
+    }
+    std::printf("\n%s (paper selects %s)\n", toString(kind).c_str(),
+                summit ? "768 or 1024" : "3072");
+    t.print();
+    std::printf("selected B (smallest admissible): %lld\n",
+                (long long)r.bestB);
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 5: per-iteration LU kernel rates (GEMM / GETRF / TRSM) on a Summit
+// V100 across block sizes, as the trailing problem shrinks.
+#include "bench_kernel_curves.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Fig. 5", "V100 per-iteration kernel rates (model)");
+  bench::printKernelCurves(MachineKind::kSummit, 61440,
+                           {256, 512, 768, 1024, 2048});
+  return 0;
+}

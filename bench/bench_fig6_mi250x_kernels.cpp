@@ -1,0 +1,12 @@
+// Fig. 6: per-iteration LU kernel rates (GEMM / GETRF / TRSM) on a
+// Frontier MI250X GCD across block sizes, as the trailing problem shrinks.
+#include "bench_kernel_curves.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Fig. 6", "MI250X GCD per-iteration kernel rates (model)");
+  bench::printKernelCurves(MachineKind::kFrontier, 119808,
+                           {512, 1024, 2048, 3072, 4096});
+  return 0;
+}

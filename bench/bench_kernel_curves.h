@@ -1,0 +1,54 @@
+// Shared implementation of Figs. 5 and 6: per-iteration LU kernel rates
+// (GEMM / GETRF / TRSM) as a function of the trailing-matrix size, one
+// series per block size B.
+#pragma once
+
+#include <vector>
+
+#include "bench_util.h"
+#include "perfmodel/kernel_model.h"
+
+namespace hplmxp::bench {
+
+inline void printKernelCurves(MachineKind kind, index_t nl,
+                              const std::vector<index_t>& blocks) {
+  const KernelModel m(kind);
+  const std::vector<double> fractions = {1.0, 0.75, 0.5, 0.25, 0.1};
+
+  for (const char* kernel : {"GEMM", "GETRF", "TRSM"}) {
+    std::vector<std::string> header{"trailing size"};
+    for (index_t b : blocks) {
+      header.push_back("B=" + Table::num((long long)b) + " (TF)");
+    }
+    Table t(header);
+    for (double f : fractions) {
+      const double trailing = f * static_cast<double>(nl);
+      std::vector<std::string> row{Table::num(trailing, 0)};
+      for (index_t b : blocks) {
+        const double bd = static_cast<double>(b);
+        double rate = 0.0;
+        if (std::string(kernel) == "GEMM") {
+          rate = m.gemmRate(trailing, trailing, bd, nl);
+        } else if (std::string(kernel) == "GETRF") {
+          rate = m.getrfRate(bd);  // diagonal block only: flat in trailing
+        } else {
+          rate = m.trsmRate(bd, trailing);
+        }
+        row.push_back(Table::num(rate / 1e12, 2));
+      }
+      t.addRow(row);
+    }
+    std::printf("\n%s rate per iteration (%s, N_L=%lld):\n", kernel,
+                toString(kind).c_str(), (long long)nl);
+    t.print();
+  }
+
+  std::printf(
+      "\nShape checks vs the paper: every kernel's rate grows with B; GEMM\n"
+      "and TRSM decay toward the trailing tail (right-to-left in the\n"
+      "paper's plots); GETRF depends only on B and sits far below GEMM —\n"
+      "it is the critical-path kernel that the B selection must not let\n"
+      "dominate.\n");
+}
+
+}  // namespace hplmxp::bench

@@ -1,0 +1,117 @@
+// Native end-to-end benchmark: runs the REAL distributed mixed-precision
+// benchmark (Algorithm 1 on the simmpi runtime with the software-FP16 CPU
+// kernels) on this host at several grid/block configurations, reporting
+// the HPL-AI metrics: effective GFLOP/s, IR iterations, scaled residual.
+//
+// These numbers measure this machine's CPU, not a GPU — the point is that
+// the full algorithm executes and validates; the at-scale performance
+// reproduction lives in the model benches.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hpl64.h"
+#include "core/hpl_dist.h"
+#include "core/hplai.h"
+#include "simmpi/runtime.h"
+#include "util/timer.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Native", "Functional distributed HPL-AI runs (this host)");
+
+  Table t({"N", "B", "grid", "bcast", "lookahead", "time (s)", "GFLOP/s",
+           "IR iters", "residual/threshold", "valid"});
+
+  struct Case {
+    index_t n, b, pr, pc;
+    simmpi::BcastStrategy s;
+    bool lookahead;
+  };
+  const std::vector<Case> cases = {
+      {256, 32, 1, 1, simmpi::BcastStrategy::kBcast, true},
+      {256, 32, 2, 2, simmpi::BcastStrategy::kBcast, true},
+      {256, 32, 2, 2, simmpi::BcastStrategy::kRing2M, true},
+      {384, 32, 3, 2, simmpi::BcastStrategy::kRing1M, true},
+      {256, 32, 2, 2, simmpi::BcastStrategy::kBcast, false},
+      {512, 64, 2, 2, simmpi::BcastStrategy::kRing2M, true},
+  };
+
+  for (const Case& c : cases) {
+    HplaiConfig cfg;
+    cfg.n = c.n;
+    cfg.b = c.b;
+    cfg.pr = c.pr;
+    cfg.pc = c.pc;
+    cfg.panelBcast = c.s;
+    cfg.lookahead = c.lookahead;
+    const HplaiResult r = runHplai(cfg);
+    t.addRow({Table::num((long long)c.n), Table::num((long long)c.b),
+              Table::num((long long)c.pr) + "x" + Table::num((long long)c.pc),
+              simmpi::toString(c.s), c.lookahead ? "on" : "off",
+              Table::num(r.totalSeconds, 3), Table::num(r.gflopsTotal(), 2),
+              Table::num((long long)r.irIterations),
+              Table::num(r.scaledResidual(), 4),
+              r.converged ? "yes" : "NO"});
+  }
+  t.print();
+
+  bench::banner("Native", "FP64 HPL baselines on this host");
+  {
+    Table h({"variant", "N", "grid", "row swaps", "time (s)", "GFLOP/s",
+             "scaled residual", "passes"});
+    {
+      ProblemGenerator gen(7, 384);
+      std::vector<double> x;
+      const Hpl64Result r = runHpl64(gen, x);
+      h.addRow({"serial dgetrf", "384", "1x1", "-",
+                Table::num(r.factorSeconds + r.solveSeconds, 3),
+                Table::num(r.gflops(), 2), Table::num(r.scaledResidual, 4),
+                r.passed() ? "yes" : "NO"});
+    }
+    for (double shift : {-1.0, 0.0}) {
+      HplDistConfig cfg;
+      cfg.n = 384;
+      cfg.b = 32;
+      cfg.pr = 2;
+      cfg.pc = 2;
+      cfg.diagShift = shift;
+      const HplDistResult r = runHplDist(cfg);
+      h.addRow({shift == 0.0 ? "distributed (random A)"
+                             : "distributed (benchmark A)",
+                "384", "2x2", Table::num((long long)r.rowSwaps),
+                Table::num(r.factorSeconds + r.solveSeconds, 3),
+                Table::num(r.gflops(), 2), Table::num(r.scaledResidual, 4),
+                r.passed() ? "yes" : "NO"});
+    }
+    h.print();
+  }
+
+  bench::banner("Native", "Broadcast strategies on the in-process runtime");
+  {
+    // Wall time of an 8 MiB panel broadcast across 8 ranks per strategy.
+    // On shared memory this measures copy counts and pipelining overhead,
+    // not NICs — the at-scale comparison lives in bench_fig8.
+    Table bt({"strategy", "ms per 8 MiB bcast (8 ranks)"});
+    const index_t count = 1 << 20;  // doubles
+    for (simmpi::BcastStrategy s : simmpi::kAllBcastStrategies) {
+      double seconds = 0.0;
+      simmpi::run(8, [&](simmpi::Comm& comm) {
+        std::vector<double> buf(static_cast<std::size_t>(count),
+                                comm.rank() == 0 ? 1.0 : 0.0);
+        comm.barrier();
+        Timer timer;
+        for (int rep = 0; rep < 4; ++rep) {
+          simmpi::broadcast(comm, s, 0, buf.data(), count);
+        }
+        comm.barrier();
+        if (comm.rank() == 0) {
+          seconds = timer.seconds() / 4.0;
+        }
+      });
+      bt.addRow({simmpi::toString(s), Table::num(seconds * 1e3, 2)});
+    }
+    bt.print();
+  }
+  return 0;
+}

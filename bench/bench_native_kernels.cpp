@@ -1,0 +1,152 @@
+// Native microbenchmarks (google-benchmark) of the actual CPU kernels —
+// the software substrate standing in for cuBLAS/rocBLAS in this
+// reproduction. Reported rates are this host's, not a GPU's.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/blas.h"
+#include "core/single_solver.h"
+#include "fp16/half.h"
+#include "gen/lcg.h"
+#include "gen/matgen.h"
+
+namespace hplmxp {
+namespace {
+
+void BM_Sgemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n * n), 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    blas::sgemm(blas::Trans::kNoTrans, blas::Trans::kNoTrans, n, n, n, 1.0f,
+                a.data(), n, b.data(), n, 1.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemmFlops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sgemm)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_GemmMixed(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<half16> a(static_cast<std::size_t>(n * n), half16(1.0f));
+  std::vector<half16> b(static_cast<std::size_t>(n * n), half16(0.5f));
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kTrans, n, n, n,
+                    -1.0f, a.data(), n, b.data(), n, 1.0f, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemmFlops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmMixed)->Arg(128)->Arg(256)->Arg(384);
+
+void BM_Strsm(benchmark::State& state) {
+  const index_t b = state.range(0);
+  const index_t n = 512;
+  ProblemGenerator gen(3, b);
+  std::vector<float> tri(static_cast<std::size_t>(b * b));
+  gen.fillTile<float>(0, 0, b, b, tri.data(), b);
+  std::vector<float> rhs(static_cast<std::size_t>(b * n), 1.0f);
+  for (auto _ : state) {
+    blas::strsm(blas::Side::kLeft, blas::Uplo::kLower, blas::Diag::kUnit, b,
+                n, 1.0f, tri.data(), b, rhs.data(), b);
+    benchmark::DoNotOptimize(rhs.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::trsmFlops(blas::Side::kLeft, b, n) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Strsm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GetrfNoPiv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  ProblemGenerator gen(5, n);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    gen.fillTile<float>(0, 0, n, n, a.data(), n);
+    state.ResumeTiming();
+    blas::getrfNoPiv(n, a.data(), n);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::getrfFlops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GetrfNoPiv)->Arg(128)->Arg(256);
+
+void BM_CastToHalf(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<float> src(static_cast<std::size_t>(n * n), 1.25f);
+  std::vector<half16> dst(src.size());
+  for (auto _ : state) {
+    blas::castToHalf(n, n, src.data(), n, dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<index_t>(sizeof(float)));
+}
+BENCHMARK(BM_CastToHalf)->Arg(256)->Arg(512);
+
+void BM_TransCastToHalf(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<float> src(static_cast<std::size_t>(n * n), 1.25f);
+  std::vector<half16> dst(src.size());
+  for (auto _ : state) {
+    blas::transCastToHalf(n, n, src.data(), n, dst.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * n *
+                          static_cast<index_t>(sizeof(float)));
+}
+BENCHMARK(BM_TransCastToHalf)->Arg(256)->Arg(512);
+
+void BM_LcgJump(benchmark::State& state) {
+  std::uint64_t offset = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Lcg64::jumped(42, offset));
+    offset = offset * 3 + 1;  // vary the jump distance
+  }
+}
+BENCHMARK(BM_LcgJump);
+
+void BM_MatrixTileGeneration(benchmark::State& state) {
+  const index_t b = state.range(0);
+  ProblemGenerator gen(9, 1 << 20);  // a 1M-order matrix
+  std::vector<double> tile(static_cast<std::size_t>(b * b));
+  for (auto _ : state) {
+    gen.fillTile<double>(777, 31337, b, b, tile.data(), b);
+    benchmark::DoNotOptimize(tile.data());
+  }
+  state.SetItemsProcessed(state.iterations() * b * b);
+}
+BENCHMARK(BM_MatrixTileGeneration)->Arg(64)->Arg(256);
+
+void BM_MixedFactorSingle(benchmark::State& state) {
+  const index_t n = state.range(0);
+  ProblemGenerator gen(11, n);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    gen.fillTile<float>(0, 0, n, n, a.data(), n);
+    state.ResumeTiming();
+    factorMixedSingle(n, 64, a.data(), n, Vendor::kAmd);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::getrfFlops(n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MixedFactorSingle)->Arg(256);
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,66 @@
+// Table I: key architectural specifications for Summit and Frontier, plus
+// the derived ratios the paper's narrative quotes.
+#include "bench_util.h"
+#include "machine/machine.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Table I", "Key architectural specifications");
+
+  const MachineSpec& s = summitSpec();
+  const MachineSpec& f = frontierSpec();
+
+  Table t({"Spec", "Summit", "Frontier"});
+  t.addRow({"Number of Nodes", Table::num((long long)s.nodes),
+            Table::num((long long)f.nodes)});
+  t.addRow({"Processor", s.processor, f.processor});
+  t.addRow({"CPU memory (Node, GiB)", Table::num(s.cpuMemGiBPerNode, 0),
+            Table::num(f.cpuMemGiBPerNode, 0)});
+  t.addRow({"GPU model", s.gpuModel, f.gpuModel});
+  t.addRow({"# of GCDs (Node)", Table::num((long long)s.gcdsPerNode),
+            Table::num((long long)f.gcdsPerNode)});
+  t.addRow({"GPU memory per GCD (GiB)", Table::num(s.gpuMemGiBPerGcd, 0),
+            Table::num(f.gpuMemGiBPerGcd, 0)});
+  t.addRow({"GPU memory per Node (GiB)", Table::num(s.gpuMemGiBPerNode, 0),
+            Table::num(f.gpuMemGiBPerNode, 0)});
+  t.addRow({"GPU Interconnect", s.gpuInterconnect, f.gpuInterconnect});
+  t.addRow({"GPU link B/W (GB/s each way)",
+            Table::num(s.gpuLinkGBsEachWay, 0),
+            Table::num(f.gpuLinkGBsEachWay, 0)});
+  t.addRow({"FP16 TFLOPS (GCD)", Table::num(s.fp16TflopsPerGcd, 1),
+            Table::num(f.fp16TflopsPerGcd, 1)});
+  t.addRow({"FP64 TFLOPS (GCD)", Table::num(s.fp64TflopsPerGcd, 2),
+            Table::num(f.fp64TflopsPerGcd, 2)});
+  t.addRow({"FP16 TFLOPS (Node)", Table::num(s.fp16TflopsPerNode, 0),
+            Table::num(f.fp16TflopsPerNode, 0)});
+  t.addRow({"# of NICs", Table::num((long long)s.nicsPerNode),
+            Table::num((long long)f.nicsPerNode)});
+  t.addRow({"NIC model", s.nicModel, f.nicModel});
+  t.addRow({"NIC B/W (node, GB/s each way)",
+            Table::num(s.nicGBsPerNodeEachWay, 1),
+            Table::num(f.nicGBsPerNodeEachWay, 1)});
+  t.addRow({"NIC attached to GPU", s.nicAttachedToGpu ? "yes" : "no",
+            f.nicAttachedToGpu ? "yes" : "no"});
+  t.print();
+
+  bench::banner("Table I (derived)", "Ratios quoted in the paper text");
+  Table d({"Quantity", "Value", "Paper says"});
+  d.addRow({"Frontier/Summit FP16 per node",
+            Table::num(f.fp16TflopsPerNode / s.fp16TflopsPerNode, 2),
+            "1.58x"});
+  d.addRow({"Frontier/Summit node count",
+            Table::num((double)f.nodes / (double)s.nodes, 2), "2x+"});
+  d.addRow({"Frontier/Summit GPU mem per GCD",
+            Table::num(f.gpuMemGiBPerGcd / s.gpuMemGiBPerGcd, 1), "4x"});
+  d.addRow({"Frontier/Summit system FP64",
+            Table::num(f.systemPeakFp64Pflops() / s.systemPeakFp64Pflops(),
+                       1),
+            "~8x"});
+  d.addRow({"Summit total GCDs", Table::num((long long)s.totalGcds()),
+            "27648"});
+  d.addRow({"Frontier total GCDs", Table::num((long long)f.totalGcds()),
+            "75264"});
+  d.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table II: cross-platform BLAS library dispatch, plus a live
+// demonstration of the API quirk (cuSOLVER's two-step GETRF protocol) that
+// motivated the paper's shim layer.
+#include <vector>
+
+#include "bench_util.h"
+#include "device/shim.h"
+#include "gen/matgen.h"
+
+using namespace hplmxp;
+
+int main() {
+  bench::banner("Table II", "Cross-platform BLAS library functions");
+
+  const BlasShim nv(Vendor::kNvidia);
+  const BlasShim amd(Vendor::kAmd);
+  Table t({"BLAS Mapping", "Summit", "Frontier"});
+  t.addRow({"GEMM", nv.routineNames().gemm, amd.routineNames().gemm});
+  t.addRow({"TRSM", nv.routineNames().trsm, amd.routineNames().trsm});
+  t.addRow({"GETRF", nv.routineNames().getrf, amd.routineNames().getrf});
+  t.addRow({"TRSV", nv.routineNames().trsv, amd.routineNames().trsv});
+  t.print();
+
+  bench::banner("Table II (live)", "GETRF protocol difference across vendors");
+  const index_t n = 256;
+  ProblemGenerator gen(1, n);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+
+  Table p({"Vendor", "bufferSize call", "getrf result"});
+  {
+    BlasShim shim(Vendor::kNvidia);
+    gen.fillTile<float>(0, 0, n, n, a.data(), n);
+    bool threw = false;
+    try {
+      shim.getrf(n, a.data(), n);
+    } catch (const CheckError&) {
+      threw = true;
+    }
+    p.addRow({"NVIDIA", "omitted", threw ? "rejected (workspace protocol)"
+                                         : "accepted"});
+    (void)shim.getrfBufferSize(n, n);
+    shim.getrf(n, a.data(), n);
+    p.addRow({"NVIDIA", "cusolverDnSgetrf_bufferSize first", "accepted"});
+  }
+  {
+    BlasShim shim(Vendor::kAmd);
+    gen.fillTile<float>(0, 0, n, n, a.data(), n);
+    shim.getrf(n, a.data(), n);
+    p.addRow({"AMD", "not required (single call)", "accepted"});
+  }
+  p.print();
+  std::printf("\nBoth vendor paths dispatch to the same kernels in this "
+              "substrate and produce identical factors (see test_device).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "scalesim/scale_sim.h"
+#include "util/table.h"
+
+namespace hplmxp::bench {
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+/// The paper's best-run configurations (Fig. 11).
+inline ScaleSimConfig summitAchievementConfig() {
+  return ScaleSimConfig{.machine = MachineKind::kSummit,
+                        .nl = 61440,
+                        .b = 768,
+                        .pr = 162,
+                        .pc = 162,
+                        .gridOrder = GridOrder::kNodeLocal,
+                        .qr = 3,
+                        .qc = 2,
+                        .strategy = simmpi::BcastStrategy::kBcast,
+                        .slowestGcdMultiplier = 0.97};
+}
+
+inline ScaleSimConfig frontierAchievementConfig() {
+  return ScaleSimConfig{.machine = MachineKind::kFrontier,
+                        .nl = 119808,
+                        .b = 3072,
+                        .pr = 172,
+                        .pc = 172,
+                        .gridOrder = GridOrder::kNodeLocal,
+                        .qr = 4,
+                        .qc = 2,
+                        .strategy = simmpi::BcastStrategy::kRing2M,
+                        .slowestGcdMultiplier = 0.97};
+}
+
+/// The Fig. 4/8 evaluation scales: Summit 2916 GCDs (Pr=54), Frontier 1024
+/// GCDs (Pr=32).
+inline ScaleSimConfig summitEvalConfig() {
+  ScaleSimConfig cfg = summitAchievementConfig();
+  cfg.pr = cfg.pc = 54;
+  return cfg;
+}
+
+inline ScaleSimConfig frontierEvalConfig() {
+  ScaleSimConfig cfg = frontierAchievementConfig();
+  cfg.pr = cfg.pc = 32;
+  return cfg;
+}
+
+}  // namespace hplmxp::bench

@@ -1,0 +1,78 @@
+// Machine projection: use the paper's performance model (Eqs. 1-5 +
+// calibrated kernel curves + network models) to tune and project an
+// HPL-AI run on Summit or Frontier — the workflow of Secs. IV-V.
+//
+//   ./machine_projection [summit|frontier] [gcds-per-side]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "perfmodel/param_search.h"
+#include "scalesim/scale_sim.h"
+#include "util/table.h"
+
+using namespace hplmxp;
+
+int main(int argc, char** argv) {
+  const bool summit = argc > 1 && std::strcmp(argv[1], "summit") == 0;
+  const MachineKind kind =
+      summit ? MachineKind::kSummit : MachineKind::kFrontier;
+  const index_t pr = argc > 2 ? std::atoll(argv[2])
+                              : (summit ? index_t{162} : index_t{172});
+
+  const MachineSpec& spec = machineSpec(kind);
+  std::printf("projecting %s with a %lldx%lld grid (%lld GCDs of %lld)\n",
+              spec.name.c_str(), (long long)pr, (long long)pr,
+              (long long)(pr * pr), (long long)spec.totalGcds());
+
+  // Step 1: pick N_L near the GPU memory ceiling, avoiding pathological
+  // leading dimensions (Sec. V-A / V-D).
+  const index_t nl = summit ? 61440 : 119808;
+  const double matrixGiB =
+      static_cast<double>(nl) * static_cast<double>(nl) * 4.0 / (1 << 30);
+  std::printf("N_L = %lld (%.1f GiB FP32 of %.0f GiB per GCD)%s\n",
+              (long long)nl, matrixGiB, spec.gpuMemGiBPerGcd,
+              isPathologicalLda(nl) ? "  ** pathological LDA! **" : "");
+
+  // Step 2: block-size search with the paper's heuristic.
+  const KernelModel kernels(kind);
+  ModelInput in{.n = nl * pr, .b = 0, .pr = pr, .pc = pr,
+                .nbb = summit ? 4e9 : 8e9};
+  const BSearchResult search = searchBlockSize(kernels, in);
+  std::printf("block-size search selected B = %lld\n",
+              (long long)search.bestB);
+
+  // Step 3: pick the communication strategy and node grid by simulation.
+  ScaleSimConfig cfg{.machine = kind, .nl = nl, .b = search.bestB, .pr = pr,
+                     .pc = pr, .gridOrder = GridOrder::kNodeLocal,
+                     .qr = summit ? index_t{3} : index_t{4},
+                     .qc = summit ? index_t{2} : index_t{2},
+                     .strategy = simmpi::BcastStrategy::kBcast,
+                     .slowestGcdMultiplier = 0.97};
+  simmpi::BcastStrategy best = cfg.strategy;
+  double bestRate = 0.0;
+  Table t({"strategy", "GF/GCD", "EFLOPS", "comm-bound iters"});
+  for (simmpi::BcastStrategy s : simmpi::kAllBcastStrategies) {
+    cfg.strategy = s;
+    const ScaleSimResult r = simulateRun(cfg);
+    t.addRow({simmpi::toString(s), Table::num(r.ratePerGcd / 1e9, 0),
+              Table::num(r.exaflops, 3),
+              Table::num(r.commBoundFraction * 100.0, 1) + "%"});
+    if (r.ratePerGcd > bestRate) {
+      bestRate = r.ratePerGcd;
+      best = s;
+    }
+  }
+  t.print();
+
+  cfg.strategy = best;
+  const ScaleSimResult r = simulateRun(cfg);
+  std::printf("\nbest configuration: B=%lld, %s, %lldx%lld node grid\n",
+              (long long)cfg.b, simmpi::toString(best).c_str(),
+              (long long)cfg.qr, (long long)cfg.qc);
+  std::printf("projected: N = %lld, %.0f s, %.3f EFLOPS (%.1f TF/GCD)\n",
+              (long long)r.n, r.totalSeconds, r.exaflops,
+              r.ratePerGcd / 1e12);
+  return 0;
+}

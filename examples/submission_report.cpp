@@ -1,0 +1,85 @@
+// Produces an HPL-AI-style results report for a functional run on this
+// host — the output block a site would attach to a benchmark submission
+// (problem parameters, timing, effective rate, and the validity check),
+// plus the at-scale projection for the machine of choice.
+//
+//   ./submission_report [N] [B] [Pr] [Pc]
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <vector>
+
+#include "core/hplai.h"
+#include "core/verify.h"
+#include "gen/matgen.h"
+#include "machine/power.h"
+#include "scalesim/scale_sim.h"
+
+using namespace hplmxp;
+
+int main(int argc, char** argv) {
+  HplaiConfig cfg;
+  cfg.n = argc > 1 ? std::atoll(argv[1]) : 768;
+  cfg.b = argc > 2 ? std::atoll(argv[2]) : 64;
+  cfg.pr = argc > 3 ? std::atoll(argv[3]) : 2;
+  cfg.pc = argc > 4 ? std::atoll(argv[4]) : 2;
+  cfg.n = adjustProblemSize(cfg.n, cfg.b, cfg.pr, cfg.pc);
+  cfg.panelBcast = simmpi::BcastStrategy::kRing2M;
+
+  std::vector<double> x;
+  const HplaiResult r = runHplai(cfg, &x);
+  const ProblemGenerator gen(cfg.seed, cfg.n);
+  const bool valid = hplaiValid(gen, x);
+
+  std::printf("========================================================\n");
+  std::printf("HPLMxP (HPL-AI) results — functional run on this host\n");
+  std::printf("========================================================\n");
+  std::printf("N        : %18lld\n", (long long)r.n);
+  std::printf("NB       : %18lld\n", (long long)r.b);
+  std::printf("P x Q    : %9lld x %6lld\n", (long long)cfg.pr,
+              (long long)cfg.pc);
+  std::printf("BCAST    : %18s\n", simmpi::toString(cfg.panelBcast).c_str());
+  std::printf("Refiner  : %18s\n",
+              cfg.refiner == HplaiConfig::Refiner::kGmres ? "GMRES" : "IR");
+  std::printf("--------------------------------------------------------\n");
+  std::printf("Factor time          : %12.4f s\n", r.factorSeconds);
+  std::printf("Refinement time      : %12.4f s (%lld iterations)\n",
+              r.irSeconds, (long long)r.irIterations);
+  std::printf("Total time           : %12.4f s\n", r.totalSeconds);
+  std::printf("Effective ops        : %12.4e flops (2/3 N^3 + 3/2 N^2)\n",
+              r.effectiveFlops());
+  std::printf("HPLMxP performance   : %12.4f GFLOP/s\n", r.gflopsTotal());
+  std::printf("--------------------------------------------------------\n");
+  std::printf("||b - Ax||_inf       : %12.4e\n", r.residualInf);
+  std::printf("threshold (line 44)  : %12.4e\n", r.threshold);
+  std::printf("residual check       : %12s\n",
+              r.converged && valid ? "PASSED" : "FAILED");
+  std::printf("========================================================\n");
+
+  // The corresponding at-scale projection: what this configuration's
+  // tuning choices deliver on the real machines per the calibrated model.
+  std::printf("\nAt-scale projections (calibrated model):\n");
+  for (MachineKind kind : {MachineKind::kSummit, MachineKind::kFrontier}) {
+    const bool summit = kind == MachineKind::kSummit;
+    ScaleSimConfig sim{.machine = kind,
+                       .nl = summit ? index_t{61440} : index_t{119808},
+                       .b = summit ? index_t{768} : index_t{3072},
+                       .pr = summit ? index_t{162} : index_t{172},
+                       .pc = summit ? index_t{162} : index_t{172},
+                       .gridOrder = GridOrder::kNodeLocal,
+                       .qr = summit ? index_t{3} : index_t{4},
+                       .qc = 2,
+                       .strategy = summit ? simmpi::BcastStrategy::kBcast
+                                          : simmpi::BcastStrategy::kRing2M,
+                       .slowestGcdMultiplier = 0.97};
+    const ScaleSimResult s = simulateRun(sim);
+    const PowerModel power(kind);
+    const index_t nodes = s.ranks / machineSpec(kind).gcdsPerNode;
+    std::printf("  %-8s : %7.3f EFLOPS on %6lld GCDs in %6.0f s "
+                "(%5.1f GFLOPS/W)\n",
+                toString(kind).c_str(), s.exaflops, (long long)s.ranks,
+                s.totalSeconds,
+                power.gflopsPerWatt(s.exaflops * 1e18, nodes));
+  }
+  return r.converged && valid ? 0 : 1;
+}

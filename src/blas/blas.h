@@ -1,0 +1,11 @@
+// Umbrella header for the from-scratch BLAS substrate (the CPU stand-in for
+// cuBLAS/rocBLAS/cuSOLVER/rocSOLVER listed in Table II of the paper).
+#pragma once
+
+#include "blas/cast.h"      // IWYU pragma: export
+#include "blas/gemm.h"      // IWYU pragma: export
+#include "blas/gemv.h"      // IWYU pragma: export
+#include "blas/getrf.h"     // IWYU pragma: export
+#include "blas/trsm.h"      // IWYU pragma: export
+#include "blas/trsv.h"      // IWYU pragma: export
+#include "blas/types.h"     // IWYU pragma: export

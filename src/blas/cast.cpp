@@ -1,0 +1,88 @@
+#include "blas/cast.h"
+
+namespace hplmxp::blas {
+
+namespace {
+
+constexpr index_t kColChunk = 16;
+
+template <typename TSrc, typename TDst, typename Convert>
+void castCore(index_t m, index_t n, const TSrc* src, index_t ldSrc, TDst* dst,
+              index_t ldDst, ThreadPool* pool, Convert convert) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "cast dims must be >= 0");
+  HPLMXP_REQUIRE(ldSrc >= (m > 0 ? m : 1) && ldDst >= (m > 0 ? m : 1),
+                 "cast: leading dimension too small");
+  if (m == 0 || n == 0) {
+    return;
+  }
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+  pool->parallelFor(0, ceilDiv(n, kColChunk), [&](index_t c) {
+    const index_t j0 = c * kColChunk;
+    const index_t j1 = std::min(n, j0 + kColChunk);
+    for (index_t j = j0; j < j1; ++j) {
+      const TSrc* s = src + j * ldSrc;
+      TDst* d = dst + j * ldDst;
+      for (index_t i = 0; i < m; ++i) {
+        d[i] = convert(s[i]);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void castToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                half16* dst, index_t ldDst, ThreadPool* pool) {
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [](float v) { return half16(v); });
+}
+
+void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                     half16* dst, index_t ldDst, ThreadPool* pool) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "trans_cast dims must be >= 0");
+  HPLMXP_REQUIRE(ldSrc >= (m > 0 ? m : 1), "trans_cast: ldSrc too small");
+  HPLMXP_REQUIRE(ldDst >= (n > 0 ? n : 1), "trans_cast: ldDst too small");
+  if (m == 0 || n == 0) {
+    return;
+  }
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+  // Tile the transpose so reads and writes both stay cache-friendly.
+  constexpr index_t kTile = 32;
+  const index_t rowTiles = ceilDiv(m, kTile);
+  const index_t colTiles = ceilDiv(n, kTile);
+  pool->parallelFor(0, rowTiles * colTiles, [&](index_t t) {
+    const index_t ti = t % rowTiles;
+    const index_t tj = t / rowTiles;
+    const index_t i1 = std::min(m, (ti + 1) * kTile);
+    const index_t j1 = std::min(n, (tj + 1) * kTile);
+    for (index_t j = tj * kTile; j < j1; ++j) {
+      for (index_t i = ti * kTile; i < i1; ++i) {
+        dst[j + i * ldDst] = half16(src[i + j * ldSrc]);
+      }
+    }
+  });
+}
+
+void castToFloat(index_t m, index_t n, const half16* src, index_t ldSrc,
+                 float* dst, index_t ldDst, ThreadPool* pool) {
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [](half16 v) { return v.toFloat(); });
+}
+
+void narrowToFloat(index_t m, index_t n, const double* src, index_t ldSrc,
+                   float* dst, index_t ldDst, ThreadPool* pool) {
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [](double v) { return static_cast<float>(v); });
+}
+
+void widenToDouble(index_t m, index_t n, const float* src, index_t ldSrc,
+                   double* dst, index_t ldDst, ThreadPool* pool) {
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [](float v) { return static_cast<double>(v); });
+}
+
+}  // namespace hplmxp::blas

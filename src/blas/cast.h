@@ -1,0 +1,37 @@
+// Precision conversion kernels: the CAST and TRANS_CAST phases of
+// Algorithm 1 (lines 15 and 24), plus the FP64 -> FP32 conversion used when
+// staging the generated matrix onto the device.
+//
+// TRANS_CAST transposes the U panel while casting so the trailing-update
+// GEMM can consume both panels with a uniform fast layout — the paper notes
+// U "is conveniently transposed and cast simultaneously".
+#pragma once
+
+#include "fp16/half.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp::blas {
+
+/// dst(i,j) = half(src(i,j)); col-major m x n.
+void castToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                half16* dst, index_t ldDst, ThreadPool* pool = nullptr);
+
+/// dst(j,i) = half(src(i,j)): transposes m x n src into n x m dst while
+/// casting to binary16.
+void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                     half16* dst, index_t ldDst, ThreadPool* pool = nullptr);
+
+/// dst(i,j) = float(src(i,j)); col-major m x n, binary16 -> FP32 (exact).
+void castToFloat(index_t m, index_t n, const half16* src, index_t ldSrc,
+                 float* dst, index_t ldDst, ThreadPool* pool = nullptr);
+
+/// FP64 -> FP32 narrowing copy (host matrix -> device matrix staging).
+void narrowToFloat(index_t m, index_t n, const double* src, index_t ldSrc,
+                   float* dst, index_t ldDst, ThreadPool* pool = nullptr);
+
+/// FP32 -> FP64 widening copy.
+void widenToDouble(index_t m, index_t n, const float* src, index_t ldSrc,
+                   double* dst, index_t ldDst, ThreadPool* pool = nullptr);
+
+}  // namespace hplmxp::blas

@@ -1,0 +1,49 @@
+// General matrix-matrix multiply: C = alpha * op(A) * op(B) + beta * C.
+//
+// Three instantiations mirror the paper's kernels:
+//   * sgemm  — FP32 x FP32 -> FP32 (panel-sized products inside GETRF/TRSM)
+//   * dgemm  — FP64 path used by the HPL comparison and verification
+//   * gemmMixed — FP16 inputs, FP32 accumulate: the heart of HPL-AI
+//     (cublasSgemmEx / rocblas_gemm_ex with HALF inputs, FLOAT compute).
+//
+// Implementation: cache-blocked packing GEMM. op(A)/op(B) tiles are packed
+// into contiguous FP32/FP64 scratch (the packing step performs both the
+// transposition and, for gemmMixed, the half->float widening, which is
+// exactly the data flow of a tensor-core MMA pipeline: FP16 operands are
+// widened on load and accumulated in FP32). Column-block parallelism runs
+// on the shared ThreadPool.
+#pragma once
+
+#include "blas/types.h"
+#include "fp16/half.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp::blas {
+
+/// FP32 GEMM.
+void sgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc,
+           ThreadPool* pool = nullptr);
+
+/// FP64 GEMM.
+void dgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           ThreadPool* pool = nullptr);
+
+/// Mixed-precision GEMM: A and B are binary16, C and the accumulator are
+/// FP32. This is the "Update Trailing Matrix" kernel of Algorithm 1.
+void gemmMixed(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+               float alpha, const half16* a, index_t lda, const half16* b,
+               index_t ldb, float beta, float* c, index_t ldc,
+               ThreadPool* pool = nullptr);
+
+/// Flop count convention for GEMM: 2*m*n*k.
+constexpr double gemmFlops(index_t m, index_t n, index_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace hplmxp::blas

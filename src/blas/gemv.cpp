@@ -1,0 +1,77 @@
+#include "blas/gemv.h"
+
+#include <vector>
+
+namespace hplmxp::blas {
+
+namespace {
+
+constexpr index_t kRowStripe = 256;
+
+template <typename T>
+void gemvCore(Trans trans, index_t m, index_t n, T alpha, const T* a,
+              index_t lda, const T* x, T beta, T* y, ThreadPool* pool) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "gemv dims must be >= 0");
+  HPLMXP_REQUIRE(lda >= (m > 0 ? m : 1), "gemv: lda too small");
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+  const index_t outLen = (trans == Trans::kNoTrans) ? m : n;
+  if (outLen == 0) {
+    return;
+  }
+
+  if (trans == Trans::kNoTrans) {
+    // y_i = beta*y_i + alpha * sum_j A(i,j) x_j; stripe rows so each task
+    // owns a disjoint slice of y.
+    const index_t stripes = ceilDiv(m, kRowStripe);
+    pool->parallelFor(0, stripes, [&](index_t s) {
+      const index_t i0 = s * kRowStripe;
+      const index_t i1 = std::min(m, i0 + kRowStripe);
+      std::vector<T> acc(static_cast<std::size_t>(i1 - i0), T{0});
+      for (index_t j = 0; j < n; ++j) {
+        const T* col = a + j * lda;
+        const T xv = x[j];
+        for (index_t i = i0; i < i1; ++i) {
+          acc[static_cast<std::size_t>(i - i0)] += col[i] * xv;
+        }
+      }
+      for (index_t i = i0; i < i1; ++i) {
+        const T base = (beta == T{0}) ? T{0} : beta * y[i];
+        y[i] = base + alpha * acc[static_cast<std::size_t>(i - i0)];
+      }
+    });
+  } else {
+    // y_j = beta*y_j + alpha * sum_i A(i,j) x_i; columns are independent.
+    const index_t stripes = ceilDiv(n, kRowStripe);
+    pool->parallelFor(0, stripes, [&](index_t s) {
+      const index_t j0 = s * kRowStripe;
+      const index_t j1 = std::min(n, j0 + kRowStripe);
+      for (index_t j = j0; j < j1; ++j) {
+        const T* col = a + j * lda;
+        T acc{0};
+        for (index_t i = 0; i < m; ++i) {
+          acc += col[i] * x[i];
+        }
+        const T base = (beta == T{0}) ? T{0} : beta * y[j];
+        y[j] = base + alpha * acc;
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, double beta, double* y,
+           ThreadPool* pool) {
+  gemvCore<double>(trans, m, n, alpha, a, lda, x, beta, y, pool);
+}
+
+void sgemv(Trans trans, index_t m, index_t n, float alpha, const float* a,
+           index_t lda, const float* x, float beta, float* y,
+           ThreadPool* pool) {
+  gemvCore<float>(trans, m, n, alpha, a, lda, x, beta, y, pool);
+}
+
+}  // namespace hplmxp::blas

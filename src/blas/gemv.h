@@ -1,0 +1,29 @@
+// Matrix-vector product: y = alpha * op(A) * x + beta * y.
+//
+// Iterative refinement computes the FP64 residual r = b - A*x with a
+// parallel GEMV over regenerated matrix entries (Algorithm 1, lines 33-43);
+// this module provides the dense kernels those partial products use.
+#pragma once
+
+#include "blas/types.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp::blas {
+
+/// FP64 GEMV.
+void dgemv(Trans trans, index_t m, index_t n, double alpha, const double* a,
+           index_t lda, const double* x, double beta, double* y,
+           ThreadPool* pool = nullptr);
+
+/// FP32 GEMV.
+void sgemv(Trans trans, index_t m, index_t n, float alpha, const float* a,
+           index_t lda, const float* x, float beta, float* y,
+           ThreadPool* pool = nullptr);
+
+/// Flop count convention for GEMV: 2*m*n.
+constexpr double gemvFlops(index_t m, index_t n) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n);
+}
+
+}  // namespace hplmxp::blas

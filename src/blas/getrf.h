@@ -1,0 +1,40 @@
+// LU factorizations ("Diagonal Update" of Algorithm 1).
+//
+//   * getrfNoPiv  — FP32 LU *without pivoting* (cusolverDnSgetrf /
+//     rocsolver_sgetrf with pivoting disabled). Legal for HPL-AI because
+//     the generated matrix is strictly diagonally dominant.
+//   * dgetrf      — FP64 LU with partial pivoting, used by the HPL (FP64)
+//     comparison path and by verification.
+//
+// Both are right-looking blocked factorizations: unblocked panel factor,
+// TRSM for the block row, GEMM for the trailing update.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp::blas {
+
+/// In-place LU without pivoting: A = L * U with unit-diagonal L stored
+/// below the diagonal and U on/above it. Throws CheckError on an exactly
+/// zero pivot (cannot happen for the HPL-AI generator).
+void getrfNoPiv(index_t n, float* a, index_t lda, ThreadPool* pool = nullptr);
+
+/// FP64 variant of the no-pivot factorization (used in tests/verification).
+void dgetrfNoPiv(index_t n, double* a, index_t lda,
+                 ThreadPool* pool = nullptr);
+
+/// In-place LU with partial (row) pivoting: P * A = L * U. ipiv[k] is the
+/// row swapped with row k (LAPACK-style, 0-based). Throws on singularity.
+void dgetrf(index_t n, double* a, index_t lda, std::vector<index_t>& ipiv,
+            ThreadPool* pool = nullptr);
+
+/// Flop count convention for an n x n LU: (2/3) n^3.
+constexpr double getrfFlops(index_t n) {
+  const double d = static_cast<double>(n);
+  return 2.0 / 3.0 * d * d * d;
+}
+
+}  // namespace hplmxp::blas

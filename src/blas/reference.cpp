@@ -1,0 +1,51 @@
+#include "blas/reference.h"
+
+namespace hplmxp::blas::ref {
+
+void gemmMixed(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+               float alpha, const half16* a, index_t lda, const half16* b,
+               index_t ldb, float beta, float* c, index_t ldc) {
+  auto opA = [&](index_t i, index_t l) {
+    return (ta == Trans::kNoTrans ? a[i + l * lda] : a[l + i * lda]).toFloat();
+  };
+  auto opB = [&](index_t l, index_t j) {
+    return (tb == Trans::kNoTrans ? b[l + j * ldb] : b[j + l * ldb]).toFloat();
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      float acc = 0.0f;
+      for (index_t l = 0; l < k; ++l) {
+        acc += opA(i, l) * opB(l, j);
+      }
+      float& cij = c[i + j * ldc];
+      cij = alpha * acc + (beta == 0.0f ? 0.0f : beta * cij);
+    }
+  }
+}
+
+void solveNoPiv(index_t n, std::vector<double> a, index_t lda,
+                std::vector<double>& x) {
+  HPLMXP_REQUIRE(static_cast<index_t>(a.size()) >= lda * n,
+                 "solveNoPiv: matrix storage too small");
+  HPLMXP_REQUIRE(static_cast<index_t>(x.size()) == n,
+                 "solveNoPiv: rhs size mismatch");
+  getrfNoPiv<double>(n, a.data(), lda);
+  // Forward: L y = b (unit lower).
+  for (index_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (index_t l = 0; l < i; ++l) {
+      acc -= a[i + l * lda] * x[l];
+    }
+    x[i] = acc;
+  }
+  // Backward: U x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    double acc = x[i];
+    for (index_t l = i + 1; l < n; ++l) {
+      acc -= a[i + l * lda] * x[l];
+    }
+    x[i] = acc / a[i + i * lda];
+  }
+}
+
+}  // namespace hplmxp::blas::ref

@@ -1,0 +1,119 @@
+// Naive reference kernels. These are deliberately simple (triple loops, no
+// blocking, no threading) and serve as the oracle for the optimized kernels
+// in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "blas/types.h"
+#include "fp16/half.h"
+#include "util/common.h"
+
+namespace hplmxp::blas::ref {
+
+/// C = alpha * op(A) * op(B) + beta * C, any arithmetic type T.
+template <typename T>
+void gemm(Trans ta, Trans tb, index_t m, index_t n, index_t k, T alpha,
+          const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+          index_t ldc) {
+  auto opA = [&](index_t i, index_t l) {
+    return ta == Trans::kNoTrans ? a[i + l * lda] : a[l + i * lda];
+  };
+  auto opB = [&](index_t l, index_t j) {
+    return tb == Trans::kNoTrans ? b[l + j * ldb] : b[j + l * ldb];
+  };
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T acc{0};
+      for (index_t l = 0; l < k; ++l) {
+        acc += opA(i, l) * opB(l, j);
+      }
+      T& cij = c[i + j * ldc];
+      cij = alpha * acc + (beta == T{0} ? T{0} : beta * cij);
+    }
+  }
+}
+
+/// Mixed reference: half16 inputs widened per element, FP32 accumulate.
+void gemmMixed(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+               float alpha, const half16* a, index_t lda, const half16* b,
+               index_t ldb, float beta, float* c, index_t ldc);
+
+/// Triangular solve oracle (no transpose).
+template <typename T>
+void trsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, T alpha,
+          const T* a, index_t lda, T* b, index_t ldb) {
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      b[i + j * ldb] *= alpha;
+    }
+  }
+  if (side == Side::kLeft) {
+    for (index_t j = 0; j < n; ++j) {
+      T* x = b + j * ldb;
+      if (uplo == Uplo::kLower) {
+        for (index_t i = 0; i < m; ++i) {
+          T acc = x[i];
+          for (index_t l = 0; l < i; ++l) {
+            acc -= a[i + l * lda] * x[l];
+          }
+          x[i] = diag == Diag::kUnit ? acc : acc / a[i + i * lda];
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          T acc = x[i];
+          for (index_t l = i + 1; l < m; ++l) {
+            acc -= a[i + l * lda] * x[l];
+          }
+          x[i] = diag == Diag::kUnit ? acc : acc / a[i + i * lda];
+        }
+      }
+    }
+  } else {
+    for (index_t i = 0; i < m; ++i) {
+      if (uplo == Uplo::kUpper) {
+        for (index_t j = 0; j < n; ++j) {
+          T acc = b[i + j * ldb];
+          for (index_t l = 0; l < j; ++l) {
+            acc -= b[i + l * ldb] * a[l + j * lda];
+          }
+          b[i + j * ldb] =
+              diag == Diag::kUnit ? acc : acc / a[j + j * lda];
+        }
+      } else {
+        for (index_t j = n - 1; j >= 0; --j) {
+          T acc = b[i + j * ldb];
+          for (index_t l = j + 1; l < n; ++l) {
+            acc -= b[i + l * ldb] * a[l + j * lda];
+          }
+          b[i + j * ldb] =
+              diag == Diag::kUnit ? acc : acc / a[j + j * lda];
+        }
+      }
+    }
+  }
+}
+
+/// Unblocked no-pivot LU oracle.
+template <typename T>
+void getrfNoPiv(index_t n, T* a, index_t lda) {
+  for (index_t k = 0; k < n; ++k) {
+    const T pivot = a[k + k * lda];
+    HPLMXP_REQUIRE(pivot != T{0}, "ref::getrfNoPiv: zero pivot");
+    for (index_t i = k + 1; i < n; ++i) {
+      a[i + k * lda] /= pivot;
+    }
+    for (index_t j = k + 1; j < n; ++j) {
+      const T up = a[k + j * lda];
+      for (index_t i = k + 1; i < n; ++i) {
+        a[i + j * lda] -= a[i + k * lda] * up;
+      }
+    }
+  }
+}
+
+/// Dense solve oracle via no-pivot LU in FP64 (for well-conditioned inputs).
+void solveNoPiv(index_t n, std::vector<double> a, index_t lda,
+                std::vector<double>& x);
+
+}  // namespace hplmxp::blas::ref

@@ -1,0 +1,267 @@
+#include "blas/trsm.h"
+
+namespace hplmxp::blas {
+
+namespace {
+
+// Number of RHS columns (kLeft) or rows (kRight) per parallel task.
+constexpr index_t kStripe = 32;
+
+template <typename T>
+void scaleColumns(T* b, index_t ldb, index_t m, index_t j0, index_t j1,
+                  T alpha) {
+  if (alpha == T{1}) {
+    return;
+  }
+  for (index_t j = j0; j < j1; ++j) {
+    T* col = b + j * ldb;
+    for (index_t i = 0; i < m; ++i) {
+      col[i] *= alpha;
+    }
+  }
+}
+
+/// Left-side solve on columns [j0, j1): op is forward (Lower) or backward
+/// (Upper) substitution, column-oriented so the inner update vectorizes.
+template <typename T>
+void leftSolveStripe(Uplo uplo, Diag diag, index_t m, const T* a, index_t lda,
+                     T* b, index_t ldb, index_t j0, index_t j1) {
+  if (uplo == Uplo::kLower) {
+    for (index_t l = 0; l < m; ++l) {
+      const T* acol = a + l * lda;
+      const T pivot = acol[l];
+      for (index_t j = j0; j < j1; ++j) {
+        T* bcol = b + j * ldb;
+        if (diag == Diag::kNonUnit) {
+          bcol[l] /= pivot;
+        }
+        const T x = bcol[l];
+        for (index_t i = l + 1; i < m; ++i) {
+          bcol[i] -= acol[i] * x;
+        }
+      }
+    }
+  } else {
+    for (index_t l = m - 1; l >= 0; --l) {
+      const T* acol = a + l * lda;
+      const T pivot = acol[l];
+      for (index_t j = j0; j < j1; ++j) {
+        T* bcol = b + j * ldb;
+        if (diag == Diag::kNonUnit) {
+          bcol[l] /= pivot;
+        }
+        const T x = bcol[l];
+        for (index_t i = 0; i < l; ++i) {
+          bcol[i] -= acol[i] * x;
+        }
+      }
+    }
+  }
+}
+
+/// Left-side TRANSPOSED solve on columns [j0, j1): op(A) = A^T turns the
+/// update sweep into dot products down the stored columns of A (still
+/// unit-stride). Lower^T solves backward; Upper^T solves forward.
+template <typename T>
+void leftSolveTransStripe(Uplo uplo, Diag diag, index_t m, const T* a,
+                          index_t lda, T* b, index_t ldb, index_t j0,
+                          index_t j1) {
+  if (uplo == Uplo::kLower) {
+    // op(A) is upper: backward substitution, dotting A's column below the
+    // diagonal against already-solved entries.
+    for (index_t l = m - 1; l >= 0; --l) {
+      const T* acol = a + l * lda;
+      for (index_t j = j0; j < j1; ++j) {
+        T* bcol = b + j * ldb;
+        T acc = bcol[l];
+        for (index_t i = l + 1; i < m; ++i) {
+          acc -= acol[i] * bcol[i];
+        }
+        bcol[l] = diag == Diag::kUnit ? acc : acc / acol[l];
+      }
+    }
+  } else {
+    // op(A) is lower: forward substitution over A's column above the
+    // diagonal.
+    for (index_t l = 0; l < m; ++l) {
+      const T* acol = a + l * lda;
+      for (index_t j = j0; j < j1; ++j) {
+        T* bcol = b + j * ldb;
+        T acc = bcol[l];
+        for (index_t i = 0; i < l; ++i) {
+          acc -= acol[i] * bcol[i];
+        }
+        bcol[l] = diag == Diag::kUnit ? acc : acc / acol[l];
+      }
+    }
+  }
+}
+
+/// Right-side solve on rows [i0, i1): rows of B are independent, so each
+/// stripe runs the full column recurrence X * op(A) = B on its rows.
+template <typename T>
+void rightSolveStripe(Uplo uplo, Diag diag, index_t n, const T* a, index_t lda,
+                      T* b, index_t ldb, index_t i0, index_t i1) {
+  if (uplo == Uplo::kUpper) {
+    for (index_t j = 0; j < n; ++j) {
+      const T* acol = a + j * lda;
+      T* bcol = b + j * ldb;
+      for (index_t l = 0; l < j; ++l) {
+        const T ax = acol[l];
+        const T* xcol = b + l * ldb;
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] -= xcol[i] * ax;
+        }
+      }
+      if (diag == Diag::kNonUnit) {
+        const T pivot = acol[j];
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] /= pivot;
+        }
+      }
+    }
+  } else {
+    for (index_t j = n - 1; j >= 0; --j) {
+      const T* acol = a + j * lda;
+      T* bcol = b + j * ldb;
+      for (index_t l = j + 1; l < n; ++l) {
+        const T ax = acol[l];
+        const T* xcol = b + l * ldb;
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] -= xcol[i] * ax;
+        }
+      }
+      if (diag == Diag::kNonUnit) {
+        const T pivot = acol[j];
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] /= pivot;
+        }
+      }
+    }
+  }
+}
+
+/// Right-side TRANSPOSED solve on rows [i0, i1): X * A^T = B is solved by
+/// the recurrence over columns with op(A)[l][j] = A[j][l] (row access).
+template <typename T>
+void rightSolveTransStripe(Uplo uplo, Diag diag, index_t n, const T* a,
+                           index_t lda, T* b, index_t ldb, index_t i0,
+                           index_t i1) {
+  if (uplo == Uplo::kUpper) {
+    // op(A) is lower: process columns descending.
+    for (index_t j = n - 1; j >= 0; --j) {
+      T* bcol = b + j * ldb;
+      for (index_t l = j + 1; l < n; ++l) {
+        const T ax = a[j + l * lda];  // op(A)[l][j] = A[j][l]
+        const T* xcol = b + l * ldb;
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] -= xcol[i] * ax;
+        }
+      }
+      if (diag == Diag::kNonUnit) {
+        const T pivot = a[j + j * lda];
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] /= pivot;
+        }
+      }
+    }
+  } else {
+    // op(A) is upper: process columns ascending.
+    for (index_t j = 0; j < n; ++j) {
+      T* bcol = b + j * ldb;
+      for (index_t l = 0; l < j; ++l) {
+        const T ax = a[j + l * lda];
+        const T* xcol = b + l * ldb;
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] -= xcol[i] * ax;
+        }
+      }
+      if (diag == Diag::kNonUnit) {
+        const T pivot = a[j + j * lda];
+        for (index_t i = i0; i < i1; ++i) {
+          bcol[i] /= pivot;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void trsmCore(Side side, Uplo uplo, Trans trans, Diag diag, index_t m,
+              index_t n, T alpha, const T* a, index_t lda, T* b, index_t ldb,
+              ThreadPool* pool) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "trsm dims must be >= 0");
+  if (m == 0 || n == 0) {
+    return;
+  }
+  const index_t triOrder = (side == Side::kLeft) ? m : n;
+  HPLMXP_REQUIRE(lda >= triOrder, "trsm: lda too small");
+  HPLMXP_REQUIRE(ldb >= m, "trsm: ldb too small");
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+
+  if (side == Side::kLeft) {
+    const index_t stripes = ceilDiv(n, kStripe);
+    pool->parallelFor(0, stripes, [&](index_t s) {
+      const index_t j0 = s * kStripe;
+      const index_t j1 = std::min(n, j0 + kStripe);
+      scaleColumns(b, ldb, m, j0, j1, alpha);
+      if (trans == Trans::kNoTrans) {
+        leftSolveStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
+      } else {
+        leftSolveTransStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
+      }
+    });
+  } else {
+    const index_t stripes = ceilDiv(m, kStripe);
+    pool->parallelFor(0, stripes, [&](index_t s) {
+      const index_t i0 = s * kStripe;
+      const index_t i1 = std::min(m, i0 + kStripe);
+      if (alpha != T{1}) {
+        for (index_t j = 0; j < n; ++j) {
+          T* col = b + j * ldb;
+          for (index_t i = i0; i < i1; ++i) {
+            col[i] *= alpha;
+          }
+        }
+      }
+      if (trans == Trans::kNoTrans) {
+        rightSolveStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
+      } else {
+        rightSolveTransStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void strsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, float alpha,
+           const float* a, index_t lda, float* b, index_t ldb,
+           ThreadPool* pool) {
+  trsmCore<float>(side, uplo, Trans::kNoTrans, diag, m, n, alpha, a, lda, b,
+                  ldb, pool);
+}
+
+void dtrsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, double alpha,
+           const double* a, index_t lda, double* b, index_t ldb,
+           ThreadPool* pool) {
+  trsmCore<double>(side, uplo, Trans::kNoTrans, diag, m, n, alpha, a, lda, b,
+                   ldb, pool);
+}
+
+void strsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+           float alpha, const float* a, index_t lda, float* b, index_t ldb,
+           ThreadPool* pool) {
+  trsmCore<float>(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb, pool);
+}
+
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+           double alpha, const double* a, index_t lda, double* b, index_t ldb,
+           ThreadPool* pool) {
+  trsmCore<double>(side, uplo, trans, diag, m, n, alpha, a, lda, b, ldb,
+                   pool);
+}
+
+}  // namespace hplmxp::blas

@@ -1,0 +1,52 @@
+// Triangular solve with multiple right-hand sides:
+//   Side::kLeft :  op(A) * X = alpha * B   (X overwrites B)
+//   Side::kRight:  X * op(A) = alpha * B
+//
+// Algorithm 1 uses two variants per iteration ("Panel Update"):
+//   * TRSM_L_LOW  — Left / Lower / Unit: U(k, k+1:n) = L11^{-1} A(k, k+1:n)
+//   * TRSM_R_UP   — Right / Upper / NonUnit: L(k+1:n, k) = A(k+1:n, k) U11^{-1}
+//
+// The triangular matrix A is B x B (small); B has panel shape. The solve is
+// blocked: forward/backward substitution over kNb-wide stripes with GEMM
+// updates in between, parallelized over right-hand-side columns (kLeft) or
+// rows (kRight).
+#pragma once
+
+#include "blas/types.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp::blas {
+
+/// FP32 TRSM (no transpose of the triangular factor; both side/uplo/diag
+/// combinations used by HPL-AI and their mirrors are supported).
+void strsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, float alpha,
+           const float* a, index_t lda, float* b, index_t ldb,
+           ThreadPool* pool = nullptr);
+
+/// FP64 TRSM for the HPL comparison path.
+void dtrsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, double alpha,
+           const double* a, index_t lda, double* b, index_t ldb,
+           ThreadPool* pool = nullptr);
+
+/// Full-surface TRSM with an op(A) transpose flag (the complete BLAS
+/// signature; op(A)=A^T solves arise in left-looking LU and least-squares
+/// variants). The four-argument overloads above are the NoTrans shorthand.
+void strsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+           float alpha, const float* a, index_t lda, float* b, index_t ldb,
+           ThreadPool* pool = nullptr);
+void dtrsm(Side side, Uplo uplo, Trans trans, Diag diag, index_t m, index_t n,
+           double alpha, const double* a, index_t lda, double* b, index_t ldb,
+           ThreadPool* pool = nullptr);
+
+/// Flop count convention for TRSM: m*n*k where k is the triangle order
+/// (i.e. n*m^2 for Left, m*n^2 for Right).
+constexpr double trsmFlops(Side side, index_t m, index_t n) {
+  return side == Side::kLeft
+             ? static_cast<double>(n) * static_cast<double>(m) *
+                   static_cast<double>(m)
+             : static_cast<double>(m) * static_cast<double>(n) *
+                   static_cast<double>(n);
+}
+
+}  // namespace hplmxp::blas

@@ -1,0 +1,57 @@
+#include "blas/trsv.h"
+
+namespace hplmxp::blas {
+
+namespace {
+
+/// TA: factor type; TX: vector/accumulator type.
+template <typename TA, typename TX>
+void trsvCore(Uplo uplo, Diag diag, index_t n, const TA* a, index_t lda,
+              TX* x) {
+  HPLMXP_REQUIRE(n >= 0, "trsv: n must be >= 0");
+  HPLMXP_REQUIRE(lda >= (n > 0 ? n : 1), "trsv: lda too small");
+  if (uplo == Uplo::kLower) {
+    // Forward substitution, column-oriented.
+    for (index_t j = 0; j < n; ++j) {
+      const TA* col = a + j * lda;
+      if (diag == Diag::kNonUnit) {
+        x[j] /= static_cast<TX>(col[j]);
+      }
+      const TX xj = x[j];
+      for (index_t i = j + 1; i < n; ++i) {
+        x[i] -= static_cast<TX>(col[i]) * xj;
+      }
+    }
+  } else {
+    // Backward substitution.
+    for (index_t j = n - 1; j >= 0; --j) {
+      const TA* col = a + j * lda;
+      if (diag == Diag::kNonUnit) {
+        x[j] /= static_cast<TX>(col[j]);
+      }
+      const TX xj = x[j];
+      for (index_t i = 0; i < j; ++i) {
+        x[i] -= static_cast<TX>(col[i]) * xj;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dtrsv(Uplo uplo, Diag diag, index_t n, const double* a, index_t lda,
+           double* x) {
+  trsvCore<double, double>(uplo, diag, n, a, lda, x);
+}
+
+void strsv(Uplo uplo, Diag diag, index_t n, const float* a, index_t lda,
+           float* x) {
+  trsvCore<float, float>(uplo, diag, n, a, lda, x);
+}
+
+void strsvMixed(Uplo uplo, Diag diag, index_t n, const float* a, index_t lda,
+                double* x) {
+  trsvCore<float, double>(uplo, diag, n, a, lda, x);
+}
+
+}  // namespace hplmxp::blas

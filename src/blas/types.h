@@ -1,0 +1,16 @@
+// Shared BLAS enums and conventions.
+//
+// All matrices are column-major with an explicit leading dimension, exactly
+// like the cuBLAS/rocBLAS routines listed in Table II of the paper. The
+// naming (GEMM, TRSM, GETRF, TRSV, GEMV) follows the BLAS Technical Forum
+// standard the paper references.
+#pragma once
+
+namespace hplmxp::blas {
+
+enum class Side { kLeft, kRight };
+enum class Uplo { kLower, kUpper };
+enum class Trans { kNoTrans, kTrans };
+enum class Diag { kUnit, kNonUnit };
+
+}  // namespace hplmxp::blas

@@ -1,0 +1,361 @@
+#include "cli/commands.h"
+
+#include <cstdio>
+
+#include "core/hpl_dist.h"
+#include "core/hplai.h"
+#include "core/verify.h"
+#include "device/shim.h"
+#include "machine/variability.h"
+#include "perfmodel/param_search.h"
+#include "scalesim/scale_sim.h"
+#include "trace/progress.h"
+#include "trace/reference.h"
+#include "trace/slow_node.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace hplmxp::cli {
+
+namespace {
+
+/// Layers config file (--config) under the command-line options and
+/// applies the global --verbose / --quiet switches.
+Options layered(const Options& cmdline) {
+  Options merged = cmdline;
+  if (cmdline.has("config")) {
+    merged = Options::parseFile(cmdline.getString("config", ""));
+    merged.merge(cmdline);
+  }
+  if (merged.getBool("verbose", false)) {
+    Log::setLevel(LogLevel::kInfo);
+  } else if (merged.getBool("quiet", false)) {
+    Log::setLevel(LogLevel::kError);
+  }
+  return merged;
+}
+
+void warnUnused(const Options& opts) {
+  for (const std::string& key : opts.unusedKeys()) {
+    std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+  }
+}
+
+MachineKind machineFrom(const Options& opts) {
+  const std::string name = opts.getString("machine", "frontier");
+  if (name == "summit") {
+    return MachineKind::kSummit;
+  }
+  HPLMXP_REQUIRE(name == "frontier", "machine must be summit or frontier");
+  return MachineKind::kFrontier;
+}
+
+}  // namespace
+
+int cmdRun(const Options& raw) {
+  const Options opts = layered(raw);
+  HplaiConfig cfg;
+  cfg.n = opts.getInt("n", 512);
+  cfg.b = opts.getInt("b", 64);
+  cfg.pr = opts.getInt("pr", 2);
+  cfg.pc = opts.getInt("pc", 2);
+  cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
+  cfg.panelBcast =
+      simmpi::bcastStrategyFromString(opts.getString("bcast", "ring2m"));
+  cfg.lookahead = opts.getBool("lookahead", true);
+  cfg.collectTrace = opts.getBool("trace", false);
+  cfg.refiner = opts.getString("refiner", "ir") == "gmres"
+                    ? HplaiConfig::Refiner::kGmres
+                    : HplaiConfig::Refiner::kClassicIr;
+  cfg.vendor =
+      opts.getString("vendor", "amd") == "nvidia" ? Vendor::kNvidia
+                                                  : Vendor::kAmd;
+  const bool warmup = opts.getBool("warmup", false);
+  const std::string saveReference = opts.getString("save-reference", "");
+  const std::string reference = opts.getString("reference", "");
+  if (!saveReference.empty()) {
+    cfg.collectTrace = true;  // the reference IS the recorded trace
+  }
+  if (!reference.empty()) {
+    // Monitor this run against the recorded healthy run and terminate it
+    // early if it falls behind (Sec. VI-B).
+    auto monitor = std::make_shared<ProgressMonitor>(
+        ProgressPolicy{.slowdownFactor = opts.getDouble("slowdown", 3.0),
+                       .strikes = opts.getInt("strikes", 3)},
+        referenceFromTrace(loadReferenceTrace(reference)));
+    cfg.progressCallback = [monitor](index_t k, double seconds) {
+      return monitor->observe(k, seconds) == ProgressVerdict::kTerminate;
+    };
+  }
+  warnUnused(opts);
+
+  // Sec. III-C: adjust N to a multiple of Pr, Pc and B.
+  const index_t adjusted = adjustProblemSize(cfg.n, cfg.b, cfg.pr, cfg.pc);
+  if (adjusted != cfg.n) {
+    std::printf("adjusting N: %lld -> %lld (multiple of B*lcm(Pr,Pc))\n",
+                (long long)cfg.n, (long long)adjusted);
+    cfg.n = adjusted;
+  }
+
+  if (warmup) {
+    // Finding 10: run the mini-benchmark first to warm caches/clocks.
+    const double rate = runMiniBenchmark(std::min<index_t>(cfg.n, 256),
+                                         std::min<index_t>(cfg.b, 64),
+                                         cfg.vendor, cfg.seed);
+    std::printf("warm-up mini-benchmark: %.2f GFLOP/s\n", rate / 1e9);
+  }
+
+  std::printf("hplmxp run: N=%lld B=%lld grid=%lldx%lld bcast=%s "
+              "refiner=%s\n",
+              (long long)cfg.n, (long long)cfg.b, (long long)cfg.pr,
+              (long long)cfg.pc, simmpi::toString(cfg.panelBcast).c_str(),
+              cfg.refiner == HplaiConfig::Refiner::kGmres ? "gmres" : "ir");
+
+  std::vector<double> x;
+  const HplaiResult r = runHplai(cfg, &x);
+  if (r.aborted) {
+    std::printf("RUN ABORTED by the progress monitor after %.3f s — the "
+                "run fell behind the recorded reference.\n",
+                r.factorSeconds);
+    return 3;
+  }
+  const ProblemGenerator gen(cfg.seed, cfg.n);
+  const bool valid = hplaiValid(gen, x);
+  if (!saveReference.empty()) {
+    saveReferenceTrace(saveReference, r.trace);
+    std::printf("saved per-iteration reference trace to %s (%zu steps)\n",
+                saveReference.c_str(), r.trace.size());
+  }
+
+  Table t({"metric", "value"});
+  t.addRow({"factor seconds", Table::num(r.factorSeconds, 4)});
+  t.addRow({"refine seconds", Table::num(r.irSeconds, 4)});
+  t.addRow({"GFLOP/s (HPL-AI convention)", Table::num(r.gflopsTotal(), 2)});
+  t.addRow({"refinement iterations", Table::num((long long)r.irIterations)});
+  t.addRow({"residual", Table::sci(r.residualInf)});
+  t.addRow({"threshold", Table::sci(r.threshold)});
+  t.addRow({"converged", r.converged ? "yes" : "NO"});
+  t.addRow({"verified (dense FP64)", valid ? "yes" : "NO"});
+  t.print();
+
+  if (!r.trace.empty()) {
+    // Fig. 10-style progress report from the recorded per-iteration data.
+    std::printf("\nper-iteration breakdown (rank 0):\n");
+    const ProgressMonitor reporter(ProgressPolicy{}, nullptr);
+    const std::size_t step = std::max<std::size_t>(1, r.trace.size() / 12);
+    for (std::size_t k = 0; k < r.trace.size(); k += step) {
+      std::printf("%s\n", reporter.reportLine(r.trace[k]).c_str());
+    }
+  }
+  return r.converged && valid ? 0 : 1;
+}
+
+int cmdHpl(const Options& raw) {
+  const Options opts = layered(raw);
+  HplDistConfig cfg;
+  cfg.n = opts.getInt("n", 384);
+  cfg.b = opts.getInt("b", 32);
+  cfg.pr = opts.getInt("pr", 2);
+  cfg.pc = opts.getInt("pc", 2);
+  cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
+  cfg.diagShift = opts.getDouble("diag-shift", -1.0);
+  cfg.panelBcast =
+      simmpi::bcastStrategyFromString(opts.getString("bcast", "bcast"));
+  warnUnused(opts);
+
+  std::printf("hplmxp hpl (FP64, pivoted): N=%lld B=%lld grid=%lldx%lld\n",
+              (long long)cfg.n, (long long)cfg.b, (long long)cfg.pr,
+              (long long)cfg.pc);
+  const HplDistResult r = runHplDist(cfg);
+  Table t({"metric", "value"});
+  t.addRow({"factor seconds", Table::num(r.factorSeconds, 4)});
+  t.addRow({"solve seconds", Table::num(r.solveSeconds, 4)});
+  t.addRow({"GFLOP/s (HPL convention)", Table::num(r.gflops(), 2)});
+  t.addRow({"row interchanges", Table::num((long long)r.rowSwaps)});
+  t.addRow({"scaled residual", Table::num(r.scaledResidual, 4)});
+  t.addRow({"passes (< 16)", r.passed() ? "yes" : "NO"});
+  t.print();
+  return r.passed() ? 0 : 1;
+}
+
+int cmdProject(const Options& raw) {
+  const Options opts = layered(raw);
+  ScaleSimConfig cfg;
+  cfg.machine = machineFrom(opts);
+  const bool summit = cfg.machine == MachineKind::kSummit;
+  cfg.nl = opts.getInt("nl", summit ? 61440 : 119808);
+  cfg.b = opts.getInt("b", summit ? 768 : 3072);
+  cfg.pr = opts.getInt("pr", summit ? 162 : 172);
+  cfg.pc = opts.getInt("pc", cfg.pr);
+  cfg.qr = opts.getInt("qr", summit ? 3 : 4);
+  cfg.qc = opts.getInt("qc", 2);
+  cfg.gridOrder = opts.getBool("col-major", false)
+                      ? GridOrder::kColumnMajor
+                      : GridOrder::kNodeLocal;
+  cfg.strategy = simmpi::bcastStrategyFromString(
+      opts.getString("bcast", summit ? "bcast" : "ring2m"));
+  cfg.lookahead = opts.getBool("lookahead", true);
+  cfg.portBinding = opts.getBool("port-binding", true);
+  cfg.gpuAwareMpi = opts.getBool("gpu-aware", true);
+  cfg.slowestGcdMultiplier = opts.getDouble("slowest-gcd", 0.97);
+  warnUnused(opts);
+
+  const ScaleSimResult r = simulateRun(cfg);
+  Table t({"metric", "value"});
+  t.addRow({"machine", toString(cfg.machine)});
+  t.addRow({"N", Table::num((long long)r.n)});
+  t.addRow({"GCDs", Table::num((long long)r.ranks)});
+  t.addRow({"factor seconds", Table::num(r.factorSeconds, 1)});
+  t.addRow({"refine seconds", Table::num(r.irSeconds, 1)});
+  t.addRow({"EFLOPS", Table::num(r.exaflops, 3)});
+  t.addRow({"TF per GCD", Table::num(r.ratePerGcd / 1e12, 2)});
+  t.addRow({"comm-bound iterations",
+            Table::num(r.commBoundFraction * 100.0, 1) + "%"});
+  t.print();
+  return 0;
+}
+
+int cmdTune(const Options& raw) {
+  const Options opts = layered(raw);
+  const MachineKind kind = machineFrom(opts);
+  const bool summit = kind == MachineKind::kSummit;
+  const index_t pr = opts.getInt("pr", summit ? 54 : 32);
+  const index_t nl = opts.getInt("nl", summit ? 61440 : 119808);
+  const double nbb = opts.getDouble("nbb", summit ? 4e9 : 8e9);
+  warnUnused(opts);
+
+  const KernelModel kernels(kind);
+  ModelInput in{.n = nl * pr, .b = 0, .pr = pr, .pc = pr, .nbb = nbb};
+  const BSearchResult r = searchBlockSize(kernels, in);
+  Table t({"B", "Eq.3 GF/GCD", "GETRF/GEMM", "admissible"});
+  for (const BSearchEntry& e : r.entries) {
+    t.addRow({Table::num((long long)e.b), Table::num(e.ratePerGcd / 1e9, 0),
+              Table::num(e.getrfOverGemm * 100.0, 1) + "%",
+              e.admissible ? "yes" : "no"});
+  }
+  t.print();
+  std::printf("selected B (paper heuristic): %lld\n", (long long)r.bestB);
+
+  if (!summit) {
+    const auto nls =
+        searchLocalSize(kernels, r.bestB, pr, pr, nbb,
+                        {116736, 119808, 122880});
+    Table nt({"N_L", "GEMM rate (TF)", "projected GF/GCD", "LDA pathology"});
+    for (const auto& e : nls) {
+      nt.addRow({Table::num((long long)e.nl),
+                 Table::num(e.gemmRateAtScale / 1e12, 1),
+                 Table::num(e.ratePerGcd / 1e9, 0),
+                 isPathologicalLda(e.nl) ? "yes" : "no"});
+    }
+    nt.print();
+  }
+  return 0;
+}
+
+int cmdScan(const Options& raw) {
+  const Options opts = layered(raw);
+  const index_t fleet = opts.getInt("fleet", 512);
+  const double degraded = opts.getDouble("degraded", 0.01);
+  const index_t n = opts.getInt("n", 256);
+  const index_t b = opts.getInt("b", 64);
+  warnUnused(opts);
+
+  const double nominal = runMiniBenchmark(n, b, Vendor::kAmd);
+  const GcdVariability model(VariabilityConfig{.seed = 0xF1EE7,
+                                               .spread = 0.05,
+                                               .slowFraction = degraded,
+                                               .slowPenalty = 0.25});
+  std::vector<double> rates;
+  for (index_t i = 0; i < fleet; ++i) {
+    rates.push_back(nominal * model.multiplier(i));
+  }
+  const ScanReport report = SlowNodeScanner().scan(rates);
+  Table t({"metric", "value"});
+  t.addRow({"fleet", Table::num((long long)fleet)});
+  t.addRow({"median GF/s", Table::num(report.median / 1e9, 2)});
+  t.addRow({"spread", Table::num(report.spreadPercent, 1) + "%"});
+  t.addRow({"flagged", Table::num((long long)report.flagged.size())});
+  t.addRow({"pipeline pace gain",
+            Table::num((report.keptMinRate / report.min - 1.0) * 100.0, 1) +
+                "%"});
+  t.print();
+  return 0;
+}
+
+int cmdSpecs(const Options& raw) {
+  warnUnused(raw);
+  for (MachineKind kind : {MachineKind::kSummit, MachineKind::kFrontier}) {
+    const MachineSpec& s = machineSpec(kind);
+    std::printf("\n%s: %lld nodes x %lld GCDs (%s), %.0f/%.2f TF "
+                "FP16/FP64 per GCD, %.1f GB/s NIC per node\n",
+                s.name.c_str(), (long long)s.nodes, (long long)s.gcdsPerNode,
+                s.gpuModel.c_str(), s.fp16TflopsPerGcd, s.fp64TflopsPerGcd,
+                s.nicGBsPerNodeEachWay);
+    const BlasShim shim(s.vendor);
+    std::printf("  BLAS: %s / %s / %s\n", shim.routineNames().gemm.c_str(),
+                shim.routineNames().trsm.c_str(),
+                shim.routineNames().getrf.c_str());
+  }
+  return 0;
+}
+
+std::string usage() {
+  return
+      "hplmxp — mixed-precision HPL-AI/HPL-MxP benchmark reproduction\n"
+      "\n"
+      "usage: hplmxp <command> [--key value ...] [--config file]\n"
+      "\n"
+      "commands:\n"
+      "  run      functional distributed HPL-AI on this host\n"
+      "           (--n --b --pr --pc --bcast --refiner ir|gmres\n"
+      "            --lookahead on|off --vendor amd|nvidia --seed\n"
+      "            --trace --warmup --save-reference FILE\n"
+      "            --reference FILE [--slowdown X --strikes N])\n"
+      "  hpl      functional distributed FP64 HPL baseline\n"
+      "           (--n --b --pr --pc --diag-shift --bcast)\n"
+      "  project  at-scale projection on the Summit/Frontier models\n"
+      "           (--machine --nl --b --pr --qr --qc --bcast --col-major\n"
+      "            --port-binding --gpu-aware --slowest-gcd)\n"
+      "  tune     block-size / local-size search (--machine --pr --nl)\n"
+      "  scan     slow-node mini-benchmark scan (--fleet --degraded)\n"
+      "  specs    print machine specs and the BLAS dispatch map\n"
+      "  help     this text\n";
+}
+
+int dispatch(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    std::fputs(usage().c_str(), stdout);
+    return args.empty() ? 1 : 0;
+  }
+  const std::string cmd = args[0];
+  const Options opts =
+      Options::parseArgs({args.begin() + 1, args.end()});
+  try {
+    if (cmd == "run") {
+      return cmdRun(opts);
+    }
+    if (cmd == "hpl") {
+      return cmdHpl(opts);
+    }
+    if (cmd == "project") {
+      return cmdProject(opts);
+    }
+    if (cmd == "tune") {
+      return cmdTune(opts);
+    }
+    if (cmd == "scan") {
+      return cmdScan(opts);
+    }
+    if (cmd == "specs") {
+      return cmdSpecs(opts);
+    }
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n%s", cmd.c_str(),
+               usage().c_str());
+  return 1;
+}
+
+}  // namespace hplmxp::cli

@@ -1,0 +1,33 @@
+// Subcommand implementations of the hplmxp driver binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cli/options.h"
+
+namespace hplmxp::cli {
+
+/// Dispatches `hplmxp <subcommand> [options]`. Returns the process exit
+/// code. Recognized subcommands:
+///   run      — functional distributed HPL-AI on this host
+///   hpl      — functional distributed FP64 HPL baseline
+///   project  — at-scale performance projection (Summit/Frontier models)
+///   tune     — block-size / local-size parameter search
+///   scan     — slow-node mini-benchmark scan of a simulated fleet
+///   specs    — print the machine specs (Table I) and shim map (Table II)
+///   help     — usage
+int dispatch(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string usage();
+
+// Individual commands (exposed for tests).
+int cmdRun(const Options& opts);
+int cmdHpl(const Options& opts);
+int cmdProject(const Options& opts);
+int cmdTune(const Options& opts);
+int cmdScan(const Options& opts);
+int cmdSpecs(const Options& opts);
+
+}  // namespace hplmxp::cli

@@ -1,0 +1,10 @@
+// Entry point of the hplmxp driver binary.
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return hplmxp::cli::dispatch(args);
+}

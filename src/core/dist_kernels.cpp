@@ -1,0 +1,95 @@
+#include "core/dist_kernels.h"
+
+#include <cmath>
+
+namespace hplmxp {
+
+namespace {
+
+/// Shared core of residual/matvec: out = sign * A*x (+ b if addRhs), all
+/// via regeneration and one Allreduce.
+void regenApply(DistContext& ctx, const ProblemGenerator& gen,
+                const std::vector<double>& x, std::vector<double>& out,
+                double sign, bool addRhs) {
+  const BlockCyclic& layout = ctx.layout();
+  const index_t n = layout.n();
+  const index_t b = layout.blockSize();
+  HPLMXP_REQUIRE(static_cast<index_t>(x.size()) == n, "x size mismatch");
+  out.assign(static_cast<std::size_t>(n), 0.0);
+
+  Buffer<double> tile(b * b);
+  const index_t lbr = layout.localBlockRows(ctx.myRow());
+  const index_t lbc = layout.localBlockCols(ctx.myCol());
+  for (index_t lj = 0; lj < lbc; ++lj) {
+    const index_t gj = layout.globalBlockCol(ctx.myCol(), lj);
+    for (index_t li = 0; li < lbr; ++li) {
+      const index_t gi = layout.globalBlockRow(ctx.myRow(), li);
+      gen.fillTile<double>(gi * b, gj * b, b, b, tile.data(), b);
+      double* seg = out.data() + gi * b;
+      for (index_t j = 0; j < b; ++j) {
+        const double xj =
+            sign * x[static_cast<std::size_t>(gj * b + j)];
+        const double* col = tile.data() + j * b;
+        for (index_t i = 0; i < b; ++i) {
+          seg[i] += col[i] * xj;
+        }
+      }
+    }
+  }
+
+  ctx.world().allreduceSum(out.data(), n);
+  if (addRhs) {
+    Buffer<double> bvec(n);
+    gen.fillRhs<double>(0, n, bvec.data());
+    for (index_t i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] += bvec[i];
+    }
+  }
+}
+
+}  // namespace
+
+void distributedResidual(DistContext& ctx, const ProblemGenerator& gen,
+                         const std::vector<double>& x,
+                         std::vector<double>& r) {
+  regenApply(ctx, gen, x, r, /*sign=*/-1.0, /*addRhs=*/true);
+}
+
+void distributedMatVec(DistContext& ctx, const ProblemGenerator& gen,
+                       const std::vector<double>& x, std::vector<double>& y) {
+  regenApply(ctx, gen, x, y, /*sign=*/1.0, /*addRhs=*/false);
+}
+
+double distributedMatrixInfNorm(DistContext& ctx,
+                                const ProblemGenerator& gen) {
+  const BlockCyclic& layout = ctx.layout();
+  const index_t n = layout.n();
+  const index_t b = layout.blockSize();
+  std::vector<double> rowSums(static_cast<std::size_t>(n), 0.0);
+
+  Buffer<double> tile(b * b);
+  const index_t lbr = layout.localBlockRows(ctx.myRow());
+  const index_t lbc = layout.localBlockCols(ctx.myCol());
+  for (index_t lj = 0; lj < lbc; ++lj) {
+    const index_t gj = layout.globalBlockCol(ctx.myCol(), lj);
+    for (index_t li = 0; li < lbr; ++li) {
+      const index_t gi = layout.globalBlockRow(ctx.myRow(), li);
+      gen.fillTile<double>(gi * b, gj * b, b, b, tile.data(), b);
+      double* seg = rowSums.data() + gi * b;
+      for (index_t j = 0; j < b; ++j) {
+        const double* col = tile.data() + j * b;
+        for (index_t i = 0; i < b; ++i) {
+          seg[i] += std::fabs(col[i]);
+        }
+      }
+    }
+  }
+  ctx.world().allreduceSum(rowSums.data(), n);
+  double best = 0.0;
+  for (double v : rowSums) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+}  // namespace hplmxp

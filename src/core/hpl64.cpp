@@ -1,0 +1,63 @@
+#include "core/hpl64.h"
+
+#include <cmath>
+#include <limits>
+
+#include "blas/blas.h"
+#include "util/buffer.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+
+Hpl64Result runHpl64(const ProblemGenerator& gen, std::vector<double>& x) {
+  const index_t n = gen.n();
+  Hpl64Result result;
+  result.n = n;
+
+  Buffer<double> a(n * n);
+  gen.fillTile<double>(0, 0, n, n, a.data(), n);
+  Buffer<double> bvec(n);
+  gen.fillRhs<double>(0, n, bvec.data());
+
+  Timer timer;
+  std::vector<index_t> ipiv;
+  blas::dgetrf(n, a.data(), n, ipiv);
+  result.factorSeconds = timer.seconds();
+
+  timer.reset();
+  x.assign(bvec.data(), bvec.data() + n);
+  // Apply the row interchanges to the right-hand side, then L, U solves.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t piv = ipiv[static_cast<std::size_t>(k)];
+    if (piv != k) {
+      std::swap(x[static_cast<std::size_t>(k)],
+                x[static_cast<std::size_t>(piv)]);
+    }
+  }
+  blas::dtrsv(blas::Uplo::kLower, blas::Diag::kUnit, n, a.data(), n, x.data());
+  blas::dtrsv(blas::Uplo::kUpper, blas::Diag::kNonUnit, n, a.data(), n,
+              x.data());
+  result.solveSeconds = timer.seconds();
+
+  // HPL residual check against regenerated A.
+  Buffer<double> row(n);
+  double rInf = 0.0;
+  double xInf = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    gen.fillTile<double>(i, 0, 1, n, row.data(), 1);
+    double acc = -bvec[i];
+    for (index_t j = 0; j < n; ++j) {
+      acc += row[j] * x[static_cast<std::size_t>(j)];
+    }
+    rInf = std::max(rInf, std::fabs(acc));
+    xInf = std::max(xInf, std::fabs(x[static_cast<std::size_t>(i)]));
+  }
+  const double aInf = gen.matrixInfNorm();
+  const double bInf = gen.rhsInfNorm();
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  result.scaledResidual =
+      rInf / (kEps * (aInf * xInf + bInf) * static_cast<double>(n));
+  return result;
+}
+
+}  // namespace hplmxp

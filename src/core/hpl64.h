@@ -1,0 +1,37 @@
+// FP64 HPL-style baseline: LU with partial pivoting in double precision
+// plus the classical HPL residual check. The paper contrasts HPL-AI with
+// HPL throughout (Summit: 1.411 EFLOPS vs 148.6 PFLOPS => 9.5x); this
+// module provides the functional FP64 comparator, and the scalesim module
+// provides the at-scale performance comparison.
+#pragma once
+
+#include <vector>
+
+#include "gen/matgen.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct Hpl64Result {
+  index_t n = 0;
+  double factorSeconds = 0.0;
+  double solveSeconds = 0.0;
+  /// HPL flop convention: (2/3) n^3 + 2 n^2.
+  [[nodiscard]] double flops() const {
+    const double d = static_cast<double>(n);
+    return (2.0 / 3.0) * d * d * d + 2.0 * d * d;
+  }
+  [[nodiscard]] double gflops() const {
+    const double t = factorSeconds + solveSeconds;
+    return t > 0.0 ? flops() / t / 1e9 : 0.0;
+  }
+  /// HPL scaled residual ||Ax-b||_inf / (eps * (||A||_inf ||x||_inf +
+  /// ||b||_inf) * n); valid runs have it below 16.
+  double scaledResidual = 0.0;
+  [[nodiscard]] bool passed() const { return scaledResidual < 16.0; }
+};
+
+/// Solves the generated system entirely in FP64 with partial pivoting.
+Hpl64Result runHpl64(const ProblemGenerator& gen, std::vector<double>& x);
+
+}  // namespace hplmxp

@@ -1,0 +1,29 @@
+// The HPL-AI benchmark driver (Algorithm 1 end to end).
+//
+// Per rank: generate the local piece of A in FP64 by LCG regeneration,
+// narrow it to FP32 ("copy to the GPU" — the whole local matrix is device
+// resident, Finding 1), run the distributed mixed-precision block LU, then
+// iterative refinement in FP64 until the HPL-AI criterion is met, and
+// report effective FLOP/s using the HPL-AI flop convention
+// (2/3 N^3 + 3/2 N^2 over the *total* wall time including refinement).
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "simmpi/comm.h"
+
+namespace hplmxp {
+
+/// Runs the full benchmark on an existing communicator (one call per rank;
+/// collective). Every rank returns the same result (timings from rank 0).
+/// If `solutionOut` is non-null it receives the FP64 solution vector.
+HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
+                           std::vector<double>* solutionOut = nullptr);
+
+/// Convenience wrapper: spins up config.pr*config.pc ranks on the simmpi
+/// runtime, runs the benchmark, and returns rank 0's result.
+HplaiResult runHplai(const HplaiConfig& config,
+                     std::vector<double>* solutionOut = nullptr);
+
+}  // namespace hplmxp

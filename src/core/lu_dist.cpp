@@ -1,0 +1,260 @@
+#include "core/lu_dist.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "blas/blas.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+
+using simmpi::broadcast;
+
+DistLU::DistLU(DistContext& ctx, const HplaiConfig& config, BlasShim& shim)
+    : ctx_(ctx), config_(config), shim_(shim) {
+  const index_t b = config_.b;
+  diagBuf_.allocate(b * b);
+  const index_t panelBufs = config_.lookahead ? 2 : 1;
+  for (index_t i = 0; i < panelBufs; ++i) {
+    lHalf_[i].allocate(ctx_.localRows() * b);
+    uHalf_[i].allocate(ctx_.localCols() * b);
+  }
+}
+
+DistLU::StepGeom DistLU::geometry(index_t k) const {
+  const BlockCyclic& layout = ctx_.layout();
+  StepGeom g;
+  g.k = k;
+  g.pir = k % layout.pr();
+  g.pic = k % layout.pc();
+  g.iStartBlk = layout.firstLocalBlockRowAtOrAfter(ctx_.myRow(), k + 1);
+  g.jStartBlk = layout.firstLocalBlockColAtOrAfter(ctx_.myCol(), k + 1);
+  g.h = ctx_.localRows() - g.iStartBlk * config_.b;
+  g.w = ctx_.localCols() - g.jStartBlk * config_.b;
+  g.ownRow = ctx_.myRow() == g.pir;
+  g.ownCol = ctx_.myCol() == g.pic;
+  g.ownDiag = g.ownRow && g.ownCol;
+  g.lkRow = layout.localBlockRow(k);
+  g.lkCol = layout.localBlockCol(k);
+  return g;
+}
+
+void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
+                         index_t lda, IterationTrace* trace) {
+  const index_t b = config_.b;
+  Timer t;
+
+  // ---- (1a) Diagonal Update --------------------------------------------
+  if (g.ownDiag) {
+    // Pack the diagonal block contiguously, factor, and write it back so
+    // the local matrix ends up holding the final L/U entries.
+    float* src = localA + g.lkRow * b + g.lkCol * b * lda;
+    for (index_t j = 0; j < b; ++j) {
+      std::memcpy(diagBuf_.data() + j * b, src + j * lda,
+                  static_cast<std::size_t>(b) * sizeof(float));
+    }
+    if (shim_.vendor() == Vendor::kNvidia) {
+      (void)shim_.getrfBufferSize(b, b);  // cuSOLVER two-step protocol
+    }
+    shim_.getrf(b, diagBuf_.data(), b);
+    for (index_t j = 0; j < b; ++j) {
+      std::memcpy(src + j * lda, diagBuf_.data() + j * b,
+                  static_cast<std::size_t>(b) * sizeof(float));
+    }
+  }
+  // Broadcast the factored diagonal along the owner's process row and
+  // process column (synchronous tree; the paper neglects its cost).
+  if (g.ownRow) {
+    ctx_.rowComm().bcast(g.pic, diagBuf_.data(), b * b);
+  }
+  if (g.ownCol) {
+    ctx_.colComm().bcast(g.pir, diagBuf_.data(), b * b);
+  }
+  if (trace != nullptr) {
+    trace->diagSeconds += t.seconds();
+  }
+
+  // ---- (1b) Panel Update ------------------------------------------------
+  // U row panel: grid row pir solves L11 * U(k, k+1:) = A(k, k+1:).
+  if (g.ownRow && g.w > 0) {
+    t.reset();
+    float* panel = localA + g.lkRow * b + g.jStartBlk * b * lda;
+    shim_.trsm(blas::Side::kLeft, blas::Uplo::kLower, blas::Diag::kUnit, b,
+               g.w, 1.0f, diagBuf_.data(), b, panel, lda);
+    if (trace != nullptr) {
+      trace->trsmSeconds += t.seconds();
+    }
+    t.reset();
+    blas::transCastToHalf(b, g.w, panel, lda, uHalf_[bufIdx].data(), g.w);
+    if (trace != nullptr) {
+      trace->castSeconds += t.seconds();
+    }
+  }
+  // L column panel: grid column pic solves L(k+1:, k) * U11 = A(k+1:, k).
+  if (g.ownCol && g.h > 0) {
+    t.reset();
+    float* panel = localA + g.iStartBlk * b + g.lkCol * b * lda;
+    shim_.trsm(blas::Side::kRight, blas::Uplo::kUpper, blas::Diag::kNonUnit,
+               g.h, b, 1.0f, diagBuf_.data(), b, panel, lda);
+    if (trace != nullptr) {
+      trace->trsmSeconds += t.seconds();
+    }
+    t.reset();
+    blas::castToHalf(g.h, b, panel, lda, lHalf_[bufIdx].data(), g.h);
+    if (trace != nullptr) {
+      trace->castSeconds += t.seconds();
+    }
+  }
+
+  // Panel broadcasts with the configured strategy: U down each process
+  // column (root pir), L across each process row (root pic). Extents are
+  // consistent within a column/row, so receivers size buffers locally.
+  t.reset();
+  if (g.w > 0) {
+    broadcast(ctx_.colComm(), config_.panelBcast, g.pir,
+              uHalf_[bufIdx].data(), g.w * config_.b);
+  }
+  if (g.h > 0) {
+    broadcast(ctx_.rowComm(), config_.panelBcast, g.pic,
+              lHalf_[bufIdx].data(), g.h * config_.b);
+  }
+  if (trace != nullptr) {
+    trace->bcastSeconds += t.seconds();
+  }
+}
+
+void DistLU::updateRegion(const StepGeom& g, int bufIdx, float* localA,
+                          index_t lda, index_t iBlk0, index_t jBlk0,
+                          index_t rowBlocks, index_t colBlocks) {
+  const index_t b = config_.b;
+  const index_t totalRowBlocks = ctx_.localRows() / b - iBlk0;
+  const index_t totalColBlocks = ctx_.localCols() / b - jBlk0;
+  const index_t mBlocks =
+      rowBlocks < 0 ? totalRowBlocks : std::min(rowBlocks, totalRowBlocks);
+  const index_t nBlocks =
+      colBlocks < 0 ? totalColBlocks : std::min(colBlocks, totalColBlocks);
+  const index_t m = mBlocks * b;
+  const index_t n = nBlocks * b;
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  const half16* lPtr = lHalf_[bufIdx].data() + (iBlk0 - g.iStartBlk) * b;
+  const half16* uPtr = uHalf_[bufIdx].data() + (jBlk0 - g.jStartBlk) * b;
+  float* cPtr = localA + iBlk0 * b + jBlk0 * b * lda;
+  // C -= L * U^T (U was stored transposed by TRANS_CAST).
+  shim_.gemmEx(blas::Trans::kNoTrans, blas::Trans::kTrans, m, n, b, -1.0f,
+               lPtr, g.h, uPtr, g.w, 1.0f, cPtr, lda);
+}
+
+void DistLU::updateFull(const StepGeom& g, int bufIdx, float* localA,
+                        index_t lda, IterationTrace* trace) {
+  Timer t;
+  updateRegion(g, bufIdx, localA, lda, g.iStartBlk, g.jStartBlk, -1, -1);
+  if (trace != nullptr) {
+    trace->gemmSeconds += t.seconds();
+  }
+}
+
+void DistLU::updateStrips(const StepGeom& g, const StepGeom& next, int bufIdx,
+                          float* localA, index_t lda) {
+  // Row strip: the local rows of global block row k+1, across the full
+  // trailing width — they are the first trailing block row on their owner.
+  const bool ownNextRow = ctx_.myRow() == next.pir;
+  const bool ownNextCol = ctx_.myCol() == next.pic;
+  if (ownNextRow) {
+    updateRegion(g, bufIdx, localA, lda, g.iStartBlk, g.jStartBlk, 1, -1);
+  }
+  if (ownNextCol) {
+    // Skip the corner block if this rank owns both strips (it was covered
+    // by the row strip above).
+    const index_t iBlk0 = g.iStartBlk + (ownNextRow ? 1 : 0);
+    updateRegion(g, bufIdx, localA, lda, iBlk0, g.jStartBlk, -1, 1);
+  }
+}
+
+void DistLU::updateBulk(const StepGeom& g, const StepGeom& next, int bufIdx,
+                        float* localA, index_t lda, IterationTrace* trace) {
+  Timer t;
+  const index_t iBlk0 =
+      g.iStartBlk + (ctx_.myRow() == next.pir ? 1 : 0);
+  const index_t jBlk0 =
+      g.jStartBlk + (ctx_.myCol() == next.pic ? 1 : 0);
+  updateRegion(g, bufIdx, localA, lda, iBlk0, jBlk0, -1, -1);
+  if (trace != nullptr) {
+    trace->gemmSeconds += t.seconds();
+  }
+}
+
+bool DistLU::pollAbort(index_t k, double iterSeconds) {
+  if (!progress_) {
+    return false;
+  }
+  // Rank 0 holds the monitor; its verdict is broadcast so every rank stops
+  // at the same block step (the runs-at-scale early-termination policy).
+  std::uint8_t abort = 0;
+  if (ctx_.rank() == 0 && progress_(k, iterSeconds)) {
+    abort = 1;
+  }
+  ctx_.world().bcast(0, &abort, 1);
+  return abort != 0;
+}
+
+std::vector<IterationTrace> DistLU::factor(float* localA, index_t lda) {
+  HPLMXP_REQUIRE(lda >= ctx_.localRows(), "lda too small for local matrix");
+  aborted_ = false;
+  stepsCompleted_ = 0;
+  const index_t nb = ctx_.layout().globalBlocks();
+  const bool tracing = config_.collectTrace && ctx_.rank() == 0;
+  std::vector<IterationTrace> traces;
+  if (tracing) {
+    traces.resize(static_cast<std::size_t>(nb));
+    for (index_t k = 0; k < nb; ++k) {
+      traces[static_cast<std::size_t>(k)].k = k;
+      traces[static_cast<std::size_t>(k)].trailingBlocks = nb - k - 1;
+    }
+  }
+  auto traceAt = [&](index_t k) -> IterationTrace* {
+    return tracing ? &traces[static_cast<std::size_t>(k)] : nullptr;
+  };
+
+  if (!config_.lookahead) {
+    for (index_t k = 0; k < nb; ++k) {
+      ctx_.world().barrier();  // Algorithm 1 line 5
+      Timer iterTimer;
+      const StepGeom g = geometry(k);
+      panelsPhase(g, 0, localA, lda, traceAt(k));
+      updateFull(g, 0, localA, lda, traceAt(k));
+      ++stepsCompleted_;
+      if (pollAbort(k, iterTimer.seconds())) {
+        aborted_ = true;
+        break;
+      }
+    }
+    return traces;
+  }
+
+  // Look-ahead pipeline.
+  StepGeom g = geometry(0);
+  panelsPhase(g, 0, localA, lda, traceAt(0));
+  for (index_t k = 0; k < nb; ++k) {
+    Timer iterTimer;
+    const int buf = static_cast<int>(k % 2);
+    if (k + 1 < nb) {
+      const StepGeom next = geometry(k + 1);
+      updateStrips(g, next, buf, localA, lda);
+      panelsPhase(next, 1 - buf, localA, lda, traceAt(k + 1));
+      updateBulk(g, next, buf, localA, lda, traceAt(k));
+      g = next;
+    } else {
+      updateFull(g, buf, localA, lda, traceAt(k));
+    }
+    ++stepsCompleted_;
+    if (pollAbort(k, iterTimer.seconds())) {
+      aborted_ = true;
+      break;
+    }
+  }
+  return traces;
+}
+
+}  // namespace hplmxp

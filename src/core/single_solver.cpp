@@ -1,0 +1,114 @@
+#include "core/single_solver.h"
+
+#include <cmath>
+#include <limits>
+
+#include "blas/blas.h"
+#include "device/shim.h"
+#include "util/buffer.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+
+void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
+                       Vendor vendor) {
+  HPLMXP_REQUIRE(n > 0 && b > 0 && n % b == 0, "need N a multiple of B");
+  BlasShim shim(vendor);
+  Buffer<half16> lHalf(n * b);
+  Buffer<half16> uHalf(n * b);
+
+  for (index_t k = 0; k < n; k += b) {
+    float* diag = a + k + k * lda;
+    if (vendor == Vendor::kNvidia) {
+      (void)shim.getrfBufferSize(b, lda);
+    }
+    shim.getrf(b, diag, lda);
+    const index_t rest = n - k - b;
+    if (rest == 0) {
+      break;
+    }
+    // Panel solves in FP32.
+    float* uPanel = a + k + (k + b) * lda;
+    float* lPanel = a + (k + b) + k * lda;
+    shim.trsm(blas::Side::kLeft, blas::Uplo::kLower, blas::Diag::kUnit, b,
+              rest, 1.0f, diag, lda, uPanel, lda);
+    shim.trsm(blas::Side::kRight, blas::Uplo::kUpper, blas::Diag::kNonUnit,
+              rest, b, 1.0f, diag, lda, lPanel, lda);
+    // CAST / TRANS_CAST to FP16, then the mixed trailing update.
+    blas::castToHalf(rest, b, lPanel, lda, lHalf.data(), rest);
+    blas::transCastToHalf(b, rest, uPanel, lda, uHalf.data(), rest);
+    shim.gemmEx(blas::Trans::kNoTrans, blas::Trans::kTrans, rest, rest, b,
+                -1.0f, lHalf.data(), rest, uHalf.data(), rest, 1.0f,
+                a + (k + b) + (k + b) * lda, lda);
+  }
+}
+
+SingleSolveResult solveMixedSingle(const ProblemGenerator& gen, index_t b,
+                                   Vendor vendor, std::vector<double>& x,
+                                   index_t maxIrIterations) {
+  const index_t n = gen.n();
+  SingleSolveResult result;
+  result.n = n;
+  result.b = b;
+
+  Buffer<float> a(n * n);
+  gen.fillTile<float>(0, 0, n, n, a.data(), n);
+
+  Timer timer;
+  factorMixedSingle(n, b, a.data(), n, vendor);
+  result.factorSeconds = timer.seconds();
+
+  timer.reset();
+  // Initial guess x = b / diag(A), then FP64 refinement.
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  Buffer<double> bvec(n);
+  gen.fillRhs<double>(0, n, bvec.data());
+  for (index_t i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = bvec[i] / gen.entry(i, i);
+  }
+
+  const double diagInf = gen.diagInfNorm();
+  const double bInf = gen.rhsInfNorm();
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+  Buffer<double> arow(n);  // one regenerated FP64 row at a time
+  std::vector<double> r(static_cast<std::size_t>(n));
+  for (index_t iter = 0; iter <= maxIrIterations; ++iter) {
+    // r = b - A x with regenerated FP64 entries (row-wise tiles).
+    double rInf = 0.0;
+    double xInf = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      gen.fillTile<double>(i, 0, 1, n, arow.data(), 1);
+      double acc = bvec[i];
+      for (index_t j = 0; j < n; ++j) {
+        acc -= arow[j] * x[static_cast<std::size_t>(j)];
+      }
+      r[static_cast<std::size_t>(i)] = acc;
+      rInf = std::max(rInf, std::fabs(acc));
+      xInf = std::max(xInf, std::fabs(x[static_cast<std::size_t>(i)]));
+    }
+    result.residualInf = rInf;
+    result.threshold = 8.0 * static_cast<double>(n) * kEps *
+                       (2.0 * diagInf * xInf + bInf);
+    if (rInf < result.threshold) {
+      result.converged = true;
+      break;
+    }
+    if (iter == maxIrIterations) {
+      break;
+    }
+    // d = U^{-1} (L^{-1} r), FP32 factors with FP64 accumulation.
+    blas::strsvMixed(blas::Uplo::kLower, blas::Diag::kUnit, n, a.data(), n,
+                     r.data());
+    blas::strsvMixed(blas::Uplo::kUpper, blas::Diag::kNonUnit, n, a.data(), n,
+                     r.data());
+    for (index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += r[static_cast<std::size_t>(i)];
+    }
+    ++result.irIterations;
+  }
+  result.irSeconds = timer.seconds();
+  return result;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,38 @@
+// Single-device mixed-precision solver: the one-GCD version of the
+// benchmark (no grid, no communication). Used by the quickstart example,
+// the slow-node mini-benchmark, and as a cross-check oracle for the
+// distributed path in tests.
+#pragma once
+
+#include <vector>
+
+#include "device/device.h"
+#include "gen/matgen.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct SingleSolveResult {
+  index_t n = 0;
+  index_t b = 0;
+  double factorSeconds = 0.0;
+  double irSeconds = 0.0;
+  index_t irIterations = 0;
+  bool converged = false;
+  double residualInf = 0.0;
+  double threshold = 0.0;
+};
+
+/// Solves A x = b for the generated problem with FP32/FP16 block LU plus
+/// FP64 iterative refinement on one device. `x` receives the solution.
+SingleSolveResult solveMixedSingle(const ProblemGenerator& gen, index_t b,
+                                   Vendor vendor, std::vector<double>& x,
+                                   index_t maxIrIterations = 50);
+
+/// Factors an n x n FP32 matrix in place with the same mixed-precision
+/// block algorithm (FP32 panels, FP16 GEMM): exposed for kernel-level
+/// tests and the mini-benchmark scanner.
+void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
+                       Vendor vendor);
+
+}  // namespace hplmxp

@@ -1,0 +1,45 @@
+#include "core/verify.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/buffer.h"
+
+namespace hplmxp {
+
+double residualInfDense(const ProblemGenerator& gen,
+                        const std::vector<double>& x) {
+  const index_t n = gen.n();
+  HPLMXP_REQUIRE(static_cast<index_t>(x.size()) == n, "x size mismatch");
+  Buffer<double> row(n);
+  double rInf = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    gen.fillTile<double>(i, 0, 1, n, row.data(), 1);
+    double acc = gen.rhs(i);
+    for (index_t j = 0; j < n; ++j) {
+      acc -= row[j] * x[static_cast<std::size_t>(j)];
+    }
+    rInf = std::max(rInf, std::fabs(acc));
+  }
+  return rInf;
+}
+
+double hplaiThreshold(const ProblemGenerator& gen, double xInf) {
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  return 8.0 * static_cast<double>(gen.n()) * kEps *
+         (2.0 * gen.diagInfNorm() * xInf + gen.rhsInfNorm());
+}
+
+double infNorm(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) {
+    best = std::max(best, std::fabs(v));
+  }
+  return best;
+}
+
+bool hplaiValid(const ProblemGenerator& gen, const std::vector<double>& x) {
+  return residualInfDense(gen, x) < hplaiThreshold(gen, infNorm(x));
+}
+
+}  // namespace hplmxp

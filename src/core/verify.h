@@ -1,0 +1,24 @@
+// Solution verification helpers shared by tests, examples and benches.
+#pragma once
+
+#include <vector>
+
+#include "gen/matgen.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// ||b - A x||_inf computed densely in FP64 by regeneration. O(N^2).
+double residualInfDense(const ProblemGenerator& gen,
+                        const std::vector<double>& x);
+
+/// The HPL-AI line-44 threshold for the given problem and ||x||_inf.
+double hplaiThreshold(const ProblemGenerator& gen, double xInf);
+
+/// ||x||_inf.
+double infNorm(const std::vector<double>& x);
+
+/// True when x satisfies the HPL-AI convergence criterion.
+bool hplaiValid(const ProblemGenerator& gen, const std::vector<double>& x);
+
+}  // namespace hplmxp

@@ -1,0 +1,27 @@
+#include "device/device.h"
+
+namespace hplmxp {
+
+std::string toString(Vendor v) {
+  return v == Vendor::kNvidia ? "NVIDIA" : "AMD";
+}
+
+Gcd::Gcd(Vendor vendor, std::size_t memoryBytes, double perfMultiplier)
+    : vendor_(vendor), memoryBytes_(memoryBytes),
+      perfMultiplier_(perfMultiplier) {
+  HPLMXP_REQUIRE(memoryBytes > 0, "device memory must be positive");
+  HPLMXP_REQUIRE(perfMultiplier > 0.0, "perf multiplier must be positive");
+}
+
+void Gcd::allocate(std::size_t bytes) {
+  HPLMXP_REQUIRE(bytes <= freeBytes(),
+                 "device memory exceeded: problem does not fit on the GCD");
+  allocated_ += bytes;
+}
+
+void Gcd::release(std::size_t bytes) {
+  HPLMXP_REQUIRE(bytes <= allocated_, "releasing more than allocated");
+  allocated_ -= bytes;
+}
+
+}  // namespace hplmxp

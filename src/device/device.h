@@ -1,0 +1,72 @@
+// GCD ("graphics complex die") device model.
+//
+// One MPI rank maps to one GCD (a whole V100 on Summit, half an MI250X on
+// Frontier). The model tracks device-memory consumption against the
+// Table I capacity — the paper sizes N_L so that the FP32 local matrix,
+// FP16 panels and look-ahead buffers fit in GPU memory — and carries a
+// per-device performance multiplier used by the slow-node tooling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+enum class Vendor { kNvidia, kAmd };
+
+std::string toString(Vendor v);
+
+/// Memory-accounting handle for one GCD.
+class Gcd {
+ public:
+  Gcd(Vendor vendor, std::size_t memoryBytes, double perfMultiplier = 1.0);
+
+  [[nodiscard]] Vendor vendor() const { return vendor_; }
+  [[nodiscard]] std::size_t memoryBytes() const { return memoryBytes_; }
+  [[nodiscard]] std::size_t allocatedBytes() const { return allocated_; }
+  [[nodiscard]] std::size_t freeBytes() const {
+    return memoryBytes_ - allocated_;
+  }
+  /// Relative throughput of this die (1.0 = nominal; Sec. VI-B reports
+  /// ~5% manufacturing spread across Frontier GCDs).
+  [[nodiscard]] double perfMultiplier() const { return perfMultiplier_; }
+
+  /// Charges an allocation against the device. Throws CheckError when the
+  /// device memory would be exceeded (the paper's N_L ceiling).
+  void allocate(std::size_t bytes);
+
+  /// Releases a prior allocation.
+  void release(std::size_t bytes);
+
+  /// True if a further allocation of `bytes` would fit.
+  [[nodiscard]] bool fits(std::size_t bytes) const {
+    return bytes <= freeBytes();
+  }
+
+ private:
+  Vendor vendor_;
+  std::size_t memoryBytes_;
+  std::size_t allocated_ = 0;
+  double perfMultiplier_;
+};
+
+/// RAII allocation charge against a Gcd.
+class DeviceAllocation {
+ public:
+  DeviceAllocation(Gcd& gcd, std::size_t bytes) : gcd_(&gcd), bytes_(bytes) {
+    gcd_->allocate(bytes_);
+  }
+  ~DeviceAllocation() { gcd_->release(bytes_); }
+  DeviceAllocation(const DeviceAllocation&) = delete;
+  DeviceAllocation& operator=(const DeviceAllocation&) = delete;
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+ private:
+  Gcd* gcd_;
+  std::size_t bytes_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,24 @@
+#include "gen/lcg.h"
+
+namespace hplmxp {
+
+std::uint64_t Lcg64::jumped(std::uint64_t seed, std::uint64_t n) {
+  // The n-step map is x -> A*x + C where (A, C) is the n-fold composition
+  // of (a, c). Squaring the map: (a, c) o (a, c) = (a^2, a*c + c).
+  std::uint64_t accA = 1;
+  std::uint64_t accC = 0;
+  std::uint64_t curA = kMultiplier;
+  std::uint64_t curC = kIncrement;
+  while (n != 0) {
+    if ((n & 1ULL) != 0) {
+      accA = accA * curA;
+      accC = accC * curA + curC;
+    }
+    curC = (curA + 1) * curC;
+    curA = curA * curA;
+    n >>= 1;
+  }
+  return seed * accA + accC;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,64 @@
+#include "gen/matgen.h"
+
+#include <cmath>
+
+namespace hplmxp {
+
+ProblemGenerator::ProblemGenerator(std::uint64_t seed, index_t n,
+                                   double diagShift)
+    : seed_(seed), n_(n),
+      diagShift_(diagShift < 0.0 ? static_cast<double>(n) : diagShift) {
+  HPLMXP_REQUIRE(n > 0, "matrix order must be positive");
+}
+
+double ProblemGenerator::valueAt(std::uint64_t lcgIndex,
+                                 bool onDiagonal) const {
+  const std::uint64_t state = Lcg64::jumped(seed_, lcgIndex + 1);
+  double v = Lcg64::toUniform(state);
+  if (onDiagonal) {
+    v += diagShift_;
+  }
+  return v;
+}
+
+double ProblemGenerator::entry(index_t i, index_t j) const {
+  HPLMXP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "entry out of range");
+  return valueAt(entryIndex(i, j), i == j);
+}
+
+double ProblemGenerator::rhs(index_t i) const {
+  HPLMXP_REQUIRE(i >= 0 && i < n_, "rhs index out of range");
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(n_) * static_cast<std::uint64_t>(n_);
+  return valueAt(base + static_cast<std::uint64_t>(i), false);
+}
+
+double ProblemGenerator::diagInfNorm() const {
+  double best = 0.0;
+  for (index_t i = 0; i < n_; ++i) {
+    best = std::max(best, std::fabs(entry(i, i)));
+  }
+  return best;
+}
+
+double ProblemGenerator::rhsInfNorm() const {
+  double best = 0.0;
+  for (index_t i = 0; i < n_; ++i) {
+    best = std::max(best, std::fabs(rhs(i)));
+  }
+  return best;
+}
+
+double ProblemGenerator::matrixInfNorm() const {
+  double best = 0.0;
+  for (index_t i = 0; i < n_; ++i) {
+    double rowSum = 0.0;
+    for (index_t j = 0; j < n_; ++j) {
+      rowSum += std::fabs(entry(i, j));
+    }
+    best = std::max(best, rowSum);
+  }
+  return best;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,12 @@
+#include "grid/block_cyclic.h"
+
+namespace hplmxp {
+
+BlockCyclic::BlockCyclic(index_t n, index_t b, index_t pr, index_t pc)
+    : n_(n), b_(b), nb_(n / b), pr_(pr), pc_(pc) {
+  HPLMXP_REQUIRE(n > 0 && b > 0, "layout dims must be positive");
+  HPLMXP_REQUIRE(n % b == 0, "N must be a multiple of B (pad the problem)");
+  HPLMXP_REQUIRE(pr > 0 && pc > 0, "grid dims must be positive");
+}
+
+}  // namespace hplmxp

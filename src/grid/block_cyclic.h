@@ -1,0 +1,100 @@
+// 2D block-cyclic distribution of an N x N matrix in B x B blocks over a
+// Pr x Pc process grid (Sec. III-C of the paper). Global block (I, J) is
+// owned by grid coordinate (I mod Pr, J mod Pc); each rank stores its
+// blocks contiguously in one local col-major matrix whose leading dimension
+// is fixed for the whole run (LDA = local row count).
+#pragma once
+
+#include "grid/process_grid.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Index math for one rank's view of the block-cyclic layout.
+class BlockCyclic {
+ public:
+  /// Requires N to be a multiple of B (the driver pads N up front, as the
+  /// paper does when adjusting N to a multiple of Pr, Pc and B).
+  BlockCyclic(index_t n, index_t b, index_t pr, index_t pc);
+
+  [[nodiscard]] index_t n() const { return n_; }
+  [[nodiscard]] index_t blockSize() const { return b_; }
+  [[nodiscard]] index_t globalBlocks() const { return nb_; }
+  [[nodiscard]] index_t pr() const { return pr_; }
+  [[nodiscard]] index_t pc() const { return pc_; }
+
+  /// Owner grid coordinate of global block (bi, bj).
+  [[nodiscard]] GridCoord ownerOf(index_t bi, index_t bj) const {
+    HPLMXP_REQUIRE(bi >= 0 && bi < nb_ && bj >= 0 && bj < nb_,
+                   "block index out of range");
+    return GridCoord{bi % pr_, bj % pc_};
+  }
+
+  /// Number of global block-rows owned by grid row `prow`.
+  [[nodiscard]] index_t localBlockRows(index_t prow) const {
+    return (nb_ - prow + pr_ - 1) / pr_;
+  }
+  /// Number of global block-cols owned by grid col `pcol`.
+  [[nodiscard]] index_t localBlockCols(index_t pcol) const {
+    return (nb_ - pcol + pc_ - 1) / pc_;
+  }
+
+  /// Local matrix extent in rows/cols for a rank at (prow, pcol).
+  [[nodiscard]] index_t localRows(index_t prow) const {
+    return localBlockRows(prow) * b_;
+  }
+  [[nodiscard]] index_t localCols(index_t pcol) const {
+    return localBlockCols(pcol) * b_;
+  }
+
+  /// Local block-row index of global block-row bi on its owner.
+  [[nodiscard]] index_t localBlockRow(index_t bi) const { return bi / pr_; }
+  [[nodiscard]] index_t localBlockCol(index_t bj) const { return bj / pc_; }
+
+  /// Global block-row of local block-row lbi on grid row prow.
+  [[nodiscard]] index_t globalBlockRow(index_t prow, index_t lbi) const {
+    return lbi * pr_ + prow;
+  }
+  [[nodiscard]] index_t globalBlockCol(index_t pcol, index_t lbj) const {
+    return lbj * pc_ + pcol;
+  }
+
+  /// First local block-row >= the one holding global block-row `bi` for a
+  /// rank on grid row prow (i.e. the start of its trailing rows at step bi).
+  [[nodiscard]] index_t firstLocalBlockRowAtOrAfter(index_t prow,
+                                                    index_t bi) const {
+    // Smallest l with l*pr + prow >= bi.
+    if (bi <= prow) {
+      return 0;
+    }
+    return (bi - prow + pr_ - 1) / pr_;
+  }
+  [[nodiscard]] index_t firstLocalBlockColAtOrAfter(index_t pcol,
+                                                    index_t bj) const {
+    if (bj <= pcol) {
+      return 0;
+    }
+    return (bj - pcol + pc_ - 1) / pc_;
+  }
+
+  /// Owner and local offset of global element row i (block + remainder).
+  struct ElementLoc {
+    index_t gridIndex;   // owning grid row (or col)
+    index_t localIndex;  // local element row (or col) on the owner
+  };
+  [[nodiscard]] ElementLoc locateRow(index_t i) const {
+    HPLMXP_REQUIRE(i >= 0 && i < n_, "row index out of range");
+    const index_t bi = i / b_;
+    return ElementLoc{bi % pr_, (bi / pr_) * b_ + (i % b_)};
+  }
+  [[nodiscard]] ElementLoc locateCol(index_t j) const {
+    HPLMXP_REQUIRE(j >= 0 && j < n_, "col index out of range");
+    const index_t bj = j / b_;
+    return ElementLoc{bj % pc_, (bj / pc_) * b_ + (j % b_)};
+  }
+
+ private:
+  index_t n_, b_, nb_, pr_, pc_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,89 @@
+#include "grid/process_grid.h"
+
+#include <sstream>
+
+namespace hplmxp {
+
+ProcessGrid::ProcessGrid(GridOrder order, index_t pr, index_t pc, index_t qr,
+                         index_t qc)
+    : order_(order), pr_(pr), pc_(pc), qr_(qr), qc_(qc) {
+  HPLMXP_REQUIRE(pr > 0 && pc > 0, "grid dims must be positive");
+  HPLMXP_REQUIRE(qr > 0 && qc > 0, "node-local grid dims must be positive");
+  kr_ = ceilDiv(pr_, qr_);
+  kc_ = ceilDiv(pc_, qc_);
+}
+
+ProcessGrid ProcessGrid::columnMajor(index_t pr, index_t pc,
+                                     index_t gcdsPerNode) {
+  HPLMXP_REQUIRE(gcdsPerNode > 0, "gcdsPerNode must be positive");
+  // Column-major numbering walks down columns, so a node's GCDs form a
+  // (gcdsPerNode x 1) strip: Qr = Q, Qc = 1 in the Eq. 4/5 sense.
+  return ProcessGrid(GridOrder::kColumnMajor, pr, pc, gcdsPerNode, 1);
+}
+
+ProcessGrid ProcessGrid::nodeLocal(index_t pr, index_t pc, index_t qr,
+                                   index_t qc) {
+  HPLMXP_REQUIRE(qr > 0 && pr % qr == 0, "node-local grid: Qr must divide Pr");
+  HPLMXP_REQUIRE(qc > 0 && pc % qc == 0, "node-local grid: Qc must divide Pc");
+  return ProcessGrid(GridOrder::kNodeLocal, pr, pc, qr, qc);
+}
+
+index_t ProcessGrid::nodeCount() const {
+  return ceilDiv(size(), gcdsPerNode());
+}
+
+GridCoord ProcessGrid::coordOf(index_t rank) const {
+  HPLMXP_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+  if (order_ == GridOrder::kColumnMajor) {
+    return GridCoord{rank % pr_, rank / pr_};
+  }
+  const index_t q = gcdsPerNode();
+  const index_t node = rank / q;
+  const index_t local = rank % q;
+  const index_t kr = node % kr_;
+  const index_t kc = node / kr_;
+  const index_t lr = local % qr_;
+  const index_t lc = local / qr_;
+  return GridCoord{kr * qr_ + lr, kc * qc_ + lc};
+}
+
+index_t ProcessGrid::rankOf(index_t row, index_t col) const {
+  HPLMXP_REQUIRE(row >= 0 && row < pr_ && col >= 0 && col < pc_,
+                 "grid coordinate out of range");
+  if (order_ == GridOrder::kColumnMajor) {
+    return row + col * pr_;
+  }
+  const index_t kr = row / qr_;
+  const index_t kc = col / qc_;
+  const index_t lr = row % qr_;
+  const index_t lc = col % qc_;
+  const index_t node = kr + kc * kr_;
+  const index_t local = lr + lc * qr_;
+  return node * gcdsPerNode() + local;
+}
+
+index_t ProcessGrid::nodeOf(index_t rank) const {
+  HPLMXP_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+  return rank / gcdsPerNode();
+}
+
+double ProcessGrid::nodeTrafficBytes(double n) const {
+  // Eq. 4: Data_Size = 2*N^2/Kr + 2*N^2/Kc, with 2 bytes per FP16 entry.
+  const double panelBytes = 2.0 * n * n;
+  return panelBytes / static_cast<double>(kr_) +
+         panelBytes / static_cast<double>(kc_);
+}
+
+std::string ProcessGrid::describe() const {
+  std::ostringstream os;
+  os << pr_ << "x" << pc_ << " grid, ";
+  if (order_ == GridOrder::kColumnMajor) {
+    os << "column-major, " << gcdsPerNode() << " GCDs/node";
+  } else {
+    os << qr_ << "x" << qc_ << " node-local grid (" << kr_ << "x" << kc_
+       << " nodes)";
+  }
+  return os.str();
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,80 @@
+// 2D process grid with node-local GCD mapping.
+//
+// The paper maps one MPI rank per GCD onto a Pr x Pc grid. How ranks are
+// numbered matters because consecutive ranks share a node (and therefore
+// NICs): a node holds Q = Qr x Qc GCDs arranged as a Qr x Qc subgrid, which
+// tiles the process grid into a Kr x Kc layout of nodes (Kr = Pr/Qr,
+// Kc = Pc/Qc). Section IV-B derives the per-node communication volume
+// (Eq. 4) and shared-NIC communication time (Eq. 5) from this mapping;
+// Finding 8 reports the best grids (3x2 on Summit, 2x4 on Frontier).
+#pragma once
+
+#include <string>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Rank numbering scheme over the grid.
+enum class GridOrder {
+  kColumnMajor,  // rank = pr + pc * Pr (the paper's "column-major" mapping)
+  kNodeLocal,    // nodes tile the grid; GCDs tile the node (Qr x Qc)
+};
+
+struct GridCoord {
+  index_t row = 0;
+  index_t col = 0;
+  friend bool operator==(const GridCoord&, const GridCoord&) = default;
+};
+
+/// Immutable description of the process grid and its node-local layout.
+class ProcessGrid {
+ public:
+  /// Column-major grid; node boundaries fall every `gcdsPerNode` ranks.
+  static ProcessGrid columnMajor(index_t pr, index_t pc, index_t gcdsPerNode);
+
+  /// Node-local-grid mapping: requires Qr | Pr and Qc | Pc.
+  static ProcessGrid nodeLocal(index_t pr, index_t pc, index_t qr, index_t qc);
+
+  [[nodiscard]] index_t rows() const { return pr_; }
+  [[nodiscard]] index_t cols() const { return pc_; }
+  [[nodiscard]] index_t size() const { return pr_ * pc_; }
+  [[nodiscard]] GridOrder order() const { return order_; }
+  [[nodiscard]] index_t nodeRows() const { return kr_; }   // Kr
+  [[nodiscard]] index_t nodeCols() const { return kc_; }   // Kc
+  [[nodiscard]] index_t gcdRows() const { return qr_; }    // Qr
+  [[nodiscard]] index_t gcdCols() const { return qc_; }    // Qc
+  [[nodiscard]] index_t gcdsPerNode() const { return qr_ * qc_; }
+  [[nodiscard]] index_t nodeCount() const;
+
+  /// Grid coordinate of `rank`.
+  [[nodiscard]] GridCoord coordOf(index_t rank) const;
+
+  /// Rank at grid coordinate (row, col).
+  [[nodiscard]] index_t rankOf(index_t row, index_t col) const;
+
+  /// Node hosting `rank`.
+  [[nodiscard]] index_t nodeOf(index_t rank) const;
+
+  /// Number of ranks of `rank`'s node that share its process-grid *row*
+  /// (including itself): the NIC-sharing multiplier Qc in Eq. 5 for
+  /// row-directional traffic (and Qr for column-directional).
+  [[nodiscard]] index_t rowSharersPerNode() const { return qc_; }
+  [[nodiscard]] index_t colSharersPerNode() const { return qr_; }
+
+  /// Per-node panel traffic from Eq. 4: 2*N^2/Kr + 2*N^2/Kc (bytes, FP16
+  /// panels of total size 2*N^2 bytes in each direction).
+  [[nodiscard]] double nodeTrafficBytes(double n) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  ProcessGrid(GridOrder order, index_t pr, index_t pc, index_t qr, index_t qc);
+
+  GridOrder order_;
+  index_t pr_, pc_;  // process grid
+  index_t qr_, qc_;  // node-local grid
+  index_t kr_, kc_;  // node layout (only meaningful for kNodeLocal)
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,63 @@
+#include "machine/machine.h"
+
+namespace hplmxp {
+
+const MachineSpec& summitSpec() {
+  static const MachineSpec spec{
+      .kind = MachineKind::kSummit,
+      .name = "Summit",
+      .nodes = 4608,
+      .processor = "Power9",
+      .cpuMemGiBPerNode = 512.0,
+      .gpuModel = "NVIDIA V100",
+      .gcdsPerNode = 6,  // 6 V100s, one GCD each
+      .gpuMemGiBPerGcd = 16.0,
+      .gpuMemGiBPerNode = 96.0,
+      .gpuInterconnect = "NVLINK",
+      .gpuLinkGBsEachWay = 50.0,
+      .fp16TflopsPerGcd = 125.0,
+      .fp64TflopsPerGcd = 7.8,
+      .fp16TflopsPerNode = 750.0,
+      .nicsPerNode = 2,
+      .nicModel = "Mellanox EDR IB",
+      .nicGBsPerNodeEachWay = 12.5,
+      .vendor = Vendor::kNvidia,
+      .nicAttachedToGpu = false,
+  };
+  return spec;
+}
+
+const MachineSpec& frontierSpec() {
+  static const MachineSpec spec{
+      .kind = MachineKind::kFrontier,
+      .name = "Frontier",
+      .nodes = 9408,
+      .processor = "3rd Gen EPYC",
+      .cpuMemGiBPerNode = 512.0,
+      .gpuModel = "AMD MI250X",
+      .gcdsPerNode = 8,  // 4 MI250X, 2 GCDs each
+      .gpuMemGiBPerGcd = 64.0,  // 128 GiB per MI250X => 64 per GCD
+      .gpuMemGiBPerNode = 512.0,
+      .gpuInterconnect = "Infinity Fabric",
+      .gpuLinkGBsEachWay = 50.0,
+      .fp16TflopsPerGcd = 149.0,  // 298 per MI250X
+      .fp64TflopsPerGcd = 27.25,  // 54.5 per MI250X
+      .fp16TflopsPerNode = 1192.0,
+      .nicsPerNode = 4,
+      .nicModel = "Slingshot-11",
+      .nicGBsPerNodeEachWay = 25.0,
+      .vendor = Vendor::kAmd,
+      .nicAttachedToGpu = true,
+  };
+  return spec;
+}
+
+const MachineSpec& machineSpec(MachineKind kind) {
+  return kind == MachineKind::kSummit ? summitSpec() : frontierSpec();
+}
+
+std::string toString(MachineKind kind) {
+  return machineSpec(kind).name;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,58 @@
+// Machine descriptions for Summit and Frontier (Table I of the paper),
+// plus derived system-level quantities used by the performance model and
+// the at-scale simulator.
+#pragma once
+
+#include <string>
+
+#include "device/device.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+enum class MachineKind { kSummit, kFrontier };
+
+/// One row set of Table I.
+struct MachineSpec {
+  MachineKind kind;
+  std::string name;
+  index_t nodes;               // full-system node count
+  std::string processor;       // host CPU
+  double cpuMemGiBPerNode;     // CPU memory per node
+  std::string gpuModel;        // GPU product
+  index_t gcdsPerNode;         // GCDs per node (V100: 1 GCD each; MI250X: 2)
+  double gpuMemGiBPerGcd;      // HBM per GCD
+  double gpuMemGiBPerNode;     // HBM per node
+  std::string gpuInterconnect;
+  double gpuLinkGBsEachWay;    // intra-node GPU link bandwidth, each way
+  double fp16TflopsPerGcd;     // peak FP16 (tensor/matrix core) per GCD
+  double fp64TflopsPerGcd;     // peak FP64 per GCD
+  double fp16TflopsPerNode;    // peak FP16 per node
+  index_t nicsPerNode;
+  std::string nicModel;
+  double nicGBsPerNodeEachWay;  // injection bandwidth per node, each way
+  Vendor vendor;
+  bool nicAttachedToGpu;  // Frontier: NIC wired to the GPU (GPU-aware MPI)
+
+  [[nodiscard]] index_t totalGcds() const { return nodes * gcdsPerNode; }
+  [[nodiscard]] double systemPeakFp16Pflops() const {
+    return static_cast<double>(totalGcds()) * fp16TflopsPerGcd / 1e3;
+  }
+  [[nodiscard]] double systemPeakFp64Pflops() const {
+    return static_cast<double>(totalGcds()) * fp64TflopsPerGcd / 1e3;
+  }
+  [[nodiscard]] std::size_t gpuMemBytesPerGcd() const {
+    return static_cast<std::size_t>(gpuMemGiBPerGcd * 1024.0 * 1024.0 *
+                                    1024.0);
+  }
+};
+
+/// Table I, Summit column.
+const MachineSpec& summitSpec();
+/// Table I, Frontier column.
+const MachineSpec& frontierSpec();
+
+const MachineSpec& machineSpec(MachineKind kind);
+std::string toString(MachineKind kind);
+
+}  // namespace hplmxp

@@ -1,0 +1,35 @@
+#include "machine/power.h"
+
+namespace hplmxp {
+
+PowerModel::PowerModel(MachineKind kind) : kind_(kind) {
+  if (kind == MachineKind::kSummit) {
+    // ~13 MW system under HPL load across 4608 nodes.
+    nodeLoadKw_ = 2.82;
+    nodeIdleKw_ = 1.1;
+  } else {
+    // ~21 MW under load across 9408 nodes (Frontier's Green500-leading
+    // efficiency comes from the MI250X FLOP/W, not low node power).
+    nodeLoadKw_ = 2.23;
+    nodeIdleKw_ = 0.9;
+  }
+}
+
+double PowerModel::jobPowerMw(index_t nodes) const {
+  HPLMXP_REQUIRE(nodes >= 0, "node count must be non-negative");
+  return static_cast<double>(nodes) * nodeLoadKw_ / 1e3;
+}
+
+double PowerModel::runEnergyMwh(index_t nodes, double seconds) const {
+  HPLMXP_REQUIRE(seconds >= 0.0, "time must be non-negative");
+  return jobPowerMw(nodes) * seconds / 3600.0;
+}
+
+double PowerModel::gflopsPerWatt(double flopsPerSecond,
+                                 index_t nodes) const {
+  const double watts = jobPowerMw(nodes) * 1e6;
+  HPLMXP_REQUIRE(watts > 0.0, "need a positive job power");
+  return flopsPerSecond / 1e9 / watts;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,44 @@
+// System power / energy model.
+//
+// The paper's conclusion: "Of great interest would be investigating how
+// mixed precision operations effects the energy profile ... One would
+// expect that the improvements seen in performance would translate
+// directly to energy utilization." This module provides that first-order
+// model: run energy = node power envelope x nodes x time, plus the
+// Green500-style efficiency metrics, so the benches can quantify the
+// energy advantage of HPL-AI over HPL.
+#pragma once
+
+#include "machine/machine.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Per-node power envelope under benchmark load.
+struct PowerModel {
+  explicit PowerModel(MachineKind kind);
+
+  [[nodiscard]] MachineKind kind() const { return kind_; }
+  /// Node power under full load (kW).
+  [[nodiscard]] double nodeLoadKw() const { return nodeLoadKw_; }
+  /// Node power at idle (kW) — excluded nodes still burn this.
+  [[nodiscard]] double nodeIdleKw() const { return nodeIdleKw_; }
+
+  /// System power of a job spanning `nodes` nodes (MW).
+  [[nodiscard]] double jobPowerMw(index_t nodes) const;
+
+  /// Energy of a run: `seconds` on `nodes` nodes (MWh).
+  [[nodiscard]] double runEnergyMwh(index_t nodes, double seconds) const;
+
+  /// Green500-style efficiency: GFLOP/s per watt for a run achieving
+  /// `flopsPerSecond` across `nodes` nodes.
+  [[nodiscard]] double gflopsPerWatt(double flopsPerSecond,
+                                     index_t nodes) const;
+
+ private:
+  MachineKind kind_;
+  double nodeLoadKw_;
+  double nodeIdleKw_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,64 @@
+#include "machine/variability.h"
+
+#include <algorithm>
+
+namespace hplmxp {
+
+GcdVariability::GcdVariability(VariabilityConfig config) : config_(config) {
+  HPLMXP_REQUIRE(config_.spread >= 0.0 && config_.spread < 1.0,
+                 "spread must be in [0, 1)");
+  HPLMXP_REQUIRE(config_.slowFraction >= 0.0 && config_.slowFraction <= 1.0,
+                 "slowFraction must be in [0, 1]");
+  HPLMXP_REQUIRE(config_.slowPenalty >= 0.0 && config_.slowPenalty < 1.0,
+                 "slowPenalty must be in [0, 1)");
+}
+
+std::uint64_t GcdVariability::hash(index_t gcdIndex,
+                                   std::uint64_t salt) const {
+  // SplitMix64 over (seed, salt, index): well-mixed and stateless.
+  std::uint64_t x = config_.seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+                    (static_cast<std::uint64_t>(gcdIndex) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+bool GcdVariability::isDegraded(index_t gcdIndex) const {
+  if (config_.slowFraction <= 0.0) {
+    return false;
+  }
+  const double u = static_cast<double>(hash(gcdIndex, 2) >> 11) *
+                   (1.0 / 9007199254740992.0);
+  return u < config_.slowFraction;
+}
+
+double GcdVariability::multiplier(index_t gcdIndex) const {
+  const double u = static_cast<double>(hash(gcdIndex, 1) >> 11) *
+                   (1.0 / 9007199254740992.0);
+  double m = 1.0 - config_.spread * u;
+  if (isDegraded(gcdIndex)) {
+    m *= 1.0 - config_.slowPenalty;
+  }
+  return m;
+}
+
+std::vector<double> GcdVariability::fleet(index_t count) const {
+  std::vector<double> out(static_cast<std::size_t>(count));
+  for (index_t i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i)] = multiplier(i);
+  }
+  return out;
+}
+
+double GcdVariability::fleetMin(index_t count) const {
+  double best = 1.0;
+  for (index_t i = 0; i < count; ++i) {
+    best = std::min(best, multiplier(i));
+  }
+  return best;
+}
+
+}  // namespace hplmxp

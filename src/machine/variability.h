@@ -1,0 +1,54 @@
+// Per-GCD performance variability model (Sec. VI-B, "Identify slow nodes").
+//
+// Large systems show a few-percent spread in per-die throughput from
+// manufacturing variance and power/thermal management; the paper measured
+// ~5% maximum variation across Frontier GCDs and recommends scanning for
+// and excluding slow nodes, because one slow GCD stalls the whole pipeline.
+//
+// The model is deterministic: each GCD's multiplier is a pure function of
+// (seed, gcd index), so fleets are reproducible. Optionally a fraction of
+// GCDs are made distinctly "slow" (degraded dies) for the scanner to find.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct VariabilityConfig {
+  std::uint64_t seed = 0x5eed;
+  double spread = 0.05;        // max fractional spread of healthy dies
+  double slowFraction = 0.0;   // fraction of distinctly degraded dies
+  double slowPenalty = 0.25;   // extra fractional slowdown of degraded dies
+};
+
+/// Deterministic per-GCD throughput multipliers in (0, 1].
+class GcdVariability {
+ public:
+  explicit GcdVariability(VariabilityConfig config);
+
+  /// Multiplier for GCD `index` (1.0 = nominal fastest die).
+  [[nodiscard]] double multiplier(index_t gcdIndex) const;
+
+  /// True if the model marks this GCD as a degraded die.
+  [[nodiscard]] bool isDegraded(index_t gcdIndex) const;
+
+  /// Multipliers for a fleet [0, count).
+  [[nodiscard]] std::vector<double> fleet(index_t count) const;
+
+  /// The slowest multiplier in a fleet — the pipeline-stall factor: a
+  /// synchronous LU iteration advances at the pace of its slowest rank.
+  [[nodiscard]] double fleetMin(index_t count) const;
+
+  [[nodiscard]] const VariabilityConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint64_t hash(index_t gcdIndex,
+                                   std::uint64_t salt) const;
+
+  VariabilityConfig config_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,53 @@
+#include "machine/warmup.h"
+
+namespace hplmxp {
+
+WarmupModel::WarmupModel(MachineKind kind, WarmupConfig config)
+    : kind_(kind), config_(config) {}
+
+double WarmupModel::jitter(index_t runIndex, double cap) const {
+  // Deterministic jitter in [-cap/2, +cap/2] (SplitMix64 on run index).
+  std::uint64_t x = config_.seed ^
+                    (static_cast<std::uint64_t>(runIndex) * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  const double u = static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  return (u - 0.5) * cap;
+}
+
+double WarmupModel::runFactor(index_t runIndex, bool preWarmed) const {
+  HPLMXP_REQUIRE(runIndex >= 0, "run index must be >= 0");
+  if (kind_ == MachineKind::kSummit) {
+    // Cold caches hurt the entire first run (all kernels and communication
+    // slower, not just the first iterations); a warm-up mini-benchmark run
+    // removes the penalty.
+    if (runIndex == 0 && !preWarmed) {
+      return (1.0 - config_.summitColdPenalty) *
+             (1.0 + jitter(runIndex, config_.summitSteadyJitter));
+    }
+    return 1.0 + jitter(runIndex, config_.summitSteadyJitter);
+  }
+  // Frontier: early runs ride higher clocks before power/thermal controls
+  // settle the GPUs; pre-warming (embedded small GEMMs) starts the run in
+  // the settled regime, removing the run-to-run drift.
+  if (!preWarmed && runIndex < 2) {
+    const double boost =
+        config_.frontierEarlyBoost * (runIndex == 0 ? 1.0 : 0.6);
+    return 1.0 + boost + jitter(runIndex, config_.frontierSteadyJitter);
+  }
+  return 1.0 + jitter(runIndex, config_.frontierSteadyJitter);
+}
+
+std::vector<double> WarmupModel::sequence(index_t runs, bool preWarmed) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (index_t i = 0; i < runs; ++i) {
+    out.push_back(runFactor(i, preWarmed));
+  }
+  return out;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,59 @@
+// Warm-up / run-sequence model (Sec. VI-B "Warm up", Fig. 12).
+//
+// The paper launches six consecutive full runs in one batch job and sees
+// opposite behaviours on the two systems:
+//   * Summit: the FIRST run is ~20% slower (cold file-system caches for
+//     binaries/libraries); subsequent runs agree within 0.12%.
+//   * Frontier: the first TWO runs are slightly FASTER, then performance
+//     settles ~ lower (power/frequency/thermal controls); subsequent runs
+//     agree within 0.34%.
+//
+// The model returns a multiplicative throughput factor per run index, with
+// a small deterministic jitter bounded by the paper's observed caps, and
+// captures the recommended mitigations: a mini-benchmark warm-up run on
+// Summit and embedded small-GEMM warm-up kernels on Frontier (Finding 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct WarmupConfig {
+  std::uint64_t seed = 7;
+  // Summit parameters.
+  double summitColdPenalty = 0.20;   // first run 20% slower
+  double summitSteadyJitter = 0.0012;  // 0.12% cap between warmed runs
+  // Frontier parameters.
+  double frontierEarlyBoost = 0.015;  // first two runs slightly faster
+  double frontierSteadyJitter = 0.0034;  // 0.34% cap between settled runs
+};
+
+/// Deterministic run-sequence throughput model.
+class WarmupModel {
+ public:
+  WarmupModel(MachineKind kind, WarmupConfig config = {});
+
+  /// Relative throughput of run `runIndex` (0-based) within one batch job.
+  /// `preWarmed` applies the paper's mitigation (mini-benchmark warm-up on
+  /// Summit / embedded GEMM warm-up on Frontier), which removes the
+  /// first-run anomaly.
+  [[nodiscard]] double runFactor(index_t runIndex, bool preWarmed) const;
+
+  /// Factors for `runs` consecutive runs (the Fig. 12 series).
+  [[nodiscard]] std::vector<double> sequence(index_t runs,
+                                             bool preWarmed) const;
+
+  [[nodiscard]] MachineKind kind() const { return kind_; }
+
+ private:
+  [[nodiscard]] double jitter(index_t runIndex, double cap) const;
+
+  MachineKind kind_;
+  WarmupConfig config_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,67 @@
+// Network timing models for the panel broadcasts (Sec. IV-B, Fig. 8).
+//
+// The model layers, matching the paper's communication-optimization study:
+//
+//   * Base per-node injection bandwidth NBN from Table I (Summit 12.5 GB/s
+//     per direction over 2 EDR NICs, Frontier 25 GB/s over 4 Slingshot-11).
+//   * Port binding (Summit): without binding, both sockets funnel traffic
+//     through one NIC; binding ranks to their socket's NIC roughly halves
+//     contention (the paper measures 35.6-59.7% end-to-end gains).
+//   * GPU-aware MPI (Frontier): NICs are attached to the GPUs, so staging
+//     through host memory costs extra copies and bandwidth (40.3-56.6%
+//     end-to-end gains when eliminated).
+//   * NIC sharing (Eq. 5): the Qr (resp. Qc) ranks of a node that sit in
+//     the same process column (row) receive the same panel family through
+//     the shared NICs, multiplying the per-node volume.
+//   * Strategy efficiency: Spectrum MPI's tree broadcast is highly tuned
+//     for Summit's fat tree (rings are 2.3-11.5% *slower* there), while
+//     Frontier's early MPI broadcast underperforms and pipelined rings win
+//     by 20-34.4%, Ring2M best (Finding 6). IBcast on Summit is
+//     catastrophically slow (the paper's 603% worst-to-best spread).
+#pragma once
+
+#include "grid/process_grid.h"
+#include "machine/machine.h"
+#include "simmpi/ring_bcast.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct NetworkConfig {
+  MachineKind machine = MachineKind::kFrontier;
+  bool portBinding = true;   // Summit knob (ignored on Frontier)
+  bool gpuAwareMpi = true;   // Frontier knob (ignored on Summit)
+};
+
+/// Broadcast/communication time model for one machine configuration.
+class BcastModel {
+ public:
+  explicit BcastModel(NetworkConfig config);
+
+  /// Effective per-node injection bandwidth (bytes/s) after the port
+  /// binding / GPU-aware adjustments.
+  [[nodiscard]] double effectiveNodeBandwidth() const;
+
+  /// Bandwidth efficiency of a strategy on this machine, in (0, 1].
+  [[nodiscard]] double strategyEfficiency(simmpi::BcastStrategy s) const;
+
+  /// Startup/latency term of one broadcast over `p` ranks (seconds).
+  [[nodiscard]] double strategyLatency(simmpi::BcastStrategy s,
+                                       index_t p) const;
+
+  /// Time for one panel broadcast of `bytes` along a row or column of `p`
+  /// ranks, where `sharers` ranks per node receive the same panel family
+  /// through the shared NICs (Qr or Qc of Eq. 5).
+  [[nodiscard]] double panelBcastTime(simmpi::BcastStrategy s, double bytes,
+                                      index_t p, index_t sharers) const;
+
+  /// Time for the (small, synchronous) diagonal broadcast pair.
+  [[nodiscard]] double diagBcastTime(double bytes, index_t p) const;
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+}  // namespace hplmxp

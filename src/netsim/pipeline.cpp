@@ -1,0 +1,121 @@
+#include "netsim/pipeline.h"
+
+#include <cmath>
+
+namespace hplmxp {
+
+double treeBcastTime(const LinkModel& link, double bytes, index_t p) {
+  if (p <= 1) {
+    return 0.0;
+  }
+  const double depth = std::ceil(std::log2(static_cast<double>(p)));
+  return depth * (link.alpha + bytes * link.betaPerByte);
+}
+
+double pipelinedTreeBcastTime(const LinkModel& link, double bytes, index_t p,
+                              index_t segments) {
+  if (p <= 1) {
+    return 0.0;
+  }
+  HPLMXP_REQUIRE(segments >= 1, "need at least one segment");
+  const double depth = std::ceil(std::log2(static_cast<double>(p)));
+  const double slot =
+      link.alpha + bytes / static_cast<double>(segments) * link.betaPerByte;
+  // Last leaf finishes after the tree fills (depth slots) plus the
+  // remaining segments stream through.
+  return (depth + static_cast<double>(segments - 1)) * slot;
+}
+
+double ringBcastTime(const LinkModel& link, double bytes, index_t chainLen,
+                     index_t segments) {
+  if (chainLen <= 0) {
+    return 0.0;
+  }
+  HPLMXP_REQUIRE(segments >= 1, "need at least one segment");
+  const double slot =
+      link.alpha + bytes / static_cast<double>(segments) * link.betaPerByte;
+  // Fill the chain (chainLen-1 forwarding hops) then stream the rest.
+  return (static_cast<double>(chainLen - 1) +
+          static_cast<double>(segments)) *
+         slot;
+}
+
+index_t optimalSegments(const LinkModel& link, double bytes,
+                        index_t chainLen) {
+  if (chainLen <= 1 || bytes <= 0.0 || link.alpha <= 0.0) {
+    return 1;
+  }
+  const double s = std::sqrt(bytes * link.betaPerByte *
+                             static_cast<double>(chainLen - 1) / link.alpha);
+  return std::max<index_t>(1, static_cast<index_t>(std::llround(s)));
+}
+
+namespace {
+double bestRingTime(const LinkModel& link, double bytes, index_t chainLen) {
+  if (chainLen <= 0) {
+    return 0.0;
+  }
+  return ringBcastTime(link, bytes, chainLen,
+                       optimalSegments(link, bytes, chainLen));
+}
+}  // namespace
+
+double strategyPipelineTime(const LinkModel& link,
+                            simmpi::BcastStrategy strategy, double bytes,
+                            index_t p) {
+  using simmpi::BcastStrategy;
+  if (p <= 1) {
+    return 0.0;
+  }
+  switch (strategy) {
+    case BcastStrategy::kBcast:
+    case BcastStrategy::kIbcast:
+      return treeBcastTime(link, bytes, p);
+    case BcastStrategy::kRing1:
+      return bestRingTime(link, bytes, p - 1);
+    case BcastStrategy::kRing1M: {
+      // The root sends the leaf its full copy concurrently with feeding
+      // the chain of the remaining P-2 ranks.
+      const double leaf = link.alpha + bytes * link.betaPerByte;
+      return std::max(leaf, bestRingTime(link, bytes, p - 2));
+    }
+    case BcastStrategy::kRing2M: {
+      const double leaf = link.alpha + bytes * link.betaPerByte;
+      const index_t half = (p - 2 + 1) / 2;
+      return std::max(leaf, bestRingTime(link, bytes, half));
+    }
+  }
+  return 0.0;
+}
+
+double criticalPathTime(const LinkModel& link,
+                        simmpi::BcastStrategy strategy, double bytes,
+                        index_t p) {
+  using simmpi::BcastStrategy;
+  if (p <= 1) {
+    return 0.0;
+  }
+  switch (strategy) {
+    case BcastStrategy::kBcast:
+    case BcastStrategy::kIbcast:
+      // The first neighbour is one tree hop away but the message is not
+      // segmented: it waits for the full transfer.
+      return link.alpha + bytes * link.betaPerByte;
+    case BcastStrategy::kRing1: {
+      // The neighbour receives segment-by-segment but must forward each:
+      // it holds the full panel only after all segments passed through.
+      const index_t s = optimalSegments(link, bytes, p - 1);
+      return static_cast<double>(s) *
+             (link.alpha + bytes / static_cast<double>(s) *
+                               link.betaPerByte);
+    }
+    case BcastStrategy::kRing1M:
+    case BcastStrategy::kRing2M:
+      // The modified rings hand the neighbour one dedicated full-message
+      // send and relieve it of forwarding duty.
+      return link.alpha + bytes * link.betaPerByte;
+  }
+  return 0.0;
+}
+
+}  // namespace hplmxp

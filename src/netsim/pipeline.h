@@ -1,0 +1,70 @@
+// Closed-form pipeline timing of the broadcast algorithms.
+//
+// The netsim BcastModel prices strategies with calibrated efficiency
+// factors; this module derives the *mechanism* behind them from first
+// principles, using the classic alpha-beta (latency-bandwidth) model the
+// HPL literature the paper cites uses:
+//
+//   * an unpipelined binomial tree moves the whole message ceil(log2 P)
+//     times in sequence: T = ceil(log2 P) * (alpha + M*beta);
+//   * a pipelined ring splits the message into S segments and streams
+//     them: the last rank finishes after the pipeline fills (P-2 hops)
+//     plus S segment slots: T = (S + P - 2) * (alpha + (M/S)*beta), with
+//     an optimal segment count S* = sqrt(M*beta*(P-2)/alpha);
+//   * the modified ring (1M) removes the first neighbour from the chain
+//     (it receives the full message directly), shortening both the chain
+//     and, crucially, the *critical path to the next diagonal owner*;
+//   * the double ring (2M) halves the chain length by streaming both
+//     halves of the ring concurrently.
+//
+// For HPL-AI panel sizes (tens of MB), the ring's asymptotic cost
+// approaches M*beta — ceil(log2 P)x better than the unpipelined tree —
+// which is exactly why hand-rolled rings beat an unpipelined library
+// broadcast (Frontier, Finding 6), while a good library tree that already
+// pipelines internally (Summit's Spectrum MPI) leaves rings nothing to
+// win (Finding 6's flip side).
+#pragma once
+
+#include "simmpi/ring_bcast.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// alpha-beta link parameters.
+struct LinkModel {
+  double alpha = 4e-6;     // per-message latency (s)
+  double betaPerByte = 0;  // inverse bandwidth (s/byte)
+};
+
+/// Completion time of an UNPIPELINED binomial-tree broadcast.
+double treeBcastTime(const LinkModel& link, double bytes, index_t p);
+
+/// Completion time of a PIPELINED tree broadcast with S segments (what a
+/// well-tuned vendor library does internally).
+double pipelinedTreeBcastTime(const LinkModel& link, double bytes, index_t p,
+                              index_t segments);
+
+/// Completion time of a pipelined chain (ring) broadcast over `chainLen`
+/// hops with S segments.
+double ringBcastTime(const LinkModel& link, double bytes, index_t chainLen,
+                     index_t segments);
+
+/// Optimal segment count for a pipelined chain (sqrt rule), >= 1.
+index_t optimalSegments(const LinkModel& link, double bytes,
+                        index_t chainLen);
+
+/// Completion time of a strategy with optimal segmentation, matching the
+/// structure of the simmpi implementations (Ring1 chain P-1; Ring1M leaf +
+/// chain P-2; Ring2M leaf + two chains of ~(P-2)/2).
+double strategyPipelineTime(const LinkModel& link,
+                            simmpi::BcastStrategy strategy, double bytes,
+                            index_t p);
+
+/// Time until the NEXT DIAGONAL OWNER (the root's first neighbour) holds
+/// the full message — the critical-path latency the modified rings are
+/// designed to shrink (Sec. IV-B "Communicator Choice").
+double criticalPathTime(const LinkModel& link,
+                        simmpi::BcastStrategy strategy, double bytes,
+                        index_t p);
+
+}  // namespace hplmxp

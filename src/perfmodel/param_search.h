@@ -1,0 +1,50 @@
+// Parameter search over the Eq. 3 model (Sec. IV-A "B selection" /
+// "N selection").
+//
+// The paper's strategy: sweep B, plot each subproblem's rate, pick the
+// *smallest* B that delivers acceptable GEMM/GETRF/TRSM performance, and
+// additionally require GETRF (the critical-path kernel) to stay under 5%
+// of the GEMM time. The search reproduces the published selections:
+// B in {768, 1024} on Summit, B = 3072 on Frontier, and N_L = 119808 over
+// 122880 on Frontier (LDA pathology).
+#pragma once
+
+#include <vector>
+
+#include "perfmodel/kernel_model.h"
+#include "perfmodel/runtime_model.h"
+
+namespace hplmxp {
+
+struct BSearchEntry {
+  index_t b = 0;
+  double projectedSeconds = 0.0;     // Eq. 3 with look-ahead overlap
+  double ratePerGcd = 0.0;           // FLOP/s effective
+  double getrfOverGemm = 0.0;        // critical-path share heuristic
+  bool admissible = false;           // passes the <5% GETRF rule
+};
+
+struct BSearchResult {
+  std::vector<BSearchEntry> entries;
+  index_t bestB = 0;  // fastest admissible entry
+};
+
+/// Sweeps candidate block sizes for the given machine/problem and ranks
+/// them by the Eq. 3 model. `candidates` empty selects the paper's sweep
+/// {256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096}.
+BSearchResult searchBlockSize(const KernelModel& kernels, ModelInput base,
+                              std::vector<index_t> candidates = {});
+
+struct NlSearchEntry {
+  index_t nl = 0;
+  double gemmRateAtScale = 0.0;  // model rate with LDA = N_L
+  double ratePerGcd = 0.0;
+};
+
+/// Compares local-size candidates (the Sec. V-D study: 119808 vs 122880 on
+/// Frontier) at fixed B and grid.
+std::vector<NlSearchEntry> searchLocalSize(
+    const KernelModel& kernels, index_t b, index_t pr, index_t pc, double nbb,
+    const std::vector<index_t>& candidates);
+
+}  // namespace hplmxp

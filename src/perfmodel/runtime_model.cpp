@@ -1,0 +1,60 @@
+#include "perfmodel/runtime_model.h"
+
+namespace hplmxp {
+
+double serialIterationBound(const KernelModel& kernels, index_t n,
+                            index_t b) {
+  HPLMXP_REQUIRE(n > 0 && b > 0 && n % b == 0, "need N a multiple of B");
+  const double nd = static_cast<double>(n);
+  const double bd = static_cast<double>(b);
+  const double tGetrf = bd * bd * bd / kernels.getrfRate(bd);
+  const double tTrsm = 2.0 * nd * bd * bd / kernels.trsmRate(bd, nd);
+  const double tGemm = nd * nd * bd / kernels.gemmRate(nd, nd, bd);
+  return tGetrf + tTrsm + tGemm;
+}
+
+ParallelBound projectedParallelBound(const KernelModel& kernels,
+                                     const ModelInput& in) {
+  HPLMXP_REQUIRE(in.n > 0 && in.b > 0 && in.n % in.b == 0,
+                 "need N a multiple of B");
+  HPLMXP_REQUIRE(in.pr > 0 && in.pc > 0, "grid dims must be positive");
+  HPLMXP_REQUIRE(in.nbb > 0.0, "broadcast bandwidth must be positive");
+  const double nd = static_cast<double>(in.n);
+  const double bd = static_cast<double>(in.b);
+  const double prd = static_cast<double>(in.pr);
+  const double pcd = static_cast<double>(in.pc);
+  const double nl = nd / prd;  // local matrix dimension
+
+  ParallelBound out;
+  out.getrf = nd * bd * bd / kernels.getrfRate(bd);
+  out.trsmRow = nd * nd * bd / (prd * kernels.trsmRate(bd, nl));
+  out.trsmCol = nd * nd * bd / (pcd * kernels.trsmRate(bd, nl));
+  // 2*N^2 is the byte size of each FP16 panel family over the whole run.
+  out.bcastRow = 2.0 * nd * nd / (prd * in.nbb);
+  out.bcastCol = 2.0 * nd * nd / (pcd * in.nbb);
+  out.gemm = nd * nd * nd /
+             (prd * pcd *
+              kernels.gemmRate(nl, nl, bd, static_cast<index_t>(nl)));
+  return out;
+}
+
+double interNodeCommTime(const ModelInput& in, const ProcessGrid& grid,
+                         double nbnBytesPerSec) {
+  HPLMXP_REQUIRE(nbnBytesPerSec > 0.0, "node bandwidth must be positive");
+  const double nd = static_cast<double>(in.n);
+  const double qr = static_cast<double>(grid.colSharersPerNode());
+  const double qc = static_cast<double>(grid.rowSharersPerNode());
+  const double prd = static_cast<double>(grid.rows());
+  const double pcd = static_cast<double>(grid.cols());
+  return 2.0 * nd * nd * qr / (prd * nbnBytesPerSec) +
+         2.0 * nd * nd * qc / (pcd * nbnBytesPerSec);
+}
+
+double effectiveRatePerGcd(index_t n, index_t p, double seconds) {
+  HPLMXP_REQUIRE(p > 0 && seconds > 0.0, "need positive P and time");
+  const double nd = static_cast<double>(n);
+  const double flops = (2.0 / 3.0) * nd * nd * nd + 1.5 * nd * nd;
+  return flops / (static_cast<double>(p) * seconds);
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,343 @@
+#include "simmpi/comm.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+
+namespace hplmxp::simmpi {
+
+namespace detail {
+
+namespace {
+constexpr Tag kBcastTag = -1;
+constexpr Tag kReduceTag = -2;
+constexpr Tag kIbcastBase = -1000;  // grows downward per ibcast call
+}  // namespace
+
+/// Per-destination mailbox: FIFO queues keyed by (source, tag).
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::pair<index_t, Tag>, std::queue<std::vector<std::byte>>> slots;
+};
+
+/// State of one in-flight split() across all ranks of a comm.
+struct SplitOp {
+  std::vector<std::optional<std::pair<index_t, index_t>>> entries;
+  index_t arrived = 0;
+  bool built = false;
+  std::map<index_t, Comm> results;  // old rank -> new comm
+  index_t fetched = 0;
+  std::condition_variable cv;
+};
+
+struct CommState {
+  explicit CommState(index_t n) : size(n), boxes(n), splitEpoch(n, 0),
+                                  ibcastSeq(n, 0) {
+    for (auto& b : boxes) {
+      b = std::make_unique<Mailbox>();
+    }
+  }
+
+  index_t size;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+
+  // Central sense-reversing barrier.
+  std::mutex barrierMutex;
+  std::condition_variable barrierCv;
+  index_t barrierCount = 0;
+  std::uint64_t barrierGen = 0;
+
+  // split() coordination, keyed by per-rank epoch (all ranks call split in
+  // the same order, so epoch k is the same logical split on every rank).
+  std::mutex splitMutex;
+  std::map<index_t, std::unique_ptr<SplitOp>> splits;
+  std::vector<index_t> splitEpoch;
+
+  // Per-rank ibcast ordinal; ordinals agree across ranks because
+  // collectives are called in the same order on every rank.
+  std::vector<index_t> ibcastSeq;
+};
+
+}  // namespace detail
+
+using detail::CommState;
+
+index_t Comm::size() const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  return state_->size;
+}
+
+void Comm::sendBytes(index_t dest, Tag tag, const void* data,
+                     std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(dest >= 0 && dest < state_->size, "send: bad destination");
+  auto& box = *state_->boxes[static_cast<std::size_t>(dest)];
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) {
+    std::memcpy(payload.data(), data, bytes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.slots[{rank_, tag}].push(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
+  auto& box = *state_->boxes[static_cast<std::size_t>(rank_)];
+  std::vector<std::byte> payload;
+  {
+    std::unique_lock<std::mutex> lock(box.mutex);
+    const auto key = std::make_pair(src, tag);
+    box.cv.wait(lock, [&] {
+      auto it = box.slots.find(key);
+      return it != box.slots.end() && !it->second.empty();
+    });
+    auto it = box.slots.find(key);
+    payload = std::move(it->second.front());
+    it->second.pop();
+    if (it->second.empty()) {
+      box.slots.erase(it);
+    }
+  }
+  HPLMXP_REQUIRE(payload.size() == bytes,
+                 "recv: message size does not match posted buffer");
+  if (bytes > 0) {
+    std::memcpy(data, payload.data(), bytes);
+  }
+}
+
+void Comm::barrier() {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  auto& st = *state_;
+  std::unique_lock<std::mutex> lock(st.barrierMutex);
+  const std::uint64_t gen = st.barrierGen;
+  if (++st.barrierCount == st.size) {
+    st.barrierCount = 0;
+    ++st.barrierGen;
+    st.barrierCv.notify_all();
+  } else {
+    st.barrierCv.wait(lock, [&] { return st.barrierGen != gen; });
+  }
+}
+
+void Comm::bcastBytes(index_t root, void* data, std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const index_t p = state_->size;
+  HPLMXP_REQUIRE(root >= 0 && root < p, "bcast: bad root");
+  if (p == 1) {
+    return;
+  }
+  // Binomial tree on root-relative ranks.
+  const index_t rel = (rank_ - root + p) % p;
+  if (rel != 0) {
+    const index_t parentRel = (rel - 1) / 2;
+    const index_t parent = (parentRel + root) % p;
+    recvBytes(parent, detail::kBcastTag, data, bytes);
+  }
+  for (index_t childRel : {2 * rel + 1, 2 * rel + 2}) {
+    if (childRel < p) {
+      sendBytes((childRel + root) % p, detail::kBcastTag, data, bytes);
+    }
+  }
+}
+
+Request Comm::ibcastBytes(index_t root, void* data, std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const index_t p = state_->size;
+  HPLMXP_REQUIRE(root >= 0 && root < p, "ibcast: bad root");
+  const index_t seq = state_->ibcastSeq[static_cast<std::size_t>(rank_)]++;
+  const Tag tag = detail::kIbcastBase - seq;
+  if (p == 1) {
+    return Request{};
+  }
+  if (rank_ == root) {
+    // Eager star-send: with buffered transport the root completes at once
+    // (this mirrors an IBcast whose progress happens "in the background").
+    for (index_t r = 0; r < p; ++r) {
+      if (r != root) {
+        sendBytes(r, tag, data, bytes);
+      }
+    }
+    return Request{};
+  }
+  Comm self = *this;
+  return Request([self, root, tag, data, bytes]() mutable {
+    self.recvBytes(root, tag, data, bytes);
+  });
+}
+
+template <typename T>
+void Comm::allreduceSumT(T* data, index_t count) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(count >= 0, "allreduce: bad count");
+  const index_t p = state_->size;
+  if (p == 1) {
+    return;
+  }
+  // Binary-tree reduce to rank 0, then tree bcast.
+  std::vector<T> scratch(static_cast<std::size_t>(count));
+  for (index_t child : {2 * rank_ + 1, 2 * rank_ + 2}) {
+    if (child < p) {
+      recvBytes(child, detail::kReduceTag, scratch.data(),
+                scratch.size() * sizeof(T));
+      for (index_t i = 0; i < count; ++i) {
+        data[i] += scratch[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  if (rank_ != 0) {
+    sendBytes((rank_ - 1) / 2, detail::kReduceTag, data,
+              static_cast<std::size_t>(count) * sizeof(T));
+  }
+  bcastBytes(0, data, static_cast<std::size_t>(count) * sizeof(T));
+}
+
+void Comm::allreduceSum(double* data, index_t count) {
+  allreduceSumT(data, count);
+}
+void Comm::allreduceSum(float* data, index_t count) {
+  allreduceSumT(data, count);
+}
+
+double Comm::allreduceMax(double value) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const index_t p = state_->size;
+  if (p == 1) {
+    return value;
+  }
+  double scratch = 0.0;
+  for (index_t child : {2 * rank_ + 1, 2 * rank_ + 2}) {
+    if (child < p) {
+      recvBytes(child, detail::kReduceTag, &scratch, sizeof(double));
+      value = std::max(value, scratch);
+    }
+  }
+  if (rank_ != 0) {
+    sendBytes((rank_ - 1) / 2, detail::kReduceTag, &value, sizeof(double));
+  }
+  bcastBytes(0, &value, sizeof(double));
+  return value;
+}
+
+Comm::MaxLoc Comm::allreduceMaxLoc(double value, index_t where) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const index_t p = state_->size;
+  MaxLoc mine{value, where};
+  if (p == 1) {
+    return mine;
+  }
+  auto better = [](const MaxLoc& a, const MaxLoc& b) {
+    if (a.value != b.value) {
+      return a.value > b.value;
+    }
+    return a.where < b.where;  // deterministic tie-break
+  };
+  MaxLoc incoming;
+  for (index_t child : {2 * rank_ + 1, 2 * rank_ + 2}) {
+    if (child < p) {
+      recvBytes(child, detail::kReduceTag, &incoming, sizeof(MaxLoc));
+      if (better(incoming, mine)) {
+        mine = incoming;
+      }
+    }
+  }
+  if (rank_ != 0) {
+    sendBytes((rank_ - 1) / 2, detail::kReduceTag, &mine, sizeof(MaxLoc));
+  }
+  bcastBytes(0, &mine, sizeof(MaxLoc));
+  return mine;
+}
+
+void Comm::gatherBytes(index_t root, const void* sendBuf, void* recvBuf,
+                       std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const index_t p = state_->size;
+  HPLMXP_REQUIRE(root >= 0 && root < p, "gather: bad root");
+  if (rank_ == root) {
+    HPLMXP_REQUIRE(recvBuf != nullptr || bytes == 0,
+                   "gather: root needs a receive buffer");
+    auto* out = static_cast<std::byte*>(recvBuf);
+    if (bytes > 0) {
+      std::memcpy(out + static_cast<std::size_t>(rank_) * bytes, sendBuf,
+                  bytes);
+    }
+    for (index_t r = 0; r < p; ++r) {
+      if (r != root) {
+        recvBytes(r, detail::kReduceTag,
+                  out + static_cast<std::size_t>(r) * bytes, bytes);
+      }
+    }
+  } else {
+    sendBytes(root, detail::kReduceTag, sendBuf, bytes);
+  }
+}
+
+void Comm::allgatherBytes(const void* sendBuf, void* recvBuf,
+                          std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  gatherBytes(0, sendBuf, recvBuf, bytes);
+  bcastBytes(0, recvBuf, bytes * static_cast<std::size_t>(state_->size));
+}
+
+Comm Comm::split(index_t color, index_t key) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  auto& st = *state_;
+  const index_t epoch = st.splitEpoch[static_cast<std::size_t>(rank_)]++;
+
+  std::unique_lock<std::mutex> lock(st.splitMutex);
+  auto& opPtr = st.splits[epoch];
+  if (!opPtr) {
+    opPtr = std::make_unique<detail::SplitOp>();
+    opPtr->entries.resize(static_cast<std::size_t>(st.size));
+  }
+  detail::SplitOp& op = *opPtr;
+  op.entries[static_cast<std::size_t>(rank_)] = {color, key};
+  ++op.arrived;
+
+  if (op.arrived == st.size) {
+    // Last arriver builds every subgroup's communicator.
+    std::map<index_t, std::vector<std::pair<index_t, index_t>>> groups;
+    for (index_t r = 0; r < st.size; ++r) {
+      const auto& e = op.entries[static_cast<std::size_t>(r)];
+      groups[e->first].push_back({e->second, r});  // (key, old rank)
+    }
+    for (auto& [groupColor, members] : groups) {
+      std::sort(members.begin(), members.end());
+      auto newState =
+          std::make_shared<CommState>(static_cast<index_t>(members.size()));
+      for (index_t newRank = 0;
+           newRank < static_cast<index_t>(members.size()); ++newRank) {
+        const index_t oldRank =
+            members[static_cast<std::size_t>(newRank)].second;
+        op.results.emplace(oldRank, Comm(newState, newRank));
+      }
+    }
+    op.built = true;
+    op.cv.notify_all();
+  } else {
+    op.cv.wait(lock, [&] { return op.built; });
+  }
+
+  Comm result = op.results.at(rank_);
+  if (++op.fetched == st.size) {
+    st.splits.erase(epoch);
+  }
+  return result;
+}
+
+std::vector<Comm> Comm::makeWorld(index_t size) {
+  HPLMXP_REQUIRE(size > 0, "world size must be positive");
+  auto state = std::make_shared<CommState>(size);
+  std::vector<Comm> world;
+  world.reserve(static_cast<std::size_t>(size));
+  for (index_t r = 0; r < size; ++r) {
+    world.push_back(Comm(state, r));
+  }
+  return world;
+}
+
+}  // namespace hplmxp::simmpi

@@ -1,0 +1,182 @@
+// In-process message-passing runtime standing in for MPI.
+//
+// Each rank is a thread; a Comm is a handle (rank, shared state) with
+// MPI-like semantics: tagged point-to-point send/recv with per-(src, tag)
+// FIFO ordering, barriers, broadcast (synchronous tree and "IBcast"
+// nonblocking), sum/max reductions, and communicator splitting (used for
+// the row/column communicators of the 2D grid).
+//
+// Sends are buffered and never block (an unbounded-eager-buffer MPI); recv
+// blocks until a matching message arrives. This preserves the ordering and
+// deadlock structure of the paper's communication patterns while running
+// whole multi-rank executions inside one test process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp::simmpi {
+
+using Tag = std::int64_t;
+
+namespace detail {
+struct CommState;
+}
+
+/// Handle to a pending nonblocking operation. wait() must be called before
+/// the destination buffer is read (receivers) — for senders the operation
+/// completes eagerly and wait() is a no-op.
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::function<void()> complete)
+      : complete_(std::move(complete)) {}
+
+  /// Blocks until the operation is complete. Idempotent.
+  void wait() {
+    if (complete_) {
+      complete_();
+      complete_ = nullptr;
+    }
+  }
+
+ private:
+  std::function<void()> complete_;
+};
+
+/// Communicator handle. Cheap to copy; all copies share the transport.
+class Comm {
+ public:
+  Comm() = default;
+
+  [[nodiscard]] index_t rank() const { return rank_; }
+  [[nodiscard]] index_t size() const;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  // --- point to point -----------------------------------------------------
+  void sendBytes(index_t dest, Tag tag, const void* data, std::size_t bytes);
+  void recvBytes(index_t src, Tag tag, void* data, std::size_t bytes);
+
+  template <typename T>
+  void send(index_t dest, Tag tag, const T* data, index_t count) {
+    sendBytes(dest, tag, data, static_cast<std::size_t>(count) * sizeof(T));
+  }
+  template <typename T>
+  void recv(index_t src, Tag tag, T* data, index_t count) {
+    recvBytes(src, tag, data, static_cast<std::size_t>(count) * sizeof(T));
+  }
+
+  /// Nonblocking send: with the buffered transport the payload is captured
+  /// immediately, so the returned Request completes eagerly.
+  Request isendBytes(index_t dest, Tag tag, const void* data,
+                     std::size_t bytes) {
+    sendBytes(dest, tag, data, bytes);
+    return Request{};
+  }
+
+  /// Nonblocking receive: completes (blocks if necessary) at wait().
+  Request irecvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
+    Comm self = *this;
+    return Request([self, src, tag, data, bytes]() mutable {
+      self.recvBytes(src, tag, data, bytes);
+    });
+  }
+
+  /// Exchanges buffers with a partner (deadlock-free under buffering).
+  void sendrecvBytes(index_t partner, Tag tag, const void* sendBuf,
+                     void* recvBuf, std::size_t bytes) {
+    sendBytes(partner, tag, sendBuf, bytes);
+    recvBytes(partner, tag, recvBuf, bytes);
+  }
+  template <typename T>
+  void sendrecv(index_t partner, Tag tag, const T* sendBuf, T* recvBuf,
+                index_t count) {
+    sendrecvBytes(partner, tag, sendBuf, recvBuf,
+                  static_cast<std::size_t>(count) * sizeof(T));
+  }
+
+  // --- collectives (must be called by every rank of the comm, in the same
+  // order) -------------------------------------------------------------
+  void barrier();
+
+  /// Synchronous binomial-tree broadcast (the "Bcast" strategy).
+  template <typename T>
+  void bcast(index_t root, T* data, index_t count) {
+    bcastBytes(root, data, static_cast<std::size_t>(count) * sizeof(T));
+  }
+  void bcastBytes(index_t root, void* data, std::size_t bytes);
+
+  /// Nonblocking broadcast ("IBcast"): the root's data is captured and
+  /// forwarded eagerly; non-roots complete the receive in wait().
+  template <typename T>
+  Request ibcast(index_t root, T* data, index_t count) {
+    return ibcastBytes(root, data,
+                       static_cast<std::size_t>(count) * sizeof(T));
+  }
+  Request ibcastBytes(index_t root, void* data, std::size_t bytes);
+
+  /// Element-wise sum Allreduce (the IR residual reduction).
+  void allreduceSum(double* data, index_t count);
+  void allreduceSum(float* data, index_t count);
+
+  /// Scalar max Allreduce.
+  [[nodiscard]] double allreduceMax(double value);
+
+  /// MAXLOC Allreduce: every rank receives the maximum value and the
+  /// `where` payload supplied by the rank holding it (ties resolve to the
+  /// smallest `where`). Used by the pivot search of the distributed HPL
+  /// baseline.
+  struct MaxLoc {
+    double value = 0.0;
+    index_t where = 0;
+  };
+  [[nodiscard]] MaxLoc allreduceMaxLoc(double value, index_t where);
+
+  /// Gathers `count` elements from each rank to `root` (recvBuf must hold
+  /// size()*count on the root; it may be null elsewhere).
+  template <typename T>
+  void gather(index_t root, const T* sendBuf, T* recvBuf, index_t count) {
+    gatherBytes(root, sendBuf, recvBuf,
+                static_cast<std::size_t>(count) * sizeof(T));
+  }
+  void gatherBytes(index_t root, const void* sendBuf, void* recvBuf,
+                   std::size_t bytes);
+
+  /// Allgather: every rank receives every rank's contribution, in rank
+  /// order.
+  template <typename T>
+  void allgather(const T* sendBuf, T* recvBuf, index_t count) {
+    allgatherBytes(sendBuf, recvBuf,
+                   static_cast<std::size_t>(count) * sizeof(T));
+  }
+  void allgatherBytes(const void* sendBuf, void* recvBuf,
+                      std::size_t bytes);
+
+  /// Splits into sub-communicators by color; ranks ordered by (key, rank).
+  /// Every rank of this comm must call split (same call ordinal).
+  [[nodiscard]] Comm split(index_t color, index_t key);
+
+  /// World constructor used by the Runtime.
+  static std::vector<Comm> makeWorld(index_t size);
+
+ private:
+  Comm(std::shared_ptr<detail::CommState> state, index_t rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  template <typename T>
+  void allreduceSumT(T* data, index_t count);
+
+  std::shared_ptr<detail::CommState> state_;
+  index_t rank_ = 0;
+};
+
+}  // namespace hplmxp::simmpi

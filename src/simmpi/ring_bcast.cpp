@@ -1,0 +1,193 @@
+#include "simmpi/ring_bcast.h"
+
+#include <algorithm>
+
+namespace hplmxp::simmpi {
+
+namespace {
+
+constexpr Tag kRingTag = -20000;
+constexpr Tag kLeafTag = -20001;
+
+/// Iterates the message as pipeline segments.
+template <typename Fn>
+void forEachSegment(std::size_t bytes, std::size_t segmentBytes, Fn&& fn) {
+  if (bytes == 0) {
+    fn(std::size_t{0}, std::size_t{0});
+    return;
+  }
+  for (std::size_t off = 0; off < bytes; off += segmentBytes) {
+    fn(off, std::min(segmentBytes, bytes - off));
+  }
+}
+
+/// Pipelined chain root -> chain[0] -> chain[1] -> ... -> chain.back().
+/// `myPos` is the caller's position in the chain, or -1 if it is the root.
+/// Rank numbers are absolute.
+void runChain(Comm& comm, index_t root, const std::vector<index_t>& chain,
+              index_t myPos, std::byte* data, std::size_t bytes,
+              std::size_t segmentBytes) {
+  if (chain.empty()) {
+    return;
+  }
+  forEachSegment(bytes, segmentBytes, [&](std::size_t off, std::size_t len) {
+    if (myPos < 0) {
+      comm.sendBytes(chain.front(), kRingTag, data + off, len);
+      return;
+    }
+    const index_t upstream =
+        myPos == 0 ? root : chain[static_cast<std::size_t>(myPos - 1)];
+    comm.recvBytes(upstream, kRingTag, data + off, len);
+    if (myPos + 1 < static_cast<index_t>(chain.size())) {
+      comm.sendBytes(chain[static_cast<std::size_t>(myPos + 1)], kRingTag,
+                     data + off, len);
+    }
+  });
+}
+
+/// Builds the chain of root-relative ranks [first, last] mapped to absolute
+/// ranks, ascending (step=+1) or descending (step=-1).
+std::vector<index_t> buildChain(index_t p, index_t root, index_t first,
+                                index_t last, index_t step) {
+  std::vector<index_t> chain;
+  for (index_t rel = first; step > 0 ? rel <= last : rel >= last;
+       rel += step) {
+    chain.push_back((rel + root) % p);
+  }
+  return chain;
+}
+
+index_t posIn(const std::vector<index_t>& chain, index_t rank) {
+  for (index_t i = 0; i < static_cast<index_t>(chain.size()); ++i) {
+    if (chain[static_cast<std::size_t>(i)] == rank) {
+      return i;
+    }
+  }
+  return -2;  // not a member
+}
+
+void ring1(Comm& comm, index_t root, std::byte* data, std::size_t bytes,
+           std::size_t segmentBytes) {
+  const index_t p = comm.size();
+  const auto chain = buildChain(p, root, 1, p - 1, 1);
+  const index_t myPos = comm.rank() == root ? -1 : posIn(chain, comm.rank());
+  runChain(comm, root, chain, myPos, data, bytes, segmentBytes);
+}
+
+void ring1M(Comm& comm, index_t root, std::byte* data, std::size_t bytes,
+            std::size_t segmentBytes) {
+  const index_t p = comm.size();
+  const index_t rank = comm.rank();
+  const index_t leaf = (1 + root) % p;  // rel 1: off-pipeline leaf
+  if (rank == root) {
+    comm.sendBytes(leaf, kLeafTag, data, bytes);
+  } else if (rank == leaf) {
+    comm.recvBytes(root, kLeafTag, data, bytes);
+  }
+  if (p <= 2) {
+    return;
+  }
+  const auto chain = buildChain(p, root, 2, p - 1, 1);
+  const index_t myPos = rank == root ? -1 : posIn(chain, rank);
+  if (myPos >= -1) {
+    runChain(comm, root, chain, myPos, data, bytes, segmentBytes);
+  }
+}
+
+void ring2M(Comm& comm, index_t root, std::byte* data, std::size_t bytes,
+            std::size_t segmentBytes) {
+  const index_t p = comm.size();
+  if (p <= 3) {
+    ring1M(comm, root, data, bytes, segmentBytes);
+    return;
+  }
+  const index_t rank = comm.rank();
+  const index_t leaf = (1 + root) % p;
+  if (rank == root) {
+    comm.sendBytes(leaf, kLeafTag, data, bytes);
+  } else if (rank == leaf) {
+    comm.recvBytes(root, kLeafTag, data, bytes);
+  }
+  // Two half-rings over rel 2..h (ascending) and rel P-1..h+1 (descending).
+  const index_t h = p / 2;
+  const auto chainA = buildChain(p, root, 2, h, 1);
+  const auto chainB = buildChain(p, root, p - 1, h + 1, -1);
+  if (rank == root) {
+    // Interleave segment sends to both chain heads to mimic the concurrent
+    // double-ring injection.
+    forEachSegment(bytes, segmentBytes,
+                   [&](std::size_t off, std::size_t len) {
+                     if (!chainA.empty()) {
+                       comm.sendBytes(chainA.front(), kRingTag, data + off,
+                                      len);
+                     }
+                     if (!chainB.empty()) {
+                       comm.sendBytes(chainB.front(), kRingTag, data + off,
+                                      len);
+                     }
+                   });
+    return;
+  }
+  index_t pos = posIn(chainA, rank);
+  if (pos >= 0) {
+    runChain(comm, root, chainA, pos, data, bytes, segmentBytes);
+    return;
+  }
+  pos = posIn(chainB, rank);
+  if (pos >= 0) {
+    runChain(comm, root, chainB, pos, data, bytes, segmentBytes);
+  }
+}
+
+}  // namespace
+
+void broadcast(Comm& comm, BcastStrategy strategy, index_t root, void* data,
+               std::size_t bytes, std::size_t segmentBytes) {
+  HPLMXP_REQUIRE(segmentBytes > 0, "segment size must be positive");
+  if (comm.size() == 1) {
+    return;
+  }
+  auto* bytesPtr = static_cast<std::byte*>(data);
+  switch (strategy) {
+    case BcastStrategy::kBcast:
+      comm.bcastBytes(root, data, bytes);
+      return;
+    case BcastStrategy::kIbcast: {
+      Request req = comm.ibcastBytes(root, data, bytes);
+      req.wait();
+      return;
+    }
+    case BcastStrategy::kRing1:
+      ring1(comm, root, bytesPtr, bytes, segmentBytes);
+      return;
+    case BcastStrategy::kRing1M:
+      ring1M(comm, root, bytesPtr, bytes, segmentBytes);
+      return;
+    case BcastStrategy::kRing2M:
+      ring2M(comm, root, bytesPtr, bytes, segmentBytes);
+      return;
+  }
+  HPLMXP_REQUIRE(false, "unknown broadcast strategy");
+}
+
+std::string toString(BcastStrategy strategy) {
+  switch (strategy) {
+    case BcastStrategy::kBcast: return "bcast";
+    case BcastStrategy::kIbcast: return "ibcast";
+    case BcastStrategy::kRing1: return "ring1";
+    case BcastStrategy::kRing1M: return "ring1m";
+    case BcastStrategy::kRing2M: return "ring2m";
+  }
+  return "?";
+}
+
+BcastStrategy bcastStrategyFromString(const std::string& name) {
+  for (BcastStrategy s : kAllBcastStrategies) {
+    if (toString(s) == name) {
+      return s;
+    }
+  }
+  throw CheckError("unknown broadcast strategy: " + name);
+}
+
+}  // namespace hplmxp::simmpi

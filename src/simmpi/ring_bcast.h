@@ -1,0 +1,49 @@
+// Broadcast strategy family (Sec. IV-B "Communicator Choice").
+//
+// The paper implements and compares: the MPI library broadcast (Bcast), the
+// nonblocking broadcast (IBcast), a single pipelined ring (Ring1), a
+// modified ring whose first neighbour receives the whole message directly
+// and does not forward (Ring1M — it shortens the critical path to the next
+// diagonal owner), and a modified double ring that pipelines two half-rings
+// concurrently (Ring2M — the best strategy on Frontier, Finding 6).
+//
+// All strategies produce identical buffers; they differ in message
+// decomposition and therefore in pipelining/latency behaviour, which the
+// netsim module models for the at-scale figures.
+#pragma once
+
+#include <string>
+
+#include "simmpi/comm.h"
+
+namespace hplmxp::simmpi {
+
+enum class BcastStrategy { kBcast, kIbcast, kRing1, kRing1M, kRing2M };
+
+/// Default pipeline segment: 64 KiB, a typical rendezvous-friendly chunk.
+inline constexpr std::size_t kDefaultSegmentBytes = 64 * 1024;
+
+/// Blocking broadcast of `bytes` from `root` using `strategy`. Collective:
+/// every rank of `comm` must call it with identical arguments (except data).
+void broadcast(Comm& comm, BcastStrategy strategy, index_t root, void* data,
+               std::size_t bytes,
+               std::size_t segmentBytes = kDefaultSegmentBytes);
+
+template <typename T>
+void broadcast(Comm& comm, BcastStrategy strategy, index_t root, T* data,
+               index_t count,
+               std::size_t segmentBytes = kDefaultSegmentBytes) {
+  broadcast(comm, strategy, root, static_cast<void*>(data),
+            static_cast<std::size_t>(count) * sizeof(T), segmentBytes);
+}
+
+/// "bcast", "ibcast", "ring1", "ring1m", "ring2m".
+std::string toString(BcastStrategy strategy);
+BcastStrategy bcastStrategyFromString(const std::string& name);
+
+/// All strategies, in the order the paper lists them.
+inline constexpr BcastStrategy kAllBcastStrategies[] = {
+    BcastStrategy::kBcast, BcastStrategy::kIbcast, BcastStrategy::kRing1,
+    BcastStrategy::kRing1M, BcastStrategy::kRing2M};
+
+}  // namespace hplmxp::simmpi

@@ -1,0 +1,44 @@
+#include "simmpi/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hplmxp::simmpi {
+
+void run(index_t worldSize, const std::function<void(Comm&)>& fn) {
+  HPLMXP_REQUIRE(worldSize > 0, "world size must be positive");
+  auto world = Comm::makeWorld(worldSize);
+
+  if (worldSize == 1) {
+    fn(world[0]);
+    return;
+  }
+
+  std::mutex excMutex;
+  std::exception_ptr firstExc;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(worldSize));
+  for (index_t r = 0; r < worldSize; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(world[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(excMutex);
+        if (!firstExc) {
+          firstExc = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (firstExc) {
+    std::rethrow_exception(firstExc);
+  }
+}
+
+}  // namespace hplmxp::simmpi

@@ -1,0 +1,29 @@
+// Launches a multi-rank program: one thread per rank, each receiving its
+// world communicator. The functional analogue of `mpirun -np P`.
+#pragma once
+
+#include <functional>
+
+#include "simmpi/comm.h"
+#include "util/common.h"
+
+namespace hplmxp::simmpi {
+
+/// Runs `fn(world)` on `worldSize` concurrent ranks and joins them all.
+/// If any rank throws, the first exception is rethrown after all ranks
+/// finish (ranks blocked on a failed peer would deadlock, so rank bodies
+/// are expected to fail collectively or not at all; tests rely on this).
+void run(index_t worldSize, const std::function<void(Comm&)>& fn);
+
+/// Variant collecting a per-rank result.
+template <typename R>
+std::vector<R> runCollect(index_t worldSize,
+                          const std::function<R(Comm&)>& fn) {
+  std::vector<R> results(static_cast<std::size_t>(worldSize));
+  run(worldSize, [&](Comm& comm) {
+    results[static_cast<std::size_t>(comm.rank())] = fn(comm);
+  });
+  return results;
+}
+
+}  // namespace hplmxp::simmpi

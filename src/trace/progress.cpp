@@ -1,0 +1,52 @@
+#include "trace/progress.h"
+
+#include <cstdio>
+
+namespace hplmxp {
+
+ProgressMonitor::ProgressMonitor(ProgressPolicy policy,
+                                 std::function<double(index_t)> reference)
+    : policy_(policy), reference_(std::move(reference)) {
+  HPLMXP_REQUIRE(policy_.slowdownFactor > 1.0,
+                 "slowdown factor must exceed 1");
+  HPLMXP_REQUIRE(policy_.strikes >= 1, "need at least one strike");
+}
+
+ProgressVerdict ProgressMonitor::observe(index_t k, double iterSeconds) {
+  if (terminated_) {
+    return ProgressVerdict::kTerminate;
+  }
+  double expected = -1.0;
+  if (reference_) {
+    expected = reference_(k);
+  }
+  if (expected <= 0.0) {
+    consecutiveSlow_ = 0;
+    return ProgressVerdict::kHealthy;
+  }
+  if (iterSeconds > expected * policy_.slowdownFactor) {
+    ++consecutiveSlow_;
+    if (consecutiveSlow_ >= policy_.strikes) {
+      terminated_ = true;
+      return ProgressVerdict::kTerminate;
+    }
+    return ProgressVerdict::kSlow;
+  }
+  consecutiveSlow_ = 0;
+  return ProgressVerdict::kHealthy;
+}
+
+std::string ProgressMonitor::reportLine(const IterationTrace& t) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "iter %6lld | trail %6lld blk | diag %8.3f ms | trsm %8.3f "
+                "ms | cast %8.3f ms | bcast %8.3f ms | gemm %8.3f ms",
+                static_cast<long long>(t.k),
+                static_cast<long long>(t.trailingBlocks),
+                t.diagSeconds * 1e3, t.trsmSeconds * 1e3,
+                t.castSeconds * 1e3, t.bcastSeconds * 1e3,
+                t.gemmSeconds * 1e3);
+  return buf;
+}
+
+}  // namespace hplmxp

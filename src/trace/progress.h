@@ -1,0 +1,58 @@
+// Progress monitoring and early termination (Sec. VI-B "Progress
+// monitoring").
+//
+// Runs at scale take hours; the paper's code emits a per-component progress
+// report at definable iterations, compares each component's rate to
+// previously recorded reference data (their Figs. 5/6 kernel curves), and
+// terminates abnormal runs early — they observed Frontier fabric hangs that
+// this mechanism would have caught.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+struct ProgressPolicy {
+  /// Emit a report every `reportEvery` iterations.
+  index_t reportEvery = 10;
+  /// Abort when an iteration runs slower than referenceSeconds(k) by more
+  /// than this factor, `strikes` times in a row.
+  double slowdownFactor = 2.0;
+  index_t strikes = 3;
+};
+
+/// Verdict for one observed iteration.
+enum class ProgressVerdict { kHealthy, kSlow, kTerminate };
+
+/// Streaming monitor fed one iteration record at a time.
+class ProgressMonitor {
+ public:
+  /// `reference` maps iteration index -> expected iteration seconds (from
+  /// recorded data or the scalesim model). Missing reference disables the
+  /// termination check for that iteration.
+  ProgressMonitor(ProgressPolicy policy,
+                  std::function<double(index_t)> reference);
+
+  /// Feeds the timing of iteration k; returns the verdict.
+  ProgressVerdict observe(index_t k, double iterSeconds);
+
+  /// Formats the most recent per-component report line (Fig. 10 style).
+  [[nodiscard]] std::string reportLine(const IterationTrace& t) const;
+
+  [[nodiscard]] index_t consecutiveSlow() const { return consecutiveSlow_; }
+  [[nodiscard]] bool terminated() const { return terminated_; }
+
+ private:
+  ProgressPolicy policy_;
+  std::function<double(index_t)> reference_;
+  index_t consecutiveSlow_ = 0;
+  bool terminated_ = false;
+};
+
+}  // namespace hplmxp

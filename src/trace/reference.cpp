@@ -1,0 +1,76 @@
+#include "trace/reference.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace hplmxp {
+
+namespace {
+constexpr char kHeader[] =
+    "k,trailing_blocks,diag_s,trsm_s,cast_s,bcast_s,gemm_s";
+}
+
+void saveReferenceTrace(const std::string& path,
+                        const std::vector<IterationTrace>& trace) {
+  std::ofstream out(path);
+  HPLMXP_REQUIRE(out.good(), "cannot open reference file for writing");
+  out << kHeader << '\n';
+  for (const IterationTrace& t : trace) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%lld,%lld,%.17g,%.17g,%.17g,%.17g,%.17g",
+                  static_cast<long long>(t.k),
+                  static_cast<long long>(t.trailingBlocks), t.diagSeconds,
+                  t.trsmSeconds, t.castSeconds, t.bcastSeconds,
+                  t.gemmSeconds);
+    out << line << '\n';
+  }
+  HPLMXP_REQUIRE(out.good(), "failed writing reference file");
+}
+
+std::vector<IterationTrace> loadReferenceTrace(const std::string& path) {
+  std::ifstream in(path);
+  HPLMXP_REQUIRE(in.good(), "cannot open reference file");
+  std::string line;
+  HPLMXP_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "reference file is empty");
+  HPLMXP_REQUIRE(line == kHeader, "reference file header mismatch");
+  std::vector<IterationTrace> trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    IterationTrace t;
+    long long k = 0;
+    long long trailing = 0;
+    const int matched = std::sscanf(
+        line.c_str(), "%lld,%lld,%lf,%lf,%lf,%lf,%lf", &k, &trailing,
+        &t.diagSeconds, &t.trsmSeconds, &t.castSeconds, &t.bcastSeconds,
+        &t.gemmSeconds);
+    HPLMXP_REQUIRE(matched == 7, "malformed reference row");
+    t.k = static_cast<index_t>(k);
+    t.trailingBlocks = static_cast<index_t>(trailing);
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+double iterationSeconds(const IterationTrace& t) {
+  return t.diagSeconds + t.trsmSeconds + t.castSeconds + t.bcastSeconds +
+         t.gemmSeconds;
+}
+
+std::function<double(index_t)> referenceFromTrace(
+    std::vector<IterationTrace> trace) {
+  auto shared =
+      std::make_shared<std::vector<IterationTrace>>(std::move(trace));
+  return [shared](index_t k) -> double {
+    if (k < 0 || k >= static_cast<index_t>(shared->size())) {
+      return -1.0;  // out of recorded range: unmonitored
+    }
+    return iterationSeconds((*shared)[static_cast<std::size_t>(k)]);
+  };
+}
+
+}  // namespace hplmxp

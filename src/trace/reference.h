@@ -1,0 +1,38 @@
+// Recorded reference data for progress monitoring.
+//
+// Sec. VI-B: "We compare each component's performance to our previously
+// recorded data in Figures 5 and 6" — a healthy run's per-iteration
+// breakdown is saved once, then later runs are monitored against it and
+// terminated early when they fall behind. This module provides the
+// save/load half of that workflow (CSV, one row per block step) and the
+// bridge that turns a loaded reference into a ProgressMonitor callback.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/progress.h"
+
+namespace hplmxp {
+
+/// Writes a per-iteration trace as CSV (header + one row per step).
+/// Throws CheckError if the file cannot be written.
+void saveReferenceTrace(const std::string& path,
+                        const std::vector<IterationTrace>& trace);
+
+/// Reads a reference trace written by saveReferenceTrace. Throws
+/// CheckError on missing file or malformed rows.
+std::vector<IterationTrace> loadReferenceTrace(const std::string& path);
+
+/// Total per-iteration seconds of a trace entry (the quantity the monitor
+/// compares against).
+double iterationSeconds(const IterationTrace& t);
+
+/// Builds the reference function for a ProgressMonitor from a recorded
+/// trace: iteration k maps to the recorded iteration time (or -1, i.e.
+/// unmonitored, beyond the recorded range).
+std::function<double(index_t)> referenceFromTrace(
+    std::vector<IterationTrace> trace);
+
+}  // namespace hplmxp

@@ -1,0 +1,54 @@
+#include "trace/slow_node.h"
+
+#include <algorithm>
+
+#include "core/single_solver.h"
+#include "gen/matgen.h"
+#include "util/buffer.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+
+double runMiniBenchmark(index_t n, index_t b, Vendor vendor,
+                        std::uint64_t seed) {
+  ProblemGenerator gen(seed, n);
+  Buffer<float> a(n * n);
+  gen.fillTile<float>(0, 0, n, n, a.data(), n);
+  Timer t;
+  factorMixedSingle(n, b, a.data(), n, vendor);
+  const double seconds = t.seconds();
+  const double nd = static_cast<double>(n);
+  return (2.0 / 3.0) * nd * nd * nd / seconds;
+}
+
+SlowNodeScanner::SlowNodeScanner(ScanPolicy policy) : policy_(policy) {
+  HPLMXP_REQUIRE(policy_.threshold > 0.0 && policy_.threshold < 1.0,
+                 "threshold must be a fraction of the median");
+}
+
+ScanReport SlowNodeScanner::scan(const std::vector<double>& rates) const {
+  HPLMXP_REQUIRE(!rates.empty(), "cannot scan an empty fleet");
+  ScanReport report;
+  report.median = percentile(rates, 50.0);
+  const Summary s = summarize(rates);
+  report.min = s.min;
+  report.max = s.max;
+  report.spreadPercent =
+      report.median > 0.0 ? (s.max - s.min) / report.median * 100.0 : 0.0;
+
+  const double cutoff = policy_.threshold * report.median;
+  double keptMin = s.max;
+  for (index_t i = 0; i < static_cast<index_t>(rates.size()); ++i) {
+    const double r = rates[static_cast<std::size_t>(i)];
+    if (r < cutoff) {
+      report.flagged.push_back(i);
+    } else {
+      keptMin = std::min(keptMin, r);
+    }
+  }
+  report.keptMinRate = report.flagged.size() == rates.size() ? 0.0 : keptMin;
+  return report;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,54 @@
+// Slow-node scanning (Sec. VI-B "Identify slow nodes").
+//
+// A single slow GCD stalls the whole synchronous pipeline, so before a
+// record run the paper scans every GCD with a mini-benchmark (a single-GPU
+// LU factorization) and excludes outliers, aggregating measurements with
+// MPI. This module provides both halves:
+//
+//   * runMiniBenchmark(): actually times the single-device mixed-precision
+//     factorization on this host (the mini-benchmark kernel itself), and
+//   * SlowNodeScanner: the aggregation/outlier logic, usable on real
+//     measurements or on a simulated fleet from machine/variability.
+#pragma once
+
+#include <vector>
+
+#include "device/device.h"
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Times one single-device mixed-precision LU of order n (block b) and
+/// returns the achieved FLOP/s (the (2/3)n^3 convention).
+double runMiniBenchmark(index_t n, index_t b, Vendor vendor,
+                        std::uint64_t seed = 1);
+
+struct ScanPolicy {
+  /// A GCD is flagged when its rate falls below `threshold` times the
+  /// fleet median.
+  double threshold = 0.93;
+};
+
+struct ScanReport {
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double spreadPercent = 0.0;             // (max-min)/median * 100
+  std::vector<index_t> flagged;           // GCD indices to exclude
+  /// Slowest multiplier among the *kept* fleet: the pipeline pace after
+  /// exclusion.
+  double keptMinRate = 0.0;
+};
+
+/// Aggregates per-GCD rates and flags outliers.
+class SlowNodeScanner {
+ public:
+  explicit SlowNodeScanner(ScanPolicy policy = {});
+
+  [[nodiscard]] ScanReport scan(const std::vector<double>& rates) const;
+
+ private:
+  ScanPolicy policy_;
+};
+
+}  // namespace hplmxp

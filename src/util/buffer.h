@@ -1,0 +1,86 @@
+// Cache-line-aligned heap buffers for matrix storage. GPU-resident matrices
+// in the paper live in HBM allocations; here the analogue is an aligned,
+// non-initializing allocation that the device model charges against its
+// memory budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Owning aligned buffer of trivially-copyable elements. Contents are
+/// uninitialized on construction (matching the semantics of a device
+/// allocation).
+template <typename T>
+class Buffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Buffer only holds trivially copyable element types");
+
+ public:
+  Buffer() = default;
+
+  explicit Buffer(index_t count) { allocate(count); }
+
+  Buffer(Buffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  ~Buffer() { release(); }
+
+  /// Reallocates to `count` elements; contents are uninitialized.
+  void allocate(index_t count) {
+    HPLMXP_REQUIRE(count >= 0, "buffer size must be non-negative");
+    release();
+    if (count == 0) {
+      return;
+    }
+    const std::size_t bytes =
+        roundUp(static_cast<index_t>(count * sizeof(T)), kBufferAlignment);
+    data_ = static_cast<T*>(std::aligned_alloc(kBufferAlignment, bytes));
+    if (data_ == nullptr) {
+      throw std::bad_alloc();
+    }
+    size_ = count;
+  }
+
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] index_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T& operator[](index_t i) { return data_[i]; }
+  const T& operator[](index_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::size_t bytes() const { return size_ * sizeof(T); }
+
+ private:
+  T* data_ = nullptr;
+  index_t size_ = 0;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,64 @@
+// Common utilities: error checking, integer helpers shared by all modules.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace hplmxp {
+
+using index_t = std::int64_t;
+
+/// Thrown by HPLMXP_CHECK / HPLMXP_REQUIRE on contract violations.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* what,
+                                     const std::source_location& loc) {
+  std::string msg = std::string(loc.file_name()) + ":" +
+                    std::to_string(loc.line()) + ": check failed: " + expr;
+  if (what != nullptr && what[0] != '\0') {
+    msg += " (";
+    msg += what;
+    msg += ")";
+  }
+  throw CheckError(msg);
+}
+}  // namespace detail
+
+/// Internal invariant check. Active in all build types: this library's
+/// correctness claims are the point of the reproduction, so we never
+/// compile checks out.
+#define HPLMXP_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::hplmxp::detail::checkFailed(#expr, "",                              \
+                                    std::source_location::current());       \
+    }                                                                       \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define HPLMXP_REQUIRE(expr, what)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::hplmxp::detail::checkFailed(#expr, (what),                          \
+                                    std::source_location::current());       \
+    }                                                                       \
+  } while (false)
+
+/// Ceiling division for non-negative integers.
+constexpr index_t ceilDiv(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr index_t roundUp(index_t a, index_t b) { return ceilDiv(a, b) * b; }
+
+/// Rounds `a` down to a multiple of `b` (b > 0).
+constexpr index_t roundDown(index_t a, index_t b) { return (a / b) * b; }
+
+}  // namespace hplmxp

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hplmxp {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::setLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Log::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+std::mutex& Log::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex());
+  std::fprintf(stderr, "[hplmxp %-5s] %s\n", levelName(level),
+               message.c_str());
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,53 @@
+// Minimal leveled logging. Thread-safe; used by the runtime and the
+// progress monitor. Output format mirrors the style of large-run progress
+// reports described in Sec. VI-B of the paper.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace hplmxp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global logging configuration.
+class Log {
+ public:
+  static void setLevel(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one line at `level` if enabled. Thread-safe.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static std::mutex& mutex();
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(Args&&... args) {
+  Log::write(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void logInfo(Args&&... args) {
+  Log::write(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void logWarn(Args&&... args) {
+  Log::write(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void logError(Args&&... args) {
+  Log::write(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace hplmxp

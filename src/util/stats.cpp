@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hplmxp {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = static_cast<index_t>(values.size());
+  if (values.empty()) {
+    return s;
+  }
+  RunningStats rs;
+  for (double v : values) {
+    rs.add(v);
+  }
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  HPLMXP_REQUIRE(!values.empty(), "percentile of empty sample");
+  HPLMXP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+double relativeSpreadPercent(const std::vector<double>& values) {
+  const Summary s = summarize(values);
+  if (s.count == 0 || s.mean == 0.0) {
+    return 0.0;
+  }
+  return (s.max - s.min) / s.mean * 100.0;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hplmxp

@@ -1,0 +1,48 @@
+// Small statistics helpers used by the variability study (Fig. 12), the
+// slow-node scanner, and the benchmark reports.
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Summary statistics of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  index_t count = 0;
+};
+
+/// Computes mean/stddev/min/max of `values`. Empty input yields zeros.
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Relative spread (max-min)/mean in percent; 0 for empty/zero-mean input.
+double relativeSpreadPercent(const std::vector<double>& values);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] index_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  index_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,39 @@
+// ASCII table formatting for the benchmark harnesses. Every figure/table
+// reproduction prints its rows/series through this so outputs are uniform
+// and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hplmxp {
+
+/// Simple right-padded ASCII table. Columns are sized to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 2);
+  /// Formats a double in scientific notation.
+  static std::string sci(double v, int digits = 3);
+  /// Formats an integer.
+  static std::string num(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,166 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace hplmxp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : hc;
+  }
+  // The caller of parallelFor also executes chunks, so a pool of size N
+  // gives N+1 lanes; spawn threads-1 workers to match the requested width.
+  const std::size_t spawn = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) {
+      return;
+    }
+    runOneTask(lock);
+  }
+}
+
+bool ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) {
+    return false;
+  }
+  Task task = std::move(queue_.front());
+  queue_.pop();
+  lock.unlock();
+  task.fn();
+  lock.lock();
+  return true;
+}
+
+namespace {
+
+/// Shared state of one parallelFor invocation.
+struct ForState {
+  std::atomic<index_t> nextChunk{0};
+  std::atomic<index_t> remainingChunks;
+  index_t totalChunks = 0;
+  index_t begin = 0;
+  index_t end = 0;
+  index_t chunkSize = 0;
+  const std::function<void(index_t)>* fn = nullptr;
+
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  std::mutex excMutex;
+  std::exception_ptr exc;
+  std::atomic<bool> failed{false};
+
+  void runChunks() {
+    while (true) {
+      const index_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= totalChunks) {
+        return;
+      }
+      const index_t lo = begin + c * chunkSize;
+      const index_t hi = std::min(end, lo + chunkSize);
+      if (!failed.load(std::memory_order_relaxed)) {
+        // Fast-path skip once a failure is seen; the flag is atomic so the
+        // check is race-free (the exception_ptr itself stays under lock).
+        try {
+          for (index_t i = lo; i < hi; ++i) {
+            (*fn)(i);
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(excMutex);
+          if (!exc) {
+            exc = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (remainingChunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(doneMutex);
+        doneCv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallelFor(index_t begin, index_t end,
+                             const std::function<void(index_t)>& fn,
+                             index_t chunks) {
+  if (begin >= end) {
+    return;
+  }
+  const index_t n = end - begin;
+  const index_t lanes = static_cast<index_t>(workers_.size()) + 1;
+  if (chunks <= 0) {
+    chunks = lanes * 4;  // mild over-decomposition to absorb imbalance
+  }
+  chunks = std::min(chunks, n);
+
+  auto state = std::make_shared<ForState>();
+  state->totalChunks = chunks;
+  state->remainingChunks.store(chunks, std::memory_order_relaxed);
+  state->begin = begin;
+  state->end = end;
+  state->chunkSize = ceilDiv(n, chunks);
+  state->fn = &fn;
+
+  // One helper task per worker; each drains chunks until exhausted.
+  const index_t helpers =
+      std::min<index_t>(static_cast<index_t>(workers_.size()), chunks);
+  if (helpers > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (index_t i = 0; i < helpers; ++i) {
+      queue_.push(Task{[state] { state->runChunks(); }});
+    }
+  }
+  cv_.notify_all();
+
+  state->runChunks();
+
+  std::unique_lock<std::mutex> lock(state->doneMutex);
+  state->doneCv.wait(lock, [&] {
+    return state->remainingChunks.load(std::memory_order_acquire) == 0;
+  });
+  if (state->exc) {
+    std::rethrow_exception(state->exc);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("HPLMXP_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace hplmxp

@@ -1,0 +1,59 @@
+// A small work-stealing-free thread pool with a parallel-for primitive.
+// The BLAS kernels use it the way a GPU kernel uses its thread blocks:
+// a flat 1-D range of independent tile tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+/// Fixed-size thread pool. Construction spawns `threads` workers; tasks are
+/// closures pushed to a shared queue. `parallelFor` blocks the caller until
+/// the whole range is processed (the caller participates in the work).
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding callers of parallelFor).
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into `chunks` contiguous
+  /// chunks (0 = one chunk per worker + caller). Blocks until complete.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallelFor(index_t begin, index_t end,
+                   const std::function<void(index_t)>& fn,
+                   index_t chunks = 0);
+
+  /// Process-wide shared pool, sized from HPLMXP_THREADS or hardware
+  /// concurrency. Kernels default to this instance.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void workerLoop();
+  bool runOneTask(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hplmxp

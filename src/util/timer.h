@@ -1,0 +1,59 @@
+// Wall-clock timing helpers used by the benchmark driver and trace module.
+#pragma once
+
+#include <chrono>
+
+namespace hplmxp {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time over multiple start/stop intervals, e.g. the per-phase
+/// timers in the per-iteration breakdown (paper Fig. 10).
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] double totalSeconds() const { return total_; }
+  [[nodiscard]] long count() const { return count_; }
+
+  void reset() {
+    total_ = 0.0;
+    count_ = 0;
+    running_ = false;
+  }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  long count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hplmxp

@@ -1,0 +1,182 @@
+// GEMM kernels vs the naive reference oracle, across shapes, transposes,
+// scalars, leading dimensions, and all three precisions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "blas/gemm.h"
+#include "blas/reference.h"
+
+namespace hplmxp {
+namespace {
+
+using blas::Trans;
+
+std::vector<float> randomVec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = d(rng);
+  }
+  return v;
+}
+
+struct GemmCase {
+  index_t m, n, k;
+  Trans ta, tb;
+  float alpha, beta;
+};
+
+class SgemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(SgemmTest, MatchesReference) {
+  const GemmCase c = GetParam();
+  const index_t lda = (c.ta == Trans::kNoTrans ? c.m : c.k) + 3;
+  const index_t ldb = (c.tb == Trans::kNoTrans ? c.k : c.n) + 1;
+  const index_t ldc = c.m + 2;
+  auto a = randomVec(static_cast<std::size_t>(
+                         lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+                     1);
+  auto b = randomVec(static_cast<std::size_t>(
+                         ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+                     2);
+  auto cOpt = randomVec(static_cast<std::size_t>(ldc * c.n), 3);
+  auto cRef = cOpt;
+
+  blas::sgemm(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+              ldb, c.beta, cOpt.data(), ldc);
+  blas::ref::gemm<float>(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda,
+                         b.data(), ldb, c.beta, cRef.data(), ldc);
+
+  const float tol = 1e-5f * static_cast<float>(std::max<index_t>(c.k, 1));
+  for (index_t j = 0; j < c.n; ++j) {
+    for (index_t i = 0; i < c.m; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i + j * ldc);
+      EXPECT_NEAR(cOpt[idx], cRef[idx], tol) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SgemmTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 0.0f},
+        GemmCase{5, 7, 3, Trans::kNoTrans, Trans::kNoTrans, 2.0f, 0.5f},
+        GemmCase{64, 64, 64, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 1.0f},
+        GemmCase{100, 50, 300, Trans::kNoTrans, Trans::kNoTrans, -1.0f, 1.0f},
+        GemmCase{33, 65, 17, Trans::kTrans, Trans::kNoTrans, 1.0f, 0.0f},
+        GemmCase{33, 65, 17, Trans::kNoTrans, Trans::kTrans, 1.0f, 2.0f},
+        GemmCase{48, 48, 48, Trans::kTrans, Trans::kTrans, 0.5f, -1.0f},
+        GemmCase{97, 101, 259, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f},
+        GemmCase{7, 300, 2, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 0.0f},
+        GemmCase{200, 3, 200, Trans::kTrans, Trans::kNoTrans, 1.0f, 0.0f}));
+
+TEST(Sgemm, ZeroDimsAreNoOps) {
+  float a = 1.0f, b = 2.0f, c = 3.0f;
+  blas::sgemm(Trans::kNoTrans, Trans::kNoTrans, 0, 0, 0, 1.0f, &a, 1, &b, 1,
+              1.0f, &c, 1);
+  EXPECT_EQ(c, 3.0f);
+  // k == 0 with beta: C scales only.
+  blas::sgemm(Trans::kNoTrans, Trans::kNoTrans, 1, 1, 0, 1.0f, &a, 1, &b, 1,
+              0.5f, &c, 1);
+  EXPECT_EQ(c, 1.5f);
+}
+
+TEST(Sgemm, BetaZeroOverwritesNanC) {
+  // beta == 0 must not propagate garbage from C (0 * NaN trap).
+  std::vector<float> a{1.0f}, b{2.0f};
+  std::vector<float> c{std::nanf("1")};
+  blas::sgemm(Trans::kNoTrans, Trans::kNoTrans, 1, 1, 1, 1.0f, a.data(), 1,
+              b.data(), 1, 0.0f, c.data(), 1);
+  EXPECT_EQ(c[0], 2.0f);
+}
+
+TEST(Dgemm, MatchesReference) {
+  const index_t m = 37, n = 53, k = 290;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(m * k)),
+      b(static_cast<std::size_t>(k * n)), c1(static_cast<std::size_t>(m * n)),
+      c2;
+  for (auto& x : a) x = d(rng);
+  for (auto& x : b) x = d(rng);
+  for (auto& x : c1) x = d(rng);
+  c2 = c1;
+  blas::dgemm(Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.5, a.data(), m,
+              b.data(), k, -0.5, c1.data(), m);
+  blas::ref::gemm<double>(Trans::kNoTrans, Trans::kNoTrans, m, n, k, 1.5,
+                          a.data(), m, b.data(), k, -0.5, c2.data(), m);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-12 * k);
+  }
+}
+
+class GemmMixedTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmMixedTest, MatchesMixedReference) {
+  const GemmCase c = GetParam();
+  const index_t lda = c.ta == Trans::kNoTrans ? c.m : c.k;
+  const index_t ldb = c.tb == Trans::kNoTrans ? c.k : c.n;
+  const index_t ldc = c.m;
+  auto af = randomVec(static_cast<std::size_t>(
+                          lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+                      7);
+  auto bf = randomVec(static_cast<std::size_t>(
+                          ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+                      8);
+  std::vector<half16> a(af.size()), b(bf.size());
+  for (std::size_t i = 0; i < af.size(); ++i) a[i] = half16(af[i]);
+  for (std::size_t i = 0; i < bf.size(); ++i) b[i] = half16(bf[i]);
+  auto cOpt = randomVec(static_cast<std::size_t>(ldc * c.n), 9);
+  auto cRef = cOpt;
+
+  blas::gemmMixed(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+                  ldb, c.beta, cOpt.data(), ldc);
+  blas::ref::gemmMixed(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda,
+                       b.data(), ldb, c.beta, cRef.data(), ldc);
+  const float tol = 1e-5f * static_cast<float>(std::max<index_t>(c.k, 1));
+  for (std::size_t i = 0; i < cOpt.size(); ++i) {
+    EXPECT_NEAR(cOpt[i], cRef[i], tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmMixedTest,
+    ::testing::Values(
+        GemmCase{16, 16, 16, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f},
+        GemmCase{60, 44, 32, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f},
+        GemmCase{31, 29, 270, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 0.0f},
+        GemmCase{8, 120, 64, Trans::kTrans, Trans::kNoTrans, 2.0f, 0.5f},
+        GemmCase{1, 1, 300, Trans::kNoTrans, Trans::kTrans, 1.0f, 1.0f}));
+
+TEST(GemmMixed, Fp32AccumulationBeatsFp16Accumulation) {
+  // The defining property of the mixed kernel: inputs are FP16 but sums
+  // accumulate in FP32. Summing k copies of 1 + one of 2^-12 stays exact
+  // in FP32 accumulation, while FP16 accumulation would lose the tail.
+  const index_t k = 256;
+  std::vector<half16> a(static_cast<std::size_t>(k), half16(1.0f));
+  std::vector<half16> b(static_cast<std::size_t>(k), half16(1.0f));
+  b[0] = half16(1.0f + 1.0f / 1024.0f);  // representable in binary16
+  float c = 0.0f;
+  blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kNoTrans, 1, 1, k, 1.0f,
+                  a.data(), 1, b.data(), k, 0.0f, &c, 1);
+  EXPECT_FLOAT_EQ(c, static_cast<float>(k) + 1.0f / 1024.0f);
+}
+
+TEST(GemmMixed, InputsAreRoundedToHalfExactly) {
+  // The kernel must see binary16-rounded operands, not the original FP32.
+  const float v = 1.0f + 1e-4f;  // not representable in binary16
+  std::vector<half16> a{half16(v)};
+  std::vector<half16> b{half16(1.0f)};
+  float c = 0.0f;
+  blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kNoTrans, 1, 1, 1, 1.0f,
+                  a.data(), 1, b.data(), 1, 0.0f, &c, 1);
+  EXPECT_EQ(c, half16(v).toFloat());
+  EXPECT_NE(c, v);
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,223 @@
+// Vector kernels (GEMV, TRSV) and the CAST / TRANS_CAST conversion phases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "blas/cast.h"
+#include "blas/gemv.h"
+#include "blas/trsv.h"
+
+namespace hplmxp {
+namespace {
+
+using blas::Diag;
+using blas::Trans;
+using blas::Uplo;
+
+TEST(Gemv, NoTransMatchesNaive) {
+  const index_t m = 300, n = 170;
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(m * n)),
+      x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(m));
+  for (auto& v : a) v = d(rng);
+  for (auto& v : x) v = d(rng);
+  for (auto& v : y) v = d(rng);
+  auto yRef = y;
+  blas::dgemv(Trans::kNoTrans, m, n, 2.0, a.data(), m, x.data(), -1.0,
+              y.data());
+  for (index_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      acc += a[static_cast<std::size_t>(i + j * m)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    yRef[static_cast<std::size_t>(i)] =
+        2.0 * acc - yRef[static_cast<std::size_t>(i)];
+  }
+  for (index_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                yRef[static_cast<std::size_t>(i)], 1e-12 * n);
+  }
+}
+
+TEST(Gemv, TransMatchesNaive) {
+  const index_t m = 90, n = 260;
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> a(static_cast<std::size_t>(m * n)),
+      x(static_cast<std::size_t>(m)), y(static_cast<std::size_t>(n), 0.0f);
+  for (auto& v : a) v = d(rng);
+  for (auto& v : x) v = d(rng);
+  blas::sgemv(Trans::kTrans, m, n, 1.0f, a.data(), m, x.data(), 0.0f,
+              y.data());
+  for (index_t j = 0; j < n; ++j) {
+    float acc = 0.0f;
+    for (index_t i = 0; i < m; ++i) {
+      acc += a[static_cast<std::size_t>(i + j * m)] *
+             x[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(j)], acc, 1e-4f);
+  }
+}
+
+TEST(Gemv, BetaZeroOverwrites) {
+  std::vector<double> a{1.0}, x{3.0};
+  std::vector<double> y{std::nan("1")};
+  blas::dgemv(Trans::kNoTrans, 1, 1, 1.0, a.data(), 1, x.data(), 0.0,
+              y.data());
+  EXPECT_EQ(y[0], 3.0);
+}
+
+class TrsvTest : public ::testing::TestWithParam<std::tuple<Uplo, Diag>> {};
+
+TEST_P(TrsvTest, SolveThenMultiplyRoundTrips) {
+  const auto [uplo, diag] = GetParam();
+  const index_t n = 120;
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-0.5, 0.5);
+  std::vector<double> a(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const bool inTri = uplo == Uplo::kLower ? i > j : i < j;
+      if (inTri) {
+        a[static_cast<std::size_t>(i + j * n)] = d(rng) / n;
+      }
+    }
+    a[static_cast<std::size_t>(j + j * n)] =
+        diag == Diag::kUnit ? 123.0 /* must be ignored */ : 3.0 + d(rng);
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = d(rng);
+  auto x = b;
+  blas::dtrsv(uplo, diag, n, a.data(), n, x.data());
+  // Multiply back: op(A) x == b.
+  for (index_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < n; ++j) {
+      const bool inTri = uplo == Uplo::kLower ? i > j : i < j;
+      double aij = 0.0;
+      if (inTri) {
+        aij = a[static_cast<std::size_t>(i + j * n)];
+      } else if (i == j) {
+        aij = diag == Diag::kUnit ? 1.0
+                                  : a[static_cast<std::size_t>(i + i * n)];
+      }
+      acc += aij * x[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(acc, b[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, TrsvTest,
+    ::testing::Combine(::testing::Values(Uplo::kLower, Uplo::kUpper),
+                       ::testing::Values(Diag::kUnit, Diag::kNonUnit)));
+
+TEST(TrsvMixed, Fp32FactorFp64Vector) {
+  // strsvMixed must match dtrsv applied to the widened factor.
+  const index_t n = 80;
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<float> d(-0.5f, 0.5f);
+  std::vector<float> a(static_cast<std::size_t>(n * n), 0.0f);
+  std::vector<double> aWide(static_cast<std::size_t>(n * n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) {
+      a[static_cast<std::size_t>(i + j * n)] = d(rng) / n;
+    }
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    aWide[i] = static_cast<double>(a[i]);
+  }
+  std::vector<double> x1(static_cast<std::size_t>(n)), x2;
+  std::uniform_real_distribution<double> dd(-1.0, 1.0);
+  for (auto& v : x1) v = dd(rng);
+  x2 = x1;
+  blas::strsvMixed(Uplo::kLower, Diag::kUnit, n, a.data(), n, x1.data());
+  blas::dtrsv(Uplo::kLower, Diag::kUnit, n, aWide.data(), n, x2.data());
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(x1[static_cast<std::size_t>(i)],
+                     x2[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Cast, CastToHalfRoundsEveryElement) {
+  const index_t m = 70, n = 33;
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<float> d(-2.0f, 2.0f);
+  std::vector<float> src(static_cast<std::size_t>(m * n));
+  for (auto& v : src) v = d(rng);
+  std::vector<half16> dst(src.size());
+  blas::castToHalf(m, n, src.data(), m, dst.data(), m);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i].bits(), half16(src[i]).bits());
+  }
+}
+
+TEST(Cast, TransCastTransposes) {
+  const index_t m = 41, n = 67;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> src(static_cast<std::size_t>(m * n));
+  for (auto& v : src) v = d(rng);
+  std::vector<half16> dst(static_cast<std::size_t>(n * m));
+  blas::transCastToHalf(m, n, src.data(), m, dst.data(), n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(j + i * n)].bits(),
+                half16(src[static_cast<std::size_t>(i + j * m)]).bits());
+    }
+  }
+}
+
+TEST(Cast, RoundTripHalfFloat) {
+  const index_t m = 30, n = 20;
+  std::vector<half16> src(static_cast<std::size_t>(m * n));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = half16(0.125f * static_cast<float>(i % 97));
+  }
+  std::vector<float> mid(src.size());
+  std::vector<half16> back(src.size());
+  blas::castToFloat(m, n, src.data(), m, mid.data(), m);
+  blas::castToHalf(m, n, mid.data(), m, back.data(), m);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(src[i].bits(), back[i].bits());
+  }
+}
+
+TEST(Cast, NarrowAndWiden) {
+  const index_t m = 25, n = 11;
+  std::vector<double> src(static_cast<std::size_t>(m * n));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  std::vector<float> f(src.size());
+  std::vector<double> back(src.size());
+  blas::narrowToFloat(m, n, src.data(), m, f.data(), m);
+  blas::widenToDouble(m, n, f.data(), m, back.data(), m);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(f[i], static_cast<float>(src[i]));
+    EXPECT_EQ(back[i], static_cast<double>(f[i]));
+  }
+}
+
+TEST(Cast, RespectsLeadingDimensions) {
+  // Submatrix cast inside a larger matrix must not touch padding.
+  const index_t m = 4, n = 3, ldSrc = 7, ldDst = 6;
+  std::vector<float> src(static_cast<std::size_t>(ldSrc * n), 9.0f);
+  std::vector<half16> dst(static_cast<std::size_t>(ldDst * n),
+                          half16(-1.0f));
+  blas::castToHalf(m, n, src.data(), ldSrc, dst.data(), ldDst);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < ldDst; ++i) {
+      const float expected = i < m ? 9.0f : -1.0f;
+      EXPECT_EQ(dst[static_cast<std::size_t>(i + j * ldDst)].toFloat(),
+                expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,116 @@
+// Single-device mixed-precision solver and the FP64 HPL baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/getrf.h"
+#include "core/hpl64.h"
+#include "core/single_solver.h"
+#include "core/verify.h"
+#include "gen/matgen.h"
+
+namespace hplmxp {
+namespace {
+
+class SingleSolveTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(SingleSolveTest, ConvergesToFp64Accuracy) {
+  const auto [n, b] = GetParam();
+  ProblemGenerator gen(100 + n, n);
+  std::vector<double> x;
+  const SingleSolveResult r =
+      solveMixedSingle(gen, b, Vendor::kAmd, x);
+  EXPECT_TRUE(r.converged) << "n=" << n << " b=" << b;
+  EXPECT_LT(r.residualInf, r.threshold);
+  // Cross-check against the dense FP64 verifier.
+  EXPECT_TRUE(hplaiValid(gen, x));
+  // A couple of refinement steps should suffice for these sizes — the
+  // point of IR is that recovering FP64 accuracy is cheap.
+  EXPECT_LE(r.irIterations, 10);
+  EXPECT_GE(r.irIterations, 1);  // FP16 GEMM must have lost *some* accuracy
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SingleSolveTest,
+                         ::testing::Values(std::make_tuple(64, 16),
+                                           std::make_tuple(128, 32),
+                                           std::make_tuple(96, 32),
+                                           std::make_tuple(192, 64),
+                                           std::make_tuple(256, 64),
+                                           std::make_tuple(128, 128)));
+
+TEST(SingleSolve, MixedFactorsAreCloseToFp64Factors) {
+  // The FP32/FP16 blocked factorization must track the FP64 no-pivot LU to
+  // within mixed-precision error (relative ~1e-3 given FP16 panels).
+  const index_t n = 128, b = 32;
+  ProblemGenerator gen(55, n);
+  std::vector<float> mixed(static_cast<std::size_t>(n * n));
+  gen.fillTile<float>(0, 0, n, n, mixed.data(), n);
+  factorMixedSingle(n, b, mixed.data(), n, Vendor::kNvidia);
+
+  std::vector<double> exact(static_cast<std::size_t>(n * n));
+  gen.fillTile<double>(0, 0, n, n, exact.data(), n);
+  blas::dgetrfNoPiv(n, exact.data(), n);
+
+  double maxRel = 0.0;
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(exact[i]));
+    maxRel = std::max(
+        maxRel, std::fabs(static_cast<double>(mixed[i]) - exact[i]) / denom);
+  }
+  EXPECT_LT(maxRel, 5e-2);   // FP16 panels bound the error
+  EXPECT_GT(maxRel, 1e-9);   // and it is genuinely mixed precision
+}
+
+TEST(SingleSolve, VendorPathsAgreeBitwise) {
+  const index_t n = 96, b = 32;
+  ProblemGenerator gen(77, n);
+  std::vector<float> a1(static_cast<std::size_t>(n * n)), a2;
+  gen.fillTile<float>(0, 0, n, n, a1.data(), n);
+  a2 = a1;
+  factorMixedSingle(n, b, a1.data(), n, Vendor::kNvidia);
+  factorMixedSingle(n, b, a2.data(), n, Vendor::kAmd);
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    ASSERT_EQ(a1[i], a2[i]);
+  }
+}
+
+TEST(SingleSolve, RejectsIndivisibleBlockSize) {
+  ProblemGenerator gen(1, 100);
+  std::vector<float> a(100 * 100);
+  gen.fillTile<float>(0, 0, 100, 100, a.data(), 100);
+  EXPECT_THROW(factorMixedSingle(100, 32, a.data(), 100, Vendor::kAmd),
+               CheckError);
+}
+
+TEST(Hpl64, SolvesAndPassesResidualCheck) {
+  ProblemGenerator gen(200, 160);
+  std::vector<double> x;
+  const Hpl64Result r = runHpl64(gen, x);
+  EXPECT_TRUE(r.passed());
+  EXPECT_LT(r.scaledResidual, 1.0);  // dense FP64 is far below 16
+  EXPECT_GT(r.gflops(), 0.0);
+  // FP64 solve is near machine precision without any refinement.
+  EXPECT_LT(residualInfDense(gen, x), hplaiThreshold(gen, infNorm(x)));
+}
+
+TEST(Hpl64, FlopConventionDiffersFromHplai) {
+  Hpl64Result r;
+  r.n = 1000;
+  const double d = 1000.0;
+  EXPECT_DOUBLE_EQ(r.flops(), (2.0 / 3.0) * d * d * d + 2.0 * d * d);
+}
+
+TEST(Verify, ThresholdScalesLinearlyInN) {
+  ProblemGenerator g1(1, 64);
+  ProblemGenerator g2(1, 128);
+  // Threshold ~ 8*N*eps*(2*N*xInf + bInf): roughly quadratic in N for
+  // fixed xInf because ||diag|| ~ N.
+  const double t1 = hplaiThreshold(g1, 1.0);
+  const double t2 = hplaiThreshold(g2, 1.0);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace hplmxp

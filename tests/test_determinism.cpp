@@ -1,0 +1,143 @@
+// Determinism guarantees: results must be bit-identical across thread-pool
+// widths and repeated runs — reproducibility is a prerequisite for the
+// paper's debugging/tuning methodology (comparing component rates against
+// recorded reference data only works if the numbers are stable).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "blas/blas.h"
+#include "blas/reference.h"
+#include "core/hplai.h"
+#include "core/single_solver.h"
+#include "gen/matgen.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp {
+namespace {
+
+std::vector<float> randomVec(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = d(rng);
+  }
+  return v;
+}
+
+TEST(Determinism, GemmIdenticalAcrossPoolWidths) {
+  // Each C element is one fixed-order dot product regardless of how tiles
+  // are scheduled: widths 1, 2 and 5 must agree bitwise.
+  const index_t n = 150;
+  const auto a = randomVec(static_cast<std::size_t>(n * n), 1);
+  const auto b = randomVec(static_cast<std::size_t>(n * n), 2);
+  std::vector<std::vector<float>> results;
+  for (std::size_t width : {1u, 2u, 5u}) {
+    ThreadPool pool(width);
+    std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+    blas::sgemm(blas::Trans::kNoTrans, blas::Trans::kTrans, n, n, n, 1.0f,
+                a.data(), n, b.data(), n, 0.0f, c.data(), n, &pool);
+    results.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    ASSERT_EQ(results[0][i], results[1][i]) << "i=" << i;
+    ASSERT_EQ(results[0][i], results[2][i]) << "i=" << i;
+  }
+}
+
+TEST(Determinism, TrsmIdenticalAcrossPoolWidths) {
+  const index_t n = 96;
+  ProblemGenerator gen(3, n);
+  std::vector<float> tri(static_cast<std::size_t>(n * n));
+  gen.fillTile<float>(0, 0, n, n, tri.data(), n);
+  std::vector<std::vector<float>> results;
+  for (std::size_t width : {1u, 3u}) {
+    ThreadPool pool(width);
+    auto rhs = randomVec(static_cast<std::size_t>(n * 40), 7);
+    blas::strsm(blas::Side::kLeft, blas::Uplo::kLower, blas::Diag::kUnit, n,
+                40, 1.0f, tri.data(), n, rhs.data(), n, &pool);
+    results.push_back(std::move(rhs));
+  }
+  for (std::size_t i = 0; i < results[0].size(); ++i) {
+    ASSERT_EQ(results[0][i], results[1][i]);
+  }
+}
+
+TEST(Determinism, SingleDeviceFactorIsRunToRunStable) {
+  const index_t n = 128, b = 32;
+  ProblemGenerator gen(11, n);
+  std::vector<float> a1(static_cast<std::size_t>(n * n)), a2;
+  gen.fillTile<float>(0, 0, n, n, a1.data(), n);
+  a2 = a1;
+  factorMixedSingle(n, b, a1.data(), n, Vendor::kAmd);
+  factorMixedSingle(n, b, a2.data(), n, Vendor::kAmd);
+  for (std::size_t i = 0; i < a1.size(); ++i) {
+    ASSERT_EQ(a1[i], a2[i]);
+  }
+}
+
+TEST(Determinism, DistributedSolutionIsRunToRunStable) {
+  // Same config run twice: thread interleaving differs, solutions must
+  // not (all reductions have fixed tree shapes and fixed operand order).
+  HplaiConfig cfg;
+  cfg.n = 128;
+  cfg.b = 16;
+  cfg.pr = 2;
+  cfg.pc = 2;
+  std::vector<double> x1, x2;
+  const HplaiResult r1 = runHplai(cfg, &x1);
+  const HplaiResult r2 = runHplai(cfg, &x2);
+  EXPECT_EQ(r1.irIterations, r2.irIterations);
+  EXPECT_EQ(r1.residualInf, r2.residualInf);
+  ASSERT_EQ(x1.size(), x2.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_EQ(x1[i], x2[i]) << "i=" << i;
+  }
+}
+
+TEST(Determinism, FuzzedGemmShapesMatchReference) {
+  // 150 pseudo-random (shape, trans, scalar) combinations against the
+  // naive oracle — broad-spectrum coverage of the packing/blocking edges.
+  std::mt19937 rng(2022);
+  std::uniform_int_distribution<index_t> dim(1, 70);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_real_distribution<float> scal(-2.0f, 2.0f);
+  for (int iter = 0; iter < 150; ++iter) {
+    const index_t m = dim(rng), n = dim(rng), k = dim(rng);
+    const auto ta = coin(rng) ? blas::Trans::kTrans : blas::Trans::kNoTrans;
+    const auto tb = coin(rng) ? blas::Trans::kTrans : blas::Trans::kNoTrans;
+    const float alpha = scal(rng);
+    const float beta = coin(rng) ? 0.0f : scal(rng);
+    const index_t lda = (ta == blas::Trans::kNoTrans ? m : k) + coin(rng);
+    const index_t ldb = (tb == blas::Trans::kNoTrans ? k : n) + coin(rng);
+    const index_t ldc = m + coin(rng);
+    const auto a = randomVec(
+        static_cast<std::size_t>(lda *
+                                 (ta == blas::Trans::kNoTrans ? k : m)),
+        static_cast<unsigned>(iter * 3 + 1));
+    const auto b = randomVec(
+        static_cast<std::size_t>(ldb *
+                                 (tb == blas::Trans::kNoTrans ? n : k)),
+        static_cast<unsigned>(iter * 3 + 2));
+    auto c1 = randomVec(static_cast<std::size_t>(ldc * n),
+                        static_cast<unsigned>(iter * 3 + 3));
+    auto c2 = c1;
+    blas::sgemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+                c1.data(), ldc);
+    blas::ref::gemm<float>(ta, tb, m, n, k, alpha, a.data(), lda, b.data(),
+                           ldb, beta, c2.data(), ldc);
+    const float tol = 1e-5f * static_cast<float>(k + 1);
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i + j * ldc);
+        ASSERT_NEAR(c1[idx], c2[idx], tol)
+            << "iter=" << iter << " m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

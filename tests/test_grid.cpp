@@ -1,0 +1,197 @@
+// Process-grid and block-cyclic layout invariants: mappings are bijective,
+// ownership partitions the matrix, node-local grids tile correctly, and the
+// Eq. 4 traffic formula behaves as Sec. IV-B describes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "grid/block_cyclic.h"
+#include "grid/process_grid.h"
+
+namespace hplmxp {
+namespace {
+
+class GridBijectionTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t,
+                                                 index_t>> {};
+
+TEST_P(GridBijectionTest, NodeLocalCoordsRoundTrip) {
+  const auto [pr, pc, qr, qc] = GetParam();
+  const ProcessGrid g = ProcessGrid::nodeLocal(pr, pc, qr, qc);
+  std::set<std::pair<index_t, index_t>> seen;
+  for (index_t r = 0; r < g.size(); ++r) {
+    const GridCoord c = g.coordOf(r);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, pr);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, pc);
+    EXPECT_EQ(g.rankOf(c.row, c.col), r);
+    seen.insert({c.row, c.col});
+  }
+  EXPECT_EQ(static_cast<index_t>(seen.size()), pr * pc);
+}
+
+TEST_P(GridBijectionTest, NodesAreContiguousQrByQcTiles) {
+  const auto [pr, pc, qr, qc] = GetParam();
+  const ProcessGrid g = ProcessGrid::nodeLocal(pr, pc, qr, qc);
+  for (index_t node = 0; node < g.nodeCount(); ++node) {
+    // Collect coordinates of all GCDs on this node.
+    index_t minR = pr, maxR = -1, minC = pc, maxC = -1;
+    index_t count = 0;
+    for (index_t r = 0; r < g.size(); ++r) {
+      if (g.nodeOf(r) != node) {
+        continue;
+      }
+      const GridCoord c = g.coordOf(r);
+      minR = std::min(minR, c.row);
+      maxR = std::max(maxR, c.row);
+      minC = std::min(minC, c.col);
+      maxC = std::max(maxC, c.col);
+      ++count;
+    }
+    EXPECT_EQ(count, qr * qc);
+    EXPECT_EQ(maxR - minR + 1, qr);
+    EXPECT_EQ(maxC - minC + 1, qc);
+    EXPECT_EQ(minR % qr, 0);  // tiles are aligned
+    EXPECT_EQ(minC % qc, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, GridBijectionTest,
+    ::testing::Values(std::make_tuple(6, 6, 3, 2), std::make_tuple(6, 6, 2, 3),
+                      std::make_tuple(8, 8, 2, 4), std::make_tuple(8, 8, 4, 2),
+                      std::make_tuple(4, 4, 1, 1), std::make_tuple(12, 6, 6, 1),
+                      std::make_tuple(2, 8, 2, 8)));
+
+TEST(ProcessGrid, ColumnMajorNumbering) {
+  const ProcessGrid g = ProcessGrid::columnMajor(4, 3, 2);
+  for (index_t r = 0; r < 12; ++r) {
+    const GridCoord c = g.coordOf(r);
+    EXPECT_EQ(c.row, r % 4);
+    EXPECT_EQ(c.col, r / 4);
+    EXPECT_EQ(g.rankOf(c.row, c.col), r);
+    EXPECT_EQ(g.nodeOf(r), r / 2);
+  }
+  EXPECT_EQ(g.nodeCount(), 6);
+}
+
+TEST(ProcessGrid, NodeLocalRequiresDivisibility) {
+  EXPECT_THROW(ProcessGrid::nodeLocal(6, 6, 4, 2), CheckError);
+  EXPECT_THROW(ProcessGrid::nodeLocal(6, 6, 3, 4), CheckError);
+}
+
+TEST(ProcessGrid, Eq4TrafficFavorsBalancedNodeGrids) {
+  // Sec. IV-B: Kr ~ Kc minimizes per-node traffic. Compare a balanced
+  // Frontier-style 2x4 node grid against a degenerate 8x1 on a square
+  // process grid: balanced must move less data per node.
+  const double n = 1.0e6;
+  const ProcessGrid balanced = ProcessGrid::nodeLocal(16, 16, 2, 4);
+  const ProcessGrid skinny = ProcessGrid::nodeLocal(16, 16, 8, 1);
+  // Identical GCDs per node, different tiling.
+  EXPECT_EQ(balanced.gcdsPerNode(), skinny.gcdsPerNode());
+  EXPECT_LT(balanced.nodeTrafficBytes(n), skinny.nodeTrafficBytes(n));
+}
+
+TEST(ProcessGrid, TrafficFormulaMatchesEq4) {
+  const ProcessGrid g = ProcessGrid::nodeLocal(8, 8, 2, 4);
+  // Kr = 4, Kc = 2: 2N^2/4 + 2N^2/2 = N^2.
+  EXPECT_EQ(g.nodeRows(), 4);
+  EXPECT_EQ(g.nodeCols(), 2);
+  const double n = 1000.0;
+  EXPECT_DOUBLE_EQ(g.nodeTrafficBytes(n), 1.5 * n * n);
+}
+
+class BlockCyclicTest
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t,
+                                                 index_t>> {};
+
+TEST_P(BlockCyclicTest, OwnershipPartitionsAllBlocks) {
+  const auto [n, b, pr, pc] = GetParam();
+  const BlockCyclic layout(n, b, pr, pc);
+  const index_t nb = layout.globalBlocks();
+  // Every block has exactly one owner; local counts add up.
+  std::vector<index_t> perRankBlocks(static_cast<std::size_t>(pr * pc), 0);
+  for (index_t bi = 0; bi < nb; ++bi) {
+    for (index_t bj = 0; bj < nb; ++bj) {
+      const GridCoord o = layout.ownerOf(bi, bj);
+      ++perRankBlocks[static_cast<std::size_t>(o.row * pc + o.col)];
+    }
+  }
+  index_t total = 0;
+  for (index_t r = 0; r < pr; ++r) {
+    for (index_t c = 0; c < pc; ++c) {
+      const index_t expected =
+          layout.localBlockRows(r) * layout.localBlockCols(c);
+      EXPECT_EQ(perRankBlocks[static_cast<std::size_t>(r * pc + c)], expected)
+          << "rank (" << r << "," << c << ")";
+      total += expected;
+    }
+  }
+  EXPECT_EQ(total, nb * nb);
+}
+
+TEST_P(BlockCyclicTest, GlobalLocalRoundTrip) {
+  const auto [n, b, pr, pc] = GetParam();
+  const BlockCyclic layout(n, b, pr, pc);
+  const index_t nb = layout.globalBlocks();
+  for (index_t bi = 0; bi < nb; ++bi) {
+    const GridCoord o = layout.ownerOf(bi, 0);
+    const index_t lbi = layout.localBlockRow(bi);
+    EXPECT_EQ(layout.globalBlockRow(o.row, lbi), bi);
+  }
+  for (index_t bj = 0; bj < nb; ++bj) {
+    const GridCoord o = layout.ownerOf(0, bj);
+    const index_t lbj = layout.localBlockCol(bj);
+    EXPECT_EQ(layout.globalBlockCol(o.col, lbj), bj);
+  }
+}
+
+TEST_P(BlockCyclicTest, FirstTrailingBlockIsConsistent) {
+  const auto [n, b, pr, pc] = GetParam();
+  const BlockCyclic layout(n, b, pr, pc);
+  const index_t nb = layout.globalBlocks();
+  for (index_t k = 0; k < nb; ++k) {
+    for (index_t prow = 0; prow < pr; ++prow) {
+      const index_t first = layout.firstLocalBlockRowAtOrAfter(prow, k);
+      // All local block rows before `first` map to global rows < k, and
+      // `first` itself (if it exists) maps to a global row >= k.
+      for (index_t l = 0; l < first; ++l) {
+        EXPECT_LT(layout.globalBlockRow(prow, l), k);
+      }
+      if (first < layout.localBlockRows(prow)) {
+        EXPECT_GE(layout.globalBlockRow(prow, first), k);
+      }
+    }
+  }
+}
+
+TEST_P(BlockCyclicTest, ElementLocationRoundTrip) {
+  const auto [n, b, pr, pc] = GetParam();
+  const BlockCyclic layout(n, b, pr, pc);
+  for (index_t i = 0; i < n; i += std::max<index_t>(1, n / 17)) {
+    const auto loc = layout.locateRow(i);
+    // Reconstruct the global row from (owner, local index).
+    const index_t lbi = loc.localIndex / b;
+    const index_t off = loc.localIndex % b;
+    EXPECT_EQ(layout.globalBlockRow(loc.gridIndex, lbi) * b + off, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, BlockCyclicTest,
+    ::testing::Values(std::make_tuple(64, 8, 2, 2),
+                      std::make_tuple(96, 8, 3, 2),
+                      std::make_tuple(128, 16, 2, 4),
+                      std::make_tuple(60, 12, 1, 5),
+                      std::make_tuple(48, 16, 3, 3),
+                      std::make_tuple(256, 32, 4, 2),
+                      std::make_tuple(40, 8, 5, 1)));
+
+TEST(BlockCyclic, RejectsIndivisibleN) {
+  EXPECT_THROW(BlockCyclic(100, 16, 2, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,128 @@
+// Unit and property tests of the software IEEE binary16 type. Correct
+// storage rounding is what drives the numerical behaviour of the whole
+// mixed-precision benchmark, so this module is tested exhaustively.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "fp16/half.h"
+
+namespace hplmxp {
+namespace {
+
+TEST(Half, ZeroAndSigns) {
+  EXPECT_EQ(half16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half16(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(half16(0.0f).toFloat(), 0.0f);
+  EXPECT_TRUE(std::signbit(half16(-0.0f).toFloat()));
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2^11 are exactly representable.
+  for (int i = -2048; i <= 2048; ++i) {
+    const float f = static_cast<float>(i);
+    EXPECT_EQ(half16(f).toFloat(), f) << "i=" << i;
+  }
+}
+
+TEST(Half, KnownValues) {
+  EXPECT_EQ(half16(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(half16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(half16(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(half16(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half16(6.103515625e-05f).bits(), 0x0400u);  // min normal
+  EXPECT_EQ(half16(5.9604644775390625e-08f).bits(), 0x0001u);  // min subnorm
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half16(65520.0f).isInf());  // rounds past max finite
+  EXPECT_TRUE(half16(1e10f).isInf());
+  EXPECT_TRUE(half16(-1e10f).toFloat() < 0.0f);
+  EXPECT_TRUE(half16(-1e10f).isInf());
+  // 65519.996 rounds to 65504 (below the midpoint 65520).
+  EXPECT_EQ(half16(65519.0f).toFloat(), 65504.0f);
+}
+
+TEST(Half, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(half16(inf).isInf());
+  EXPECT_TRUE(half16(-inf).isInf());
+  EXPECT_TRUE(half16(std::numeric_limits<float>::quiet_NaN()).isNan());
+  EXPECT_TRUE(std::isnan(half16(std::nanf("1")).toFloat()));
+}
+
+TEST(Half, RoundToNearestEvenAtOne) {
+  // Between 1.0 and 1.0 + 2^-10, the midpoint 1 + 2^-11 ties to even (1.0).
+  const float ulp = 9.765625e-04f;  // 2^-10
+  EXPECT_EQ(half16(1.0f + ulp / 2.0f).toFloat(), 1.0f);        // tie -> even
+  EXPECT_EQ(half16(1.0f + ulp * 0.51f).toFloat(), 1.0f + ulp);  // above
+  EXPECT_EQ(half16(1.0f + ulp * 0.49f).toFloat(), 1.0f);        // below
+  // Between 1+ulp and 1+2*ulp the tie rounds UP to the even mantissa.
+  EXPECT_EQ(half16(1.0f + 1.5f * ulp).toFloat(), 1.0f + 2.0f * ulp);
+}
+
+TEST(Half, SubnormalRounding) {
+  const float minSub = 5.9604644775390625e-08f;  // 2^-24
+  // Half of the smallest subnormal ties to zero (even).
+  EXPECT_EQ(half16(minSub / 2.0f).toFloat(), 0.0f);
+  // Slightly above the midpoint rounds up to the smallest subnormal.
+  EXPECT_EQ(half16(minSub * 0.75f).toFloat(), minSub);
+  // 1.5x smallest subnormal ties to 2x (even).
+  EXPECT_EQ(half16(minSub * 1.5f).toFloat(), 2.0f * minSub);
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Property: binary16 -> float -> binary16 is the identity for every
+  // finite/infinite pattern, and NaNs stay NaNs.
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const half16 h = half16::fromBits(static_cast<std::uint16_t>(bits));
+    if (h.isNan()) {
+      EXPECT_TRUE(half16(h.toFloat()).isNan());
+      continue;
+    }
+    EXPECT_EQ(half16(h.toFloat()).bits(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(Half, ConversionErrorWithinHalfUlp) {
+  // Property: |half(f) - f| <= 2^-11 * |f| for normal-range inputs.
+  for (int i = 1; i < 4000; ++i) {
+    const float f = 0.37f * static_cast<float>(i);
+    if (std::fabs(f) > half16::maxFinite()) {
+      break;
+    }
+    const float err = std::fabs(half16(f).toFloat() - f);
+    EXPECT_LE(err, half16::epsilonUnit() * std::fabs(f)) << "f=" << f;
+  }
+}
+
+TEST(Half, ArithmeticRoundsThroughFloat) {
+  const half16 a(1.5f);
+  const half16 b(2.25f);
+  EXPECT_EQ((a + b).toFloat(), 3.75f);
+  EXPECT_EQ((a * b).toFloat(), 3.375f);
+  EXPECT_EQ((b - a).toFloat(), 0.75f);
+  EXPECT_EQ((b / a).toFloat(), 1.5f);
+}
+
+TEST(Half, LimitsConstants) {
+  EXPECT_EQ(half16(half16::maxFinite()).toFloat(), 65504.0f);
+  EXPECT_EQ(half16(half16::minNormal()).bits(), 0x0400u);
+  EXPECT_FLOAT_EQ(half16::epsilonUnit(), std::ldexp(1.0f, -11));
+}
+
+/// Casting a panel whose entries are bounded by 1 (the L panel after the
+/// diagonally-dominant TRSM) loses at most the unit roundoff per entry —
+/// the property the paper's mixed-precision GEMM accuracy rests on.
+TEST(Half, PanelEntriesSurviveCast) {
+  for (int i = 0; i < 2000; ++i) {
+    const float v = -1.0f + 0.001f * static_cast<float>(i);
+    const float err = std::fabs(half16(v).toFloat() - v);
+    EXPECT_LE(err, half16::epsilonUnit() * std::max(std::fabs(v), 1e-3f));
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,111 @@
+// Cross-validation of the software binary16 against the compiler's native
+// _Float16 (GCC on x86-64 emulates IEEE binary16 exactly). This pins our
+// conversion to the reference semantics over the ENTIRE binary16 space and
+// a dense sweep of the float space — the strongest possible oracle for the
+// precision behaviour the whole mixed-precision benchmark rests on.
+#include <gtest/gtest.h>
+
+#ifdef __FLT16_MANT_DIG__
+#define HPLMXP_HAS_NATIVE_F16 1
+#endif
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "fp16/half.h"
+
+namespace hplmxp {
+namespace {
+
+#ifdef HPLMXP_HAS_NATIVE_F16
+
+std::uint16_t nativeBits(float f) {
+  const _Float16 h = static_cast<_Float16>(f);
+  std::uint16_t bits;
+  std::memcpy(&bits, &h, sizeof(bits));
+  return bits;
+}
+
+float nativeToFloat(std::uint16_t bits) {
+  _Float16 h;
+  std::memcpy(&h, &bits, sizeof(bits));
+  return static_cast<float>(h);
+}
+
+TEST(HalfNative, WideningMatchesForAllBitPatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float ours = half16::toFloatBits(bits);
+    const float ref = nativeToFloat(bits);
+    if (std::isnan(ref)) {
+      EXPECT_TRUE(std::isnan(ours)) << "bits=" << b;
+      continue;
+    }
+    EXPECT_EQ(ours, ref) << "bits=" << b;
+    // Signed zero must match too.
+    EXPECT_EQ(std::signbit(ours), std::signbit(ref)) << "bits=" << b;
+  }
+}
+
+TEST(HalfNative, NarrowingMatchesOnDenseExponentSweep) {
+  // Every float exponent from far-underflow to overflow, with mantissa
+  // patterns chosen to hit round-down / tie / round-up cases.
+  const std::uint32_t mantissas[] = {
+      0x000000u, 0x000001u, 0x0FFFFFu, 0x100000u, 0x100001u, 0x1FFFFFu,
+      0x200000u, 0x2FFFFFu, 0x300000u, 0x3FFFFFu, 0x400000u, 0x5A5A5Au,
+      0x7FFFFEu, 0x7FFFFFu};
+  for (int exp = 0; exp <= 254; ++exp) {
+    for (std::uint32_t m : mantissas) {
+      for (std::uint32_t sign : {0u, 0x80000000u}) {
+        const std::uint32_t fb =
+            sign | (static_cast<std::uint32_t>(exp) << 23) | m;
+        float f;
+        std::memcpy(&f, &fb, sizeof(f));
+        ASSERT_EQ(half16::fromFloat(f), nativeBits(f))
+            << "float bits=" << std::hex << fb;
+      }
+    }
+  }
+}
+
+TEST(HalfNative, NarrowingMatchesOnPseudoRandomFloats) {
+  std::uint64_t state = 0x1234567890ABCDEFULL;
+  for (int i = 0; i < 2000000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto fb = static_cast<std::uint32_t>(state >> 32);
+    float f;
+    std::memcpy(&f, &fb, sizeof(f));
+    if (std::isnan(f)) {
+      continue;  // NaN payloads may differ; NaN-ness is covered above
+    }
+    ASSERT_EQ(half16::fromFloat(f), nativeBits(f))
+        << "float bits=" << std::hex << fb;
+  }
+}
+
+TEST(HalfNative, SubnormalBoundaryScan) {
+  // Fine scan across the subnormal/normal boundary and the underflow edge,
+  // where double-rounding bugs live.
+  for (double v = 1e-9; v < 1e-3; v *= 1.0009) {
+    const auto f = static_cast<float>(v);
+    ASSERT_EQ(half16::fromFloat(f), nativeBits(f)) << "v=" << v;
+    ASSERT_EQ(half16::fromFloat(-f), nativeBits(-f)) << "v=-" << v;
+  }
+}
+
+TEST(HalfNative, OverflowBoundaryScan) {
+  for (double v = 60000.0; v < 70000.0; v += 0.5) {
+    const auto f = static_cast<float>(v);
+    ASSERT_EQ(half16::fromFloat(f), nativeBits(f)) << "v=" << v;
+  }
+}
+
+#else
+TEST(HalfNative, SkippedWithoutNativeFloat16) {
+  GTEST_SKIP() << "compiler lacks _Float16; cross-validation unavailable";
+}
+#endif
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,88 @@
+// Tests of the 64-bit LCG and its O(log n) jump-ahead — the property that
+// lets every rank regenerate any part of A on the fly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/lcg.h"
+
+namespace hplmxp {
+namespace {
+
+TEST(Lcg, SequentialDeterminism) {
+  Lcg64 a(123);
+  Lcg64 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Lcg, DifferentSeedsDiffer) {
+  Lcg64 a(1);
+  Lcg64 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+class LcgJumpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcgJumpTest, JumpEqualsNSteps) {
+  const std::uint64_t n = GetParam();
+  const std::uint64_t seed = 0xDEADBEEFCAFEF00DULL;
+  Lcg64 seq(seed);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    seq.next();
+  }
+  EXPECT_EQ(Lcg64::jumped(seed, n), seq.state()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(JumpLengths, LcgJumpTest,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 63, 64, 65, 100,
+                                           255, 256, 1000, 4097, 65536,
+                                           1000000));
+
+TEST(Lcg, JumpComposes) {
+  // Property: jump(a) then jump(b) == jump(a+b), for many (a, b).
+  const std::uint64_t seed = 42;
+  for (std::uint64_t a = 0; a < 50; a += 7) {
+    for (std::uint64_t b = 0; b < 5000; b += 431) {
+      const std::uint64_t s1 = Lcg64::jumped(Lcg64::jumped(seed, a), b);
+      const std::uint64_t s2 = Lcg64::jumped(seed, a + b);
+      EXPECT_EQ(s1, s2) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Lcg, JumpHugeOffsetsFinish) {
+  // O(log n) even for offsets like N^2 with N = 20M (Frontier-scale).
+  const std::uint64_t huge = 20606976ULL * 20606976ULL;
+  const std::uint64_t s = Lcg64::jumped(7, huge);
+  EXPECT_NE(s, Lcg64::jumped(7, huge - 1));
+  // And it matches one more sequential step from huge-1.
+  EXPECT_EQ(s, Lcg64::jumped(7, huge - 1) * Lcg64::kMultiplier +
+                   Lcg64::kIncrement);
+}
+
+TEST(Lcg, UniformRange) {
+  Lcg64 g(99);
+  double mean = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = Lcg64::toUniform(g.next());
+    ASSERT_GE(u, -0.5);
+    ASSERT_LT(u, 0.5);
+    mean += u;
+  }
+  mean /= kSamples;
+  EXPECT_NEAR(mean, 0.0, 0.01);  // ~0 within sampling noise
+}
+
+TEST(Lcg, JumpZeroIsIdentity) {
+  EXPECT_EQ(Lcg64::jumped(0x123456789ULL, 0), 0x123456789ULL);
+}
+
+}  // namespace
+}  // namespace hplmxp

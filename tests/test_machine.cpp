@@ -1,0 +1,162 @@
+// Machine specs (Table I), the GCD variability model, and the warm-up /
+// run-sequence model (Fig. 12 behaviours).
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "machine/power.h"
+#include "machine/variability.h"
+#include "machine/warmup.h"
+#include "util/stats.h"
+
+namespace hplmxp {
+namespace {
+
+TEST(Machine, TableISummit) {
+  const MachineSpec& s = summitSpec();
+  EXPECT_EQ(s.nodes, 4608);
+  EXPECT_EQ(s.gcdsPerNode, 6);
+  EXPECT_EQ(s.totalGcds(), 27648);
+  EXPECT_DOUBLE_EQ(s.fp16TflopsPerGcd, 125.0);
+  EXPECT_DOUBLE_EQ(s.fp64TflopsPerGcd, 7.8);
+  EXPECT_DOUBLE_EQ(s.fp16TflopsPerNode, 750.0);
+  EXPECT_EQ(s.nicsPerNode, 2);
+  EXPECT_FALSE(s.nicAttachedToGpu);
+  EXPECT_EQ(s.vendor, Vendor::kNvidia);
+}
+
+TEST(Machine, TableIFrontier) {
+  const MachineSpec& f = frontierSpec();
+  EXPECT_EQ(f.nodes, 9408);
+  EXPECT_EQ(f.gcdsPerNode, 8);
+  EXPECT_EQ(f.totalGcds(), 75264);
+  // Table I lists 298/54.5 per MI250X (2 GCDs): 149/27.25 per GCD.
+  EXPECT_DOUBLE_EQ(f.fp16TflopsPerGcd * 2.0, 298.0);
+  EXPECT_DOUBLE_EQ(f.fp64TflopsPerGcd * 2.0, 54.5);
+  EXPECT_DOUBLE_EQ(f.fp16TflopsPerNode, 1192.0);
+  EXPECT_EQ(f.nicsPerNode, 4);
+  EXPECT_TRUE(f.nicAttachedToGpu);
+  EXPECT_EQ(f.vendor, Vendor::kAmd);
+}
+
+TEST(Machine, DerivedRatiosMatchPaperNarrative) {
+  const MachineSpec& s = summitSpec();
+  const MachineSpec& f = frontierSpec();
+  // "Frontier has 1.58x per-node performance in half precision".
+  EXPECT_NEAR(f.fp16TflopsPerNode / s.fp16TflopsPerNode, 1.58, 0.02);
+  // "2x+ the number of nodes".
+  EXPECT_GT(static_cast<double>(f.nodes) / s.nodes, 2.0);
+  // "Frontier will be ~8x more powerful in double precision" (system).
+  EXPECT_NEAR(f.systemPeakFp64Pflops() / s.systemPeakFp64Pflops(), 9.5, 1.5);
+  // "4x memory per GCD over Summit".
+  EXPECT_DOUBLE_EQ(f.gpuMemGiBPerGcd / s.gpuMemGiBPerGcd, 4.0);
+}
+
+TEST(Machine, PaperProblemSizesFitGpuMemory) {
+  // N_L = 61440 (Summit, ~14 GiB FP32) and 119808 (Frontier, ~53 GiB).
+  const double summitGiB = 61440.0 * 61440.0 * 4.0 / (1 << 30);
+  const double frontierGiB =
+      119808.0 * 119808.0 * 4.0 / (1ULL << 30);
+  EXPECT_NEAR(summitGiB, 14.06, 0.1);
+  EXPECT_LT(summitGiB, summitSpec().gpuMemGiBPerGcd);
+  EXPECT_NEAR(frontierGiB, 53.5, 0.2);
+  EXPECT_LT(frontierGiB, frontierSpec().gpuMemGiBPerGcd);
+}
+
+TEST(Variability, DeterministicAndBounded) {
+  GcdVariability v(VariabilityConfig{.seed = 1, .spread = 0.05});
+  for (index_t i = 0; i < 1000; ++i) {
+    const double m = v.multiplier(i);
+    EXPECT_GT(m, 0.95 - 1e-12);
+    EXPECT_LE(m, 1.0);
+    EXPECT_EQ(m, v.multiplier(i));  // deterministic
+  }
+  // ~5% maximum spread across a fleet (Sec. VI-B observation).
+  const auto fleet = v.fleet(4096);
+  EXPECT_NEAR(relativeSpreadPercent(fleet), 5.0, 0.6);
+}
+
+TEST(Variability, DegradedDiesAreSlowerAndFindable) {
+  GcdVariability v(VariabilityConfig{
+      .seed = 3, .spread = 0.05, .slowFraction = 0.01, .slowPenalty = 0.3});
+  index_t degraded = 0;
+  for (index_t i = 0; i < 10000; ++i) {
+    if (v.isDegraded(i)) {
+      ++degraded;
+      EXPECT_LT(v.multiplier(i), 0.70 * 1.0 + 1e-9);
+    } else {
+      EXPECT_GE(v.multiplier(i), 0.95 - 1e-12);
+    }
+  }
+  // ~1% of dies.
+  EXPECT_NEAR(static_cast<double>(degraded) / 10000.0, 0.01, 0.004);
+}
+
+TEST(Variability, FleetMinIsThePipelineStallFactor) {
+  GcdVariability v(VariabilityConfig{.seed = 5, .spread = 0.05});
+  const auto fleet = v.fleet(512);
+  EXPECT_DOUBLE_EQ(v.fleetMin(512), summarize(fleet).min);
+}
+
+TEST(Warmup, SummitFirstRunIsTwentyPercentSlower) {
+  WarmupModel m(MachineKind::kSummit);
+  const auto seq = m.sequence(6, /*preWarmed=*/false);
+  EXPECT_NEAR(seq[0], 0.80, 0.01);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_NEAR(seq[i], 1.0, 0.0012);  // 0.12% cap after warm-up
+  }
+}
+
+TEST(Warmup, SummitPreWarmRemovesColdPenalty) {
+  WarmupModel m(MachineKind::kSummit);
+  const auto seq = m.sequence(6, /*preWarmed=*/true);
+  for (double f : seq) {
+    EXPECT_NEAR(f, 1.0, 0.0012);
+  }
+}
+
+TEST(Warmup, FrontierEarlyRunsAreFaster) {
+  WarmupModel m(MachineKind::kFrontier);
+  const auto seq = m.sequence(6, /*preWarmed=*/false);
+  // First two runs above the settled level, then within the 0.34% cap.
+  EXPECT_GT(seq[0], 1.005);
+  EXPECT_GT(seq[1], 1.003);
+  EXPECT_GT(seq[0], seq[1]);
+  for (std::size_t i = 2; i < seq.size(); ++i) {
+    EXPECT_NEAR(seq[i], 1.0, 0.0034);
+  }
+}
+
+TEST(Power, JobPowerAndEnergyScaleLinearly) {
+  const PowerModel p(MachineKind::kFrontier);
+  EXPECT_DOUBLE_EQ(p.jobPowerMw(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.jobPowerMw(2000), 2.0 * p.jobPowerMw(1000));
+  EXPECT_DOUBLE_EQ(p.runEnergyMwh(1000, 3600.0), p.jobPowerMw(1000));
+  EXPECT_GT(p.nodeLoadKw(), p.nodeIdleKw());
+}
+
+TEST(Power, FullSystemEnvelopesMatchPublicNumbers) {
+  // Summit ~13 MW, Frontier ~21 MW under benchmark load.
+  EXPECT_NEAR(PowerModel(MachineKind::kSummit).jobPowerMw(4608), 13.0, 0.5);
+  EXPECT_NEAR(PowerModel(MachineKind::kFrontier).jobPowerMw(9408), 21.0,
+              1.0);
+}
+
+TEST(Power, FrontierHplEfficiencyIsGreen500Class) {
+  // Frontier's HPL sits around 50-60 GFLOPS/W; with ~1.2 EFLOPS FP64 over
+  // the full system the model should land in that class.
+  const PowerModel p(MachineKind::kFrontier);
+  const double eff = p.gflopsPerWatt(1.2e18, 9408);
+  EXPECT_GT(eff, 40.0);
+  EXPECT_LT(eff, 75.0);
+}
+
+TEST(Warmup, FrontierPreWarmStartsSettled) {
+  WarmupModel m(MachineKind::kFrontier);
+  const auto seq = m.sequence(6, /*preWarmed=*/true);
+  for (double f : seq) {
+    EXPECT_NEAR(f, 1.0, 0.0034);
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,123 @@
+// Network model tests: the Fig. 8 orderings (port binding, GPU-aware MPI,
+// ring-vs-tree per machine) must come out of the BcastModel.
+#include <gtest/gtest.h>
+
+#include "netsim/bcast_model.h"
+
+namespace hplmxp {
+namespace {
+
+using simmpi::BcastStrategy;
+
+TEST(BcastModel, PortBindingImprovesSummitBandwidth) {
+  const BcastModel bound(NetworkConfig{.machine = MachineKind::kSummit,
+                                       .portBinding = true});
+  const BcastModel unbound(NetworkConfig{.machine = MachineKind::kSummit,
+                                         .portBinding = false});
+  const double gain = unbound.panelBcastTime(BcastStrategy::kBcast, 1e8, 54,
+                                             3) /
+                      bound.panelBcastTime(BcastStrategy::kBcast, 1e8, 54, 3);
+  // Finding 5: 35.6% to 59.7% improvement range (bandwidth-bound message).
+  EXPECT_GT(gain, 1.30);
+  EXPECT_LT(gain, 1.75);
+}
+
+TEST(BcastModel, GpuAwareMpiImprovesFrontierBandwidth) {
+  const BcastModel aware(NetworkConfig{.machine = MachineKind::kFrontier,
+                                       .gpuAwareMpi = true});
+  const BcastModel staged(NetworkConfig{.machine = MachineKind::kFrontier,
+                                        .gpuAwareMpi = false});
+  const double gain =
+      staged.panelBcastTime(BcastStrategy::kRing2M, 1e8, 32, 4) /
+      aware.panelBcastTime(BcastStrategy::kRing2M, 1e8, 32, 4);
+  // Bandwidth-level penalty of host staging; the END-TO-END 40.3-56.6%
+  // gain of Finding 7 emerges from this once the communication share of
+  // the run is applied (tested in test_scalesim).
+  EXPECT_GT(gain, 2.0);
+  EXPECT_LT(gain, 3.5);
+}
+
+TEST(BcastModel, KnobsOnlyAffectTheirMachine) {
+  const BcastModel a(NetworkConfig{.machine = MachineKind::kSummit,
+                                   .portBinding = true,
+                                   .gpuAwareMpi = true});
+  const BcastModel b(NetworkConfig{.machine = MachineKind::kSummit,
+                                   .portBinding = true,
+                                   .gpuAwareMpi = false});
+  EXPECT_DOUBLE_EQ(a.effectiveNodeBandwidth(), b.effectiveNodeBandwidth());
+  const BcastModel c(NetworkConfig{.machine = MachineKind::kFrontier,
+                                   .portBinding = false,
+                                   .gpuAwareMpi = true});
+  const BcastModel d(NetworkConfig{.machine = MachineKind::kFrontier,
+                                   .portBinding = true,
+                                   .gpuAwareMpi = true});
+  EXPECT_DOUBLE_EQ(c.effectiveNodeBandwidth(), d.effectiveNodeBandwidth());
+}
+
+TEST(BcastModel, RingsBeatBcastOnFrontierOnly) {
+  // Finding 6: ring broadcasts outperform the library Bcast on Frontier;
+  // on Summit the tuned tree keeps a 2-12% edge for bandwidth-bound sizes.
+  const double bytes = 5e8;
+  const BcastModel frontier(
+      NetworkConfig{.machine = MachineKind::kFrontier});
+  EXPECT_LT(frontier.panelBcastTime(BcastStrategy::kRing2M, bytes, 172, 4),
+            frontier.panelBcastTime(BcastStrategy::kBcast, bytes, 172, 4));
+  EXPECT_LT(frontier.panelBcastTime(BcastStrategy::kRing1M, bytes, 172, 4),
+            frontier.panelBcastTime(BcastStrategy::kBcast, bytes, 172, 4));
+
+  const BcastModel summit(NetworkConfig{.machine = MachineKind::kSummit});
+  EXPECT_GT(summit.panelBcastTime(BcastStrategy::kRing2M, bytes, 162, 3),
+            summit.panelBcastTime(BcastStrategy::kBcast, bytes, 162, 3));
+  const double ringPenalty =
+      summit.panelBcastTime(BcastStrategy::kRing1, bytes, 162, 3) /
+      summit.panelBcastTime(BcastStrategy::kBcast, bytes, 162, 3);
+  EXPECT_GT(ringPenalty, 1.0);
+  EXPECT_LT(ringPenalty, 1.2);
+}
+
+TEST(BcastModel, Ring2MIsBestRingOnFrontier) {
+  const BcastModel m(NetworkConfig{.machine = MachineKind::kFrontier});
+  const double bytes = 5e8;
+  const double r1 = m.panelBcastTime(BcastStrategy::kRing1, bytes, 172, 4);
+  const double r1m = m.panelBcastTime(BcastStrategy::kRing1M, bytes, 172, 4);
+  const double r2m = m.panelBcastTime(BcastStrategy::kRing2M, bytes, 172, 4);
+  EXPECT_LT(r2m, r1m);
+  EXPECT_LT(r1m, r1);
+}
+
+TEST(BcastModel, IbcastIsPathologicalOnSummit) {
+  // Spectrum MPI's nonblocking broadcast is the paper's worst performer
+  // (the source of the 603% best-vs-worst spread on Summit).
+  const BcastModel m(NetworkConfig{.machine = MachineKind::kSummit});
+  const double bytes = 5e8;
+  EXPECT_GT(m.panelBcastTime(BcastStrategy::kIbcast, bytes, 162, 3),
+            2.5 * m.panelBcastTime(BcastStrategy::kBcast, bytes, 162, 3));
+}
+
+TEST(BcastModel, NicSharingScalesTime) {
+  const BcastModel m(NetworkConfig{.machine = MachineKind::kFrontier});
+  const double t1 = m.panelBcastTime(BcastStrategy::kBcast, 1e8, 32, 1);
+  const double t8 = m.panelBcastTime(BcastStrategy::kBcast, 1e8, 32, 8);
+  // Eq. 5: 8 sharers ~ 8x the bandwidth term (latency unchanged).
+  EXPECT_GT(t8, 6.0 * t1);
+  EXPECT_LT(t8, 8.5 * t1);
+}
+
+TEST(BcastModel, SingleRankBroadcastsAreFree) {
+  const BcastModel m(NetworkConfig{.machine = MachineKind::kSummit});
+  EXPECT_DOUBLE_EQ(m.panelBcastTime(BcastStrategy::kRing2M, 1e9, 1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.diagBcastTime(1e6, 1), 0.0);
+}
+
+TEST(BcastModel, RingLatencyGrowsLinearlyTreeLogarithmically) {
+  const BcastModel m(NetworkConfig{.machine = MachineKind::kFrontier});
+  const double treeSmall = m.strategyLatency(BcastStrategy::kBcast, 16);
+  const double treeBig = m.strategyLatency(BcastStrategy::kBcast, 256);
+  const double ringSmall = m.strategyLatency(BcastStrategy::kRing1, 16);
+  const double ringBig = m.strategyLatency(BcastStrategy::kRing1, 256);
+  EXPECT_NEAR(treeBig / treeSmall, 2.0, 0.1);    // log2: 8/4
+  EXPECT_NEAR(ringBig / ringSmall, 17.0, 0.5);   // linear: 255/15
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,186 @@
+// Cross-cutting property tests: monotonicity of the FP16 rounding, the
+// statistical quality of the generator, special-value propagation through
+// the kernels, and precision-loss bounds of the mixed factorization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/blas.h"
+#include "core/single_solver.h"
+#include "fp16/half.h"
+#include "gen/matgen.h"
+#include "util/stats.h"
+
+namespace hplmxp {
+namespace {
+
+TEST(Properties, HalfRoundingIsMonotone) {
+  // f <= g implies half(f) <= half(g): rounding must never invert order.
+  float prev = -70000.0f;
+  float prevRounded = half16(prev).toFloat();
+  for (int i = 1; i <= 20000; ++i) {
+    const float f = -70000.0f + 7.0f * static_cast<float>(i);
+    const float r = half16(f).toFloat();
+    ASSERT_LE(prevRounded, r) << "f=" << f;
+    prev = f;
+    prevRounded = r;
+  }
+}
+
+TEST(Properties, HalfRoundingIsIdempotent) {
+  // Rounding an already-representable value changes nothing.
+  for (std::uint32_t b = 0; b <= 0x7BFFu; b += 7) {
+    const half16 h = half16::fromBits(static_cast<std::uint16_t>(b));
+    ASSERT_EQ(half16(h.toFloat()).bits(), h.bits());
+  }
+}
+
+TEST(Properties, HalfNegationIsExact) {
+  for (float f : {0.0f, 1.0f, 0.333f, 1234.5f, 6.1e-5f, 1e-7f}) {
+    EXPECT_EQ(half16(-f).bits() ^ 0x8000u, half16(f).bits());
+  }
+}
+
+TEST(Properties, GeneratorUniformityByChiSquare) {
+  // Off-diagonal entries should be uniform in [-0.5, 0.5): a 20-bucket
+  // chi-square over 40000 entries must stay below a generous cutoff
+  // (chi2_{19, 0.999} ~ 43.8).
+  const index_t n = 200;
+  ProblemGenerator gen(123, n);
+  std::vector<index_t> buckets(20, 0);
+  index_t total = 0;
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const double u = gen.entry(i, j) + 0.5;  // [0, 1)
+      const auto b = static_cast<std::size_t>(u * 20.0);
+      ++buckets[std::min<std::size_t>(b, 19)];
+      ++total;
+    }
+  }
+  const double expected = static_cast<double>(total) / 20.0;
+  double chi2 = 0.0;
+  for (index_t c : buckets) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 43.8) << "generator not uniform";
+}
+
+TEST(Properties, GeneratorRowsAreUncorrelated) {
+  // Adjacent-row correlation of the LCG stream must be negligible.
+  const index_t n = 400;
+  ProblemGenerator gen(9, n);
+  double sumXY = 0.0, sumX = 0.0, sumY = 0.0, sumX2 = 0.0, sumY2 = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    if (j == 100 || j == 101) {
+      continue;  // skip diagonal-affected entries
+    }
+    const double x = gen.entry(100, j);
+    const double y = gen.entry(101, j);
+    sumXY += x * y;
+    sumX += x;
+    sumY += y;
+    sumX2 += x * x;
+    sumY2 += y * y;
+  }
+  const double m = static_cast<double>(n - 2);
+  const double cov = sumXY / m - (sumX / m) * (sumY / m);
+  const double vx = sumX2 / m - (sumX / m) * (sumX / m);
+  const double vy = sumY2 / m - (sumY / m) * (sumY / m);
+  EXPECT_LT(std::fabs(cov / std::sqrt(vx * vy)), 0.15);
+}
+
+TEST(Properties, GemmPropagatesSpecialValuesSanely) {
+  // An infinity in A lands exactly in the affected row of C.
+  const index_t n = 8;
+  std::vector<float> a(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  a[3] = std::numeric_limits<float>::infinity();  // A(3, 0)
+  blas::sgemm(blas::Trans::kNoTrans, blas::Trans::kNoTrans, n, n, n, 1.0f,
+              a.data(), n, b.data(), n, 0.0f, c.data(), n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const float v = c[static_cast<std::size_t>(i + j * n)];
+      if (i == 3) {
+        EXPECT_TRUE(std::isinf(v));
+      } else {
+        EXPECT_EQ(v, static_cast<float>(n));
+      }
+    }
+  }
+}
+
+TEST(Properties, MixedFactorErrorShrinksWithPrecision) {
+  // The FP16-panel factorization's deviation from the FP64 factorization
+  // is an FP16-scale effect: it must exceed FP32 epsilon (mixed precision
+  // is really in play) and stay within ~a few FP16 ulps relative.
+  for (index_t n : {64, 128, 192}) {
+    ProblemGenerator gen(n, n);
+    std::vector<float> mixed(static_cast<std::size_t>(n * n));
+    gen.fillTile<float>(0, 0, n, n, mixed.data(), n);
+    factorMixedSingle(n, 32, mixed.data(), n, Vendor::kAmd);
+    std::vector<double> exact(static_cast<std::size_t>(n * n));
+    gen.fillTile<double>(0, 0, n, n, exact.data(), n);
+    blas::dgetrfNoPiv(n, exact.data(), n);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < mixed.size(); ++i) {
+      const double denom = std::max(1.0, std::fabs(exact[i]));
+      worst = std::max(worst, std::fabs(mixed[i] - exact[i]) / denom);
+    }
+    EXPECT_GT(worst, std::numeric_limits<float>::epsilon()) << "n=" << n;
+    EXPECT_LT(worst, 64.0 * half16::epsilonUnit()) << "n=" << n;
+  }
+}
+
+TEST(Properties, RefinementContractsGeometrically) {
+  // Successive IR residuals shrink by a roughly constant factor (the
+  // contraction rate of the FP16-perturbed iteration matrix).
+  const index_t n = 192, b = 32;
+  ProblemGenerator gen(5, n);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  gen.fillTile<float>(0, 0, n, n, a.data(), n);
+  factorMixedSingle(n, b, a.data(), n, Vendor::kAmd);
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> residuals;
+  for (int iter = 0; iter < 4; ++iter) {
+    // r = b - A x, dense FP64.
+    std::vector<double> r(static_cast<std::size_t>(n));
+    double rInf = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      double acc = gen.rhs(i);
+      for (index_t j = 0; j < n; ++j) {
+        acc -= gen.entry(i, j) * x[static_cast<std::size_t>(j)];
+      }
+      r[static_cast<std::size_t>(i)] = acc;
+      rInf = std::max(rInf, std::fabs(acc));
+    }
+    residuals.push_back(rInf);
+    blas::strsvMixed(blas::Uplo::kLower, blas::Diag::kUnit, n, a.data(), n,
+                     r.data());
+    blas::strsvMixed(blas::Uplo::kUpper, blas::Diag::kNonUnit, n, a.data(),
+                     n, r.data());
+    for (index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += r[static_cast<std::size_t>(i)];
+    }
+  }
+  // Strictly decreasing with a strong contraction each step (until the
+  // FP64 floor is hit).
+  for (std::size_t i = 1; i < residuals.size(); ++i) {
+    if (residuals[i - 1] < 1e-14) {
+      break;  // already at the floor
+    }
+    EXPECT_LT(residuals[i], residuals[i - 1] * 1e-2)
+        << "step " << i << ": " << residuals[i - 1] << " -> "
+        << residuals[i];
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,338 @@
+// At-scale simulator tests: the headline reproductions (Fig. 11), the
+// weak-scaling shape (Fig. 9), tuning orderings (Figs. 4, 8), the
+// breakdown structure (Fig. 10), and the run-sequence study (Fig. 12).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/variability.h"
+#include "scalesim/scale_sim.h"
+
+namespace hplmxp {
+namespace {
+
+using simmpi::BcastStrategy;
+
+ScaleSimConfig summitAchievement() {
+  return ScaleSimConfig{.machine = MachineKind::kSummit,
+                        .nl = 61440,
+                        .b = 768,
+                        .pr = 162,
+                        .pc = 162,
+                        .gridOrder = GridOrder::kNodeLocal,
+                        .qr = 3,
+                        .qc = 2,
+                        .strategy = BcastStrategy::kBcast,
+                        .slowestGcdMultiplier = 0.97};
+}
+
+ScaleSimConfig frontierAchievement() {
+  return ScaleSimConfig{.machine = MachineKind::kFrontier,
+                        .nl = 119808,
+                        .b = 3072,
+                        .pr = 172,
+                        .pc = 172,
+                        .gridOrder = GridOrder::kNodeLocal,
+                        .qr = 4,
+                        .qc = 2,
+                        .strategy = BcastStrategy::kRing2M,
+                        .slowestGcdMultiplier = 0.97};
+}
+
+TEST(ScaleSim, SummitExascaleRun) {
+  // Paper: 1.411 EFLOPS at P = 162^2, B = 768 (Fig. 11). The model must
+  // land within ~10% and exceed an exaflop.
+  const ScaleSimResult r = simulateRun(summitAchievement());
+  EXPECT_GT(r.exaflops, 1.0);
+  EXPECT_NEAR(r.exaflops, 1.411, 0.15);
+  EXPECT_NEAR(r.ratePerGcd / 1e12, 53.8, 6.0);
+}
+
+TEST(ScaleSim, FrontierExascaleRun) {
+  // Paper: 2.387 EFLOPS at P = 172^2, B = 3072, Ring2M on ~40% of
+  // Frontier.
+  const ScaleSimResult r = simulateRun(frontierAchievement());
+  EXPECT_NEAR(r.exaflops, 2.387, 0.12);
+  EXPECT_NEAR(r.ratePerGcd / 1e12, 80.7, 4.0);
+}
+
+TEST(ScaleSim, FrontierBeatsSummitOnFractionOfSystem) {
+  // 29584 GCDs of Frontier beat 26244 GCDs of Summit while solving a much
+  // larger N (20.6M vs ~10M) — the Fig. 11 narrative.
+  const ScaleSimResult s = simulateRun(summitAchievement());
+  const ScaleSimResult f = simulateRun(frontierAchievement());
+  EXPECT_GT(f.exaflops, s.exaflops);
+  EXPECT_GT(f.n, 2 * s.n);
+}
+
+TEST(ScaleSim, FullFrontierProjectsFiveExaflops) {
+  // Sec. VIII: "full scale Frontier runs will be able to achieve 5 EFLOPS".
+  ScaleSimConfig cfg = frontierAchievement();
+  cfg.pr = cfg.pc = 272;  // ~73984 GCDs ~ full system
+  const ScaleSimResult r = simulateRun(cfg);
+  EXPECT_GT(r.exaflops, 5.0);
+  EXPECT_LT(r.exaflops, 6.5);
+}
+
+TEST(ScaleSim, HplAiOverHplIsAboutNinePointFive) {
+  // Summit HPL-AI / HPL ~ 9.5x (abstract). FP64 mode prices HPL.
+  const ScaleSimResult mxp = simulateRun(summitAchievement());
+  ScaleSimConfig hpl = summitAchievement();
+  hpl.fp64 = true;
+  const ScaleSimResult h = simulateRun(hpl);
+  const double ratio = mxp.ratePerGcd / h.ratePerGcd;
+  EXPECT_GT(ratio, 7.0);
+  EXPECT_LT(ratio, 13.0);
+}
+
+TEST(ScaleSim, OptimalBlockSizesMatchPaper) {
+  // Fig. 4: sweep B in a distributed setting; Summit peaks at 768-1024,
+  // Frontier at 3072.
+  auto bestB = [](MachineKind kind, index_t nl, index_t pr,
+                  BcastStrategy s, index_t qr, index_t qc) {
+    double best = 0.0;
+    index_t arg = 0;
+    for (index_t b : {256, 512, 768, 1024, 1536, 2048, 3072, 4096}) {
+      if ((nl * pr) % b != 0) {
+        continue;
+      }
+      ScaleSimConfig cfg{.machine = kind, .nl = nl, .b = b, .pr = pr,
+                         .pc = pr, .gridOrder = GridOrder::kNodeLocal,
+                         .qr = qr, .qc = qc, .strategy = s};
+      const double r = simulateRun(cfg).ratePerGcd;
+      if (r > best) {
+        best = r;
+        arg = b;
+      }
+    }
+    return arg;
+  };
+  const index_t summitB =
+      bestB(MachineKind::kSummit, 61440, 54, BcastStrategy::kBcast, 3, 2);
+  EXPECT_TRUE(summitB == 768 || summitB == 1024) << "Summit B=" << summitB;
+  const index_t frontierB = bestB(MachineKind::kFrontier, 119808, 32,
+                                  BcastStrategy::kRing2M, 4, 2);
+  EXPECT_EQ(frontierB, 3072);
+}
+
+TEST(ScaleSim, CommStrategyOrderingsMatchFig8) {
+  // Frontier: Ring2M > Ring1M > Ring1 > Bcast; Summit: Bcast best, IBcast
+  // catastrophic.
+  auto rate = [](MachineKind kind, BcastStrategy s, index_t qr, index_t qc) {
+    ScaleSimConfig cfg{.machine = kind,
+                       .nl = kind == MachineKind::kSummit ? 61440 : 119808,
+                       .b = kind == MachineKind::kSummit ? 768 : 3072,
+                       .pr = kind == MachineKind::kSummit ? 54 : 32,
+                       .pc = kind == MachineKind::kSummit ? 54 : 32,
+                       .gridOrder = GridOrder::kNodeLocal,
+                       .qr = qr,
+                       .qc = qc,
+                       .strategy = s};
+    return simulateRun(cfg).ratePerGcd;
+  };
+  const double fBcast = rate(MachineKind::kFrontier, BcastStrategy::kBcast,
+                             4, 2);
+  const double fR1 = rate(MachineKind::kFrontier, BcastStrategy::kRing1, 4,
+                          2);
+  const double fR1m = rate(MachineKind::kFrontier, BcastStrategy::kRing1M, 4,
+                           2);
+  const double fR2m = rate(MachineKind::kFrontier, BcastStrategy::kRing2M, 4,
+                           2);
+  EXPECT_GT(fR2m, fR1m);
+  EXPECT_GT(fR1m, fR1);
+  EXPECT_GT(fR1, fBcast);
+  // Finding 6 magnitude: rings 20-34.4% over Bcast on Frontier.
+  EXPECT_GT(fR2m / fBcast, 1.05);
+  EXPECT_LT(fR2m / fBcast, 1.45);
+
+  const double sBcast = rate(MachineKind::kSummit, BcastStrategy::kBcast, 3,
+                             2);
+  const double sR2m = rate(MachineKind::kSummit, BcastStrategy::kRing2M, 3,
+                           2);
+  const double sIb = rate(MachineKind::kSummit, BcastStrategy::kIbcast, 3,
+                          2);
+  EXPECT_GT(sBcast, sR2m);          // rings lose on Summit
+  EXPECT_GT(sR2m / sBcast, 0.85);   // ... by a modest 2-12%
+  EXPECT_LT(sIb, 0.7 * sBcast);     // IBcast is the disaster case
+}
+
+TEST(ScaleSim, PortBindingAndGpuAwareEndToEndGains) {
+  ScaleSimConfig s{.machine = MachineKind::kSummit, .nl = 61440, .b = 768,
+                   .pr = 54, .pc = 54, .gridOrder = GridOrder::kNodeLocal,
+                   .qr = 3, .qc = 2, .strategy = BcastStrategy::kBcast};
+  const double bound = simulateRun(s).ratePerGcd;
+  s.portBinding = false;
+  const double unbound = simulateRun(s).ratePerGcd;
+  // Finding 5: 35.6-59.7% end-to-end on Summit.
+  EXPECT_GT(bound / unbound, 1.20);
+  EXPECT_LT(bound / unbound, 1.70);
+
+  ScaleSimConfig f{.machine = MachineKind::kFrontier, .nl = 119808,
+                   .b = 3072, .pr = 32, .pc = 32,
+                   .gridOrder = GridOrder::kNodeLocal, .qr = 4, .qc = 2,
+                   .strategy = BcastStrategy::kRing2M};
+  const double aware = simulateRun(f).ratePerGcd;
+  f.gpuAwareMpi = false;
+  const double staged = simulateRun(f).ratePerGcd;
+  // Finding 7: 40.3-56.6% end-to-end on Frontier.
+  EXPECT_GT(aware / staged, 1.10);
+  EXPECT_LT(aware / staged, 1.70);
+}
+
+TEST(ScaleSim, NodeGridTuningHelpsBothMachines) {
+  // Finding 8: 3x2 beats column-major (6x1-style sharing) on Summit by
+  // ~14%; 4x2/2x4 beats column-major on Frontier by a smaller margin.
+  ScaleSimConfig s{.machine = MachineKind::kSummit, .nl = 61440, .b = 768,
+                   .pr = 54, .pc = 54, .gridOrder = GridOrder::kNodeLocal,
+                   .qr = 3, .qc = 2, .strategy = BcastStrategy::kBcast};
+  const double tuned = simulateRun(s).ratePerGcd;
+  s.gridOrder = GridOrder::kColumnMajor;
+  const double colMajor = simulateRun(s).ratePerGcd;
+  EXPECT_GT(tuned / colMajor, 1.05);
+  EXPECT_LT(tuned / colMajor, 1.40);
+
+  ScaleSimConfig f{.machine = MachineKind::kFrontier, .nl = 119808,
+                   .b = 3072, .pr = 32, .pc = 32,
+                   .gridOrder = GridOrder::kNodeLocal, .qr = 4, .qc = 2,
+                   .strategy = BcastStrategy::kRing2M};
+  const double fTuned = simulateRun(f).ratePerGcd;
+  f.gridOrder = GridOrder::kColumnMajor;
+  const double fCol = simulateRun(f).ratePerGcd;
+  EXPECT_GT(fTuned, fCol);
+  // The Frontier gain is smaller than Summit's (Finding 8).
+  EXPECT_LT(fTuned / fCol, tuned / colMajor);
+}
+
+TEST(ScaleSim, WeakScalingShapeMatchesFig9) {
+  // Memory weak scaling: rate rises from the small-scale baseline, then
+  // flattens/drops at the largest scale (Frontier ~92% parallel
+  // efficiency at 16384 GCDs, Sec. VI-A).
+  auto rateAt = [](index_t pr) {
+    ScaleSimConfig cfg{.machine = MachineKind::kFrontier, .nl = 119808,
+                       .b = 3072, .pr = pr, .pc = pr,
+                       .gridOrder = GridOrder::kColumnMajor,
+                       .strategy = BcastStrategy::kRing2M};
+    return simulateRun(cfg).ratePerGcd;
+  };
+  const double r8 = rateAt(8);      // 64 GCDs (the paper's baseline)
+  const double r32 = rateAt(32);    // 1024 GCDs
+  const double r128 = rateAt(128);  // 16384 GCDs
+  EXPECT_GT(r32, r8);               // the initial rise
+  EXPECT_LT(r128, r32);             // the large-scale drop
+  const double parEff = r128 / r8;
+  EXPECT_NEAR(parEff, 0.922, 0.05); // 92.2% in the paper
+}
+
+TEST(ScaleSim, SummitWeakScalingGridSplit) {
+  // Sec. VI-A: column-major 91.4% vs 3x2 grid 104.6% at 2916 GCDs
+  // (superlinear thanks to the weak-memory-scaling effects).
+  auto rateAt = [](index_t pr, GridOrder order) {
+    ScaleSimConfig cfg{.machine = MachineKind::kSummit, .nl = 61440,
+                       .b = 768, .pr = pr, .pc = pr, .gridOrder = order,
+                       .qr = 3, .qc = 2,
+                       .strategy = BcastStrategy::kBcast};
+    return simulateRun(cfg).ratePerGcd;
+  };
+  const double colEff = rateAt(54, GridOrder::kColumnMajor) /
+                        rateAt(6, GridOrder::kColumnMajor);
+  const double gridEff = rateAt(54, GridOrder::kNodeLocal) /
+                         rateAt(6, GridOrder::kNodeLocal);
+  EXPECT_LT(colEff, 1.0);   // column-major degrades
+  EXPECT_GT(gridEff, colEff + 0.03);  // grid mapping scales better (~10%)
+}
+
+TEST(ScaleSim, BreakdownComputeBoundUntilTail) {
+  // Fig. 10 (64 GCDs, Frontier): compute bound until the final trailing
+  // iterations; GEMM time decreases toward the tail.
+  ScaleSimConfig cfg{.machine = MachineKind::kFrontier, .nl = 119808,
+                     .b = 3072, .pr = 8, .pc = 8,
+                     .gridOrder = GridOrder::kNodeLocal, .qr = 2, .qc = 4,
+                     .strategy = BcastStrategy::kRing2M,
+                     .recordIterations = true};
+  const ScaleSimResult r = simulateRun(cfg);
+  ASSERT_FALSE(r.iterations.empty());
+  EXPECT_FALSE(r.iterations.front().commBound);
+  EXPECT_TRUE(r.iterations.back().commBound);
+  EXPECT_GT(r.iterations.front().gemmSeconds,
+            r.iterations[r.iterations.size() / 2].gemmSeconds);
+  // Once communication-bound, it stays so (monotone crossover).
+  bool seenComm = false;
+  for (const SimIteration& it : r.iterations) {
+    if (seenComm) {
+      EXPECT_TRUE(it.commBound) << "iteration " << it.k;
+    }
+    seenComm = seenComm || it.commBound;
+  }
+  EXPECT_GT(r.commBoundFraction, 0.05);
+  EXPECT_LT(r.commBoundFraction, 0.75);
+}
+
+TEST(ScaleSim, LookaheadHelps) {
+  ScaleSimConfig cfg = frontierAchievement();
+  const double with = simulateRun(cfg).ratePerGcd;
+  cfg.lookahead = false;
+  const double without = simulateRun(cfg).ratePerGcd;
+  EXPECT_GT(with, without);
+}
+
+TEST(ScaleSim, SlowGcdStallsPipeline) {
+  ScaleSimConfig cfg = frontierAchievement();
+  cfg.slowestGcdMultiplier = 1.0;
+  const double clean = simulateRun(cfg).ratePerGcd;
+  cfg.slowestGcdMultiplier = 0.75;  // one degraded die in the fleet
+  const double stalled = simulateRun(cfg).ratePerGcd;
+  EXPECT_NEAR(stalled / clean, 0.75, 1e-9);
+}
+
+TEST(ScaleSim, RunSequencesMatchFig12) {
+  ScaleSimConfig s{.machine = MachineKind::kSummit, .nl = 61440, .b = 768,
+                   .pr = 54, .pc = 54, .gridOrder = GridOrder::kNodeLocal,
+                   .qr = 3, .qc = 2, .strategy = BcastStrategy::kBcast};
+  const auto summit = simulateRunSequence(s, 6, /*preWarmed=*/false);
+  ASSERT_EQ(summit.size(), 6u);
+  // First run ~20% slower; warmed runs within ~0.12%.
+  EXPECT_NEAR(summit[0] / summit[1], 0.80, 0.02);
+  for (std::size_t i = 2; i < summit.size(); ++i) {
+    EXPECT_NEAR(summit[i] / summit[1], 1.0, 0.003);
+  }
+  // Pre-warming removes the cold run.
+  const auto warmed = simulateRunSequence(s, 6, /*preWarmed=*/true);
+  EXPECT_NEAR(warmed[0] / warmed[1], 1.0, 0.003);
+
+  ScaleSimConfig f{.machine = MachineKind::kFrontier, .nl = 119808,
+                   .b = 3072, .pr = 32, .pc = 32,
+                   .gridOrder = GridOrder::kNodeLocal, .qr = 4, .qc = 2,
+                   .strategy = BcastStrategy::kRing2M};
+  const auto frontier = simulateRunSequence(f, 6, /*preWarmed=*/false);
+  // First two runs faster, then settled within ~0.34%.
+  EXPECT_GT(frontier[0], frontier[2]);
+  EXPECT_GT(frontier[1], frontier[3]);
+  for (std::size_t i = 3; i < frontier.size(); ++i) {
+    EXPECT_NEAR(frontier[i] / frontier[2], 1.0, 0.008);
+  }
+}
+
+TEST(ScaleSim, VariabilityFeedsPipelineStall) {
+  const GcdVariability v(VariabilityConfig{.seed = 1, .spread = 0.05});
+  ScaleSimConfig cfg = frontierAchievement();
+  cfg.slowestGcdMultiplier = v.fleetMin(cfg.ranks());
+  const ScaleSimResult r = simulateRun(cfg);
+  EXPECT_GT(r.ratePerGcd, 0.0);
+  EXPECT_LT(cfg.slowestGcdMultiplier, 1.0);
+  EXPECT_GT(cfg.slowestGcdMultiplier, 0.94);
+}
+
+TEST(ScaleSim, ValidationRejectsBadConfigs) {
+  ScaleSimConfig cfg = frontierAchievement();
+  cfg.b = 0;
+  EXPECT_THROW(simulateRun(cfg), CheckError);
+  cfg = frontierAchievement();
+  cfg.nl = 100;  // N not a multiple of B
+  EXPECT_THROW(simulateRun(cfg), CheckError);
+  cfg = frontierAchievement();
+  cfg.qr = 3;  // 3*2 != 8 GCDs per node
+  EXPECT_THROW(simulateRun(cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,231 @@
+// The in-process message-passing runtime: P2P semantics, collectives, and
+// the broadcast strategy family (all strategies must produce identical
+// buffers — the performance differences live in the netsim models).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simmpi/comm.h"
+#include "simmpi/ring_bcast.h"
+#include "simmpi/runtime.h"
+
+namespace hplmxp {
+namespace {
+
+using simmpi::BcastStrategy;
+using simmpi::Comm;
+
+TEST(Simmpi, PingPong) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 42;
+      comm.send(1, 7, &v, 1);
+      int back = 0;
+      comm.recv(1, 8, &back, 1);
+      EXPECT_EQ(back, 43);
+    } else {
+      int v = 0;
+      comm.recv(0, 7, &v, 1);
+      const int reply = v + 1;
+      comm.send(0, 8, &reply, 1);
+    }
+  });
+}
+
+TEST(Simmpi, FifoOrderingPerSourceAndTag) {
+  simmpi::run(2, [](Comm& comm) {
+    constexpr int kCount = 200;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        comm.send(1, 5, &i, 1);
+      }
+    } else {
+      for (int i = 0; i < kCount; ++i) {
+        int v = -1;
+        comm.recv(0, 5, &v, 1);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Simmpi, TagsDoNotCross) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 1, b = 2;
+      comm.send(1, 100, &a, 1);
+      comm.send(1, 200, &b, 1);
+    } else {
+      int b = 0, a = 0;
+      comm.recv(0, 200, &b, 1);  // out of send order: matched by tag
+      comm.recv(0, 100, &a, 1);
+      EXPECT_EQ(a, 1);
+      EXPECT_EQ(b, 2);
+    }
+  });
+}
+
+TEST(Simmpi, MismatchedSizeThrows) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v[2] = {1, 2};
+      comm.send(1, 1, v, 2);
+    } else {
+      int v = 0;
+      EXPECT_THROW(comm.recv(0, 1, &v, 1), CheckError);
+    }
+  });
+}
+
+TEST(Simmpi, BarrierSynchronizes) {
+  constexpr index_t kRanks = 8;
+  std::atomic<int> phase1{0};
+  simmpi::run(kRanks, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all arrivals.
+    EXPECT_EQ(phase1.load(), kRanks);
+    comm.barrier();
+  });
+}
+
+class BcastTest
+    : public ::testing::TestWithParam<std::tuple<BcastStrategy, index_t,
+                                                 index_t>> {};
+
+TEST_P(BcastTest, AllRanksReceiveRootData) {
+  const auto [strategy, ranks, count] = GetParam();
+  simmpi::run(ranks, [&, count = count, strategy = strategy](Comm& comm) {
+    for (index_t root = 0; root < comm.size(); ++root) {
+      std::vector<double> buf(static_cast<std::size_t>(count), -1.0);
+      if (comm.rank() == root) {
+        for (index_t i = 0; i < count; ++i) {
+          buf[static_cast<std::size_t>(i)] =
+              static_cast<double>(root * 1000 + i);
+        }
+      }
+      // Small segment size to force multi-segment pipelines.
+      simmpi::broadcast(comm, strategy, root, buf.data(), count,
+                        /*segmentBytes=*/64);
+      for (index_t i = 0; i < count; ++i) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(i)],
+                  static_cast<double>(root * 1000 + i))
+            << "root=" << root << " i=" << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesByWorld, BcastTest,
+    ::testing::Combine(
+        ::testing::Values(BcastStrategy::kBcast, BcastStrategy::kIbcast,
+                          BcastStrategy::kRing1, BcastStrategy::kRing1M,
+                          BcastStrategy::kRing2M),
+        ::testing::Values<index_t>(1, 2, 3, 4, 7, 8),
+        ::testing::Values<index_t>(0, 1, 40)));
+
+TEST(Simmpi, IbcastOverlapsSends) {
+  // The root returns immediately; receivers complete at wait().
+  simmpi::run(4, [](Comm& comm) {
+    std::vector<int> buf(16, comm.rank() == 2 ? 9 : 0);
+    simmpi::Request req = comm.ibcast(2, buf.data(), 16);
+    // ... compute would go here ...
+    req.wait();
+    for (int v : buf) {
+      EXPECT_EQ(v, 9);
+    }
+  });
+}
+
+TEST(Simmpi, AllreduceSum) {
+  constexpr index_t kRanks = 6;
+  simmpi::run(kRanks, [](Comm& comm) {
+    std::vector<double> v{static_cast<double>(comm.rank()), 1.0};
+    comm.allreduceSum(v.data(), 2);
+    EXPECT_DOUBLE_EQ(v[0], 15.0);  // 0+1+...+5
+    EXPECT_DOUBLE_EQ(v[1], 6.0);
+  });
+}
+
+TEST(Simmpi, AllreduceMax) {
+  simmpi::run(5, [](Comm& comm) {
+    const double mine = comm.rank() == 3 ? 99.5 : static_cast<double>(
+                                                      comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduceMax(mine), 99.5);
+  });
+}
+
+TEST(Simmpi, SplitIntoRowsAndCols) {
+  // 2x3 grid: row comms of size 3, col comms of size 2, ranks ordered by
+  // the split key.
+  constexpr index_t pr = 2, pc = 3;
+  simmpi::run(pr * pc, [&](Comm& comm) {
+    const index_t myRow = comm.rank() % pr;
+    const index_t myCol = comm.rank() / pr;
+    Comm row = comm.split(myRow, myCol);
+    Comm col = comm.split(pr + myCol, myRow);
+    EXPECT_EQ(row.size(), pc);
+    EXPECT_EQ(col.size(), pr);
+    EXPECT_EQ(row.rank(), myCol);
+    EXPECT_EQ(col.rank(), myRow);
+    // Sub-communicator collectives work and are isolated per group.
+    double v = static_cast<double>(myCol);
+    row.allreduceSum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, 3.0);  // 0+1+2 within my row
+  });
+}
+
+TEST(Simmpi, SubCommP2PIsIsolatedFromParent) {
+  simmpi::run(4, [](Comm& comm) {
+    Comm half = comm.split(comm.rank() / 2, comm.rank() % 2);
+    // Same (src=0, tag=1) in parent and child must not collide.
+    if (comm.rank() == 0) {
+      const int a = 10;
+      comm.send(1, 1, &a, 1);
+    }
+    if (half.rank() == 0) {
+      const int b = 20;
+      half.send(1, 1, &b, 1);
+    }
+    if (half.rank() == 1) {
+      int b = 0;
+      half.recv(0, 1, &b, 1);
+      EXPECT_EQ(b, 20);
+    }
+    if (comm.rank() == 1) {
+      int a = 0;
+      comm.recv(0, 1, &a, 1);
+      EXPECT_EQ(a, 10);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Simmpi, RankExceptionPropagates) {
+  EXPECT_THROW(simmpi::run(1,
+                           [](Comm&) {
+                             throw CheckError("rank failure");
+                           }),
+               CheckError);
+}
+
+TEST(Simmpi, StrategyNamesRoundTrip) {
+  for (BcastStrategy s : simmpi::kAllBcastStrategies) {
+    EXPECT_EQ(simmpi::bcastStrategyFromString(simmpi::toString(s)), s);
+  }
+  EXPECT_THROW(simmpi::bcastStrategyFromString("turbo"), CheckError);
+}
+
+TEST(Simmpi, RunCollectGathersResults) {
+  auto results = simmpi::runCollect<index_t>(
+      5, [](Comm& comm) { return comm.rank() * comm.rank(); });
+  for (index_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], r * r);
+  }
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,103 @@
+// Extended simmpi operations: nonblocking P2P, sendrecv, MAXLOC
+// reductions, gather/allgather.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmpi/comm.h"
+#include "simmpi/runtime.h"
+
+namespace hplmxp {
+namespace {
+
+using simmpi::Comm;
+
+TEST(SimmpiExt, IsendIrecvRoundTrip) {
+  simmpi::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int v = 77;
+      simmpi::Request s = comm.isendBytes(1, 3, &v, sizeof(int));
+      s.wait();
+    } else {
+      int v = 0;
+      simmpi::Request r = comm.irecvBytes(0, 3, &v, sizeof(int));
+      r.wait();
+      EXPECT_EQ(v, 77);
+    }
+  });
+}
+
+TEST(SimmpiExt, SendrecvExchangesWithoutDeadlock) {
+  simmpi::run(4, [](Comm& comm) {
+    const index_t partner = comm.rank() ^ 1;  // pair (0,1) and (2,3)
+    std::vector<double> mine(8, static_cast<double>(comm.rank()));
+    std::vector<double> theirs(8, -1.0);
+    comm.sendrecv(partner, 9, mine.data(), theirs.data(), 8);
+    for (double v : theirs) {
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(partner));
+    }
+  });
+}
+
+TEST(SimmpiExt, AllreduceMaxLoc) {
+  simmpi::run(6, [](Comm& comm) {
+    // Rank 4 holds the max; `where` carries its payload.
+    const double mine = comm.rank() == 4 ? 100.0 : static_cast<double>(
+                                                       comm.rank());
+    const auto ml = comm.allreduceMaxLoc(mine, comm.rank() * 10);
+    EXPECT_DOUBLE_EQ(ml.value, 100.0);
+    EXPECT_EQ(ml.where, 40);
+  });
+}
+
+TEST(SimmpiExt, AllreduceMaxLocTieBreaksToSmallestWhere) {
+  simmpi::run(5, [](Comm& comm) {
+    const auto ml = comm.allreduceMaxLoc(1.0, comm.rank() + 100);
+    EXPECT_DOUBLE_EQ(ml.value, 1.0);
+    EXPECT_EQ(ml.where, 100);  // deterministic across runs
+  });
+}
+
+TEST(SimmpiExt, GatherCollectsInRankOrder) {
+  simmpi::run(5, [](Comm& comm) {
+    const index_t root = 2;
+    std::vector<int> mine{static_cast<int>(comm.rank()),
+                          static_cast<int>(comm.rank() * 2)};
+    std::vector<int> all(10, -1);
+    comm.gather(root, mine.data(),
+                comm.rank() == root ? all.data() : nullptr, 2);
+    if (comm.rank() == root) {
+      for (index_t r = 0; r < 5; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], 2 * r);
+      }
+    }
+  });
+}
+
+TEST(SimmpiExt, AllgatherGivesEveryoneEverything) {
+  simmpi::run(4, [](Comm& comm) {
+    const double mine = static_cast<double>(comm.rank() + 1);
+    std::vector<double> all(4, 0.0);
+    comm.allgather(&mine, all.data(), 1);
+    for (index_t r = 0; r < 4; ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)],
+                       static_cast<double>(r + 1));
+    }
+  });
+}
+
+TEST(SimmpiExt, MaxLocWorksOnSubCommunicators) {
+  // The HPL pivot search runs MAXLOC on column communicators.
+  simmpi::run(6, [](Comm& comm) {
+    Comm col = comm.split(comm.rank() % 2, comm.rank() / 2);
+    const double v = static_cast<double>(comm.rank());
+    const auto ml = col.allreduceMaxLoc(v, comm.rank());
+    // Columns are {0,2,4} and {1,3,5}: max is 4 or 5 respectively.
+    EXPECT_DOUBLE_EQ(ml.value, comm.rank() % 2 == 0 ? 4.0 : 5.0);
+    EXPECT_EQ(ml.where, comm.rank() % 2 == 0 ? 4 : 5);
+  });
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,191 @@
+// Utility substrate: thread pool, stats, tables, buffers, check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/logging.h"
+#include "util/common.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+namespace {
+
+TEST(Common, IntegerHelpers) {
+  EXPECT_EQ(ceilDiv(10, 3), 4);
+  EXPECT_EQ(ceilDiv(9, 3), 3);
+  EXPECT_EQ(roundUp(10, 8), 16);
+  EXPECT_EQ(roundUp(16, 8), 16);
+  EXPECT_EQ(roundDown(10, 8), 8);
+}
+
+TEST(Common, CheckMacrosThrow) {
+  EXPECT_THROW(HPLMXP_CHECK(1 == 2), CheckError);
+  EXPECT_THROW(HPLMXP_REQUIRE(false, "context"), CheckError);
+  EXPECT_NO_THROW(HPLMXP_CHECK(true));
+  try {
+    HPLMXP_REQUIRE(false, "specific context");
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("specific context"),
+              std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(0, 1000, [&](index_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallelFor(5, 5, [&](index_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallelFor(0, 100,
+                                [](index_t i) {
+                                  if (i == 37) {
+                                    throw CheckError("boom");
+                                  }
+                                }),
+               CheckError);
+  // Pool is still usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallelFor(0, 10, [&](index_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedUseFromRankedThreads) {
+  // Multiple threads driving the same pool concurrently (as simmpi ranks
+  // do with the global pool) must each see correct results.
+  ThreadPool pool(2);
+  std::vector<std::thread> threads;
+  std::vector<long> sums(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::atomic<long> sum{0};
+      pool.parallelFor(0, 500, [&](index_t i) {
+        sum.fetch_add(i);
+      });
+      sums[static_cast<std::size_t>(t)] = sum.load();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (long s : sums) {
+    EXPECT_EQ(s, 499 * 500 / 2);
+  }
+}
+
+TEST(Stats, SummaryAndPercentile) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(relativeSpreadPercent(v), (5.0 - 1.0) / 3.0 * 100.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  RunningStats rs;
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * i * ((i % 3) - 1);
+    rs.add(x);
+    v.push_back(x);
+  }
+  const Summary s = summarize(v);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22.5"});
+  const std::string out = t.render();
+  // Columns pad to the widest cell ("value" = 5 chars).
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22.5  |"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_THROW(t.addRow({"too", "many", "cols"}), CheckError);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(7LL), "7");
+}
+
+TEST(Buffer, AllocateMoveRelease) {
+  Buffer<float> b(100);
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kBufferAlignment,
+            0u);
+  b[0] = 1.5f;
+  Buffer<float> c = std::move(b);
+  EXPECT_EQ(c.size(), 100);
+  EXPECT_EQ(c[0], 1.5f);
+  EXPECT_EQ(b.size(), 0);  // NOLINT(bugprone-use-after-move): spec'd empty
+  c.release();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Logging, LevelsFilterOutput) {
+  const LogLevel old = Log::level();
+  Log::setLevel(LogLevel::kWarn);
+  EXPECT_EQ(Log::level(), LogLevel::kWarn);
+  // Below-threshold writes are no-ops; above-threshold writes must not
+  // throw (output goes to stderr).
+  logDebug("suppressed ", 123);
+  logInfo("suppressed too");
+  Log::setLevel(LogLevel::kOff);
+  logError("also suppressed at kOff? no: kError < kOff, suppressed");
+  Log::setLevel(old);
+}
+
+TEST(Logging, ConcatFormatsMixedTypes) {
+  // The variadic helpers stringify heterogeneous arguments.
+  Log::setLevel(LogLevel::kOff);
+  logWarn("n=", 42, " rate=", 1.5, " name=", std::string("x"));
+  Log::setLevel(LogLevel::kWarn);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + 1.0;
+  }
+  EXPECT_GE(t.seconds(), 0.0);
+  AccumTimer acc;
+  acc.start();
+  acc.stop();
+  acc.start();
+  acc.stop();
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_GE(acc.totalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace hplmxp
