@@ -36,19 +36,7 @@ int main(int argc, char** argv) {
 
   const SlowNodeScanner scanner(ScanPolicy{.threshold = 0.93});
   const ScanReport report = scanner.scan(rates);
-
-  Table t({"metric", "value"});
-  t.addRow({"fleet size", Table::num((long long)fleet)});
-  t.addRow({"median rate (GF/s)", Table::num(report.median / 1e9, 2)});
-  t.addRow({"min rate (GF/s)", Table::num(report.min / 1e9, 2)});
-  t.addRow({"max rate (GF/s)", Table::num(report.max / 1e9, 2)});
-  t.addRow({"spread", Table::num(report.spreadPercent, 1) + "%"});
-  t.addRow({"flagged GCDs", Table::num((long long)report.flagged.size())});
-  t.addRow({"pipeline pace before scan (GF/s)",
-            Table::num(report.min / 1e9, 2)});
-  t.addRow({"pipeline pace after exclusion (GF/s)",
-            Table::num(report.keptMinRate / 1e9, 2)});
-  t.print();
+  report.toTable().print();
 
   if (!report.flagged.empty()) {
     std::printf("\nexcluded GCDs:");

@@ -6,6 +6,7 @@
 #include "blas/gemm.h"      // IWYU pragma: export
 #include "blas/gemv.h"      // IWYU pragma: export
 #include "blas/getrf.h"     // IWYU pragma: export
+#include "blas/scan.h"      // IWYU pragma: export
 #include "blas/trsm.h"      // IWYU pragma: export
 #include "blas/trsv.h"      // IWYU pragma: export
 #include "blas/types.h"     // IWYU pragma: export

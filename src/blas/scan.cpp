@@ -1,0 +1,96 @@
+#include "blas/scan.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hplmxp::blas {
+
+std::string AbnormalScan::describe() const {
+  if (clean()) {
+    return "clean";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%lld abnormal entries (first at (%lld, %lld) = %g, "
+                "max |x| = %g%s)",
+                static_cast<long long>(count),
+                static_cast<long long>(firstRow),
+                static_cast<long long>(firstCol), firstValue, maxAbs,
+                sawNonFinite ? ", non-finite seen" : "");
+  return buf;
+}
+
+namespace {
+
+template <typename T>
+AbnormalScan scanT(index_t m, index_t n, const T* a, index_t lda,
+                   double magnitudeLimit) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "scan: bad extents");
+  HPLMXP_REQUIRE(lda >= m, "scan: leading dimension too small");
+  AbnormalScan r;
+  for (index_t j = 0; j < n; ++j) {
+    const T* col = a + j * lda;
+    for (index_t i = 0; i < m; ++i) {
+      const double v = static_cast<double>(col[i]);
+      const bool finite = std::isfinite(v);
+      const double mag = std::fabs(v);
+      if (finite) {
+        r.maxAbs = std::max(r.maxAbs, mag);
+      } else {
+        r.sawNonFinite = true;
+      }
+      if (!finite || (magnitudeLimit > 0.0 && mag > magnitudeLimit)) {
+        if (r.count == 0) {
+          r.firstRow = i;
+          r.firstCol = j;
+          r.firstValue = v;
+        }
+        ++r.count;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+AbnormalScan scanAbnormal(index_t m, index_t n, const float* a, index_t lda,
+                          double magnitudeLimit) {
+  return scanT(m, n, a, lda, magnitudeLimit);
+}
+
+AbnormalScan scanAbnormal(index_t m, index_t n, const double* a, index_t lda,
+                          double magnitudeLimit) {
+  return scanT(m, n, a, lda, magnitudeLimit);
+}
+
+AbnormalScan scanAbnormal(index_t m, index_t n, const half16* a, index_t lda,
+                          double magnitudeLimit) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0, "scan: bad extents");
+  HPLMXP_REQUIRE(lda >= m, "scan: leading dimension too small");
+  AbnormalScan r;
+  for (index_t j = 0; j < n; ++j) {
+    const half16* col = a + j * lda;
+    for (index_t i = 0; i < m; ++i) {
+      const double v = static_cast<double>(col[i].toFloat());
+      const bool finite = std::isfinite(v);
+      const double mag = std::fabs(v);
+      if (finite) {
+        r.maxAbs = std::max(r.maxAbs, mag);
+      } else {
+        r.sawNonFinite = true;
+      }
+      if (!finite || (magnitudeLimit > 0.0 && mag > magnitudeLimit)) {
+        if (r.count == 0) {
+          r.firstRow = i;
+          r.firstCol = j;
+          r.firstValue = v;
+        }
+        ++r.count;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace hplmxp::blas

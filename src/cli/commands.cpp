@@ -1,7 +1,11 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 
+#include "blas/scan.h"
 #include "core/hpl_dist.h"
 #include "core/hplai.h"
 #include "core/verify.h"
@@ -9,11 +13,14 @@
 #include "machine/variability.h"
 #include "perfmodel/param_search.h"
 #include "scalesim/scale_sim.h"
+#include "simmpi/faults.h"
+#include "simmpi/runtime.h"
 #include "trace/progress.h"
 #include "trace/reference.h"
 #include "trace/slow_node.h"
 #include "util/logging.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace hplmxp::cli {
 
@@ -270,16 +277,168 @@ int cmdScan(const Options& raw) {
     rates.push_back(nominal * model.multiplier(i));
   }
   const ScanReport report = SlowNodeScanner().scan(rates);
-  Table t({"metric", "value"});
-  t.addRow({"fleet", Table::num((long long)fleet)});
-  t.addRow({"median GF/s", Table::num(report.median / 1e9, 2)});
-  t.addRow({"spread", Table::num(report.spreadPercent, 1) + "%"});
-  t.addRow({"flagged", Table::num((long long)report.flagged.size())});
-  t.addRow({"pipeline pace gain",
-            Table::num((report.keptMinRate / report.min - 1.0) * 100.0, 1) +
-                "%"});
-  t.print();
+  report.toTable().print();
+  std::printf("pipeline pace gain after exclusion: %.1f%%\n",
+              (report.keptMinRate / report.min - 1.0) * 100.0);
   return 0;
+}
+
+int cmdChaos(const Options& raw) {
+  const Options opts = layered(raw);
+  HplaiConfig cfg;
+  cfg.n = opts.getInt("n", 256);
+  cfg.b = opts.getInt("b", 32);
+  cfg.pr = opts.getInt("pr", 2);
+  cfg.pc = opts.getInt("pc", 2);
+  cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 42));
+  cfg.panelBcast =
+      simmpi::bcastStrategyFromString(opts.getString("bcast", "bcast"));
+  cfg.lookahead = opts.getBool("lookahead", false);
+  cfg.refiner = opts.getString("refiner", "ir") == "gmres"
+                    ? HplaiConfig::Refiner::kGmres
+                    : HplaiConfig::Refiner::kClassicIr;
+  cfg.guardPanels = opts.getBool("guard", true);
+  cfg.irDivergenceStrikes = opts.getInt("ir-strikes", 4);
+  cfg.n = adjustProblemSize(cfg.n, cfg.b, cfg.pr, cfg.pc);
+
+  const std::string scenario = opts.getString("scenario", "transient");
+  const std::uint64_t faultSeed =
+      static_cast<std::uint64_t>(opts.getInt("fault-seed", 0xC4A05));
+  simmpi::RunOptions runOpts;
+  runOpts.timeout =
+      std::chrono::milliseconds(opts.getInt("timeout-ms", 2000));
+  runOpts.sendMaxRetries = static_cast<int>(opts.getInt("retries", 5));
+  runOpts.sendBackoff =
+      std::chrono::microseconds(opts.getInt("backoff-us", 50));
+  const bool detectSlow =
+      opts.getBool("detect-slow", cfg.worldSize() > 1);
+  warnUnused(opts);
+
+  const simmpi::FaultConfig fault =
+      simmpi::faultScenario(scenario, faultSeed, cfg.worldSize());
+  if (fault.anyEnabled()) {
+    runOpts.faults =
+        std::make_shared<simmpi::FaultInjector>(fault, cfg.worldSize());
+  }
+
+  // Mid-run slow-rank detection: evaluated on rank 0 against the per-rank
+  // barrier waits DistLU gathers each step.
+  auto slowMonitor = std::make_shared<SlowRankMonitor>(
+      cfg.worldSize(),
+      SlowRankPolicy{.minLagSeconds = opts.getDouble("min-lag", 0.002),
+                     .medianFactor = 4.0,
+                     .strikes = opts.getInt("slow-strikes", 3)});
+  if (detectSlow) {
+    cfg.rankProgressCallback = [slowMonitor](
+                                   index_t k,
+                                   const std::vector<double>& waits) {
+      return slowMonitor->observe(k, waits);
+    };
+  }
+
+  std::printf("hplmxp chaos: scenario=%s N=%lld B=%lld grid=%lldx%lld "
+              "guard=%s timeout=%lldms\n",
+              scenario.c_str(), (long long)cfg.n, (long long)cfg.b,
+              (long long)cfg.pr, (long long)cfg.pc,
+              cfg.guardPanels ? "on" : "off",
+              (long long)runOpts.timeout.count());
+
+  // Run the distributed solve under the fault plan, catching the whole
+  // failure picture: a contained fault (detected, self-healed, or cleanly
+  // aggregated) is a chaos-harness success.
+  HplaiResult result;
+  std::vector<double> x;
+  bool completed = false;
+  std::string outcome = "completed";
+  std::vector<std::string> failureLines;
+  Timer wall;
+  try {
+    simmpi::run(
+        cfg.worldSize(),
+        [&](simmpi::Comm& world) {
+          std::vector<double> local;
+          HplaiResult r = runHplaiOnComm(world, cfg, &local);
+          if (world.rank() == 0) {
+            result = std::move(r);
+            x = std::move(local);
+          }
+        },
+        runOpts);
+    completed = true;
+  } catch (const simmpi::MultiRankError& e) {
+    outcome = "multi-rank failure (aggregated)";
+    for (const simmpi::RankFailure& f : e.failures()) {
+      failureLines.push_back("rank " + std::to_string(f.rank) + ": " +
+                             f.message);
+    }
+  } catch (const blas::AbnormalValueError& e) {
+    outcome = "corruption detected (fail-fast guard)";
+    failureLines.push_back(e.what());
+  } catch (const simmpi::CommError& e) {
+    outcome = "communication failure (structured)";
+    failureLines.push_back(e.what());
+  } catch (const CheckError& e) {
+    outcome = "rank failure (structured)";
+    failureLines.push_back(e.what());
+  }
+  const double elapsed = wall.seconds();
+
+  bool verified = false;
+  if (completed && !result.aborted && result.converged) {
+    const ProblemGenerator gen(cfg.seed, cfg.n);
+    verified = hplaiValid(gen, x);
+  }
+  if (completed && result.aborted) {
+    outcome = "terminated early (slow-rank monitor)";
+  } else if (completed && result.fellBackToGmres) {
+    outcome = "self-healed (IR diverged, fell back to GMRES)";
+  } else if (completed && !result.converged) {
+    outcome = "completed WITHOUT convergence";
+  }
+
+  const simmpi::FaultStats stats =
+      runOpts.faults ? runOpts.faults->stats() : simmpi::FaultStats{};
+  Table t({"metric", "value"});
+  t.addRow({"scenario", scenario});
+  t.addRow({"outcome", outcome});
+  t.addRow({"wall seconds", Table::num(elapsed, 3)});
+  t.addRow({"injected delays", Table::num((long long)stats.delays)});
+  t.addRow({"injected stalls", Table::num((long long)stats.stalls)});
+  t.addRow({"transient send failures",
+            Table::num((long long)stats.transientFailures)});
+  t.addRow({"send retries", Table::num((long long)stats.retries)});
+  t.addRow({"payload bit flips", Table::num((long long)stats.bitflips)});
+  t.addRow({"rank crashes", Table::num((long long)stats.crashes)});
+  if (completed) {
+    t.addRow({"converged", result.converged ? "yes" : "NO"});
+    t.addRow({"verified (dense FP64)", verified ? "yes" : "NO"});
+    t.addRow({"refinement iterations",
+              Table::num((long long)result.irIterations)});
+    t.addRow({"fell back to GMRES",
+              result.fellBackToGmres ? "yes" : "no"});
+  }
+  if (detectSlow) {
+    const std::vector<index_t> slow = slowMonitor->slowRanks();
+    std::string who;
+    for (index_t r : slow) {
+      who += (who.empty() ? "" : " ") + std::to_string(r);
+    }
+    t.addRow({"slow ranks flagged", slow.empty() ? "none" : who});
+  }
+  t.print();
+  if (!failureLines.empty()) {
+    std::printf("\nfailure report:\n");
+    for (const std::string& line : failureLines) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+
+  // A chaos run succeeds when the fault was absorbed (converged + verified)
+  // or contained: detected by a guard, self-healed, terminated early, or
+  // surfaced as a structured aggregate instead of a hang.
+  const bool contained =
+      !completed || result.aborted || (result.converged && verified);
+  return contained ? 0 : 1;
 }
 
 int cmdSpecs(const Options& raw) {
@@ -318,6 +477,11 @@ std::string usage() {
       "            --port-binding --gpu-aware --slowest-gcd)\n"
       "  tune     block-size / local-size search (--machine --pr --nl)\n"
       "  scan     slow-node mini-benchmark scan (--fleet --degraded)\n"
+      "  chaos    distributed solve under a fault-injection scenario\n"
+      "           (--scenario none|delay|transient|sdc|stall|crash\n"
+      "            --n --b --pr --pc --seed --fault-seed --timeout-ms\n"
+      "            --retries --backoff-us --guard on|off --ir-strikes\n"
+      "            --detect-slow on|off --slow-strikes --min-lag)\n"
       "  specs    print machine specs and the BLAS dispatch map\n"
       "  help     this text\n";
 }
@@ -345,6 +509,9 @@ int dispatch(const std::vector<std::string>& args) {
     }
     if (cmd == "scan") {
       return cmdScan(opts);
+    }
+    if (cmd == "chaos") {
+      return cmdChaos(opts);
     }
     if (cmd == "specs") {
       return cmdSpecs(opts);

@@ -15,6 +15,7 @@ namespace hplmxp::cli {
 ///   project  — at-scale performance projection (Summit/Frontier models)
 ///   tune     — block-size / local-size parameter search
 ///   scan     — slow-node mini-benchmark scan of a simulated fleet
+///   chaos    — distributed solve under a named fault-injection scenario
 ///   specs    — print the machine specs (Table I) and shim map (Table II)
 ///   help     — usage
 int dispatch(const std::vector<std::string>& args);
@@ -28,6 +29,7 @@ int cmdHpl(const Options& opts);
 int cmdProject(const Options& opts);
 int cmdTune(const Options& opts);
 int cmdScan(const Options& opts);
+int cmdChaos(const Options& opts);
 int cmdSpecs(const Options& opts);
 
 }  // namespace hplmxp::cli

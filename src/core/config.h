@@ -61,6 +61,29 @@ struct HplaiConfig {
   /// reference trace (trace/reference.h).
   std::function<bool(index_t, double)> progressCallback;
 
+  /// Optional per-rank progress hook for mid-run slow-rank detection:
+  /// after each block step every rank's time-to-barrier wait is gathered
+  /// and the hook runs on rank 0 with (k, per-rank barrier-wait seconds).
+  /// A rank that arrives persistently last (near-zero wait while peers
+  /// idle) is the pipeline's pacing rank; wire a trace::SlowRankMonitor in
+  /// and return true to terminate early. Costs one gather + (with
+  /// look-ahead) one extra barrier per step — only when set.
+  std::function<bool(index_t, const std::vector<double>&)>
+      rankProgressCallback;
+
+  /// Self-healing guards (the fail-fast half of Sec. VI-B): scan the
+  /// factored diagonal block, the FP16 panels after cast/broadcast, and
+  /// the trailing tiles after GEMM for non-finite or abnormally large
+  /// entries, raising blas::AbnormalValueError instead of letting silent
+  /// corruption reach verification. Off by default (zero cost).
+  bool guardPanels = false;
+
+  /// Classical-IR divergence guard: when the residual fails to improve for
+  /// this many consecutive iterations, automatically fall back to the
+  /// GMRES refiner from the best iterate seen (Algorithm 1's safeguard
+  /// spirit). 0 disables the fallback.
+  index_t irDivergenceStrikes = 4;
+
   /// Device memory per GCD in bytes for the memory-accounting model;
   /// 0 disables accounting (tests on tiny problems).
   std::size_t deviceMemoryBytes = 0;
@@ -141,6 +164,9 @@ struct HplaiResult {
   bool converged = false;
   /// True when the run was stopped early by the progress hook.
   bool aborted = false;
+  /// True when classical IR diverged and the run self-healed by falling
+  /// back to the GMRES refiner (irDivergenceStrikes guard).
+  bool fellBackToGmres = false;
   double residualInf = 0.0;   // final ||b - A x||_inf in FP64
   double threshold = 0.0;     // the line-44 convergence threshold
   /// residualInf / threshold; < 1 means HPL-AI-valid solution.

@@ -92,4 +92,15 @@ double distributedMatrixInfNorm(DistContext& ctx,
   return best;
 }
 
+void guardVector(const char* what, const std::vector<double>& v,
+                 double magnitudeLimit) {
+  const blas::AbnormalScan s =
+      blas::scanAbnormal(static_cast<index_t>(v.size()), 1, v.data(),
+                         std::max<index_t>(1, static_cast<index_t>(v.size())),
+                         magnitudeLimit);
+  if (s) {
+    throw blas::AbnormalValueError(std::string(what) + ": " + s.describe());
+  }
+}
+
 }  // namespace hplmxp

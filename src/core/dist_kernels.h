@@ -3,8 +3,10 @@
 // the distributed block triangular solve.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "blas/scan.h"
 #include "blas/trsv.h"
 #include "blas/types.h"
 #include "core/dist_context.h"
@@ -114,5 +116,12 @@ void distributedMatVec(DistContext& ctx, const ProblemGenerator& gen,
 /// (row sums) — needed by the HPL validity check.
 double distributedMatrixInfNorm(DistContext& ctx,
                                 const ProblemGenerator& gen);
+
+/// Guard scan for replicated FP64 vectors (residuals, corrections): throws
+/// blas::AbnormalValueError naming `what` when any entry is non-finite or
+/// exceeds `magnitudeLimit`. A corrupted residual poisons every rank
+/// identically (the Allreduce replicates it), so one local scan suffices.
+void guardVector(const char* what, const std::vector<double>& v,
+                 double magnitudeLimit);
 
 }  // namespace hplmxp

@@ -69,6 +69,9 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
   if (config.progressCallback) {
     lu.setProgressCallback(config.progressCallback);
   }
+  if (config.rankProgressCallback) {
+    lu.setRankProgressCallback(config.rankProgressCallback);
+  }
 
   if (world.rank() == 0) {
     logInfo("hplai: N=", config.n, " B=", config.b, " grid=", config.pr,
@@ -129,6 +132,7 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
   result.totalSeconds = factorSeconds + irSeconds;
   result.irIterations = outcome.iterations;
   result.converged = outcome.converged;
+  result.fellBackToGmres = outcome.fellBack;
   result.residualInf = outcome.residualInf;
   result.threshold = outcome.threshold;
   result.trace = std::move(trace);

@@ -34,6 +34,10 @@ struct IrOutcome {
   bool converged = false;
   double residualInf = 0.0;  // final ||b - A x||_inf
   double threshold = 0.0;    // the line-44 threshold it is compared to
+  /// True when classical IR diverged (residual failed to improve for
+  /// config.irDivergenceStrikes consecutive iterations) and the run
+  /// self-healed by restarting the GMRES refiner from the best iterate.
+  bool fellBack = false;
 };
 
 class DistIR {
@@ -45,6 +49,14 @@ class DistIR {
   /// in `localLU`). `x` is the FP64 solution vector, replicated on every
   /// rank; on entry it may hold any initial guess (the driver seeds it with
   /// b / diag(A), Algorithm 1 line 32). All ranks return the same outcome.
+  ///
+  /// Divergence guard (config.irDivergenceStrikes > 0): when the residual
+  /// fails to improve for that many consecutive iterations — classical IR
+  /// diverges when ||I - (LU)^{-1}A|| >= 1, e.g. after factor corruption —
+  /// the best iterate seen is restored and refinement falls back to the
+  /// LU-preconditioned GMRES refiner for the remaining budget
+  /// (outcome.fellBack). GMRES minimizes the residual over the Krylov
+  /// space, so it converges in cases where the stationary iteration cannot.
   IrOutcome refine(const float* localLU, index_t lda, std::vector<double>& x);
 
   /// FP64 residual r = b - A*x by regeneration + Allreduce (all ranks get

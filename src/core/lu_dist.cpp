@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 
 #include "blas/blas.h"
 #include "util/timer.h"
@@ -9,6 +10,19 @@
 namespace hplmxp {
 
 using simmpi::broadcast;
+
+namespace {
+
+// Guard limits for the abnormal-value scans (config.guardPanels). The
+// generator's matrices are diagonally dominant with O(1) off-diagonal
+// entries, so legitimate FP16 panel values stay within a few units (the L
+// panel is ~1/N); an exponent-bit flip lands at x * 2^16 or non-finite,
+// far above kHalfGuardLimit. FP32 diagonal/trailing tiles legitimately
+// reach ~N on the diagonal, so their ceiling is generous.
+constexpr double kHalfGuardLimit = 64.0;
+constexpr double kFloatGuardLimit = 1e8;
+
+}  // namespace
 
 DistLU::DistLU(DistContext& ctx, const HplaiConfig& config, BlasShim& shim)
     : ctx_(ctx), config_(config), shim_(shim) {
@@ -37,6 +51,54 @@ DistLU::StepGeom DistLU::geometry(index_t k) const {
   g.lkRow = layout.localBlockRow(k);
   g.lkCol = layout.localBlockCol(k);
   return g;
+}
+
+void DistLU::guardDiag(const StepGeom& g) const {
+  const index_t b = config_.b;
+  const blas::AbnormalScan s =
+      blas::scanAbnormal(b, b, diagBuf_.data(), b, kFloatGuardLimit);
+  if (s) {
+    throw blas::AbnormalValueError(
+        "LU step " + std::to_string(g.k) + " rank " +
+        std::to_string(ctx_.rank()) + ": corrupted diagonal block: " +
+        s.describe());
+  }
+}
+
+void DistLU::guardHalfPanels(const StepGeom& g, int bufIdx) const {
+  const index_t b = config_.b;
+  if (g.w > 0) {
+    const blas::AbnormalScan s = blas::scanAbnormal(
+        g.w, b, uHalf_[bufIdx].data(), g.w, kHalfGuardLimit);
+    if (s) {
+      throw blas::AbnormalValueError(
+          "LU step " + std::to_string(g.k) + " rank " +
+          std::to_string(ctx_.rank()) + ": corrupted FP16 U panel: " +
+          s.describe());
+    }
+  }
+  if (g.h > 0) {
+    const blas::AbnormalScan s = blas::scanAbnormal(
+        g.h, b, lHalf_[bufIdx].data(), g.h, kHalfGuardLimit);
+    if (s) {
+      throw blas::AbnormalValueError(
+          "LU step " + std::to_string(g.k) + " rank " +
+          std::to_string(ctx_.rank()) + ": corrupted FP16 L panel: " +
+          s.describe());
+    }
+  }
+}
+
+void DistLU::guardTile(index_t k, index_t m, index_t n, const float* tile,
+                       index_t lda) const {
+  const blas::AbnormalScan s =
+      blas::scanAbnormal(m, n, tile, lda, kFloatGuardLimit);
+  if (s) {
+    throw blas::AbnormalValueError(
+        "LU step " + std::to_string(k) + " rank " +
+        std::to_string(ctx_.rank()) + ": corrupted trailing tile: " +
+        s.describe());
+  }
 }
 
 void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
@@ -121,6 +183,15 @@ void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
   if (trace != nullptr) {
     trace->bcastSeconds += t.seconds();
   }
+
+  // Self-healing guards: catch broadcast corruption (e.g. an injected SDC
+  // bit flip) before the panels poison the trailing matrix.
+  if (config_.guardPanels) {
+    if (g.ownRow || g.ownCol) {
+      guardDiag(g);
+    }
+    guardHalfPanels(g, bufIdx);
+  }
 }
 
 void DistLU::updateRegion(const StepGeom& g, int bufIdx, float* localA,
@@ -144,6 +215,9 @@ void DistLU::updateRegion(const StepGeom& g, int bufIdx, float* localA,
   // C -= L * U^T (U was stored transposed by TRANS_CAST).
   shim_.gemmEx(blas::Trans::kNoTrans, blas::Trans::kTrans, m, n, b, -1.0f,
                lPtr, g.h, uPtr, g.w, 1.0f, cPtr, lda);
+  if (config_.guardPanels) {
+    guardTile(g.k, m, n, cPtr, lda);
+  }
 }
 
 void DistLU::updateFull(const StepGeom& g, int bufIdx, float* localA,
@@ -186,13 +260,28 @@ void DistLU::updateBulk(const StepGeom& g, const StepGeom& next, int bufIdx,
 }
 
 bool DistLU::pollAbort(index_t k, double iterSeconds) {
-  if (!progress_) {
+  if (!progress_ && !rankProgress_) {
     return false;
   }
-  // Rank 0 holds the monitor; its verdict is broadcast so every rank stops
-  // at the same block step (the runs-at-scale early-termination policy).
+  // Rank 0 holds the monitor(s); its verdict is broadcast so every rank
+  // stops at the same block step (the runs-at-scale early-termination
+  // policy).
   std::uint8_t abort = 0;
-  if (ctx_.rank() == 0 && progress_(k, iterSeconds)) {
+  if (rankProgress_) {
+    // Slow-rank detection: time how long each rank idles at a barrier. The
+    // pacing (slowest) rank arrives last and waits ~0 while everyone else
+    // waits for it, so max(waits) - waits[r] is rank r's lag this step.
+    Timer waitTimer;
+    ctx_.world().barrier();
+    const double myWait = waitTimer.seconds();
+    std::vector<double> waits(
+        static_cast<std::size_t>(ctx_.world().size()), 0.0);
+    ctx_.world().gather(0, &myWait, waits.data(), 1);
+    if (ctx_.rank() == 0 && rankProgress_(k, waits)) {
+      abort = 1;
+    }
+  }
+  if (ctx_.rank() == 0 && progress_ && progress_(k, iterSeconds)) {
     abort = 1;
   }
   ctx_.world().bcast(0, &abort, 1);

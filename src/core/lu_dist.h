@@ -47,6 +47,19 @@ class DistLU {
   using ProgressFn = std::function<bool(index_t k, double iterSeconds)>;
   void setProgressCallback(ProgressFn fn) { progress_ = std::move(fn); }
 
+  /// Per-rank progress hook for mid-run slow-rank detection: after each
+  /// block step the per-rank barrier-wait times are gathered and the hook
+  /// runs on rank 0 with (k, waits). A persistently last-arriving rank
+  /// waits ~0 while its peers idle, so `max(waits) - waits[r]` is rank r's
+  /// lag behind the pipeline; wire a trace::SlowRankMonitor in. Returning
+  /// true aborts collectively, like the progress hook. Costs one timed
+  /// barrier + one small gather per step — only when set.
+  using RankProgressFn =
+      std::function<bool(index_t k, const std::vector<double>& waits)>;
+  void setRankProgressCallback(RankProgressFn fn) {
+    rankProgress_ = std::move(fn);
+  }
+
   /// Factors the rank-local matrix (col-major FP32, leading dimension
   /// `lda` >= localRows) in place. Returns the rank-0 per-iteration trace
   /// when config.collectTrace is set (empty vector on other ranks).
@@ -92,14 +105,22 @@ class DistLU {
   void updateBulk(const StepGeom& g, const StepGeom& next, int bufIdx,
                   float* localA, index_t lda, IterationTrace* trace);
 
-  /// Collective abort poll: rank 0 evaluates the hook; everyone learns the
-  /// verdict. Returns true when the run must stop.
+  /// Collective abort poll: rank 0 evaluates the hook(s); everyone learns
+  /// the verdict. Returns true when the run must stop.
   bool pollAbort(index_t k, double iterSeconds);
+
+  /// Self-healing guard scans (config.guardPanels): throw
+  /// blas::AbnormalValueError with step context on corruption.
+  void guardDiag(const StepGeom& g) const;
+  void guardHalfPanels(const StepGeom& g, int bufIdx) const;
+  void guardTile(index_t k, index_t m, index_t n, const float* tile,
+                 index_t lda) const;
 
   DistContext& ctx_;
   const HplaiConfig& config_;
   BlasShim& shim_;
   ProgressFn progress_;
+  RankProgressFn rankProgress_;
   bool aborted_ = false;
   index_t stepsCompleted_ = 0;
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <thread>
+
+#include "simmpi/faults.h"
 
 namespace hplmxp::simmpi {
 
@@ -57,15 +60,134 @@ struct CommState {
   // Per-rank ibcast ordinal; ordinals agree across ranks because
   // collectives are called in the same order on every rank.
   std::vector<index_t> ibcastSeq;
+
+  // Robustness knobs, shared by every handle and inherited on split().
+  std::chrono::milliseconds timeout{0};  // 0 = wait forever
+  int sendMaxRetries = 3;
+  std::chrono::microseconds sendBackoff{50};
+  std::shared_ptr<FaultInjector> faults;
 };
 
 }  // namespace detail
 
 using detail::CommState;
 
+CommTimeoutError::CommTimeoutError(std::string op, index_t rank,
+                                   index_t peer, Tag tag,
+                                   std::chrono::milliseconds timeout)
+    : CommError("comm timeout: rank " + std::to_string(rank) + " " + op +
+                (peer >= 0 ? " from rank " + std::to_string(peer) +
+                                 " (tag " + std::to_string(tag) + ")"
+                           : std::string{}) +
+                " exceeded " + std::to_string(timeout.count()) +
+                " ms — peer presumed lost"),
+      op_(std::move(op)),
+      rank_(rank),
+      peer_(peer),
+      tag_(tag) {}
+
 index_t Comm::size() const {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   return state_->size;
+}
+
+void Comm::setTimeout(std::chrono::milliseconds timeout) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(timeout.count() >= 0, "timeout must be non-negative");
+  state_->timeout = timeout;
+}
+
+std::chrono::milliseconds Comm::timeout() const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  return state_->timeout;
+}
+
+void Comm::setSendRetry(int maxRetries, std::chrono::microseconds backoff) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(maxRetries >= 0 && backoff.count() >= 0,
+                 "bad retry policy");
+  state_->sendMaxRetries = maxRetries;
+  state_->sendBackoff = backoff;
+}
+
+void Comm::setFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  state_->faults = std::move(injector);
+}
+
+const std::shared_ptr<FaultInjector>& Comm::faultInjector() const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  return state_->faults;
+}
+
+namespace {
+
+void applyDecisionSleep(FaultInjector& inj, const FaultDecision& d) {
+  if (d.delayMicros > 0) {
+    if (d.delayMicros >= 1000) {
+      inj.noteStall();
+    } else {
+      inj.noteDelay();
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delayMicros));
+  }
+}
+
+[[noreturn]] void throwCrash(index_t rank) {
+  throw InjectedCrashError("injected crash: rank " + std::to_string(rank) +
+                           " reached its scheduled crash point");
+}
+
+}  // namespace
+
+void Comm::injectOnSend(index_t dest, Tag tag,
+                        std::vector<std::byte>& payload) {
+  FaultInjector& inj = *state_->faults;
+  const index_t who = boundThreadRank();
+  const FaultConfig& cfg = inj.plan().config();
+  for (int attempt = 0;; ++attempt) {
+    const FaultDecision d = inj.next(who);
+    if (d.crash) {
+      inj.noteCrash();
+      throwCrash(who);
+    }
+    applyDecisionSleep(inj, d);
+    if (d.flipBit && payload.size() >= 2 &&
+        payload.size() >= cfg.bitflipMinBytes) {
+      // Flip bit 14 of a plan-chosen 16-bit word: the second-highest
+      // exponent bit for binary16 payloads, so corrupted panel entries
+      // blow up into the abnormal-magnitude range scanAbnormal detects.
+      const std::size_t words = payload.size() / 2;
+      const std::size_t w = static_cast<std::size_t>(
+          d.flipSelector % static_cast<std::uint64_t>(words));
+      payload[2 * w + 1] ^= std::byte{0x40};
+      inj.noteBitflip();
+    }
+    if (!d.transientSendFailure) {
+      return;
+    }
+    inj.noteTransient();
+    if (attempt >= state_->sendMaxRetries) {
+      throw CommSendError(
+          "send from rank " + std::to_string(who) + " to rank " +
+          std::to_string(dest) + " (tag " + std::to_string(tag) +
+          ") failed after " + std::to_string(attempt + 1) + " attempts");
+    }
+    inj.noteRetry();
+    std::this_thread::sleep_for(state_->sendBackoff * (1 << attempt));
+  }
+}
+
+void Comm::injectOnOp(const char* what) {
+  (void)what;
+  FaultInjector& inj = *state_->faults;
+  const index_t who = boundThreadRank();
+  const FaultDecision d = inj.next(who);
+  if (d.crash) {
+    inj.noteCrash();
+    throwCrash(who);
+  }
+  applyDecisionSleep(inj, d);
 }
 
 void Comm::sendBytes(index_t dest, Tag tag, const void* data,
@@ -77,6 +199,9 @@ void Comm::sendBytes(index_t dest, Tag tag, const void* data,
   if (bytes > 0) {
     std::memcpy(payload.data(), data, bytes);
   }
+  if (state_->faults != nullptr && state_->faults->armed()) {
+    injectOnSend(dest, tag, payload);
+  }
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.slots[{rank_, tag}].push(std::move(payload));
@@ -87,15 +212,23 @@ void Comm::sendBytes(index_t dest, Tag tag, const void* data,
 void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
+  if (state_->faults != nullptr && state_->faults->armed()) {
+    injectOnOp("recv");
+  }
   auto& box = *state_->boxes[static_cast<std::size_t>(rank_)];
   std::vector<std::byte> payload;
   {
     std::unique_lock<std::mutex> lock(box.mutex);
     const auto key = std::make_pair(src, tag);
-    box.cv.wait(lock, [&] {
+    auto ready = [&] {
       auto it = box.slots.find(key);
       return it != box.slots.end() && !it->second.empty();
-    });
+    };
+    if (state_->timeout.count() == 0) {
+      box.cv.wait(lock, ready);
+    } else if (!box.cv.wait_for(lock, state_->timeout, ready)) {
+      throw CommTimeoutError("recv", rank_, src, tag, state_->timeout);
+    }
     auto it = box.slots.find(key);
     payload = std::move(it->second.front());
     it->second.pop();
@@ -110,9 +243,38 @@ void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
   }
 }
 
+bool Comm::tryRecvBytes(index_t src, Tag tag, void* data,
+                        std::size_t bytes) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
+  auto& box = *state_->boxes[static_cast<std::size_t>(rank_)];
+  std::vector<std::byte> payload;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = box.slots.find(std::make_pair(src, tag));
+    if (it == box.slots.end() || it->second.empty()) {
+      return false;
+    }
+    payload = std::move(it->second.front());
+    it->second.pop();
+    if (it->second.empty()) {
+      box.slots.erase(it);
+    }
+  }
+  HPLMXP_REQUIRE(payload.size() == bytes,
+                 "recv: message size does not match posted buffer");
+  if (bytes > 0) {
+    std::memcpy(data, payload.data(), bytes);
+  }
+  return true;
+}
+
 void Comm::barrier() {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   auto& st = *state_;
+  if (st.faults != nullptr && st.faults->armed()) {
+    injectOnOp("barrier");
+  }
   std::unique_lock<std::mutex> lock(st.barrierMutex);
   const std::uint64_t gen = st.barrierGen;
   if (++st.barrierCount == st.size) {
@@ -120,7 +282,12 @@ void Comm::barrier() {
     ++st.barrierGen;
     st.barrierCv.notify_all();
   } else {
-    st.barrierCv.wait(lock, [&] { return st.barrierGen != gen; });
+    auto released = [&] { return st.barrierGen != gen; };
+    if (st.timeout.count() == 0) {
+      st.barrierCv.wait(lock, released);
+    } else if (!st.barrierCv.wait_for(lock, st.timeout, released)) {
+      throw CommTimeoutError("barrier", rank_, -1, 0, st.timeout);
+    }
   }
 }
 
@@ -165,8 +332,13 @@ Request Comm::ibcastBytes(index_t root, void* data, std::size_t bytes) {
     return Request{};
   }
   Comm self = *this;
-  return Request([self, root, tag, data, bytes]() mutable {
-    self.recvBytes(root, tag, data, bytes);
+  return Request::pending([self, root, tag, data, bytes](
+                              bool blocking) mutable {
+    if (blocking) {
+      self.recvBytes(root, tag, data, bytes);
+      return true;
+    }
+    return self.tryRecvBytes(root, tag, data, bytes);
   });
 }
 
@@ -309,6 +481,11 @@ Comm Comm::split(index_t color, index_t key) {
       std::sort(members.begin(), members.end());
       auto newState =
           std::make_shared<CommState>(static_cast<index_t>(members.size()));
+      // Children inherit the parent's robustness configuration.
+      newState->timeout = st.timeout;
+      newState->sendMaxRetries = st.sendMaxRetries;
+      newState->sendBackoff = st.sendBackoff;
+      newState->faults = st.faults;
       for (index_t newRank = 0;
            newRank < static_cast<index_t>(members.size()); ++newRank) {
         const index_t oldRank =
@@ -319,7 +496,12 @@ Comm Comm::split(index_t color, index_t key) {
     op.built = true;
     op.cv.notify_all();
   } else {
-    op.cv.wait(lock, [&] { return op.built; });
+    auto built = [&] { return op.built; };
+    if (st.timeout.count() == 0) {
+      op.cv.wait(lock, built);
+    } else if (!op.cv.wait_for(lock, st.timeout, built)) {
+      throw CommTimeoutError("split", rank_, -1, 0, st.timeout);
+    }
   }
 
   Comm result = op.results.at(rank_);

@@ -10,8 +10,20 @@
 // blocks until a matching message arrives. This preserves the ordering and
 // deadlock structure of the paper's communication patterns while running
 // whole multi-rank executions inside one test process.
+//
+// Robustness hooks (all zero-cost when unset):
+//   * setTimeout(): blocking waits (recv, barrier, split, Request::wait)
+//     raise a structured CommTimeoutError instead of hanging forever when a
+//     peer is lost — the fail-fast behavior Sec. VI-B's progress monitoring
+//     demands at scale.
+//   * setSendRetry(): transient send failures (injected or otherwise) are
+//     retried with exponential backoff before surfacing as CommSendError.
+//   * setFaultInjector(): installs a deterministic simmpi::FaultInjector
+//     (faults.h); sub-communicators created by split() inherit it.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstring>
@@ -28,29 +40,109 @@ namespace hplmxp::simmpi {
 
 using Tag = std::int64_t;
 
+class FaultInjector;
+
 namespace detail {
 struct CommState;
 }
 
+/// Base class of communication-layer failures.
+class CommError : public CheckError {
+ public:
+  explicit CommError(const std::string& msg) : CheckError(msg) {}
+};
+
+/// A blocking wait exceeded the configured timeout — the peer is presumed
+/// lost (crashed rank, wedged fabric). Carries the structured coordinates
+/// of the wait so aggregated reports can say who waited on whom.
+class CommTimeoutError : public CommError {
+ public:
+  CommTimeoutError(std::string op, index_t rank, index_t peer, Tag tag,
+                   std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] index_t rank() const { return rank_; }
+  /// Peer waited on; -1 when the wait is collective (barrier/split).
+  [[nodiscard]] index_t peer() const { return peer_; }
+  [[nodiscard]] Tag tag() const { return tag_; }
+
+ private:
+  std::string op_;
+  index_t rank_;
+  index_t peer_;
+  Tag tag_;
+};
+
+/// A send failed transiently more times than the retry budget allows.
+class CommSendError : public CommError {
+ public:
+  explicit CommSendError(const std::string& msg) : CommError(msg) {}
+};
+
 /// Handle to a pending nonblocking operation. wait() must be called before
 /// the destination buffer is read (receivers) — for senders the operation
-/// completes eagerly and wait() is a no-op.
+/// completes eagerly and wait() is a no-op. Safe to copy; all copies share
+/// completion state, and wait()/test() are thread-safe and idempotent
+/// under concurrent callers.
 class Request {
  public:
+  /// Already-complete request (eager sends, single-rank collectives).
   Request() = default;
-  explicit Request(std::function<void()> complete)
-      : complete_(std::move(complete)) {}
 
-  /// Blocks until the operation is complete. Idempotent.
+  /// Pending request. `tryComplete(blocking)` performs the operation:
+  /// called with true it must finish (blocking) and return true; with
+  /// false it attempts a nonblocking completion and returns whether the
+  /// operation finished.
+  static Request pending(std::function<bool(bool)> tryComplete) {
+    Request r;
+    r.state_ = std::make_shared<State>();
+    r.state_->tryComplete = std::move(tryComplete);
+    return r;
+  }
+
+  /// Blocks until the operation is complete. Idempotent; concurrent
+  /// callers serialize and all return after completion.
   void wait() {
-    if (complete_) {
-      complete_();
-      complete_ = nullptr;
+    if (!state_ || state_->done.load(std::memory_order_acquire)) {
+      return;
     }
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->done.load(std::memory_order_relaxed)) {
+      return;
+    }
+    state_->tryComplete(/*blocking=*/true);
+    state_->done.store(true, std::memory_order_release);
+  }
+
+  /// Nonblocking poll: returns true iff the operation is complete (and on
+  /// first success performs the completion, e.g. copies the received
+  /// payload out). The poll companion of wait() for timeout loops.
+  bool test() {
+    if (!state_ || state_->done.load(std::memory_order_acquire)) {
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      // Another thread is completing right now; report current state.
+      return state_->done.load(std::memory_order_acquire);
+    }
+    if (state_->done.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (state_->tryComplete(/*blocking=*/false)) {
+      state_->done.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
   }
 
  private:
-  std::function<void()> complete_;
+  struct State {
+    std::mutex mutex;
+    std::atomic<bool> done{false};
+    std::function<bool(bool)> tryComplete;
+  };
+  std::shared_ptr<State> state_;
 };
 
 /// Communicator handle. Cheap to copy; all copies share the transport.
@@ -62,9 +154,28 @@ class Comm {
   [[nodiscard]] index_t size() const;
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
 
+  // --- robustness configuration (shared by all handles of this comm; set
+  // before ranks start communicating; split() children inherit) ---------
+  /// Blocking-wait budget; zero waits forever (the default).
+  void setTimeout(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds timeout() const;
+
+  /// Retry budget and initial backoff for transient send failures; the
+  /// backoff doubles per attempt.
+  void setSendRetry(int maxRetries, std::chrono::microseconds backoff);
+
+  /// Installs a deterministic fault injector (simmpi/faults.h). Pass
+  /// nullptr to remove. The hot paths pay one pointer compare when unset.
+  void setFaultInjector(std::shared_ptr<FaultInjector> injector);
+  [[nodiscard]] const std::shared_ptr<FaultInjector>& faultInjector() const;
+
   // --- point to point -----------------------------------------------------
   void sendBytes(index_t dest, Tag tag, const void* data, std::size_t bytes);
   void recvBytes(index_t src, Tag tag, void* data, std::size_t bytes);
+
+  /// Nonblocking probe-and-receive: returns false (buffer untouched) when
+  /// no matching message is queued. Used by Request::test().
+  bool tryRecvBytes(index_t src, Tag tag, void* data, std::size_t bytes);
 
   template <typename T>
   void send(index_t dest, Tag tag, const T* data, index_t count) {
@@ -83,11 +194,17 @@ class Comm {
     return Request{};
   }
 
-  /// Nonblocking receive: completes (blocks if necessary) at wait().
+  /// Nonblocking receive: completes (blocks if necessary) at wait(), or
+  /// opportunistically at test().
   Request irecvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
     Comm self = *this;
-    return Request([self, src, tag, data, bytes]() mutable {
-      self.recvBytes(src, tag, data, bytes);
+    return Request::pending([self, src, tag, data, bytes](
+                                bool blocking) mutable {
+      if (blocking) {
+        self.recvBytes(src, tag, data, bytes);
+        return true;
+      }
+      return self.tryRecvBytes(src, tag, data, bytes);
     });
   }
 
@@ -162,7 +279,8 @@ class Comm {
                       std::size_t bytes);
 
   /// Splits into sub-communicators by color; ranks ordered by (key, rank).
-  /// Every rank of this comm must call split (same call ordinal).
+  /// Every rank of this comm must call split (same call ordinal). Children
+  /// inherit the timeout, retry policy, and fault injector.
   [[nodiscard]] Comm split(index_t color, index_t key);
 
   /// World constructor used by the Runtime.
@@ -174,6 +292,15 @@ class Comm {
 
   template <typename T>
   void allreduceSumT(T* data, index_t count);
+
+  /// Applies the installed fault plan to one send attempt sequence:
+  /// delays/stalls sleep, crash decisions throw, bit flips corrupt the
+  /// payload in place, and transient failures are retried with
+  /// exponential backoff (CommSendError once the budget is exhausted).
+  void injectOnSend(index_t dest, Tag tag, std::vector<std::byte>& payload);
+
+  /// Crash/stall injection point for receive-side and collective ops.
+  void injectOnOp(const char* what);
 
   std::shared_ptr<detail::CommState> state_;
   index_t rank_ = 0;

@@ -1,0 +1,146 @@
+#include "simmpi/faults.h"
+
+#include <vector>
+
+namespace hplmxp::simmpi {
+
+namespace {
+thread_local index_t tlsRank = -1;
+}  // namespace
+
+void bindThreadRank(index_t rank) { tlsRank = rank; }
+index_t boundThreadRank() { return tlsRank; }
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(config) {
+  auto inUnit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  HPLMXP_REQUIRE(inUnit(config_.delayProbability) &&
+                     inUnit(config_.transientSendProbability) &&
+                     inUnit(config_.bitflipProbability),
+                 "fault probabilities must be in [0, 1]");
+  HPLMXP_REQUIRE(config_.delayMicros >= 0 && config_.stallMicros >= 0,
+                 "fault delays must be non-negative");
+  HPLMXP_REQUIRE(config_.stallRank < 0 || config_.stallEveryOps >= 1,
+                 "stallEveryOps must be at least 1");
+}
+
+std::uint64_t FaultPlan::hash(index_t rank, std::uint64_t opIndex,
+                              std::uint64_t salt) const {
+  // SplitMix64 over (seed, salt, rank, op): the GcdVariability discipline —
+  // stateless, well-mixed, resume-safe.
+  std::uint64_t x = config_.seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^
+                    (static_cast<std::uint64_t>(rank + 1) * 0xD1B54A32D192ED03ULL) ^
+                    (opIndex + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+double FaultPlan::uniform(index_t rank, std::uint64_t opIndex,
+                          std::uint64_t salt) const {
+  return static_cast<double>(hash(rank, opIndex, salt) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+FaultDecision FaultPlan::decisionFor(index_t rank,
+                                     std::uint64_t opIndex) const {
+  FaultDecision d;
+  if (config_.crashRank == rank && opIndex >= config_.crashAtOp) {
+    d.crash = true;
+    return d;
+  }
+  if (config_.stallRank == rank &&
+      opIndex % static_cast<std::uint64_t>(config_.stallEveryOps) == 0) {
+    d.delayMicros += config_.stallMicros;
+  }
+  if (config_.delayProbability > 0.0 &&
+      uniform(rank, opIndex, 1) < config_.delayProbability) {
+    d.delayMicros += config_.delayMicros;
+  }
+  if (config_.transientSendProbability > 0.0 &&
+      uniform(rank, opIndex, 2) < config_.transientSendProbability) {
+    d.transientSendFailure = true;
+  }
+  if (config_.bitflipProbability > 0.0 &&
+      uniform(rank, opIndex, 3) < config_.bitflipProbability) {
+    d.flipBit = true;
+    d.flipSelector = hash(rank, opIndex, 4);
+  }
+  return d;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, index_t worldSize)
+    : plan_(config),
+      armed_(config.anyEnabled()),
+      opCount_(static_cast<std::size_t>(worldSize), 0) {
+  HPLMXP_REQUIRE(worldSize > 0, "world size must be positive");
+}
+
+FaultDecision FaultInjector::next(index_t rank) {
+  if (rank < 0 || rank >= static_cast<index_t>(opCount_.size())) {
+    return FaultDecision{};  // unbound thread: never injected into
+  }
+  const std::uint64_t op = opCount_[static_cast<std::size_t>(rank)]++;
+  return plan_.decisionFor(rank, op);
+}
+
+std::uint64_t FaultInjector::opsSeen(index_t rank) const {
+  HPLMXP_REQUIRE(rank >= 0 && rank < static_cast<index_t>(opCount_.size()),
+                 "rank out of range");
+  return opCount_[static_cast<std::size_t>(rank)];
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.delays = delays_.load(std::memory_order_relaxed);
+  s.transientFailures = transients_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.bitflips = bitflips_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
+                          index_t worldSize) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  if (name == "none") {
+    return cfg;
+  }
+  if (name == "delay") {
+    cfg.delayProbability = 0.05;
+    cfg.delayMicros = 300;
+    return cfg;
+  }
+  if (name == "transient") {
+    cfg.transientSendProbability = 0.15;
+    return cfg;
+  }
+  if (name == "sdc") {
+    cfg.bitflipProbability = 0.01;
+    cfg.bitflipMinBytes = 256;  // target bulk panel traffic, not control
+    return cfg;
+  }
+  if (name == "stall") {
+    cfg.stallRank = worldSize > 1 ? 1 : 0;
+    cfg.stallEveryOps = 4;
+    cfg.stallMicros = 20000;
+    return cfg;
+  }
+  if (name == "crash") {
+    cfg.crashRank = worldSize - 1;
+    cfg.crashAtOp = 64;
+    return cfg;
+  }
+  HPLMXP_REQUIRE(false, ("unknown fault scenario: " + name).c_str());
+  return cfg;  // unreachable
+}
+
+std::vector<std::string> knownFaultScenarios() {
+  return {"none", "delay", "transient", "sdc", "stall", "crash"};
+}
+
+}  // namespace hplmxp::simmpi

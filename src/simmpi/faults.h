@@ -1,0 +1,172 @@
+// Deterministic fault injection for the simmpi runtime (the chaos half of
+// Sec. VI-B's operational defenses).
+//
+// The paper's record runs survived because slow nodes were scanned out,
+// progress was monitored, and abnormal runs were killed early; this module
+// provides the *adversary* those defenses are tested against. A FaultPlan
+// is a pure function of (seed, rank, op-index) — the same resume-safe
+// hashing discipline as machine/GcdVariability — so every injected delay,
+// dropped send, flipped bit, stall, and scheduled rank crash is exactly
+// reproducible from the seed alone.
+//
+// Injection is wired into Comm behind a single shared_ptr check: with no
+// injector installed the hot send/recv paths pay one pointer compare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp::simmpi {
+
+/// Thrown by a rank whose scheduled crash point has been reached. Peers of
+/// the dead rank subsequently observe CommTimeoutError (given a configured
+/// timeout), and simmpi::run aggregates the whole failure picture.
+class InjectedCrashError : public CheckError {
+ public:
+  explicit InjectedCrashError(const std::string& msg) : CheckError(msg) {}
+};
+
+/// What faults a plan injects and how often. All probabilities are per
+/// communication operation (each send attempt / recv is one op).
+struct FaultConfig {
+  std::uint64_t seed = 0xC4A05;
+
+  /// Message delay: with this probability a send sleeps `delayMicros`
+  /// before delivering (network jitter / congested links).
+  double delayProbability = 0.0;
+  index_t delayMicros = 200;
+
+  /// Transient send failure: the send attempt fails and must be retried by
+  /// the comm layer (lossy fabric). Repeated per-attempt draws make
+  /// permanent loss geometrically unlikely but possible.
+  double transientSendProbability = 0.0;
+
+  /// Silent data corruption: one bit of the payload is flipped in transit.
+  /// The flipped bit is bit 14 of a plan-chosen 16-bit word — an exponent
+  /// bit for binary16 payloads, so corrupted FP16 panels become abnormally
+  /// large or non-finite and are catchable by blas::scanAbnormal.
+  double bitflipProbability = 0.0;
+  /// Payloads smaller than this never get flipped (protects tiny control
+  /// messages when the scenario targets bulk panel traffic).
+  std::size_t bitflipMinBytes = 0;
+
+  /// Targeted rank stall: `stallRank` sleeps `stallMicros` every
+  /// `stallEveryOps` operations (a thermally-throttled or page-faulting
+  /// die). -1 disables.
+  index_t stallRank = -1;
+  index_t stallEveryOps = 16;
+  index_t stallMicros = 5000;
+
+  /// Scheduled crash: `crashRank` throws InjectedCrashError at its
+  /// `crashAtOp`-th communication operation (a lost node). -1 disables.
+  index_t crashRank = -1;
+  std::uint64_t crashAtOp = 0;
+
+  [[nodiscard]] bool anyEnabled() const {
+    return delayProbability > 0.0 || transientSendProbability > 0.0 ||
+           bitflipProbability > 0.0 || stallRank >= 0 || crashRank >= 0;
+  }
+};
+
+/// The plan's verdict for one (rank, op) pair.
+struct FaultDecision {
+  index_t delayMicros = 0;       // sleep this long before the op
+  bool transientSendFailure = false;
+  bool flipBit = false;          // corrupt the payload
+  std::uint64_t flipSelector = 0;  // hash used to pick the flipped word
+  bool crash = false;
+
+  [[nodiscard]] bool any() const {
+    return delayMicros > 0 || transientSendFailure || flipBit || crash;
+  }
+};
+
+/// Pure, stateless fault schedule: decisionFor(rank, op) is a function of
+/// the config seed only, so plans can be replayed, resumed, and asserted on.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig config);
+
+  [[nodiscard]] FaultDecision decisionFor(index_t rank,
+                                          std::uint64_t opIndex) const;
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double uniform(index_t rank, std::uint64_t opIndex,
+                               std::uint64_t salt) const;
+  [[nodiscard]] std::uint64_t hash(index_t rank, std::uint64_t opIndex,
+                                   std::uint64_t salt) const;
+
+  FaultConfig config_;
+};
+
+/// Counts of faults actually injected (a recovery report's raw material).
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t transientFailures = 0;
+  std::uint64_t retries = 0;        // send attempts repeated by the comm
+  std::uint64_t bitflips = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t crashes = 0;
+};
+
+/// Shared injection state: the plan plus per-rank op counters and fault
+/// tallies. One instance is installed into a world (Comm::setFaultInjector)
+/// and inherited by every split sub-communicator; each rank-thread draws
+/// its own deterministic op sequence.
+class FaultInjector {
+ public:
+  FaultInjector(FaultConfig config, index_t worldSize);
+
+  /// Next decision for `rank` (advances that rank's op counter). Each rank
+  /// is a single thread, so per-rank counters need no synchronization.
+  FaultDecision next(index_t rank);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::uint64_t opsSeen(index_t rank) const;
+
+  /// Snapshot of the tallies (safe to read while ranks run).
+  [[nodiscard]] FaultStats stats() const;
+
+  // Tallies, bumped by the comm layer as it applies decisions.
+  void noteDelay() { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void noteTransient() {
+    transients_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void noteRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void noteBitflip() { bitflips_.fetch_add(1, std::memory_order_relaxed); }
+  void noteStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void noteCrash() { crashes_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  FaultPlan plan_;
+  bool armed_;
+  std::vector<std::uint64_t> opCount_;  // per rank; single-writer each
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> transients_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> bitflips_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+};
+
+/// Binds the calling thread to a world rank for fault attribution. The
+/// runtime binds each rank-thread at launch; a thread with no binding
+/// (rank < 0) is never injected into.
+void bindThreadRank(index_t rank);
+[[nodiscard]] index_t boundThreadRank();
+
+/// Named fault scenarios for the chaos CLI and tests. Recognized names:
+/// none, delay, transient, sdc, stall, crash. Throws CheckError otherwise.
+[[nodiscard]] FaultConfig faultScenario(const std::string& name,
+                                        std::uint64_t seed,
+                                        index_t worldSize);
+[[nodiscard]] std::vector<std::string> knownFaultScenarios();
+
+}  // namespace hplmxp::simmpi

@@ -1,43 +1,87 @@
 #include "simmpi/runtime.h"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "simmpi/faults.h"
+
 namespace hplmxp::simmpi {
 
+std::string MultiRankError::renderMessage(
+    const std::vector<RankFailure>& failures) {
+  std::string msg =
+      std::to_string(failures.size()) + " ranks failed:";
+  for (const RankFailure& f : failures) {
+    msg += "\n  rank " + std::to_string(f.rank) + ": " + f.message;
+  }
+  return msg;
+}
+
+MultiRankError::MultiRankError(std::vector<RankFailure> failures)
+    : CheckError(renderMessage(failures)), failures_(std::move(failures)) {}
+
 void run(index_t worldSize, const std::function<void(Comm&)>& fn) {
+  run(worldSize, fn, RunOptions{});
+}
+
+void run(index_t worldSize, const std::function<void(Comm&)>& fn,
+         const RunOptions& options) {
   HPLMXP_REQUIRE(worldSize > 0, "world size must be positive");
   auto world = Comm::makeWorld(worldSize);
+  world[0].setTimeout(options.timeout);
+  world[0].setSendRetry(options.sendMaxRetries, options.sendBackoff);
+  if (options.faults) {
+    world[0].setFaultInjector(options.faults);
+  }
 
   if (worldSize == 1) {
+    bindThreadRank(0);
     fn(world[0]);
     return;
   }
 
-  std::mutex excMutex;
-  std::exception_ptr firstExc;
-
+  std::vector<std::exception_ptr> rankExc(
+      static_cast<std::size_t>(worldSize));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(worldSize));
   for (index_t r = 0; r < worldSize; ++r) {
     threads.emplace_back([&, r] {
+      bindThreadRank(r);
       try {
         fn(world[static_cast<std::size_t>(r)]);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(excMutex);
-        if (!firstExc) {
-          firstExc = std::current_exception();
-        }
+        rankExc[static_cast<std::size_t>(r)] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) {
     t.join();
   }
-  if (firstExc) {
-    std::rethrow_exception(firstExc);
+
+  std::vector<RankFailure> failures;
+  std::exception_ptr single;
+  for (index_t r = 0; r < worldSize; ++r) {
+    const auto& exc = rankExc[static_cast<std::size_t>(r)];
+    if (!exc) {
+      continue;
+    }
+    if (!single) {
+      single = exc;
+    }
+    try {
+      std::rethrow_exception(exc);
+    } catch (const std::exception& e) {
+      failures.push_back({r, e.what()});
+    } catch (...) {
+      failures.push_back({r, "unknown exception"});
+    }
+  }
+  if (failures.size() == 1) {
+    std::rethrow_exception(single);  // preserve the original type
+  }
+  if (!failures.empty()) {
+    throw MultiRankError(std::move(failures));
   }
 }
 

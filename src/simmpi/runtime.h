@@ -2,18 +2,65 @@
 // world communicator. The functional analogue of `mpirun -np P`.
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "simmpi/comm.h"
 #include "util/common.h"
 
 namespace hplmxp::simmpi {
 
+class FaultInjector;
+
+/// One rank's failure inside run().
+struct RankFailure {
+  index_t rank = 0;
+  std::string message;
+};
+
+/// Aggregate of every rank failure in one run() — at scale a single lost
+/// rank cascades into timeouts on its peers, and diagnosing the root cause
+/// needs the whole picture, not just whichever rank's exception happened
+/// to be caught first.
+class MultiRankError : public CheckError {
+ public:
+  explicit MultiRankError(std::vector<RankFailure> failures);
+
+  [[nodiscard]] const std::vector<RankFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  static std::string renderMessage(const std::vector<RankFailure>& failures);
+
+  std::vector<RankFailure> failures_;
+};
+
+/// Optional robustness configuration for run(): fault injection (chaos
+/// testing) and the comm-level timeout/retry policy applied to the world
+/// communicator before any rank starts.
+struct RunOptions {
+  /// Deterministic fault injector (simmpi/faults.h); null runs clean.
+  std::shared_ptr<FaultInjector> faults;
+  /// Blocking-wait budget for recv/barrier/split; zero waits forever.
+  std::chrono::milliseconds timeout{0};
+  /// Transient-send retry budget and initial exponential backoff.
+  int sendMaxRetries = 3;
+  std::chrono::microseconds sendBackoff{50};
+};
+
 /// Runs `fn(world)` on `worldSize` concurrent ranks and joins them all.
-/// If any rank throws, the first exception is rethrown after all ranks
-/// finish (ranks blocked on a failed peer would deadlock, so rank bodies
-/// are expected to fail collectively or not at all; tests rely on this).
+/// Every rank's exception is collected: a single failure is rethrown with
+/// its original type; multiple failures are aggregated into one
+/// MultiRankError carrying per-rank messages. (Ranks blocked on a failed
+/// peer hang unless a timeout is configured via RunOptions — with one,
+/// they fail fast with CommTimeoutError and join the aggregate.)
 void run(index_t worldSize, const std::function<void(Comm&)>& fn);
+void run(index_t worldSize, const std::function<void(Comm&)>& fn,
+         const RunOptions& options);
 
 /// Variant collecting a per-rank result.
 template <typename R>

@@ -27,9 +27,25 @@ SlowNodeScanner::SlowNodeScanner(ScanPolicy policy) : policy_(policy) {
                  "threshold must be a fraction of the median");
 }
 
+Table ScanReport::toTable() const {
+  Table t({"metric", "value"});
+  t.addRow({"fleet size", Table::num(static_cast<long long>(fleetSize))});
+  t.addRow({"median rate (GF/s)", Table::num(median / 1e9, 2)});
+  t.addRow({"min rate (GF/s)", Table::num(min / 1e9, 2)});
+  t.addRow({"max rate (GF/s)", Table::num(max / 1e9, 2)});
+  t.addRow({"spread", Table::num(spreadPercent, 1) + "%"});
+  t.addRow({"flagged GCDs",
+            Table::num(static_cast<long long>(flagged.size()))});
+  t.addRow({"pipeline pace before scan (GF/s)", Table::num(min / 1e9, 2)});
+  t.addRow({"pipeline pace after exclusion (GF/s)",
+            Table::num(keptMinRate / 1e9, 2)});
+  return t;
+}
+
 ScanReport SlowNodeScanner::scan(const std::vector<double>& rates) const {
   HPLMXP_REQUIRE(!rates.empty(), "cannot scan an empty fleet");
   ScanReport report;
+  report.fleetSize = static_cast<index_t>(rates.size());
   report.median = percentile(rates, 50.0);
   const Summary s = summarize(rates);
   report.min = s.min;
@@ -49,6 +65,58 @@ ScanReport SlowNodeScanner::scan(const std::vector<double>& rates) const {
   }
   report.keptMinRate = report.flagged.size() == rates.size() ? 0.0 : keptMin;
   return report;
+}
+
+SlowRankMonitor::SlowRankMonitor(index_t worldSize, SlowRankPolicy policy)
+    : policy_(policy),
+      streak_(static_cast<std::size_t>(worldSize), 0),
+      maxLag_(static_cast<std::size_t>(worldSize), 0.0) {
+  HPLMXP_REQUIRE(worldSize > 0, "need at least one rank");
+  HPLMXP_REQUIRE(policy_.strikes >= 1, "need at least one strike");
+}
+
+bool SlowRankMonitor::observe(index_t /*k*/,
+                              const std::vector<double>& waits) {
+  HPLMXP_REQUIRE(waits.size() == streak_.size(),
+                 "wait vector does not match world size");
+  const std::size_t p = waits.size();
+  double maxWait = 0.0;
+  for (double w : waits) {
+    maxWait = std::max(maxWait, w);
+  }
+  std::vector<double> lag(p);
+  for (std::size_t r = 0; r < p; ++r) {
+    lag[r] = maxWait - waits[r];
+    maxLag_[r] = std::max(maxLag_[r], lag[r]);
+  }
+  std::vector<double> sorted = lag;
+  std::sort(sorted.begin(), sorted.end());
+  // Lower median, so in a 2-rank world the healthy rank's ~0 lag is the
+  // reference rather than the outlier's own lag.
+  const double medianLag = sorted[(p - 1) / 2];
+
+  for (std::size_t r = 0; r < p; ++r) {
+    const bool outlier = lag[r] >= policy_.minLagSeconds &&
+                         lag[r] > policy_.medianFactor * medianLag;
+    if (outlier) {
+      if (++streak_[r] >= policy_.strikes) {
+        terminate_ = true;
+      }
+    } else {
+      streak_[r] = 0;
+    }
+  }
+  return terminate_;
+}
+
+std::vector<index_t> SlowRankMonitor::slowRanks() const {
+  std::vector<index_t> out;
+  for (std::size_t r = 0; r < streak_.size(); ++r) {
+    if (streak_[r] >= policy_.strikes) {
+      out.push_back(static_cast<index_t>(r));
+    }
+  }
+  return out;
 }
 
 }  // namespace hplmxp

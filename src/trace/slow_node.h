@@ -15,6 +15,7 @@
 
 #include "device/device.h"
 #include "util/common.h"
+#include "util/table.h"
 
 namespace hplmxp {
 
@@ -30,6 +31,7 @@ struct ScanPolicy {
 };
 
 struct ScanReport {
+  index_t fleetSize = 0;                  // GCDs scanned
   double median = 0.0;
   double min = 0.0;
   double max = 0.0;
@@ -38,6 +40,10 @@ struct ScanReport {
   /// Slowest multiplier among the *kept* fleet: the pipeline pace after
   /// exclusion.
   double keptMinRate = 0.0;
+
+  /// Renders the report as the standard metric/value table (rates shown in
+  /// GFLOP/s) — shared by the scan/chaos CLI commands and the examples.
+  [[nodiscard]] Table toTable() const;
 };
 
 /// Aggregates per-GCD rates and flags outliers.
@@ -49,6 +55,48 @@ class SlowNodeScanner {
 
  private:
   ScanPolicy policy_;
+};
+
+/// Mid-run slow-rank detection (the in-flight complement of the pre-run
+/// scan above): fed the per-rank barrier-wait times that DistLU gathers
+/// each block step. In a synchronous pipeline the slowest rank arrives at
+/// the barrier last and waits ~0 while everyone else idles, so
+///
+///     lag[r] = max(waits) - waits[r]
+///
+/// isolates the pacing rank even though every rank's step time is
+/// identical. A rank whose lag is both above the noise floor and an
+/// outlier against the median for `strikes` consecutive observations is
+/// flagged; wire observe() into DistLU::setRankProgressCallback (or
+/// HplaiConfig::rankProgressCallback) to terminate the run early, the
+/// Sec. VI-B abnormal-run policy.
+struct SlowRankPolicy {
+  double minLagSeconds = 0.002;  // lag below this is scheduler noise
+  double medianFactor = 4.0;     // outlier: lag > factor * median lag
+  index_t strikes = 3;           // consecutive flagged steps to terminate
+};
+
+class SlowRankMonitor {
+ public:
+  explicit SlowRankMonitor(index_t worldSize, SlowRankPolicy policy = {});
+
+  /// Feeds one step's per-rank waits; returns true once any rank has been
+  /// the flagged outlier for `strikes` consecutive steps (terminate).
+  bool observe(index_t k, const std::vector<double>& waits);
+
+  [[nodiscard]] bool shouldTerminate() const { return terminate_; }
+  /// Ranks currently at or beyond the strike limit.
+  [[nodiscard]] std::vector<index_t> slowRanks() const;
+  /// Largest lag seen for each rank (seconds), for reporting.
+  [[nodiscard]] const std::vector<double>& maxLagSeconds() const {
+    return maxLag_;
+  }
+
+ private:
+  SlowRankPolicy policy_;
+  std::vector<index_t> streak_;  // consecutive flagged steps per rank
+  std::vector<double> maxLag_;
+  bool terminate_ = false;
 };
 
 }  // namespace hplmxp

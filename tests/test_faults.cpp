@@ -1,0 +1,555 @@
+// Chaos-harness tests: deterministic fault injection (simmpi/faults),
+// comm timeouts/retry/aggregation, and the self-healing solver guards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blas/scan.h"
+#include "cli/commands.h"
+#include "core/dist_context.h"
+#include "core/hplai.h"
+#include "core/ir_dist.h"
+#include "core/lu_dist.h"
+#include "device/shim.h"
+#include "gen/matgen.h"
+#include "simmpi/faults.h"
+#include "simmpi/runtime.h"
+#include "trace/slow_node.h"
+#include "util/buffer.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+namespace {
+
+using simmpi::FaultConfig;
+using simmpi::FaultDecision;
+using simmpi::FaultInjector;
+using simmpi::FaultPlan;
+
+HplaiConfig baseConfig(index_t n, index_t b, index_t pr, index_t pc) {
+  HplaiConfig cfg;
+  cfg.n = n;
+  cfg.b = b;
+  cfg.pr = pr;
+  cfg.pc = pc;
+  cfg.seed = 2022;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, IsDeterministicInSeedRankAndOp) {
+  FaultConfig cfg;
+  cfg.seed = 0xBEEF;
+  cfg.delayProbability = 0.3;
+  cfg.transientSendProbability = 0.2;
+  cfg.bitflipProbability = 0.1;
+  const FaultPlan a(cfg);
+  const FaultPlan b(cfg);
+  bool sawAny = false;
+  for (index_t rank = 0; rank < 4; ++rank) {
+    for (std::uint64_t op = 0; op < 256; ++op) {
+      const FaultDecision da = a.decisionFor(rank, op);
+      const FaultDecision db = b.decisionFor(rank, op);
+      EXPECT_EQ(da.delayMicros, db.delayMicros);
+      EXPECT_EQ(da.transientSendFailure, db.transientSendFailure);
+      EXPECT_EQ(da.flipBit, db.flipBit);
+      EXPECT_EQ(da.flipSelector, db.flipSelector);
+      EXPECT_EQ(da.crash, db.crash);
+      sawAny = sawAny || da.any();
+    }
+  }
+  EXPECT_TRUE(sawAny) << "plan with 30%/20%/10% rates injected nothing";
+
+  // A different seed must produce a different schedule somewhere.
+  cfg.seed = 0xBEEF + 1;
+  const FaultPlan c(cfg);
+  bool differs = false;
+  for (index_t rank = 0; rank < 4 && !differs; ++rank) {
+    for (std::uint64_t op = 0; op < 256 && !differs; ++op) {
+      const FaultDecision da = a.decisionFor(rank, op);
+      const FaultDecision dc = c.decisionFor(rank, op);
+      differs = da.delayMicros != dc.delayMicros ||
+                da.transientSendFailure != dc.transientSendFailure ||
+                da.flipBit != dc.flipBit;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, CrashAndStallScheduleAreExact) {
+  FaultConfig cfg;
+  cfg.crashRank = 2;
+  cfg.crashAtOp = 10;
+  cfg.stallRank = 1;
+  cfg.stallEveryOps = 4;
+  cfg.stallMicros = 777;
+  const FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.decisionFor(2, 9).crash);
+  EXPECT_TRUE(plan.decisionFor(2, 10).crash);
+  EXPECT_TRUE(plan.decisionFor(2, 11).crash);
+  EXPECT_FALSE(plan.decisionFor(0, 10).crash);
+  EXPECT_EQ(plan.decisionFor(1, 8).delayMicros, 777);
+  EXPECT_EQ(plan.decisionFor(1, 9).delayMicros, 0);
+}
+
+TEST(FaultInjector, AdvancesPerRankCountersIndependently) {
+  FaultConfig cfg;
+  cfg.delayProbability = 1.0;  // armed
+  FaultInjector inj(cfg, 2);
+  EXPECT_TRUE(inj.armed());
+  (void)inj.next(0);
+  (void)inj.next(0);
+  (void)inj.next(1);
+  EXPECT_EQ(inj.opsSeen(0), 2u);
+  EXPECT_EQ(inj.opsSeen(1), 1u);
+  // Unbound threads (rank -1) are never injected into.
+  EXPECT_FALSE(inj.next(-1).any());
+}
+
+// ---------------------------------------------------------------------------
+// Abnormal-value scans
+// ---------------------------------------------------------------------------
+
+TEST(ScanAbnormal, CleanPanelPasses) {
+  std::vector<float> a(64 * 8, 0.25f);
+  const blas::AbnormalScan s = blas::scanAbnormal(64, 8, a.data(), 64, 1e3);
+  EXPECT_TRUE(s.clean());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.describe(), "clean");
+}
+
+TEST(ScanAbnormal, DetectsNonFiniteEvenWithoutLimit) {
+  std::vector<double> a(16, 0.0);
+  a[5] = std::numeric_limits<double>::infinity();
+  a[9] = std::nan("");
+  const blas::AbnormalScan s = blas::scanAbnormal(16, 1, a.data(), 16, 0.0);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.firstRow, 5);
+  EXPECT_TRUE(s.sawNonFinite);
+}
+
+TEST(ScanAbnormal, CatchesFp16ExponentBitFlip) {
+  // A panel of benign HPL-AI-like values; flip bit 14 (the top exponent
+  // bit, exactly what the SDC injector flips) of one element. 0.4375
+  // becomes 0.4375 * 2^16 = 28672 — far beyond any legitimate panel entry.
+  const index_t m = 32, n = 8;
+  std::vector<half16> panel(static_cast<std::size_t>(m * n),
+                            half16(0.4375f));
+  const std::size_t victim = 3 * static_cast<std::size_t>(m) + 17;
+  panel[victim] = half16::fromBits(
+      static_cast<std::uint16_t>(panel[victim].bits() ^ 0x4000u));
+  EXPECT_NEAR(panel[victim].toFloat(), 0.4375f * 65536.0f, 1.0f);
+
+  const blas::AbnormalScan s =
+      blas::scanAbnormal(m, n, panel.data(), m, /*magnitudeLimit=*/64.0);
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.firstRow, 17);
+  EXPECT_EQ(s.firstCol, 3);
+  EXPECT_GT(s.maxAbs, 1e4);
+  EXPECT_FALSE(s.describe().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Comm-layer robustness
+// ---------------------------------------------------------------------------
+
+TEST(CommRobustness, RecvTimeoutRaisesStructuredError) {
+  simmpi::RunOptions opts;
+  opts.timeout = std::chrono::milliseconds(100);
+  Timer wall;
+  try {
+    simmpi::run(
+        2,
+        [&](simmpi::Comm& world) {
+          if (world.rank() == 0) {
+            double v = 0.0;
+            world.recv(1, /*tag=*/7, &v, 1);  // never sent
+          }
+          // Rank 1 exits without sending.
+        },
+        opts);
+    FAIL() << "expected CommTimeoutError";
+  } catch (const simmpi::CommTimeoutError& e) {
+    EXPECT_EQ(e.op(), "recv");
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_EQ(e.peer(), 1);
+    EXPECT_EQ(e.tag(), 7);
+  }
+  EXPECT_LT(wall.seconds(), 10.0) << "timeout did not bound the wait";
+}
+
+TEST(CommRobustness, TransientSendsAreRetriedWithIntactPayloads) {
+  FaultConfig fault;
+  fault.seed = 0x7A11;
+  fault.transientSendProbability = 0.3;
+  simmpi::RunOptions opts;
+  opts.faults = std::make_shared<FaultInjector>(fault, 2);
+  opts.timeout = std::chrono::milliseconds(5000);
+  opts.sendMaxRetries = 14;
+  opts.sendBackoff = std::chrono::microseconds(10);
+
+  simmpi::run(
+      2,
+      [&](simmpi::Comm& world) {
+        const index_t me = world.rank();
+        const index_t peer = 1 - me;
+        for (int round = 0; round < 200; ++round) {
+          std::vector<double> out(16), in(16);
+          for (int i = 0; i < 16; ++i) {
+            out[static_cast<std::size_t>(i)] = me * 1000 + round + i * 0.5;
+          }
+          world.sendrecv(peer, round, out.data(), in.data(), 16);
+          for (int i = 0; i < 16; ++i) {
+            ASSERT_EQ(in[static_cast<std::size_t>(i)],
+                      peer * 1000 + round + i * 0.5);
+          }
+        }
+      },
+      opts);
+
+  const simmpi::FaultStats stats = opts.faults->stats();
+  EXPECT_GT(stats.transientFailures, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.crashes, 0u);
+}
+
+TEST(CommRobustness, ScheduledCrashSurfacesAsAggregateNotHang) {
+  // Rank 3 crashes at its 16th op while everyone exchanges barriers and
+  // broadcasts; peers must fail fast with CommTimeoutError and run() must
+  // aggregate the whole picture instead of hanging ctest forever.
+  FaultConfig fault;
+  fault.crashRank = 3;
+  fault.crashAtOp = 16;
+  simmpi::RunOptions opts;
+  opts.faults = std::make_shared<FaultInjector>(fault, 4);
+  opts.timeout = std::chrono::milliseconds(300);
+
+  Timer wall;
+  try {
+    simmpi::run(
+        4,
+        [&](simmpi::Comm& world) {
+          std::vector<double> buf(64, 1.0);
+          for (int round = 0; round < 50; ++round) {
+            world.bcast(round % 4, buf.data(), 64);
+            world.barrier();
+          }
+        },
+        opts);
+    FAIL() << "expected MultiRankError";
+  } catch (const simmpi::MultiRankError& e) {
+    ASSERT_GE(e.failures().size(), 2u);
+    bool sawCrash = false;
+    bool sawTimeout = false;
+    for (const simmpi::RankFailure& f : e.failures()) {
+      if (f.rank == 3 &&
+          f.message.find("crash") != std::string::npos) {
+        sawCrash = true;
+      }
+      if (f.message.find("comm timeout") != std::string::npos) {
+        sawTimeout = true;
+      }
+    }
+    EXPECT_TRUE(sawCrash) << e.what();
+    EXPECT_TRUE(sawTimeout) << e.what();
+  }
+  EXPECT_LT(wall.seconds(), 30.0) << "crash was not bounded by the timeout";
+  EXPECT_GE(opts.faults->stats().crashes, 1u);
+}
+
+TEST(CommRobustness, MultiRankErrorAggregatesDistinctFailures) {
+  try {
+    simmpi::run(3, [&](simmpi::Comm& world) {
+      if (world.rank() == 1) {
+        throw CheckError("rank-one failure");
+      }
+      if (world.rank() == 2) {
+        throw CheckError("rank-two failure");
+      }
+    });
+    FAIL() << "expected MultiRankError";
+  } catch (const simmpi::MultiRankError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].rank, 1);
+    EXPECT_EQ(e.failures()[1].rank, 2);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank-one failure"), std::string::npos);
+    EXPECT_NE(msg.find("rank-two failure"), std::string::npos);
+  }
+}
+
+TEST(CommRobustness, SingleFailurePreservesOriginalType) {
+  // Exactly one rank fails (its peer exits cleanly): run() must rethrow
+  // the original exception type, not wrap it.
+  EXPECT_THROW(simmpi::run(2,
+                           [&](simmpi::Comm& world) {
+                             if (world.rank() == 1) {
+                               throw simmpi::InjectedCrashError("boom");
+                             }
+                           }),
+               simmpi::InjectedCrashError);
+}
+
+TEST(Request, WaitIsIdempotentAndTestPolls) {
+  simmpi::run(2, [&](simmpi::Comm& world) {
+    if (world.rank() == 0) {
+      double v = 0.0;
+      simmpi::Request req = world.irecvBytes(1, 5, &v, sizeof(v));
+      // Poll until the (deliberately delayed) send lands.
+      while (!req.test()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      EXPECT_EQ(v, 42.0);
+      req.wait();  // idempotent after test() completed it
+      EXPECT_TRUE(req.test());
+      EXPECT_EQ(v, 42.0);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const double v = 42.0;
+      world.send(0, 5, &v, 1);
+    }
+  });
+}
+
+TEST(Request, ConcurrentWaitersAllReturn) {
+  simmpi::run(2, [&](simmpi::Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<double> buf(8, 0.0);
+      simmpi::Request req =
+          world.irecvBytes(1, 9, buf.data(), 8 * sizeof(double));
+      std::atomic<int> done{0};
+      std::thread a([&] {
+        req.wait();
+        done.fetch_add(1);
+      });
+      std::thread b([&] {
+        req.wait();
+        done.fetch_add(1);
+      });
+      a.join();
+      b.join();
+      EXPECT_EQ(done.load(), 2);
+      EXPECT_EQ(buf[7], 7.5);
+    } else {
+      std::vector<double> buf(8);
+      for (int i = 0; i < 8; ++i) {
+        buf[static_cast<std::size_t>(i)] = i + 0.5;
+      }
+      world.send(0, 9, buf.data(), 8);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing solver guards
+// ---------------------------------------------------------------------------
+
+TEST(SolverGuards, InjectedSdcBitFlipIsDetectedBeforeVerification) {
+  // Aggressive bit-flip plan targeting bulk panel traffic: the FP16 panel
+  // guard must catch the corruption during factorization and fail fast
+  // with a structured error instead of silently failing verification.
+  HplaiConfig cfg = baseConfig(128, 32, 2, 2);
+  cfg.guardPanels = true;
+  cfg.lookahead = false;
+  FaultConfig fault;
+  fault.seed = 0x5DC;
+  fault.bitflipProbability = 0.25;
+  fault.bitflipMinBytes = 1024;  // panels/diag blocks, not control traffic
+  simmpi::RunOptions opts;
+  opts.faults = std::make_shared<FaultInjector>(fault, cfg.worldSize());
+  opts.timeout = std::chrono::milliseconds(2000);
+
+  bool detected = false;
+  try {
+    simmpi::run(
+        cfg.worldSize(),
+        [&](simmpi::Comm& world) { (void)runHplaiOnComm(world, cfg); },
+        opts);
+  } catch (const blas::AbnormalValueError& e) {
+    detected = std::string(e.what()).find("corrupted") != std::string::npos;
+  } catch (const simmpi::MultiRankError& e) {
+    // The detecting rank throws; its peers time out. Either way the guard
+    // must be the root cause in the aggregate.
+    detected =
+        std::string(e.what()).find("corrupted") != std::string::npos;
+  }
+  EXPECT_TRUE(detected) << "bit flips were not detected by the guards";
+  EXPECT_GT(opts.faults->stats().bitflips, 0u);
+}
+
+TEST(SolverGuards, CleanRunWithGuardsStaysConverged) {
+  HplaiConfig cfg = baseConfig(96, 16, 2, 2);
+  cfg.guardPanels = true;
+  const HplaiResult r = runHplai(cfg);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.fellBackToGmres);
+}
+
+TEST(SolverGuards, IrDivergenceFallsBackToGmresAndConverges) {
+  // Corrupt the factors so classical IR diverges (negated U diagonal makes
+  // the stationary error operator's spectral radius ~2) while the GMRES
+  // refiner — which only needs the preconditioner to be invertible —
+  // still converges to the FP64 threshold. The divergence guard must
+  // detect the growth and self-heal by switching refiners.
+  const index_t n = 64, b = 16;
+  HplaiConfig cfg = baseConfig(n, b, 1, 1);
+  cfg.maxIrIterations = 40;
+  cfg.gmresRestart = 64;  // full GMRES: convergence independent of M
+  cfg.irDivergenceStrikes = 3;
+  simmpi::run(1, [&](simmpi::Comm& world) {
+    DistContext ctx(world, cfg);
+    ProblemGenerator gen(cfg.seed, n);
+    Buffer<float> local(n * n);
+    gen.fillTile<float>(0, 0, n, n, local.data(), n);
+    BlasShim shim(cfg.vendor);
+    DistLU lu(ctx, cfg, shim);
+    lu.factor(local.data(), n);
+    for (index_t i = 0; i < n; i += 2) {
+      local[i + i * n] = -local[i + i * n];  // corrupt U's diagonal
+    }
+
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = gen.rhs(i) / gen.entry(i, i);
+    }
+    DistIR ir(ctx, cfg, gen);
+    const IrOutcome out = ir.refine(local.data(), n, x);
+    EXPECT_TRUE(out.fellBack) << "divergence guard did not trip";
+    EXPECT_TRUE(out.converged) << "GMRES fallback did not converge";
+    EXPECT_LT(out.residualInf, out.threshold);
+  });
+}
+
+TEST(SolverGuards, DivergenceGuardDisabledKeepsClassicBehavior) {
+  const index_t n = 64, b = 16;
+  HplaiConfig cfg = baseConfig(n, b, 1, 1);
+  cfg.maxIrIterations = 10;
+  cfg.irDivergenceStrikes = 0;  // guard off: IR just fails to converge
+  simmpi::run(1, [&](simmpi::Comm& world) {
+    DistContext ctx(world, cfg);
+    ProblemGenerator gen(cfg.seed, n);
+    Buffer<float> local(n * n);
+    gen.fillTile<float>(0, 0, n, n, local.data(), n);
+    BlasShim shim(cfg.vendor);
+    DistLU lu(ctx, cfg, shim);
+    lu.factor(local.data(), n);
+    for (index_t i = 0; i < n; i += 2) {
+      local[i + i * n] = -local[i + i * n];
+    }
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    DistIR ir(ctx, cfg, gen);
+    const IrOutcome out = ir.refine(local.data(), n, x);
+    EXPECT_FALSE(out.fellBack);
+    EXPECT_FALSE(out.converged);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Slow-rank detection
+// ---------------------------------------------------------------------------
+
+TEST(SlowRank, MonitorFlagsThePersistentOutlier) {
+  SlowRankMonitor monitor(4, SlowRankPolicy{.minLagSeconds = 0.002,
+                                            .medianFactor = 4.0,
+                                            .strikes = 3});
+  // Rank 2 is the pacing rank: it arrives last (waits ~0) while the
+  // others idle 50 ms.
+  const std::vector<double> waits = {0.05, 0.048, 0.0001, 0.052};
+  EXPECT_FALSE(monitor.observe(0, waits));
+  EXPECT_FALSE(monitor.observe(1, waits));
+  EXPECT_TRUE(monitor.observe(2, waits));
+  EXPECT_TRUE(monitor.shouldTerminate());
+  ASSERT_EQ(monitor.slowRanks().size(), 1u);
+  EXPECT_EQ(monitor.slowRanks()[0], 2);
+  EXPECT_GT(monitor.maxLagSeconds()[2], 0.04);
+}
+
+TEST(SlowRank, MonitorIgnoresNoiseAndResetsStreaks) {
+  SlowRankMonitor monitor(4, SlowRankPolicy{.minLagSeconds = 0.002,
+                                            .medianFactor = 4.0,
+                                            .strikes = 2});
+  const std::vector<double> healthy = {0.0001, 0.0002, 0.00015, 0.0001};
+  const std::vector<double> rank1Slow = {0.05, 0.0001, 0.048, 0.052};
+  EXPECT_FALSE(monitor.observe(0, rank1Slow));  // one strike
+  EXPECT_FALSE(monitor.observe(1, healthy));    // streak resets
+  EXPECT_FALSE(monitor.observe(2, rank1Slow));
+  EXPECT_FALSE(monitor.shouldTerminate());
+  EXPECT_TRUE(monitor.slowRanks().empty());
+}
+
+TEST(SlowRank, StalledRankIsDetectedMidRunAndRunTerminates) {
+  // End to end: a deterministically stalled rank must be isolated by the
+  // barrier-wait gather and terminate the run early (Sec. VI-B policy).
+  HplaiConfig cfg = baseConfig(256, 32, 2, 2);
+  cfg.lookahead = false;
+  auto monitor = std::make_shared<SlowRankMonitor>(
+      cfg.worldSize(), SlowRankPolicy{.minLagSeconds = 0.005,
+                                      .medianFactor = 4.0,
+                                      .strikes = 2});
+  cfg.rankProgressCallback =
+      [monitor](index_t k, const std::vector<double>& waits) {
+        return monitor->observe(k, waits);
+      };
+
+  FaultConfig fault;
+  fault.stallRank = 2;
+  fault.stallEveryOps = 2;
+  fault.stallMicros = 30000;
+  simmpi::RunOptions opts;
+  opts.faults = std::make_shared<FaultInjector>(fault, cfg.worldSize());
+
+  HplaiResult result;
+  simmpi::run(
+      cfg.worldSize(),
+      [&](simmpi::Comm& world) {
+        HplaiResult r = runHplaiOnComm(world, cfg);
+        if (world.rank() == 0) {
+          result = r;
+        }
+      },
+      opts);
+  EXPECT_TRUE(result.aborted) << "slow-rank monitor did not terminate";
+  ASSERT_FALSE(monitor->slowRanks().empty());
+  EXPECT_EQ(monitor->slowRanks()[0], 2);
+  EXPECT_GT(opts.faults->stats().stalls, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos CLI
+// ---------------------------------------------------------------------------
+
+TEST(ChaosCli, CleanScenarioConvergesAndExitsZero) {
+  const int rc = cli::dispatch({"chaos", "--scenario", "none", "--n", "64",
+                                "--b", "16", "--pr", "1", "--pc", "1",
+                                "--quiet"});
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(ChaosCli, CrashScenarioIsContained) {
+  const int rc = cli::dispatch(
+      {"chaos", "--scenario", "crash", "--n", "64", "--b", "16", "--pr",
+       "2", "--pc", "2", "--timeout-ms", "300", "--quiet"});
+  EXPECT_EQ(rc, 0);  // contained: aggregated structured failure, no hang
+}
+
+TEST(ChaosCli, UnknownScenarioIsRejected) {
+  const int rc = cli::dispatch({"chaos", "--scenario", "lava", "--quiet"});
+  EXPECT_EQ(rc, 2);
+}
+
+TEST(ChaosCli, UsageMentionsChaos) {
+  EXPECT_NE(cli::usage().find("chaos"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hplmxp
