@@ -70,6 +70,7 @@ int cmdRun(const Options& raw) {
   cfg.panelBcast =
       simmpi::bcastStrategyFromString(opts.getString("bcast", "ring2m"));
   cfg.lookahead = opts.getBool("lookahead", true);
+  cfg.scheduler = schedulerFromString(opts.getString("scheduler", "bulk"));
   cfg.collectTrace = opts.getBool("trace", false);
   cfg.refiner = opts.getString("refiner", "ir") == "gmres"
                     ? HplaiConfig::Refiner::kGmres
@@ -113,10 +114,11 @@ int cmdRun(const Options& raw) {
   }
 
   std::printf("hplmxp run: N=%lld B=%lld grid=%lldx%lld bcast=%s "
-              "refiner=%s\n",
+              "refiner=%s scheduler=%s\n",
               (long long)cfg.n, (long long)cfg.b, (long long)cfg.pr,
               (long long)cfg.pc, simmpi::toString(cfg.panelBcast).c_str(),
-              cfg.refiner == HplaiConfig::Refiner::kGmres ? "gmres" : "ir");
+              cfg.refiner == HplaiConfig::Refiner::kGmres ? "gmres" : "ir",
+              toString(cfg.scheduler));
 
   std::vector<double> x;
   const HplaiResult r = runHplai(cfg, &x);
@@ -294,6 +296,7 @@ int cmdChaos(const Options& raw) {
   cfg.panelBcast =
       simmpi::bcastStrategyFromString(opts.getString("bcast", "bcast"));
   cfg.lookahead = opts.getBool("lookahead", false);
+  cfg.scheduler = schedulerFromString(opts.getString("scheduler", "bulk"));
   cfg.refiner = opts.getString("refiner", "ir") == "gmres"
                     ? HplaiConfig::Refiner::kGmres
                     : HplaiConfig::Refiner::kClassicIr;
@@ -467,7 +470,8 @@ std::string usage() {
       "commands:\n"
       "  run      functional distributed HPL-AI on this host\n"
       "           (--n --b --pr --pc --bcast --refiner ir|gmres\n"
-      "            --lookahead on|off --vendor amd|nvidia --seed\n"
+      "            --lookahead on|off --scheduler bulk|dataflow\n"
+      "            --vendor amd|nvidia --seed\n"
       "            --trace --warmup --save-reference FILE\n"
       "            --reference FILE [--slowdown X --strikes N])\n"
       "  hpl      functional distributed FP64 HPL baseline\n"

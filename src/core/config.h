@@ -38,6 +38,19 @@ struct HplaiConfig {
   /// trailing update (Sec. IV-B).
   bool lookahead = true;
 
+  /// LU step execution engine. kBulk is the barriered reference schedule
+  /// (GETRF -> TRSM -> CAST -> GEMM as bulk kernels, optionally with the
+  /// look-ahead split). kDataflow runs the same step as a tile-granular
+  /// task graph (util/task_graph.h): every TRSM/CAST/GEMM tile is a node
+  /// with atomic dependency counters, so a GEMM tile fires the moment its
+  /// L-tile, U-tile and C-tile predecessors retire — no inter-kernel
+  /// barriers, and the next steps' panel tasks interleave with the current
+  /// trailing update. The factored matrix is bitwise identical between the
+  /// two engines (tests/test_sched_equiv.cpp); `lookahead` is ignored by
+  /// kDataflow, whose whole-factorization graph subsumes it.
+  enum class Scheduler { kBulk, kDataflow };
+  Scheduler scheduler = Scheduler::kBulk;
+
   /// Which vendor dispatch path the shim takes (Table II).
   Vendor vendor = Vendor::kAmd;
 
@@ -100,6 +113,22 @@ struct HplaiConfig {
     HPLMXP_REQUIRE(maxIrIterations >= 1, "need at least one IR iteration");
   }
 };
+
+[[nodiscard]] constexpr const char* toString(HplaiConfig::Scheduler s) {
+  return s == HplaiConfig::Scheduler::kDataflow ? "dataflow" : "bulk";
+}
+
+/// Parses "bulk" / "dataflow"; throws CheckError on anything else.
+[[nodiscard]] inline HplaiConfig::Scheduler schedulerFromString(
+    const std::string& s) {
+  if (s == "bulk") {
+    return HplaiConfig::Scheduler::kBulk;
+  }
+  if (s == "dataflow") {
+    return HplaiConfig::Scheduler::kDataflow;
+  }
+  throw CheckError("unknown scheduler '" + s + "' (want bulk|dataflow)");
+}
 
 /// Adjusts a requested problem size the way the paper does (Sec. III-C:
 /// "The size of A is determined by N and adjusted to a multiple of Pr, Pc

@@ -37,7 +37,11 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
     const std::size_t matrixBytes =
         static_cast<std::size_t>(lr) * static_cast<std::size_t>(lc) *
         sizeof(float);
-    const std::size_t panelSets = config.lookahead ? 2 : 1;
+    const std::size_t panelSets =
+        (config.lookahead ||
+         config.scheduler == HplaiConfig::Scheduler::kDataflow)
+            ? 2
+            : 1;
     const std::size_t panelBytes =
         panelSets * static_cast<std::size_t>(lr + lc) *
         static_cast<std::size_t>(b) * sizeof(half16);
@@ -76,7 +80,8 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
   if (world.rank() == 0) {
     logInfo("hplai: N=", config.n, " B=", config.b, " grid=", config.pr,
             "x", config.pc, " bcast=", simmpi::toString(config.panelBcast),
-            " lookahead=", config.lookahead ? "on" : "off");
+            " lookahead=", config.lookahead ? "on" : "off",
+            " scheduler=", toString(config.scheduler));
   }
   world.barrier();
   Timer timer;

@@ -32,6 +32,8 @@
 #include "device/shim.h"
 #include "fp16/half.h"
 #include "util/buffer.h"
+#include "util/task_graph.h"
+#include "util/thread_pool.h"
 
 namespace hplmxp {
 
@@ -69,6 +71,13 @@ class DistLU {
   [[nodiscard]] bool aborted() const { return aborted_; }
   /// Block steps completed by the last factor().
   [[nodiscard]] index_t stepsCompleted() const { return stepsCompleted_; }
+
+  /// Per-task execution timeline of the last factor() under the dataflow
+  /// scheduler (empty for the bulk scheduler). Feed it to
+  /// trace::summarizeSchedTimeline for idle/steal/overlap attribution.
+  [[nodiscard]] const TaskGraph::ExecStats& schedStats() const {
+    return schedStats_;
+  }
 
  private:
   /// Geometry of one block step, identical on every rank.
@@ -109,9 +118,18 @@ class DistLU {
   /// the verdict. Returns true when the run must stop.
   bool pollAbort(index_t k, double iterSeconds);
 
+  /// Dataflow engine (config.scheduler == kDataflow): builds one
+  /// whole-factorization task graph — every TRSM/CAST/GEMM tile a node,
+  /// every collective a main-lane task in a globally consistent order —
+  /// and runs it on the shared thread pool with work stealing. Bitwise
+  /// identical results to the bulk path.
+  std::vector<IterationTrace> factorDataflow(float* localA, index_t lda);
+
   /// Self-healing guard scans (config.guardPanels): throw
   /// blas::AbnormalValueError with step context on corruption.
   void guardDiag(const StepGeom& g) const;
+  void guardHalfU(const StepGeom& g, int bufIdx) const;
+  void guardHalfL(const StepGeom& g, int bufIdx) const;
   void guardHalfPanels(const StepGeom& g, int bufIdx) const;
   void guardTile(index_t k, index_t m, index_t n, const float* tile,
                  index_t lda) const;
@@ -127,6 +145,12 @@ class DistLU {
   Buffer<float> diagBuf_;
   Buffer<half16> lHalf_[2];
   Buffer<half16> uHalf_[2];
+
+  /// Caller-only pool handed to the per-tile kernels of the dataflow path:
+  /// each tile is already one task of the graph, so nesting a parallelFor
+  /// inside it would oversubscribe the shared pool.
+  ThreadPool serialPool_{1};
+  TaskGraph::ExecStats schedStats_;
 };
 
 }  // namespace hplmxp

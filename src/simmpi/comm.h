@@ -26,8 +26,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
+#include <thread>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -117,6 +119,13 @@ class Request {
   /// Nonblocking poll: returns true iff the operation is complete (and on
   /// first success performs the completion, e.g. copies the received
   /// payload out). The poll companion of wait() for timeout loops.
+  ///
+  /// Bounded spin-then-yield backoff: the first kPollSpinBudget misses
+  /// return immediately (latency-optimal for operations about to land);
+  /// after that every miss yields the CPU, so a tight `while (!req.test())`
+  /// loop — e.g. a dataflow rank polling an in-flight ring broadcast —
+  /// cannot starve the scheduler's worker threads on an oversubscribed
+  /// host.
   bool test() {
     if (!state_ || state_->done.load(std::memory_order_acquire)) {
       return true;
@@ -124,7 +133,11 @@ class Request {
     std::unique_lock<std::mutex> lock(state_->mutex, std::try_to_lock);
     if (!lock.owns_lock()) {
       // Another thread is completing right now; report current state.
-      return state_->done.load(std::memory_order_acquire);
+      if (state_->done.load(std::memory_order_acquire)) {
+        return true;
+      }
+      backoff();
+      return false;
     }
     if (state_->done.load(std::memory_order_relaxed)) {
       return true;
@@ -133,15 +146,29 @@ class Request {
       state_->done.store(true, std::memory_order_release);
       return true;
     }
+    lock.unlock();
+    backoff();
     return false;
   }
 
  private:
+  /// Failed polls before test() starts yielding between attempts.
+  static constexpr std::uint32_t kPollSpinBudget = 64;
+
   struct State {
     std::mutex mutex;
     std::atomic<bool> done{false};
+    std::atomic<std::uint32_t> pollMisses{0};
     std::function<bool(bool)> tryComplete;
   };
+
+  void backoff() {
+    if (state_->pollMisses.fetch_add(1, std::memory_order_relaxed) >=
+        kPollSpinBudget) {
+      std::this_thread::yield();
+    }
+  }
+
   std::shared_ptr<State> state_;
 };
 

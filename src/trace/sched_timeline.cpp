@@ -1,0 +1,141 @@
+#include "trace/sched_timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "util/table.h"
+
+namespace hplmxp::trace {
+
+namespace {
+
+bool isCommKind(TaskKind kind) {
+  return kind == TaskKind::kDiagBcast || kind == TaskKind::kPanelBcast;
+}
+
+bool isComputeKind(TaskKind kind) {
+  return kind == TaskKind::kGetrf || kind == TaskKind::kTrsm ||
+         kind == TaskKind::kCast || kind == TaskKind::kGemm;
+}
+
+/// Total time of [begin, end) covered by the union of `intervals`
+/// (pre-sorted by begin).
+double coveredSeconds(double begin, double end,
+                      const std::vector<std::pair<double, double>>& merged) {
+  double covered = 0.0;
+  for (const auto& [s, e] : merged) {
+    if (e <= begin) {
+      continue;
+    }
+    if (s >= end) {
+      break;
+    }
+    covered += std::min(e, end) - std::max(s, begin);
+  }
+  return covered;
+}
+
+std::string fmtSeconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f s", s);
+  return buf;
+}
+
+std::string fmtPercent(double f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %%", 100.0 * f);
+  return buf;
+}
+
+}  // namespace
+
+SchedTimelineSummary summarizeSchedTimeline(
+    const TaskGraph::ExecStats& stats) {
+  SchedTimelineSummary s;
+  s.lanes = static_cast<int>(stats.lanes.size());
+  s.tasks = stats.tasksRun;
+  s.steals = stats.steals;
+  s.makespanSeconds = stats.makespanSeconds;
+  for (const TaskGraph::LaneStats& lane : stats.lanes) {
+    s.busySeconds += lane.busySeconds;
+    s.idleSeconds += lane.idleSeconds;
+  }
+
+  // Merge all compute intervals into a disjoint sorted cover, then
+  // intersect each comm task's interval with it: comm time under compute
+  // cover is communication the schedule hid.
+  std::vector<std::pair<double, double>> compute;
+  for (const TaskGraph::TaskRecord& rec : stats.records) {
+    if (rec.skipped) {
+      continue;
+    }
+    if (isCommKind(rec.kind)) {
+      s.commSeconds += rec.seconds();
+    } else if (isComputeKind(rec.kind)) {
+      s.computeSeconds += rec.seconds();
+      compute.emplace_back(rec.beginSeconds, rec.endSeconds);
+    }
+  }
+  std::sort(compute.begin(), compute.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& iv : compute) {
+    if (!merged.empty() && iv.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, iv.second);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  for (const TaskGraph::TaskRecord& rec : stats.records) {
+    if (!rec.skipped && isCommKind(rec.kind)) {
+      s.overlappedCommSeconds +=
+          coveredSeconds(rec.beginSeconds, rec.endSeconds, merged);
+    }
+  }
+  return s;
+}
+
+std::string renderSchedTimeline(const SchedTimelineSummary& summary) {
+  Table t({"metric", "value"});
+  t.addRow({"lanes", Table::num(static_cast<long long>(summary.lanes))});
+  t.addRow({"tasks run", Table::num(static_cast<long long>(summary.tasks))});
+  t.addRow({"steals", Table::num(static_cast<long long>(summary.steals))});
+  t.addRow({"makespan", fmtSeconds(summary.makespanSeconds)});
+  t.addRow({"lane busy (sum)", fmtSeconds(summary.busySeconds)});
+  t.addRow({"lane idle (sum)", fmtSeconds(summary.idleSeconds)});
+  t.addRow({"idle fraction", fmtPercent(summary.idleFraction())});
+  t.addRow({"comm time", fmtSeconds(summary.commSeconds)});
+  t.addRow({"compute time", fmtSeconds(summary.computeSeconds)});
+  t.addRow({"comm overlapped", fmtSeconds(summary.overlappedCommSeconds)});
+  t.addRow({"overlap fraction", fmtPercent(summary.overlapFraction())});
+  return t.render();
+}
+
+std::vector<SchedKindBreakdown> schedKindBreakdown(
+    const TaskGraph::ExecStats& stats) {
+  constexpr TaskKind kAll[] = {
+      TaskKind::kGeneric,    TaskKind::kGetrf, TaskKind::kDiagBcast,
+      TaskKind::kTrsm,       TaskKind::kCast,  TaskKind::kPanelBcast,
+      TaskKind::kGemm,       TaskKind::kPoll};
+  std::vector<SchedKindBreakdown> rows;
+  for (const TaskKind kind : kAll) {
+    SchedKindBreakdown row;
+    row.kind = kind;
+    for (const TaskGraph::TaskRecord& rec : stats.records) {
+      if (!rec.skipped && rec.kind == kind) {
+        ++row.count;
+        row.seconds += rec.seconds();
+      }
+    }
+    if (row.count > 0) {
+      rows.push_back(row);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SchedKindBreakdown& a, const SchedKindBreakdown& b) {
+              return a.seconds > b.seconds;
+            });
+  return rows;
+}
+
+}  // namespace hplmxp::trace

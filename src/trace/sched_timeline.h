@@ -1,0 +1,67 @@
+// Per-task timeline analysis for the dataflow scheduler (Fig. 10 support).
+//
+// TaskGraph::execute records a begin/end stamp, lane, kind and steal flag
+// for every task. This module folds those records into the questions the
+// breakdown benchmark asks: how much of the factorization was
+// communication, how much of that communication was hidden behind compute
+// running on other lanes (the whole point of the dataflow engine), and how
+// much lane time was lost to idling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/task_graph.h"
+
+namespace hplmxp::trace {
+
+/// Aggregate view of one TaskGraph execution.
+struct SchedTimelineSummary {
+  int lanes = 0;
+  std::int64_t tasks = 0;
+  std::int64_t steals = 0;
+  double makespanSeconds = 0.0;
+  double busySeconds = 0.0;  // sum of task durations over all lanes
+  double idleSeconds = 0.0;  // sum of lane idle time (wall - busy per lane)
+  /// Time inside comm tasks (diag + panel broadcasts), the bulk engine's
+  /// serialized critical path.
+  double commSeconds = 0.0;
+  /// Time inside compute tasks (GETRF / TRSM / CAST / GEMM).
+  double computeSeconds = 0.0;
+  /// The part of commSeconds during which at least one compute task was
+  /// simultaneously running on another lane — communication the dataflow
+  /// schedule hid.
+  double overlappedCommSeconds = 0.0;
+
+  /// Fraction of comm time hidden behind compute (0 when no comm ran).
+  [[nodiscard]] double overlapFraction() const {
+    return commSeconds > 0.0 ? overlappedCommSeconds / commSeconds : 0.0;
+  }
+  /// Fraction of total lane time spent idle.
+  [[nodiscard]] double idleFraction() const {
+    const double total = busySeconds + idleSeconds;
+    return total > 0.0 ? idleSeconds / total : 0.0;
+  }
+};
+
+/// Folds an execution's records into the summary. Skipped tasks (drained
+/// after a failure/cancel) are ignored.
+[[nodiscard]] SchedTimelineSummary summarizeSchedTimeline(
+    const TaskGraph::ExecStats& stats);
+
+/// Renders the summary as an aligned two-column table.
+[[nodiscard]] std::string renderSchedTimeline(
+    const SchedTimelineSummary& summary);
+
+/// Per-kind accounting row: task count and total seconds by TaskKind.
+struct SchedKindBreakdown {
+  TaskKind kind = TaskKind::kGeneric;
+  std::int64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Duration totals grouped by task kind, ordered by descending seconds.
+[[nodiscard]] std::vector<SchedKindBreakdown> schedKindBreakdown(
+    const TaskGraph::ExecStats& stats);
+
+}  // namespace hplmxp::trace

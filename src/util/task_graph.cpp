@@ -1,0 +1,345 @@
+#include "util/task_graph.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/timer.h"
+#include "util/work_steal.h"
+
+namespace hplmxp {
+
+const char* toString(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kGeneric:
+      return "generic";
+    case TaskKind::kGetrf:
+      return "getrf";
+    case TaskKind::kDiagBcast:
+      return "diag-bcast";
+    case TaskKind::kTrsm:
+      return "trsm";
+    case TaskKind::kCast:
+      return "cast";
+    case TaskKind::kPanelBcast:
+      return "panel-bcast";
+    case TaskKind::kGemm:
+      return "gemm";
+    case TaskKind::kPoll:
+      return "poll";
+  }
+  return "unknown";
+}
+
+TaskGraph::TaskId TaskGraph::add(TaskKind kind, index_t step,
+                                 std::function<void()> fn) {
+  const TaskId id = static_cast<TaskId>(nodes_.size());
+  Node node;
+  node.fn = std::move(fn);
+  node.kind = kind;
+  node.step = step;
+  nodes_.push_back(std::move(node));
+  ++computeTasks_;
+  return id;
+}
+
+TaskGraph::TaskId TaskGraph::addMain(TaskKind kind, index_t step,
+                                     std::function<void()> fn) {
+  const TaskId id = add(kind, step, std::move(fn));
+  nodes_[static_cast<std::size_t>(id)].mainOnly = true;
+  --computeTasks_;
+  mainFifo_.push_back(id);
+  return id;
+}
+
+void TaskGraph::addDep(TaskId before, TaskId after) {
+  HPLMXP_REQUIRE(before >= 0 && before < size() && after >= 0 &&
+                     after < size() && before != after,
+                 "TaskGraph::addDep: invalid task ids");
+  nodes_[static_cast<std::size_t>(before)].successors.push_back(after);
+  ++nodes_[static_cast<std::size_t>(after)].depCount;
+}
+
+index_t TaskGraph::dependencyCount(TaskId id) const {
+  HPLMXP_REQUIRE(id >= 0 && id < size(), "TaskGraph: invalid task id");
+  return nodes_[static_cast<std::size_t>(id)].depCount;
+}
+
+index_t TaskGraph::successorCount(TaskId id) const {
+  HPLMXP_REQUIRE(id >= 0 && id < size(), "TaskGraph: invalid task id");
+  return static_cast<index_t>(
+      nodes_[static_cast<std::size_t>(id)].successors.size());
+}
+
+bool TaskGraph::isMainOnly(TaskId id) const {
+  HPLMXP_REQUIRE(id >= 0 && id < size(), "TaskGraph: invalid task id");
+  return nodes_[static_cast<std::size_t>(id)].mainOnly;
+}
+
+TaskKind TaskGraph::kindOf(TaskId id) const {
+  HPLMXP_REQUIRE(id >= 0 && id < size(), "TaskGraph: invalid task id");
+  return nodes_[static_cast<std::size_t>(id)].kind;
+}
+
+bool TaskGraph::acyclic() const {
+  std::vector<std::int32_t> pending(nodes_.size());
+  std::vector<TaskId> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    pending[i] = nodes_[i].depCount;
+    if (pending[i] == 0) {
+      ready.push_back(static_cast<TaskId>(i));
+    }
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const TaskId s : nodes_[static_cast<std::size_t>(id)].successors) {
+      if (--pending[static_cast<std::size_t>(s)] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  return visited == nodes_.size();
+}
+
+/// Per-execute() shared state, heap-held via shared_ptr so pool runner
+/// closures can never observe a dangling frame even if execute() returns
+/// while a late-scheduled runner is still winding down.
+struct TaskGraph::ExecState {
+  explicit ExecState(std::size_t tasks, std::size_t laneCount)
+      : pending(tasks), records(tasks), lanes(laneCount) {
+    deques.reserve(laneCount);
+    for (std::size_t i = 0; i < laneCount; ++i) {
+      deques.push_back(
+          std::make_unique<WorkStealDeque<TaskId>>(std::max<std::size_t>(
+              tasks, 1)));
+    }
+  }
+
+  std::vector<std::atomic<std::int32_t>> pending;
+  std::vector<std::unique_ptr<WorkStealDeque<TaskId>>> deques;
+  std::vector<TaskRecord> records;
+  std::vector<LaneStats> lanes;
+
+  Timer clock;  // shared time base for the timeline
+  index_t spinsBeforeYield = 64;
+
+  std::atomic<index_t> retired{0};
+  std::atomic<index_t> computeRemaining{0};  // unretired non-main tasks
+  std::atomic<index_t> activeRunners{0};
+
+  std::atomic<bool> failed{false};
+  std::mutex excMutex;
+  std::exception_ptr exc;
+};
+
+void TaskGraph::runTask(ExecState& st, TaskId id, std::int32_t lane,
+                        bool stolen) {
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  TaskRecord& rec = st.records[static_cast<std::size_t>(id)];
+  rec.kind = node.kind;
+  rec.step = node.step;
+  rec.lane = lane;
+  rec.mainOnly = node.mainOnly;
+  rec.stolen = stolen;
+  rec.beginSeconds = st.clock.seconds();
+  const bool skip = st.failed.load(std::memory_order_acquire) ||
+                    cancelled_.load(std::memory_order_acquire);
+  if (skip) {
+    rec.skipped = true;
+  } else {
+    try {
+      node.fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st.excMutex);
+      if (!st.exc) {
+        st.exc = std::current_exception();
+      }
+      st.failed.store(true, std::memory_order_release);
+    }
+  }
+  rec.endSeconds = st.clock.seconds();
+
+  LaneStats& ls = st.lanes[static_cast<std::size_t>(lane)];
+  ++ls.tasksRun;
+  ls.busySeconds += rec.seconds();
+  if (stolen) {
+    ++ls.steals;
+  }
+
+  // Retire: wake successors. Ready compute tasks go to this lane's deque
+  // (hot data); ready main-only tasks are picked up by lane 0's FIFO scan.
+  for (const TaskId s : node.successors) {
+    if (st.pending[static_cast<std::size_t>(s)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+      if (!nodes_[static_cast<std::size_t>(s)].mainOnly) {
+        const bool pushed =
+            st.deques[static_cast<std::size_t>(lane)]->push(s);
+        HPLMXP_REQUIRE(pushed, "TaskGraph: work deque overflow");
+      }
+    }
+  }
+  if (!node.mainOnly) {
+    st.computeRemaining.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  st.retired.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void TaskGraph::runLane(ExecState& st, std::int32_t lane) {
+  const Timer laneClock;
+  const std::size_t laneCount = st.deques.size();
+  index_t spins = 0;
+  // Worker lanes stay until every compute task in the whole graph has
+  // retired — not merely until their deque drains: a main-lane broadcast
+  // may still release compute successors. They spin-then-yield while idle
+  // so a rank blocked in a collective does not starve sibling ranks
+  // sharing the pool.
+  while (st.computeRemaining.load(std::memory_order_acquire) > 0) {
+    TaskId id = kNoTask;
+    if (st.deques[static_cast<std::size_t>(lane)]->tryPop(id)) {
+      runTask(st, id, lane, /*stolen=*/false);
+      spins = 0;
+      continue;
+    }
+    bool stole = false;
+    for (std::size_t i = 1; i < laneCount && !stole; ++i) {
+      const std::size_t victim =
+          (static_cast<std::size_t>(lane) + i) % laneCount;
+      stole = st.deques[victim]->trySteal(id);
+    }
+    if (stole) {
+      runTask(st, id, lane, /*stolen=*/true);
+      spins = 0;
+      continue;
+    }
+    if (++spins > st.spinsBeforeYield) {
+      std::this_thread::yield();
+    }
+  }
+  LaneStats& ls = st.lanes[static_cast<std::size_t>(lane)];
+  ls.idleSeconds = std::max(0.0, laneClock.seconds() - ls.busySeconds);
+}
+
+TaskGraph::ExecStats TaskGraph::execute(ThreadPool& pool) {
+  return execute(pool, ExecOptions{});
+}
+
+TaskGraph::ExecStats TaskGraph::execute(ThreadPool& pool,
+                                        const ExecOptions& opts) {
+  const index_t total = size();
+  ExecStats out;
+  if (total == 0) {
+    out.lanes.resize(1);
+    return out;
+  }
+  HPLMXP_REQUIRE(acyclic(), "TaskGraph::execute: dependency cycle");
+
+  index_t laneCount = opts.lanes;
+  if (laneCount <= 0) {
+    laneCount = std::min<index_t>(
+        static_cast<index_t>(pool.threadCount()) + 1, 16);
+  }
+  laneCount = std::max<index_t>(laneCount, 1);
+
+  cancelled_.store(false, std::memory_order_release);
+  auto st = std::make_shared<ExecState>(static_cast<std::size_t>(total),
+                                        static_cast<std::size_t>(laneCount));
+  st->spinsBeforeYield = std::max<index_t>(opts.spinsBeforeYield, 1);
+  st->computeRemaining.store(computeTasks_, std::memory_order_relaxed);
+
+  // Seed ready tasks round-robin across the lanes. No lane is running yet,
+  // so pushing into non-owned deques here is race-free.
+  index_t seedLane = 0;
+  for (TaskId id = 0; id < total; ++id) {
+    const Node& node = nodes_[static_cast<std::size_t>(id)];
+    st->pending[static_cast<std::size_t>(id)].store(
+        node.depCount, std::memory_order_relaxed);
+    if (node.depCount == 0 && !node.mainOnly) {
+      const bool pushed =
+          st->deques[static_cast<std::size_t>(seedLane)]->push(id);
+      HPLMXP_REQUIRE(pushed, "TaskGraph: work deque overflow");
+      seedLane = (seedLane + 1) % laneCount;
+    }
+  }
+
+  // Worker lanes run as plain pool tasks; the caller is lane 0.
+  for (index_t lane = 1; lane < laneCount; ++lane) {
+    st->activeRunners.fetch_add(1, std::memory_order_acq_rel);
+    TaskGraph* self = this;
+    pool.enqueue([self, st, lane] {
+      self->runLane(*st, static_cast<std::int32_t>(lane));
+      st->activeRunners.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+
+  // Lane 0: prefer the main-lane FIFO head (head-of-line blocking keeps
+  // the cross-rank collective order identical to submission order), then
+  // own deque, then steal.
+  {
+    const Timer laneClock;
+    std::size_t mainHead = 0;
+    index_t spins = 0;
+    while (st->retired.load(std::memory_order_acquire) < total) {
+      if (mainHead < mainFifo_.size()) {
+        const TaskId head = mainFifo_[mainHead];
+        if (st->pending[static_cast<std::size_t>(head)].load(
+                std::memory_order_acquire) == 0) {
+          runTask(*st, head, /*lane=*/0, /*stolen=*/false);
+          ++mainHead;
+          spins = 0;
+          continue;
+        }
+      }
+      TaskId id = kNoTask;
+      if (st->deques[0]->tryPop(id)) {
+        runTask(*st, id, /*lane=*/0, /*stolen=*/false);
+        spins = 0;
+        continue;
+      }
+      bool stole = false;
+      for (index_t i = 1; i < laneCount && !stole; ++i) {
+        stole = st->deques[static_cast<std::size_t>(i)]->trySteal(id);
+      }
+      if (stole) {
+        runTask(*st, id, /*lane=*/0, /*stolen=*/true);
+        spins = 0;
+        continue;
+      }
+      if (++spins > st->spinsBeforeYield) {
+        std::this_thread::yield();
+      }
+    }
+    st->lanes[0].idleSeconds =
+        std::max(0.0, laneClock.seconds() - st->lanes[0].busySeconds);
+  }
+
+  // Wait for runner closures to wind down before harvesting lane stats
+  // (they only observe computeRemaining == 0 after all compute retired,
+  // so this wait is short).
+  while (st->activeRunners.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+
+  out.makespanSeconds = st->clock.seconds();
+  out.lanes = std::move(st->lanes);
+  out.records = std::move(st->records);
+  out.cancelled = cancelled_.load(std::memory_order_acquire);
+  for (const TaskRecord& rec : out.records) {
+    if (rec.skipped) {
+      ++out.tasksSkipped;
+    } else {
+      ++out.tasksRun;
+    }
+    if (rec.stolen) {
+      ++out.steals;
+    }
+  }
+  if (st->exc) {
+    std::rethrow_exception(st->exc);
+  }
+  return out;
+}
+
+}  // namespace hplmxp

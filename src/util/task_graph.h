@@ -1,0 +1,153 @@
+// Dataflow task-graph execution engine for the tile scheduler.
+//
+// A TaskGraph is a DAG of closures. Each node carries an atomic dependency
+// counter; when the last predecessor retires, the node becomes ready and is
+// pushed onto the retiring lane's work-stealing deque, so a GEMM tile fires
+// the moment its L-tile, U-tile, and C-tile predecessors retire — no
+// inter-kernel barriers. Execution borrows lanes from a util::ThreadPool:
+// the caller is lane 0 and `lanes - 1` runner closures are enqueued on the
+// pool; idle lanes steal from each other (util/work_steal.h).
+//
+// Main-lane tasks (addMain) are the communication discipline: they run
+// ONLY on lane 0 — the caller's thread — and in exact submission order,
+// with head-of-line blocking. In the distributed LU this keeps every
+// collective on the rank's own thread (the simmpi fault injector's op
+// counters are per-rank-thread) and in an identical order on all ranks, so
+// the dataflow scheduler cannot introduce cross-rank collective-order
+// deadlocks that the bulk schedule did not have.
+//
+// Failure semantics mirror ThreadPool::parallelFor: the first exception
+// wins, every not-yet-started body after it is skipped, the graph drains
+// (skipped tasks still retire their successors), and execute() rethrows on
+// the caller. cancel() is the cooperative variant used by the collective
+// abort poll: it skips remaining bodies without an error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace hplmxp {
+
+/// Task kinds, used for trace attribution (src/trace/sched_timeline.h)
+/// and per-iteration breakdown folding; kGeneric for anything else.
+enum class TaskKind : std::uint8_t {
+  kGeneric,
+  kGetrf,
+  kDiagBcast,
+  kTrsm,
+  kCast,
+  kPanelBcast,
+  kGemm,
+  kPoll,
+};
+
+[[nodiscard]] const char* toString(TaskKind kind);
+
+class TaskGraph {
+ public:
+  using TaskId = std::int32_t;
+  static constexpr TaskId kNoTask = -1;
+
+  /// One executed (or skipped) task in the timeline, stamped by the lane
+  /// that ran it. Times are seconds since execute() began.
+  struct TaskRecord {
+    TaskKind kind = TaskKind::kGeneric;
+    index_t step = 0;
+    std::int32_t lane = -1;
+    bool mainOnly = false;
+    bool skipped = false;
+    bool stolen = false;
+    double beginSeconds = 0.0;
+    double endSeconds = 0.0;
+    [[nodiscard]] double seconds() const { return endSeconds - beginSeconds; }
+  };
+
+  struct LaneStats {
+    std::int64_t tasksRun = 0;  // bodies executed on this lane (incl. skipped)
+    std::int64_t steals = 0;    // tasks this lane stole from another deque
+    double busySeconds = 0.0;   // sum of task durations on this lane
+    double idleSeconds = 0.0;   // lane wall time minus busy time
+  };
+
+  struct ExecStats {
+    std::vector<LaneStats> lanes;
+    std::vector<TaskRecord> records;  // indexed by TaskId
+    double makespanSeconds = 0.0;
+    std::int64_t tasksRun = 0;
+    std::int64_t tasksSkipped = 0;
+    std::int64_t steals = 0;
+    bool cancelled = false;
+  };
+
+  struct ExecOptions {
+    /// Total lanes including the caller; 0 = min(pool workers + 1, 16).
+    index_t lanes = 0;
+    /// Failed pop/steal attempts before an idle lane yields the CPU.
+    index_t spinsBeforeYield = 64;
+  };
+
+  /// Adds a task runnable on any lane. Returns its id (dense, 0-based).
+  TaskId add(TaskKind kind, index_t step, std::function<void()> fn);
+
+  /// Adds a main-lane task: runs only on the caller's thread (lane 0), in
+  /// submission order relative to every other main-lane task.
+  TaskId addMain(TaskKind kind, index_t step, std::function<void()> fn);
+
+  /// Declares that `before` must retire before `after` may start.
+  /// Duplicate edges are allowed (counted consistently on both sides).
+  void addDep(TaskId before, TaskId after);
+
+  [[nodiscard]] index_t size() const {
+    return static_cast<index_t>(nodes_.size());
+  }
+  [[nodiscard]] index_t dependencyCount(TaskId id) const;
+  [[nodiscard]] index_t successorCount(TaskId id) const;
+  [[nodiscard]] bool isMainOnly(TaskId id) const;
+  [[nodiscard]] TaskKind kindOf(TaskId id) const;
+
+  /// Kahn's-algorithm cycle check; execute() requires this to hold.
+  [[nodiscard]] bool acyclic() const;
+
+  /// Cooperative abort, callable from inside a task: every body not yet
+  /// started is skipped, the graph drains, execute() returns with
+  /// stats.cancelled == true (no exception).
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Runs the whole graph to quiescence and returns the timeline. Reusable:
+  /// each call resets the execution state (the graph shape is immutable).
+  /// Rethrows the first task exception after the graph drains.
+  ExecStats execute(ThreadPool& pool, const ExecOptions& opts);
+  ExecStats execute(ThreadPool& pool);
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<TaskId> successors;
+    TaskKind kind = TaskKind::kGeneric;
+    index_t step = 0;
+    std::int32_t depCount = 0;
+    bool mainOnly = false;
+  };
+
+  struct ExecState;  // defined in task_graph.cpp
+
+  void runLane(ExecState& st, std::int32_t lane);
+  void runTask(ExecState& st, TaskId id, std::int32_t lane, bool stolen);
+
+  std::vector<Node> nodes_;
+  std::vector<TaskId> mainFifo_;  // main-lane tasks in submission order
+  index_t computeTasks_ = 0;      // nodes with mainOnly == false
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace hplmxp

@@ -150,6 +150,14 @@ void ThreadPool::parallelFor(index_t begin, index_t end,
   }
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     if (const char* env = std::getenv("HPLMXP_THREADS")) {

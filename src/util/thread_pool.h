@@ -37,6 +37,12 @@ class ThreadPool {
                    const std::function<void(index_t)>& fn,
                    index_t chunks = 0);
 
+  /// Pushes one fire-and-forget closure onto the shared queue (the same
+  /// mechanism parallelFor uses for its helpers). The closure must not
+  /// throw; it owns its own completion signalling. TaskGraph::execute uses
+  /// this to borrow workers as scheduler lanes.
+  void enqueue(std::function<void()> fn);
+
   /// Process-wide shared pool, sized from HPLMXP_THREADS or hardware
   /// concurrency. Kernels default to this instance.
   static ThreadPool& global();

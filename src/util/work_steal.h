@@ -1,0 +1,106 @@
+// Fixed-capacity work-stealing deque (Chase-Lev shape) for the dataflow
+// tile scheduler. One owner thread pushes/pops at the bottom (LIFO, good
+// locality: a retired tile's successors are hot); any number of thieves
+// steal from the top (FIFO, oldest-first, which tends to steal large
+// untouched subtrees).
+//
+// Memory-order note: every atomic access is seq_cst on purpose. The
+// classic Chase-Lev formulation uses acquire/release plus a standalone
+// atomic_thread_fence in tryPop; ThreadSanitizer does not model standalone
+// fences and reports false races on it. The deque holds 4-byte task ids
+// and each operation is O(1), so the seq_cst cost is noise next to a tile
+// kernel, and the structure stays provably correct under plain sequential
+// consistency (see doc/SCHEDULER.md for the argument).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+template <typename T>
+class WorkStealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealDeque elements must be trivially copyable");
+
+ public:
+  /// Capacity is fixed at construction (rounded up to a power of two). The
+  /// scheduler sizes it to the total task count of the graph, so push can
+  /// never observe a full deque there.
+  explicit WorkStealDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    buf_ = std::vector<std::atomic<T>>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Owner only. Returns false when the deque is full.
+  bool push(T value) {
+    const std::int64_t b = bottom_.load();
+    const std::int64_t t = top_.load();
+    if (b - t > mask_) {
+      return false;  // full
+    }
+    buf_[static_cast<std::size_t>(b & mask_)].store(value);
+    bottom_.store(b + 1);
+    return true;
+  }
+
+  /// Owner only. Pops the most recently pushed element (LIFO).
+  bool tryPop(T& out) {
+    const std::int64_t b = bottom_.load() - 1;
+    bottom_.store(b);
+    std::int64_t t = top_.load();
+    if (t > b) {
+      bottom_.store(t);  // empty: restore canonical state
+      return false;
+    }
+    out = buf_[static_cast<std::size_t>(b & mask_)].load();
+    if (t == b) {
+      // Last element: race with concurrent steals for it via top.
+      const bool won = top_.compare_exchange_strong(t, t + 1);
+      bottom_.store(b + 1);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread. Steals the oldest element (FIFO). A false return means
+  /// "nothing stolen" (empty or lost a race), not "deque is empty" —
+  /// callers must loop.
+  bool trySteal(T& out) {
+    std::int64_t t = top_.load();
+    const std::int64_t b = bottom_.load();
+    if (t >= b) {
+      return false;
+    }
+    out = buf_[static_cast<std::size_t>(t & mask_)].load();
+    return top_.compare_exchange_strong(t, t + 1);
+  }
+
+  /// Approximate (racy) size; exact when quiescent.
+  [[nodiscard]] std::int64_t sizeApprox() const {
+    const std::int64_t b = bottom_.load();
+    const std::int64_t t = top_.load();
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  std::vector<std::atomic<T>> buf_;
+  std::int64_t mask_ = 0;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace hplmxp
