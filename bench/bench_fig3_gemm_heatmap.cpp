@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "blas/blas.h"
+#include "fp16/half.h"
 #include "perfmodel/kernel_model.h"
+#include "util/timer.h"
 
 using namespace hplmxp;
 
@@ -51,5 +54,44 @@ int main() {
               Table::num(r / mi250x.gemmPeak() * 100.0, 2) + "%"});
   }
   g.print();
+
+  // A small measured analogue of the heat map on this host's native mixed
+  // kernel: same C = A^T B shape as Fig. 3, sizes kept tiny so the smoke
+  // run stays fast. It demonstrates the same qualitative ramp (rates climb
+  // with the k/block dimension) with real GF/s instead of model output.
+  bench::banner("Fig. 3 (native)",
+                "measured mixed GEMM rate on this host (GF/s), m = n");
+  const std::vector<index_t> nativeMn = {96, 192};
+  const std::vector<index_t> nativeK = {64, 128, 256};
+  std::vector<std::string> nh{"k \\ m=n"};
+  for (index_t m : nativeMn) {
+    nh.push_back(Table::num((long long)m));
+  }
+  Table nt(nh);
+  for (index_t kk : nativeK) {
+    std::vector<std::string> row{Table::num((long long)kk)};
+    for (index_t m : nativeMn) {
+      const auto ac = static_cast<std::size_t>(kk) * m;
+      const auto cc = static_cast<std::size_t>(m) * m;
+      std::vector<half16> a(ac, half16(0.5f));
+      std::vector<half16> b(ac, half16(-0.25f));
+      std::vector<float> c(cc, 1.0f);
+      auto run = [&] {
+        blas::gemmMixed(blas::Trans::kTrans, blas::Trans::kNoTrans, m, m, kk,
+                        -1.0f, a.data(), kk, b.data(), kk, 1.0f, c.data(),
+                        m);
+      };
+      run();  // warmup
+      double best = 1e300;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer timer;
+        run();
+        best = std::min(best, timer.seconds());
+      }
+      row.push_back(Table::num(blas::gemmFlops(m, m, kk) / best / 1e9, 2));
+    }
+    nt.addRow(row);
+  }
+  nt.print();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "blas/blas.h"
+#include "blas/gemm_baseline.h"
 #include "core/single_solver.h"
 #include "fp16/half.h"
 #include "gen/lcg.h"
@@ -29,7 +30,27 @@ void BM_Sgemm(benchmark::State& state) {
           1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Sgemm)->Arg(128)->Arg(256)->Arg(384);
+BENCHMARK(BM_Sgemm)->Arg(128)->Arg(256)->Arg(384)->Arg(1024);
+
+// The pre-rewrite GEMM kernel (blas/gemm_baseline.h), kept as the
+// before/after reference for the register-blocked rewrite.
+void BM_SgemmBaseline(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(n * n), 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    blas::baseline::sgemm(blas::Trans::kNoTrans, blas::Trans::kNoTrans, n, n,
+                          n, 1.0f, a.data(), n, b.data(), n, 1.0f, c.data(),
+                          n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemmFlops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SgemmBaseline)->Arg(256)->Arg(384)->Arg(1024);
 
 void BM_GemmMixed(benchmark::State& state) {
   const index_t n = state.range(0);
@@ -46,7 +67,25 @@ void BM_GemmMixed(benchmark::State& state) {
           1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GemmMixed)->Arg(128)->Arg(256)->Arg(384);
+BENCHMARK(BM_GemmMixed)->Arg(128)->Arg(256)->Arg(384)->Arg(1024);
+
+void BM_GemmMixedBaseline(benchmark::State& state) {
+  const index_t n = state.range(0);
+  std::vector<half16> a(static_cast<std::size_t>(n * n), half16(1.0f));
+  std::vector<half16> b(static_cast<std::size_t>(n * n), half16(0.5f));
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  for (auto _ : state) {
+    blas::baseline::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kTrans, n,
+                              n, n, -1.0f, a.data(), n, b.data(), n, 1.0f,
+                              c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      blas::gemmFlops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmMixedBaseline)->Arg(256)->Arg(384)->Arg(1024);
 
 void BM_Strsm(benchmark::State& state) {
   const index_t b = state.range(0);

@@ -9,4 +9,5 @@
 #include "blas/scan.h"      // IWYU pragma: export
 #include "blas/trsm.h"      // IWYU pragma: export
 #include "blas/trsv.h"      // IWYU pragma: export
+#include "blas/tune.h"      // IWYU pragma: export
 #include "blas/types.h"     // IWYU pragma: export

@@ -18,17 +18,18 @@ void castCore(index_t m, index_t n, const TSrc* src, index_t ldSrc, TDst* dst,
   if (pool == nullptr) {
     pool = &ThreadPool::global();
   }
-  pool->parallelFor(0, ceilDiv(n, kColChunk), [&](index_t c) {
-    const index_t j0 = c * kColChunk;
-    const index_t j1 = std::min(n, j0 + kColChunk);
-    for (index_t j = j0; j < j1; ++j) {
-      const TSrc* s = src + j * ldSrc;
-      TDst* d = dst + j * ldDst;
-      for (index_t i = 0; i < m; ++i) {
-        d[i] = convert(s[i]);
-      }
-    }
-  });
+  pool->parallelForChunked(
+      0, n,
+      [&](index_t j0, index_t j1) {
+        for (index_t j = j0; j < j1; ++j) {
+          const TSrc* s = src + j * ldSrc;
+          TDst* d = dst + j * ldDst;
+          for (index_t i = 0; i < m; ++i) {
+            d[i] = convert(s[i]);
+          }
+        }
+      },
+      ceilDiv(n, kColChunk));
 }
 
 }  // namespace
@@ -54,14 +55,17 @@ void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
   constexpr index_t kTile = 32;
   const index_t rowTiles = ceilDiv(m, kTile);
   const index_t colTiles = ceilDiv(n, kTile);
-  pool->parallelFor(0, rowTiles * colTiles, [&](index_t t) {
-    const index_t ti = t % rowTiles;
-    const index_t tj = t / rowTiles;
-    const index_t i1 = std::min(m, (ti + 1) * kTile);
-    const index_t j1 = std::min(n, (tj + 1) * kTile);
-    for (index_t j = tj * kTile; j < j1; ++j) {
-      for (index_t i = ti * kTile; i < i1; ++i) {
-        dst[j + i * ldDst] = half16(src[i + j * ldSrc]);
+  pool->parallelForChunked(0, rowTiles * colTiles, [&](index_t lo,
+                                                       index_t hi) {
+    for (index_t t = lo; t < hi; ++t) {
+      const index_t ti = t % rowTiles;
+      const index_t tj = t / rowTiles;
+      const index_t i1 = std::min(m, (ti + 1) * kTile);
+      const index_t j1 = std::min(n, (tj + 1) * kTile);
+      for (index_t j = tj * kTile; j < j1; ++j) {
+        for (index_t i = ti * kTile; i < i1; ++i) {
+          dst[j + i * ldDst] = half16(src[i + j * ldSrc]);
+        }
       }
     }
   });

@@ -1,64 +1,133 @@
 #include "blas/gemm.h"
 
-#include <vector>
+#include "blas/tune.h"
 
 namespace hplmxp::blas {
 
 namespace {
 
-// Cache block sizes (elements). Tuned for ~32 KiB L1 / ~1 MiB L2 tiles;
-// exact values only affect speed, not results.
-constexpr index_t kMc = 96;
-constexpr index_t kKc = 256;
-constexpr index_t kNc = 96;
+// Upper bound on one GEMM invocation's pack working set; kc is halved (it
+// only affects speed, never results) until the packed panels fit.
+constexpr std::size_t kPackBytesCap = std::size_t{96} << 20;
 
 template <typename TAcc, typename TIn>
 inline TAcc widen(TIn v) {
   return static_cast<TAcc>(v);
 }
 
-/// Packs op(A)[i0:i0+mc, k0:k0+kc] into col-major dst (ld = mc), widening
-/// TIn -> TAcc on the way (this is where FP16 operands become FP32).
+/// Packs one MR-row strip of op(A)[i0:i0+rows, k0:k0+kc] into dst, laid
+/// out l-major (dst[l*MR + i]) and zero-padded to the full MR so the
+/// microkernel always streams aligned full-width strips. This is where
+/// FP16 operands widen to the FP32 accumulation type: gemmMixed and sgemm
+/// share the identical numeric path from here on.
 template <typename TAcc, typename TIn>
-void packA(Trans ta, const TIn* a, index_t lda, index_t i0, index_t k0,
-           index_t mc, index_t kc, TAcc* dst) {
+void packAStrip(Trans ta, const TIn* a, index_t lda, index_t i0, index_t rows,
+                index_t k0, index_t kc, TAcc* dst) {
   if (ta == Trans::kNoTrans) {
     for (index_t l = 0; l < kc; ++l) {
       const TIn* src = a + i0 + (k0 + l) * lda;
-      TAcc* d = dst + l * mc;
-      for (index_t i = 0; i < mc; ++i) {
+      TAcc* d = dst + l * kGemmMr;
+      for (index_t i = 0; i < rows; ++i) {
         d[i] = widen<TAcc>(src[i]);
+      }
+      for (index_t i = rows; i < kGemmMr; ++i) {
+        d[i] = TAcc{0};
       }
     }
   } else {
     for (index_t l = 0; l < kc; ++l) {
       const TIn* src = a + (k0 + l) + i0 * lda;
-      TAcc* d = dst + l * mc;
-      for (index_t i = 0; i < mc; ++i) {
+      TAcc* d = dst + l * kGemmMr;
+      for (index_t i = 0; i < rows; ++i) {
         d[i] = widen<TAcc>(src[i * lda]);
+      }
+      for (index_t i = rows; i < kGemmMr; ++i) {
+        d[i] = TAcc{0};
       }
     }
   }
 }
 
-/// Packs op(B)[k0:k0+kc, j0:j0+nc] into col-major dst (ld = kc).
+/// Packs one NR-column strip of op(B)[k0:k0+kc, j0:j0+cols] into dst,
+/// l-major (dst[l*NR + j]), zero-padded to NR, with alpha folded in:
+/// alpha * widen(b) is the exact per-step scaling the pre-rewrite kernel
+/// applied (bv = alpha * bcol[l]), so results stay bitwise identical.
 template <typename TAcc, typename TIn>
-void packB(Trans tb, const TIn* b, index_t ldb, index_t k0, index_t j0,
-           index_t kc, index_t nc, TAcc* dst) {
+void packBStrip(Trans tb, const TIn* b, index_t ldb, index_t k0, index_t j0,
+                index_t cols, index_t kc, TAcc alpha, TAcc* dst) {
   if (tb == Trans::kNoTrans) {
-    for (index_t j = 0; j < nc; ++j) {
-      const TIn* src = b + k0 + (j0 + j) * ldb;
-      TAcc* d = dst + j * kc;
-      for (index_t l = 0; l < kc; ++l) {
-        d[l] = widen<TAcc>(src[l]);
+    for (index_t l = 0; l < kc; ++l) {
+      const TIn* src = b + (k0 + l);
+      TAcc* d = dst + l * kGemmNr;
+      for (index_t j = 0; j < cols; ++j) {
+        d[j] = alpha * widen<TAcc>(src[(j0 + j) * ldb]);
+      }
+      for (index_t j = cols; j < kGemmNr; ++j) {
+        d[j] = TAcc{0};
       }
     }
   } else {
-    for (index_t j = 0; j < nc; ++j) {
-      const TIn* src = b + (j0 + j) + k0 * ldb;
-      TAcc* d = dst + j * kc;
-      for (index_t l = 0; l < kc; ++l) {
-        d[l] = widen<TAcc>(src[l * ldb]);
+    for (index_t l = 0; l < kc; ++l) {
+      const TIn* src = b + (k0 + l) * ldb;
+      TAcc* d = dst + l * kGemmNr;
+      for (index_t j = 0; j < cols; ++j) {
+        d[j] = alpha * widen<TAcc>(src[j0 + j]);
+      }
+      for (index_t j = cols; j < kGemmNr; ++j) {
+        d[j] = TAcc{0};
+      }
+    }
+  }
+}
+
+/// Register-blocked microkernel: C[0:rows, 0:cols] += Ap * Bp over one
+/// packed k panel, with an MR x NR accumulator block held in registers.
+/// Each C element still receives its updates in ascending-k order, one
+/// mul-add per step, exactly as the pre-rewrite kernel did — the register
+/// tile only changes where the partial sums live, not their arithmetic.
+/// kEdge = true is the templated edge path: partial tiles load/store
+/// through bounds masks while the FMA loop stays full-width (the packed
+/// strips are zero-padded, so the padded lanes are dead weight, not
+/// branches).
+template <typename TAcc, bool kEdge>
+inline void microKernel(index_t kc, const TAcc* ap, const TAcc* bp, TAcc* c,
+                        index_t ldc, index_t rows, index_t cols) {
+  constexpr int MR = static_cast<int>(kGemmMr);
+  constexpr int NR = static_cast<int>(kGemmNr);
+  TAcc acc[NR][MR];
+  if constexpr (kEdge) {
+    for (int j = 0; j < NR; ++j) {
+      for (int i = 0; i < MR; ++i) {
+        acc[j][i] = (j < cols && i < rows) ? c[i + j * ldc] : TAcc{0};
+      }
+    }
+  } else {
+    for (int j = 0; j < NR; ++j) {
+      for (int i = 0; i < MR; ++i) {
+        acc[j][i] = c[i + j * ldc];
+      }
+    }
+  }
+  for (index_t l = 0; l < kc; ++l) {
+    const TAcc* a = ap + l * MR;
+    const TAcc* b = bp + l * NR;
+    for (int j = 0; j < NR; ++j) {
+      const TAcc bv = b[j];
+      for (int i = 0; i < MR; ++i) {
+        acc[j][i] += a[i] * bv;
+      }
+    }
+  }
+  if constexpr (kEdge) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        c[i + j * ldc] = acc[j][i];
+      }
+    }
+  } else {
+    for (int j = 0; j < NR; ++j) {
+      for (int i = 0; i < MR; ++i) {
+        c[i + j * ldc] = acc[j][i];
       }
     }
   }
@@ -82,14 +151,10 @@ void gemmCore(Trans ta, Trans tb, index_t m, index_t n, index_t k, TAcc alpha,
     pool = &ThreadPool::global();
   }
 
-  const index_t nBlocks = ceilDiv(n, kNc);
-  pool->parallelFor(0, nBlocks, [&](index_t jb) {
-    const index_t j0 = jb * kNc;
-    const index_t nc = std::min(kNc, n - j0);
-
-    // beta-scale this column block of C once, up front.
-    for (index_t j = 0; j < nc; ++j) {
-      TAcc* col = c + (j0 + j) * ldc;
+  // beta-scale all of C once, up front (element-wise, order-free).
+  pool->parallelForChunked(0, n, [&](index_t jLo, index_t jHi) {
+    for (index_t j = jLo; j < jHi; ++j) {
+      TAcc* col = c + j * ldc;
       if (beta == TAcc{0}) {
         for (index_t i = 0; i < m; ++i) {
           col[i] = TAcc{0};
@@ -100,34 +165,86 @@ void gemmCore(Trans ta, Trans tb, index_t m, index_t n, index_t k, TAcc alpha,
         }
       }
     }
-    if (k == 0 || alpha == TAcc{0}) {
-      return;
-    }
+  });
+  if (k == 0 || alpha == TAcc{0}) {
+    return;
+  }
 
-    std::vector<TAcc> aPack(static_cast<std::size_t>(kMc * kKc));
-    std::vector<TAcc> bPack(static_cast<std::size_t>(kKc * nc));
+  GemmBlocking bl = gemmBlocking();
+  bl.mc = roundUp(std::max<index_t>(bl.mc, kGemmMr), kGemmMr);
+  bl.nc = roundUp(std::max<index_t>(bl.nc, kGemmNr), kGemmNr);
+  const index_t mPad = roundUp(m, kGemmMr);
+  const index_t nPad = roundUp(n, kGemmNr);
+  index_t kcMax = std::min(std::max<index_t>(bl.kc, 1), k);
+  while (kcMax > 64 &&
+         static_cast<std::size_t>(mPad + nPad) * kcMax * sizeof(TAcc) >
+             kPackBytesCap) {
+    kcMax /= 2;  // speed-only: the accumulation order is kc-independent
+  }
 
-    for (index_t k0 = 0; k0 < k; k0 += kKc) {
-      const index_t kc = std::min(kKc, k - k0);
-      packB<TAcc>(tb, b, ldb, k0, j0, kc, nc, bPack.data());
-      for (index_t i0 = 0; i0 < m; i0 += kMc) {
-        const index_t mc = std::min(kMc, m - i0);
-        packA<TAcc>(ta, a, lda, i0, k0, mc, kc, aPack.data());
-        // Micro-update: C[i0:, j0:] += alpha * Ap * Bp.
-        for (index_t j = 0; j < nc; ++j) {
-          TAcc* ccol = c + (j0 + j) * ldc + i0;
-          const TAcc* bcol = bPack.data() + j * kc;
-          for (index_t l = 0; l < kc; ++l) {
-            const TAcc bv = alpha * bcol[l];
-            const TAcc* acol = aPack.data() + l * mc;
-            for (index_t i = 0; i < mc; ++i) {
-              ccol[i] += acol[i] * bv;
+  // Persistent pack arenas: one lease per invocation, shared read-only by
+  // every compute task. Steady-state calls never touch the allocator.
+  auto lease = pool->scratch();
+  Arena& arena = lease.arena();
+  arena.reserve(static_cast<std::size_t>(mPad + nPad) * kcMax * sizeof(TAcc) +
+                2 * 64);
+  TAcc* aPack = arena.alloc<TAcc>(mPad * kcMax);
+  TAcc* bPack = arena.alloc<TAcc>(nPad * kcMax);
+
+  const index_t aStrips = mPad / kGemmMr;
+  const index_t bStrips = nPad / kGemmNr;
+  const index_t mBlocks = ceilDiv(m, bl.mc);
+  const index_t nBlocks = ceilDiv(n, bl.nc);
+
+  for (index_t k0 = 0; k0 < k; k0 += kcMax) {
+    const index_t kc = std::min(kcMax, k - k0);
+
+    // Pack phase: every A strip is packed exactly once per k panel and
+    // shared across all column blocks (the old kernel re-packed it per
+    // column block); the B panel is packed once and shared too.
+    pool->parallelForChunked(0, aStrips + bStrips, [&](index_t lo,
+                                                       index_t hi) {
+      for (index_t u = lo; u < hi; ++u) {
+        if (u < aStrips) {
+          const index_t i0 = u * kGemmMr;
+          packAStrip<TAcc>(ta, a, lda, i0, std::min(kGemmMr, m - i0), k0, kc,
+                           aPack + u * (kGemmMr * kc));
+        } else {
+          const index_t j0 = (u - aStrips) * kGemmNr;
+          packBStrip<TAcc>(tb, b, ldb, k0, j0, std::min(kGemmNr, n - j0), kc,
+                           alpha, bPack + (u - aStrips) * (kGemmNr * kc));
+        }
+      }
+    });
+
+    // Compute phase: 2D parallelization over (mc x nc) macro-tiles. Each
+    // C tile is owned by exactly one task per panel and panels run in
+    // ascending-k order behind a barrier, so every element's accumulation
+    // order is fixed no matter the thread count or blocking.
+    pool->parallelForChunked(0, mBlocks * nBlocks, [&](index_t lo,
+                                                       index_t hi) {
+      for (index_t t = lo; t < hi; ++t) {
+        const index_t i0 = (t / nBlocks) * bl.mc;
+        const index_t j0 = (t % nBlocks) * bl.nc;
+        const index_t iEnd = std::min(m, i0 + bl.mc);
+        const index_t jEnd = std::min(n, j0 + bl.nc);
+        for (index_t jr = j0; jr < jEnd; jr += kGemmNr) {
+          const index_t cols = std::min(kGemmNr, n - jr);
+          const TAcc* bp = bPack + (jr / kGemmNr) * (kGemmNr * kc);
+          for (index_t ir = i0; ir < iEnd; ir += kGemmMr) {
+            const index_t rows = std::min(kGemmMr, m - ir);
+            const TAcc* ap = aPack + (ir / kGemmMr) * (kGemmMr * kc);
+            TAcc* ctile = c + ir + jr * ldc;
+            if (rows == kGemmMr && cols == kGemmNr) {
+              microKernel<TAcc, false>(kc, ap, bp, ctile, ldc, rows, cols);
+            } else {
+              microKernel<TAcc, true>(kc, ap, bp, ctile, ldc, rows, cols);
             }
           }
         }
       }
-    }
-  });
+    });
+  }
 }
 
 }  // namespace

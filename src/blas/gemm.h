@@ -6,12 +6,23 @@
 //   * gemmMixed — FP16 inputs, FP32 accumulate: the heart of HPL-AI
 //     (cublasSgemmEx / rocblas_gemm_ex with HALF inputs, FLOAT compute).
 //
-// Implementation: cache-blocked packing GEMM. op(A)/op(B) tiles are packed
-// into contiguous FP32/FP64 scratch (the packing step performs both the
-// transposition and, for gemmMixed, the half->float widening, which is
-// exactly the data flow of a tensor-core MMA pipeline: FP16 operands are
-// widened on load and accumulated in FP32). Column-block parallelism runs
-// on the shared ThreadPool.
+// Implementation: BLIS-style register-blocked packing GEMM. Per k panel,
+// op(A) and op(B) are packed once into zero-padded microkernel strips in a
+// persistent pool-owned arena (packed A is shared across all column blocks
+// and packed B across all row blocks — nothing is re-packed, and the hot
+// loop never touches the allocator), then a kGemmMr x kGemmNr register-
+// accumulator microkernel sweeps (mc x nc) macro-tiles under 2D
+// parallelism on the
+// shared ThreadPool. The packing step performs both the transposition
+// and, for gemmMixed, the half->float widening, which is exactly the data
+// flow of a tensor-core MMA pipeline: FP16 operands are widened on load
+// and accumulated in FP32.
+//
+// Determinism contract: every C element accumulates its k contributions in
+// ascending order with one mul-add per step, independent of thread count
+// and of the (mc, nc, kc) blocking (see blas/tune.h). Results are bitwise
+// identical to the pre-rewrite kernel (blas/gemm_baseline.h), which the
+// scheduler-equivalence suite depends on.
 #pragma once
 
 #include "blas/types.h"

@@ -1,0 +1,153 @@
+// Verbatim copy of the original gemmCore (scalar triple loop over packed
+// column blocks). See gemm_baseline.h for why it is kept.
+#include "blas/gemm_baseline.h"
+
+#include <vector>
+
+namespace hplmxp::blas::baseline {
+
+namespace {
+
+constexpr index_t kMc = 96;
+constexpr index_t kKc = 256;
+constexpr index_t kNc = 96;
+
+template <typename TAcc, typename TIn>
+inline TAcc widen(TIn v) {
+  return static_cast<TAcc>(v);
+}
+
+template <typename TAcc, typename TIn>
+void packA(Trans ta, const TIn* a, index_t lda, index_t i0, index_t k0,
+           index_t mc, index_t kc, TAcc* dst) {
+  if (ta == Trans::kNoTrans) {
+    for (index_t l = 0; l < kc; ++l) {
+      const TIn* src = a + i0 + (k0 + l) * lda;
+      TAcc* d = dst + l * mc;
+      for (index_t i = 0; i < mc; ++i) {
+        d[i] = widen<TAcc>(src[i]);
+      }
+    }
+  } else {
+    for (index_t l = 0; l < kc; ++l) {
+      const TIn* src = a + (k0 + l) + i0 * lda;
+      TAcc* d = dst + l * mc;
+      for (index_t i = 0; i < mc; ++i) {
+        d[i] = widen<TAcc>(src[i * lda]);
+      }
+    }
+  }
+}
+
+template <typename TAcc, typename TIn>
+void packB(Trans tb, const TIn* b, index_t ldb, index_t k0, index_t j0,
+           index_t kc, index_t nc, TAcc* dst) {
+  if (tb == Trans::kNoTrans) {
+    for (index_t j = 0; j < nc; ++j) {
+      const TIn* src = b + k0 + (j0 + j) * ldb;
+      TAcc* d = dst + j * kc;
+      for (index_t l = 0; l < kc; ++l) {
+        d[l] = widen<TAcc>(src[l]);
+      }
+    }
+  } else {
+    for (index_t j = 0; j < nc; ++j) {
+      const TIn* src = b + (j0 + j) + k0 * ldb;
+      TAcc* d = dst + j * kc;
+      for (index_t l = 0; l < kc; ++l) {
+        d[l] = widen<TAcc>(src[l * ldb]);
+      }
+    }
+  }
+}
+
+template <typename TIn, typename TAcc>
+void gemmCore(Trans ta, Trans tb, index_t m, index_t n, index_t k, TAcc alpha,
+              const TIn* a, index_t lda, const TIn* b, index_t ldb, TAcc beta,
+              TAcc* c, index_t ldc, ThreadPool* pool) {
+  HPLMXP_REQUIRE(m >= 0 && n >= 0 && k >= 0, "gemm dims must be >= 0");
+  HPLMXP_REQUIRE(ldc >= (m > 0 ? m : 1), "gemm: ldc too small");
+  if (m == 0 || n == 0) {
+    return;
+  }
+  const index_t opARows = (ta == Trans::kNoTrans) ? m : k;
+  const index_t opBRows = (tb == Trans::kNoTrans) ? k : n;
+  HPLMXP_REQUIRE(lda >= (opARows > 0 ? opARows : 1), "gemm: lda too small");
+  HPLMXP_REQUIRE(ldb >= (opBRows > 0 ? opBRows : 1), "gemm: ldb too small");
+
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+
+  const index_t nBlocks = ceilDiv(n, kNc);
+  pool->parallelFor(0, nBlocks, [&](index_t jb) {
+    const index_t j0 = jb * kNc;
+    const index_t nc = std::min(kNc, n - j0);
+
+    for (index_t j = 0; j < nc; ++j) {
+      TAcc* col = c + (j0 + j) * ldc;
+      if (beta == TAcc{0}) {
+        for (index_t i = 0; i < m; ++i) {
+          col[i] = TAcc{0};
+        }
+      } else if (beta != TAcc{1}) {
+        for (index_t i = 0; i < m; ++i) {
+          col[i] *= beta;
+        }
+      }
+    }
+    if (k == 0 || alpha == TAcc{0}) {
+      return;
+    }
+
+    std::vector<TAcc> aPack(static_cast<std::size_t>(kMc * kKc));
+    std::vector<TAcc> bPack(static_cast<std::size_t>(kKc * nc));
+
+    for (index_t k0 = 0; k0 < k; k0 += kKc) {
+      const index_t kc = std::min(kKc, k - k0);
+      packB<TAcc>(tb, b, ldb, k0, j0, kc, nc, bPack.data());
+      for (index_t i0 = 0; i0 < m; i0 += kMc) {
+        const index_t mc = std::min(kMc, m - i0);
+        packA<TAcc>(ta, a, lda, i0, k0, mc, kc, aPack.data());
+        for (index_t j = 0; j < nc; ++j) {
+          TAcc* ccol = c + (j0 + j) * ldc + i0;
+          const TAcc* bcol = bPack.data() + j * kc;
+          for (index_t l = 0; l < kc; ++l) {
+            const TAcc bv = alpha * bcol[l];
+            const TAcc* acol = aPack.data() + l * mc;
+            for (index_t i = 0; i < mc; ++i) {
+              ccol[i] += acol[i] * bv;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void sgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+           float alpha, const float* a, index_t lda, const float* b,
+           index_t ldb, float beta, float* c, index_t ldc, ThreadPool* pool) {
+  gemmCore<float, float>(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta,
+                         c, ldc, pool);
+}
+
+void dgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+           double alpha, const double* a, index_t lda, const double* b,
+           index_t ldb, double beta, double* c, index_t ldc,
+           ThreadPool* pool) {
+  gemmCore<double, double>(transA, transB, m, n, k, alpha, a, lda, b, ldb,
+                           beta, c, ldc, pool);
+}
+
+void gemmMixed(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+               float alpha, const half16* a, index_t lda, const half16* b,
+               index_t ldb, float beta, float* c, index_t ldc,
+               ThreadPool* pool) {
+  gemmCore<half16, float>(transA, transB, m, n, k, alpha, a, lda, b, ldb,
+                          beta, c, ldc, pool);
+}
+
+}  // namespace hplmxp::blas::baseline

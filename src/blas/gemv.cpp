@@ -1,7 +1,5 @@
 #include "blas/gemv.h"
 
-#include <vector>
-
 namespace hplmxp::blas {
 
 namespace {
@@ -23,31 +21,35 @@ void gemvCore(Trans trans, index_t m, index_t n, T alpha, const T* a,
 
   if (trans == Trans::kNoTrans) {
     // y_i = beta*y_i + alpha * sum_j A(i,j) x_j; stripe rows so each task
-    // owns a disjoint slice of y.
+    // owns a disjoint slice of y. The partial sums live in a fixed-size
+    // stack buffer: no heap traffic per stripe.
     const index_t stripes = ceilDiv(m, kRowStripe);
-    pool->parallelFor(0, stripes, [&](index_t s) {
-      const index_t i0 = s * kRowStripe;
-      const index_t i1 = std::min(m, i0 + kRowStripe);
-      std::vector<T> acc(static_cast<std::size_t>(i1 - i0), T{0});
-      for (index_t j = 0; j < n; ++j) {
-        const T* col = a + j * lda;
-        const T xv = x[j];
-        for (index_t i = i0; i < i1; ++i) {
-          acc[static_cast<std::size_t>(i - i0)] += col[i] * xv;
+    pool->parallelForChunked(0, stripes, [&](index_t sLo, index_t sHi) {
+      T acc[kRowStripe];
+      for (index_t s = sLo; s < sHi; ++s) {
+        const index_t i0 = s * kRowStripe;
+        const index_t i1 = std::min(m, i0 + kRowStripe);
+        const index_t len = i1 - i0;
+        for (index_t i = 0; i < len; ++i) {
+          acc[i] = T{0};
         }
-      }
-      for (index_t i = i0; i < i1; ++i) {
-        const T base = (beta == T{0}) ? T{0} : beta * y[i];
-        y[i] = base + alpha * acc[static_cast<std::size_t>(i - i0)];
+        for (index_t j = 0; j < n; ++j) {
+          const T* col = a + j * lda;
+          const T xv = x[j];
+          for (index_t i = 0; i < len; ++i) {
+            acc[i] += col[i0 + i] * xv;
+          }
+        }
+        for (index_t i = 0; i < len; ++i) {
+          const T base = (beta == T{0}) ? T{0} : beta * y[i0 + i];
+          y[i0 + i] = base + alpha * acc[i];
+        }
       }
     });
   } else {
     // y_j = beta*y_j + alpha * sum_i A(i,j) x_i; columns are independent.
-    const index_t stripes = ceilDiv(n, kRowStripe);
-    pool->parallelFor(0, stripes, [&](index_t s) {
-      const index_t j0 = s * kRowStripe;
-      const index_t j1 = std::min(n, j0 + kRowStripe);
-      for (index_t j = j0; j < j1; ++j) {
+    pool->parallelForChunked(0, n, [&](index_t jLo, index_t jHi) {
+      for (index_t j = jLo; j < jHi; ++j) {
         const T* col = a + j * lda;
         T acc{0};
         for (index_t i = 0; i < m; ++i) {

@@ -201,37 +201,39 @@ void trsmCore(Side side, Uplo uplo, Trans trans, Diag diag, index_t m,
     pool = &ThreadPool::global();
   }
 
+  // Chunked dispatch: each task receives a contiguous column (kLeft) or
+  // row (kRight) range directly — no type-erased call per stripe.
   if (side == Side::kLeft) {
-    const index_t stripes = ceilDiv(n, kStripe);
-    pool->parallelFor(0, stripes, [&](index_t s) {
-      const index_t j0 = s * kStripe;
-      const index_t j1 = std::min(n, j0 + kStripe);
-      scaleColumns(b, ldb, m, j0, j1, alpha);
-      if (trans == Trans::kNoTrans) {
-        leftSolveStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
-      } else {
-        leftSolveTransStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
-      }
-    });
-  } else {
-    const index_t stripes = ceilDiv(m, kStripe);
-    pool->parallelFor(0, stripes, [&](index_t s) {
-      const index_t i0 = s * kStripe;
-      const index_t i1 = std::min(m, i0 + kStripe);
-      if (alpha != T{1}) {
-        for (index_t j = 0; j < n; ++j) {
-          T* col = b + j * ldb;
-          for (index_t i = i0; i < i1; ++i) {
-            col[i] *= alpha;
+    pool->parallelForChunked(
+        0, n,
+        [&](index_t j0, index_t j1) {
+          scaleColumns(b, ldb, m, j0, j1, alpha);
+          if (trans == Trans::kNoTrans) {
+            leftSolveStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
+          } else {
+            leftSolveTransStripe(uplo, diag, m, a, lda, b, ldb, j0, j1);
           }
-        }
-      }
-      if (trans == Trans::kNoTrans) {
-        rightSolveStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
-      } else {
-        rightSolveTransStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
-      }
-    });
+        },
+        ceilDiv(n, kStripe));
+  } else {
+    pool->parallelForChunked(
+        0, m,
+        [&](index_t i0, index_t i1) {
+          if (alpha != T{1}) {
+            for (index_t j = 0; j < n; ++j) {
+              T* col = b + j * ldb;
+              for (index_t i = i0; i < i1; ++i) {
+                col[i] *= alpha;
+              }
+            }
+          }
+          if (trans == Trans::kNoTrans) {
+            rightSolveStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
+          } else {
+            rightSolveTransStripe(uplo, diag, n, a, lda, b, ldb, i0, i1);
+          }
+        },
+        ceilDiv(m, kStripe));
   }
 }
 

@@ -1,0 +1,27 @@
+#include "blas/tune.h"
+
+#include <atomic>
+
+namespace hplmxp::blas {
+
+namespace {
+std::atomic<index_t> gMc{GemmBlocking{}.mc};
+std::atomic<index_t> gNc{GemmBlocking{}.nc};
+std::atomic<index_t> gKc{GemmBlocking{}.kc};
+}  // namespace
+
+GemmBlocking gemmBlocking() {
+  return GemmBlocking{gMc.load(std::memory_order_relaxed),
+                      gNc.load(std::memory_order_relaxed),
+                      gKc.load(std::memory_order_relaxed)};
+}
+
+void setGemmBlocking(const GemmBlocking& blocking) {
+  gMc.store(blocking.mc > 0 ? roundUp(blocking.mc, kGemmMr) : kGemmMr,
+            std::memory_order_relaxed);
+  gNc.store(blocking.nc > 0 ? roundUp(blocking.nc, kGemmNr) : kGemmNr,
+            std::memory_order_relaxed);
+  gKc.store(blocking.kc > 0 ? blocking.kc : 1, std::memory_order_relaxed);
+}
+
+}  // namespace hplmxp::blas

@@ -1,6 +1,16 @@
 #include "device/shim.h"
 
+#include <sstream>
+
 namespace hplmxp {
+
+std::string BlasShim::kernelConfig() const {
+  const blas::GemmBlocking bl = blas::gemmBlocking();
+  std::ostringstream os;
+  os << "mr=" << blas::kGemmMr << " nr=" << blas::kGemmNr << " mc=" << bl.mc
+     << " nc=" << bl.nc << " kc=" << bl.kc;
+  return os.str();
+}
 
 BlasShim::BlasShim(Vendor vendor, ThreadPool* pool)
     : vendor_(vendor), pool_(pool) {

@@ -49,6 +49,18 @@ class BlasShim {
   }
   [[nodiscard]] const ShimCallCounts& callCounts() const { return counts_; }
 
+  /// The GEMM macro-blocking gemmEx currently dispatches into — the
+  /// process-wide setting installed by the autotuner (perfmodel/autotune.h).
+  [[nodiscard]] blas::GemmBlocking gemmBlocking() const {
+    return blas::gemmBlocking();
+  }
+
+  /// One-line description of the active kernel configuration, e.g.
+  /// "mr=24 nr=2 mc=120 nc=240 kc=256" (microkernel shape + macro blocking).
+  /// Benches print this next to the vendor routine names so runs record
+  /// which tuning they measured.
+  [[nodiscard]] std::string kernelConfig() const;
+
   /// Mixed-precision GEMM (cublasSgemmEx / rocblas_gemm_ex).
   void gemmEx(blas::Trans ta, blas::Trans tb, index_t m, index_t n, index_t k,
               float alpha, const half16* a, index_t lda, const half16* b,

@@ -1,5 +1,6 @@
 #include "perfmodel/kernel_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hplmxp {
@@ -51,6 +52,37 @@ KernelModel::KernelModel(MachineKind kind) : kind_(kind) {
   }
 }
 
+void KernelModel::calibrate(MeasuredKernelCurves curves) {
+  auto bySize = [](const RateSample& a, const RateSample& b) {
+    return a.size < b.size;
+  };
+  std::sort(curves.gemm.begin(), curves.gemm.end(), bySize);
+  std::sort(curves.getrf.begin(), curves.getrf.end(), bySize);
+  std::sort(curves.trsm.begin(), curves.trsm.end(), bySize);
+  measured_ = std::move(curves);
+  calibrated_ = !measured_.empty();
+}
+
+double KernelModel::interpRate(const std::vector<RateSample>& samples,
+                               double size) {
+  if (size <= samples.front().size) {
+    return samples.front().rate;
+  }
+  if (size >= samples.back().size) {
+    return samples.back().rate;
+  }
+  auto hi = std::lower_bound(
+      samples.begin(), samples.end(), size,
+      [](const RateSample& s, double v) { return s.size < v; });
+  auto lo = hi - 1;
+  // Linear in log(size): kernel rate curves are close to straight on a
+  // log-size axis across the ramp region, so this keeps mid-points sane
+  // even with a sparse ladder.
+  const double t = (std::log(size) - std::log(lo->size)) /
+                   (std::log(hi->size) - std::log(lo->size));
+  return lo->rate + t * (hi->rate - lo->rate);
+}
+
 double KernelModel::alignFactor(double size) const {
   const double rem = std::fmod(size, alignTile_);
   return rem == 0.0 ? 1.0 : alignPenalty_;
@@ -60,6 +92,9 @@ double KernelModel::gemmRate(double m, double n, double k,
                              index_t lda) const {
   if (m <= 0.0 || n <= 0.0 || k <= 0.0) {
     return gemmPeak_;  // degenerate: no work, rate is irrelevant
+  }
+  if (calibrated_ && !measured_.gemm.empty()) {
+    return interpRate(measured_.gemm, std::cbrt(m * n * k));
   }
   double rate = gemmPeak_ * ramp(m, gemmHalfMN_) * ramp(n, gemmHalfMN_) *
                 ramp(k, gemmHalfK_);
@@ -74,12 +109,18 @@ double KernelModel::getrfRate(double b) const {
   if (b <= 0.0) {
     return getrfPeak_;
   }
+  if (calibrated_ && !measured_.getrf.empty()) {
+    return interpRate(measured_.getrf, b);
+  }
   return getrfPeak_ * ramp(b, getrfHalf_);
 }
 
 double KernelModel::trsmRate(double b, double n) const {
   if (b <= 0.0 || n <= 0.0) {
     return trsmPeak_;
+  }
+  if (calibrated_ && !measured_.trsm.empty()) {
+    return interpRate(measured_.trsm, b);
   }
   return trsmPeak_ * ramp(b, trsmHalfB_) * ramp(n, trsmHalfN_);
 }

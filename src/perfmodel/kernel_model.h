@@ -22,12 +22,38 @@
 // Rates are returned in FLOP/s. The constants are calibrated so that the
 // model reproduces the paper's *orderings and rough magnitudes* (who wins,
 // where optima fall), not the exact testbed numbers.
+// In addition to the analytic curves, a model can be *calibrated* from
+// measured rates (perfmodel/autotune.h): after calibrate(), gemmRate /
+// getrfRate / trsmRate interpolate the measured samples (log-size,
+// piecewise-linear, clamped at the ends) instead of evaluating the ramp
+// fits, so the projections GETRF_fr / TRSM_fr / GEMM_fr are grounded in
+// this host's actual kernels rather than hand-tuned constants.
 #pragma once
+
+#include <vector>
 
 #include "machine/machine.h"
 #include "util/common.h"
 
 namespace hplmxp {
+
+/// One measured (size, FLOP/s) point of a kernel's rate curve.
+struct RateSample {
+  double size = 0.0;  // GEMM: cbrt(m*n*k); GETRF/TRSM: block size b
+  double rate = 0.0;  // FLOP/s
+};
+
+/// Measured rate ladders for the three hot kernels, as produced by
+/// measureKernelCurves() in perfmodel/autotune.h.
+struct MeasuredKernelCurves {
+  std::vector<RateSample> gemm;   // keyed on cbrt(m*n*k)
+  std::vector<RateSample> getrf;  // keyed on b
+  std::vector<RateSample> trsm;   // keyed on b (square b x b panel)
+
+  [[nodiscard]] bool empty() const {
+    return gemm.empty() && getrf.empty() && trsm.empty();
+  }
+};
 
 /// Flop-rate model of one GCD's BLAS kernels.
 class KernelModel {
@@ -57,7 +83,23 @@ class KernelModel {
   /// Peak mixed-precision rate the model saturates toward.
   [[nodiscard]] double gemmPeak() const { return gemmPeak_; }
 
+  /// Replaces the analytic curves with measured ones. Curves that are
+  /// empty keep their analytic fallback; samples are sorted by size.
+  /// Calibrated rates ignore the vendor-quirk factors (alignment banding,
+  /// LDA pathology) — the measurement already contains this host's quirks.
+  void calibrate(MeasuredKernelCurves curves);
+
+  [[nodiscard]] bool calibrated() const { return calibrated_; }
+  [[nodiscard]] const MeasuredKernelCurves& measured() const {
+    return measured_;
+  }
+
  private:
+  /// Piecewise-linear interpolation of `rate` in log(size), clamped to the
+  /// first/last sample outside the measured range. `samples` is sorted.
+  static double interpRate(const std::vector<RateSample>& samples,
+                           double size);
+
   /// Saturating ramp: x / (x + half), in (0, 1).
   static double ramp(double x, double half) { return x / (x + half); }
 
@@ -78,6 +120,9 @@ class KernelModel {
   double gemm64Peak_;      // FLOP/s
   double hbmBytesPerSec_;  // bytes/s
   bool ldaSensitive_;      // rocBLAS LDA pathology present
+
+  MeasuredKernelCurves measured_;
+  bool calibrated_ = false;
 };
 
 /// True when `lda` hits the pathological rocBLAS stride class the paper

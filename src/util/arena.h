@@ -1,0 +1,93 @@
+// Persistent bump-allocator scratch arenas for kernel pack buffers.
+//
+// The GEMM hot loop must never touch the system allocator: a pack arena is
+// reserved once (growing geometrically while the working set is still
+// warming up) and then recycled with reset() on every kernel invocation.
+// Pointers handed out by alloc() stay valid until the next reset() or
+// reserve(); reserve() never runs between alloc() calls of one kernel
+// invocation, so the hot path sees a fixed block of memory.
+//
+// Growth events are counted both per arena and process-wide so regression
+// tests can assert the steady state performs zero allocations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "util/common.h"
+
+namespace hplmxp {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Ensures at least `bytes` of capacity and resets the bump cursor.
+  /// Reallocates (and invalidates prior alloc() pointers) only when the
+  /// request exceeds the current capacity.
+  void reserve(std::size_t bytes) {
+    if (bytes > capacity_) {
+      std::size_t grown = capacity_ < kMinBytes ? kMinBytes : capacity_;
+      while (grown < bytes) {
+        grown *= 2;
+      }
+      raw_ = std::make_unique<std::byte[]>(grown + kAlign - 1);
+      auto addr = reinterpret_cast<std::uintptr_t>(raw_.get());
+      base_ = raw_.get() + (kAlign - addr % kAlign) % kAlign;
+      capacity_ = grown;
+      ++growths_;
+      totalGrowths_.fetch_add(1, std::memory_order_relaxed);
+    }
+    used_ = 0;
+  }
+
+  /// Restarts bump allocation from the front; capacity is retained.
+  void reset() { used_ = 0; }
+
+  /// Bump-allocates `count` elements of T, 64-byte aligned. The caller
+  /// must have reserve()d enough capacity up front: running out here is a
+  /// programming error, not a growth trigger (growth would invalidate the
+  /// pointers already handed out this cycle).
+  template <typename T>
+  T* alloc(index_t count) {
+    HPLMXP_REQUIRE(count >= 0, "Arena::alloc: negative count");
+    const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
+    used_ = (used_ + kAlign - 1) / kAlign * kAlign;
+    HPLMXP_REQUIRE(used_ + bytes <= capacity_,
+                   "Arena::alloc exceeds reserved capacity");
+    T* p = reinterpret_cast<T*>(base_ + used_);
+    used_ += bytes;
+    return p;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+
+  /// Number of times this arena had to (re)allocate its block.
+  [[nodiscard]] long growths() const { return growths_; }
+
+  /// Process-wide growth count across all arenas; a steady-state kernel
+  /// loop must leave this constant.
+  static long long totalGrowths() {
+    return totalGrowths_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kAlign = 64;  // cache-line / SIMD friendly
+  static constexpr std::size_t kMinBytes = 1 << 16;
+
+  std::unique_ptr<std::byte[]> raw_;
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  long growths_ = 0;
+
+  inline static std::atomic<long long> totalGrowths_{0};
+};
+
+}  // namespace hplmxp

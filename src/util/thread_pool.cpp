@@ -1,9 +1,6 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <memory>
 
 namespace hplmxp {
 
@@ -15,6 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   // The caller of parallelFor also executes chunks, so a pool of size N
   // gives N+1 lanes; spawn threads-1 workers to match the requested width.
   const std::size_t spawn = threads > 0 ? threads - 1 : 0;
+  ring_.resize(kTaskRingCapacity);
   workers_.reserve(spawn);
   for (std::size_t i = 0; i < spawn; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -35,8 +33,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (stop_ && queue_.empty()) {
+    cv_.wait(lock, [this] { return stop_ || !queueEmpty(); });
+    if (stop_ && queueEmpty()) {
       return;
     }
     runOneTask(lock);
@@ -44,118 +42,141 @@ void ThreadPool::workerLoop() {
 }
 
 bool ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock) {
-  if (queue_.empty()) {
+  if (queueEmpty()) {
     return false;
   }
-  Task task = std::move(queue_.front());
-  queue_.pop();
+  Task task = queuePop();
   lock.unlock();
   task.fn();
   lock.lock();
   return true;
 }
 
-namespace {
+void ThreadPool::queuePush(Task t) {
+  if (ringCount_ == ring_.size()) {
+    std::vector<Task> grown(std::max<std::size_t>(16, ring_.size() * 2));
+    for (std::size_t i = 0; i < ringCount_; ++i) {
+      grown[i] = std::move(ring_[(ringHead_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(grown);
+    ringHead_ = 0;
+  }
+  ring_[(ringHead_ + ringCount_) % ring_.size()] = std::move(t);
+  ++ringCount_;
+}
 
-/// Shared state of one parallelFor invocation.
-struct ForState {
-  std::atomic<index_t> nextChunk{0};
-  std::atomic<index_t> remainingChunks;
-  index_t totalChunks = 0;
-  index_t begin = 0;
-  index_t end = 0;
-  index_t chunkSize = 0;
-  const std::function<void(index_t)>* fn = nullptr;
+ThreadPool::Task ThreadPool::queuePop() {
+  Task t = std::move(ring_[ringHead_]);
+  ringHead_ = (ringHead_ + 1) % ring_.size();
+  --ringCount_;
+  return t;
+}
 
-  std::mutex doneMutex;
-  std::condition_variable doneCv;
-
-  std::mutex excMutex;
-  std::exception_ptr exc;
-  std::atomic<bool> failed{false};
-
-  void runChunks() {
-    while (true) {
-      const index_t c = nextChunk.fetch_add(1, std::memory_order_relaxed);
-      if (c >= totalChunks) {
-        return;
-      }
-      const index_t lo = begin + c * chunkSize;
-      const index_t hi = std::min(end, lo + chunkSize);
-      if (!failed.load(std::memory_order_relaxed)) {
-        // Fast-path skip once a failure is seen; the flag is atomic so the
-        // check is race-free (the exception_ptr itself stays under lock).
-        try {
-          for (index_t i = lo; i < hi; ++i) {
-            (*fn)(i);
-          }
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(excMutex);
-          if (!exc) {
-            exc = std::current_exception();
-          }
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-      if (remainingChunks.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(doneMutex);
-        doneCv.notify_all();
-      }
+std::uint64_t ThreadPool::postHelpers(void (*run)(void*), void* arg,
+                                      index_t count) {
+  int slot = -1;
+  for (int s = 0; s < kJobSlots; ++s) {
+    bool expected = false;
+    if (slots_[s].inUse.compare_exchange_strong(expected, true,
+                                                std::memory_order_acquire)) {
+      slot = s;
+      break;
     }
   }
-};
+  if (slot < 0) {
+    return kNoJob;  // every slot busy: caller runs the range alone
+  }
+  JobSlot& js = slots_[slot];
+  js.run = run;
+  js.arg = arg;
+  const std::uint64_t id =
+      (js.epoch.load(std::memory_order_relaxed) << 8) |
+      static_cast<std::uint64_t>(slot);
+  {
+    // The queue mutex publishes run/arg to whichever worker pops a helper.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (index_t i = 0; i < count && !queueFull(); ++i) {
+      // [this, id] is 16 trivially-copyable bytes: it fits std::function's
+      // small-buffer storage, so posting helpers does not allocate. A full
+      // ring means every worker already has a backlog of hints to drain;
+      // posting fewer (or zero) helpers only costs parallelism, never
+      // correctness — the caller runs every chunk itself if need be.
+      queuePush(Task{[this, id] { runJob(id); }});
+    }
+  }
+  cv_.notify_all();
+  return id;
+}
 
-}  // namespace
+void ThreadPool::runJob(std::uint64_t id) {
+  JobSlot& js = slots_[id & 0xFF];
+  const std::uint64_t epoch = id >> 8;
+  js.active.fetch_add(1, std::memory_order_acq_rel);
+  if (js.epoch.load(std::memory_order_acquire) == epoch) {
+    js.run(js.arg);
+  }
+  js.active.fetch_sub(1, std::memory_order_release);
+}
+
+void ThreadPool::retireJob(std::uint64_t id) {
+  JobSlot& js = slots_[id & 0xFF];
+  // Invalidate first so helpers that have not started yet become no-ops;
+  // then wait out the ones already inside run(). All chunks are done, so
+  // an active helper is at most finishing its (empty) claim loop.
+  js.epoch.fetch_add(1, std::memory_order_release);
+  while (js.active.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  js.inUse.store(false, std::memory_order_release);
+}
 
 void ThreadPool::parallelFor(index_t begin, index_t end,
                              const std::function<void(index_t)>& fn,
                              index_t chunks) {
-  if (begin >= end) {
-    return;
-  }
-  const index_t n = end - begin;
-  const index_t lanes = static_cast<index_t>(workers_.size()) + 1;
-  if (chunks <= 0) {
-    chunks = lanes * 4;  // mild over-decomposition to absorb imbalance
-  }
-  chunks = std::min(chunks, n);
-
-  auto state = std::make_shared<ForState>();
-  state->totalChunks = chunks;
-  state->remainingChunks.store(chunks, std::memory_order_relaxed);
-  state->begin = begin;
-  state->end = end;
-  state->chunkSize = ceilDiv(n, chunks);
-  state->fn = &fn;
-
-  // One helper task per worker; each drains chunks until exhausted.
-  const index_t helpers =
-      std::min<index_t>(static_cast<index_t>(workers_.size()), chunks);
-  if (helpers > 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (index_t i = 0; i < helpers; ++i) {
-      queue_.push(Task{[state] { state->runChunks(); }});
-    }
-  }
-  cv_.notify_all();
-
-  state->runChunks();
-
-  std::unique_lock<std::mutex> lock(state->doneMutex);
-  state->doneCv.wait(lock, [&] {
-    return state->remainingChunks.load(std::memory_order_acquire) == 0;
-  });
-  if (state->exc) {
-    std::rethrow_exception(state->exc);
-  }
+  parallelForChunked(
+      begin, end,
+      [&fn](index_t lo, index_t hi) {
+        for (index_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      },
+      chunks);
 }
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(Task{std::move(fn)});
+    queuePush(Task{std::move(fn)});
   }
   cv_.notify_one();
+}
+
+ThreadPool::ScratchLease::~ScratchLease() {
+  if (pool_ != nullptr) {
+    pool_->returnScratch(arena_);
+  }
+}
+
+ThreadPool::ScratchLease ThreadPool::scratch() {
+  std::lock_guard<std::mutex> lock(scratchMutex_);
+  if (scratchFree_.empty()) {
+    scratchOwned_.push_back(std::make_unique<Arena>());
+    scratchFree_.reserve(scratchOwned_.capacity());
+    scratchFree_.push_back(scratchOwned_.back().get());
+  }
+  Arena* arena = scratchFree_.back();
+  scratchFree_.pop_back();
+  return ScratchLease(this, arena);
+}
+
+void ThreadPool::returnScratch(Arena* arena) {
+  std::lock_guard<std::mutex> lock(scratchMutex_);
+  scratchFree_.push_back(arena);
+}
+
+std::size_t ThreadPool::scratchArenaCount() const {
+  std::lock_guard<std::mutex> lock(scratchMutex_);
+  return scratchOwned_.size();
 }
 
 ThreadPool& ThreadPool::global() {

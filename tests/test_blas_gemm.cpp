@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <random>
 #include <vector>
 
 #include "blas/gemm.h"
+#include "blas/gemm_baseline.h"
 #include "blas/reference.h"
+#include "blas/tune.h"
 
 namespace hplmxp {
 namespace {
@@ -164,6 +167,149 @@ TEST(GemmMixed, Fp32AccumulationBeatsFp16Accumulation) {
   blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kNoTrans, 1, 1, k, 1.0f,
                   a.data(), 1, b.data(), k, 0.0f, &c, 1);
   EXPECT_FLOAT_EQ(c, static_cast<float>(k) + 1.0f / 1024.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise identity vs the retained pre-rewrite kernel (blas/gemm_baseline.h).
+// The scheduler-equivalence suite and the determinism tests depend on the
+// GEMM producing the exact same bits regardless of blocking or thread
+// count, so these use memcmp, not tolerances.
+// ---------------------------------------------------------------------------
+
+/// Restores the process-wide blocking on scope exit so a failing test
+/// cannot poison later ones.
+struct BlockingGuard {
+  blas::GemmBlocking saved = blas::gemmBlocking();
+  ~BlockingGuard() { blas::setGemmBlocking(saved); }
+};
+
+class GemmBitwiseTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmBitwiseTest, SgemmMatchesBaselineBitwise) {
+  const GemmCase c = GetParam();
+  const index_t lda = (c.ta == Trans::kNoTrans ? c.m : c.k) + 2;
+  const index_t ldb = (c.tb == Trans::kNoTrans ? c.k : c.n) + 1;
+  const index_t ldc = c.m + 3;
+  auto a = randomVec(static_cast<std::size_t>(
+                         lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+                     21);
+  auto b = randomVec(static_cast<std::size_t>(
+                         ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+                     22);
+  auto c1 = randomVec(static_cast<std::size_t>(ldc * c.n), 23);
+  auto c2 = c1;
+
+  blas::sgemm(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+              ldb, c.beta, c1.data(), ldc);
+  blas::baseline::sgemm(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda,
+                        b.data(), ldb, c.beta, c2.data(), ldc);
+  for (index_t j = 0; j < c.n; ++j) {
+    EXPECT_EQ(0, std::memcmp(c1.data() + j * ldc, c2.data() + j * ldc,
+                             static_cast<std::size_t>(c.m) * sizeof(float)))
+        << "column " << j;
+  }
+}
+
+TEST_P(GemmBitwiseTest, GemmMixedMatchesBaselineBitwise) {
+  const GemmCase c = GetParam();
+  const index_t lda = c.ta == Trans::kNoTrans ? c.m : c.k;
+  const index_t ldb = c.tb == Trans::kNoTrans ? c.k : c.n;
+  const index_t ldc = c.m;
+  auto af = randomVec(static_cast<std::size_t>(
+                          lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+                      24);
+  auto bf = randomVec(static_cast<std::size_t>(
+                          ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+                      25);
+  std::vector<half16> a(af.size()), b(bf.size());
+  for (std::size_t i = 0; i < af.size(); ++i) a[i] = half16(af[i]);
+  for (std::size_t i = 0; i < bf.size(); ++i) b[i] = half16(bf[i]);
+  auto c1 = randomVec(static_cast<std::size_t>(ldc * c.n), 26);
+  auto c2 = c1;
+
+  blas::gemmMixed(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+                  ldb, c.beta, c1.data(), ldc);
+  blas::baseline::gemmMixed(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(),
+                            lda, b.data(), ldb, c.beta, c2.data(), ldc);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(),
+                           c1.size() * sizeof(float)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmBitwiseTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 0.0f},
+        GemmCase{5, 7, 3, Trans::kNoTrans, Trans::kTrans, 0.37f, 0.5f},
+        GemmCase{64, 64, 64, Trans::kTrans, Trans::kNoTrans, 1.0f, 1.0f},
+        GemmCase{97, 101, 259, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f},
+        GemmCase{130, 96, 300, Trans::kTrans, Trans::kTrans, -1.0f, 0.0f},
+        GemmCase{8, 6, 256, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 1.0f},
+        GemmCase{33, 65, 17, Trans::kNoTrans, Trans::kNoTrans, 2.0f, -1.0f},
+        GemmCase{257, 131, 64, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f}));
+
+TEST(GemmBitwise, DgemmMatchesBaselineBitwise) {
+  const index_t m = 61, n = 45, k = 333;
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  std::vector<double> a(static_cast<std::size_t>(m * k)),
+      b(static_cast<std::size_t>(k * n)), c1(static_cast<std::size_t>(m * n));
+  for (auto& x : a) x = d(rng);
+  for (auto& x : b) x = d(rng);
+  for (auto& x : c1) x = d(rng);
+  auto c2 = c1;
+  blas::dgemm(Trans::kNoTrans, Trans::kTrans, m, n, k, -1.0, a.data(), m,
+              b.data(), n, 1.0, c1.data(), m);
+  blas::baseline::dgemm(Trans::kNoTrans, Trans::kTrans, m, n, k, -1.0,
+                        a.data(), m, b.data(), n, 1.0, c2.data(), m);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(double)));
+}
+
+TEST(GemmBitwise, InvariantUnderBlocking) {
+  // (mc, nc, kc) are pure scheduling parameters: any legal blocking —
+  // including degenerate ones that force the edge microkernel everywhere —
+  // must produce the same bits.
+  BlockingGuard guard;
+  const index_t m = 97, n = 65, k = 130;
+  auto a = randomVec(static_cast<std::size_t>(m * k), 41);
+  auto b = randomVec(static_cast<std::size_t>(k * n), 42);
+  auto c0 = randomVec(static_cast<std::size_t>(m * n), 43);
+
+  auto ref = c0;
+  blas::setGemmBlocking(blas::GemmBlocking{});
+  blas::sgemm(Trans::kNoTrans, Trans::kNoTrans, m, n, k, -1.0f, a.data(), m,
+              b.data(), k, 1.0f, ref.data(), m);
+
+  for (blas::GemmBlocking bl :
+       {blas::GemmBlocking{8, 6, 16}, blas::GemmBlocking{8, 6, 1},
+        blas::GemmBlocking{64, 96, 64}, blas::GemmBlocking{256, 480, 512},
+        blas::GemmBlocking{16, 12, 37}}) {
+    blas::setGemmBlocking(bl);
+    auto c = c0;
+    blas::sgemm(Trans::kNoTrans, Trans::kNoTrans, m, n, k, -1.0f, a.data(),
+                m, b.data(), k, 1.0f, c.data(), m);
+    EXPECT_EQ(0, std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)))
+        << "mc=" << bl.mc << " nc=" << bl.nc << " kc=" << bl.kc;
+  }
+}
+
+TEST(GemmBitwise, InvariantUnderThreadCount) {
+  const index_t m = 120, n = 90, k = 200;
+  auto af = randomVec(static_cast<std::size_t>(m * k), 51);
+  auto bf = randomVec(static_cast<std::size_t>(n * k), 52);
+  std::vector<half16> a(af.size()), b(bf.size());
+  for (std::size_t i = 0; i < af.size(); ++i) a[i] = half16(af[i]);
+  for (std::size_t i = 0; i < bf.size(); ++i) b[i] = half16(bf[i]);
+  auto c0 = randomVec(static_cast<std::size_t>(m * n), 53);
+
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  auto c1 = c0;
+  auto c2 = c0;
+  blas::gemmMixed(Trans::kNoTrans, Trans::kTrans, m, n, k, -1.0f, a.data(),
+                  m, b.data(), n, 1.0f, c1.data(), m, &serial);
+  blas::gemmMixed(Trans::kNoTrans, Trans::kTrans, m, n, k, -1.0f, a.data(),
+                  m, b.data(), n, 1.0f, c2.data(), m, &wide);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
 }
 
 TEST(GemmMixed, InputsAreRoundedToHalfExactly) {

@@ -3,9 +3,12 @@
 // mixed-precision benchmark, so this module is tested exhaustively.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "fp16/half.h"
 
@@ -111,6 +114,133 @@ TEST(Half, LimitsConstants) {
   EXPECT_EQ(half16(half16::maxFinite()).toFloat(), 65504.0f);
   EXPECT_EQ(half16(half16::minNormal()).bits(), 0x0400u);
   EXPECT_FLOAT_EQ(half16::epsilonUnit(), std::ldexp(1.0f, -11));
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive conversion checks. binary16 has only 2^16 encodings, so the
+// decode path can be verified for every value, and the encode path can be
+// verified against a table-driven nearest-even oracle that shares no code
+// with the implementation.
+// ---------------------------------------------------------------------------
+
+TEST(HalfExhaustive, EveryEncodingRoundTripsExactly) {
+  long nans = 0;
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto b16 = static_cast<std::uint16_t>(bits);
+    const half16 h = half16::fromBits(b16);
+    const float f = h.toFloat();
+    const std::uint16_t back = half16::fromFloat(f);
+    if (h.isNan()) {
+      // Every NaN payload canonicalizes to the quiet NaN with the sign
+      // preserved — the one fixed point of the NaN encoding class.
+      const std::uint16_t canonical =
+          static_cast<std::uint16_t>((b16 & 0x8000u) | 0x7E00u);
+      EXPECT_EQ(back, canonical) << "bits=" << bits;
+      ++nans;
+    } else {
+      EXPECT_EQ(back, b16) << "bits=" << bits;
+      // Widening must agree with the IEEE value class.
+      EXPECT_EQ(std::isinf(f), h.isInf()) << "bits=" << bits;
+    }
+  }
+  // 2 * (2^10 - 1) NaN payloads exist; make sure we actually walked them.
+  EXPECT_EQ(nans, 2 * 1023);
+}
+
+namespace {
+
+/// All non-negative finite binary16 values in increasing order, as
+/// (value, encoding) pairs, followed by one +inf sentinel standing in for
+/// "the next representable value above maxFinite" at 2^16. Doubles hold
+/// every entry and every neighbour midpoint exactly (multiples of 2^-24
+/// below 2^17), so the oracle's compares are exact.
+std::vector<std::pair<double, std::uint16_t>> positiveHalfTable() {
+  std::vector<std::pair<double, std::uint16_t>> table;
+  table.reserve(0x7C00 + 1);
+  for (std::uint32_t bits = 0; bits < 0x7C00u; ++bits) {
+    const auto b16 = static_cast<std::uint16_t>(bits);
+    table.emplace_back(
+        static_cast<double>(half16::fromBits(b16).toFloat()), b16);
+  }
+  table.emplace_back(65536.0, static_cast<std::uint16_t>(0x7C00u));
+  // Encodings of positive finite halves are already value-ordered, but the
+  // oracle must not depend on that implementation fact.
+  std::sort(table.begin(), table.end());
+  return table;
+}
+
+/// Table-driven round-to-nearest-even reference for any finite float.
+std::uint16_t nearestEvenOracle(
+    const std::vector<std::pair<double, std::uint16_t>>& table, float f) {
+  const std::uint16_t sign = std::signbit(f) ? 0x8000u : 0x0000u;
+  const double mag = std::fabs(static_cast<double>(f));
+  if (mag >= table.back().first) {
+    return static_cast<std::uint16_t>(sign | 0x7C00u);  // beyond the grid
+  }
+  auto hi = std::upper_bound(
+      table.begin(), table.end(), mag,
+      [](double v, const auto& entry) { return v < entry.first; });
+  // mag < table.back() and mag >= 0 == table.front(): hi is interior.
+  auto lo = hi - 1;
+  const double dLo = mag - lo->first;
+  const double dHi = hi->first - mag;
+  std::uint16_t mantissaBits;
+  if (dLo < dHi) {
+    mantissaBits = lo->second;
+  } else if (dHi < dLo) {
+    mantissaBits = hi->second;
+  } else {
+    // Exact tie: pick the encoding with the even low mantissa bit.
+    mantissaBits = (lo->second & 1u) == 0 ? lo->second : hi->second;
+  }
+  return static_cast<std::uint16_t>(sign | mantissaBits);
+}
+
+}  // namespace
+
+TEST(HalfExhaustive, EncodeMatchesNearestEvenOracle) {
+  const auto table = positiveHalfTable();
+
+  auto check = [&](float f) {
+    if (!std::isfinite(f)) {
+      return;
+    }
+    const std::uint16_t expected = nearestEvenOracle(table, f);
+    EXPECT_EQ(half16::fromFloat(f), expected) << "f=" << f;
+    EXPECT_EQ(half16::fromFloat(-f),
+              static_cast<std::uint16_t>(expected ^ 0x8000u))
+        << "f=" << -f;
+  };
+
+  // Every exact half value, every neighbour midpoint (the ties-to-even
+  // cases), and points just off each midpoint in both directions.
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
+    check(static_cast<float>(table[i].first));
+    const double mid = (table[i].first + table[i + 1].first) / 2.0;
+    const auto fMid = static_cast<float>(mid);
+    check(fMid);
+    check(std::nextafter(fMid, 0.0f));
+    check(std::nextafter(fMid, 1e30f));
+  }
+
+  // Overflow boundary: 65520 = midpoint(65504, "65536") ties up to inf.
+  EXPECT_EQ(half16::fromFloat(65520.0f), 0x7C00u);
+  EXPECT_EQ(half16::fromFloat(std::nextafter(65520.0f, 0.0f)), 0x7BFFu);
+  EXPECT_EQ(half16::fromFloat(-65520.0f), 0xFC00u);
+
+  // Underflow boundary: half the smallest subnormal ties down to zero.
+  const float minSub = 5.9604644775390625e-08f;  // 2^-24
+  EXPECT_EQ(half16::fromFloat(minSub / 2.0f), 0x0000u);
+  EXPECT_EQ(half16::fromFloat(std::nextafter(minSub / 2.0f, 1.0f)), 0x0001u);
+  EXPECT_EQ(half16::fromFloat(-minSub / 2.0f), 0x8000u);
+
+  // A deterministic pseudo-random sweep of float bit patterns across the
+  // whole finite range (LCG over the 32-bit encodings).
+  std::uint32_t s = 0x9E3779B9u;
+  for (int i = 0; i < 200000; ++i) {
+    s = s * 1664525u + 1013904223u;
+    check(std::bit_cast<float>(s & 0x7FFFFFFFu));  // sign covered in check()
+  }
 }
 
 /// Casting a panel whose entries are bounded by 1 (the L panel after the

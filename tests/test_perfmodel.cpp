@@ -3,6 +3,10 @@
 // selection, LDA pathology, GETRF-on-the-critical-path behaviour).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "perfmodel/autotune.h"
 #include "perfmodel/kernel_model.h"
 #include "perfmodel/param_search.h"
 #include "perfmodel/runtime_model.h"
@@ -174,6 +178,101 @@ TEST(ParamSearch, AdmissibilityBoundsBlockSizeBothWays) {
   EXPECT_FALSE(r.entries[2].admissible) << "B=4096: GETRF over 5% of GEMM";
   EXPECT_GT(r.entries[2].getrfOverGemm, 0.05);
   EXPECT_LT(r.entries[1].getrfOverGemm, 0.05);
+}
+
+TEST(KernelModelCalibrate, MeasuredCurvesReplaceAnalyticOnes) {
+  KernelModel m(MachineKind::kFrontier);
+  EXPECT_FALSE(m.calibrated());
+
+  MeasuredKernelCurves curves;
+  // Deliberately unsorted: calibrate() must sort by size.
+  curves.gemm = {{1024.0, 40e9}, {128.0, 4e9}, {512.0, 20e9}};
+  curves.getrf = {{256.0, 2e9}, {64.0, 0.5e9}};
+  m.calibrate(curves);
+  ASSERT_TRUE(m.calibrated());
+
+  // Exact sample points come back verbatim (gemm keys on cbrt(m*n*k)).
+  EXPECT_DOUBLE_EQ(m.gemmRate(128.0, 128.0, 128.0), 4e9);
+  EXPECT_DOUBLE_EQ(m.gemmRate(1024.0, 1024.0, 1024.0), 40e9);
+  EXPECT_DOUBLE_EQ(m.getrfRate(64.0), 0.5e9);
+
+  // Clamped outside the measured range, monotone-bounded inside it.
+  EXPECT_DOUBLE_EQ(m.gemmRate(16.0, 16.0, 16.0), 4e9);
+  EXPECT_DOUBLE_EQ(m.gemmRate(8192.0, 8192.0, 8192.0), 40e9);
+  const double mid = m.gemmRate(256.0, 256.0, 256.0);
+  EXPECT_GT(mid, 4e9);
+  EXPECT_LT(mid, 20e9);
+
+  // The trsm curve was left empty: that kernel keeps its analytic rate.
+  const KernelModel analytic(MachineKind::kFrontier);
+  EXPECT_DOUBLE_EQ(m.trsmRate(512.0, 4096.0), analytic.trsmRate(512.0, 4096.0));
+
+  // Calibrated rates ignore the vendor LDA pathology: the measurement IS
+  // the ground truth for this host.
+  EXPECT_DOUBLE_EQ(m.gemmRate(512.0, 512.0, 512.0, 122880),
+                   m.gemmRate(512.0, 512.0, 512.0, 0));
+}
+
+TEST(Autotune, SweepInstallsABlockingAndMeasuresRates) {
+  ThreadPool pool(2);
+  const blas::GemmBlocking before = blas::gemmBlocking();
+  const GemmTuneResult r = autotuneGemmBlocking(96, &pool, 1);
+  EXPECT_EQ(r.problemSize, 96);
+  EXPECT_EQ(r.candidatesTried, 27);
+  EXPECT_GT(r.gflops, 0.0);
+  EXPECT_GE(r.gflops, r.baseline);
+  // The winner is installed process-wide.
+  EXPECT_EQ(blas::gemmBlocking().mc, r.blocking.mc);
+  EXPECT_EQ(blas::gemmBlocking().nc, r.blocking.nc);
+  EXPECT_EQ(blas::gemmBlocking().kc, r.blocking.kc);
+  blas::setGemmBlocking(before);
+}
+
+TEST(Autotune, MeasuredCurvesFeedCalibration) {
+  ThreadPool pool(2);
+  const MeasuredKernelCurves curves = measureKernelCurves({32, 64}, &pool, 1);
+  ASSERT_EQ(curves.gemm.size(), 2u);
+  ASSERT_EQ(curves.getrf.size(), 2u);
+  ASSERT_EQ(curves.trsm.size(), 2u);
+  for (const auto& vec : {curves.gemm, curves.getrf, curves.trsm}) {
+    for (const auto& s : vec) {
+      EXPECT_GT(s.rate, 0.0);
+    }
+  }
+  KernelModel m(MachineKind::kSummit);
+  m.calibrate(curves);
+  EXPECT_TRUE(m.calibrated());
+  EXPECT_DOUBLE_EQ(m.gemmRate(32.0, 32.0, 32.0), curves.gemm[0].rate);
+}
+
+TEST(Autotune, TuneTableRoundTripsThroughDisk) {
+  GemmTuneResult tune;
+  tune.blocking = blas::GemmBlocking{64, 96, 128};
+  tune.gflops = 12.5;
+  MeasuredKernelCurves curves;
+  curves.gemm = {{64.0, 1e9}, {128.0, 2e9}};
+  curves.getrf = {{64.0, 3e8}};
+  curves.trsm = {{64.0, 5e8}};
+
+  const std::string path =
+      ::testing::TempDir() + "hplmxp_tune_table_test.txt";
+  ASSERT_TRUE(saveTuneTable(path, tune, curves));
+
+  GemmTuneResult loadedTune;
+  MeasuredKernelCurves loadedCurves;
+  ASSERT_TRUE(loadTuneTable(path, &loadedTune, &loadedCurves));
+  EXPECT_EQ(loadedTune.blocking.mc, 64);
+  EXPECT_EQ(loadedTune.blocking.nc, 96);
+  EXPECT_EQ(loadedTune.blocking.kc, 128);
+  EXPECT_DOUBLE_EQ(loadedTune.gflops, 12.5);
+  ASSERT_EQ(loadedCurves.gemm.size(), 2u);
+  EXPECT_DOUBLE_EQ(loadedCurves.gemm[1].rate, 2e9);
+  ASSERT_EQ(loadedCurves.getrf.size(), 1u);
+  ASSERT_EQ(loadedCurves.trsm.size(), 1u);
+  EXPECT_DOUBLE_EQ(loadedCurves.trsm[0].size, 64.0);
+
+  EXPECT_FALSE(loadTuneTable(path + ".missing", nullptr, nullptr));
+  std::remove(path.c_str());
 }
 
 TEST(ParamSearch, LocalSizePrefers119808Over122880) {

@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/buffer.h"
 #include "util/logging.h"
 #include "util/common.h"
@@ -92,6 +94,147 @@ TEST(ThreadPool, NestedUseFromRankedThreads) {
   for (long s : sums) {
     EXPECT_EQ(s, 499 * 500 / 2);
   }
+}
+
+TEST(ThreadPool, ChunkedCoversRangeWithDisjointChunks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1537);
+  std::atomic<int> calls{0};
+  pool.parallelForChunked(
+      0, 1537,
+      [&](index_t lo, index_t hi) {
+        EXPECT_LT(lo, hi);
+        calls.fetch_add(1);
+        for (index_t i = lo; i < hi; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      },
+      7);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(calls.load(), 7);
+}
+
+TEST(ThreadPool, ChunkedClampsChunksToRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  // 3 elements, 100 requested chunks: one single-element chunk each.
+  pool.parallelForChunked(
+      10, 13,
+      [&](index_t lo, index_t hi) {
+        EXPECT_EQ(hi, lo + 1);
+        calls.fetch_add(1);
+      },
+      100);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ChunkedExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallelForChunked(0, 64,
+                                       [](index_t lo, index_t hi) {
+                                         if (lo <= 37 && 37 < hi) {
+                                           throw CheckError("boom");
+                                         }
+                                       },
+                                       16),
+               CheckError);
+  std::atomic<int> count{0};
+  pool.parallelForChunked(0, 10,
+                          [&](index_t lo, index_t hi) {
+                            count.fetch_add(static_cast<int>(hi - lo));
+                          });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ManyConcurrentChunkedLoopsFromRankedThreads) {
+  // Saturates the fixed job-slot table from several driver threads at
+  // once: slot exhaustion must degrade to caller-runs-alone, never lose
+  // or duplicate a chunk.
+  ThreadPool pool(2);
+  std::vector<std::thread> threads;
+  std::vector<long> sums(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 50; ++rep) {
+        std::atomic<long> sum{0};
+        pool.parallelForChunked(0, 300, [&](index_t lo, index_t hi) {
+          long local = 0;
+          for (index_t i = lo; i < hi; ++i) {
+            local += i;
+          }
+          sum.fetch_add(local);
+        });
+        HPLMXP_CHECK(sum.load() == 299L * 300L / 2);
+      }
+      sums[static_cast<std::size_t>(t)] = 1;
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (long s : sums) {
+    EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(ThreadPool, ScratchLeaseReusesOneArenaSequentially) {
+  ThreadPool pool(2);
+  {
+    auto lease = pool.scratch();
+    lease.arena().reserve(1 << 12);
+    EXPECT_GE(lease.arena().capacity(), std::size_t{1} << 12);
+  }
+  EXPECT_EQ(pool.scratchArenaCount(), 1u);
+  {
+    auto lease = pool.scratch();
+    // Same arena comes back with its capacity intact.
+    EXPECT_GE(lease.arena().capacity(), std::size_t{1} << 12);
+  }
+  EXPECT_EQ(pool.scratchArenaCount(), 1u);
+  // Overlapping leases get distinct arenas.
+  {
+    auto a = pool.scratch();
+    auto b = pool.scratch();
+    EXPECT_NE(&a.arena(), &b.arena());
+  }
+  EXPECT_EQ(pool.scratchArenaCount(), 2u);
+}
+
+TEST(Arena, AlignedBumpAllocationAndReset) {
+  Arena arena;
+  arena.reserve(1 << 10);
+  const std::size_t cap = arena.capacity();
+  float* f = arena.alloc<float>(10);
+  double* d = arena.alloc<double>(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % 64, 0u);
+  f[9] = 1.0f;
+  d[9] = 2.0;
+  EXPECT_GE(arena.used(), 10 * sizeof(float) + 10 * sizeof(double));
+
+  // reserve() below capacity resets the cursor without reallocating.
+  arena.reserve(16);
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.alloc<float>(10), f);  // same storage handed out again
+
+  // Exhausting the reservation is a hard error, not a silent grow: the
+  // hot loop must never allocate mid-cycle.
+  arena.reset();
+  EXPECT_THROW(arena.alloc<std::byte>(arena.capacity() + 64), CheckError);
+}
+
+TEST(Arena, GrowthCounterTracksReallocations) {
+  Arena arena;
+  const long long g0 = arena.growths();
+  arena.reserve(1 << 8);
+  EXPECT_EQ(arena.growths(), g0 + 1);
+  arena.reserve(1 << 8);  // fits: no growth
+  EXPECT_EQ(arena.growths(), g0 + 1);
+  arena.reserve(arena.capacity() * 2);
+  EXPECT_EQ(arena.growths(), g0 + 2);
 }
 
 TEST(Stats, SummaryAndPercentile) {
