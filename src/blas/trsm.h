@@ -29,6 +29,25 @@ void dtrsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, double alpha,
            const double* a, index_t lda, double* b, index_t ldb,
            ThreadPool* pool = nullptr);
 
+/// Mixed-precision TRSM over the whole n x n factor: FP32 triangular
+/// factor, FP64 right-hand sides and accumulation — the multi-RHS
+/// analogue of strsvMixed (trsv.h) used by batched iterative refinement.
+/// X is n x nrhs column-major with leading dimension ldx; op(A) is
+/// NoTrans. The solve is blocked over kStripe-wide stripes of the factor
+/// (the stripe's triangular block and its sub-panel are reused across all
+/// right-hand sides, which is where the batching win over per-vector TRSV
+/// comes from) and parallelized over right-hand-side columns.
+///
+/// Bitwise contract: every column of X receives exactly the FP operation
+/// sequence strsvMixed would apply to it in isolation — the blocking only
+/// splits each column-j axpy of the column-oriented substitution into an
+/// in-stripe range and a below/above-stripe range, preserving the per-
+/// element update order — so batched refinement trajectories are bit-for-
+/// bit identical to single-RHS ones (tests/test_solve_many.cpp).
+void strsmMixed(Uplo uplo, Diag diag, index_t n, index_t nrhs, const float* a,
+                index_t lda, double* x, index_t ldx,
+                ThreadPool* pool = nullptr);
+
 /// Full-surface TRSM with an op(A) transpose flag (the complete BLAS
 /// signature; op(A)=A^T solves arise in left-looking LU and least-squares
 /// variants). The four-argument overloads above are the NoTrans shorthand.

@@ -4,11 +4,16 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "blas/scan.h"
 #include "core/hpl_dist.h"
 #include "core/hplai.h"
+#include "core/single_solver.h"
 #include "core/verify.h"
+#include "serve/engine.h"
+#include "serve/trace_io.h"
 #include "device/shim.h"
 #include "machine/variability.h"
 #include "perfmodel/param_search.h"
@@ -444,6 +449,116 @@ int cmdChaos(const Options& raw) {
   return contained ? 0 : 1;
 }
 
+int cmdServe(const Options& raw) {
+  const Options opts = layered(raw);
+
+  serve::ServeConfig scfg;
+  scfg.cacheBytes =
+      static_cast<std::size_t>(opts.getInt("serve.cache-mb", 64)) << 20;
+  scfg.queueDepth = opts.getInt("serve.queue-depth", 64);
+  scfg.maxBatch = opts.getInt("serve.batch", 8);
+  scfg.maxBatchDelaySeconds =
+      opts.getDouble("serve.batch-delay-us", 1000.0) * 1e-6;
+  scfg.defaultDeadlineSeconds =
+      opts.getDouble("serve.deadline-ms", 0.0) * 1e-3;
+  scfg.workers = opts.getInt("serve.workers", 1);
+  scfg.maxRetries = opts.getInt("serve.retries", 2);
+  scfg.maxIrIterations = opts.getInt("max-ir", 50);
+  scfg.vendor = opts.getString("vendor", "amd") == "nvidia" ? Vendor::kNvidia
+                                                            : Vendor::kAmd;
+  const std::string chaosName = opts.getString("serve.chaos", "none");
+  if (chaosName != "none") {
+    const auto chaosSeed =
+        static_cast<std::uint64_t>(opts.getInt("serve.chaos-seed", 7));
+    scfg.chaos = std::make_shared<simmpi::FaultInjector>(
+        simmpi::faultScenario(chaosName, chaosSeed, scfg.workers),
+        scfg.workers);
+  }
+
+  const std::string tracePath = opts.getString("trace", "");
+  const serve::RequestTrace trace =
+      tracePath.empty()
+          ? serve::makeSyntheticTrace(
+                opts.getInt("requests", 64), opts.getInt("keys", 4),
+                opts.getDouble("gap-ms", 1.0), opts.getInt("n", 64),
+                opts.getInt("b", 16),
+                static_cast<std::uint64_t>(opts.getInt("seed", 42)))
+          : serve::loadRequestTrace(tracePath);
+  const double speedup = opts.getDouble("speedup", 1.0);
+  HPLMXP_REQUIRE(speedup > 0.0, "--speedup must be positive");
+  const std::string jsonPath = opts.getString("json", "BENCH_serve.json");
+  const index_t verifyCount = opts.getInt("verify", 0);
+  warnUnused(opts);
+
+  std::printf("hplmxp serve: trace=%s requests=%zu workers=%lld batch=%lld "
+              "queue=%lld chaos=%s\n",
+              trace.name.c_str(), trace.requests.size(),
+              (long long)scfg.workers, (long long)scfg.maxBatch,
+              (long long)scfg.queueDepth, chaosName.c_str());
+
+  const Vendor vendor = scfg.vendor;
+  const index_t maxIr = scfg.maxIrIterations;
+  serve::ServeEngine engine(std::move(scfg));
+
+  // Open-loop replay: arrivals follow the trace clock (divided by
+  // --speedup), regardless of how far the engine has gotten.
+  std::vector<std::pair<serve::SolveRequest, serve::ServeEngine::HandlePtr>>
+      handles;
+  handles.reserve(trace.requests.size());
+  Timer replay;
+  for (const serve::TraceRequest& tr : trace.requests) {
+    const double at = tr.atMs * 1e-3 / speedup;
+    const double nowS = replay.seconds();
+    if (at > nowS) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(at - nowS));
+    }
+    serve::SolveRequest req;
+    req.key = {tr.n, tr.b, tr.seed, tr.pr, tr.pc,
+               HplaiConfig::Scheduler::kBulk};
+    req.rhsSeed = tr.rhsSeed;
+    req.deadlineSeconds = tr.deadlineMs * 1e-3;
+    handles.emplace_back(req, engine.submit(req));
+  }
+  engine.drain();
+
+  serve::ServeReport report = engine.report();
+  report.trace = trace.name;
+  report.toTable().print();
+  serve::writeReportFile(jsonPath, report.toJson());
+  std::printf("wrote %s\n", jsonPath.c_str());
+
+  // Bitwise spot-check: completed requests must match an independent
+  // factor + single-RHS refinement of the same (key, rhs seed).
+  if (verifyCount > 0) {
+    index_t checked = 0;
+    index_t mismatched = 0;
+    for (const auto& [req, handle] : handles) {
+      if (checked >= verifyCount) {
+        break;
+      }
+      const serve::RequestOutcome& o = handle->wait();
+      if (o.status != serve::RequestStatus::kCompleted) {
+        continue;
+      }
+      const ProblemGenerator gen(req.key.seed, req.key.n);
+      const Factorization f = factorMixedSingle(gen, req.key.b, vendor);
+      std::vector<std::vector<double>> xs;
+      solveManyMixedSingle(f, gen, {req.rhsSeed}, xs, maxIr);
+      if (xs[0] != handle->solution()) {
+        ++mismatched;
+      }
+      ++checked;
+    }
+    std::printf("verify: %lld served solutions re-checked bitwise, "
+                "%lld mismatched\n",
+                (long long)checked, (long long)mismatched);
+    if (mismatched > 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int cmdSpecs(const Options& raw) {
   warnUnused(raw);
   for (MachineKind kind : {MachineKind::kSummit, MachineKind::kFrontier}) {
@@ -486,6 +601,14 @@ std::string usage() {
       "            --n --b --pr --pc --seed --fault-seed --timeout-ms\n"
       "            --retries --backoff-us --guard on|off --ir-strikes\n"
       "            --detect-slow on|off --slow-strikes --min-lag)\n"
+      "  serve    solver-as-a-service: replay a request trace through the\n"
+      "           factor cache + batching engine and report latency\n"
+      "           (--trace FILE | --requests --keys --gap-ms --n --b --seed\n"
+      "            --speedup X --json FILE --verify N --max-ir\n"
+      "            --serve.cache-mb --serve.queue-depth --serve.batch\n"
+      "            --serve.batch-delay-us --serve.deadline-ms\n"
+      "            --serve.workers --serve.retries\n"
+      "            --serve.chaos none|delay|transient --serve.chaos-seed)\n"
       "  specs    print machine specs and the BLAS dispatch map\n"
       "  help     this text\n";
 }
@@ -516,6 +639,9 @@ int dispatch(const std::vector<std::string>& args) {
     }
     if (cmd == "chaos") {
       return cmdChaos(opts);
+    }
+    if (cmd == "serve") {
+      return cmdServe(opts);
     }
     if (cmd == "specs") {
       return cmdSpecs(opts);

@@ -16,6 +16,8 @@ namespace hplmxp::cli {
 ///   tune     — block-size / local-size parameter search
 ///   scan     — slow-node mini-benchmark scan of a simulated fleet
 ///   chaos    — distributed solve under a named fault-injection scenario
+///   serve    — solver-as-a-service: replay a request trace through the
+///              factor cache + batching engine and report latency
 ///   specs    — print the machine specs (Table I) and shim map (Table II)
 ///   help     — usage
 int dispatch(const std::vector<std::string>& args);
@@ -30,6 +32,7 @@ int cmdProject(const Options& opts);
 int cmdTune(const Options& opts);
 int cmdScan(const Options& opts);
 int cmdChaos(const Options& opts);
+int cmdServe(const Options& opts);
 int cmdSpecs(const Options& opts);
 
 }  // namespace hplmxp::cli

@@ -118,6 +118,15 @@ struct HplaiConfig {
   return s == HplaiConfig::Scheduler::kDataflow ? "dataflow" : "bulk";
 }
 
+/// Scheduler a run should actually use given the pool's lane count: the
+/// dataflow engine needs at least two execution lanes (the caller plus one
+/// worker it can borrow) to overlap anything — on a single-lane pool its
+/// task graph degenerates to bulk order while still paying graph-build
+/// overhead (observed in PR 2's breakdown bench), so requests for dataflow
+/// fall back to bulk there. The override is logged once per process.
+[[nodiscard]] HplaiConfig::Scheduler effectiveScheduler(
+    HplaiConfig::Scheduler requested, index_t poolLanes);
+
 /// Parses "bulk" / "dataflow"; throws CheckError on anything else.
 [[nodiscard]] inline HplaiConfig::Scheduler schedulerFromString(
     const std::string& s) {

@@ -1,5 +1,6 @@
 #include "core/hplai.h"
 
+#include <atomic>
 #include <optional>
 
 #include "blas/cast.h"
@@ -12,12 +13,30 @@
 #include "simmpi/runtime.h"
 #include "util/buffer.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace hplmxp {
 
-HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& config,
+HplaiConfig::Scheduler effectiveScheduler(HplaiConfig::Scheduler requested,
+                                          index_t poolLanes) {
+  if (requested == HplaiConfig::Scheduler::kDataflow && poolLanes < 2) {
+    static std::atomic<bool> logged{false};
+    if (!logged.exchange(true, std::memory_order_relaxed)) {
+      logWarn("scheduler=dataflow needs >= 2 ThreadPool lanes to overlap "
+              "anything (have ",
+              poolLanes, "); falling back to bulk");
+    }
+    return HplaiConfig::Scheduler::kBulk;
+  }
+  return requested;
+}
+
+HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& configIn,
                            std::vector<double>* solutionOut) {
+  HplaiConfig config = configIn;
+  config.scheduler = effectiveScheduler(configIn.scheduler,
+                                        ThreadPool::global().laneCount());
   config.validate();
   HPLMXP_REQUIRE(config.n / config.b >= std::max(config.pr, config.pc),
                  "need at least one block row/col per grid row/col");

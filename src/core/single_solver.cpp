@@ -5,7 +5,6 @@
 
 #include "blas/blas.h"
 #include "device/shim.h"
-#include "util/buffer.h"
 #include "util/timer.h"
 
 namespace hplmxp {
@@ -43,71 +42,181 @@ void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
   }
 }
 
+Factorization factorMixedSingle(const ProblemGenerator& gen, index_t b,
+                                Vendor vendor) {
+  const index_t n = gen.n();
+  Factorization f;
+  f.n = n;
+  f.b = b;
+  f.seed = gen.seed();
+  f.vendor = vendor;
+  f.lu.allocate(n * n);
+  gen.fillTile<float>(0, 0, n, n, f.lu.data(), n);
+
+  Timer timer;
+  factorMixedSingle(n, b, f.lu.data(), n, vendor);
+  f.factorSeconds = timer.seconds();
+  f.diagInfNorm = gen.diagInfNorm();
+  return f;
+}
+
+SolveManyResult solveManyMixedSingle(const Factorization& f,
+                                     const ProblemGenerator& gen,
+                                     const std::vector<std::uint64_t>& rhsSeeds,
+                                     std::vector<std::vector<double>>& xs,
+                                     index_t maxIrIterations,
+                                     ThreadPool* pool) {
+  const index_t n = f.n;
+  HPLMXP_REQUIRE(gen.n() == n, "factorization / generator order mismatch");
+  HPLMXP_REQUIRE(gen.seed() == f.seed,
+                 "factorization was built from a different problem seed");
+  const index_t k = static_cast<index_t>(rhsSeeds.size());
+  SolveManyResult result;
+  result.n = n;
+  result.b = f.b;
+  result.k = k;
+  result.columns.resize(rhsSeeds.size());
+  xs.assign(rhsSeeds.size(), {});
+  if (k == 0) {
+    return result;
+  }
+
+  Timer timer;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  const double diagInf = f.diagInfNorm;
+
+  // diag(A) once for every column's Jacobi-style initial guess — the same
+  // per-element arithmetic as the single-RHS path, amortized across the
+  // batch (entry() is an O(log N) LCG jump per element).
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    diag[static_cast<std::size_t>(i)] = gen.entry(i, i);
+  }
+
+  // Per-column rhs, solution, residual, and scale. Column c's rhs is the
+  // rhs stream of a generator seeded with rhsSeeds[c] over the same order.
+  std::vector<std::vector<double>> bvecs(rhsSeeds.size());
+  std::vector<double> bInf(rhsSeeds.size(), 0.0);
+  std::vector<std::vector<double>> r(rhsSeeds.size());
+  for (std::size_t c = 0; c < rhsSeeds.size(); ++c) {
+    const ProblemGenerator rhsGen(rhsSeeds[c], n);
+    bvecs[c].resize(static_cast<std::size_t>(n));
+    rhsGen.fillRhs<double>(0, n, bvecs[c].data());
+    bInf[c] = rhsGen.rhsInfNorm();
+    result.columns[c].rhsSeed = rhsSeeds[c];
+    xs[c].assign(static_cast<std::size_t>(n), 0.0);
+    r[c].resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      xs[c][static_cast<std::size_t>(i)] =
+          bvecs[c][static_cast<std::size_t>(i)] /
+          diag[static_cast<std::size_t>(i)];
+    }
+  }
+
+  std::vector<char> active(rhsSeeds.size(), 1);
+  index_t activeCount = k;
+  Buffer<double> arow(n);  // one regenerated FP64 row, shared by the batch
+  // Correction panel: active columns' residuals packed contiguously for
+  // the blocked strsmMixed solves.
+  Buffer<double> panel(n * k);
+  std::vector<std::size_t> panelCols(rhsSeeds.size());
+
+  for (index_t iter = 0; iter <= maxIrIterations && activeCount > 0;
+       ++iter) {
+    // r = b - A x with regenerated FP64 rows, each row shared across every
+    // still-active column (the batching win on the residual side).
+    std::vector<double> rInf(rhsSeeds.size(), 0.0);
+    std::vector<double> xInf(rhsSeeds.size(), 0.0);
+    for (index_t i = 0; i < n; ++i) {
+      gen.fillTile<double>(i, 0, 1, n, arow.data(), 1);
+      for (std::size_t c = 0; c < rhsSeeds.size(); ++c) {
+        if (!active[c]) {
+          continue;
+        }
+        double acc = bvecs[c][static_cast<std::size_t>(i)];
+        const double* xc = xs[c].data();
+        for (index_t j = 0; j < n; ++j) {
+          acc -= arow[j] * xc[static_cast<std::size_t>(j)];
+        }
+        r[c][static_cast<std::size_t>(i)] = acc;
+        rInf[c] = std::max(rInf[c], std::fabs(acc));
+        xInf[c] =
+            std::max(xInf[c], std::fabs(xc[static_cast<std::size_t>(i)]));
+      }
+    }
+    for (std::size_t c = 0; c < rhsSeeds.size(); ++c) {
+      if (!active[c]) {
+        continue;
+      }
+      SolveManyColumn& col = result.columns[c];
+      col.residualInf = rInf[c];
+      col.threshold = 8.0 * static_cast<double>(n) * kEps *
+                      (2.0 * diagInf * xInf[c] + bInf[c]);
+      col.residualHistory.push_back(rInf[c]);
+      if (rInf[c] < col.threshold) {
+        // Converged: freeze the column while its batch-mates iterate on.
+        col.converged = true;
+        active[c] = 0;
+        --activeCount;
+      }
+    }
+    if (iter == maxIrIterations || activeCount == 0) {
+      break;
+    }
+
+    // d = U^{-1} (L^{-1} r) for every active column at once: pack the
+    // residuals into a dense panel and run the blocked mixed TRSM pair.
+    index_t packed = 0;
+    for (std::size_t c = 0; c < rhsSeeds.size(); ++c) {
+      if (!active[c]) {
+        continue;
+      }
+      panelCols[static_cast<std::size_t>(packed)] = c;
+      double* dst = panel.data() + packed * n;
+      const double* src = r[c].data();
+      for (index_t i = 0; i < n; ++i) {
+        dst[i] = src[i];
+      }
+      ++packed;
+    }
+    blas::strsmMixed(blas::Uplo::kLower, blas::Diag::kUnit, n, packed,
+                     f.lu.data(), n, panel.data(), n, pool);
+    blas::strsmMixed(blas::Uplo::kUpper, blas::Diag::kNonUnit, n, packed,
+                     f.lu.data(), n, panel.data(), n, pool);
+    for (index_t p = 0; p < packed; ++p) {
+      const std::size_t c = panelCols[static_cast<std::size_t>(p)];
+      const double* d = panel.data() + p * n;
+      double* xc = xs[c].data();
+      for (index_t i = 0; i < n; ++i) {
+        xc[static_cast<std::size_t>(i)] += d[i];
+      }
+      ++result.columns[c].irIterations;
+    }
+  }
+  result.solveSeconds = timer.seconds();
+  return result;
+}
+
 SingleSolveResult solveMixedSingle(const ProblemGenerator& gen, index_t b,
                                    Vendor vendor, std::vector<double>& x,
                                    index_t maxIrIterations) {
-  const index_t n = gen.n();
+  // The single-RHS solve is the k=1 case of the batched engine: factor
+  // into a handle, then refine the generator's own rhs stream against it.
+  const Factorization f = factorMixedSingle(gen, b, vendor);
+  std::vector<std::vector<double>> xs;
+  const SolveManyResult many =
+      solveManyMixedSingle(f, gen, {gen.seed()}, xs, maxIrIterations);
+  x = std::move(xs[0]);
+
   SingleSolveResult result;
-  result.n = n;
+  result.n = f.n;
   result.b = b;
-
-  Buffer<float> a(n * n);
-  gen.fillTile<float>(0, 0, n, n, a.data(), n);
-
-  Timer timer;
-  factorMixedSingle(n, b, a.data(), n, vendor);
-  result.factorSeconds = timer.seconds();
-
-  timer.reset();
-  // Initial guess x = b / diag(A), then FP64 refinement.
-  x.assign(static_cast<std::size_t>(n), 0.0);
-  Buffer<double> bvec(n);
-  gen.fillRhs<double>(0, n, bvec.data());
-  for (index_t i = 0; i < n; ++i) {
-    x[static_cast<std::size_t>(i)] = bvec[i] / gen.entry(i, i);
-  }
-
-  const double diagInf = gen.diagInfNorm();
-  const double bInf = gen.rhsInfNorm();
-  constexpr double kEps = std::numeric_limits<double>::epsilon();
-
-  Buffer<double> arow(n);  // one regenerated FP64 row at a time
-  std::vector<double> r(static_cast<std::size_t>(n));
-  for (index_t iter = 0; iter <= maxIrIterations; ++iter) {
-    // r = b - A x with regenerated FP64 entries (row-wise tiles).
-    double rInf = 0.0;
-    double xInf = 0.0;
-    for (index_t i = 0; i < n; ++i) {
-      gen.fillTile<double>(i, 0, 1, n, arow.data(), 1);
-      double acc = bvec[i];
-      for (index_t j = 0; j < n; ++j) {
-        acc -= arow[j] * x[static_cast<std::size_t>(j)];
-      }
-      r[static_cast<std::size_t>(i)] = acc;
-      rInf = std::max(rInf, std::fabs(acc));
-      xInf = std::max(xInf, std::fabs(x[static_cast<std::size_t>(i)]));
-    }
-    result.residualInf = rInf;
-    result.threshold = 8.0 * static_cast<double>(n) * kEps *
-                       (2.0 * diagInf * xInf + bInf);
-    if (rInf < result.threshold) {
-      result.converged = true;
-      break;
-    }
-    if (iter == maxIrIterations) {
-      break;
-    }
-    // d = U^{-1} (L^{-1} r), FP32 factors with FP64 accumulation.
-    blas::strsvMixed(blas::Uplo::kLower, blas::Diag::kUnit, n, a.data(), n,
-                     r.data());
-    blas::strsvMixed(blas::Uplo::kUpper, blas::Diag::kNonUnit, n, a.data(), n,
-                     r.data());
-    for (index_t i = 0; i < n; ++i) {
-      x[static_cast<std::size_t>(i)] += r[static_cast<std::size_t>(i)];
-    }
-    ++result.irIterations;
-  }
-  result.irSeconds = timer.seconds();
+  result.factorSeconds = f.factorSeconds;
+  result.irSeconds = many.solveSeconds;
+  result.irIterations = many.columns[0].irIterations;
+  result.converged = many.columns[0].converged;
+  result.residualInf = many.columns[0].residualInf;
+  result.threshold = many.columns[0].threshold;
   return result;
 }
 

@@ -1,0 +1,65 @@
+// Coalescing policy: when should a worker stop waiting and form a batch?
+//
+// The Batcher trades a bounded coalescing delay for multi-RHS efficiency:
+// a freshly arrived key is held up to `maxBatchDelaySeconds` hoping that
+// compatible requests (same ProblemKey) arrive and can share the blocked
+// refinement; a full batch — or an aged one — dispatches immediately. The
+// policy is a pure function of queue state and the clock, so it is unit-
+// testable without threads.
+#pragma once
+
+#include "serve/request_queue.h"
+#include "util/common.h"
+
+namespace hplmxp::serve {
+
+struct BatchPolicy {
+  index_t maxBatch = 8;              // RHS columns per coalesced solve
+  double maxBatchDelaySeconds = 0.0; // how long to hold a partial batch
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatchPolicy policy) : policy_(policy) {
+    HPLMXP_REQUIRE(policy.maxBatch > 0, "batch size must be positive");
+    HPLMXP_REQUIRE(policy.maxBatchDelaySeconds >= 0.0,
+                   "batch delay must be non-negative");
+  }
+
+  /// What a worker should do given the queue and the current engine-clock
+  /// time.
+  struct Decision {
+    bool dispatch = false;     // take a batch now (key below)
+    double waitSeconds = 0.0;  // else: sleep at most this long (0 = idle)
+    ProblemKey key;
+  };
+
+  [[nodiscard]] Decision decide(const RequestQueue& queue,
+                                double nowSeconds) const {
+    Decision d;
+    double oldestSubmit = 0.0;
+    const ProblemKey* key = queue.oldestKey(&oldestSubmit);
+    if (key == nullptr) {
+      return d;  // idle — caller blocks on its condition variable
+    }
+    d.key = *key;
+    const double age = nowSeconds - oldestSubmit;
+    // Dispatch when the oldest key has a full batch, has aged past the
+    // coalescing window, or the queue is saturated (holding out for more
+    // batch-mates under backpressure only makes the tail worse).
+    if (queue.depth() >= policy_.maxBatch ||
+        age >= policy_.maxBatchDelaySeconds) {
+      d.dispatch = true;
+      return d;
+    }
+    d.waitSeconds = policy_.maxBatchDelaySeconds - age;
+    return d;
+  }
+
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+};
+
+}  // namespace hplmxp::serve

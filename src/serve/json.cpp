@@ -1,0 +1,276 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hplmxp::serve {
+
+namespace {
+
+[[noreturn]] void parseFail(std::size_t pos, const std::string& what) {
+  throw CheckError("json parse error at offset " + std::to_string(pos) +
+                   ": " + what);
+}
+
+}  // namespace
+
+/// Hand-rolled recursive-descent parser over the input string.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skipWs();
+    if (pos_ != text_.size()) {
+      parseFail(pos_, "trailing content after document");
+    }
+    return v;
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      parseFail(pos_, "unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      parseFail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    std::size_t i = 0;
+    while (lit[i] != '\0') {
+      if (pos_ + i >= text_.size() || text_[pos_ + i] != lit[i]) {
+        return false;
+      }
+      ++i;
+    }
+    pos_ += i;
+    return true;
+  }
+
+  JsonValue value() {
+    skipWs();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = string();
+        return v;
+      case 't':
+        if (!consumeLiteral("true")) {
+          parseFail(pos_, "bad literal");
+        }
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!consumeLiteral("false")) {
+          parseFail(pos_, "bad literal");
+        }
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!consumeLiteral("null")) {
+          parseFail(pos_, "bad literal");
+        }
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    expect('{');
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skipWs();
+      const std::string key = string();
+      skipWs();
+      expect(':');
+      v.object_[key] = value();
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    expect('[');
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(value());
+      skipWs();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        parseFail(pos_, "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        parseFail(pos_, "unterminated escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        default:
+          parseFail(pos_ - 1, "unsupported escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      parseFail(pos_, "expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      parseFail(start, "malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).run();
+}
+
+bool JsonValue::asBool() const {
+  HPLMXP_REQUIRE(type_ == Type::kBool, "json: expected a boolean");
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  HPLMXP_REQUIRE(type_ == Type::kNumber, "json: expected a number");
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  HPLMXP_REQUIRE(type_ == Type::kString, "json: expected a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::asArray() const {
+  HPLMXP_REQUIRE(type_ == Type::kArray, "json: expected an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::asObject() const {
+  HPLMXP_REQUIRE(type_ == Type::kObject, "json: expected an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  const auto& obj = asObject();
+  const auto it = obj.find(key);
+  HPLMXP_REQUIRE(it != obj.end(),
+                 ("json: missing required key '" + key + "'").c_str());
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  const auto& obj = asObject();
+  return obj.find(key) != obj.end();
+}
+
+double JsonValue::numberOr(const std::string& key, double fallback) const {
+  return has(key) ? get(key).asNumber() : fallback;
+}
+
+std::string JsonValue::stringOr(const std::string& key,
+                                const std::string& fallback) const {
+  return has(key) ? get(key).asString() : fallback;
+}
+
+std::string jsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace hplmxp::serve

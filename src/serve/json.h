@@ -1,0 +1,59 @@
+// Minimal JSON value + recursive-descent parser for the serving layer:
+// request traces in, latency/hit-rate reports out. Deliberately tiny — no
+// external dependency, only the subset the trace format uses (objects,
+// arrays, strings, numbers, booleans, null; no \uXXXX escapes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace hplmxp::serve {
+
+/// One parsed JSON value. A tagged struct rather than std::variant so the
+/// accessors can give precise CheckError messages on shape mismatches.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses `text` (the whole string must be one JSON document). Throws
+  /// CheckError with an offset-annotated message on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool isNull() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; throw CheckError when the value has another type.
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asNumber() const;
+  [[nodiscard]] const std::string& asString() const;
+  [[nodiscard]] const std::vector<JsonValue>& asArray() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& asObject() const;
+
+  /// Object field lookup. `get` throws when absent; the defaulted forms
+  /// return the fallback for absent keys (but still throw on type
+  /// mismatch, so a typo'd value never silently defaults).
+  [[nodiscard]] const JsonValue& get(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] double numberOr(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+[[nodiscard]] std::string jsonQuote(const std::string& s);
+
+}  // namespace hplmxp::serve

@@ -1,0 +1,80 @@
+#include "serve/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "serve/json.h"
+
+namespace hplmxp::serve {
+
+RequestTrace loadRequestTrace(const std::string& path) {
+  std::ifstream in(path);
+  HPLMXP_REQUIRE(in.good(), ("cannot open trace file: " + path).c_str());
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  const JsonValue doc = JsonValue::parse(text.str());
+  RequestTrace trace;
+  trace.name = doc.stringOr("name", path);
+
+  const JsonValue& requests = doc.get("requests");
+  for (const JsonValue& r : requests.asArray()) {
+    TraceRequest tr;
+    tr.atMs = r.numberOr("at_ms", 0.0);
+    tr.n = static_cast<index_t>(r.get("n").asNumber());
+    tr.b = static_cast<index_t>(r.get("b").asNumber());
+    tr.seed = static_cast<std::uint64_t>(r.get("seed").asNumber());
+    tr.rhsSeed = static_cast<std::uint64_t>(r.numberOr(
+        "rhs_seed", static_cast<double>(tr.seed)));
+    tr.deadlineMs = r.numberOr("deadline_ms", 0.0);
+    tr.pr = static_cast<index_t>(r.numberOr("pr", 1.0));
+    tr.pc = static_cast<index_t>(r.numberOr("pc", 1.0));
+    HPLMXP_REQUIRE(tr.n > 0 && tr.b > 0,
+                   "trace request needs positive n and b");
+    trace.requests.push_back(tr);
+  }
+  return trace;
+}
+
+std::string traceToJson(const RequestTrace& trace) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n  \"name\": " << jsonQuote(trace.name)
+     << ",\n  \"requests\": [\n";
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const TraceRequest& r = trace.requests[i];
+    os << "    {\"at_ms\": " << r.atMs << ", \"n\": " << r.n
+       << ", \"b\": " << r.b << ", \"seed\": " << r.seed
+       << ", \"rhs_seed\": " << r.rhsSeed
+       << ", \"deadline_ms\": " << r.deadlineMs;
+    if (r.pr != 1 || r.pc != 1) {
+      os << ", \"pr\": " << r.pr << ", \"pc\": " << r.pc;
+    }
+    os << "}" << (i + 1 < trace.requests.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+RequestTrace makeSyntheticTrace(index_t requests, index_t keys, double gapMs,
+                                index_t baseN, index_t baseB,
+                                std::uint64_t seed0) {
+  HPLMXP_REQUIRE(requests > 0, "synthetic trace needs >= 1 request");
+  HPLMXP_REQUIRE(keys > 0, "synthetic trace needs >= 1 key");
+  RequestTrace trace;
+  trace.name = "synthetic-" + std::to_string(requests) + "x" +
+               std::to_string(keys);
+  trace.requests.reserve(static_cast<std::size_t>(requests));
+  for (index_t i = 0; i < requests; ++i) {
+    TraceRequest r;
+    r.atMs = gapMs * static_cast<double>(i);
+    r.n = baseN;
+    r.b = baseB;
+    r.seed = seed0 + static_cast<std::uint64_t>(i % keys);
+    r.rhsSeed = seed0 + 1000 + static_cast<std::uint64_t>(i);
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace hplmxp::serve
