@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "blas/abft.h"
 #include "blas/blas.h"
 #include "blas/gemm_baseline.h"
 #include "device/shim.h"
@@ -117,6 +118,60 @@ int main(int argc, char** argv) {
   BlasShim shim(Vendor::kAmd, &pool);
   std::printf("active kernel config: %s\n", shim.kernelConfig().c_str());
 
+  // --- ABFT overhead: the same tuned GEMM wrapped in the trailing-update
+  // protection the factorization runs under abft.gemm (doc/ROBUSTNESS.md):
+  // FP64 row sums of C before, carry-invariant check after. O(n^2) next to
+  // the GEMM's O(n^3); the reliability story only holds if this stays
+  // cheap at scale.
+  std::vector<double> rowSums64(static_cast<std::size_t>(n));
+  const double protectedGf = bestGflops(flops, reps, [&] {
+    blas::abftRowSums64(n, n, c.data(), n, rowSums64.data());
+    blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kTrans, n, n, n,
+                    -1.0f, a.data(), n, b.data(), n, 1.0f, c.data(), n,
+                    &pool);
+    const blas::AbftGemmCheck chk = blas::abftGemmCarryCheck(
+        n, n, n, rowSums64.data(), a.data(), n, b.data(), n, c.data(), n);
+    HPLMXP_REQUIRE(chk.ok, "clean GEMM must pass the ABFT carry check");
+  });
+  const double abftOverheadPct = (tunedGf / protectedGf - 1.0) * 100.0;
+
+  // Panel checksum round-trip at the same N: checksum an N x 64 panel,
+  // flip one bit, and require detect-and-correct to restore it exactly —
+  // the measured record behind the "flip corrected under <10% overhead"
+  // acceptance line.
+  const index_t pb = std::min<index_t>(n, 64);
+  std::vector<half16> panel(a.begin(),
+                            a.begin() + static_cast<std::size_t>(n) * pb);
+  std::vector<float> rowSums(static_cast<std::size_t>(n));
+  std::vector<float> colSums(static_cast<std::size_t>(pb));
+  const double checksumSeconds = [&] {
+    Timer tm;
+    blas::abftChecksum(n, pb, panel.data(), n, rowSums.data(),
+                       colSums.data());
+    return tm.seconds();
+  }();
+  const std::size_t victim = static_cast<std::size_t>(n) * (pb / 2) + n / 3;
+  const std::uint16_t sentBits = panel[victim].bits();
+  panel[victim] = half16::fromBits(sentBits ^ (1u << 9));
+  const blas::AbftOutcome fix = blas::abftVerifyCorrect(
+      n, pb, panel.data(), n, rowSums.data(), colSums.data());
+  const bool flipCorrected =
+      fix.status == blas::AbftOutcome::Status::kCorrected &&
+      panel[victim].bits() == sentBits;
+  HPLMXP_REQUIRE(flipCorrected, "single panel bit flip must be corrected");
+
+  Table abft({"GEMM @ N", "plain GF/s", "ABFT-protected GF/s", "overhead",
+              "panel flip"});
+  abft.addRow({Table::num(static_cast<long long>(n)), Table::num(tunedGf, 2),
+               Table::num(protectedGf, 2),
+               Table::num(abftOverheadPct, 2) + "%",
+               flipCorrected ? "corrected" : "NOT corrected"});
+  std::printf("\n");
+  abft.print();
+  std::printf("panel checksum (%lldx%lld): %.3f ms\n",
+              static_cast<long long>(n), static_cast<long long>(pb),
+              checksumSeconds * 1e3);
+
   // --- Measured rate ladders feeding the performance model.
   std::vector<index_t> sizes{96, 192};
   if (sweepN > 192) {
@@ -176,6 +231,13 @@ int main(int argc, char** argv) {
                static_cast<long long>(tune.blocking.kc),
                static_cast<long long>(sweepN), tune.gflops);
   std::fprintf(f, "  \"calibrated_model_gflops_at_n\": %.3f,\n", modelGf);
+  std::fprintf(f,
+               "  \"abft\": {\"gemm_gflops\": %.3f, "
+               "\"protected_gflops\": %.3f, \"overhead_percent\": %.3f, "
+               "\"panel_flip_corrected\": %s, "
+               "\"panel_checksum_ms\": %.3f},\n",
+               tunedGf, protectedGf, abftOverheadPct,
+               flipCorrected ? "true" : "false", checksumSeconds * 1e3);
   auto curve = [&](const char* name, const std::vector<RateSample>& samples,
                    bool last) {
     std::fprintf(f, "  \"%s\": [", name);

@@ -1,0 +1,185 @@
+#include "blas/abft.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace hplmxp::blas {
+
+namespace {
+
+/// Recomputes row sum i with element (i0, j0) replaced by `candidate`.
+float rowSumWith(index_t n, const half16* a, index_t lda, index_t i,
+                 index_t j0, float candidate) {
+  float s = 0.0f;
+  for (index_t j = 0; j < n; ++j) {
+    s += j == j0 ? candidate : a[i + j * lda].toFloat();
+  }
+  return s;
+}
+
+/// Recomputes column sum j with element (i0, j) replaced by `candidate`.
+float colSumWith(index_t m, const half16* a, index_t lda, index_t i0,
+                 index_t j, float candidate) {
+  float s = 0.0f;
+  for (index_t i = 0; i < m; ++i) {
+    s += i == i0 ? candidate : a[i + j * lda].toFloat();
+  }
+  return s;
+}
+
+}  // namespace
+
+void abftChecksum(index_t m, index_t n, const half16* a, index_t lda,
+                  float* rowSums, float* colSums) {
+  for (index_t i = 0; i < m; ++i) {
+    rowSums[i] = 0.0f;
+  }
+  // Column-major sweep; row sums still accumulate with j ascending, which
+  // is the order rowSumWith() reproduces during correction.
+  for (index_t j = 0; j < n; ++j) {
+    float cs = 0.0f;
+    const half16* col = a + j * lda;
+    for (index_t i = 0; i < m; ++i) {
+      const float v = col[i].toFloat();
+      cs += v;
+      rowSums[i] += v;
+    }
+    colSums[j] = cs;
+  }
+}
+
+AbftOutcome abftVerifyCorrect(index_t m, index_t n, half16* a, index_t lda,
+                              const float* rowSums, const float* colSums) {
+  std::vector<float> rs(static_cast<std::size_t>(m));
+  std::vector<float> cs(static_cast<std::size_t>(n));
+  abftChecksum(m, n, a, lda, rs.data(), cs.data());
+
+  // Bitwise comparison: NaN checksums (possible if a flip makes an element
+  // NaN/inf) must still register as mismatches, so compare representations
+  // rather than values.
+  auto differs = [](float x, float y) {
+    return std::memcmp(&x, &y, sizeof(float)) != 0;
+  };
+  index_t badRow = -1, badCol = -1;
+  int rowMismatches = 0, colMismatches = 0;
+  for (index_t i = 0; i < m; ++i) {
+    if (differs(rs[static_cast<std::size_t>(i)], rowSums[i])) {
+      ++rowMismatches;
+      badRow = i;
+    }
+  }
+  for (index_t j = 0; j < n; ++j) {
+    if (differs(cs[static_cast<std::size_t>(j)], colSums[j])) {
+      ++colMismatches;
+      badCol = j;
+    }
+  }
+
+  AbftOutcome out;
+  if (rowMismatches == 0 && colMismatches == 0) {
+    return out;  // kClean
+  }
+  if (rowMismatches == 1 && colMismatches == 1) {
+    // Single suspect element: search the 16 single-bit candidates for the
+    // one that reproduces BOTH reference sums bit-exactly.
+    const std::uint16_t bad = a[badRow + badCol * lda].bits();
+    for (int bit = 0; bit < 16; ++bit) {
+      const std::uint16_t cand =
+          bad ^ static_cast<std::uint16_t>(1u << bit);
+      const float cf = half16::toFloatBits(cand);
+      if (!differs(rowSumWith(n, a, lda, badRow, badCol, cf),
+                   rowSums[badRow]) &&
+          !differs(colSumWith(m, a, lda, badRow, badCol, cf),
+                   colSums[badCol])) {
+        a[badRow + badCol * lda] = half16::fromBits(cand);
+        out.status = AbftOutcome::Status::kCorrected;
+        out.row = badRow;
+        out.col = badCol;
+        out.badBits = bad;
+        out.goodBits = cand;
+        return out;
+      }
+    }
+    out.status = AbftOutcome::Status::kUncorrectable;
+    out.row = badRow;
+    out.col = badCol;
+    out.badBits = bad;
+    return out;
+  }
+  if ((rowMismatches == 1 && colMismatches == 0) ||
+      (rowMismatches == 0 && colMismatches == 1)) {
+    // One dimension fully consistent: the panel is intact and the flip hit
+    // the checksum payload itself.
+    out.status = AbftOutcome::Status::kChecksumCorrupted;
+    out.row = badRow;
+    out.col = badCol;
+    return out;
+  }
+  out.status = AbftOutcome::Status::kUncorrectable;
+  out.row = badRow;
+  out.col = badCol;
+  return out;
+}
+
+void abftRowSums64(index_t m, index_t n, const float* c, index_t ldc,
+                   double* rowSums64) {
+  for (index_t i = 0; i < m; ++i) {
+    rowSums64[i] = 0.0;
+  }
+  for (index_t j = 0; j < n; ++j) {
+    const float* col = c + j * ldc;
+    for (index_t i = 0; i < m; ++i) {
+      rowSums64[i] += static_cast<double>(col[i]);
+    }
+  }
+}
+
+AbftGemmCheck abftGemmCarryCheck(index_t m, index_t n, index_t kDepth,
+                                 const double* rowSumsBefore, const half16* l,
+                                 index_t ldl, const half16* u, index_t ldu,
+                                 const float* c, index_t ldc) {
+  // t(p) = sum_j U^T(j,p); also track sum_p |t(p)| for the error bound.
+  std::vector<double> t(static_cast<std::size_t>(kDepth));
+  for (index_t p = 0; p < kDepth; ++p) {
+    double s = 0.0;
+    const half16* col = u + p * ldu;
+    for (index_t j = 0; j < n; ++j) {
+      s += static_cast<double>(col[j].toFloat());
+    }
+    t[static_cast<std::size_t>(p)] = s;
+  }
+
+  std::vector<double> actual(static_cast<std::size_t>(m));
+  abftRowSums64(m, n, c, ldc, actual.data());
+
+  AbftGemmCheck out;
+  for (index_t i = 0; i < m; ++i) {
+    double update = 0.0;
+    double absUpdate = 0.0;
+    for (index_t p = 0; p < kDepth; ++p) {
+      const double lv = static_cast<double>(l[i + p * ldl].toFloat());
+      update += lv * t[static_cast<std::size_t>(p)];
+      absUpdate += std::abs(lv * t[static_cast<std::size_t>(p)]);
+    }
+    const double predicted = rowSumsBefore[i] - update;
+    // The GEMM accumulates each element in FP32, then the row sum adds n
+    // of them; bound the drift generously — a surviving exponent flip is
+    // orders of magnitude above any rounding residue.
+    const double scale =
+        1.0 + std::abs(rowSumsBefore[i]) + absUpdate + static_cast<double>(n);
+    const double tol = 1e-4 * scale;
+    const double a = actual[static_cast<std::size_t>(i)];
+    if (!(std::abs(a - predicted) <= tol)) {  // catches NaN too
+      out.ok = false;
+      out.row = i;
+      out.predicted = predicted;
+      out.actual = a;
+      out.tolerance = tol;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace hplmxp::blas

@@ -1,0 +1,86 @@
+// Algorithm-based fault tolerance (ABFT) for the FP16 panels and the
+// FP32 trailing update — the detect-AND-correct half of the paper's
+// Sec. VI-B reliability story (the guards in scan.h only detect).
+//
+// Panel protection: the broadcast root computes FP32 row/column checksums
+// of its binary16 panel in a fixed sequential order, so every receiver can
+// recompute them bit-identically from an uncorrupted payload. A single
+// flipped bit in the panel perturbs exactly one row sum and one column
+// sum; intersecting the two mismatches locates the element, and a
+// 16-candidate single-bit search restores its original bit pattern exactly
+// (the corrected panel is bitwise identical to the sent one). A mismatch
+// in only one dimension means the (separately broadcast) checksum payload
+// itself was hit and the panel data is intact.
+//
+// GEMM carry: the row-sum invariant of C' = C - L * U^T is
+//   rowSum(C')_i = rowSum(C)_i - sum_p L(i,p) * t(p),  t(p) = sum_j U^T(j,p)
+// Predicting the post-update row sums in FP64 and comparing against the
+// recomputed actual sums (within an FP32-accumulation tolerance) catches
+// corruption introduced *during* the trailing update at O(mn + (m+n)b)
+// cost next to the GEMM's O(mnb).
+#pragma once
+
+#include <cstdint>
+
+#include "fp16/half.h"
+#include "util/common.h"
+
+namespace hplmxp::blas {
+
+/// FP32 checksums of a col-major m x n binary16 panel, in the fixed order
+/// receivers reproduce: rowSums[i] = sum_j a(i,j) (j ascending),
+/// colSums[j] = sum_i a(i,j) (i ascending). rowSums has m entries,
+/// colSums n.
+void abftChecksum(index_t m, index_t n, const half16* a, index_t lda,
+                  float* rowSums, float* colSums);
+
+/// Outcome of a panel verification pass.
+struct AbftOutcome {
+  enum class Status {
+    kClean,              // all checksums match bitwise
+    kCorrected,          // single flipped element restored exactly
+    kChecksumCorrupted,  // checksum payload hit; panel data intact
+    kUncorrectable,      // multi-element mismatch: beyond single-flip ABFT
+  };
+  Status status = Status::kClean;
+  index_t row = -1;          // panel-local coordinates of the corrected
+  index_t col = -1;          // element (kCorrected only)
+  std::uint16_t badBits = 0;   // corrupted binary16 bit pattern
+  std::uint16_t goodBits = 0;  // restored bit pattern
+
+  [[nodiscard]] explicit operator bool() const {
+    return status != Status::kClean;
+  }
+};
+
+/// Verifies a received panel against the root's reference checksums and
+/// corrects a single bit flip in place. Checksum comparison is bitwise:
+/// both sides accumulate the identical sequence of FP32 additions.
+AbftOutcome abftVerifyCorrect(index_t m, index_t n, half16* a, index_t lda,
+                              const float* rowSums, const float* colSums);
+
+/// rowSums64[i] = sum_j c(i,j), accumulated in FP64 (j ascending).
+void abftRowSums64(index_t m, index_t n, const float* c, index_t ldc,
+                   double* rowSums64);
+
+/// Result of the trailing-update carry check.
+struct AbftGemmCheck {
+  bool ok = true;
+  index_t row = -1;        // first violating row (local to the region)
+  double predicted = 0.0;  // expected post-update row sum
+  double actual = 0.0;     // recomputed row sum
+  double tolerance = 0.0;  // bound it was tested against
+
+  [[nodiscard]] explicit operator bool() const { return !ok; }
+};
+
+/// Verifies C' = C - L * U^T via the row-sum invariant. `rowSumsBefore`
+/// are the FP64 row sums of C taken before the update (abftRowSums64);
+/// l is m x kDepth (ld ldl), u is the TRANS_CAST'ed n x kDepth panel
+/// (ld ldu, so U^T(j,p) = u[j + p*ldu]), c is the post-update m x n tile.
+AbftGemmCheck abftGemmCarryCheck(index_t m, index_t n, index_t kDepth,
+                                 const double* rowSumsBefore, const half16* l,
+                                 index_t ldl, const half16* u, index_t ldu,
+                                 const float* c, index_t ldc);
+
+}  // namespace hplmxp::blas

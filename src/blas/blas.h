@@ -2,6 +2,7 @@
 // cuBLAS/rocBLAS/cuSOLVER/rocSOLVER listed in Table II of the paper).
 #pragma once
 
+#include "blas/abft.h"      // IWYU pragma: export
 #include "blas/cast.h"      // IWYU pragma: export
 #include "blas/gemm.h"      // IWYU pragma: export
 #include "blas/gemv.h"      // IWYU pragma: export

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -307,6 +309,18 @@ int cmdChaos(const Options& raw) {
                     : HplaiConfig::Refiner::kClassicIr;
   cfg.guardPanels = opts.getBool("guard", true);
   cfg.irDivergenceStrikes = opts.getInt("ir-strikes", 4);
+  // Recovery/ABFT knobs (the recovery.* / abft.* conf keys). Off by
+  // default: chaos is the observe-the-failure command; `hplmxp recover`
+  // turns them all on.
+  cfg.recovery.enabled = opts.getBool("recovery.enabled", false);
+  cfg.recovery.checkpointEveryK = opts.getInt("recovery.every-k", 8);
+  cfg.recovery.maxResurrections =
+      opts.getInt("recovery.max-resurrections", 8);
+  cfg.abftPanels = opts.getBool("abft.panels", false);
+  cfg.abftGemm = opts.getBool("abft.gemm", false);
+  if (cfg.recovery.enabled || cfg.abftPanels || cfg.abftGemm) {
+    cfg.recoveryStats = std::make_shared<simmpi::RecoveryStats>();
+  }
   cfg.n = adjustProblemSize(cfg.n, cfg.b, cfg.pr, cfg.pc);
 
   const std::string scenario = opts.getString("scenario", "transient");
@@ -318,6 +332,7 @@ int cmdChaos(const Options& raw) {
   runOpts.sendMaxRetries = static_cast<int>(opts.getInt("retries", 5));
   runOpts.sendBackoff =
       std::chrono::microseconds(opts.getInt("backoff-us", 50));
+  runOpts.replayLog = cfg.recovery.enabled;
   const bool detectSlow =
       opts.getBool("detect-slow", cfg.worldSize() > 1);
   warnUnused(opts);
@@ -433,6 +448,16 @@ int cmdChaos(const Options& raw) {
     }
     t.addRow({"slow ranks flagged", slow.empty() ? "none" : who});
   }
+  if (cfg.recoveryStats) {
+    const simmpi::RecoveryReport rec =
+        simmpi::snapshotRecovery(*cfg.recoveryStats);
+    t.addRow({"ranks resurrected", Table::num((long long)rec.resurrections)});
+    t.addRow({"checkpoints taken", Table::num((long long)rec.checkpoints)});
+    t.addRow({"steps replayed", Table::num((long long)rec.stepsReplayed)});
+    t.addRow({"ABFT flips corrected",
+              Table::num((long long)rec.flipsCorrected) + " of " +
+                  Table::num((long long)rec.flipsDetected) + " detected"});
+  }
   t.print();
   if (!failureLines.empty()) {
     std::printf("\nfailure report:\n");
@@ -447,6 +472,187 @@ int cmdChaos(const Options& raw) {
   const bool contained =
       !completed || result.aborted || (result.converged && verified);
   return contained ? 0 : 1;
+}
+
+int cmdRecover(const Options& raw) {
+  const Options opts = layered(raw);
+  HplaiConfig cfg;
+  cfg.n = opts.getInt("n", 192);
+  cfg.b = opts.getInt("b", 16);
+  cfg.pr = opts.getInt("pr", 2);
+  cfg.pc = opts.getInt("pc", 2);
+  cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed", 7321));
+  cfg.panelBcast =
+      simmpi::bcastStrategyFromString(opts.getString("bcast", "bcast"));
+  // Recovery requires deterministic step replay: bulk, no look-ahead.
+  cfg.lookahead = false;
+  cfg.scheduler = HplaiConfig::Scheduler::kBulk;
+  cfg.n = adjustProblemSize(cfg.n, cfg.b, cfg.pr, cfg.pc);
+  cfg.recovery.enabled = opts.getBool("recovery.enabled", true);
+  cfg.recovery.checkpointEveryK = opts.getInt("recovery.every-k", 4);
+  cfg.recovery.maxResurrections =
+      opts.getInt("recovery.max-resurrections", 8);
+  cfg.abftPanels = opts.getBool("abft.panels", true);
+  cfg.abftGemm = opts.getBool("abft.gemm", true);
+
+  const index_t crashRank = opts.getInt("crash-rank", 1);
+  const auto crashAtOp =
+      static_cast<std::uint64_t>(opts.getInt("crash-at-op", 30));
+  const double flipProbability = opts.getDouble("flip-probability", 0.0);
+  const std::uint64_t faultSeed =
+      static_cast<std::uint64_t>(opts.getInt("fault-seed", 0xC4A05));
+  const std::string jsonPath = opts.getString("json", "");
+  warnUnused(opts);
+
+  std::printf("hplmxp recover: N=%lld B=%lld grid=%lldx%lld every-k=%lld "
+              "crash rank %lld at op %llu%s\n",
+              (long long)cfg.n, (long long)cfg.b, (long long)cfg.pr,
+              (long long)cfg.pc, (long long)cfg.recovery.checkpointEveryK,
+              (long long)crashRank, (unsigned long long)crashAtOp,
+              flipProbability > 0.0 ? " + panel bit flips" : "");
+
+  // One run = one closure over runHplaiOnComm; rank 0's solution is the
+  // artifact the bitwise comparison is about.
+  struct RunOutput {
+    HplaiResult result;
+    std::vector<double> solution;
+  };
+  const auto runOnce = [](const HplaiConfig& config,
+                          std::shared_ptr<simmpi::FaultInjector> faults) {
+    RunOutput out;
+    simmpi::RunOptions ropts;
+    ropts.faults = std::move(faults);
+    ropts.replayLog = config.recovery.enabled;
+    simmpi::run(
+        config.worldSize(),
+        [&](simmpi::Comm& world) {
+          std::vector<double> local;
+          HplaiResult r = runHplaiOnComm(world, config, &local);
+          if (world.rank() == 0) {
+            out.result = std::move(r);
+            out.solution = std::move(local);
+          }
+        },
+        ropts);
+    return out;
+  };
+
+  // Fault-free baseline: same problem, no injector, no recovery machinery
+  // (the contract is that recovery reproduces THIS run bit for bit).
+  HplaiConfig baseCfg = cfg;
+  baseCfg.recovery.enabled = false;
+  baseCfg.abftPanels = false;
+  baseCfg.abftGemm = false;
+  Timer baseTimer;
+  const RunOutput baseline = runOnce(baseCfg, nullptr);
+  const double baseSeconds = baseTimer.seconds();
+
+  // Faulted run: scheduled crash (and optional in-flight panel flips)
+  // under the full recovery stack.
+  simmpi::FaultConfig fault;
+  fault.seed = faultSeed;
+  fault.crashRank = crashRank;
+  fault.crashAtOp = crashAtOp;
+  if (flipProbability > 0.0) {
+    fault.bitflipProbability = flipProbability;
+    fault.bitflipMinBytes = 2048;  // target bulk panel traffic
+  }
+  auto injector = std::make_shared<simmpi::FaultInjector>(
+      fault, cfg.worldSize());
+  cfg.recoveryStats = std::make_shared<simmpi::RecoveryStats>();
+  Timer recTimer;
+  const RunOutput recovered = runOnce(cfg, injector);
+  const double recSeconds = recTimer.seconds();
+
+  bool bitwise = baseline.solution.size() == recovered.solution.size();
+  std::size_t firstDiff = 0;
+  if (bitwise && !baseline.solution.empty()) {
+    const int diff = std::memcmp(
+        baseline.solution.data(), recovered.solution.data(),
+        sizeof(double) * baseline.solution.size());
+    bitwise = diff == 0;
+    if (!bitwise) {
+      while (firstDiff < baseline.solution.size() &&
+             std::memcmp(&baseline.solution[firstDiff],
+                         &recovered.solution[firstDiff],
+                         sizeof(double)) == 0) {
+        ++firstDiff;
+      }
+    }
+  }
+  bitwise = bitwise &&
+            baseline.result.residualInf == recovered.result.residualInf &&
+            baseline.result.irIterations == recovered.result.irIterations;
+
+  const simmpi::RecoveryReport rec =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  const simmpi::FaultStats stats = injector->stats();
+  Table t({"metric", "value"});
+  t.addRow({"baseline seconds", Table::num(baseSeconds, 3)});
+  t.addRow({"recovered-run seconds", Table::num(recSeconds, 3)});
+  t.addRow({"rank crashes injected", Table::num((long long)stats.crashes)});
+  t.addRow({"payload bit flips injected",
+            Table::num((long long)stats.bitflips)});
+  t.addRow({"ranks resurrected", Table::num((long long)rec.resurrections)});
+  t.addRow({"checkpoints taken", Table::num((long long)rec.checkpoints)});
+  t.addRow({"checkpoint bytes copied",
+            Table::num((long long)rec.checkpointBytesCopied)});
+  t.addRow({"steps replayed", Table::num((long long)rec.stepsReplayed)});
+  t.addRow({"recvs replayed from log",
+            Table::num((long long)rec.recvsReplayed)});
+  t.addRow({"sends suppressed", Table::num((long long)rec.sendsSuppressed)});
+  t.addRow({"barriers skipped", Table::num((long long)rec.barriersSkipped)});
+  t.addRow({"replay-log peak bytes",
+            Table::num((long long)rec.replayLogPeakBytes)});
+  t.addRow({"ABFT panel checks", Table::num((long long)rec.abftPanelChecks)});
+  t.addRow({"ABFT GEMM carry checks",
+            Table::num((long long)rec.abftGemmChecks)});
+  t.addRow({"flips detected / corrected",
+            Table::num((long long)rec.flipsDetected) + " / " +
+                Table::num((long long)rec.flipsCorrected)});
+  t.addRow({"converged", recovered.result.converged ? "yes" : "NO"});
+  t.addRow({"bitwise identical to baseline", bitwise ? "YES" : "NO"});
+  t.print();
+  if (!bitwise && !baseline.solution.empty() &&
+      baseline.solution.size() == recovered.solution.size() &&
+      firstDiff < baseline.solution.size()) {
+    std::printf("first divergence at x[%zu]: %.17g vs %.17g\n", firstDiff,
+                baseline.solution[firstDiff],
+                recovered.solution[firstDiff]);
+  }
+
+  if (!jsonPath.empty()) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n";
+    os << "  \"n\": " << cfg.n << ",\n";
+    os << "  \"b\": " << cfg.b << ",\n";
+    os << "  \"checkpoint_every_k\": " << cfg.recovery.checkpointEveryK
+       << ",\n";
+    os << "  \"crash_rank\": " << crashRank << ",\n";
+    os << "  \"crash_at_op\": " << crashAtOp << ",\n";
+    os << "  \"crashes_injected\": " << stats.crashes << ",\n";
+    os << "  \"bitflips_injected\": " << stats.bitflips << ",\n";
+    os << "  \"resurrections\": " << rec.resurrections << ",\n";
+    os << "  \"checkpoints\": " << rec.checkpoints << ",\n";
+    os << "  \"steps_replayed\": " << rec.stepsReplayed << ",\n";
+    os << "  \"recvs_replayed\": " << rec.recvsReplayed << ",\n";
+    os << "  \"replay_log_peak_bytes\": " << rec.replayLogPeakBytes << ",\n";
+    os << "  \"abft_panel_checks\": " << rec.abftPanelChecks << ",\n";
+    os << "  \"abft_gemm_checks\": " << rec.abftGemmChecks << ",\n";
+    os << "  \"flips_detected\": " << rec.flipsDetected << ",\n";
+    os << "  \"flips_corrected\": " << rec.flipsCorrected << ",\n";
+    os << "  \"baseline_seconds\": " << baseSeconds << ",\n";
+    os << "  \"recovered_seconds\": " << recSeconds << ",\n";
+    os << "  \"converged\": "
+       << (recovered.result.converged ? "true" : "false") << ",\n";
+    os << "  \"bitwise_identical\": " << (bitwise ? "true" : "false")
+       << "\n";
+    os << "}\n";
+    serve::writeReportFile(jsonPath, os.str());
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+  return bitwise && recovered.result.converged ? 0 : 1;
 }
 
 int cmdServe(const Options& raw) {
@@ -600,7 +806,19 @@ std::string usage() {
       "           (--scenario none|delay|transient|sdc|stall|crash\n"
       "            --n --b --pr --pc --seed --fault-seed --timeout-ms\n"
       "            --retries --backoff-us --guard on|off --ir-strikes\n"
-      "            --detect-slow on|off --slow-strikes --min-lag)\n"
+      "            --detect-slow on|off --slow-strikes --min-lag\n"
+      "            --recovery.enabled on|off --recovery.every-k\n"
+      "            --recovery.max-resurrections\n"
+      "            --abft.panels on|off --abft.gemm on|off)\n"
+      "  recover  crash a rank mid-factorization (optionally flip panel\n"
+      "           bits in flight) with checkpoints + ABFT enabled, and\n"
+      "           prove the recovered solve bitwise-identical to a\n"
+      "           fault-free baseline\n"
+      "           (--n --b --pr --pc --seed --crash-rank --crash-at-op\n"
+      "            --flip-probability --fault-seed --json FILE\n"
+      "            --recovery.enabled on|off --recovery.every-k\n"
+      "            --recovery.max-resurrections\n"
+      "            --abft.panels on|off --abft.gemm on|off)\n"
       "  serve    solver-as-a-service: replay a request trace through the\n"
       "           factor cache + batching engine and report latency\n"
       "           (--trace FILE | --requests --keys --gap-ms --n --b --seed\n"
@@ -639,6 +857,9 @@ int dispatch(const std::vector<std::string>& args) {
     }
     if (cmd == "chaos") {
       return cmdChaos(opts);
+    }
+    if (cmd == "recover") {
+      return cmdRecover(opts);
     }
     if (cmd == "serve") {
       return cmdServe(opts);

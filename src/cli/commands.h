@@ -16,6 +16,9 @@ namespace hplmxp::cli {
 ///   tune     — block-size / local-size parameter search
 ///   scan     — slow-node mini-benchmark scan of a simulated fleet
 ///   chaos    — distributed solve under a named fault-injection scenario
+///   recover  — crash/flip a run with ABFT + checkpoint recovery enabled
+///              and prove the recovered solve bitwise-identical to a
+///              fault-free baseline
 ///   serve    — solver-as-a-service: replay a request trace through the
 ///              factor cache + batching engine and report latency
 ///   specs    — print the machine specs (Table I) and shim map (Table II)
@@ -32,6 +35,7 @@ int cmdProject(const Options& opts);
 int cmdTune(const Options& opts);
 int cmdScan(const Options& opts);
 int cmdChaos(const Options& opts);
+int cmdRecover(const Options& opts);
 int cmdServe(const Options& opts);
 int cmdSpecs(const Options& opts);
 

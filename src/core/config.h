@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "device/device.h"
 #include "grid/process_grid.h"
+#include "simmpi/recovery.h"
 #include "simmpi/ring_bcast.h"
 #include "util/common.h"
 
@@ -91,6 +93,27 @@ struct HplaiConfig {
   /// corruption reach verification. Off by default (zero cost).
   bool guardPanels = false;
 
+  /// ABFT panel protection (blas/abft.h): checksum every FP16 panel at its
+  /// broadcast root, broadcast the checksums alongside, and verify on every
+  /// receiver — a single in-flight bit flip is located and corrected in
+  /// place bit-exactly instead of aborting the run. Off by default.
+  bool abftPanels = false;
+
+  /// ABFT trailing-update carry check: verify the row-sum invariant of
+  /// C -= L * U^T after each local GEMM region (catches corruption arising
+  /// during the update, not just in flight). Off by default.
+  bool abftGemm = false;
+
+  /// Crash-rank recovery (simmpi/recovery.h): rotating in-memory
+  /// checkpoints plus comm-replay resurrection. Requires the bulk
+  /// scheduler without look-ahead and RunOptions.replayLog.
+  simmpi::RecoveryConfig recovery;
+
+  /// Shared sink for recovery/ABFT tallies (checkpoint, replay, flip
+  /// detection/correction counts). Optional; allocated by the caller that
+  /// wants the report (e.g. `hplmxp recover`).
+  std::shared_ptr<simmpi::RecoveryStats> recoveryStats;
+
   /// Classical-IR divergence guard: when the residual fails to improve for
   /// this many consecutive iterations, automatically fall back to the
   /// GMRES refiner from the best iterate seen (Algorithm 1's safeguard
@@ -111,6 +134,11 @@ struct HplaiConfig {
     HPLMXP_REQUIRE(pr > 0 && pc > 0, "grid dims must be positive");
     HPLMXP_REQUIRE(n / b >= 1, "need at least one block");
     HPLMXP_REQUIRE(maxIrIterations >= 1, "need at least one IR iteration");
+    recovery.validate();
+    HPLMXP_REQUIRE(!recovery.enabled ||
+                       (!lookahead && scheduler == Scheduler::kBulk),
+                   "crash recovery requires the bulk scheduler without "
+                   "look-ahead (deterministic step replay)");
   }
 };
 
@@ -173,6 +201,7 @@ struct IterationTrace {
   double castSeconds = 0.0;    // CAST / TRANS_CAST
   double bcastSeconds = 0.0;   // panel broadcasts (includes wait time)
   double gemmSeconds = 0.0;    // trailing update
+  index_t abftEvents = 0;      // ABFT corrections applied this step (rank 0)
 };
 
 /// Outcome of a benchmark run (the numbers HPL-AI reports).

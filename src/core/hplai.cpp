@@ -89,6 +89,28 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& configIn,
 
   BlasShim shim(config.vendor);
   DistLU lu(ctx, config, shim);
+  std::optional<simmpi::RecoveryManager> recovery;
+  if (config.recovery.enabled) {
+    // The regenerator replays the exact fill loop above: a resurrected
+    // rank's untouched tiles come back bit-identical from the LCG
+    // jump-ahead, so the step-0 checkpoint stores no matrix at all.
+    auto regen = [&gen, &ctx, b](float* a, index_t ld) {
+      const BlockCyclic& layout = ctx.layout();
+      const index_t cols = ctx.localCols();
+      const index_t rows = ctx.localRows();
+      for (index_t lj = 0; lj < cols / b; ++lj) {
+        const index_t gj = layout.globalBlockCol(ctx.myCol(), lj);
+        for (index_t li = 0; li < rows / b; ++li) {
+          const index_t gi = layout.globalBlockRow(ctx.myRow(), li);
+          gen.fillTile<float>(gi * b, gj * b, b, b, a + li * b + lj * b * ld,
+                              ld);
+        }
+      }
+    };
+    recovery.emplace(world, config.recovery, config.recoveryStats,
+                     std::move(regen));
+    lu.setRecovery(&*recovery);
+  }
   if (config.progressCallback) {
     lu.setProgressCallback(config.progressCallback);
   }
@@ -178,6 +200,8 @@ HplaiResult runHplai(const HplaiConfig& config,
                      std::vector<double>* solutionOut) {
   HplaiResult rank0;
   std::vector<double> solution;
+  simmpi::RunOptions options;
+  options.replayLog = config.recovery.enabled;
   simmpi::run(config.worldSize(), [&](simmpi::Comm& world) {
     std::vector<double> local;
     HplaiResult r = runHplaiOnComm(world, config, &local);
@@ -185,7 +209,7 @@ HplaiResult runHplai(const HplaiConfig& config,
       rank0 = std::move(r);
       solution = std::move(local);
     }
-  });
+  }, options);
   if (solutionOut != nullptr) {
     *solutionOut = std::move(solution);
   }

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "blas/blas.h"
+#include "simmpi/faults.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace hplmxp {
@@ -115,6 +117,95 @@ void DistLU::guardTile(index_t k, index_t m, index_t n, const float* tile,
   }
 }
 
+void DistLU::abftProtectU(const StepGeom& g, int bufIdx,
+                          IterationTrace* trace) {
+  const index_t b = config_.b;
+  abftSums_.resize(static_cast<std::size_t>(g.w + b));
+  float* rowSums = abftSums_.data();
+  float* colSums = abftSums_.data() + g.w;
+  if (g.ownRow) {
+    // The root's buffer is the authoritative pre-send panel content.
+    blas::abftChecksum(g.w, b, uHalf_[bufIdx].data(), g.w, rowSums, colSums);
+  }
+  broadcast(ctx_.colComm(), config_.panelBcast, g.pir, abftSums_.data(),
+            g.w + b);
+  const blas::AbftOutcome out = blas::abftVerifyCorrect(
+      g.w, b, uHalf_[bufIdx].data(), g.w, rowSums, colSums);
+  noteAbftOutcome(g, "U", out, trace);
+}
+
+void DistLU::abftProtectL(const StepGeom& g, int bufIdx,
+                          IterationTrace* trace) {
+  const index_t b = config_.b;
+  abftSums_.resize(static_cast<std::size_t>(g.h + b));
+  float* rowSums = abftSums_.data();
+  float* colSums = abftSums_.data() + g.h;
+  if (g.ownCol) {
+    blas::abftChecksum(g.h, b, lHalf_[bufIdx].data(), g.h, rowSums, colSums);
+  }
+  broadcast(ctx_.rowComm(), config_.panelBcast, g.pic, abftSums_.data(),
+            g.h + b);
+  const blas::AbftOutcome out = blas::abftVerifyCorrect(
+      g.h, b, lHalf_[bufIdx].data(), g.h, rowSums, colSums);
+  noteAbftOutcome(g, "L", out, trace);
+}
+
+void DistLU::abftProtectPanels(const StepGeom& g, int bufIdx,
+                               IterationTrace* trace) {
+  if (g.w > 0) {
+    abftProtectU(g, bufIdx, trace);
+  }
+  if (g.h > 0) {
+    abftProtectL(g, bufIdx, trace);
+  }
+}
+
+void DistLU::noteAbftOutcome(const StepGeom& g, const char* panel,
+                             const blas::AbftOutcome& out,
+                             IterationTrace* trace) {
+  const auto& stats = config_.recoveryStats;
+  if (stats) {
+    stats->abftPanelChecks.fetch_add(1);
+  }
+  switch (out.status) {
+    case blas::AbftOutcome::Status::kClean:
+      return;
+    case blas::AbftOutcome::Status::kCorrected:
+      if (stats) {
+        stats->flipsDetected.fetch_add(1);
+        stats->flipsCorrected.fetch_add(1);
+      }
+      if (trace != nullptr) {
+        ++trace->abftEvents;
+      }
+      logWarn("LU step " + std::to_string(g.k) + " rank " +
+              std::to_string(ctx_.rank()) + ": ABFT corrected bit flip in " +
+              panel + " panel at (" + std::to_string(out.row) + "," +
+              std::to_string(out.col) + "), bits " +
+              std::to_string(out.badBits) + " -> " +
+              std::to_string(out.goodBits));
+      return;
+    case blas::AbftOutcome::Status::kChecksumCorrupted:
+      if (stats) {
+        stats->checksumCorruptions.fetch_add(1);
+      }
+      logWarn("LU step " + std::to_string(g.k) + " rank " +
+              std::to_string(ctx_.rank()) +
+              ": ABFT checksum payload corrupted for " + panel +
+              " panel; panel data verified intact in the other dimension");
+      return;
+    case blas::AbftOutcome::Status::kUncorrectable:
+      if (stats) {
+        stats->flipsDetected.fetch_add(1);
+      }
+      throw blas::AbnormalValueError(
+          "LU step " + std::to_string(g.k) + " rank " +
+          std::to_string(ctx_.rank()) + ": ABFT uncorrectable corruption in " +
+          panel + " panel (multi-element mismatch near (" +
+          std::to_string(out.row) + "," + std::to_string(out.col) + "))");
+  }
+}
+
 void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
                          index_t lda, IterationTrace* trace) {
   const index_t b = config_.b;
@@ -198,6 +289,12 @@ void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
     trace->bcastSeconds += t.seconds();
   }
 
+  // ABFT verify-and-correct runs before the guards: a single in-flight
+  // flip is repaired here and never reaches them.
+  if (config_.abftPanels) {
+    abftProtectPanels(g, bufIdx, trace);
+  }
+
   // Self-healing guards: catch broadcast corruption (e.g. an injected SDC
   // bit flip) before the panels poison the trailing matrix.
   if (config_.guardPanels) {
@@ -226,9 +323,30 @@ void DistLU::updateRegion(const StepGeom& g, int bufIdx, float* localA,
   const half16* lPtr = lHalf_[bufIdx].data() + (iBlk0 - g.iStartBlk) * b;
   const half16* uPtr = uHalf_[bufIdx].data() + (jBlk0 - g.jStartBlk) * b;
   float* cPtr = localA + iBlk0 * b + jBlk0 * b * lda;
+  if (config_.abftGemm) {
+    abftRow64_.resize(static_cast<std::size_t>(m));
+    blas::abftRowSums64(m, n, cPtr, lda, abftRow64_.data());
+  }
   // C -= L * U^T (U was stored transposed by TRANS_CAST).
   shim_.gemmEx(blas::Trans::kNoTrans, blas::Trans::kTrans, m, n, b, -1.0f,
                lPtr, g.h, uPtr, g.w, 1.0f, cPtr, lda);
+  if (config_.abftGemm) {
+    const blas::AbftGemmCheck chk = blas::abftGemmCarryCheck(
+        m, n, b, abftRow64_.data(), lPtr, g.h, uPtr, g.w, cPtr, lda);
+    if (config_.recoveryStats) {
+      config_.recoveryStats->abftGemmChecks.fetch_add(1);
+    }
+    if (chk) {
+      throw blas::AbnormalValueError(
+          "LU step " + std::to_string(g.k) + " rank " +
+          std::to_string(ctx_.rank()) +
+          ": trailing-update row-sum invariant violated at local row " +
+          std::to_string(chk.row) + " (predicted " +
+          std::to_string(chk.predicted) + ", actual " +
+          std::to_string(chk.actual) + ", tolerance " +
+          std::to_string(chk.tolerance) + ")");
+    }
+  }
   if (config_.guardPanels) {
     guardTile(g.k, m, n, cPtr, lda);
   }
@@ -271,6 +389,25 @@ void DistLU::updateBulk(const StepGeom& g, const StepGeom& next, int bufIdx,
   if (trace != nullptr) {
     trace->gemmSeconds += t.seconds();
   }
+}
+
+void DistLU::takeCheckpoint(index_t k, const float* localA, index_t lda) {
+  const index_t b = config_.b;
+  index_t rowFrom = 0;
+  index_t colFrom = 0;
+  const index_t prev = recovery_->matrixStep();
+  if (prev >= 0) {
+    // Since the checkpoint at step `prev`, every write of steps prev..k-1
+    // touched a tile with global block row >= prev or global block col >=
+    // prev; the block-cyclic local corner below that threshold holds final
+    // L/U entries and needs no re-copy.
+    rowFrom =
+        ctx_.layout().firstLocalBlockRowAtOrAfter(ctx_.myRow(), prev) * b;
+    colFrom =
+        ctx_.layout().firstLocalBlockColAtOrAfter(ctx_.myCol(), prev) * b;
+  }
+  recovery_->checkpoint(k, localA, lda, ctx_.localRows(), ctx_.localCols(),
+                        rowFrom, colFrom);
 }
 
 bool DistLU::pollAbort(index_t k, double iterSeconds) {
@@ -325,20 +462,43 @@ std::vector<IterationTrace> DistLU::factor(float* localA, index_t lda) {
   };
 
   if (!config_.lookahead) {
-    for (index_t k = 0; k < nb; ++k) {
-      ctx_.world().barrier();  // Algorithm 1 line 5
-      Timer iterTimer;
-      const StepGeom g = geometry(k);
-      panelsPhase(g, 0, localA, lda, traceAt(k));
-      updateFull(g, 0, localA, lda, traceAt(k));
-      ++stepsCompleted_;
-      if (pollAbort(k, iterTimer.seconds())) {
-        aborted_ = true;
-        break;
+    const bool rec = recovery_ != nullptr && config_.recovery.enabled;
+    index_t k = 0;
+    while (k < nb) {
+      try {
+        if (rec && recovery_->shouldCheckpoint(k)) {
+          takeCheckpoint(k, localA, lda);
+        }
+        ctx_.world().barrier();  // Algorithm 1 line 5
+        Timer iterTimer;
+        const StepGeom g = geometry(k);
+        panelsPhase(g, 0, localA, lda, traceAt(k));
+        updateFull(g, 0, localA, lda, traceAt(k));
+        ++stepsCompleted_;
+        if (pollAbort(k, iterTimer.seconds())) {
+          aborted_ = true;
+          break;
+        }
+        ++k;
+      } catch (const simmpi::InjectedCrashError&) {
+        if (!rec || !recovery_->canResurrect()) {
+          throw;
+        }
+        // The crash fired before the offending comm op was counted, so
+        // replay re-executes from the checkpoint through the normal code
+        // path and goes live exactly at the op that killed the rank.
+        k = recovery_->resurrect(k, localA, lda);
+        stepsCompleted_ = k;
       }
+    }
+    if (rec) {
+      recovery_->noteRunComplete();
     }
     return traces;
   }
+  HPLMXP_REQUIRE(recovery_ == nullptr || !config_.recovery.enabled,
+                 "crash recovery requires the bulk scheduler without "
+                 "look-ahead");
 
   // Look-ahead pipeline.
   StepGeom g = geometry(0);
@@ -565,6 +725,11 @@ std::vector<IterationTrace> DistLU::factorDataflow(float* localA,
       Id t = graph.addMain(TaskKind::kPanelBcast, k, [this, g, buf] {
         broadcast(ctx_.colComm(), config_.panelBcast, g.pir,
                   uHalf_[buf].data(), g.w * config_.b);
+        if (config_.abftPanels) {
+          // Main-lane FIFO keeps the checksum collective in the same
+          // globally consistent order on every rank.
+          abftProtectU(g, buf, nullptr);
+        }
         if (config_.guardPanels) {
           guardHalfU(g, buf);
         }
@@ -579,6 +744,9 @@ std::vector<IterationTrace> DistLU::factorDataflow(float* localA,
       Id t = graph.addMain(TaskKind::kPanelBcast, k, [this, g, buf] {
         broadcast(ctx_.rowComm(), config_.panelBcast, g.pic,
                   lHalf_[buf].data(), g.h * config_.b);
+        if (config_.abftPanels) {
+          abftProtectL(g, buf, nullptr);
+        }
         if (config_.guardPanels) {
           guardHalfL(g, buf);
         }
@@ -599,9 +767,29 @@ std::vector<IterationTrace> DistLU::factorDataflow(float* localA,
             const half16* l = lHalf_[buf].data() + (ib - g.iStartBlk) * b;
             const half16* u = uHalf_[buf].data() + (jb - g.jStartBlk) * b;
             float* c = localA + ib * b + jb * b * lda;
+            // Task-local scratch: tile tasks run concurrently on workers.
+            std::vector<double> row64;
+            if (config_.abftGemm) {
+              row64.resize(static_cast<std::size_t>(b));
+              blas::abftRowSums64(b, b, c, lda, row64.data());
+            }
             blas::gemmMixed(blas::Trans::kNoTrans, blas::Trans::kTrans, b, b,
                             b, -1.0f, l, g.h, u, g.w, 1.0f, c, lda,
                             &serialPool_);
+            if (config_.abftGemm) {
+              const blas::AbftGemmCheck chk = blas::abftGemmCarryCheck(
+                  b, b, b, row64.data(), l, g.h, u, g.w, c, lda);
+              if (config_.recoveryStats) {
+                config_.recoveryStats->abftGemmChecks.fetch_add(1);
+              }
+              if (chk) {
+                throw blas::AbnormalValueError(
+                    "LU step " + std::to_string(g.k) + " rank " +
+                    std::to_string(ctx_.rank()) +
+                    ": trailing-update row-sum invariant violated at local "
+                    "row " + std::to_string(chk.row));
+              }
+            }
             if (config_.guardPanels) {
               guardTile(g.k, b, b, c, lda);
             }

@@ -27,10 +27,12 @@
 #include <functional>
 #include <vector>
 
+#include "blas/abft.h"
 #include "core/config.h"
 #include "core/dist_context.h"
 #include "device/shim.h"
 #include "fp16/half.h"
+#include "simmpi/recovery.h"
 #include "util/buffer.h"
 #include "util/task_graph.h"
 #include "util/thread_pool.h"
@@ -40,6 +42,15 @@ namespace hplmxp {
 class DistLU {
  public:
   DistLU(DistContext& ctx, const HplaiConfig& config, BlasShim& shim);
+
+  /// Arms crash-rank recovery (config.recovery.enabled must also be set):
+  /// the bulk no-look-ahead loop checkpoints every `checkpointEveryK`
+  /// steps and resurrects this rank from an InjectedCrashError by
+  /// restoring the checkpoint and replaying forward. The manager is owned
+  /// by the caller (one per rank thread) and must outlive factor().
+  void setRecovery(simmpi::RecoveryManager* recovery) {
+    recovery_ = recovery;
+  }
 
   /// Progress hook, evaluated on rank 0 after each block step with
   /// (k, iteration seconds); returning true aborts the run collectively
@@ -125,6 +136,20 @@ class DistLU {
   /// identical results to the bulk path.
   std::vector<IterationTrace> factorDataflow(float* localA, index_t lda);
 
+  /// ABFT panel protection (config.abftPanels): broadcast the root's
+  /// checksums after each panel broadcast and verify/correct on every
+  /// rank. Throws blas::AbnormalValueError on uncorrectable corruption.
+  void abftProtectPanels(const StepGeom& g, int bufIdx,
+                         IterationTrace* trace);
+  void abftProtectU(const StepGeom& g, int bufIdx, IterationTrace* trace);
+  void abftProtectL(const StepGeom& g, int bufIdx, IterationTrace* trace);
+  void noteAbftOutcome(const StepGeom& g, const char* panel,
+                       const blas::AbftOutcome& out, IterationTrace* trace);
+
+  /// Rotating recovery checkpoint at step k: only tiles the factorization
+  /// could have touched since the previous checkpoint are re-copied.
+  void takeCheckpoint(index_t k, const float* localA, index_t lda);
+
   /// Self-healing guard scans (config.guardPanels): throw
   /// blas::AbnormalValueError with step context on corruption.
   void guardDiag(const StepGeom& g) const;
@@ -139,8 +164,12 @@ class DistLU {
   BlasShim& shim_;
   ProgressFn progress_;
   RankProgressFn rankProgress_;
+  simmpi::RecoveryManager* recovery_ = nullptr;
   bool aborted_ = false;
   index_t stepsCompleted_ = 0;
+
+  std::vector<float> abftSums_;    // checksum bcast scratch (bulk path)
+  std::vector<double> abftRow64_;  // GEMM carry-check scratch (bulk path)
 
   Buffer<float> diagBuf_;
   Buffer<half16> lHalf_[2];

@@ -8,6 +8,9 @@
 // testable without threads.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "serve/request_queue.h"
 #include "util/common.h"
 
@@ -38,9 +41,18 @@ class Batcher {
                                 double nowSeconds) const {
     Decision d;
     double oldestSubmit = 0.0;
-    const ProblemKey* key = queue.oldestKey(&oldestSubmit);
+    double nextReady = 0.0;
+    const ProblemKey* key =
+        queue.readyKey(nowSeconds, &oldestSubmit, &nextReady);
     if (key == nullptr) {
-      return d;  // idle — caller blocks on its condition variable
+      // Nothing dispatchable. If requests exist but are all backing off,
+      // tell the worker exactly how long until the earliest one matures;
+      // a truly empty queue keeps waitSeconds at 0 (idle — the caller
+      // blocks on its condition variable).
+      if (!queue.empty() && std::isfinite(nextReady)) {
+        d.waitSeconds = std::max(nextReady - nowSeconds, 0.0);
+      }
+      return d;
     }
     d.key = *key;
     const double age = nowSeconds - oldestSubmit;

@@ -1,0 +1,127 @@
+#include "serve/breaker.h"
+
+namespace hplmxp::serve {
+
+void BreakerConfig::validate() const {
+  HPLMXP_REQUIRE(failureThreshold > 0,
+                 "breaker failure threshold must be positive");
+  HPLMXP_REQUIRE(openSeconds >= 0.0,
+                 "breaker cool-down must be non-negative");
+  HPLMXP_REQUIRE(halfOpenProbes > 0,
+                 "breaker needs at least one half-open probe");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void CircuitBreaker::trip(Entry& e, double now) {
+  e.state = State::kOpen;
+  e.reopenAt = now + config_.openSeconds;
+  e.probesInFlight = 0;
+  ++e.trips;
+}
+
+bool CircuitBreaker::allow(const ProblemKey& key, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return true;  // no history: closed, and no entry allocated until needed
+  }
+  Entry& e = it->second;
+  if (e.state == State::kOpen) {
+    if (now < e.reopenAt) {
+      ++e.rejections;
+      return false;
+    }
+    e.state = State::kHalfOpen;
+    e.probesInFlight = 0;
+  }
+  if (e.state == State::kHalfOpen) {
+    if (e.probesInFlight >= config_.halfOpenProbes) {
+      ++e.rejections;
+      return false;
+    }
+    ++e.probesInFlight;
+    return true;
+  }
+  return true;  // closed
+}
+
+void CircuitBreaker::onSuccess(const ProblemKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  e.state = State::kClosed;
+  e.consecutiveFailures = 0;
+  e.probesInFlight = 0;
+}
+
+void CircuitBreaker::onFailure(const ProblemKey& key, double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[key];
+  switch (e.state) {
+    case State::kClosed:
+      if (++e.consecutiveFailures >= config_.failureThreshold) {
+        trip(e, now);
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: the fault is still there, cool down again.
+      ++e.consecutiveFailures;
+      trip(e, now);
+      break;
+    case State::kOpen:
+      // A failure from a batch admitted before the trip; stays open and
+      // the cool-down restarts (fresh evidence the key is still broken).
+      ++e.consecutiveFailures;
+      e.reopenAt = now + config_.openSeconds;
+      break;
+  }
+}
+
+index_t CircuitBreaker::openCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    if (e.state == State::kOpen) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    n += e.trips;
+  }
+  return n;
+}
+
+std::uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    n += e.rejections;
+  }
+  return n;
+}
+
+std::vector<CircuitBreaker::KeySnapshot> CircuitBreaker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<KeySnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    out.push_back({key, e.state, e.consecutiveFailures, e.trips,
+                   e.rejections});
+  }
+  return out;
+}
+
+}  // namespace hplmxp::serve

@@ -1,0 +1,115 @@
+// Per-key circuit breaker: the serve layer's answer to a *persistently*
+// failing problem key (a poisoned factorization, a key whose solves keep
+// tripping the chaos harness, a shape the backend mishandles).
+//
+// Retries handle transient faults; they make persistent ones worse — every
+// retry burns a worker lane that healthy keys are queued behind. The
+// breaker cuts that loss off with the classic three-state machine:
+//
+//     closed ──(failureThreshold consecutive failures)──▶ open
+//       ▲                                                  │
+//       │ probe succeeds                 cool-down elapses  │
+//       └───────────── half-open ◀──────────────────────────┘
+//                        │ probe fails: back to open
+//
+// While open, submissions for the key are rejected immediately with
+// kRejectedCircuitOpen (a structured answer, never a hang — the same
+// contract as every other rejection). After `openSeconds` the next
+// admission becomes a probe: it runs, and its outcome decides between
+// closing the circuit and another cool-down round.
+//
+// The breaker gates *admission only*. Requests already queued when the
+// circuit trips still execute; their outcomes keep feeding the state
+// machine. All methods are thread-safe; time is the engine's monotonic
+// clock, passed in explicitly so the policy stays deterministic and
+// unit-testable without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/problem_key.h"
+#include "util/common.h"
+
+namespace hplmxp::serve {
+
+struct BreakerConfig {
+  bool enabled = false;
+  /// Consecutive batch failures for one key that trip its circuit.
+  index_t failureThreshold = 3;
+  /// Cool-down while open; the first admission after it is the probe.
+  double openSeconds = 0.050;
+  /// Probe admissions allowed while half-open (before a verdict).
+  index_t halfOpenProbes = 1;
+
+  void validate() const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct KeySnapshot {
+    ProblemKey key;
+    State state = State::kClosed;
+    index_t consecutiveFailures = 0;
+    std::uint64_t trips = 0;
+    std::uint64_t rejections = 0;
+  };
+
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Admission gate. True = proceed (in half-open state this consumes a
+  /// probe slot); false = reject with kRejectedCircuitOpen.
+  [[nodiscard]] bool allow(const ProblemKey& key, double now);
+
+  /// A batch for `key` completed; closes a half-open circuit and resets
+  /// the failure streak.
+  void onSuccess(const ProblemKey& key);
+
+  /// A batch for `key` failed terminally (retry budget exhausted or a
+  /// non-retryable error). Advances closed toward open; re-opens a
+  /// half-open circuit.
+  void onFailure(const ProblemKey& key, double now);
+
+  /// Circuits currently open (cooling down). Drives the engine's degraded
+  /// mode.
+  [[nodiscard]] index_t openCount() const;
+
+  /// Total closed->open (and half-open->open) transitions.
+  [[nodiscard]] std::uint64_t trips() const;
+
+  /// Total admissions rejected while open/half-open.
+  [[nodiscard]] std::uint64_t rejections() const;
+
+  [[nodiscard]] std::vector<KeySnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    index_t consecutiveFailures = 0;
+    double reopenAt = 0.0;        // engine-clock instant; valid while open
+    index_t probesInFlight = 0;   // admissions granted while half-open
+    std::uint64_t trips = 0;
+    std::uint64_t rejections = 0;
+  };
+
+  void trip(Entry& e, double now);
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  std::map<ProblemKey, Entry> entries_;
+};
+
+[[nodiscard]] constexpr const char* toString(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace hplmxp::serve

@@ -21,6 +21,16 @@ std::chrono::duration<double> secondsOf(double s) {
   return std::chrono::duration<double>(s);
 }
 
+/// SplitMix64 over (request id, attempt): the jitter source for retry
+/// backoff. Deterministic so chaos runs replay exactly.
+double jitter01(std::uint64_t id, std::uint64_t attempt) {
+  std::uint64_t z = id * 0x9E3779B97F4A7C15ull + attempt + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 const RequestOutcome& ServeEngine::Handle::wait() {
@@ -50,10 +60,16 @@ ServeEngine::ServeEngine(ServeConfig config, ThreadPool* pool)
       pool_(pool != nullptr ? pool : &ThreadPool::global()),
       cache_(config_.cacheBytes),
       batcher_(BatchPolicy{config_.maxBatch, config_.maxBatchDelaySeconds}),
+      breaker_(config_.breaker),
       queue_(config_.queueDepth),
       paused_(config_.startPaused) {
   HPLMXP_REQUIRE(config_.workers > 0, "serve engine needs >= 1 worker");
   HPLMXP_REQUIRE(config_.maxRetries >= 0, "retry budget must be >= 0");
+  HPLMXP_REQUIRE(config_.retryBackoffSeconds >= 0.0 &&
+                     config_.retryBackoffMaxSeconds >= 0.0,
+                 "retry backoff must be non-negative");
+  HPLMXP_REQUIRE(config_.degradedOpenBreakers >= 0,
+                 "degraded-mode threshold must be >= 0");
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (index_t lane = 0; lane < config_.workers; ++lane) {
     workers_.emplace_back([this, lane] { workerLoop(lane); });
@@ -94,13 +110,29 @@ ServeEngine::HandlePtr ServeEngine::submit(const SolveRequest& request) {
     return handle;
   }
 
+  // Circuit breaker: a key with an open circuit is answered immediately
+  // with a structured rejection — no queue slot, no worker time.
+  if (config_.breaker.enabled && !breaker_.allow(request.key, submitNow)) {
+    lock.unlock();
+    outcome.status = RequestStatus::kRejectedCircuitOpen;
+    outcome.error = "circuit open for key " + request.key.toString();
+    outcome.totalSeconds = now() - submitNow;
+    recorder_.record(outcome);
+    handle->finish(std::move(outcome), {});
+    return handle;
+  }
+
   QueuedRequest qr;
   qr.request = request;
   qr.request.id = outcome.id;
   qr.submitSeconds = submitNow;
-  const double rel = request.deadlineSeconds > 0.0
-                         ? request.deadlineSeconds
-                         : config_.defaultDeadlineSeconds;
+  double rel = request.deadlineSeconds > 0.0 ? request.deadlineSeconds
+                                             : config_.defaultDeadlineSeconds;
+  if (rel > 0.0 && degraded()) {
+    // Degraded mode sheds deadline slack: while circuits are burning the
+    // engine promises less and answers sooner.
+    rel *= config_.degradedDeadlineScale;
+  }
   qr.deadlineSeconds = rel > 0.0 ? submitNow + rel : 0.0;
   qr.handle = handle;
 
@@ -149,6 +181,22 @@ void ServeEngine::stop() {
   }
 }
 
+bool ServeEngine::degraded() const {
+  return config_.breaker.enabled && config_.degradedOpenBreakers > 0 &&
+         breaker_.openCount() >= config_.degradedOpenBreakers;
+}
+
+double ServeEngine::retryBackoff(std::uint64_t id, index_t attempt) const {
+  if (config_.retryBackoffSeconds <= 0.0) {
+    return 0.0;
+  }
+  const double exp = static_cast<double>(
+      std::uint64_t{1} << std::min<index_t>(attempt, 10));
+  const double j = 0.5 + 0.5 * jitter01(id, static_cast<std::uint64_t>(attempt));
+  return std::min(config_.retryBackoffSeconds * exp * j,
+                  config_.retryBackoffMaxSeconds);
+}
+
 ServeReport ServeEngine::report() const {
   index_t peak = 0;
   {
@@ -160,6 +208,12 @@ ServeReport ServeEngine::report() const {
     const simmpi::FaultStats s = config_.chaos->stats();
     r.injectedDelays = s.delays;
     r.injectedTransients = s.transientFailures;
+  }
+  if (config_.breaker.enabled) {
+    r.breakerTrips = breaker_.trips();
+    r.breakerRejections = breaker_.rejections();
+    r.breakersOpen = breaker_.openCount();
+    r.degraded = degraded();
   }
   return r;
 }
@@ -174,16 +228,33 @@ void ServeEngine::workerLoop(index_t lane) {
       cv_.wait(lock);
       continue;
     }
-    const Batcher::Decision d = batcher_.decide(queue_, now());
+    const double t = now();
+    Batcher::Decision d = batcher_.decide(queue_, t);
+    const bool isDegraded = degraded();
+    if (isDegraded && !d.dispatch) {
+      // Degraded mode drops the coalescing window: dispatch any ready key
+      // immediately (backoff eligibility still applies).
+      double submit = 0.0;
+      double nextReady = 0.0;
+      const ProblemKey* ready = queue_.readyKey(t, &submit, &nextReady);
+      if (ready != nullptr) {
+        d.dispatch = true;
+        d.key = *ready;
+      }
+    }
     if (!d.dispatch && !stopping_) {
       // Hold the partial batch open for the rest of its coalescing
-      // window; new arrivals notify and re-decide.
+      // window (or until the earliest backed-off retry matures); new
+      // arrivals notify and re-decide.
       cv_.wait_for(lock,
                    secondsOf(std::max(d.waitSeconds, kMinBatchWaitSeconds)));
       continue;
     }
-    // Dispatch (or stop-flush without waiting out the window).
-    std::vector<QueuedRequest> batch = queue_.take(d.key, config_.maxBatch);
+    // Dispatch (or stop-flush without waiting out the window). Stop-flush
+    // ignores backoff eligibility: every admitted request must terminate.
+    const index_t cap = isDegraded ? 1 : config_.maxBatch;
+    std::vector<QueuedRequest> batch =
+        stopping_ ? queue_.take(d.key, cap) : queue_.take(d.key, cap, t);
     if (batch.empty()) {
       continue;
     }
@@ -275,6 +346,10 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
         finishRequest(qr, std::move(o), {});
       } else {
         ++qr.retries;
+        // Jittered exponential backoff keeps a retry storm from hammering
+        // the same key back-to-back; 0 base keeps the legacy behavior.
+        qr.notBeforeSeconds =
+            now() + retryBackoff(qr.request.id, qr.retries);
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.pushRetry(std::move(qr));
         requeued = true;
@@ -285,8 +360,21 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
     }
   };
   if (transient) {
+    // Lane-attributed chaos, not a property of the key — retried without
+    // feeding the per-key breaker.
     config_.chaos->noteTransient();
     requeueOrFail(batch, "injected transient fault");
+    return;
+  }
+
+  // Key-attributed fault hook (tests/benches): a poisoned key fails every
+  // execution attempt, flows through the retry path, and feeds the
+  // breaker so persistent failure eventually trips the circuit.
+  if (config_.keyFaultHook && config_.keyFaultHook(key)) {
+    if (config_.breaker.enabled) {
+      breaker_.onFailure(key, now());
+    }
+    requeueOrFail(batch, "injected key fault");
     return;
   }
 
@@ -314,6 +402,13 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
         *fetch.factors, gen, rhsSeeds, xs, config_.maxIrIterations, pool_);
     recorder_.recordBatch(static_cast<index_t>(batch.size()));
 
+    // Feed the breaker BEFORE publishing outcomes: a client that saw its
+    // half-open probe complete must find the circuit closed, not still
+    // holding the probe slot.
+    if (config_.breaker.enabled) {
+      breaker_.onSuccess(key);
+    }
+
     const double done = now();
     for (std::size_t c = 0; c < batch.size(); ++c) {
       QueuedRequest& qr = batch[c];
@@ -340,6 +435,9 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
     // exceptions) follow the same bounded-retry path as transients.
     logWarn("serve worker ", lane, ": batch for ", key.toString(),
             " failed: ", e.what());
+    if (config_.breaker.enabled) {
+      breaker_.onFailure(key, now());
+    }
     requeueOrFail(batch, std::string("solver error: ") + e.what());
   }
 }

@@ -35,6 +35,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,6 +43,7 @@
 
 #include "device/device.h"
 #include "serve/batcher.h"
+#include "serve/breaker.h"
 #include "serve/factor_cache.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
@@ -65,6 +67,31 @@ struct ServeConfig {
   bool startPaused = false;      // hold dispatch until resume() (tests)
   /// Optional chaos injector; lanes are addressed as ranks 0..workers-1.
   std::shared_ptr<simmpi::FaultInjector> chaos;
+
+  /// Per-key circuit breaker (serve/breaker.h). Default-off: enabling it
+  /// turns persistent per-key failures into immediate structured
+  /// kRejectedCircuitOpen answers instead of retry storms.
+  BreakerConfig breaker;
+
+  /// Jittered exponential backoff for retry requeues: a retried request
+  /// becomes dispatchable only after base * 2^retries seconds, scaled by
+  /// a deterministic per-(request, attempt) jitter in [0.5, 1), and
+  /// capped. 0 = retries are immediately eligible (the old behavior).
+  double retryBackoffSeconds = 0.0;
+  double retryBackoffMaxSeconds = 0.250;
+
+  /// Degraded mode: when at least this many circuits are open at once the
+  /// engine stops coalescing (batch size 1, no window) and shrinks the
+  /// default deadline of new admissions by `degradedDeadlineScale` —
+  /// shedding optional latency optimizations to keep healthy keys moving
+  /// while part of the keyspace is burning. 0 disables.
+  index_t degradedOpenBreakers = 0;
+  double degradedDeadlineScale = 0.5;
+
+  /// Test/bench hook: keys for which every batch execution fails (a
+  /// deterministic stand-in for a poisoned factorization). Failures flow
+  /// through the normal retry-then-breaker path.
+  std::function<bool(const ProblemKey&)> keyFaultHook;
 };
 
 class ServeEngine {
@@ -117,6 +144,10 @@ class ServeEngine {
 
   [[nodiscard]] ServeReport report() const;
   [[nodiscard]] const FactorCache& cache() const { return cache_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
+  /// True while enough circuits are open to shed batching and shrink
+  /// deadlines (ServeConfig::degradedOpenBreakers).
+  [[nodiscard]] bool degraded() const;
   [[nodiscard]] std::vector<RequestOutcome> outcomes() const {
     return recorder_.outcomes();
   }
@@ -128,11 +159,13 @@ class ServeEngine {
   void finishRequest(QueuedRequest& qr, RequestOutcome outcome,
                      std::vector<double> solution);
   [[nodiscard]] double now() const { return clock_.seconds(); }
+  [[nodiscard]] double retryBackoff(std::uint64_t id, index_t attempt) const;
 
   ServeConfig config_;
   ThreadPool* pool_;
   FactorCache cache_;
   Batcher batcher_;
+  CircuitBreaker breaker_;
   LatencyRecorder recorder_;
   Timer clock_;  // engine-relative monotonic clock
 

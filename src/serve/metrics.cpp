@@ -81,6 +81,9 @@ ServeReport LatencyRecorder::report(const FactorCache::Stats& cacheStats,
       case RequestStatus::kRejectedDeadline:
         ++r.rejectedDeadline;
         break;
+      case RequestStatus::kRejectedCircuitOpen:
+        ++r.rejectedCircuitOpen;
+        break;
       case RequestStatus::kFailed:
         ++r.failed;
         break;
@@ -104,6 +107,8 @@ Table ServeReport::toTable() const {
   t.addRow({"rejected (queue full)",
             Table::num((long long)rejectedQueueFull)});
   t.addRow({"rejected (deadline)", Table::num((long long)rejectedDeadline)});
+  t.addRow({"rejected (circuit open)",
+            Table::num((long long)rejectedCircuitOpen)});
   t.addRow({"failed", Table::num((long long)failed)});
   t.addRow({"retries (chaos)", Table::num((long long)retries)});
   t.addRow({"wall seconds", Table::num(wallSeconds, 3)});
@@ -112,6 +117,10 @@ Table ServeReport::toTable() const {
   t.addRow({"mean / max batch", Table::num(meanBatchSize, 2) + " / " +
                                     Table::num((long long)maxBatchSize)});
   t.addRow({"peak queue depth", Table::num((long long)peakQueueDepth)});
+  t.addRow({"breaker trips", Table::num((long long)breakerTrips)});
+  t.addRow({"breakers open / degraded",
+            Table::num((long long)breakersOpen) + " / " +
+                (degraded ? "yes" : "no")});
   t.addRow({"cache hit rate", Table::num(cache.hitRate() * 100.0, 1) + "%"});
   t.addRow({"factorizations run", Table::num((long long)cache.factorCount)});
   t.addRow({"cache evictions", Table::num((long long)cache.evictions)});
@@ -138,6 +147,7 @@ std::string ServeReport::toJson() const {
   os << "  \"completed\": " << completed << ",\n";
   os << "  \"rejected_queue_full\": " << rejectedQueueFull << ",\n";
   os << "  \"rejected_deadline\": " << rejectedDeadline << ",\n";
+  os << "  \"rejected_circuit_open\": " << rejectedCircuitOpen << ",\n";
   os << "  \"failed\": " << failed << ",\n";
   os << "  \"retries\": " << retries << ",\n";
   os << "  \"wall_seconds\": " << wallSeconds << ",\n";
@@ -148,6 +158,10 @@ std::string ServeReport::toJson() const {
   os << "  \"peak_queue_depth\": " << peakQueueDepth << ",\n";
   os << "  \"injected_delays\": " << injectedDelays << ",\n";
   os << "  \"injected_transients\": " << injectedTransients << ",\n";
+  os << "  \"breaker_trips\": " << breakerTrips << ",\n";
+  os << "  \"breaker_rejections\": " << breakerRejections << ",\n";
+  os << "  \"breakers_open\": " << breakersOpen << ",\n";
+  os << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n";
   os << "  \"cache_hit_rate\": " << cache.hitRate() << ",\n";
   os << "  \"cache_hits\": " << cache.hits << ",\n";
   os << "  \"cache_coalesced\": " << cache.coalesced << ",\n";

@@ -36,6 +36,7 @@ struct ServeReport {
   std::uint64_t completed = 0;
   std::uint64_t rejectedQueueFull = 0;
   std::uint64_t rejectedDeadline = 0;
+  std::uint64_t rejectedCircuitOpen = 0;
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
 
@@ -49,6 +50,13 @@ struct ServeReport {
   // Chaos tallies (zero when no injector is armed).
   std::uint64_t injectedDelays = 0;
   std::uint64_t injectedTransients = 0;
+
+  // Circuit-breaker picture (zero when the breaker is disabled). Filled
+  // by the engine, not the recorder.
+  std::uint64_t breakerTrips = 0;
+  std::uint64_t breakerRejections = 0;
+  index_t breakersOpen = 0;
+  bool degraded = false;
 
   FactorCache::Stats cache;
   LatencyPercentiles queueWait;  // completed requests only

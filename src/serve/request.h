@@ -29,6 +29,7 @@ enum class RequestStatus {
   kCompleted,
   kRejectedQueueFull,
   kRejectedDeadline,
+  kRejectedCircuitOpen,
   kFailed,
 };
 
@@ -38,6 +39,7 @@ enum class RequestStatus {
     case RequestStatus::kCompleted: return "completed";
     case RequestStatus::kRejectedQueueFull: return "rejected-queue-full";
     case RequestStatus::kRejectedDeadline: return "rejected-deadline";
+    case RequestStatus::kRejectedCircuitOpen: return "rejected-circuit-open";
     case RequestStatus::kFailed: return "failed";
   }
   return "?";

@@ -1,7 +1,9 @@
 #include "simmpi/comm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <deque>
 #include <optional>
 #include <thread>
 
@@ -24,6 +26,40 @@ struct Mailbox {
   std::map<std::pair<index_t, Tag>, std::queue<std::vector<std::byte>>> slots;
 };
 
+/// One logged receive: enough to re-serve the payload during replay and to
+/// assert that the re-execution asked for exactly the same message.
+struct ReplayRecord {
+  std::uint64_t commId = 0;
+  index_t src = 0;
+  Tag tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Replay-log slot of one world rank. Owned by that rank's thread: every
+/// access happens on the rank's own comm ops (or while the run is joined),
+/// so no synchronization is needed. counters.ibcastSeq is the live ibcast
+/// ordinal store while the log is armed (it must rewind with the rest of
+/// the counters, which CommState's own ibcastSeq cannot).
+struct ReplayRank {
+  ReplayCounters counters;
+  bool replaying = false;
+  ReplayCounters target;            // crash-time counters to catch up to
+  std::uint64_t recvBase = 0;       // ordinal of records.front()
+  std::deque<ReplayRecord> records;
+  std::uint64_t logBytes = 0;
+  std::uint64_t logPeakBytes = 0;
+  std::uint64_t recvsReplayed = 0;
+  std::uint64_t sendsSuppressed = 0;
+  std::uint64_t barriersSkipped = 0;
+};
+
+/// Shared across a world and all its split children (like the fault
+/// injector), indexed by boundThreadRank().
+struct ReplayLog {
+  explicit ReplayLog(index_t n) : ranks(static_cast<std::size_t>(n)) {}
+  std::vector<ReplayRank> ranks;
+};
+
 /// State of one in-flight split() across all ranks of a comm.
 struct SplitOp {
   std::vector<std::optional<std::pair<index_t, index_t>>> entries;
@@ -37,12 +73,15 @@ struct SplitOp {
 struct CommState {
   explicit CommState(index_t n) : size(n), boxes(n), splitEpoch(n, 0),
                                   ibcastSeq(n, 0) {
+    static std::atomic<std::uint64_t> nextCommId{1};
+    commId = nextCommId.fetch_add(1, std::memory_order_relaxed);
     for (auto& b : boxes) {
       b = std::make_unique<Mailbox>();
     }
   }
 
   index_t size;
+  std::uint64_t commId = 0;  // process-unique; keys replay-log assertions
   std::vector<std::unique_ptr<Mailbox>> boxes;
 
   // Central sense-reversing barrier.
@@ -66,6 +105,7 @@ struct CommState {
   int sendMaxRetries = 3;
   std::chrono::microseconds sendBackoff{50};
   std::shared_ptr<FaultInjector> faults;
+  std::shared_ptr<ReplayLog> replay;  // armed by enableReplayLog()
 };
 
 }  // namespace detail
@@ -120,6 +160,129 @@ const std::shared_ptr<FaultInjector>& Comm::faultInjector() const {
   return state_->faults;
 }
 
+void Comm::enableReplayLog() {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  if (state_->replay == nullptr) {
+    state_->replay = std::make_shared<detail::ReplayLog>(state_->size);
+  }
+}
+
+bool Comm::replayLogEnabled() const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  return state_->replay != nullptr;
+}
+
+namespace {
+detail::ReplayRank& replayRankAt(const std::shared_ptr<detail::ReplayLog>& log,
+                                 index_t worldRank) {
+  HPLMXP_REQUIRE(log != nullptr, "replay log not enabled on this comm");
+  HPLMXP_REQUIRE(
+      worldRank >= 0 && worldRank < static_cast<index_t>(log->ranks.size()),
+      "replay: world rank out of range");
+  return log->ranks[static_cast<std::size_t>(worldRank)];
+}
+}  // namespace
+
+ReplayCounters Comm::replayCounters(index_t worldRank) const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  return replayRankAt(state_->replay, worldRank).counters;
+}
+
+void Comm::beginReplay(index_t worldRank, const ReplayCounters& resumeFrom) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  detail::ReplayRank& slot = replayRankAt(state_->replay, worldRank);
+  HPLMXP_REQUIRE(!slot.replaying, "beginReplay: rank is already replaying");
+  HPLMXP_REQUIRE(resumeFrom.sends <= slot.counters.sends &&
+                     resumeFrom.recvs <= slot.counters.recvs &&
+                     resumeFrom.barriers <= slot.counters.barriers,
+                 "beginReplay: resume point is ahead of the rank");
+  HPLMXP_REQUIRE(resumeFrom.recvs >= slot.recvBase,
+                 "beginReplay: replay log was trimmed past the checkpoint");
+  slot.target = slot.counters;
+  slot.counters = resumeFrom;
+  slot.replaying = !slot.counters.atSameOps(slot.target);
+}
+
+bool Comm::replaying(index_t worldRank) const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  // The slot's flag is cleared lazily at the next op; report catch-up
+  // eagerly so "just finished the last replayed op" reads as live.
+  const detail::ReplayRank& slot = replayRankAt(state_->replay, worldRank);
+  return slot.replaying && !slot.counters.atSameOps(slot.target);
+}
+
+void Comm::trimReplayLog(index_t worldRank, std::uint64_t keepFromRecv) {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  detail::ReplayRank& slot = replayRankAt(state_->replay, worldRank);
+  HPLMXP_REQUIRE(keepFromRecv <= slot.counters.recvs,
+                 "trimReplayLog: cannot trim past the present");
+  while (slot.recvBase < keepFromRecv && !slot.records.empty()) {
+    slot.logBytes -= slot.records.front().payload.size();
+    slot.records.pop_front();
+    ++slot.recvBase;
+  }
+  slot.recvBase = keepFromRecv;
+}
+
+ReplayActivity Comm::replayActivity(index_t worldRank) const {
+  HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
+  const detail::ReplayRank& slot = replayRankAt(state_->replay, worldRank);
+  ReplayActivity a;
+  a.recvsReplayed = slot.recvsReplayed;
+  a.sendsSuppressed = slot.sendsSuppressed;
+  a.barriersSkipped = slot.barriersSkipped;
+  a.logRecords = slot.records.size();
+  a.logBytes = slot.logBytes;
+  a.logPeakBytes = slot.logPeakBytes;
+  return a;
+}
+
+void Comm::serveReplayedRecv(detail::ReplayRank& rep, index_t src, Tag tag,
+                             void* data, std::size_t bytes) const {
+  HPLMXP_REQUIRE(rep.counters.recvs < rep.target.recvs,
+                 "replay overran its recv target");
+  const std::uint64_t ord = rep.counters.recvs;
+  HPLMXP_REQUIRE(ord >= rep.recvBase &&
+                     ord - rep.recvBase < rep.records.size(),
+                 "replay log is missing a logged recv");
+  const detail::ReplayRecord& rec =
+      rep.records[static_cast<std::size_t>(ord - rep.recvBase)];
+  HPLMXP_REQUIRE(rec.commId == state_->commId && rec.src == src &&
+                     rec.tag == tag && rec.payload.size() == bytes,
+                 "replay diverged: re-executed recv does not match the log");
+  if (bytes > 0) {
+    std::memcpy(data, rec.payload.data(), bytes);
+  }
+  ++rep.counters.recvs;
+  ++rep.recvsReplayed;
+}
+
+void Comm::logRecv(detail::ReplayRank& rep, index_t src, Tag tag,
+                   std::vector<std::byte> payload) const {
+  rep.logBytes += payload.size();
+  rep.logPeakBytes = std::max(rep.logPeakBytes, rep.logBytes);
+  rep.records.push_back(
+      detail::ReplayRecord{state_->commId, src, tag, std::move(payload)});
+  ++rep.counters.recvs;
+}
+
+detail::ReplayRank* Comm::replaySlot() const {
+  const auto& log = state_->replay;
+  if (log == nullptr) {
+    return nullptr;
+  }
+  const index_t who = boundThreadRank();
+  if (who < 0 || who >= static_cast<index_t>(log->ranks.size())) {
+    return nullptr;
+  }
+  detail::ReplayRank* slot = &log->ranks[static_cast<std::size_t>(who)];
+  if (slot->replaying && slot->counters.atSameOps(slot->target)) {
+    // Caught up with the crash point: the next op executes live.
+    slot->replaying = false;
+  }
+  return slot;
+}
+
 namespace {
 
 void applyDecisionSleep(FaultInjector& inj, const FaultDecision& d) {
@@ -152,16 +315,25 @@ void Comm::injectOnSend(index_t dest, Tag tag,
       throwCrash(who);
     }
     applyDecisionSleep(inj, d);
-    if (d.flipBit && payload.size() >= 2 &&
+    const std::size_t wordBytes = cfg.flipFp32Words ? 4 : 2;
+    if (d.flipBit && payload.size() >= wordBytes &&
         payload.size() >= cfg.bitflipMinBytes) {
-      // Flip bit 14 of a plan-chosen 16-bit word: the second-highest
-      // exponent bit for binary16 payloads, so corrupted panel entries
-      // blow up into the abnormal-magnitude range scanAbnormal detects.
-      const std::size_t words = payload.size() / 2;
+      // Flip the second-highest exponent bit of a plan-chosen word — bit
+      // 14 of a 16-bit word (binary16) or bit 30 of a 32-bit word
+      // (binary32) — so corrupted panel entries blow up into the
+      // abnormal-magnitude range scanAbnormal detects (and ABFT corrects).
+      const std::size_t words = payload.size() / wordBytes;
       const std::size_t w = static_cast<std::size_t>(
           d.flipSelector % static_cast<std::uint64_t>(words));
-      payload[2 * w + 1] ^= std::byte{0x40};
-      inj.noteBitflip();
+      const std::size_t byteOffset = wordBytes * w + (wordBytes - 1);
+      payload[byteOffset] ^= std::byte{0x40};
+      FlipRecord record;
+      record.rank = who;
+      record.opIndex = inj.opsSeen(who) - 1;  // the op next() just drew
+      record.byteOffset = byteOffset;
+      record.bit = 6;  // bit 6 of that byte == word bit 14 / 30
+      record.payloadBytes = payload.size();
+      inj.noteBitflip(record);
     }
     if (!d.transientSendFailure) {
       return;
@@ -194,24 +366,43 @@ void Comm::sendBytes(index_t dest, Tag tag, const void* data,
                      std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   HPLMXP_REQUIRE(dest >= 0 && dest < state_->size, "send: bad destination");
+  detail::ReplayRank* rep = replaySlot();
+  if (rep != nullptr && rep->replaying) {
+    // The pre-crash execution already delivered this send (buffered eager
+    // transport); re-sending would double messages at the peers. Swallow.
+    HPLMXP_REQUIRE(rep->counters.sends < rep->target.sends,
+                   "replay overran its send target");
+    ++rep->counters.sends;
+    ++rep->sendsSuppressed;
+    return;
+  }
   auto& box = *state_->boxes[static_cast<std::size_t>(dest)];
   std::vector<std::byte> payload(bytes);
   if (bytes > 0) {
     std::memcpy(payload.data(), data, bytes);
   }
   if (state_->faults != nullptr && state_->faults->armed()) {
-    injectOnSend(dest, tag, payload);
+    injectOnSend(dest, tag, payload);  // a crash throws before delivery,
+                                       // so the op stays uncounted
   }
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.slots[{rank_, tag}].push(std::move(payload));
   }
   box.cv.notify_all();
+  if (rep != nullptr) {
+    ++rep->counters.sends;
+  }
 }
 
 void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
+  detail::ReplayRank* rep = replaySlot();
+  if (rep != nullptr && rep->replaying) {
+    serveReplayedRecv(*rep, src, tag, data, bytes);
+    return;
+  }
   if (state_->faults != nullptr && state_->faults->armed()) {
     injectOnOp("recv");
   }
@@ -241,12 +432,22 @@ void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
   if (bytes > 0) {
     std::memcpy(data, payload.data(), bytes);
   }
+  if (rep != nullptr) {
+    logRecv(*rep, src, tag, std::move(payload));
+  }
 }
 
 bool Comm::tryRecvBytes(index_t src, Tag tag, void* data,
                         std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
+  detail::ReplayRank* rep = replaySlot();
+  if (rep != nullptr && rep->replaying) {
+    // The original execution completed this recv (it is in the log), so
+    // during replay it is always "already arrived".
+    serveReplayedRecv(*rep, src, tag, data, bytes);
+    return true;
+  }
   auto& box = *state_->boxes[static_cast<std::size_t>(rank_)];
   std::vector<std::byte> payload;
   {
@@ -266,12 +467,25 @@ bool Comm::tryRecvBytes(index_t src, Tag tag, void* data,
   if (bytes > 0) {
     std::memcpy(data, payload.data(), bytes);
   }
+  if (rep != nullptr) {
+    logRecv(*rep, src, tag, std::move(payload));
+  }
   return true;
 }
 
 void Comm::barrier() {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   auto& st = *state_;
+  detail::ReplayRank* rep = replaySlot();
+  if (rep != nullptr && rep->replaying) {
+    // The peers already passed this barrier before the crash; re-entering
+    // would desynchronize the central count. Skip.
+    HPLMXP_REQUIRE(rep->counters.barriers < rep->target.barriers,
+                   "replay overran its barrier target");
+    ++rep->counters.barriers;
+    ++rep->barriersSkipped;
+    return;
+  }
   if (st.faults != nullptr && st.faults->armed()) {
     injectOnOp("barrier");
   }
@@ -288,6 +502,9 @@ void Comm::barrier() {
     } else if (!st.barrierCv.wait_for(lock, st.timeout, released)) {
       throw CommTimeoutError("barrier", rank_, -1, 0, st.timeout);
     }
+  }
+  if (rep != nullptr) {
+    ++rep->counters.barriers;
   }
 }
 
@@ -316,7 +533,13 @@ Request Comm::ibcastBytes(index_t root, void* data, std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   const index_t p = state_->size;
   HPLMXP_REQUIRE(root >= 0 && root < p, "ibcast: bad root");
-  const index_t seq = state_->ibcastSeq[static_cast<std::size_t>(rank_)]++;
+  // With the replay log armed the ibcast ordinal lives in the rank's
+  // replay slot (keyed by comm), so a checkpoint rewind restores it and
+  // replayed ibcasts re-derive the tags the original execution used.
+  detail::ReplayRank* rep = replaySlot();
+  const index_t seq =
+      rep != nullptr ? rep->counters.ibcastSeq[state_->commId]++
+                     : state_->ibcastSeq[static_cast<std::size_t>(rank_)]++;
   const Tag tag = detail::kIbcastBase - seq;
   if (p == 1) {
     return Request{};
@@ -486,6 +709,7 @@ Comm Comm::split(index_t color, index_t key) {
       newState->sendMaxRetries = st.sendMaxRetries;
       newState->sendBackoff = st.sendBackoff;
       newState->faults = st.faults;
+      newState->replay = st.replay;
       for (index_t newRank = 0;
            newRank < static_cast<index_t>(members.size()); ++newRank) {
         const index_t oldRank =

@@ -20,6 +20,13 @@
 //     retried with exponential backoff before surfacing as CommSendError.
 //   * setFaultInjector(): installs a deterministic simmpi::FaultInjector
 //     (faults.h); sub-communicators created by split() inherit it.
+//   * enableReplayLog(): keeps per-world-rank comm-op counters and a
+//     bounded log of received payloads so a crashed rank can be
+//     resurrected and deterministically re-executed from a checkpoint
+//     (recovery.h): replayed sends are swallowed (the buffered transport
+//     already delivered them), replayed recvs are served from the log, and
+//     replayed barriers are skipped — the rank goes live again exactly at
+//     the op where it died.
 #pragma once
 
 #include <atomic>
@@ -46,7 +53,38 @@ class FaultInjector;
 
 namespace detail {
 struct CommState;
+struct ReplayRank;
 }
+
+/// Per-world-rank communication-op counters: the replay log's notion of
+/// "where a rank is" in its deterministic op sequence. A checkpoint
+/// snapshots them; resurrection rewinds to the snapshot and replays until
+/// the counters reach their crash-time values again.
+struct ReplayCounters {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t barriers = 0;
+  /// Per-communicator ibcast ordinals (keyed by an internal comm id).
+  /// Ibcast tags are derived from these, so a rewind must restore them for
+  /// replayed ibcasts to re-derive the tags the original execution used.
+  std::map<std::uint64_t, index_t> ibcastSeq;
+
+  /// Replay progress compares op counts only (the ibcast ordinals advance
+  /// as a function of the op sequence).
+  [[nodiscard]] bool atSameOps(const ReplayCounters& o) const {
+    return sends == o.sends && recvs == o.recvs && barriers == o.barriers;
+  }
+};
+
+/// Replay-side tallies for one rank (a recovery report's raw material).
+struct ReplayActivity {
+  std::uint64_t recvsReplayed = 0;
+  std::uint64_t sendsSuppressed = 0;
+  std::uint64_t barriersSkipped = 0;
+  std::uint64_t logRecords = 0;  // recv payloads currently retained
+  std::uint64_t logBytes = 0;    // their total size
+  std::uint64_t logPeakBytes = 0;
+};
 
 /// Base class of communication-layer failures.
 class CommError : public CheckError {
@@ -196,6 +234,36 @@ class Comm {
   void setFaultInjector(std::shared_ptr<FaultInjector> injector);
   [[nodiscard]] const std::shared_ptr<FaultInjector>& faultInjector() const;
 
+  // --- crash-recovery replay log (see simmpi/recovery.h) ----------------
+  /// Arms the replay log on this comm (call on the WORLD communicator
+  /// before any split/communication; children share the log). Counters and
+  /// the recv-payload log are indexed by boundThreadRank(), so unbound
+  /// threads are never logged. The hot paths pay one pointer compare when
+  /// the log is off.
+  void enableReplayLog();
+  [[nodiscard]] bool replayLogEnabled() const;
+
+  /// Current op counters of a world rank (checkpoint material). Only
+  /// meaningful when called by that rank's own thread or while it is
+  /// quiescent.
+  [[nodiscard]] ReplayCounters replayCounters(index_t worldRank) const;
+
+  /// Puts `worldRank` into replay mode: its counters rewind to
+  /// `resumeFrom` (the checkpoint snapshot) and its ops are replayed —
+  /// sends swallowed, recvs served from the log, barriers skipped — until
+  /// the counters reach their values at the moment of this call, where the
+  /// rank flips back to live execution. Must be called by the rank's own
+  /// thread with no comm op in flight.
+  void beginReplay(index_t worldRank, const ReplayCounters& resumeFrom);
+  [[nodiscard]] bool replaying(index_t worldRank) const;
+
+  /// Drops logged recv payloads older than ordinal `keepFromRecv` (a
+  /// checkpoint's recv counter): the log stays bounded by one checkpoint
+  /// interval of traffic.
+  void trimReplayLog(index_t worldRank, std::uint64_t keepFromRecv);
+
+  [[nodiscard]] ReplayActivity replayActivity(index_t worldRank) const;
+
   // --- point to point -----------------------------------------------------
   void sendBytes(index_t dest, Tag tag, const void* data, std::size_t bytes);
   void recvBytes(index_t src, Tag tag, void* data, std::size_t bytes);
@@ -328,6 +396,20 @@ class Comm {
 
   /// Crash/stall injection point for receive-side and collective ops.
   void injectOnOp(const char* what);
+
+  /// Replay-log slot of the calling thread's bound world rank (nullptr
+  /// when the log is off or the thread is unbound). Flips the slot back to
+  /// live execution when its counters have reached the replay target.
+  [[nodiscard]] detail::ReplayRank* replaySlot() const;
+
+  /// Serves the next logged recv during replay, asserting the re-execution
+  /// asked for exactly the message the original execution received.
+  void serveReplayedRecv(detail::ReplayRank& rep, index_t src, Tag tag,
+                         void* data, std::size_t bytes) const;
+
+  /// Appends a live recv's payload to the replay log.
+  void logRecv(detail::ReplayRank& rep, index_t src, Tag tag,
+               std::vector<std::byte> payload) const;
 
   std::shared_ptr<detail::CommState> state_;
   index_t rank_ = 0;

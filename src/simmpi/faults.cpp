@@ -74,7 +74,8 @@ FaultDecision FaultPlan::decisionFor(index_t rank,
 FaultInjector::FaultInjector(FaultConfig config, index_t worldSize)
     : plan_(config),
       armed_(config.anyEnabled()),
-      opCount_(static_cast<std::size_t>(worldSize), 0) {
+      opCount_(static_cast<std::size_t>(worldSize), 0),
+      crashFired_(static_cast<std::size_t>(worldSize), 0) {
   HPLMXP_REQUIRE(worldSize > 0, "world size must be positive");
 }
 
@@ -83,7 +84,30 @@ FaultDecision FaultInjector::next(index_t rank) {
     return FaultDecision{};  // unbound thread: never injected into
   }
   const std::uint64_t op = opCount_[static_cast<std::size_t>(rank)]++;
-  return plan_.decisionFor(rank, op);
+  FaultDecision d = plan_.decisionFor(rank, op);
+  if (d.crash && plan_.config().crashOnce) {
+    // One-shot latch: the plan says "dead from op crashAtOp onward", but a
+    // resurrected rank must be able to communicate again. Each rank is one
+    // thread, so the latch needs no synchronization.
+    auto& fired = crashFired_[static_cast<std::size_t>(rank)];
+    if (fired != 0) {
+      d.crash = false;
+    } else {
+      fired = 1;
+    }
+  }
+  return d;
+}
+
+void FaultInjector::noteBitflip(const FlipRecord& record) {
+  bitflips_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(flipMutex_);
+  flips_.push_back(record);
+}
+
+std::vector<FlipRecord> FaultInjector::flipRecords() const {
+  std::lock_guard<std::mutex> lock(flipMutex_);
+  return flips_;
 }
 
 std::uint64_t FaultInjector::opsSeen(index_t rank) const {
@@ -124,6 +148,12 @@ FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
     cfg.bitflipMinBytes = 256;  // target bulk panel traffic, not control
     return cfg;
   }
+  if (name == "sdc32") {
+    cfg.bitflipProbability = 0.01;
+    cfg.bitflipMinBytes = 256;
+    cfg.flipFp32Words = true;  // corrupt FP32 diag/tile traffic instead
+    return cfg;
+  }
   if (name == "stall") {
     cfg.stallRank = worldSize > 1 ? 1 : 0;
     cfg.stallEveryOps = 4;
@@ -140,7 +170,7 @@ FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
 }
 
 std::vector<std::string> knownFaultScenarios() {
-  return {"none", "delay", "transient", "sdc", "stall", "crash"};
+  return {"none", "delay", "transient", "sdc", "sdc32", "stall", "crash"};
 }
 
 }  // namespace hplmxp::simmpi

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,11 @@ struct FaultConfig {
   /// Payloads smaller than this never get flipped (protects tiny control
   /// messages when the scenario targets bulk panel traffic).
   std::size_t bitflipMinBytes = 0;
+  /// Treat payloads as FP32 words: flip bit 30 of a plan-chosen 32-bit
+  /// word (the second-highest exponent bit of binary32) instead of bit 14
+  /// of a 16-bit word. Targets the FP32 diagonal-block and trailing-tile
+  /// traffic rather than the FP16 panels.
+  bool flipFp32Words = false;
 
   /// Targeted rank stall: `stallRank` sleeps `stallMicros` every
   /// `stallEveryOps` operations (a thermally-throttled or page-faulting
@@ -66,6 +72,13 @@ struct FaultConfig {
   /// `crashAtOp`-th communication operation (a lost node). -1 disables.
   index_t crashRank = -1;
   std::uint64_t crashAtOp = 0;
+  /// One-shot crash semantics: after the scheduled crash fires once the
+  /// rank communicates normally, so a recovery layer can resurrect it and
+  /// resume. Without recovery the crashed thread unwinds and never issues
+  /// another op, so this default changes nothing for legacy chaos runs.
+  /// Set false for the "node stays dead" interpretation (every op past
+  /// crashAtOp keeps crashing).
+  bool crashOnce = true;
 
   [[nodiscard]] bool anyEnabled() const {
     return delayProbability > 0.0 || transientSendProbability > 0.0 ||
@@ -115,6 +128,18 @@ struct FaultStats {
   std::uint64_t crashes = 0;
 };
 
+/// One applied payload bit flip, recorded exactly: which rank's send, at
+/// which op, which byte, which bit, and how large the payload was. ABFT
+/// tests cross these records against the corrections the checksum layer
+/// reports, proving every injected flip was found and undone.
+struct FlipRecord {
+  index_t rank = 0;            // sender whose payload was corrupted
+  std::uint64_t opIndex = 0;   // the sender's comm-op ordinal
+  std::size_t byteOffset = 0;  // flipped byte within the payload
+  int bit = 0;                 // flipped bit within that byte (0..7)
+  std::size_t payloadBytes = 0;
+};
+
 /// Shared injection state: the plan plus per-rank op counters and fault
 /// tallies. One instance is installed into a world (Comm::setFaultInjector)
 /// and inherited by every split sub-communicator; each rank-thread draws
@@ -134,13 +159,17 @@ class FaultInjector {
   /// Snapshot of the tallies (safe to read while ranks run).
   [[nodiscard]] FaultStats stats() const;
 
+  /// Every bit flip actually applied, in application order (mutex-guarded;
+  /// flips are rare so the lock never contends on the hot path).
+  [[nodiscard]] std::vector<FlipRecord> flipRecords() const;
+
   // Tallies, bumped by the comm layer as it applies decisions.
   void noteDelay() { delays_.fetch_add(1, std::memory_order_relaxed); }
   void noteTransient() {
     transients_.fetch_add(1, std::memory_order_relaxed);
   }
   void noteRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
-  void noteBitflip() { bitflips_.fetch_add(1, std::memory_order_relaxed); }
+  void noteBitflip(const FlipRecord& record);
   void noteStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
   void noteCrash() { crashes_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -148,6 +177,9 @@ class FaultInjector {
   FaultPlan plan_;
   bool armed_;
   std::vector<std::uint64_t> opCount_;  // per rank; single-writer each
+  std::vector<std::uint8_t> crashFired_;  // per rank; one-shot crash latch
+  mutable std::mutex flipMutex_;
+  std::vector<FlipRecord> flips_;
   std::atomic<std::uint64_t> delays_{0};
   std::atomic<std::uint64_t> transients_{0};
   std::atomic<std::uint64_t> retries_{0};
@@ -163,7 +195,8 @@ void bindThreadRank(index_t rank);
 [[nodiscard]] index_t boundThreadRank();
 
 /// Named fault scenarios for the chaos CLI and tests. Recognized names:
-/// none, delay, transient, sdc, stall, crash. Throws CheckError otherwise.
+/// none, delay, transient, sdc, sdc32, stall, crash. Throws CheckError
+/// otherwise.
 [[nodiscard]] FaultConfig faultScenario(const std::string& name,
                                         std::uint64_t seed,
                                         index_t worldSize);

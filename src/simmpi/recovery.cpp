@@ -1,0 +1,166 @@
+#include "simmpi/recovery.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace hplmxp::simmpi {
+
+RecoveryReport snapshotRecovery(const RecoveryStats& stats) {
+  RecoveryReport r;
+  r.checkpoints = stats.checkpoints.load();
+  r.resurrections = stats.resurrections.load();
+  r.stepsReplayed = stats.stepsReplayed.load();
+  r.recvsReplayed = stats.recvsReplayed.load();
+  r.sendsSuppressed = stats.sendsSuppressed.load();
+  r.barriersSkipped = stats.barriersSkipped.load();
+  r.checkpointBytesCopied = stats.checkpointBytesCopied.load();
+  r.replayLogPeakBytes = stats.replayLogPeakBytes.load();
+  r.abftPanelChecks = stats.abftPanelChecks.load();
+  r.abftGemmChecks = stats.abftGemmChecks.load();
+  r.flipsDetected = stats.flipsDetected.load();
+  r.flipsCorrected = stats.flipsCorrected.load();
+  r.checksumCorruptions = stats.checksumCorruptions.load();
+  return r;
+}
+
+void RankCheckpoint::saveRegenerable(index_t step, ReplayCounters counters) {
+  HPLMXP_REQUIRE(!hasMatrix_,
+                 "regenerable checkpoint cannot supersede a matrix one");
+  valid_ = true;
+  step_ = step;
+  counters_ = std::move(counters);
+}
+
+void RankCheckpoint::save(index_t step, ReplayCounters counters,
+                          const float* localA, index_t lda, index_t rows,
+                          index_t cols, index_t rowFrom, index_t colFrom) {
+  HPLMXP_REQUIRE(rows >= 0 && cols >= 0 && lda >= rows,
+                 "bad checkpoint extents");
+  HPLMXP_REQUIRE(rowFrom >= 0 && rowFrom <= rows && colFrom >= 0 &&
+                     colFrom <= cols,
+                 "bad checkpoint delta corner");
+  if (!hasMatrix_) {
+    HPLMXP_REQUIRE(rowFrom == 0 && colFrom == 0,
+                   "first matrix checkpoint must be a full copy");
+    rows_ = rows;
+    cols_ = cols;
+    matrix_.resize(static_cast<std::size_t>(rows) *
+                   static_cast<std::size_t>(cols));
+    hasMatrix_ = true;
+  } else {
+    HPLMXP_REQUIRE(rows == rows_ && cols == cols_,
+                   "checkpoint extents changed between saves");
+  }
+  // Everything outside the untouched [0, rowFrom) x [0, colFrom) corner is
+  // re-copied: full columns colFrom.., plus rows rowFrom.. of the corner's
+  // columns.
+  for (index_t j = 0; j < cols; ++j) {
+    const index_t r0 = j < colFrom ? rowFrom : 0;
+    const index_t count = rows - r0;
+    if (count <= 0) {
+      continue;
+    }
+    std::memcpy(matrix_.data() + static_cast<std::size_t>(j) * rows + r0,
+                localA + static_cast<std::size_t>(j) * lda + r0,
+                static_cast<std::size_t>(count) * sizeof(float));
+    bytesCopied_ += static_cast<std::uint64_t>(count) * sizeof(float);
+  }
+  valid_ = true;
+  step_ = step;
+  counters_ = std::move(counters);
+}
+
+void RankCheckpoint::restore(float* localA, index_t lda) const {
+  HPLMXP_REQUIRE(valid_ && hasMatrix_, "no matrix checkpoint to restore");
+  HPLMXP_REQUIRE(lda >= rows_, "bad restore leading dimension");
+  for (index_t j = 0; j < cols_; ++j) {
+    std::memcpy(localA + static_cast<std::size_t>(j) * lda,
+                matrix_.data() + static_cast<std::size_t>(j) * rows_,
+                static_cast<std::size_t>(rows_) * sizeof(float));
+  }
+}
+
+RecoveryManager::RecoveryManager(Comm world, RecoveryConfig config,
+                                 std::shared_ptr<RecoveryStats> stats,
+                                 Regenerate regen)
+    : world_(std::move(world)),
+      config_(config),
+      stats_(std::move(stats)),
+      regen_(std::move(regen)) {
+  config_.validate();
+  HPLMXP_REQUIRE(static_cast<bool>(regen_),
+                 "recovery needs a matrix regenerator");
+  HPLMXP_REQUIRE(world_.replayLogEnabled(),
+                 "recovery needs the comm replay log (RunOptions.replayLog)");
+  if (!stats_) {
+    stats_ = std::make_shared<RecoveryStats>();
+  }
+}
+
+index_t RecoveryManager::matrixStep() const {
+  return ckpt_.valid() && !ckpt_.regenerable() ? ckpt_.step() : -1;
+}
+
+void RecoveryManager::checkpoint(index_t step, const float* localA,
+                                 index_t lda, index_t rows, index_t cols,
+                                 index_t rowFrom, index_t colFrom) {
+  const index_t rank = world_.rank();
+  const bool replayingNow = world_.replaying(rank);
+  const std::uint64_t before = ckpt_.bytesCopied();
+  ReplayCounters counters = world_.replayCounters(rank);
+  const std::uint64_t trimTo = counters.recvs;
+  if (step == 0) {
+    ckpt_.saveRegenerable(step, std::move(counters));
+  } else {
+    ckpt_.save(step, std::move(counters), localA, lda, rows, cols, rowFrom,
+               colFrom);
+  }
+  world_.trimReplayLog(rank, trimTo);
+  if (!replayingNow) {
+    stats_->checkpoints.fetch_add(1);
+    stats_->checkpointBytesCopied.fetch_add(ckpt_.bytesCopied() - before);
+  }
+}
+
+bool RecoveryManager::canResurrect() const {
+  return ckpt_.valid() && resurrections_ < config_.maxResurrections;
+}
+
+index_t RecoveryManager::resurrect(index_t crashStep, float* localA,
+                                   index_t lda) {
+  HPLMXP_REQUIRE(canResurrect(), "no checkpoint to resurrect from");
+  HPLMXP_REQUIRE(crashStep >= ckpt_.step(),
+                 "crash step precedes the checkpoint");
+  ++resurrections_;
+  if (ckpt_.regenerable()) {
+    regen_(localA, lda);
+  } else {
+    ckpt_.restore(localA, lda);
+  }
+  world_.beginReplay(world_.rank(), ckpt_.counters());
+  stats_->resurrections.fetch_add(1);
+  stats_->stepsReplayed.fetch_add(
+      static_cast<std::uint64_t>(crashStep - ckpt_.step()));
+  logWarn("rank " + std::to_string(world_.rank()) +
+          ": crash at panel step " + std::to_string(crashStep) +
+          ", resurrected from checkpoint step " +
+          std::to_string(ckpt_.step()) + " (replaying " +
+          std::to_string(crashStep - ckpt_.step()) + " steps)");
+  return ckpt_.step();
+}
+
+void RecoveryManager::noteRunComplete() {
+  const ReplayActivity a = world_.replayActivity(world_.rank());
+  stats_->recvsReplayed.fetch_add(a.recvsReplayed);
+  stats_->sendsSuppressed.fetch_add(a.sendsSuppressed);
+  stats_->barriersSkipped.fetch_add(a.barriersSkipped);
+  std::uint64_t prev = stats_->replayLogPeakBytes.load();
+  while (prev < a.logPeakBytes &&
+         !stats_->replayLogPeakBytes.compare_exchange_weak(prev,
+                                                           a.logPeakBytes)) {
+  }
+}
+
+}  // namespace hplmxp::simmpi

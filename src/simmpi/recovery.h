@@ -1,0 +1,190 @@
+// Crash-rank recovery for the simmpi runtime: the "self-healing" layer
+// that turns PR 1's detected faults into survived faults.
+//
+// The paper's matrix is generated on the fly from a jump-ahead LCG
+// (gen/lcg.h), so a lost rank's *untouched* tiles are recomputable for
+// free — checkpoint 0 stores nothing but comm counters. Tiles already
+// updated by the factorization are preserved by a lightweight rotating
+// in-memory checkpoint (the in-process stand-in for a partner-rank
+// checkpoint buffer) refreshed every `checkpointEveryK` panel steps; the
+// refresh is incremental, re-copying only tiles the factorization could
+// have touched since the previous checkpoint.
+//
+// Resurrection then rewinds the rank to its checkpoint and re-executes the
+// normal factorization code path with the comm layer in replay mode
+// (comm.h): sends are swallowed (the buffered transport already delivered
+// them), recvs — including the missed panel broadcasts — are served from
+// the bounded replay log, and barriers are skipped. Deterministic
+// re-execution reaches the crashed op exactly and flips back to live
+// communication mid-step, so the recovered run is bitwise identical to the
+// fault-free run (tests/test_recovery.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simmpi/comm.h"
+#include "util/common.h"
+
+namespace hplmxp::simmpi {
+
+/// Knobs of the recovery subsystem (the `recovery.*` conf keys).
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Panel steps between rotating checkpoints (`recovery.every-k`). Small
+  /// values bound replay work and replay-log memory at the cost of more
+  /// frequent matrix copies; see doc/ROBUSTNESS.md for the trade-off.
+  index_t checkpointEveryK = 8;
+  /// Resurrections allowed per rank before the crash is re-thrown (a
+  /// backstop against a non-one-shot crash plan re-killing the rank
+  /// forever).
+  index_t maxResurrections = 8;
+
+  void validate() const {
+    HPLMXP_REQUIRE(checkpointEveryK >= 1,
+                   "recovery checkpoint cadence must be >= 1");
+    HPLMXP_REQUIRE(maxResurrections >= 1,
+                   "recovery needs at least one resurrection");
+  }
+};
+
+/// Shared tally sink for the whole recovery subsystem: checkpoint/replay
+/// activity from this layer plus the ABFT detection/correction counts the
+/// core factorization reports. One instance is shared by every rank's
+/// RecoveryManager and by the CLI that renders the recovery report.
+struct RecoveryStats {
+  std::atomic<std::uint64_t> checkpoints{0};
+  std::atomic<std::uint64_t> resurrections{0};
+  std::atomic<std::uint64_t> stepsReplayed{0};
+  std::atomic<std::uint64_t> recvsReplayed{0};
+  std::atomic<std::uint64_t> sendsSuppressed{0};
+  std::atomic<std::uint64_t> barriersSkipped{0};
+  std::atomic<std::uint64_t> checkpointBytesCopied{0};
+  std::atomic<std::uint64_t> replayLogPeakBytes{0};
+  // ABFT (bumped by the core factorization when abft.* is on).
+  std::atomic<std::uint64_t> abftPanelChecks{0};
+  std::atomic<std::uint64_t> abftGemmChecks{0};
+  std::atomic<std::uint64_t> flipsDetected{0};
+  std::atomic<std::uint64_t> flipsCorrected{0};
+  std::atomic<std::uint64_t> checksumCorruptions{0};
+};
+
+/// Plain snapshot of RecoveryStats (the recovery report's numbers).
+struct RecoveryReport {
+  std::uint64_t checkpoints = 0;
+  std::uint64_t resurrections = 0;
+  std::uint64_t stepsReplayed = 0;
+  std::uint64_t recvsReplayed = 0;
+  std::uint64_t sendsSuppressed = 0;
+  std::uint64_t barriersSkipped = 0;
+  std::uint64_t checkpointBytesCopied = 0;
+  std::uint64_t replayLogPeakBytes = 0;
+  std::uint64_t abftPanelChecks = 0;
+  std::uint64_t abftGemmChecks = 0;
+  std::uint64_t flipsDetected = 0;
+  std::uint64_t flipsCorrected = 0;
+  std::uint64_t checksumCorruptions = 0;
+};
+
+[[nodiscard]] RecoveryReport snapshotRecovery(const RecoveryStats& stats);
+
+/// Rotating in-memory checkpoint of one rank's local matrix (col-major,
+/// rows x cols) plus the comm-op counters at the moment it was taken.
+/// save() is incremental: the caller passes the top-left corner
+/// [0, rowFrom) x [0, colFrom) that provably did not change since the
+/// previous save (final L/U tiles), and only the rest is re-copied.
+class RankCheckpoint {
+ public:
+  /// Records a matrix-free checkpoint: the matrix is recoverable by
+  /// regeneration (step 0, nothing factored yet).
+  void saveRegenerable(index_t step, ReplayCounters counters);
+
+  /// Saves/refreshes the matrix checkpoint. The first call must pass
+  /// rowFrom == colFrom == 0 (full copy); dimensions must not change.
+  void save(index_t step, ReplayCounters counters, const float* localA,
+            index_t lda, index_t rows, index_t cols, index_t rowFrom,
+            index_t colFrom);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  /// True when the checkpointed matrix must be regenerated, not copied.
+  [[nodiscard]] bool regenerable() const { return valid_ && !hasMatrix_; }
+  [[nodiscard]] index_t step() const { return step_; }
+  [[nodiscard]] const ReplayCounters& counters() const { return counters_; }
+  /// Cumulative bytes copied by save() calls (the checkpoint cost).
+  [[nodiscard]] std::uint64_t bytesCopied() const { return bytesCopied_; }
+
+  /// Copies the checkpointed matrix into localA. Requires !regenerable().
+  void restore(float* localA, index_t lda) const;
+
+ private:
+  bool valid_ = false;
+  bool hasMatrix_ = false;
+  index_t step_ = 0;
+  index_t rows_ = 0, cols_ = 0;
+  ReplayCounters counters_;
+  std::vector<float> matrix_;  // packed col-major rows_ x cols_
+  std::uint64_t bytesCopied_ = 0;
+};
+
+/// Per-rank recovery driver. Owned by the rank's own thread (one per rank,
+/// like the rank's local matrix); all methods are called from that thread.
+class RecoveryManager {
+ public:
+  /// Rebuilds the rank's local matrix to its *generated* content (the LCG
+  /// jump-ahead fill). Installed by the core layer, which owns the
+  /// generator and the block-cyclic layout this library cannot see.
+  using Regenerate = std::function<void(float* localA, index_t lda)>;
+
+  RecoveryManager(Comm world, RecoveryConfig config,
+                  std::shared_ptr<RecoveryStats> stats, Regenerate regen);
+
+  [[nodiscard]] const RecoveryConfig& config() const { return config_; }
+  [[nodiscard]] bool shouldCheckpoint(index_t step) const {
+    return step % config_.checkpointEveryK == 0;
+  }
+  /// Step of the last matrix-bearing checkpoint, -1 if none yet (the
+  /// caller uses it to compute the unchanged-corner extents of the next
+  /// incremental save).
+  [[nodiscard]] index_t matrixStep() const;
+
+  /// Takes/refreshes the rotating checkpoint at panel step `step` and
+  /// trims the replay log up to it. Re-taking a checkpoint while replaying
+  /// re-saves identical state (deterministic re-execution) and is counted
+  /// only once.
+  void checkpoint(index_t step, const float* localA, index_t lda,
+                  index_t rows, index_t cols, index_t rowFrom,
+                  index_t colFrom);
+
+  [[nodiscard]] bool canResurrect() const;
+
+  /// Rewinds the rank after an InjectedCrashError caught at panel step
+  /// `crashStep`: matrix restored from the checkpoint (or regenerated),
+  /// comm counters rewound, replay mode armed. Returns the step to resume
+  /// the factorization loop from.
+  index_t resurrect(index_t crashStep, float* localA, index_t lda);
+
+  [[nodiscard]] bool replaying() const {
+    return world_.replaying(world_.rank());
+  }
+
+  /// Folds this rank's comm replay activity into the shared stats; call
+  /// once when the factorization finishes.
+  void noteRunComplete();
+
+  [[nodiscard]] const std::shared_ptr<RecoveryStats>& stats() const {
+    return stats_;
+  }
+
+ private:
+  Comm world_;
+  RecoveryConfig config_;
+  std::shared_ptr<RecoveryStats> stats_;
+  Regenerate regen_;
+  RankCheckpoint ckpt_;
+  index_t resurrections_ = 0;
+};
+
+}  // namespace hplmxp::simmpi

@@ -34,6 +34,9 @@ void run(index_t worldSize, const std::function<void(Comm&)>& fn,
   if (options.faults) {
     world[0].setFaultInjector(options.faults);
   }
+  if (options.replayLog) {
+    world[0].enableReplayLog();
+  }
 
   if (worldSize == 1) {
     bindThreadRank(0);
@@ -81,6 +84,18 @@ void run(index_t worldSize, const std::function<void(Comm&)>& fn,
     std::rethrow_exception(single);  // preserve the original type
   }
   if (!failures.empty()) {
+    if (options.faults) {
+      // Per-rank fault provenance: which deterministic plan was active and
+      // how far into its op sequence each failed rank got. Diagnosing a
+      // cascade (one crash, many timeouts) needs this to find the root.
+      const FaultConfig& cfg = options.faults->plan().config();
+      for (RankFailure& f : failures) {
+        f.message += " [fault plan seed " + std::to_string(cfg.seed) +
+                     "; rank had issued " +
+                     std::to_string(options.faults->opsSeen(f.rank)) +
+                     " comm ops]";
+      }
+    }
     throw MultiRankError(std::move(failures));
   }
 }

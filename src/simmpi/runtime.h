@@ -50,6 +50,10 @@ struct RunOptions {
   /// Transient-send retry budget and initial exponential backoff.
   int sendMaxRetries = 3;
   std::chrono::microseconds sendBackoff{50};
+  /// Arms the world's crash-recovery replay log (comm.h) before any rank
+  /// starts, so checkpoints can snapshot comm-op counters and crashed
+  /// ranks can be resurrected (recovery.h).
+  bool replayLog = false;
 };
 
 /// Runs `fn(world)` on `worldSize` concurrent ranks and joins them all.

@@ -220,6 +220,56 @@ TEST(RequestQueueTest, TakesFifoPerKeyAndTracksOldest) {
   EXPECT_EQ(q.take(b, 8).size(), 0u);
 }
 
+TEST(RequestQueueTest, BackoffHidesFrontsUntilTheyMature) {
+  RequestQueue q(8);
+  const ProblemKey a = key(32, 16, 1);
+  const ProblemKey b = key(32, 16, 2);
+  QueuedRequest ra = queued(a, 1, 0.0);
+  ra.notBeforeSeconds = 5.0;  // backing off
+  q.pushRetry(std::move(ra));
+  ASSERT_TRUE(q.push(queued(b, 2, 1.0)));
+
+  // At t=2 only b is eligible, even though a submitted first.
+  double submit = 0.0;
+  double nextReady = 0.0;
+  const ProblemKey* ready = q.readyKey(2.0, &submit, &nextReady);
+  ASSERT_NE(ready, nullptr);
+  EXPECT_EQ(*ready, b);
+  EXPECT_DOUBLE_EQ(submit, 1.0);
+
+  // oldestKey ignores eligibility (stop-flush path): a is oldest.
+  const ProblemKey* oldest = q.oldestKey(&submit);
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(*oldest, a);
+
+  // Once b is gone, nothing is ready until a matures at t=5.
+  (void)q.take(b, 8, 2.0);
+  EXPECT_EQ(q.readyKey(2.0, &submit, &nextReady), nullptr);
+  EXPECT_DOUBLE_EQ(nextReady, 5.0);
+  ASSERT_NE(q.readyKey(5.0, &submit, &nextReady), nullptr);
+}
+
+TEST(RequestQueueTest, BackoffFrontBlocksItsWholeBucketFifo) {
+  // Per-key FIFO is part of the serving contract: a backed-off front must
+  // not be overtaken by a younger entry of the same key.
+  RequestQueue q(8);
+  const ProblemKey a = key(32, 16, 1);
+  QueuedRequest retry = queued(a, 1, 0.0);
+  retry.notBeforeSeconds = 9.0;
+  q.pushRetry(std::move(retry));
+  ASSERT_TRUE(q.push(queued(a, 2, 1.0)));
+
+  double submit = 0.0;
+  EXPECT_EQ(q.readyKey(2.0, &submit, nullptr), nullptr);
+  EXPECT_TRUE(q.take(a, 8, 2.0).empty());
+
+  // After the front matures the bucket drains in FIFO order.
+  const std::vector<QueuedRequest> taken = q.take(a, 8, 9.0);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].request.id, 1u);
+  EXPECT_EQ(taken[1].request.id, 2u);
+}
+
 // ------------------------------------------------------------- Batcher --
 
 TEST(BatcherTest, DispatchesOnFullBatchOrAgedWindow) {
@@ -238,6 +288,95 @@ TEST(BatcherTest, DispatchesOnFullBatchOrAgedWindow) {
   const Batcher::Decision full = batcher.decide(q, 0.002);
   EXPECT_TRUE(full.dispatch);  // full batch dispatches immediately
   EXPECT_EQ(full.key, key(32, 16, 1));
+}
+
+TEST(BatcherTest, SleepsExactlyUntilBackedOffRetryMatures) {
+  const Batcher batcher(BatchPolicy{2, 0.010});
+  RequestQueue q(8);
+  QueuedRequest retry = queued(key(32, 16, 1), 1, 0.0);
+  retry.notBeforeSeconds = 0.040;
+  q.pushRetry(std::move(retry));
+
+  const Batcher::Decision d = batcher.decide(q, 0.015);
+  EXPECT_FALSE(d.dispatch);
+  EXPECT_NEAR(d.waitSeconds, 0.025, 1e-9);  // exactly until t=0.040
+
+  // Matured: the aged request dispatches (submitted at 0, window long gone).
+  EXPECT_TRUE(batcher.decide(q, 0.041).dispatch);
+}
+
+// ------------------------------------------------------ CircuitBreaker --
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndCoolsDown) {
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failureThreshold = 3;
+  cfg.openSeconds = 1.0;
+  CircuitBreaker cb(cfg);
+  const ProblemKey k = key(32, 16, 1);
+
+  cb.onFailure(k, 0.0);
+  cb.onFailure(k, 0.1);
+  EXPECT_TRUE(cb.allow(k, 0.2));  // two failures: still closed
+  cb.onFailure(k, 0.2);           // third: trips
+  EXPECT_EQ(cb.trips(), 1u);
+  EXPECT_EQ(cb.openCount(), 1);
+  EXPECT_FALSE(cb.allow(k, 0.5));  // open, inside cool-down
+  EXPECT_EQ(cb.rejections(), 1u);
+
+  // Cool-down elapsed: one probe admitted, further admissions rejected
+  // until the probe's verdict.
+  EXPECT_TRUE(cb.allow(k, 1.3));
+  EXPECT_FALSE(cb.allow(k, 1.3));
+  cb.onSuccess(k);
+  EXPECT_TRUE(cb.allow(k, 1.4));  // closed again
+  EXPECT_EQ(cb.openCount(), 0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensTheCircuit) {
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failureThreshold = 1;
+  cfg.openSeconds = 1.0;
+  CircuitBreaker cb(cfg);
+  const ProblemKey k = key(32, 16, 2);
+
+  cb.onFailure(k, 0.0);             // trips immediately
+  EXPECT_TRUE(cb.allow(k, 1.5));    // probe
+  cb.onFailure(k, 1.5);             // probe failed: re-open
+  EXPECT_EQ(cb.trips(), 2u);
+  EXPECT_FALSE(cb.allow(k, 2.0));   // cooling down again until 2.5
+  EXPECT_TRUE(cb.allow(k, 2.6));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failureThreshold = 2;
+  CircuitBreaker cb(cfg);
+  const ProblemKey k = key(32, 16, 3);
+  cb.onFailure(k, 0.0);
+  cb.onSuccess(k);      // streak broken
+  cb.onFailure(k, 0.2);
+  EXPECT_EQ(cb.trips(), 0u);  // never reached two consecutive
+  EXPECT_TRUE(cb.allow(k, 0.3));
+}
+
+TEST(CircuitBreakerTest, KeysAreIndependent) {
+  BreakerConfig cfg;
+  cfg.enabled = true;
+  cfg.failureThreshold = 1;
+  cfg.openSeconds = 10.0;
+  CircuitBreaker cb(cfg);
+  const ProblemKey bad = key(32, 16, 4);
+  const ProblemKey good = key(32, 16, 5);
+  cb.onFailure(bad, 0.0);
+  EXPECT_FALSE(cb.allow(bad, 1.0));
+  EXPECT_TRUE(cb.allow(good, 1.0));  // untouched key stays closed
+  const std::vector<CircuitBreaker::KeySnapshot> snap = cb.snapshot();
+  ASSERT_EQ(snap.size(), 1u);  // `good` never allocated an entry
+  EXPECT_EQ(snap[0].key, bad);
+  EXPECT_STREQ(toString(snap[0].state), "open");
 }
 
 // -------------------------------------------------------------- Engine --
@@ -386,13 +525,146 @@ TEST(ServeEngineTest, TransientFaultsWithinBudgetRecover) {
   EXPECT_GT(retries, 0u);  // the deterministic plan injects some failures
 }
 
+TEST(ServeEngineTest, PersistentKeyFaultTripsBreakerIntoStructuredRejection) {
+  ServeConfig cfg;
+  cfg.maxBatchDelaySeconds = 0.0;
+  cfg.maxRetries = 0;  // every hook failure is terminal: one per submit
+  cfg.breaker.enabled = true;
+  cfg.breaker.failureThreshold = 3;
+  cfg.breaker.openSeconds = 60.0;  // stays open for the rest of the test
+  const ProblemKey bad = key(32, 16, 66);
+  cfg.keyFaultHook = [bad](const ProblemKey& k) { return k == bad; };
+  ServeEngine engine(cfg);
+
+  // The first `failureThreshold` submissions execute (and fail); once the
+  // circuit trips, admissions are rejected without touching a worker.
+  for (int i = 0; i < 3; ++i) {
+    const ServeEngine::HandlePtr h = engine.submit(request(bad, 1 + i));
+    const RequestOutcome& o = h->wait();
+    EXPECT_EQ(o.status, RequestStatus::kFailed) << "attempt " << i;
+    EXPECT_NE(o.error.find("injected key fault"), std::string::npos);
+  }
+  const ServeEngine::HandlePtr rejectedHandle = engine.submit(request(bad, 9));
+  const RequestOutcome& rejected = rejectedHandle->wait();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejectedCircuitOpen);
+  EXPECT_NE(rejected.error.find("circuit open"), std::string::npos);
+
+  // A healthy key is untouched by the bad key's open circuit.
+  const ServeEngine::HandlePtr healthyHandle =
+      engine.submit(request(key(32, 16, 67), 1));
+  const RequestOutcome& healthy = healthyHandle->wait();
+  EXPECT_EQ(healthy.status, RequestStatus::kCompleted) << healthy.error;
+
+  engine.drain();
+  const ServeReport report = engine.report();
+  EXPECT_EQ(report.rejectedCircuitOpen, 1u);
+  EXPECT_EQ(report.breakerTrips, 1u);
+  EXPECT_GE(report.breakerRejections, 1u);
+  EXPECT_EQ(report.breakersOpen, 1);
+}
+
+TEST(ServeEngineTest, HalfOpenProbeClosesTheCircuitAfterTheFaultClears) {
+  ServeConfig cfg;
+  cfg.maxBatchDelaySeconds = 0.0;
+  cfg.maxRetries = 0;
+  cfg.breaker.enabled = true;
+  cfg.breaker.failureThreshold = 1;
+  cfg.breaker.openSeconds = 0.010;  // short cool-down: the test waits it out
+  auto faulty = std::make_shared<std::atomic<bool>>(true);
+  const ProblemKey k = key(32, 16, 68);
+  cfg.keyFaultHook = [faulty, k](const ProblemKey& kk) {
+    return kk == k && faulty->load();
+  };
+  ServeEngine engine(cfg);
+
+  EXPECT_EQ(engine.submit(request(k, 1))->wait().status,
+            RequestStatus::kFailed);  // trips (threshold 1)
+  EXPECT_EQ(engine.submit(request(k, 2))->wait().status,
+            RequestStatus::kRejectedCircuitOpen);
+
+  // Fault clears; after the cool-down the next admission is the probe,
+  // it succeeds, and the circuit closes for good.
+  faulty->store(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(engine.submit(request(k, 3))->wait().status,
+            RequestStatus::kCompleted);
+  EXPECT_EQ(engine.submit(request(k, 4))->wait().status,
+            RequestStatus::kCompleted);
+  engine.drain();
+  EXPECT_EQ(engine.report().breakersOpen, 0);
+}
+
+TEST(ServeEngineTest, DegradedModeShedsBatchingWhileCircuitsBurn) {
+  ServeConfig cfg;
+  cfg.startPaused = true;
+  cfg.maxBatch = 8;
+  cfg.maxBatchDelaySeconds = 0.050;  // generous window: would coalesce
+  cfg.maxRetries = 0;
+  cfg.breaker.enabled = true;
+  cfg.breaker.failureThreshold = 1;
+  cfg.breaker.openSeconds = 60.0;
+  cfg.degradedOpenBreakers = 1;
+  const ProblemKey bad = key(32, 16, 70);
+  cfg.keyFaultHook = [bad](const ProblemKey& k) { return k == bad; };
+  ServeEngine engine(cfg);
+  EXPECT_FALSE(engine.degraded());
+
+  const ProblemKey good = key(32, 16, 71);
+  std::vector<ServeEngine::HandlePtr> handles;
+  handles.push_back(engine.submit(request(bad, 1)));  // will trip
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    handles.push_back(engine.submit(request(good, 10 + s)));
+  }
+  engine.resume();
+  engine.drain();
+
+  EXPECT_EQ(handles[0]->wait().status, RequestStatus::kFailed);
+  for (std::size_t i = 1; i < handles.size(); ++i) {
+    const RequestOutcome& o = handles[i]->wait();
+    EXPECT_EQ(o.status, RequestStatus::kCompleted) << o.error;
+    // Degraded mode sheds coalescing: solo batches despite the window.
+    EXPECT_EQ(o.batchSize, 1);
+  }
+  EXPECT_TRUE(engine.degraded());
+  EXPECT_TRUE(engine.report().degraded);
+}
+
+TEST(ServeEngineTest, RetryBackoffDelaysRequeuedWorkButStillCompletes) {
+  ServeConfig cfg;
+  simmpi::FaultConfig faults;
+  faults.seed = 13;
+  faults.transientSendProbability = 0.45;
+  cfg.chaos = std::make_shared<simmpi::FaultInjector>(faults, cfg.workers);
+  cfg.maxRetries = 64;
+  cfg.maxBatchDelaySeconds = 0.0;
+  cfg.retryBackoffSeconds = 0.001;
+  cfg.retryBackoffMaxSeconds = 0.004;
+  ServeEngine engine(cfg);
+
+  std::uint64_t retries = 0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const ServeEngine::HandlePtr h =
+        engine.submit(request(key(32, 16, 200 + s), 1));
+    const RequestOutcome& o = h->wait();
+    EXPECT_EQ(o.status, RequestStatus::kCompleted) << o.error;
+    retries += static_cast<std::uint64_t>(o.retries);
+  }
+  // Backoff delays retries; it must never strand them.
+  EXPECT_GT(retries, 0u);
+  engine.drain();
+  EXPECT_EQ(engine.report().completed, 6u);
+}
+
 // ----------------------------------------------------------------- CLI --
 
 TEST(CmdServe, ReplayReportsAndVerifiesBitwise) {
   const std::string jsonPath = "test_serve_report.json";
+  // serve.batch=2 caps coalescing below the 5 requests per key, so each
+  // key dispatches several batches and the second onward is a cache hit
+  // no matter how the scheduler interleaves arrivals with the worker.
   const int rc = cli::cmdServe(cli::Options::parseArgs(
       {"--requests=10", "--keys=2", "--gap-ms=0.2", "--n=48", "--b=16",
-       "--json", jsonPath, "--verify=3"}));
+       "--serve.batch=2", "--json", jsonPath, "--verify=3"}));
   EXPECT_EQ(rc, 0);
 
   std::ifstream in(jsonPath);
