@@ -316,6 +316,8 @@ int cmdChaos(const Options& raw) {
   cfg.recovery.checkpointEveryK = opts.getInt("recovery.every-k", 8);
   cfg.recovery.maxResurrections =
       opts.getInt("recovery.max-resurrections", 8);
+  cfg.recovery.compressCheckpoints = opts.getBool("recovery.compress", true);
+  cfg.recovery.verifyCheckpoints = opts.getBool("recovery.verify", true);
   cfg.abftPanels = opts.getBool("abft.panels", false);
   cfg.abftGemm = opts.getBool("abft.gemm", false);
   if (cfg.recovery.enabled || cfg.abftPanels || cfg.abftGemm) {
@@ -432,6 +434,8 @@ int cmdChaos(const Options& raw) {
   t.addRow({"send retries", Table::num((long long)stats.retries)});
   t.addRow({"payload bit flips", Table::num((long long)stats.bitflips)});
   t.addRow({"rank crashes", Table::num((long long)stats.crashes)});
+  t.addRow({"checkpoint corruptions",
+            Table::num((long long)stats.checkpointCorruptions)});
   if (completed) {
     t.addRow({"converged", result.converged ? "yes" : "NO"});
     t.addRow({"verified (dense FP64)", verified ? "yes" : "NO"});
@@ -452,7 +456,14 @@ int cmdChaos(const Options& raw) {
     const simmpi::RecoveryReport rec =
         simmpi::snapshotRecovery(*cfg.recoveryStats);
     t.addRow({"ranks resurrected", Table::num((long long)rec.resurrections)});
+    t.addRow({"nested resurrections",
+              Table::num((long long)rec.nestedResurrections)});
     t.addRow({"checkpoints taken", Table::num((long long)rec.checkpoints)});
+    t.addRow({"checkpoint bytes raw / stored",
+              Table::num((long long)rec.checkpointBytesCopied) + " / " +
+                  Table::num((long long)rec.checkpointBytesStored)});
+    t.addRow({"ckpt generations discarded",
+              Table::num((long long)rec.generationsDiscarded)});
     t.addRow({"steps replayed", Table::num((long long)rec.stepsReplayed)});
     t.addRow({"ABFT flips corrected",
               Table::num((long long)rec.flipsCorrected) + " of " +
@@ -492,24 +503,53 @@ int cmdRecover(const Options& raw) {
   cfg.recovery.checkpointEveryK = opts.getInt("recovery.every-k", 4);
   cfg.recovery.maxResurrections =
       opts.getInt("recovery.max-resurrections", 8);
+  cfg.recovery.compressCheckpoints = opts.getBool("recovery.compress", true);
+  cfg.recovery.verifyCheckpoints = opts.getBool("recovery.verify", true);
   cfg.abftPanels = opts.getBool("abft.panels", true);
   cfg.abftGemm = opts.getBool("abft.gemm", true);
 
   const index_t crashRank = opts.getInt("crash-rank", 1);
   const auto crashAtOp =
       static_cast<std::uint64_t>(opts.getInt("crash-at-op", 30));
+  // Multi-fault knobs: a second concurrent crash on a distinct rank, a
+  // crash arriving during replay, and an injected checkpoint corruption.
+  const index_t crashRank2 = opts.getInt("crash-rank2", -1);
+  const auto crashAtOp2 =
+      static_cast<std::uint64_t>(opts.getInt("crash-at-op2", 0));
+  const index_t replayCrashRank = opts.getInt("replay-crash-rank", -1);
+  const auto replayCrashAtOp =
+      static_cast<std::uint64_t>(opts.getInt("replay-crash-at-op", 0));
+  const index_t corruptCkptRank = opts.getInt("corrupt-ckpt-rank", -1);
+  const auto corruptCkptGen =
+      static_cast<std::uint64_t>(opts.getInt("corrupt-ckpt-gen", 0));
   const double flipProbability = opts.getDouble("flip-probability", 0.0);
   const std::uint64_t faultSeed =
       static_cast<std::uint64_t>(opts.getInt("fault-seed", 0xC4A05));
   const std::string jsonPath = opts.getString("json", "");
   warnUnused(opts);
 
+  std::string extras;
+  if (crashRank2 >= 0) {
+    extras += " + crash rank " + std::to_string((long long)crashRank2) +
+              " at op " + std::to_string((unsigned long long)crashAtOp2);
+  }
+  if (replayCrashRank >= 0) {
+    extras += " + replay-time crash on rank " +
+              std::to_string((long long)replayCrashRank);
+  }
+  if (corruptCkptRank >= 0) {
+    extras += " + checkpoint corruption on rank " +
+              std::to_string((long long)corruptCkptRank);
+  }
+  if (flipProbability > 0.0) {
+    extras += " + panel bit flips";
+  }
   std::printf("hplmxp recover: N=%lld B=%lld grid=%lldx%lld every-k=%lld "
               "crash rank %lld at op %llu%s\n",
               (long long)cfg.n, (long long)cfg.b, (long long)cfg.pr,
               (long long)cfg.pc, (long long)cfg.recovery.checkpointEveryK,
               (long long)crashRank, (unsigned long long)crashAtOp,
-              flipProbability > 0.0 ? " + panel bit flips" : "");
+              extras.c_str());
 
   // One run = one closure over runHplaiOnComm; rank 0's solution is the
   // artifact the bitwise comparison is about.
@@ -553,6 +593,12 @@ int cmdRecover(const Options& raw) {
   fault.seed = faultSeed;
   fault.crashRank = crashRank;
   fault.crashAtOp = crashAtOp;
+  fault.crashRank2 = crashRank2;
+  fault.crashAtOp2 = crashAtOp2;
+  fault.replayCrashRank = replayCrashRank;
+  fault.replayCrashAtOp = replayCrashAtOp;
+  fault.ckptCorruptRank = corruptCkptRank;
+  fault.ckptCorruptOrdinal = corruptCkptGen;
   if (flipProbability > 0.0) {
     fault.bitflipProbability = flipProbability;
     fault.bitflipMinBytes = 2048;  // target bulk panel traffic
@@ -593,10 +639,26 @@ int cmdRecover(const Options& raw) {
   t.addRow({"rank crashes injected", Table::num((long long)stats.crashes)});
   t.addRow({"payload bit flips injected",
             Table::num((long long)stats.bitflips)});
+  t.addRow({"checkpoint corruptions injected",
+            Table::num((long long)stats.checkpointCorruptions)});
   t.addRow({"ranks resurrected", Table::num((long long)rec.resurrections)});
+  t.addRow({"nested resurrections",
+            Table::num((long long)rec.nestedResurrections)});
   t.addRow({"checkpoints taken", Table::num((long long)rec.checkpoints)});
-  t.addRow({"checkpoint bytes copied",
+  t.addRow({"checkpoint bytes raw (delta)",
             Table::num((long long)rec.checkpointBytesCopied)});
+  t.addRow({"checkpoint bytes stored",
+            Table::num((long long)rec.checkpointBytesStored)});
+  t.addRow({"delta compression ratio",
+            rec.checkpointBytesStored > 0
+                ? Table::num(static_cast<double>(rec.checkpointBytesCopied) /
+                                 static_cast<double>(rec.checkpointBytesStored),
+                             2) + "x"
+                : "n/a"});
+  t.addRow({"ckpt corruptions detected",
+            Table::num((long long)rec.checkpointCorruptionsDetected)});
+  t.addRow({"ckpt generations discarded",
+            Table::num((long long)rec.generationsDiscarded)});
   t.addRow({"steps replayed", Table::num((long long)rec.stepsReplayed)});
   t.addRow({"recvs replayed from log",
             Table::num((long long)rec.recvsReplayed)});
@@ -631,10 +693,29 @@ int cmdRecover(const Options& raw) {
        << ",\n";
     os << "  \"crash_rank\": " << crashRank << ",\n";
     os << "  \"crash_at_op\": " << crashAtOp << ",\n";
+    os << "  \"crash_rank2\": " << crashRank2 << ",\n";
+    os << "  \"crash_at_op2\": " << crashAtOp2 << ",\n";
     os << "  \"crashes_injected\": " << stats.crashes << ",\n";
     os << "  \"bitflips_injected\": " << stats.bitflips << ",\n";
+    os << "  \"checkpoint_corruptions_injected\": "
+       << stats.checkpointCorruptions << ",\n";
     os << "  \"resurrections\": " << rec.resurrections << ",\n";
+    os << "  \"nested_resurrections\": " << rec.nestedResurrections << ",\n";
     os << "  \"checkpoints\": " << rec.checkpoints << ",\n";
+    os << "  \"checkpoint_bytes_raw\": " << rec.checkpointBytesCopied
+       << ",\n";
+    os << "  \"checkpoint_bytes_stored\": " << rec.checkpointBytesStored
+       << ",\n";
+    os << "  \"compression_ratio\": "
+       << (rec.checkpointBytesStored > 0
+               ? static_cast<double>(rec.checkpointBytesCopied) /
+                     static_cast<double>(rec.checkpointBytesStored)
+               : 0.0)
+       << ",\n";
+    os << "  \"checkpoint_corruptions_detected\": "
+       << rec.checkpointCorruptionsDetected << ",\n";
+    os << "  \"generations_discarded\": " << rec.generationsDiscarded
+       << ",\n";
     os << "  \"steps_replayed\": " << rec.stepsReplayed << ",\n";
     os << "  \"recvs_replayed\": " << rec.recvsReplayed << ",\n";
     os << "  \"replay_log_peak_bytes\": " << rec.replayLogPeakBytes << ",\n";
@@ -804,20 +885,28 @@ std::string usage() {
       "  scan     slow-node mini-benchmark scan (--fleet --degraded)\n"
       "  chaos    distributed solve under a fault-injection scenario\n"
       "           (--scenario none|delay|transient|sdc|stall|crash\n"
+      "                       |multicrash|ckptcorrupt\n"
       "            --n --b --pr --pc --seed --fault-seed --timeout-ms\n"
       "            --retries --backoff-us --guard on|off --ir-strikes\n"
       "            --detect-slow on|off --slow-strikes --min-lag\n"
       "            --recovery.enabled on|off --recovery.every-k\n"
       "            --recovery.max-resurrections\n"
+      "            --recovery.compress on|off --recovery.verify on|off\n"
       "            --abft.panels on|off --abft.gemm on|off)\n"
-      "  recover  crash a rank mid-factorization (optionally flip panel\n"
-      "           bits in flight) with checkpoints + ABFT enabled, and\n"
+      "  recover  crash ranks mid-factorization (optionally: a second\n"
+      "           concurrent crash, a crash during replay, an injected\n"
+      "           checkpoint corruption, in-flight panel bit flips) with\n"
+      "           incremental verified checkpoints + ABFT enabled, and\n"
       "           prove the recovered solve bitwise-identical to a\n"
       "           fault-free baseline\n"
       "           (--n --b --pr --pc --seed --crash-rank --crash-at-op\n"
+      "            --crash-rank2 --crash-at-op2\n"
+      "            --replay-crash-rank --replay-crash-at-op\n"
+      "            --corrupt-ckpt-rank --corrupt-ckpt-gen\n"
       "            --flip-probability --fault-seed --json FILE\n"
       "            --recovery.enabled on|off --recovery.every-k\n"
       "            --recovery.max-resurrections\n"
+      "            --recovery.compress on|off --recovery.verify on|off\n"
       "            --abft.panels on|off --abft.gemm on|off)\n"
       "  serve    solver-as-a-service: replay a request trace through the\n"
       "           factor cache + batching engine and report latency\n"

@@ -107,7 +107,12 @@ HplaiResult runHplaiOnComm(simmpi::Comm& world, const HplaiConfig& configIn,
         }
       }
     };
-    recovery.emplace(world, config.recovery, config.recoveryStats,
+    simmpi::RecoveryGeometry geometry;
+    geometry.localRows = lr;
+    geometry.localCols = lc;
+    geometry.blockB = b;
+    geometry.panelSteps = config.n / config.b;
+    recovery.emplace(world, config.recovery, geometry, config.recoveryStats,
                      std::move(regen));
     lu.setRecovery(&*recovery);
   }

@@ -228,6 +228,9 @@ void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
       std::memcpy(src + j * lda, diagBuf_.data() + j * b,
                   static_cast<std::size_t>(b) * sizeof(float));
     }
+    if (recovery_ != nullptr) {
+      recovery_->dirtyMap().mark(g.lkRow, g.lkCol);
+    }
   }
   // Broadcast the factored diagonal along the owner's process row and
   // process column (synchronous tree; the paper neglects its cost).
@@ -248,6 +251,9 @@ void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
     float* panel = localA + g.lkRow * b + g.jStartBlk * b * lda;
     shim_.trsm(blas::Side::kLeft, blas::Uplo::kLower, blas::Diag::kUnit, b,
                g.w, 1.0f, diagBuf_.data(), b, panel, lda);
+    if (recovery_ != nullptr) {
+      recovery_->dirtyMap().markRect(g.lkRow, g.jStartBlk, 1, g.w / b);
+    }
     if (trace != nullptr) {
       trace->trsmSeconds += t.seconds();
     }
@@ -263,6 +269,9 @@ void DistLU::panelsPhase(const StepGeom& g, int bufIdx, float* localA,
     float* panel = localA + g.iStartBlk * b + g.lkCol * b * lda;
     shim_.trsm(blas::Side::kRight, blas::Uplo::kUpper, blas::Diag::kNonUnit,
                g.h, b, 1.0f, diagBuf_.data(), b, panel, lda);
+    if (recovery_ != nullptr) {
+      recovery_->dirtyMap().markRect(g.iStartBlk, g.lkCol, g.h / b, 1);
+    }
     if (trace != nullptr) {
       trace->trsmSeconds += t.seconds();
     }
@@ -319,6 +328,9 @@ void DistLU::updateRegion(const StepGeom& g, int bufIdx, float* localA,
   const index_t n = nBlocks * b;
   if (m <= 0 || n <= 0) {
     return;
+  }
+  if (recovery_ != nullptr) {
+    recovery_->dirtyMap().markRect(iBlk0, jBlk0, mBlocks, nBlocks);
   }
   const half16* lPtr = lHalf_[bufIdx].data() + (iBlk0 - g.iStartBlk) * b;
   const half16* uPtr = uHalf_[bufIdx].data() + (jBlk0 - g.jStartBlk) * b;
@@ -392,22 +404,10 @@ void DistLU::updateBulk(const StepGeom& g, const StepGeom& next, int bufIdx,
 }
 
 void DistLU::takeCheckpoint(index_t k, const float* localA, index_t lda) {
-  const index_t b = config_.b;
-  index_t rowFrom = 0;
-  index_t colFrom = 0;
-  const index_t prev = recovery_->matrixStep();
-  if (prev >= 0) {
-    // Since the checkpoint at step `prev`, every write of steps prev..k-1
-    // touched a tile with global block row >= prev or global block col >=
-    // prev; the block-cyclic local corner below that threshold holds final
-    // L/U entries and needs no re-copy.
-    rowFrom =
-        ctx_.layout().firstLocalBlockRowAtOrAfter(ctx_.myRow(), prev) * b;
-    colFrom =
-        ctx_.layout().firstLocalBlockColAtOrAfter(ctx_.myCol(), prev) * b;
-  }
-  recovery_->checkpoint(k, localA, lda, ctx_.localRows(), ctx_.localCols(),
-                        rowFrom, colFrom);
+  // The manager snapshots exactly the tiles the TRSM/GEMM marking above
+  // dirtied since the previous generation; never-touched regions stay
+  // LCG-regenerable and are stored nowhere.
+  recovery_->checkpoint(k, localA, lda);
 }
 
 bool DistLU::pollAbort(index_t k, double iterSeconds) {

@@ -191,14 +191,19 @@ ReplayCounters Comm::replayCounters(index_t worldRank) const {
 void Comm::beginReplay(index_t worldRank, const ReplayCounters& resumeFrom) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   detail::ReplayRank& slot = replayRankAt(state_->replay, worldRank);
-  HPLMXP_REQUIRE(!slot.replaying, "beginReplay: rank is already replaying");
   HPLMXP_REQUIRE(resumeFrom.sends <= slot.counters.sends &&
                      resumeFrom.recvs <= slot.counters.recvs &&
                      resumeFrom.barriers <= slot.counters.barriers,
                  "beginReplay: resume point is ahead of the rank");
   HPLMXP_REQUIRE(resumeFrom.recvs >= slot.recvBase,
                  "beginReplay: replay log was trimmed past the checkpoint");
-  slot.target = slot.counters;
+  if (!slot.replaying) {
+    slot.target = slot.counters;
+  }
+  // Nested case (a crash arrived mid-replay): the counters rewind again
+  // but the original target — where live traffic resumes — is preserved;
+  // overwriting it with the mid-replay counters would flip the rank live
+  // too early and double-deliver the remaining suppressed sends.
   slot.counters = resumeFrom;
   slot.replaying = !slot.counters.atSameOps(slot.target);
 }
@@ -221,7 +226,9 @@ void Comm::trimReplayLog(index_t worldRank, std::uint64_t keepFromRecv) {
     slot.records.pop_front();
     ++slot.recvBase;
   }
-  slot.recvBase = keepFromRecv;
+  // Monotonic: a floor below what was already trimmed must not rewind the
+  // base (records before it are gone).
+  slot.recvBase = std::max(slot.recvBase, keepFromRecv);
 }
 
 ReplayActivity Comm::replayActivity(index_t worldRank) const {
@@ -362,12 +369,25 @@ void Comm::injectOnOp(const char* what) {
   applyDecisionSleep(inj, d);
 }
 
+void Comm::injectOnReplayedOp() {
+  if (state_->faults == nullptr || !state_->faults->armed()) {
+    return;
+  }
+  FaultInjector& inj = *state_->faults;
+  const index_t who = boundThreadRank();
+  if (inj.nextReplayCrash(who)) {
+    inj.noteCrash();
+    throwCrash(who);  // before the op is counted, like a live crash
+  }
+}
+
 void Comm::sendBytes(index_t dest, Tag tag, const void* data,
                      std::size_t bytes) {
   HPLMXP_REQUIRE(state_ != nullptr, "null communicator");
   HPLMXP_REQUIRE(dest >= 0 && dest < state_->size, "send: bad destination");
   detail::ReplayRank* rep = replaySlot();
   if (rep != nullptr && rep->replaying) {
+    injectOnReplayedOp();
     // The pre-crash execution already delivered this send (buffered eager
     // transport); re-sending would double messages at the peers. Swallow.
     HPLMXP_REQUIRE(rep->counters.sends < rep->target.sends,
@@ -400,6 +420,7 @@ void Comm::recvBytes(index_t src, Tag tag, void* data, std::size_t bytes) {
   HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
   detail::ReplayRank* rep = replaySlot();
   if (rep != nullptr && rep->replaying) {
+    injectOnReplayedOp();
     serveReplayedRecv(*rep, src, tag, data, bytes);
     return;
   }
@@ -443,6 +464,7 @@ bool Comm::tryRecvBytes(index_t src, Tag tag, void* data,
   HPLMXP_REQUIRE(src >= 0 && src < state_->size, "recv: bad source");
   detail::ReplayRank* rep = replaySlot();
   if (rep != nullptr && rep->replaying) {
+    injectOnReplayedOp();
     // The original execution completed this recv (it is in the log), so
     // during replay it is always "already arrived".
     serveReplayedRecv(*rep, src, tag, data, bytes);
@@ -478,6 +500,7 @@ void Comm::barrier() {
   auto& st = *state_;
   detail::ReplayRank* rep = replaySlot();
   if (rep != nullptr && rep->replaying) {
+    injectOnReplayedOp();
     // The peers already passed this barrier before the crash; re-entering
     // would desynchronize the central count. Skip.
     HPLMXP_REQUIRE(rep->counters.barriers < rep->target.barriers,

@@ -253,7 +253,10 @@ class Comm {
   /// sends swallowed, recvs served from the log, barriers skipped — until
   /// the counters reach their values at the moment of this call, where the
   /// rank flips back to live execution. Must be called by the rank's own
-  /// thread with no comm op in flight.
+  /// thread with no comm op in flight. Calling it on a rank that is
+  /// already replaying *nests*: the counters rewind again but the original
+  /// live-resume target is preserved, so a crash arriving mid-replay can
+  /// be survived too.
   void beginReplay(index_t worldRank, const ReplayCounters& resumeFrom);
   [[nodiscard]] bool replaying(index_t worldRank) const;
 
@@ -396,6 +399,12 @@ class Comm {
 
   /// Crash/stall injection point for receive-side and collective ops.
   void injectOnOp(const char* what);
+
+  /// Crash injection point for *replayed* ops. Replay suppresses the
+  /// normal plan (the live op sequence must not be perturbed), so crashes
+  /// arriving mid-replay draw from a separate replayed-op counter
+  /// (FaultConfig::replayCrashRank). Throws before the op is counted.
+  void injectOnReplayedOp();
 
   /// Replay-log slot of the calling thread's bound world rank (nullptr
   /// when the log is off or the thread is unbound). Flips the slot back to

@@ -47,7 +47,8 @@ double FaultPlan::uniform(index_t rank, std::uint64_t opIndex,
 FaultDecision FaultPlan::decisionFor(index_t rank,
                                      std::uint64_t opIndex) const {
   FaultDecision d;
-  if (config_.crashRank == rank && opIndex >= config_.crashAtOp) {
+  if ((config_.crashRank == rank && opIndex >= config_.crashAtOp) ||
+      (config_.crashRank2 == rank && opIndex >= config_.crashAtOp2)) {
     d.crash = true;
     return d;
   }
@@ -75,7 +76,10 @@ FaultInjector::FaultInjector(FaultConfig config, index_t worldSize)
     : plan_(config),
       armed_(config.anyEnabled()),
       opCount_(static_cast<std::size_t>(worldSize), 0),
-      crashFired_(static_cast<std::size_t>(worldSize), 0) {
+      replayOpCount_(static_cast<std::size_t>(worldSize), 0),
+      crashFired_(static_cast<std::size_t>(worldSize), 0),
+      replayCrashFired_(static_cast<std::size_t>(worldSize), 0),
+      ckptCorruptFired_(static_cast<std::size_t>(worldSize), 0) {
   HPLMXP_REQUIRE(worldSize > 0, "world size must be positive");
 }
 
@@ -97,6 +101,54 @@ FaultDecision FaultInjector::next(index_t rank) {
     }
   }
   return d;
+}
+
+bool FaultInjector::nextReplayCrash(index_t rank) {
+  if (rank < 0 || rank >= static_cast<index_t>(replayOpCount_.size())) {
+    return false;
+  }
+  const std::uint64_t op = replayOpCount_[static_cast<std::size_t>(rank)]++;
+  if (plan_.config().replayCrashRank != rank ||
+      op < plan_.config().replayCrashAtOp) {
+    return false;
+  }
+  // Always one-shot: the nested resurrection's own replay must finish.
+  auto& fired = replayCrashFired_[static_cast<std::size_t>(rank)];
+  if (fired != 0) {
+    return false;
+  }
+  fired = 1;
+  return true;
+}
+
+bool FaultInjector::nextCheckpointCorruption(index_t rank,
+                                             std::uint64_t ordinal,
+                                             std::uint64_t* selector) {
+  if (rank < 0 || rank >= static_cast<index_t>(ckptCorruptFired_.size())) {
+    return false;
+  }
+  if (plan_.config().ckptCorruptRank != rank ||
+      ordinal < plan_.config().ckptCorruptOrdinal) {
+    return false;
+  }
+  auto& fired = ckptCorruptFired_[static_cast<std::size_t>(rank)];
+  if (fired != 0) {
+    return false;
+  }
+  fired = 1;
+  if (selector != nullptr) {
+    // Plan-derived bit choice: deterministic from the seed alone, like
+    // every other injected fault.
+    std::uint64_t x = plan_.config().seed ^
+                      (0x9E3779B97F4A7C15ULL * (ordinal + 1)) ^
+                      (0xD1B54A32D192ED03ULL *
+                       static_cast<std::uint64_t>(rank + 1));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    *selector = x;
+  }
+  return true;
 }
 
 void FaultInjector::noteBitflip(const FlipRecord& record) {
@@ -124,6 +176,8 @@ FaultStats FaultInjector::stats() const {
   s.bitflips = bitflips_.load(std::memory_order_relaxed);
   s.stalls = stalls_.load(std::memory_order_relaxed);
   s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.checkpointCorruptions =
+      ckptCorruptions_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -165,12 +219,30 @@ FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
     cfg.crashAtOp = 64;
     return cfg;
   }
+  if (name == "multicrash") {
+    // Two nodes lost in the same run, on distinct ranks at staggered ops.
+    cfg.crashRank = worldSize - 1;
+    cfg.crashAtOp = 64;
+    cfg.crashRank2 = worldSize > 2 ? 1 : 0;
+    cfg.crashAtOp2 = 40;
+    return cfg;
+  }
+  if (name == "ckptcorrupt") {
+    // A lost node whose newest stored checkpoint generation is also
+    // corrupted: recovery must detect the CRC mismatch and fall back.
+    cfg.crashRank = worldSize - 1;
+    cfg.crashAtOp = 64;
+    cfg.ckptCorruptRank = worldSize - 1;
+    cfg.ckptCorruptOrdinal = 0;
+    return cfg;
+  }
   HPLMXP_REQUIRE(false, ("unknown fault scenario: " + name).c_str());
   return cfg;  // unreachable
 }
 
 std::vector<std::string> knownFaultScenarios() {
-  return {"none", "delay", "transient", "sdc", "sdc32", "stall", "crash"};
+  return {"none",  "delay", "transient",  "sdc",        "sdc32",
+          "stall", "crash", "multicrash", "ckptcorrupt"};
 }
 
 }  // namespace hplmxp::simmpi

@@ -72,6 +72,11 @@ struct FaultConfig {
   /// `crashAtOp`-th communication operation (a lost node). -1 disables.
   index_t crashRank = -1;
   std::uint64_t crashAtOp = 0;
+  /// Second scheduled crash on a distinct rank — two nodes lost in the
+  /// same run (the multi-fault scenarios of tests/test_recovery.cpp).
+  /// Shares `crashOnce` with the first crash. -1 disables.
+  index_t crashRank2 = -1;
+  std::uint64_t crashAtOp2 = 0;
   /// One-shot crash semantics: after the scheduled crash fires once the
   /// rank communicates normally, so a recovery layer can resurrect it and
   /// resume. Without recovery the crashed thread unwinds and never issues
@@ -80,9 +85,25 @@ struct FaultConfig {
   /// crashAtOp keeps crashing).
   bool crashOnce = true;
 
+  /// Crash arriving DURING replay: `replayCrashRank` throws at its
+  /// `replayCrashAtOp`-th *replayed* communication operation (counted
+  /// separately from the live op sequence, which replay must not
+  /// perturb). Always one-shot — the nested resurrection's own replay
+  /// must be allowed to finish. -1 disables.
+  index_t replayCrashRank = -1;
+  std::uint64_t replayCrashAtOp = 0;
+
+  /// Checkpoint corruption: flip one bit in `ckptCorruptRank`'s
+  /// `ckptCorruptOrdinal`-th stored checkpoint generation (0-based over
+  /// that rank's live matrix-bearing appends). One-shot. Exercises the
+  /// store's CRC detection and generation-fallback ladder. -1 disables.
+  index_t ckptCorruptRank = -1;
+  std::uint64_t ckptCorruptOrdinal = 0;
+
   [[nodiscard]] bool anyEnabled() const {
     return delayProbability > 0.0 || transientSendProbability > 0.0 ||
-           bitflipProbability > 0.0 || stallRank >= 0 || crashRank >= 0;
+           bitflipProbability > 0.0 || stallRank >= 0 || crashRank >= 0 ||
+           crashRank2 >= 0 || replayCrashRank >= 0 || ckptCorruptRank >= 0;
   }
 };
 
@@ -126,6 +147,7 @@ struct FaultStats {
   std::uint64_t bitflips = 0;
   std::uint64_t stalls = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t checkpointCorruptions = 0;  // stored generations flipped
 };
 
 /// One applied payload bit flip, recorded exactly: which rank's send, at
@@ -152,6 +174,19 @@ class FaultInjector {
   /// is a single thread, so per-rank counters need no synchronization.
   FaultDecision next(index_t rank);
 
+  /// Replay-time crash check: advances `rank`'s *replayed*-op counter and
+  /// returns true when the plan's replay crash fires at this op. Kept
+  /// separate from next() so replay never perturbs the live op sequence.
+  /// One-shot per rank.
+  [[nodiscard]] bool nextReplayCrash(index_t rank);
+
+  /// Checkpoint-corruption check for `rank`'s `ordinal`-th stored
+  /// matrix-bearing generation. On a hit, writes a plan-derived bit
+  /// selector into `*selector` and latches (one-shot per rank).
+  [[nodiscard]] bool nextCheckpointCorruption(index_t rank,
+                                              std::uint64_t ordinal,
+                                              std::uint64_t* selector);
+
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] std::uint64_t opsSeen(index_t rank) const;
@@ -172,12 +207,18 @@ class FaultInjector {
   void noteBitflip(const FlipRecord& record);
   void noteStall() { stalls_.fetch_add(1, std::memory_order_relaxed); }
   void noteCrash() { crashes_.fetch_add(1, std::memory_order_relaxed); }
+  void noteCheckpointCorruption() {
+    ckptCorruptions_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   FaultPlan plan_;
   bool armed_;
   std::vector<std::uint64_t> opCount_;  // per rank; single-writer each
+  std::vector<std::uint64_t> replayOpCount_;  // replayed ops, per rank
   std::vector<std::uint8_t> crashFired_;  // per rank; one-shot crash latch
+  std::vector<std::uint8_t> replayCrashFired_;  // per rank; one-shot
+  std::vector<std::uint8_t> ckptCorruptFired_;  // per rank; one-shot
   mutable std::mutex flipMutex_;
   std::vector<FlipRecord> flips_;
   std::atomic<std::uint64_t> delays_{0};
@@ -186,6 +227,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> bitflips_{0};
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> ckptCorruptions_{0};
 };
 
 /// Binds the calling thread to a world rank for fault attribution. The
@@ -195,8 +237,8 @@ void bindThreadRank(index_t rank);
 [[nodiscard]] index_t boundThreadRank();
 
 /// Named fault scenarios for the chaos CLI and tests. Recognized names:
-/// none, delay, transient, sdc, sdc32, stall, crash. Throws CheckError
-/// otherwise.
+/// none, delay, transient, sdc, sdc32, stall, crash, multicrash,
+/// ckptcorrupt. Throws CheckError otherwise.
 [[nodiscard]] FaultConfig faultScenario(const std::string& name,
                                         std::uint64_t seed,
                                         index_t worldSize);

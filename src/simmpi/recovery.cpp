@@ -1,8 +1,10 @@
 #include "simmpi/recovery.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
+#include "simmpi/faults.h"
 #include "util/logging.h"
 
 namespace hplmxp::simmpi {
@@ -16,7 +18,15 @@ RecoveryReport snapshotRecovery(const RecoveryStats& stats) {
   r.sendsSuppressed = stats.sendsSuppressed.load();
   r.barriersSkipped = stats.barriersSkipped.load();
   r.checkpointBytesCopied = stats.checkpointBytesCopied.load();
+  r.checkpointBytesStored = stats.checkpointBytesStored.load();
+  r.steadyCheckpoints = stats.steadyCheckpoints.load();
+  r.steadyBytesCopied = stats.steadyBytesCopied.load();
+  r.steadyBytesStored = stats.steadyBytesStored.load();
   r.replayLogPeakBytes = stats.replayLogPeakBytes.load();
+  r.generationsDiscarded = stats.generationsDiscarded.load();
+  r.checkpointCorruptionsDetected =
+      stats.checkpointCorruptionsDetected.load();
+  r.nestedResurrections = stats.nestedResurrections.load();
   r.abftPanelChecks = stats.abftPanelChecks.load();
   r.abftGemmChecks = stats.abftGemmChecks.load();
   r.flipsDetected = stats.flipsDetected.load();
@@ -25,68 +35,336 @@ RecoveryReport snapshotRecovery(const RecoveryStats& stats) {
   return r;
 }
 
-void RankCheckpoint::saveRegenerable(index_t step, ReplayCounters counters) {
-  HPLMXP_REQUIRE(!hasMatrix_,
-                 "regenerable checkpoint cannot supersede a matrix one");
-  valid_ = true;
-  step_ = step;
-  counters_ = std::move(counters);
+index_t effectiveCheckpointCadence(index_t requested, index_t panelSteps) {
+  if (panelSteps <= 0 || requested < panelSteps) {
+    return requested;
+  }
+  const index_t clamped = std::max<index_t>(1, panelSteps - 1);
+  if (clamped == requested) {
+    return requested;
+  }
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    logWarn("recovery.every-k " + std::to_string(requested) +
+            " >= panel count " + std::to_string(panelSteps) +
+            " degenerates to checkpoint-never; clamping to " +
+            std::to_string(clamped));
+  }
+  return clamped;
 }
 
-void RankCheckpoint::save(index_t step, ReplayCounters counters,
-                          const float* localA, index_t lda, index_t rows,
-                          index_t cols, index_t rowFrom, index_t colFrom) {
-  HPLMXP_REQUIRE(rows >= 0 && cols >= 0 && lda >= rows,
-                 "bad checkpoint extents");
-  HPLMXP_REQUIRE(rowFrom >= 0 && rowFrom <= rows && colFrom >= 0 &&
-                     colFrom <= cols,
-                 "bad checkpoint delta corner");
-  if (!hasMatrix_) {
-    HPLMXP_REQUIRE(rowFrom == 0 && colFrom == 0,
-                   "first matrix checkpoint must be a full copy");
-    rows_ = rows;
-    cols_ = cols;
-    matrix_.resize(static_cast<std::size_t>(rows) *
-                   static_cast<std::size_t>(cols));
-    hasMatrix_ = true;
-  } else {
-    HPLMXP_REQUIRE(rows == rows_ && cols == cols_,
-                   "checkpoint extents changed between saves");
-  }
-  // Everything outside the untouched [0, rowFrom) x [0, colFrom) corner is
-  // re-copied: full columns colFrom.., plus rows rowFrom.. of the corner's
-  // columns.
-  for (index_t j = 0; j < cols; ++j) {
-    const index_t r0 = j < colFrom ? rowFrom : 0;
-    const index_t count = rows - r0;
-    if (count <= 0) {
-      continue;
+void DirtyMap::reset(index_t rowBlocks, index_t colBlocks) {
+  HPLMXP_REQUIRE(rowBlocks >= 0 && colBlocks >= 0, "bad dirty-map extents");
+  rowBlocks_ = rowBlocks;
+  colBlocks_ = colBlocks;
+  marked_ = 0;
+  bits_.assign(static_cast<std::size_t>(rowBlocks) *
+                   static_cast<std::size_t>(colBlocks),
+               0);
+}
+
+void DirtyMap::markRect(index_t ib, index_t jb, index_t hBlocks,
+                        index_t wBlocks) {
+  const index_t i0 = std::max<index_t>(0, ib);
+  const index_t j0 = std::max<index_t>(0, jb);
+  const index_t i1 = std::min(rowBlocks_, ib + hBlocks);
+  const index_t j1 = std::min(colBlocks_, jb + wBlocks);
+  for (index_t j = j0; j < j1; ++j) {
+    std::uint8_t* col = bits_.data() + static_cast<std::size_t>(j) * rowBlocks_;
+    for (index_t i = i0; i < i1; ++i) {
+      if (col[i] == 0) {
+        col[i] = 1;
+        ++marked_;
+      }
     }
-    std::memcpy(matrix_.data() + static_cast<std::size_t>(j) * rows + r0,
-                localA + static_cast<std::size_t>(j) * lda + r0,
-                static_cast<std::size_t>(count) * sizeof(float));
-    bytesCopied_ += static_cast<std::uint64_t>(count) * sizeof(float);
   }
-  valid_ = true;
-  step_ = step;
-  counters_ = std::move(counters);
 }
 
-void RankCheckpoint::restore(float* localA, index_t lda) const {
-  HPLMXP_REQUIRE(valid_ && hasMatrix_, "no matrix checkpoint to restore");
+bool DirtyMap::test(index_t ib, index_t jb) const {
+  if (ib < 0 || ib >= rowBlocks_ || jb < 0 || jb >= colBlocks_) {
+    return false;
+  }
+  return bits_[static_cast<std::size_t>(jb) * rowBlocks_ + ib] != 0;
+}
+
+void DirtyMap::clear() {
+  std::fill(bits_.begin(), bits_.end(), std::uint8_t{0});
+  marked_ = 0;
+}
+
+std::vector<index_t> DirtyMap::markedTiles() const {
+  std::vector<index_t> tiles;
+  tiles.reserve(marked_);
+  for (std::size_t id = 0; id < bits_.size(); ++id) {
+    if (bits_[id] != 0) {
+      tiles.push_back(static_cast<index_t>(id));
+    }
+  }
+  return tiles;
+}
+
+void DeltaCheckpointStore::configure(index_t rows, index_t cols,
+                                     index_t blockB,
+                                     util::DeltaCodecConfig codec) {
+  HPLMXP_REQUIRE(rows >= 0 && cols >= 0 && blockB >= 1,
+                 "bad checkpoint-store geometry");
+  rows_ = rows;
+  cols_ = cols;
+  b_ = blockB;
+  rowBlocks_ = (rows + blockB - 1) / blockB;
+  colBlocks_ = (cols + blockB - 1) / blockB;
+  codec_ = codec;
+  codec_.elemSize = sizeof(float);  // the local matrix is FP32
+  baseValid_ = false;
+  generations_.clear();
+  image_.clear();
+}
+
+void DeltaCheckpointStore::saveRegenerable(index_t step,
+                                           ReplayCounters counters) {
+  HPLMXP_REQUIRE(generations_.empty(),
+                 "regenerable base cannot supersede matrix generations");
+  baseValid_ = true;
+  baseStep_ = step;
+  baseCounters_ = std::move(counters);
+}
+
+index_t DeltaCheckpointStore::newestStep() const {
+  HPLMXP_REQUIRE(baseValid_, "checkpoint store has no base");
+  return generations_.empty() ? baseStep_ : generations_.back().step;
+}
+
+const ReplayCounters& DeltaCheckpointStore::newestCounters() const {
+  HPLMXP_REQUIRE(baseValid_, "checkpoint store has no base");
+  return generations_.empty() ? baseCounters_
+                              : generations_.back().counters;
+}
+
+bool DeltaCheckpointStore::hasGenerationAt(index_t step) const {
+  if (baseValid_ && step == baseStep_) {
+    return true;
+  }
+  for (const Generation& g : generations_) {
+    if (g.step == step) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t DeltaCheckpointStore::replayFloorRecvs() const {
+  HPLMXP_REQUIRE(baseValid_, "checkpoint store has no base");
+  if (generations_.size() >= 2) {
+    return generations_[generations_.size() - 2].counters.recvs;
+  }
+  return baseCounters_.recvs;
+}
+
+void DeltaCheckpointStore::gatherTiles(const std::vector<index_t>& tiles,
+                                       const float* src, index_t lda,
+                                       std::vector<std::uint8_t>& out) const {
+  out.clear();
+  for (const index_t id : tiles) {
+    const index_t ib = id % rowBlocks_;
+    const index_t jb = id / rowBlocks_;
+    const index_t r0 = ib * b_;
+    const index_t c0 = jb * b_;
+    const index_t h = std::min(b_, rows_ - r0);
+    const index_t w = std::min(b_, cols_ - c0);
+    for (index_t c = 0; c < w; ++c) {
+      const auto* colBytes = reinterpret_cast<const std::uint8_t*>(
+          src + static_cast<std::size_t>(c0 + c) * lda + r0);
+      out.insert(out.end(), colBytes,
+                 colBytes + static_cast<std::size_t>(h) * sizeof(float));
+    }
+  }
+}
+
+void DeltaCheckpointStore::scatterTiles(const std::vector<index_t>& tiles,
+                                        const std::uint8_t* packed,
+                                        float* dst, index_t lda) const {
+  std::size_t off = 0;
+  for (const index_t id : tiles) {
+    const index_t ib = id % rowBlocks_;
+    const index_t jb = id / rowBlocks_;
+    const index_t r0 = ib * b_;
+    const index_t c0 = jb * b_;
+    const index_t h = std::min(b_, rows_ - r0);
+    const index_t w = std::min(b_, cols_ - c0);
+    for (index_t c = 0; c < w; ++c) {
+      std::memcpy(dst + static_cast<std::size_t>(c0 + c) * lda + r0,
+                  packed + off, static_cast<std::size_t>(h) * sizeof(float));
+      off += static_cast<std::size_t>(h) * sizeof(float);
+    }
+  }
+}
+
+void DeltaCheckpointStore::materializeImage(
+    const std::function<void(float*, index_t)>& regen) {
+  if (!image_.empty() || rows_ == 0 || cols_ == 0) {
+    return;
+  }
+  image_.resize(static_cast<std::size_t>(rows_) *
+                static_cast<std::size_t>(cols_));
+  regen(image_.data(), rows_);
+}
+
+namespace {
+
+/// Cheap integrity probe: recomputes every chunk CRC without decoding.
+bool blobIntact(const util::DeltaBlob& blob) {
+  for (const util::DeltaChunk& chunk : blob.chunks) {
+    if (util::crc32(chunk.payload.data(), chunk.payload.size()) !=
+        chunk.crc) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+DeltaCheckpointStore::AppendResult DeltaCheckpointStore::append(
+    index_t step, ReplayCounters counters, const float* localA, index_t lda,
+    const std::vector<index_t>& tiles,
+    const std::function<void(float*, index_t)>& regen, bool scrub) {
+  HPLMXP_REQUIRE(baseValid_, "checkpoint store has no base");
+  HPLMXP_REQUIRE(step > newestStep(),
+                 "checkpoint generations must have ascending steps");
+  HPLMXP_REQUIRE(lda >= rows_, "bad checkpoint leading dimension");
+  AppendResult result;
+  std::vector<index_t> tileSet = tiles;
+  if (scrub && !generations_.empty() &&
+      !blobIntact(generations_.back().blob)) {
+    // Scrub-on-append: the newest stored generation rotted since it was
+    // written. This is the last moment it can be dropped safely — the
+    // replay floor has not yet advanced past its predecessor. Fold its
+    // tiles into this generation so the delta chain stays exact.
+    result.corruptionsDetected += 1;
+    result.generationsDiscarded += 1;
+    std::vector<index_t> lost = std::move(generations_.back().tiles);
+    generations_.pop_back();
+    std::vector<index_t> merged;
+    std::set_union(tileSet.begin(), tileSet.end(), lost.begin(), lost.end(),
+                   std::back_inserter(merged));
+    tileSet = std::move(merged);
+    // The image held the dropped generation's content; rebuild it from
+    // the intact chain (LCG base + surviving generations).
+    image_.clear();
+    materializeImage(regen);
+    std::vector<std::uint8_t> tileBuf;
+    std::size_t applied = 0;
+    for (const Generation& gen : generations_) {
+      gatherTiles(gen.tiles, image_.data(), rows_, tileBuf);
+      if (util::decodeDelta(gen.blob, tileBuf.data(), tileBuf.size(),
+                            /*verify=*/true) != util::DeltaDecodeStatus::kOk) {
+        break;  // double fault: ladder truncates here too
+      }
+      scatterTiles(gen.tiles, tileBuf.data(), image_.data(), rows_);
+      ++applied;
+    }
+    if (applied < generations_.size()) {
+      result.corruptionsDetected += 1;
+      for (std::size_t i = applied; i < generations_.size(); ++i) {
+        result.generationsDiscarded += 1;
+        merged.clear();
+        std::set_union(tileSet.begin(), tileSet.end(),
+                       generations_[i].tiles.begin(),
+                       generations_[i].tiles.end(),
+                       std::back_inserter(merged));
+        tileSet = std::move(merged);
+      }
+      generations_.resize(applied);
+    }
+  }
+  materializeImage(regen);
+  std::vector<std::uint8_t> cur;
+  std::vector<std::uint8_t> prev;
+  gatherTiles(tileSet, localA, lda, cur);
+  gatherTiles(tileSet, image_.data(), rows_, prev);
+  Generation gen;
+  gen.step = step;
+  gen.counters = std::move(counters);
+  gen.tiles = tileSet;
+  gen.blob = util::encodeDelta(cur.data(), prev.data(), cur.size(), codec_);
+  // The image is the newest generation's content: fold the dirty tiles in.
+  scatterTiles(tileSet, cur.data(), image_.data(), rows_);
+  result.rawBytes = cur.size();
+  result.storedBytes = gen.blob.storedBytes();
+  generations_.push_back(std::move(gen));
+  return result;
+}
+
+RestoreResult DeltaCheckpointStore::restore(
+    float* localA, index_t lda,
+    const std::function<void(float*, index_t)>& regen, bool verify) {
+  HPLMXP_REQUIRE(baseValid_, "checkpoint store has no base");
   HPLMXP_REQUIRE(lda >= rows_, "bad restore leading dimension");
+  // Rebuild from the LCG base and re-apply the whole chain, so every
+  // retained chunk's CRC is exercised on every restore.
+  std::vector<float> buf(static_cast<std::size_t>(rows_) *
+                         static_cast<std::size_t>(cols_));
+  regen(buf.data(), rows_);
+  RestoreResult result;
+  result.step = baseStep_;
+  result.counters = baseCounters_;
+  std::size_t applied = 0;
+  std::vector<std::uint8_t> tileBuf;
+  for (const Generation& gen : generations_) {
+    gatherTiles(gen.tiles, buf.data(), rows_, tileBuf);
+    const util::DeltaDecodeStatus status =
+        util::decodeDelta(gen.blob, tileBuf.data(), tileBuf.size(), verify);
+    if (status != util::DeltaDecodeStatus::kOk) {
+      // Fallback ladder: this generation — and every later one, whose
+      // deltas chain off it — is lost; the newest intact ancestor wins.
+      result.corruptionsDetected += 1;
+      result.generationsDiscarded += generations_.size() - applied;
+      break;
+    }
+    scatterTiles(gen.tiles, tileBuf.data(), buf.data(), rows_);
+    result.step = gen.step;
+    result.counters = gen.counters;
+    ++applied;
+  }
+  generations_.resize(applied);
   for (index_t j = 0; j < cols_; ++j) {
     std::memcpy(localA + static_cast<std::size_t>(j) * lda,
-                matrix_.data() + static_cast<std::size_t>(j) * rows_,
+                buf.data() + static_cast<std::size_t>(j) * rows_,
                 static_cast<std::size_t>(rows_) * sizeof(float));
   }
+  image_ = std::move(buf);
+  return result;
+}
+
+bool DeltaCheckpointStore::corruptNewestGeneration(std::uint64_t selector) {
+  if (generations_.empty()) {
+    return false;
+  }
+  util::DeltaBlob& blob = generations_.back().blob;
+  std::vector<util::DeltaChunk*> nonEmpty;
+  for (util::DeltaChunk& c : blob.chunks) {
+    if (!c.payload.empty()) {
+      nonEmpty.push_back(&c);
+    }
+  }
+  if (nonEmpty.empty()) {
+    return false;
+  }
+  util::DeltaChunk& chunk = *nonEmpty[selector % nonEmpty.size()];
+  const std::size_t byte =
+      (selector / nonEmpty.size()) % chunk.payload.size();
+  const int bit = static_cast<int>((selector >> 17) % 8);
+  chunk.payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+  return true;
 }
 
 RecoveryManager::RecoveryManager(Comm world, RecoveryConfig config,
+                                 RecoveryGeometry geometry,
                                  std::shared_ptr<RecoveryStats> stats,
                                  Regenerate regen)
     : world_(std::move(world)),
       config_(config),
+      geometry_(geometry),
       stats_(std::move(stats)),
       regen_(std::move(regen)) {
   config_.validate();
@@ -94,61 +372,125 @@ RecoveryManager::RecoveryManager(Comm world, RecoveryConfig config,
                  "recovery needs a matrix regenerator");
   HPLMXP_REQUIRE(world_.replayLogEnabled(),
                  "recovery needs the comm replay log (RunOptions.replayLog)");
+  HPLMXP_REQUIRE(geometry_.localRows >= 0 && geometry_.localCols >= 0 &&
+                     geometry_.blockB >= 1 && geometry_.panelSteps >= 1,
+                 "bad recovery geometry");
+  config_.checkpointEveryK = effectiveCheckpointCadence(
+      config_.checkpointEveryK, geometry_.panelSteps);
+  util::DeltaCodecConfig codec;
+  codec.compress = config_.compressCheckpoints;
+  store_.configure(geometry_.localRows, geometry_.localCols,
+                   geometry_.blockB, codec);
+  dirty_.reset((geometry_.localRows + geometry_.blockB - 1) /
+                   geometry_.blockB,
+               (geometry_.localCols + geometry_.blockB - 1) /
+                   geometry_.blockB);
   if (!stats_) {
     stats_ = std::make_shared<RecoveryStats>();
   }
 }
 
-index_t RecoveryManager::matrixStep() const {
-  return ckpt_.valid() && !ckpt_.regenerable() ? ckpt_.step() : -1;
-}
-
 void RecoveryManager::checkpoint(index_t step, const float* localA,
-                                 index_t lda, index_t rows, index_t cols,
-                                 index_t rowFrom, index_t colFrom) {
+                                 index_t lda) {
   const index_t rank = world_.rank();
   const bool replayingNow = world_.replaying(rank);
-  const std::uint64_t before = ckpt_.bytesCopied();
-  ReplayCounters counters = world_.replayCounters(rank);
-  const std::uint64_t trimTo = counters.recvs;
-  if (step == 0) {
-    ckpt_.saveRegenerable(step, std::move(counters));
+  if (store_.valid() && store_.hasGenerationAt(step)) {
+    // Replay re-reached a step whose generation survived: deterministic
+    // re-execution makes the state identical, so there is nothing new to
+    // store. (A generation discarded by the corruption fallback does NOT
+    // hit this branch — it is re-appended fresh below.)
+    dirty_.clear();
+  } else if (!store_.valid()) {
+    ReplayCounters counters = world_.replayCounters(rank);
+    store_.saveRegenerable(step, std::move(counters));
+    dirty_.clear();
+    if (!replayingNow) {
+      stats_->checkpoints.fetch_add(1);
+    }
   } else {
-    ckpt_.save(step, std::move(counters), localA, lda, rows, cols, rowFrom,
-               colFrom);
+    ReplayCounters counters = world_.replayCounters(rank);
+    const std::vector<index_t> tiles = dirty_.markedTiles();
+    const DeltaCheckpointStore::AppendResult appended =
+        store_.append(step, std::move(counters), localA, lda, tiles, regen_,
+                      /*scrub=*/config_.verifyCheckpoints);
+    dirty_.clear();
+    if (appended.corruptionsDetected > 0) {
+      // Scrub-on-append casualty: a stored generation rotted and was
+      // folded into this one before the replay floor moved past it.
+      stats_->checkpointCorruptionsDetected.fetch_add(
+          appended.corruptionsDetected);
+      stats_->generationsDiscarded.fetch_add(appended.generationsDiscarded);
+      logWarn("rank ", rank, ": checkpoint scrub at step ", step,
+              " dropped ", appended.generationsDiscarded,
+              " rotted generation(s); tiles folded forward");
+    }
+    if (!replayingNow) {
+      stats_->checkpoints.fetch_add(1);
+      stats_->checkpointBytesCopied.fetch_add(appended.rawBytes);
+      stats_->checkpointBytesStored.fetch_add(appended.storedBytes);
+      if (geometry_.panelSteps > 0 && step * 2 > geometry_.panelSteps) {
+        // Steady state: the warm-up generations (whose dirty region still
+        // spans most of the matrix) are behind us.
+        stats_->steadyCheckpoints.fetch_add(1);
+        stats_->steadyBytesCopied.fetch_add(appended.rawBytes);
+        stats_->steadyBytesStored.fetch_add(appended.storedBytes);
+      }
+      // Checkpoint-corruption injection: the fault plan may schedule a bit
+      // flip inside a freshly stored generation (faults.h).
+      const std::shared_ptr<FaultInjector>& injector = world_.faultInjector();
+      if (injector) {
+        std::uint64_t selector = 0;
+        if (injector->nextCheckpointCorruption(rank, liveAppends_,
+                                               &selector) &&
+            store_.corruptNewestGeneration(selector)) {
+          injector->noteCheckpointCorruption();
+        }
+      }
+      ++liveAppends_;
+    }
   }
-  world_.trimReplayLog(rank, trimTo);
-  if (!replayingNow) {
-    stats_->checkpoints.fetch_add(1);
-    stats_->checkpointBytesCopied.fetch_add(ckpt_.bytesCopied() - before);
-  }
+  world_.trimReplayLog(rank, store_.replayFloorRecvs());
 }
 
 bool RecoveryManager::canResurrect() const {
-  return ckpt_.valid() && resurrections_ < config_.maxResurrections;
+  return store_.valid() && resurrections_ < config_.maxResurrections;
 }
 
 index_t RecoveryManager::resurrect(index_t crashStep, float* localA,
                                    index_t lda) {
   HPLMXP_REQUIRE(canResurrect(), "no checkpoint to resurrect from");
-  HPLMXP_REQUIRE(crashStep >= ckpt_.step(),
-                 "crash step precedes the checkpoint");
+  const index_t rank = world_.rank();
+  const bool nested = world_.replaying(rank);
   ++resurrections_;
-  if (ckpt_.regenerable()) {
-    regen_(localA, lda);
-  } else {
-    ckpt_.restore(localA, lda);
-  }
-  world_.beginReplay(world_.rank(), ckpt_.counters());
+  const RestoreResult restored =
+      store_.restore(localA, lda, regen_, config_.verifyCheckpoints);
+  HPLMXP_REQUIRE(crashStep >= restored.step,
+                 "crash step precedes the checkpoint");
+  world_.beginReplay(rank, restored.counters);
+  dirty_.clear();
   stats_->resurrections.fetch_add(1);
   stats_->stepsReplayed.fetch_add(
-      static_cast<std::uint64_t>(crashStep - ckpt_.step()));
-  logWarn("rank " + std::to_string(world_.rank()) +
-          ": crash at panel step " + std::to_string(crashStep) +
+      static_cast<std::uint64_t>(crashStep - restored.step));
+  if (nested) {
+    stats_->nestedResurrections.fetch_add(1);
+  }
+  stats_->generationsDiscarded.fetch_add(restored.generationsDiscarded);
+  stats_->checkpointCorruptionsDetected.fetch_add(
+      restored.corruptionsDetected);
+  std::string note;
+  if (restored.corruptionsDetected > 0) {
+    note = ", " + std::to_string(restored.generationsDiscarded) +
+           " corrupt generation(s) discarded";
+  }
+  if (nested) {
+    note += ", nested inside an ongoing replay";
+  }
+  logWarn("rank " + std::to_string(rank) + ": crash at panel step " +
+          std::to_string(crashStep) +
           ", resurrected from checkpoint step " +
-          std::to_string(ckpt_.step()) + " (replaying " +
-          std::to_string(crashStep - ckpt_.step()) + " steps)");
-  return ckpt_.step();
+          std::to_string(restored.step) + " (replaying " +
+          std::to_string(crashStep - restored.step) + " steps" + note + ")");
+  return restored.step;
 }
 
 void RecoveryManager::noteRunComplete() {

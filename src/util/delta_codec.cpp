@@ -1,0 +1,247 @@
+#include "util/delta_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace hplmxp::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  return table;
+}
+
+void putVarint(std::vector<std::uint8_t>& out, std::size_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Returns false on a truncated/overlong varint.
+bool getVarint(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+               std::size_t& v) {
+  v = 0;
+  int shift = 0;
+  while (pos < size && shift <= 56) {
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::size_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// Byte-plane transposition: byte p of every `elemSize`-wide element is
+/// grouped into plane p. A trailing partial element is appended verbatim.
+void transposePlanes(const std::uint8_t* in, std::size_t bytes,
+                     std::size_t elemSize, std::uint8_t* out) {
+  const std::size_t elems = bytes / elemSize;
+  for (std::size_t p = 0; p < elemSize; ++p) {
+    std::uint8_t* plane = out + p * elems;
+    for (std::size_t i = 0; i < elems; ++i) {
+      plane[i] = in[i * elemSize + p];
+    }
+  }
+  std::memcpy(out + elems * elemSize, in + elems * elemSize,
+              bytes - elems * elemSize);
+}
+
+void untransposePlanes(const std::uint8_t* in, std::size_t bytes,
+                       std::size_t elemSize, std::uint8_t* out) {
+  const std::size_t elems = bytes / elemSize;
+  for (std::size_t p = 0; p < elemSize; ++p) {
+    const std::uint8_t* plane = in + p * elems;
+    for (std::size_t i = 0; i < elems; ++i) {
+      out[i * elemSize + p] = plane[i];
+    }
+  }
+  std::memcpy(out + elems * elemSize, in + elems * elemSize,
+              bytes - elems * elemSize);
+}
+
+/// Zero-run RLE: a repeated pair [varint zeroRun][varint literalRun]
+/// followed by the literal bytes, until `bytes` input bytes are consumed.
+void rleEncode(const std::uint8_t* in, std::size_t bytes,
+               std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < bytes) {
+    std::size_t zeros = 0;
+    while (i + zeros < bytes && in[i + zeros] == 0) {
+      ++zeros;
+    }
+    i += zeros;
+    // A literal run ends at the next zero run worth breaking for: a lone
+    // zero inside noise costs more as a run header than as a literal.
+    std::size_t lit = 0;
+    while (i + lit < bytes) {
+      if (in[i + lit] == 0) {
+        std::size_t z = 1;
+        while (i + lit + z < bytes && in[i + lit + z] == 0) {
+          ++z;
+        }
+        if (z >= 4 || i + lit + z == bytes) {
+          break;
+        }
+        lit += z;
+        continue;
+      }
+      ++lit;
+    }
+    putVarint(out, zeros);
+    putVarint(out, lit);
+    out.insert(out.end(), in + i, in + i + lit);
+    i += lit;
+  }
+}
+
+bool rleDecode(const std::uint8_t* in, std::size_t inBytes, std::uint8_t* out,
+               std::size_t outBytes) {
+  std::size_t pos = 0;
+  std::size_t produced = 0;
+  while (produced < outBytes) {
+    std::size_t zeros = 0;
+    std::size_t lit = 0;
+    if (!getVarint(in, inBytes, pos, zeros) ||
+        !getVarint(in, inBytes, pos, lit)) {
+      return false;
+    }
+    if (zeros > outBytes - produced || lit > outBytes - produced - zeros ||
+        lit > inBytes - pos) {
+      return false;
+    }
+    std::memset(out + produced, 0, zeros);
+    produced += zeros;
+    std::memcpy(out + produced, in + pos, lit);
+    produced += lit;
+    pos += lit;
+  }
+  return pos == inBytes && produced == outBytes;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto& table = crcTable();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::size_t DeltaBlob::storedBytes() const {
+  // 4B raw size + 1B flags + 4B CRC of header per chunk.
+  std::size_t total = chunks.size() * 9;
+  for (const DeltaChunk& c : chunks) {
+    total += c.payload.size();
+  }
+  return total;
+}
+
+DeltaBlob encodeDelta(const std::uint8_t* cur, const std::uint8_t* prev,
+                      std::size_t bytes, const DeltaCodecConfig& config) {
+  const std::size_t elemSize = std::max<std::size_t>(1, config.elemSize);
+  const std::size_t chunkBytes =
+      std::max<std::size_t>(elemSize, config.chunkBytes);
+  DeltaBlob blob;
+  blob.rawBytes = bytes;
+  blob.elemSize = elemSize;
+  std::vector<std::uint8_t> delta;
+  std::vector<std::uint8_t> planes;
+  for (std::size_t off = 0; off < bytes || (bytes == 0 && off == 0);
+       off += chunkBytes) {
+    const std::size_t len = std::min(chunkBytes, bytes - off);
+    delta.resize(len);
+    if (prev != nullptr) {
+      for (std::size_t i = 0; i < len; ++i) {
+        delta[i] = cur[off + i] ^ prev[off + i];
+      }
+    } else {
+      std::memcpy(delta.data(), cur + off, len);
+    }
+    DeltaChunk chunk;
+    chunk.rawBytes = static_cast<std::uint32_t>(len);
+    if (config.compress) {
+      planes.resize(len);
+      transposePlanes(delta.data(), len, elemSize, planes.data());
+      chunk.payload.reserve(len / 4);
+      rleEncode(planes.data(), len, chunk.payload);
+      chunk.compressed = true;
+    }
+    if (!config.compress || chunk.payload.size() >= len) {
+      chunk.payload.assign(delta.begin(), delta.end());
+      chunk.compressed = false;
+    }
+    chunk.crc = crc32(chunk.payload.data(), chunk.payload.size());
+    blob.chunks.push_back(std::move(chunk));
+    if (bytes == 0) {
+      break;
+    }
+  }
+  return blob;
+}
+
+DeltaDecodeStatus decodeDelta(const DeltaBlob& blob, std::uint8_t* dst,
+                              std::size_t bytes, bool verify) {
+  if (blob.rawBytes != bytes || blob.elemSize == 0) {
+    return DeltaDecodeStatus::kMalformed;
+  }
+  std::size_t total = 0;
+  for (const DeltaChunk& c : blob.chunks) {
+    total += c.rawBytes;
+  }
+  if (total != bytes) {
+    return DeltaDecodeStatus::kMalformed;
+  }
+  // Fully decode into a scratch delta before touching dst: a corrupt chunk
+  // must leave the caller's previous-generation bytes intact.
+  std::vector<std::uint8_t> delta(bytes);
+  std::vector<std::uint8_t> planes;
+  std::size_t off = 0;
+  for (const DeltaChunk& c : blob.chunks) {
+    if (verify &&
+        crc32(c.payload.data(), c.payload.size()) != c.crc) {
+      return DeltaDecodeStatus::kCrcMismatch;
+    }
+    if (c.compressed) {
+      planes.resize(c.rawBytes);
+      if (!rleDecode(c.payload.data(), c.payload.size(), planes.data(),
+                     c.rawBytes)) {
+        return DeltaDecodeStatus::kMalformed;
+      }
+      untransposePlanes(planes.data(), c.rawBytes, blob.elemSize,
+                        delta.data() + off);
+    } else {
+      if (c.payload.size() != c.rawBytes) {
+        return DeltaDecodeStatus::kMalformed;
+      }
+      std::memcpy(delta.data() + off, c.payload.data(), c.rawBytes);
+    }
+    off += c.rawBytes;
+  }
+  for (std::size_t i = 0; i < bytes; ++i) {
+    dst[i] ^= delta[i];
+  }
+  return DeltaDecodeStatus::kOk;
+}
+
+}  // namespace hplmxp::util

@@ -1,0 +1,85 @@
+// Delta codec for the incremental checkpoint store (simmpi/recovery.h).
+//
+// A checkpoint generation stores the XOR of the rank's dirty tile bytes
+// against the previous generation. The factorization's updates are small
+// relative to the values they touch (the generated matrix is diagonally
+// dominant, so trailing updates subtract products of ~1/N-sized L
+// entries), which makes the sign/exponent byte planes of the XOR almost
+// entirely zero. The codec exploits exactly that:
+//
+//   XOR delta  ->  byte-plane transposition (all byte-p's of the FP16/FP32
+//   elements grouped together)  ->  zero-run RLE with varint run lengths,
+//   chunked, with a CRC32 over every stored chunk payload.
+//
+// The CRC is the integrity half of the story: a corrupted checkpoint is
+// *detected* at decode time and reported as a status — never silently
+// applied — so recovery can fall back to the previous intact generation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hplmxp::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). `seed` chains
+/// incremental computations: pass a previous result to continue it.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes,
+                                  std::uint32_t seed = 0);
+
+struct DeltaCodecConfig {
+  /// Element width for the byte-plane transposition: 2 for FP16 payloads,
+  /// 4 for FP32. A trailing partial element is stored verbatim.
+  std::size_t elemSize = 4;
+  /// When false the XOR delta is stored raw (still chunked + CRC'd) —
+  /// the `recovery.compress off` escape hatch.
+  bool compress = true;
+  /// Uncompressed bytes per chunk. Each chunk fails or verifies alone, so
+  /// smaller chunks localize corruption at the cost of header overhead.
+  std::size_t chunkBytes = 64u << 10;
+};
+
+/// One encoded chunk: `payload` is either the RLE stream of the
+/// plane-transposed XOR delta (`compressed`) or the raw delta bytes.
+struct DeltaChunk {
+  std::uint32_t rawBytes = 0;  // uncompressed size of this chunk
+  bool compressed = false;
+  std::uint32_t crc = 0;       // crc32 of `payload`
+  std::vector<std::uint8_t> payload;
+};
+
+/// A full encoded delta: the on-"wire" body of one checkpoint generation.
+struct DeltaBlob {
+  std::size_t rawBytes = 0;   // total uncompressed delta size
+  std::size_t elemSize = 4;   // plane width the encoder used
+  std::vector<DeltaChunk> chunks;
+
+  /// Stored footprint: payload bytes plus the per-chunk header fields
+  /// (raw size, flags, CRC) a serialized layout would carry.
+  [[nodiscard]] std::size_t storedBytes() const;
+};
+
+enum class DeltaDecodeStatus {
+  kOk,
+  kCrcMismatch,  // a chunk payload fails its CRC — corruption detected
+  kMalformed,    // sizes/stream structure inconsistent (also corruption)
+};
+
+/// Encodes `cur XOR prev` (`bytes` long). `prev == nullptr` means a
+/// zero base, i.e. the blob stores `cur` itself.
+[[nodiscard]] DeltaBlob encodeDelta(const std::uint8_t* cur,
+                                    const std::uint8_t* prev,
+                                    std::size_t bytes,
+                                    const DeltaCodecConfig& config);
+
+/// Applies `blob` onto `dst`: on entry `dst` holds the previous
+/// generation's bytes, on kOk return it holds the current generation's.
+/// Every chunk is CRC-verified (unless `verify` is false) and fully
+/// decoded BEFORE `dst` is touched: on any non-kOk status `dst` is
+/// unchanged, so the caller can fall back to an older generation.
+[[nodiscard]] DeltaDecodeStatus decodeDelta(const DeltaBlob& blob,
+                                            std::uint8_t* dst,
+                                            std::size_t bytes,
+                                            bool verify = true);
+
+}  // namespace hplmxp::util

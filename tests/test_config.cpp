@@ -4,10 +4,12 @@
 
 #include <vector>
 
+#include "cli/options.h"
 #include "core/config.h"
 #include "core/hplai.h"
 #include "core/verify.h"
 #include "gen/matgen.h"
+#include "simmpi/recovery.h"
 
 namespace hplmxp {
 namespace {
@@ -154,6 +156,64 @@ TEST(EffectiveScheduler, DataflowFallsBackToBulkWithoutLanesToOverlap) {
   // Bulk is never overridden, whatever the lane count.
   EXPECT_EQ(effectiveScheduler(Scheduler::kBulk, 1), Scheduler::kBulk);
   EXPECT_EQ(effectiveScheduler(Scheduler::kBulk, 8), Scheduler::kBulk);
+}
+
+TEST(RecoveryConfigValidation, RejectsDegenerateKnobs) {
+  simmpi::RecoveryConfig rc;
+  EXPECT_NO_THROW(rc.validate());  // defaults are sane
+  rc.checkpointEveryK = 0;
+  EXPECT_THROW(rc.validate(), CheckError);
+  rc.checkpointEveryK = 1;
+  rc.maxResurrections = 0;
+  EXPECT_THROW(rc.validate(), CheckError);
+  rc.maxResurrections = 1;
+  // compress/verify are pure policy toggles: any combination is valid.
+  rc.compressCheckpoints = false;
+  rc.verifyCheckpoints = false;
+  EXPECT_NO_THROW(rc.validate());
+}
+
+TEST(EffectiveCheckpointCadence, ClampsCheckpointNeverCadences) {
+  using simmpi::effectiveCheckpointCadence;
+  // A cadence below the panel count is honored as requested.
+  EXPECT_EQ(effectiveCheckpointCadence(4, 12), 4);
+  EXPECT_EQ(effectiveCheckpointCadence(11, 12), 11);
+  // cadence >= panel count would only ever take the free step-0 base
+  // ("checkpoint never"): clamp to the largest useful cadence.
+  EXPECT_EQ(effectiveCheckpointCadence(12, 12), 11);
+  EXPECT_EQ(effectiveCheckpointCadence(1000, 12), 11);
+  // Degenerate single-panel runs keep cadence 1 without complaint.
+  EXPECT_EQ(effectiveCheckpointCadence(1, 1), 1);
+  EXPECT_EQ(effectiveCheckpointCadence(5, 1), 1);
+  // Unknown geometry (no panel count yet) passes through untouched.
+  EXPECT_EQ(effectiveCheckpointCadence(64, 0), 64);
+}
+
+TEST(RecoveryConfigKeys, ConfKeysRoundTripThroughOptions) {
+  // The same keys cmdBench/cmdChaos/cmdRecover read from hplmxp.conf.
+  const cli::Options opts = cli::Options::parseArgs(
+      {"--recovery.enabled", "on", "--recovery.every-k", "6",
+       "--recovery.max-resurrections", "3", "--recovery.compress", "off",
+       "--recovery.verify", "off"});
+  simmpi::RecoveryConfig rc;
+  rc.enabled = opts.getBool("recovery.enabled", false);
+  rc.checkpointEveryK = opts.getInt("recovery.every-k", 8);
+  rc.maxResurrections = opts.getInt("recovery.max-resurrections", 8);
+  rc.compressCheckpoints = opts.getBool("recovery.compress", true);
+  rc.verifyCheckpoints = opts.getBool("recovery.verify", true);
+  EXPECT_TRUE(rc.enabled);
+  EXPECT_EQ(rc.checkpointEveryK, 6);
+  EXPECT_EQ(rc.maxResurrections, 3);
+  EXPECT_FALSE(rc.compressCheckpoints);
+  EXPECT_FALSE(rc.verifyCheckpoints);
+  EXPECT_NO_THROW(rc.validate());
+  // Unset keys fall back to the documented defaults.
+  const cli::Options empty = cli::Options::parseArgs({});
+  EXPECT_FALSE(empty.getBool("recovery.enabled", false));
+  EXPECT_EQ(empty.getInt("recovery.every-k", 8), 8);
+  EXPECT_EQ(empty.getInt("recovery.max-resurrections", 8), 8);
+  EXPECT_TRUE(empty.getBool("recovery.compress", true));
+  EXPECT_TRUE(empty.getBool("recovery.verify", true));
 }
 
 }  // namespace

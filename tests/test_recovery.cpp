@@ -4,6 +4,7 @@
 // fault provenance, and scanAbnormal coordinate reporting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -308,8 +309,9 @@ TEST(CrashRecovery, FrequentCheckpointsBoundTheReplayLog) {
 }
 
 TEST(CrashRecovery, IncrementalCheckpointCopiesLessThanFull) {
-  // With cadence 1, every checkpoint past the first re-copies only the
-  // trailing region; total bytes must be well below nSteps * full-matrix.
+  // Dirty-tile deltas: every generation stores only tiles touched since
+  // the previous one; total raw bytes must be well below nSteps *
+  // full-matrix, and the codec must shrink them further on the wire.
   HplaiConfig cfg = recoveryConfig(1);
   cfg.recoveryStats = std::make_shared<RecoveryStats>();
   (void)runWith(cfg, nullptr);
@@ -319,6 +321,196 @@ TEST(CrashRecovery, IncrementalCheckpointCopiesLessThanFull) {
   const std::uint64_t fullEveryTime = rep.checkpoints * localBytes;
   EXPECT_GT(rep.checkpointBytesCopied, 0u);
   EXPECT_LT(rep.checkpointBytesCopied, fullEveryTime);
+  EXPECT_GT(rep.checkpointBytesStored, 0u);
+  EXPECT_LT(rep.checkpointBytesStored, rep.checkpointBytesCopied);
+}
+
+TEST(CrashRecovery, UncompressedCheckpointsStillRecoverBitwise) {
+  // recovery.compress off: raw XOR deltas, still chunked + CRC'd.
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  FaultConfig fc;
+  fc.crashRank = 1;
+  fc.crashAtOp = 30;
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.recovery.compressCheckpoints = false;
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 1u);
+  EXPECT_GE(rep.checkpointBytesStored, rep.checkpointBytesCopied);
+  expectBitwiseEqual(clean, recovered);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-fault recovery: overlapping crashes and checkpoint corruption
+// ---------------------------------------------------------------------------
+
+TEST(MultiFault, TwoConcurrentRankCrashesRecoverBitwise) {
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  ASSERT_TRUE(clean.result.converged);
+  FaultConfig fc;
+  fc.crashRank = 3;
+  fc.crashAtOp = 64;
+  fc.crashRank2 = 1;
+  fc.crashAtOp2 = 40;
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.abftPanels = true;  // matches the recover CLI: ABFT traffic
+  cfg.abftGemm = true;    // shifts the comm-op stream the ops are calibrated to
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  EXPECT_EQ(inj->stats().crashes, 2u);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 2u);
+  expectBitwiseEqual(clean, recovered);
+}
+
+TEST(MultiFault, SecondCrashDuringReplayNestsAndRecoversBitwise) {
+  // Rank 1 crashes live, resurrects, and crashes AGAIN two ops into its
+  // replay: the nested resurrection rewinds once more while preserving
+  // the original live-resume target.
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  FaultConfig fc;
+  fc.crashRank = 1;
+  fc.crashAtOp = 40;
+  fc.replayCrashRank = 1;
+  fc.replayCrashAtOp = 2;
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.abftPanels = true;  // matches the recover CLI: ABFT traffic
+  cfg.abftGemm = true;    // shifts the comm-op stream the ops are calibrated to
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  EXPECT_EQ(inj->stats().crashes, 2u);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 2u);
+  EXPECT_EQ(rep.nestedResurrections, 1u);
+  expectBitwiseEqual(clean, recovered);
+}
+
+TEST(MultiFault, CheckpointCorruptionFallsBackToIntactGeneration) {
+  // The newest stored generation is bit-flipped; restore must detect the
+  // CRC mismatch, discard it, and resurrect from the intact predecessor.
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  FaultConfig fc;
+  fc.crashRank = 1;
+  fc.crashAtOp = 30;
+  fc.ckptCorruptRank = 1;
+  fc.ckptCorruptOrdinal = 0;  // the generation the crash would restore
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.abftPanels = true;  // matches the recover CLI: ABFT traffic
+  cfg.abftGemm = true;    // shifts the comm-op stream the ops are calibrated to
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  EXPECT_EQ(inj->stats().checkpointCorruptions, 1u);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 1u);
+  EXPECT_EQ(rep.checkpointCorruptionsDetected, 1u);
+  EXPECT_GE(rep.generationsDiscarded, 1u);
+  expectBitwiseEqual(clean, recovered);
+}
+
+TEST(MultiFault, TwoCrashesPlusCheckpointCorruptionRecoverBitwise) {
+  // The acceptance gauntlet: two concurrent rank crashes and one injected
+  // checkpoint corruption in a single run.
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  FaultConfig fc;
+  fc.crashRank = 3;
+  fc.crashAtOp = 64;
+  fc.crashRank2 = 1;
+  fc.crashAtOp2 = 40;
+  fc.ckptCorruptRank = 3;
+  fc.ckptCorruptOrdinal = 1;  // rank 3's newest generation at crash time
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.abftPanels = true;  // matches the recover CLI: ABFT traffic
+  cfg.abftGemm = true;    // shifts the comm-op stream the ops are calibrated to
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  EXPECT_EQ(inj->stats().crashes, 2u);
+  EXPECT_EQ(inj->stats().checkpointCorruptions, 1u);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 2u);
+  EXPECT_EQ(rep.checkpointCorruptionsDetected, 1u);
+  EXPECT_GE(rep.generationsDiscarded, 1u);
+  expectBitwiseEqual(clean, recovered);
+}
+
+TEST(MultiFault, RottedOldGenerationIsScrubbedAtNextAppend) {
+  // Corrupt the FIRST matrix generation, then crash late enough that a
+  // newer generation exists: restore-time fallback alone would have to
+  // rewind past the replay floor. The scrub-on-append pass must instead
+  // drop the rotted generation at the next checkpoint (folding its tiles
+  // into the new one), so the late crash restores from a repaired chain.
+  const RunOutput clean = runWith(recoveryConfig(0), nullptr);
+  FaultConfig fc;
+  fc.crashRank = 2;
+  fc.crashAtOp = 50;
+  fc.ckptCorruptRank = 2;
+  fc.ckptCorruptOrdinal = 0;  // rots before later generations are appended
+  auto inj = std::make_shared<FaultInjector>(fc, 4);
+  HplaiConfig cfg = recoveryConfig(4);
+  cfg.abftPanels = true;  // matches the recover CLI: ABFT traffic
+  cfg.abftGemm = true;    // shifts the comm-op stream the ops are calibrated to
+  cfg.recoveryStats = std::make_shared<RecoveryStats>();
+  const RunOutput recovered = runWith(cfg, inj);
+  EXPECT_EQ(inj->stats().checkpointCorruptions, 1u);
+  const simmpi::RecoveryReport rep =
+      simmpi::snapshotRecovery(*cfg.recoveryStats);
+  EXPECT_EQ(rep.resurrections, 1u);
+  EXPECT_EQ(rep.checkpointCorruptionsDetected, 1u);
+  EXPECT_EQ(rep.generationsDiscarded, 1u);
+  expectBitwiseEqual(clean, recovered);
+}
+
+TEST(MultiFault, MulticrashAndCkptcorruptScenariosAreKnown) {
+  const std::vector<std::string> names = simmpi::knownFaultScenarios();
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("multicrash"));
+  EXPECT_TRUE(has("ckptcorrupt"));
+  const FaultConfig multi = simmpi::faultScenario("multicrash", 1, 4);
+  EXPECT_GE(multi.crashRank, 0);
+  EXPECT_GE(multi.crashRank2, 0);
+  EXPECT_NE(multi.crashRank, multi.crashRank2);
+  const FaultConfig corrupt = simmpi::faultScenario("ckptcorrupt", 1, 4);
+  EXPECT_GE(corrupt.crashRank, 0);
+  EXPECT_EQ(corrupt.ckptCorruptRank, corrupt.crashRank);
+}
+
+// ---------------------------------------------------------------------------
+// DirtyMap (the panel-granular tracking the core layer marks into)
+// ---------------------------------------------------------------------------
+
+TEST(DirtyMap, MarksClipsAndEnumeratesColumnMajor) {
+  simmpi::DirtyMap map;
+  map.reset(4, 3);
+  EXPECT_EQ(map.markedCount(), 0u);
+  map.mark(1, 2);
+  map.markRect(2, 0, 99, 1);  // clipped to rows 2..3 of column 0
+  EXPECT_TRUE(map.test(1, 2));
+  EXPECT_TRUE(map.test(2, 0));
+  EXPECT_TRUE(map.test(3, 0));
+  EXPECT_FALSE(map.test(0, 0));
+  EXPECT_FALSE(map.test(1, 1));
+  map.mark(1, 2);  // re-marking is idempotent
+  EXPECT_EQ(map.markedCount(), 3u);
+  const std::vector<index_t> tiles = map.markedTiles();
+  ASSERT_EQ(tiles.size(), 3u);
+  EXPECT_EQ(tiles[0], 2);      // (2,0) -> 0*4+2
+  EXPECT_EQ(tiles[1], 3);      // (3,0)
+  EXPECT_EQ(tiles[2], 2 * 4 + 1);  // (1,2)
+  map.clear();
+  EXPECT_EQ(map.markedCount(), 0u);
+  EXPECT_FALSE(map.test(1, 2));
 }
 
 TEST(CrashRecovery, ConfigRejectsLookaheadAndDataflow) {
