@@ -1,0 +1,314 @@
+// Precision-ladder benchmark: convergence-vs-precision curves and
+// per-rung GEMM/factor rates on the benchmark's default (+N) problem.
+//
+// For every rung of the storage ladder (fp8e5m2 -> fp8e4m3 -> bf16 ->
+// fp16) this bench:
+//   - times the trailing-update GEMM kernel at that rung (gemmLowp<T> on
+//     an n x n x n product) -> per-rung GF/s,
+//   - runs the full factor + IR solve with the ladder pinned to the rung
+//     (LadderPolicy::forcedStart) -> iterations to the HPL-AI threshold
+//     and the residual trajectory (the convergence-vs-precision curve),
+// and then one adaptive run shows which rung the controller opens at.
+//
+// Self-gating (nonzero exit on violation), consumed by the CI precision
+// job:
+//   - every rung must CONVERGE on the default problem (its diagonal
+//     dominance tolerates even fp8e5m2 storage),
+//   - iterations must be monotone non-increasing as precision rises,
+//   - the adaptive controller must open at the cheapest rung,
+//   - with a kernels JSON (bench_kernel_autotune output) as the third
+//     argument, the FP16 rung's GEMM rate must stay within a generous
+//     band of the tuned rate recorded there (> 20% — a drift gate, not a
+//     perf target).
+//
+// Writes BENCH_precision.json.
+//
+// Usage: bench_precision [n] [out.json] [BENCH_kernels.json]
+//   n    problem size, multiple of 32 (default 512; smoke runs use 256)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "blas/gemm.h"
+#include "core/precision_ladder.h"
+#include "gen/matgen.h"
+#include "lowp/precision.h"
+#include "lowp/traits.h"
+#include "serve/json.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace hplmxp {
+namespace {
+
+constexpr index_t kBlock = 32;
+constexpr std::uint64_t kSeed = 20220521;  // the paper's SC'22 vintage
+
+struct RungPoint {
+  lowp::StoragePrecision precision = lowp::StoragePrecision::kFp16;
+  double gemmGflops = 0.0;
+  double factorSeconds = 0.0;
+  double solveSeconds = 0.0;
+  index_t irIterations = 0;
+  bool converged = false;
+  double residualInf = 0.0;
+  double threshold = 0.0;
+  std::vector<double> residualHistory;
+};
+
+/// Best-of-3 GEMM rate for one storage rung at n x n x n.
+template <typename TLow>
+double gemmRateGflops(index_t n) {
+  const auto size = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  std::vector<float> src(size);
+  std::uint32_t s = 0x9E3779B9u;
+  for (auto& v : src) {
+    s = s * 1664525u + 1013904223u;
+    v = -1.0f + 2.0f * static_cast<float>(s >> 8) / 16777216.0f;
+  }
+  std::vector<TLow> a(size), b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    a[i] = TLow(src[i]);
+    b[i] = TLow(src[size - 1 - i]);
+  }
+  std::vector<float> c(size, 0.0f);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer clock;
+    blas::gemmLowp<TLow>(blas::Trans::kNoTrans, blas::Trans::kTrans, n, n, n,
+                         -1.0f, a.data(), n, b.data(), n, 1.0f, c.data(), n);
+    const double gf = blas::gemmFlops(n, n, n) / clock.seconds() / 1e9;
+    best = std::max(best, gf);
+  }
+  return best;
+}
+
+double rungGemmRate(lowp::StoragePrecision p, index_t n) {
+  switch (p) {
+    case lowp::StoragePrecision::kFp16: return gemmRateGflops<half16>(n);
+    case lowp::StoragePrecision::kBf16:
+      return gemmRateGflops<lowp::bfloat16>(n);
+    case lowp::StoragePrecision::kFp8E4M3:
+      return gemmRateGflops<lowp::fp8e4m3>(n);
+    case lowp::StoragePrecision::kFp8E5M2:
+      return gemmRateGflops<lowp::fp8e5m2>(n);
+  }
+  return 0.0;
+}
+
+RungPoint measureRung(lowp::StoragePrecision p, index_t n) {
+  RungPoint pt;
+  pt.precision = p;
+  pt.gemmGflops = rungGemmRate(p, n);
+
+  const ProblemGenerator gen(kSeed, n);
+  LadderPolicy policy;
+  policy.forcedStart = p;
+  policy.allowGmres = false;  // pure IR: the convergence curve per rung
+  const LadderResult r = solveLadderSingle(gen, kBlock, Vendor::kAmd, policy);
+  // forcedStart pins the opening rung; on this well-conditioned problem
+  // every rung converges without escalation, so attempts[0] IS the rung.
+  const RungAttempt& a = r.attempts.front();
+  pt.factorSeconds = a.factorSeconds;
+  pt.solveSeconds = a.solveSeconds;
+  pt.irIterations = a.irIterations;
+  pt.converged = a.converged && r.finalRung == p;
+  pt.residualInf = a.residualInf;
+  pt.threshold = a.threshold;
+  pt.residualHistory = a.residualHistory;
+  return pt;
+}
+
+void writeJson(const std::string& path, index_t n,
+               const std::vector<RungPoint>& rungs,
+               const LadderResult& adaptive, double fp16TunedGflops) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_precision: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"precision\",\n");
+  std::fprintf(f, "  \"n\": %lld,\n", static_cast<long long>(n));
+  std::fprintf(f, "  \"b\": %lld,\n", static_cast<long long>(kBlock));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"rungs\": [\n");
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    const RungPoint& p = rungs[i];
+    std::fprintf(f,
+                 "    {\"precision\": \"%s\", \"gemm_gflops\": %.3f, "
+                 "\"factor_seconds\": %.6f, \"solve_seconds\": %.6f, "
+                 "\"ir_iterations\": %lld, \"converged\": %s, "
+                 "\"residual_inf\": %.3e, \"threshold\": %.3e, "
+                 "\"residual_history\": [",
+                 lowp::toString(p.precision), p.gemmGflops, p.factorSeconds,
+                 p.solveSeconds, static_cast<long long>(p.irIterations),
+                 p.converged ? "true" : "false", p.residualInf, p.threshold);
+    for (std::size_t h = 0; h < p.residualHistory.size(); ++h) {
+      std::fprintf(f, "%s%.6e", h > 0 ? ", " : "", p.residualHistory[h]);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < rungs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"adaptive\": {\"start\": \"%s\", \"final\": \"%s\", "
+               "\"escalations\": %lld, \"converged\": %s, "
+               "\"probe_dominance\": %.4f},\n",
+               lowp::toString(adaptive.startRung),
+               lowp::toString(adaptive.finalRung),
+               static_cast<long long>(adaptive.escalations),
+               adaptive.converged ? "true" : "false",
+               adaptive.probe.minDominance);
+  std::fprintf(f, "  \"fp16_tuned_gflops_reference\": %.3f,\n",
+               fp16TunedGflops);
+  bool allConverged = true;
+  for (const RungPoint& p : rungs) {
+    allConverged = allConverged && p.converged;
+  }
+  std::fprintf(f, "  \"all_rungs_converged\": %s\n",
+               allConverged ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+/// Tuned FP16 GEMM rate from a bench_kernel_autotune JSON, or 0 if the
+/// file is absent/unreadable (the gate is then skipped).
+double loadTunedGflops(const std::string& path) {
+  if (path.empty()) {
+    return 0.0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::printf("note: no kernels JSON at %s, FP16 rate gate skipped\n",
+                path.c_str());
+    return 0.0;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  try {
+    const serve::JsonValue doc = serve::JsonValue::parse(text);
+    return doc.numberOr("tuned_gflops", 0.0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_precision: bad kernels JSON %s: %s\n",
+                 path.c_str(), e.what());
+    std::exit(1);
+  }
+}
+
+int run(index_t n, const std::string& outPath,
+        const std::string& kernelsPath) {
+  bench::banner("BENCH precision",
+                "convergence and GEMM rate per storage rung");
+  std::printf("N=%lld B=%lld seed=%llu (benchmark default +N shift)\n\n",
+              static_cast<long long>(n), static_cast<long long>(kBlock),
+              static_cast<unsigned long long>(kSeed));
+
+  std::vector<RungPoint> rungs;
+  for (lowp::StoragePrecision p : lowp::ladderRungs()) {
+    rungs.push_back(measureRung(p, n));
+  }
+
+  const ProblemGenerator gen(kSeed, n);
+  const LadderResult adaptive = solveLadderSingle(gen, kBlock, Vendor::kAmd);
+
+  Table table({"rung", "u", "gemm GF/s", "factor s", "solve s", "IR iters",
+               "residual/threshold", "converged"});
+  for (const RungPoint& p : rungs) {
+    table.addRow({lowp::toString(p.precision),
+                  Table::num(lowp::spec(p.precision).unitRoundoff, 6),
+                  Table::num(p.gemmGflops, 2),
+                  Table::num(p.factorSeconds, 4),
+                  Table::num(p.solveSeconds, 4),
+                  Table::num(static_cast<long long>(p.irIterations)),
+                  Table::num(p.threshold > 0.0 ? p.residualInf / p.threshold
+                                               : 0.0,
+                             4),
+                  p.converged ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\nadaptive controller: opened at %s, finished at %s "
+              "(%lld escalations, probe dominance %.3f)\n",
+              lowp::toString(adaptive.startRung),
+              lowp::toString(adaptive.finalRung),
+              static_cast<long long>(adaptive.escalations),
+              adaptive.probe.minDominance);
+
+  const double fp16Tuned = loadTunedGflops(kernelsPath);
+  writeJson(outPath, n, rungs, adaptive, fp16Tuned);
+  std::printf("wrote %s\n", outPath.c_str());
+
+  // ---- Gates ----
+  int failures = 0;
+  for (const RungPoint& p : rungs) {
+    if (!p.converged) {
+      std::fprintf(stderr, "GATE: rung %s did not converge\n",
+                   lowp::toString(p.precision));
+      ++failures;
+    }
+  }
+  // Ladder order is coarsest-first: iteration counts must not increase as
+  // precision rises.
+  for (std::size_t i = 0; i + 1 < rungs.size(); ++i) {
+    if (rungs[i + 1].irIterations > rungs[i].irIterations) {
+      std::fprintf(stderr,
+                   "GATE: %s needs more IR iterations (%lld) than coarser "
+                   "%s (%lld)\n",
+                   lowp::toString(rungs[i + 1].precision),
+                   static_cast<long long>(rungs[i + 1].irIterations),
+                   lowp::toString(rungs[i].precision),
+                   static_cast<long long>(rungs[i].irIterations));
+      ++failures;
+    }
+  }
+  if (!adaptive.converged ||
+      adaptive.startRung != lowp::ladderRungs().front()) {
+    std::fprintf(stderr,
+                 "GATE: adaptive controller should open at %s and converge "
+                 "on the default problem (opened %s, converged=%d)\n",
+                 lowp::toString(lowp::ladderRungs().front()),
+                 lowp::toString(adaptive.startRung),
+                 adaptive.converged ? 1 : 0);
+    ++failures;
+  }
+  if (fp16Tuned > 0.0) {
+    const double fp16Rate = rungs.back().gemmGflops;
+    if (fp16Rate < 0.2 * fp16Tuned) {
+      std::fprintf(stderr,
+                   "GATE: fp16 rung GEMM rate %.2f GF/s fell below 20%% of "
+                   "the tuned kernel rate %.2f GF/s\n",
+                   fp16Rate, fp16Tuned);
+      ++failures;
+    } else {
+      std::printf("fp16 rate gate: %.2f GF/s vs tuned %.2f GF/s (ok)\n",
+                  fp16Rate, fp16Tuned);
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_precision: %d gate(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all precision gates passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hplmxp
+
+int main(int argc, char** argv) {
+  const long long n = argc > 1 ? std::atoll(argv[1]) : 512;
+  const std::string out = argc > 2 ? argv[2] : "BENCH_precision.json";
+  const std::string kernels = argc > 3 ? argv[3] : "";
+  if (n < 64 || n % 32 != 0) {
+    std::fprintf(stderr,
+                 "bench_precision: n must be a multiple of 32, >= 64\n");
+    return 1;
+  }
+  return hplmxp::run(static_cast<hplmxp::index_t>(n), out, kernels);
+}

@@ -1,5 +1,10 @@
 #include "blas/cast.h"
 
+#include <cmath>
+
+#include "lowp/scale.h"
+#include "lowp/traits.h"
+
 namespace hplmxp::blas {
 
 namespace {
@@ -32,16 +37,10 @@ void castCore(index_t m, index_t n, const TSrc* src, index_t ldSrc, TDst* dst,
       ceilDiv(n, kColChunk));
 }
 
-}  // namespace
-
-void castToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
-                half16* dst, index_t ldDst, ThreadPool* pool) {
-  castCore(m, n, src, ldSrc, dst, ldDst, pool,
-           [](float v) { return half16(v); });
-}
-
-void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
-                     half16* dst, index_t ldDst, ThreadPool* pool) {
+template <typename TLow, typename Convert>
+void transCastCore(index_t m, index_t n, const float* src, index_t ldSrc,
+                   TLow* dst, index_t ldDst, ThreadPool* pool,
+                   Convert convert) {
   HPLMXP_REQUIRE(m >= 0 && n >= 0, "trans_cast dims must be >= 0");
   HPLMXP_REQUIRE(ldSrc >= (m > 0 ? m : 1), "trans_cast: ldSrc too small");
   HPLMXP_REQUIRE(ldDst >= (n > 0 ? n : 1), "trans_cast: ldDst too small");
@@ -64,17 +63,126 @@ void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
       const index_t j1 = std::min(n, (tj + 1) * kTile);
       for (index_t j = tj * kTile; j < j1; ++j) {
         for (index_t i = ti * kTile; i < i1; ++i) {
-          dst[j + i * ldDst] = half16(src[i + j * ldSrc]);
+          dst[j + i * ldDst] = convert(src[i + j * ldSrc]);
         }
       }
     }
   });
 }
 
-void castToFloat(index_t m, index_t n, const half16* src, index_t ldSrc,
+/// Tile amax (max |src(i,j)|), parallel per-chunk maxima folded with
+/// std::max — order-free, so the result is thread-count independent.
+float tileAmax(index_t m, index_t n, const float* src, index_t ldSrc,
+               ThreadPool* pool) {
+  if (m == 0 || n == 0) {
+    return 0.0f;
+  }
+  if (pool == nullptr) {
+    pool = &ThreadPool::global();
+  }
+  const index_t chunks = ceilDiv(n, kColChunk);
+  std::vector<float> partial(static_cast<std::size_t>(chunks), 0.0f);
+  pool->parallelForChunked(
+      0, chunks,
+      [&](index_t c0, index_t c1) {
+        for (index_t c = c0; c < c1; ++c) {
+          float best = 0.0f;
+          const index_t j1 = std::min(n, (c + 1) * kColChunk);
+          for (index_t j = c * kColChunk; j < j1; ++j) {
+            const float* s = src + j * ldSrc;
+            for (index_t i = 0; i < m; ++i) {
+              best = std::max(best, std::fabs(s[i]));
+            }
+          }
+          partial[static_cast<std::size_t>(c)] = best;
+        }
+      },
+      chunks);
+  float amax = 0.0f;
+  for (float v : partial) {
+    amax = std::max(amax, v);
+  }
+  return amax;
+}
+
+}  // namespace
+
+template <typename TLow>
+void castToLowp(index_t m, index_t n, const float* src, index_t ldSrc,
+                TLow* dst, index_t ldDst, ThreadPool* pool) {
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [](float v) { return TLow(v); });
+}
+
+template <typename TLow>
+void transCastToLowp(index_t m, index_t n, const float* src, index_t ldSrc,
+                     TLow* dst, index_t ldDst, ThreadPool* pool) {
+  transCastCore(m, n, src, ldSrc, dst, ldDst, pool,
+                [](float v) { return TLow(v); });
+}
+
+template <typename TLow>
+void lowpToFloat(index_t m, index_t n, const TLow* src, index_t ldSrc,
                  float* dst, index_t ldDst, ThreadPool* pool) {
   castCore(m, n, src, ldSrc, dst, ldDst, pool,
-           [](half16 v) { return v.toFloat(); });
+           [](TLow v) { return v.toFloat(); });
+}
+
+template <typename TLow>
+float castToLowpScaled(index_t m, index_t n, const float* src, index_t ldSrc,
+                       TLow* dst, index_t ldDst, ThreadPool* pool) {
+  const float amax = tileAmax(m, n, src, ldSrc, pool);
+  const float s =
+      lowp::tileScale(amax, lowp::StorageTraits<TLow>::maxFinite());
+  castCore(m, n, src, ldSrc, dst, ldDst, pool,
+           [s](float v) { return TLow(v / s); });
+  return s;
+}
+
+template <typename TLow>
+float transCastToLowpScaled(index_t m, index_t n, const float* src,
+                            index_t ldSrc, TLow* dst, index_t ldDst,
+                            ThreadPool* pool) {
+  const float amax = tileAmax(m, n, src, ldSrc, pool);
+  const float s =
+      lowp::tileScale(amax, lowp::StorageTraits<TLow>::maxFinite());
+  transCastCore(m, n, src, ldSrc, dst, ldDst, pool,
+                [s](float v) { return TLow(v / s); });
+  return s;
+}
+
+// The four ladder rungs.
+#define HPLMXP_INSTANTIATE_CASTS(T)                                          \
+  template void castToLowp<T>(index_t, index_t, const float*, index_t, T*,   \
+                              index_t, ThreadPool*);                         \
+  template void transCastToLowp<T>(index_t, index_t, const float*, index_t,  \
+                                   T*, index_t, ThreadPool*);                \
+  template void lowpToFloat<T>(index_t, index_t, const T*, index_t, float*,  \
+                               index_t, ThreadPool*);                        \
+  template float castToLowpScaled<T>(index_t, index_t, const float*,         \
+                                     index_t, T*, index_t, ThreadPool*);     \
+  template float transCastToLowpScaled<T>(index_t, index_t, const float*,    \
+                                          index_t, T*, index_t, ThreadPool*)
+
+HPLMXP_INSTANTIATE_CASTS(half16);
+HPLMXP_INSTANTIATE_CASTS(lowp::bfloat16);
+HPLMXP_INSTANTIATE_CASTS(lowp::fp8e4m3);
+HPLMXP_INSTANTIATE_CASTS(lowp::fp8e5m2);
+#undef HPLMXP_INSTANTIATE_CASTS
+
+void castToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                half16* dst, index_t ldDst, ThreadPool* pool) {
+  castToLowp<half16>(m, n, src, ldSrc, dst, ldDst, pool);
+}
+
+void transCastToHalf(index_t m, index_t n, const float* src, index_t ldSrc,
+                     half16* dst, index_t ldDst, ThreadPool* pool) {
+  transCastToLowp<half16>(m, n, src, ldSrc, dst, ldDst, pool);
+}
+
+void castToFloat(index_t m, index_t n, const half16* src, index_t ldSrc,
+                 float* dst, index_t ldDst, ThreadPool* pool) {
+  lowpToFloat<half16>(m, n, src, ldSrc, dst, ldDst, pool);
 }
 
 void narrowToFloat(index_t m, index_t n, const double* src, index_t ldSrc,

@@ -264,12 +264,38 @@ void dgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
                            beta, c, ldc, pool);
 }
 
+template <typename TLow>
+void gemmLowp(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+              float alpha, const TLow* a, index_t lda, const TLow* b,
+              index_t ldb, float beta, float* c, index_t ldc,
+              ThreadPool* pool) {
+  gemmCore<TLow, float>(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta,
+                        c, ldc, pool);
+}
+
+template void gemmLowp<half16>(Trans, Trans, index_t, index_t, index_t, float,
+                               const half16*, index_t, const half16*, index_t,
+                               float, float*, index_t, ThreadPool*);
+template void gemmLowp<lowp::bfloat16>(Trans, Trans, index_t, index_t,
+                                       index_t, float, const lowp::bfloat16*,
+                                       index_t, const lowp::bfloat16*,
+                                       index_t, float, float*, index_t,
+                                       ThreadPool*);
+template void gemmLowp<lowp::fp8e4m3>(Trans, Trans, index_t, index_t, index_t,
+                                      float, const lowp::fp8e4m3*, index_t,
+                                      const lowp::fp8e4m3*, index_t, float,
+                                      float*, index_t, ThreadPool*);
+template void gemmLowp<lowp::fp8e5m2>(Trans, Trans, index_t, index_t, index_t,
+                                      float, const lowp::fp8e5m2*, index_t,
+                                      const lowp::fp8e5m2*, index_t, float,
+                                      float*, index_t, ThreadPool*);
+
 void gemmMixed(Trans transA, Trans transB, index_t m, index_t n, index_t k,
                float alpha, const half16* a, index_t lda, const half16* b,
                index_t ldb, float beta, float* c, index_t ldc,
                ThreadPool* pool) {
-  gemmCore<half16, float>(transA, transB, m, n, k, alpha, a, lda, b, ldb,
-                          beta, c, ldc, pool);
+  gemmLowp<half16>(transA, transB, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                   ldc, pool);
 }
 
 }  // namespace hplmxp::blas

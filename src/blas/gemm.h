@@ -27,6 +27,8 @@
 
 #include "blas/types.h"
 #include "fp16/half.h"
+#include "lowp/bfloat16.h"
+#include "lowp/fp8.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -44,8 +46,21 @@ void dgemm(Trans transA, Trans transB, index_t m, index_t n, index_t k,
            index_t ldb, double beta, double* c, index_t ldc,
            ThreadPool* pool = nullptr);
 
+/// Mixed-precision GEMM over the storage ladder: A and B are a
+/// low-precision storage type (binary16 / bfloat16 / fp8e4m3 / fp8e5m2),
+/// C and the accumulator are FP32. Operands widen to FP32 during packing,
+/// so every rung shares the identical accumulation path — only the
+/// widening table differs. Instantiated for the four ladder rungs.
+template <typename TLow>
+void gemmLowp(Trans transA, Trans transB, index_t m, index_t n, index_t k,
+              float alpha, const TLow* a, index_t lda, const TLow* b,
+              index_t ldb, float beta, float* c, index_t ldc,
+              ThreadPool* pool = nullptr);
+
 /// Mixed-precision GEMM: A and B are binary16, C and the accumulator are
 /// FP32. This is the "Update Trailing Matrix" kernel of Algorithm 1.
+/// (The binary16 instantiation of gemmLowp, kept under its historical
+/// name; bitwise-identical to the pre-ladder kernel.)
 void gemmMixed(Trans transA, Trans transB, index_t m, index_t n, index_t k,
                float alpha, const half16* a, index_t lda, const half16* b,
                index_t ldb, float beta, float* c, index_t ldc,

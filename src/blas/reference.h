@@ -39,6 +39,53 @@ void gemmMixed(Trans ta, Trans tb, index_t m, index_t n, index_t k,
                float alpha, const half16* a, index_t lda, const half16* b,
                index_t ldb, float beta, float* c, index_t ldc);
 
+/// Order-exact mixed oracle for the optimized gemmLowp kernel: scalar
+/// triple loop that mirrors gemmCore's arithmetic EXACTLY — beta-scale of
+/// C up front, alpha folded into each widened B element (one multiply per
+/// step, matching packBStrip), then ascending-k fused accumulation with
+/// one mul-add per step. Because gemmCore's determinism contract fixes
+/// that order regardless of threads or blocking, the optimized kernel
+/// must match this oracle BITWISE for every storage type.
+template <typename TLow>
+void gemmLowpOrderExact(Trans ta, Trans tb, index_t m, index_t n, index_t k,
+                        float alpha, const TLow* a, index_t lda,
+                        const TLow* b, index_t ldb, float beta, float* c,
+                        index_t ldc) {
+  auto opA = [&](index_t i, index_t l) {
+    return ta == Trans::kNoTrans ? a[i + l * lda] : a[l + i * lda];
+  };
+  auto opB = [&](index_t l, index_t j) {
+    return tb == Trans::kNoTrans ? b[l + j * ldb] : b[j + l * ldb];
+  };
+  // beta phase, identical to gemmCore's up-front pass.
+  for (index_t j = 0; j < n; ++j) {
+    float* col = c + j * ldc;
+    if (beta == 0.0f) {
+      for (index_t i = 0; i < m; ++i) {
+        col[i] = 0.0f;
+      }
+    } else if (beta != 1.0f) {
+      for (index_t i = 0; i < m; ++i) {
+        col[i] *= beta;
+      }
+    }
+  }
+  if (k == 0 || alpha == 0.0f) {
+    return;
+  }
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      float acc = c[i + j * ldc];
+      for (index_t l = 0; l < k; ++l) {
+        const float av = static_cast<float>(opA(i, l));
+        const float bv = alpha * static_cast<float>(opB(l, j));
+        acc += av * bv;
+      }
+      c[i + j * ldc] = acc;
+    }
+  }
+}
+
 /// Triangular solve oracle (no transpose).
 template <typename T>
 void trsm(Side side, Uplo uplo, Diag diag, index_t m, index_t n, T alpha,

@@ -12,6 +12,7 @@
 #include "blas/scan.h"
 #include "core/hpl_dist.h"
 #include "core/hplai.h"
+#include "core/precision_ladder.h"
 #include "core/single_solver.h"
 #include "core/verify.h"
 #include "serve/engine.h"
@@ -292,8 +293,87 @@ int cmdScan(const Options& raw) {
   return 0;
 }
 
+/// `hplmxp chaos --scenario ladder`: adversarial *conditioning* instead of
+/// adversarial communication. Sweeps a matrix of conditioning regimes —
+/// from the benchmark default down to barely-factorable — through the
+/// adaptive precision controller and reports, per regime, the probe, the
+/// rung trajectory, and the refinement outcome. A regime is contained
+/// when the ladder delivers a converged HPL-AI-valid residual, whatever
+/// rung or refiner it had to fall up to.
+int runLadderChaos(const Options& opts) {
+  const index_t n = opts.getInt("n", 256);
+  const index_t b = opts.getInt("b", 32);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(opts.getInt("seed", 42));
+  const Vendor vendor = opts.getString("vendor", "amd") == "nvidia"
+                            ? Vendor::kNvidia
+                            : Vendor::kAmd;
+  LadderPolicy policy;
+  policy.maxIrIterationsPerRung = opts.getInt("max-ir", 25);
+  policy.allowGmres = opts.getBool("gmres", true);
+  policy.gmresRestart = opts.getInt("gmres-restart", 30);
+  policy.gmresMaxOuter = opts.getInt("gmres-outer", 8);
+  const std::string precision = opts.getString("precision", "auto");
+  if (precision != "auto") {
+    policy.forcedStart = lowp::precisionFromString(precision);
+  }
+  warnUnused(opts);
+  HPLMXP_REQUIRE(n > 0 && b > 0 && n % b == 0,
+                 "ladder scenario needs N a positive multiple of B");
+
+  // The conditioning matrix: named regimes spanning the measured rung
+  // cliffs (diagShift < 0 is the benchmark's +N dominant default).
+  struct Regime {
+    const char* name;
+    double diagShift;
+  };
+  const Regime regimes[] = {
+      {"dominant", -1.0},          // benchmark default: FP8 territory
+      {"weak", 8.0},               // all rungs converge, slowly
+      {"cliff", 4.0},              // FP8 diverges, bf16 slow, fp16 fine
+      {"hostile", 3.0},            // fp16 IR diverges, GMRES-IR rescues
+      {"extreme", 2.0},            // straight to the GMRES-IR path
+  };
+
+  std::printf("hplmxp chaos: scenario=ladder N=%lld B=%lld seed=%llu "
+              "precision=%s\n",
+              (long long)n, (long long)b, (unsigned long long)seed,
+              precision.c_str());
+
+  Table t({"regime", "dominance", "start", "final", "esc", "refiner",
+           "iters", "converged", "residual/threshold"});
+  bool allContained = true;
+  for (const Regime& regime : regimes) {
+    const ProblemGenerator gen(seed, n, regime.diagShift);
+    const LadderResult r = solveLadderSingle(gen, b, vendor, policy);
+    const RungAttempt* last =
+        r.attempts.empty() ? nullptr : &r.attempts.back();
+    index_t iters = 0;
+    for (const RungAttempt& a : r.attempts) {
+      iters += a.irIterations;
+    }
+    const double scaled =
+        r.threshold > 0.0 ? r.residualInf / r.threshold : 0.0;
+    t.addRow({regime.name, Table::num(r.probe.minDominance, 4),
+              lowp::toString(r.startRung), lowp::toString(r.finalRung),
+              Table::num((long long)r.escalations),
+              last ? toString(last->refiner) : "-",
+              Table::num((long long)iters), r.converged ? "yes" : "NO",
+              Table::num(scaled, 3)});
+    allContained = allContained && r.converged;
+  }
+  t.print();
+  std::printf("ladder containment: %s\n",
+              allContained ? "all regimes converged"
+                           : "UNCONTAINED regime (no rung converged)");
+  return allContained ? 0 : 1;
+}
+
 int cmdChaos(const Options& raw) {
   const Options opts = layered(raw);
+  if (opts.getString("scenario", "transient") == "ladder") {
+    return runLadderChaos(opts);
+  }
   HplaiConfig cfg;
   cfg.n = opts.getInt("n", 256);
   cfg.b = opts.getInt("b", 32);
@@ -801,7 +881,7 @@ int cmdServe(const Options& raw) {
     }
     serve::SolveRequest req;
     req.key = {tr.n, tr.b, tr.seed, tr.pr, tr.pc,
-               HplaiConfig::Scheduler::kBulk};
+               HplaiConfig::Scheduler::kBulk, tr.precision};
     req.rhsSeed = tr.rhsSeed;
     req.deadlineSeconds = tr.deadlineMs * 1e-3;
     handles.emplace_back(req, engine.submit(req));
@@ -828,7 +908,8 @@ int cmdServe(const Options& raw) {
         continue;
       }
       const ProblemGenerator gen(req.key.seed, req.key.n);
-      const Factorization f = factorMixedSingle(gen, req.key.b, vendor);
+      const Factorization f =
+          factorStorageSingle(gen, req.key.b, vendor, req.key.precision);
       std::vector<std::vector<double>> xs;
       solveManyMixedSingle(f, gen, {req.rhsSeed}, xs, maxIr);
       if (xs[0] != handle->solution()) {
@@ -885,7 +966,10 @@ std::string usage() {
       "  scan     slow-node mini-benchmark scan (--fleet --degraded)\n"
       "  chaos    distributed solve under a fault-injection scenario\n"
       "           (--scenario none|delay|transient|sdc|stall|crash\n"
-      "                       |multicrash|ckptcorrupt\n"
+      "                       |multicrash|ckptcorrupt|ladder\n"
+      "            ladder: adaptive-precision sweep over conditioning\n"
+      "            regimes (--precision auto|fp16|bf16|fp8e4m3|fp8e5m2\n"
+      "            --max-ir --gmres on|off --gmres-restart --gmres-outer)\n"
       "            --n --b --pr --pc --seed --fault-seed --timeout-ms\n"
       "            --retries --backoff-us --guard on|off --ir-strikes\n"
       "            --detect-slow on|off --slow-strikes --min-lag\n"

@@ -5,16 +5,27 @@
 
 #include "blas/blas.h"
 #include "device/shim.h"
+#include "lowp/traits.h"
 #include "util/timer.h"
 
 namespace hplmxp {
 
-void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
-                       Vendor vendor) {
+namespace {
+
+/// The blocked factorization loop, templated on the trailing-update
+/// storage type. The FP32 control flow (GETRF, the two TRSMs, the NVIDIA
+/// workspace protocol) is rung-independent; only the CAST / TRANS_CAST /
+/// GEMM trio changes. Rungs with kNeedsTileScale store panel/scale and
+/// fold the two per-panel scales into the GEMM's alpha — exact powers of
+/// two, so alpha itself is exact in FP32. The half16 instantiation is the
+/// historical factorMixedSingle path, call for call.
+template <typename TLow>
+void factorLowpCore(index_t n, index_t b, float* a, index_t lda,
+                    Vendor vendor) {
   HPLMXP_REQUIRE(n > 0 && b > 0 && n % b == 0, "need N a multiple of B");
   BlasShim shim(vendor);
-  Buffer<half16> lHalf(n * b);
-  Buffer<half16> uHalf(n * b);
+  Buffer<TLow> lLow(n * b);
+  Buffer<TLow> uLow(n * b);
 
   for (index_t k = 0; k < n; k += b) {
     float* diag = a + k + k * lda;
@@ -33,31 +44,74 @@ void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
               rest, 1.0f, diag, lda, uPanel, lda);
     shim.trsm(blas::Side::kRight, blas::Uplo::kUpper, blas::Diag::kNonUnit,
               rest, b, 1.0f, diag, lda, lPanel, lda);
-    // CAST / TRANS_CAST to FP16, then the mixed trailing update.
-    blas::castToHalf(rest, b, lPanel, lda, lHalf.data(), rest);
-    blas::transCastToHalf(b, rest, uPanel, lda, uHalf.data(), rest);
-    shim.gemmEx(blas::Trans::kNoTrans, blas::Trans::kTrans, rest, rest, b,
-                -1.0f, lHalf.data(), rest, uHalf.data(), rest, 1.0f,
-                a + (k + b) + (k + b) * lda, lda);
+    // CAST / TRANS_CAST to the storage rung, then the mixed trailing
+    // update.
+    float alpha = -1.0f;
+    if constexpr (lowp::StorageTraits<TLow>::kNeedsTileScale) {
+      const float sL =
+          blas::castToLowpScaled(rest, b, lPanel, lda, lLow.data(), rest);
+      const float sU = blas::transCastToLowpScaled(b, rest, uPanel, lda,
+                                                   uLow.data(), rest);
+      alpha = -(sL * sU);
+    } else {
+      blas::castToLowp(rest, b, lPanel, lda, lLow.data(), rest);
+      blas::transCastToLowp(b, rest, uPanel, lda, uLow.data(), rest);
+    }
+    shim.gemmExLowp(blas::Trans::kNoTrans, blas::Trans::kTrans, rest, rest,
+                    b, alpha, lLow.data(), rest, uLow.data(), rest, 1.0f,
+                    a + (k + b) + (k + b) * lda, lda);
   }
 }
 
-Factorization factorMixedSingle(const ProblemGenerator& gen, index_t b,
-                                Vendor vendor) {
+}  // namespace
+
+void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
+                       Vendor vendor) {
+  factorLowpCore<half16>(n, b, a, lda, vendor);
+}
+
+void factorStorageSingle(index_t n, index_t b, float* a, index_t lda,
+                         Vendor vendor, lowp::StoragePrecision precision) {
+  switch (precision) {
+    case lowp::StoragePrecision::kFp16:
+      factorLowpCore<half16>(n, b, a, lda, vendor);
+      return;
+    case lowp::StoragePrecision::kBf16:
+      factorLowpCore<lowp::bfloat16>(n, b, a, lda, vendor);
+      return;
+    case lowp::StoragePrecision::kFp8E4M3:
+      factorLowpCore<lowp::fp8e4m3>(n, b, a, lda, vendor);
+      return;
+    case lowp::StoragePrecision::kFp8E5M2:
+      factorLowpCore<lowp::fp8e5m2>(n, b, a, lda, vendor);
+      return;
+  }
+  HPLMXP_REQUIRE(false, "unreachable: bad storage precision");
+}
+
+Factorization factorStorageSingle(const ProblemGenerator& gen, index_t b,
+                                  Vendor vendor,
+                                  lowp::StoragePrecision precision) {
   const index_t n = gen.n();
   Factorization f;
   f.n = n;
   f.b = b;
   f.seed = gen.seed();
   f.vendor = vendor;
+  f.precision = precision;
   f.lu.allocate(n * n);
   gen.fillTile<float>(0, 0, n, n, f.lu.data(), n);
 
   Timer timer;
-  factorMixedSingle(n, b, f.lu.data(), n, vendor);
+  factorStorageSingle(n, b, f.lu.data(), n, vendor, precision);
   f.factorSeconds = timer.seconds();
   f.diagInfNorm = gen.diagInfNorm();
   return f;
+}
+
+Factorization factorMixedSingle(const ProblemGenerator& gen, index_t b,
+                                Vendor vendor) {
+  return factorStorageSingle(gen, b, vendor, lowp::StoragePrecision::kFp16);
 }
 
 SolveManyResult solveManyMixedSingle(const Factorization& f,

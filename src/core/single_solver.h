@@ -16,6 +16,7 @@
 
 #include "device/device.h"
 #include "gen/matgen.h"
+#include "lowp/precision.h"
 #include "util/buffer.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
@@ -36,6 +37,10 @@ struct Factorization {
   index_t b = 0;
   std::uint64_t seed = 0;  // problem seed the panels were generated from
   Vendor vendor = Vendor::kAmd;
+  /// Storage precision the trailing-update GEMMs ran in. Factors at
+  /// different rungs are different factors (different rounding), so this
+  /// is part of the handle's identity — the serve-layer cache keys on it.
+  lowp::StoragePrecision precision = lowp::StoragePrecision::kFp16;
   double factorSeconds = 0.0;
   double diagInfNorm = 0.0;  // max_i |A(i,i)| of the *unfactored* matrix
   Buffer<float> lu;          // n x n factors in place, lda == n
@@ -95,9 +100,18 @@ SingleSolveResult solveMixedSingle(const ProblemGenerator& gen, index_t b,
 
 /// Factors an n x n FP32 matrix in place with the same mixed-precision
 /// block algorithm (FP32 panels, FP16 GEMM): exposed for kernel-level
-/// tests and the mini-benchmark scanner.
+/// tests and the mini-benchmark scanner. (The binary16 instantiation of
+/// factorStorageSingle; bitwise-identical to the pre-ladder path.)
 void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
                        Vendor vendor);
+
+/// Precision-parameterized in-place factorization: FP32 panels + GETRF /
+/// TRSM exactly as before, with the trailing update's CAST / TRANS_CAST /
+/// GEMM running at the requested storage rung. The FP8 rungs go through
+/// the per-tile-scaled casts, folding the two panel scales into the
+/// GEMM's alpha (exact powers of two).
+void factorStorageSingle(index_t n, index_t b, float* a, index_t lda,
+                         Vendor vendor, lowp::StoragePrecision precision);
 
 /// Factors the generated problem and returns the reusable handle: fills
 /// the FP32 local matrix, runs the blocked mixed-precision factorization,
@@ -106,6 +120,11 @@ void factorMixedSingle(index_t n, index_t b, float* a, index_t lda,
 /// right-hand sides without re-factoring or reaching into internals.
 Factorization factorMixedSingle(const ProblemGenerator& gen, index_t b,
                                 Vendor vendor);
+
+/// Handle-returning flavor at an explicit storage rung.
+Factorization factorStorageSingle(const ProblemGenerator& gen, index_t b,
+                                  Vendor vendor,
+                                  lowp::StoragePrecision precision);
 
 /// Blocked multi-RHS iterative refinement against a completed
 /// factorization. Right-hand side c is the rhs stream of

@@ -66,6 +66,19 @@ class BlasShim {
               float alpha, const half16* a, index_t lda, const half16* b,
               index_t ldb, float beta, float* c, index_t ldc);
 
+  /// Mixed-precision GEMM over the other storage-ladder rungs (the
+  /// cublasGemmEx compute-type matrix: BF16/FP8 inputs, FP32 compute).
+  /// Same dispatch counter as the binary16 overload.
+  template <typename TLow>
+  void gemmExLowp(blas::Trans ta, blas::Trans tb, index_t m, index_t n,
+                  index_t k, float alpha, const TLow* a, index_t lda,
+                  const TLow* b, index_t ldb, float beta, float* c,
+                  index_t ldc) {
+    ++counts_.gemm;
+    blas::gemmLowp<TLow>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                         ldc, pool_);
+  }
+
   /// FP32 TRSM (cublasStrsm / rocblas_strsm).
   void trsm(blas::Side side, blas::Uplo uplo, blas::Diag diag, index_t m,
             index_t n, float alpha, const float* a, index_t lda, float* b,

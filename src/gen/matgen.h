@@ -39,9 +39,11 @@ class ProblemGenerator {
   [[nodiscard]] double rhs(index_t i) const;
 
   /// Fills a rows x cols tile starting at global (i0, j0) into col-major
-  /// `out` with leading dimension `ld`. T is float or double. Cost is one
-  /// O(log N) jump per column plus O(rows) sequential draws, because
-  /// consecutive rows within a column are consecutive LCG indices.
+  /// `out` with leading dimension `ld`. T is float, double, or any
+  /// storage-ladder type (half16/bfloat16/fp8*: the entry narrows through
+  /// float, rounding to nearest-even twice). Cost is one O(log N) jump per
+  /// column plus O(rows) sequential draws, because consecutive rows within
+  /// a column are consecutive LCG indices.
   template <typename T>
   void fillTile(index_t i0, index_t j0, index_t rows, index_t cols, T* out,
                 index_t ld) const;

@@ -1,0 +1,26 @@
+#include "lowp/bfloat16.h"
+
+#include <bit>
+
+namespace hplmxp::lowp {
+
+std::uint16_t bfloat16::fromFloat(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  if ((x & 0x7F800000u) == 0x7F800000u && (x & 0x007FFFFFu) != 0) {
+    // NaN: canonical quiet NaN, sign preserved.
+    return static_cast<std::uint16_t>(((x >> 16) & 0x8000u) | 0x7FC0u);
+  }
+  // Round-to-nearest-even on the low 16 bits. The carry propagates
+  // correctly through the mantissa into the exponent (rounding up the
+  // largest finite value yields infinity, exactly as IEEE prescribes),
+  // and subnormals need no special case: bfloat16 subnormals are float
+  // subnormals with a truncated mantissa.
+  const std::uint32_t lsb = (x >> 16) & 1u;
+  return static_cast<std::uint16_t>((x + 0x7FFFu + lsb) >> 16);
+}
+
+float bfloat16::toFloatBits(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+}  // namespace hplmxp::lowp

@@ -1,0 +1,79 @@
+// Software bfloat16 storage type.
+//
+// bfloat16 is the upper half of IEEE binary32: 1 sign, 8 exponent, 7
+// mantissa bits. It keeps float's full exponent range (no panel entry can
+// overflow that FP16 would have held) at the cost of a much coarser unit
+// roundoff (2^-8 vs binary16's 2^-11) — which is exactly the trade the
+// precision ladder explores: a BF16-stored LU converges more slowly under
+// iterative refinement than FP16 but never needs range management.
+//
+// Conversion semantics mirror fp16/half.h: float -> bf16 rounds to nearest,
+// ties to even (including subnormals, which are just float subnormals with
+// a truncated mantissa); bf16 -> float is the exact widening (bits << 16);
+// NaNs canonicalize to the quiet NaN with the sign preserved.
+#pragma once
+
+#include <cstdint>
+
+namespace hplmxp::lowp {
+
+class bfloat16 {
+ public:
+  bfloat16() = default;
+
+  /// Rounds a float to bfloat16 (round-to-nearest-even).
+  explicit bfloat16(float f) : bits_(fromFloat(f)) {}
+
+  /// Widens to float; exact for every bfloat16 value.
+  [[nodiscard]] float toFloat() const { return toFloatBits(bits_); }
+  explicit operator float() const { return toFloat(); }
+
+  [[nodiscard]] std::uint16_t bits() const { return bits_; }
+
+  static bfloat16 fromBits(std::uint16_t bits) {
+    bfloat16 v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  [[nodiscard]] bool isNan() const {
+    return (bits_ & 0x7F80u) == 0x7F80u && (bits_ & 0x007Fu) != 0;
+  }
+  [[nodiscard]] bool isInf() const { return (bits_ & 0x7FFFu) == 0x7F80u; }
+
+  /// Largest finite bfloat16 value (0x7F7F): 2^127 * (1 + 127/128).
+  static constexpr float maxFinite() { return 3.3895313892515355e+38f; }
+  /// Smallest positive normal value (2^-126, same as float).
+  static constexpr float minNormal() { return 1.1754943508222875e-38f; }
+  /// Unit roundoff (2^-8).
+  static constexpr float epsilonUnit() { return 3.90625e-03f; }
+
+  friend bool operator==(bfloat16 a, bfloat16 b) {
+    return a.toFloat() == b.toFloat();  // IEEE: NaN != NaN, +0 == -0
+  }
+
+  /// Round-to-nearest-even conversion.
+  static std::uint16_t fromFloat(float f);
+  /// Exact widening of bfloat16 bits to float.
+  static float toFloatBits(std::uint16_t b);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(bfloat16) == 2);
+
+inline bfloat16 operator+(bfloat16 a, bfloat16 b) {
+  return bfloat16(a.toFloat() + b.toFloat());
+}
+inline bfloat16 operator-(bfloat16 a, bfloat16 b) {
+  return bfloat16(a.toFloat() - b.toFloat());
+}
+inline bfloat16 operator*(bfloat16 a, bfloat16 b) {
+  return bfloat16(a.toFloat() * b.toFloat());
+}
+inline bfloat16 operator/(bfloat16 a, bfloat16 b) {
+  return bfloat16(a.toFloat() / b.toFloat());
+}
+
+}  // namespace hplmxp::lowp

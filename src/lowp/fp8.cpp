@@ -1,0 +1,157 @@
+#include "lowp/fp8.h"
+
+#include <bit>
+
+namespace hplmxp::lowp::detail {
+
+namespace {
+constexpr int kF32ExpBias = 127;
+}  // namespace
+
+template <int kExpBits, int kMantBits, bool kFiniteOnly>
+std::uint8_t Fp8Codec<kExpBits, kMantBits, kFiniteOnly>::fromFloat(float f) {
+  constexpr int kBias = (1 << (kExpBits - 1)) - 1;
+  constexpr std::uint32_t kAllOnesExp = (1u << kExpBits) - 1u;
+  constexpr std::uint32_t kMantMax = (1u << kMantBits) - 1u;
+  // e4m3 reclaims the all-ones exponent for normals: NaN is the single
+  // S.1111.111 pattern and max finite sits right below it at S.1111.110.
+  constexpr std::uint8_t kNanAbs =
+      kFiniteOnly
+          ? static_cast<std::uint8_t>((kAllOnesExp << kMantBits) | kMantMax)
+          : static_cast<std::uint8_t>((kAllOnesExp << kMantBits) |
+                                      (1u << (kMantBits - 1)));
+  constexpr std::uint8_t kInfAbs =
+      static_cast<std::uint8_t>(kAllOnesExp << kMantBits);  // IEEE only
+  constexpr std::uint8_t kMaxFiniteAbs =
+      kFiniteOnly
+          ? static_cast<std::uint8_t>((kAllOnesExp << kMantBits) |
+                                      (kMantMax - 1u))
+          : static_cast<std::uint8_t>(((kAllOnesExp - 1u) << kMantBits) |
+                                      kMantMax);
+  constexpr int kMaxUnbiased =
+      (kFiniteOnly ? static_cast<int>(kAllOnesExp)
+                   : static_cast<int>(kAllOnesExp) - 1) -
+      kBias;
+
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const auto sign = static_cast<std::uint8_t>((x >> 24) & 0x80u);
+  const int exp32 = static_cast<int>((x >> 23) & 0xFFu);
+  const std::uint32_t mant32 = x & 0x007FFFFFu;
+
+  if (exp32 == 0xFF) {
+    if (mant32 != 0) {
+      return static_cast<std::uint8_t>(sign | kNanAbs);
+    }
+    // Infinity: e5m2 keeps it; e4m3 has no encoding for it -> NaN
+    // (matching the hardware cast convention).
+    return static_cast<std::uint8_t>(sign |
+                                     (kFiniteOnly ? kNanAbs : kInfAbs));
+  }
+
+  const int unbiased = exp32 - kF32ExpBias;
+
+  if (unbiased > kMaxUnbiased) {
+    // Beyond the exponent range entirely: saturate (e4m3) or round to
+    // infinity (e5m2).
+    return static_cast<std::uint8_t>(sign |
+                                     (kFiniteOnly ? kMaxFiniteAbs : kInfAbs));
+  }
+
+  if (unbiased >= 1 - kBias) {
+    // Normal result: drop 23 - kMantBits mantissa bits with RNE.
+    std::uint32_t kept = mant32 >> (23 - kMantBits);
+    const std::uint32_t dropped = mant32 & ((1u << (23 - kMantBits)) - 1u);
+    const std::uint32_t half = 1u << (22 - kMantBits);
+    std::uint32_t expF = static_cast<std::uint32_t>(unbiased + kBias);
+    if (dropped > half || (dropped == half && (kept & 1u) != 0)) {
+      ++kept;
+      if (kept == (1u << kMantBits)) {  // mantissa carry into exponent
+        kept = 0;
+        ++expF;
+      }
+    }
+    const std::uint32_t abs = (expF << kMantBits) | kept;
+    if constexpr (kFiniteOnly) {
+      if (abs >= kNanAbs) {  // rounded onto/past the NaN slot: saturate
+        return static_cast<std::uint8_t>(sign | kMaxFiniteAbs);
+      }
+    } else {
+      if (abs >= kInfAbs) {  // rounded past max finite: infinity
+        return static_cast<std::uint8_t>(sign | kInfAbs);
+      }
+    }
+    return static_cast<std::uint8_t>(sign | abs);
+  }
+
+  if (unbiased >= -(kBias + kMantBits)) {
+    // Subnormal result, in units of 2^(1 - kBias - kMantBits). The
+    // rounding increment may carry into the smallest normal encoding,
+    // which the flat encoding space handles for free.
+    const std::uint32_t significand = 0x00800000u | mant32;
+    const int shift = (1 - kBias - kMantBits) - unbiased + 23;  // <= 24
+    std::uint32_t kept = significand >> shift;
+    const std::uint32_t droppedMask = (1u << shift) - 1u;
+    const std::uint32_t dropped = significand & droppedMask;
+    const std::uint32_t half = 1u << (shift - 1);
+    if (dropped > half || (dropped == half && (kept & 1u) != 0)) {
+      ++kept;
+    }
+    return static_cast<std::uint8_t>(sign | kept);
+  }
+
+  return sign;  // underflows to signed zero
+}
+
+template <int kExpBits, int kMantBits, bool kFiniteOnly>
+float Fp8Codec<kExpBits, kMantBits, kFiniteOnly>::toFloat(std::uint8_t bits) {
+  constexpr int kBias = (1 << (kExpBits - 1)) - 1;
+  constexpr std::uint32_t kAllOnesExp = (1u << kExpBits) - 1u;
+  constexpr std::uint32_t kMantMax = (1u << kMantBits) - 1u;
+
+  const std::uint32_t signF32 = static_cast<std::uint32_t>(bits & 0x80u)
+                                << 24;
+  const std::uint32_t abs = bits & 0x7Fu;
+  const std::uint32_t exp8 = abs >> kMantBits;
+  const std::uint32_t mant8 = abs & kMantMax;
+
+  if constexpr (kFiniteOnly) {
+    if (abs == ((kAllOnesExp << kMantBits) | kMantMax)) {
+      return std::bit_cast<float>(signF32 | 0x7FC00000u);  // qNaN
+    }
+  } else {
+    if (exp8 == kAllOnesExp) {
+      if (mant8 != 0) {
+        return std::bit_cast<float>(signF32 | 0x7FC00000u);  // qNaN
+      }
+      return std::bit_cast<float>(signF32 | 0x7F800000u);  // inf
+    }
+  }
+
+  std::uint32_t out;
+  if (exp8 == 0) {
+    if (mant8 == 0) {
+      out = signF32;  // signed zero
+    } else {
+      // Subnormal: normalize into float's exponent range.
+      int e = -1;
+      std::uint32_t m = mant8;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & (1u << kMantBits)) == 0);
+      const std::uint32_t exp32 =
+          static_cast<std::uint32_t>(kF32ExpBias - kBias - e);
+      out = signF32 | (exp32 << 23) |
+            ((m & kMantMax) << (23 - kMantBits));
+    }
+  } else {
+    const std::uint32_t exp32 = exp8 - kBias + kF32ExpBias;
+    out = signF32 | (exp32 << 23) | (mant8 << (23 - kMantBits));
+  }
+  return std::bit_cast<float>(out);
+}
+
+template struct Fp8Codec<4, 3, true>;
+template struct Fp8Codec<5, 2, false>;
+
+}  // namespace hplmxp::lowp::detail

@@ -1,0 +1,121 @@
+// Software OCP FP8 storage types: e4m3 and e5m2.
+//
+// The OCP 8-bit floating point specification (and the NVIDIA/AMD FP8
+// tensor-core formats it standardizes) defines two encodings:
+//
+//   * e4m3 — 4 exponent bits (bias 7), 3 mantissa bits. Finite-only: the
+//     all-ones exponent is reclaimed for normal values, S.1111.111 is the
+//     single NaN per sign, and there is NO infinity. Max finite is 448
+//     (S.1111.110). Conversions that overflow SATURATE to +-448 and Inf
+//     inputs convert to NaN — the hardware cast semantics
+//     (__nv_cvt_float_to_fp8 with saturation).
+//   * e5m2 — 5 exponent bits (bias 15), 2 mantissa bits. IEEE-structured:
+//     S.11111.00 is infinity, nonzero trailing significands are NaNs, max
+//     finite is 57344, and overflow rounds to infinity under the usual
+//     round-to-nearest-even rules (like binary16).
+//
+// Both round float -> fp8 to nearest, ties to even, with full subnormal
+// support (min subnormal: e4m3 2^-9, e5m2 2^-16). With only 2^8 encodings
+// and a tiny dynamic range, FP8 LU storage is only usable behind the
+// per-tile power-of-two scaling in lowp/scale.h.
+#pragma once
+
+#include <cstdint>
+
+namespace hplmxp::lowp {
+
+namespace detail {
+/// Shared codec over the two FP8 layouts. kFiniteOnly selects the e4m3
+/// convention (no Inf, saturating overflow, Inf -> NaN).
+template <int kExpBits, int kMantBits, bool kFiniteOnly>
+struct Fp8Codec {
+  static std::uint8_t fromFloat(float f);
+  static float toFloat(std::uint8_t bits);
+};
+}  // namespace detail
+
+/// OCP FP8 e4m3 (finite-only, saturating).
+class fp8e4m3 {
+ public:
+  using Codec = detail::Fp8Codec<4, 3, true>;
+
+  fp8e4m3() = default;
+  explicit fp8e4m3(float f) : bits_(fromFloat(f)) {}
+
+  [[nodiscard]] float toFloat() const { return toFloatBits(bits_); }
+  explicit operator float() const { return toFloat(); }
+
+  [[nodiscard]] std::uint8_t bits() const { return bits_; }
+  static fp8e4m3 fromBits(std::uint8_t bits) {
+    fp8e4m3 v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  [[nodiscard]] bool isNan() const { return (bits_ & 0x7Fu) == 0x7Fu; }
+  /// e4m3 has no infinity encoding.
+  [[nodiscard]] bool isInf() const { return false; }
+
+  /// Largest finite value (S.1111.110 = 1.75 * 2^8).
+  static constexpr float maxFinite() { return 448.0f; }
+  /// Smallest positive normal value (2^-6).
+  static constexpr float minNormal() { return 0.015625f; }
+  /// Unit roundoff (2^-4).
+  static constexpr float epsilonUnit() { return 0.0625f; }
+
+  friend bool operator==(fp8e4m3 a, fp8e4m3 b) {
+    return a.toFloat() == b.toFloat();
+  }
+
+  static std::uint8_t fromFloat(float f) { return Codec::fromFloat(f); }
+  static float toFloatBits(std::uint8_t b) { return Codec::toFloat(b); }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// OCP FP8 e5m2 (IEEE-structured Inf/NaN).
+class fp8e5m2 {
+ public:
+  using Codec = detail::Fp8Codec<5, 2, false>;
+
+  fp8e5m2() = default;
+  explicit fp8e5m2(float f) : bits_(fromFloat(f)) {}
+
+  [[nodiscard]] float toFloat() const { return toFloatBits(bits_); }
+  explicit operator float() const { return toFloat(); }
+
+  [[nodiscard]] std::uint8_t bits() const { return bits_; }
+  static fp8e5m2 fromBits(std::uint8_t bits) {
+    fp8e5m2 v;
+    v.bits_ = bits;
+    return v;
+  }
+
+  [[nodiscard]] bool isNan() const {
+    return (bits_ & 0x7Cu) == 0x7Cu && (bits_ & 0x03u) != 0;
+  }
+  [[nodiscard]] bool isInf() const { return (bits_ & 0x7Fu) == 0x7Cu; }
+
+  /// Largest finite value (S.11110.11 = 1.75 * 2^15).
+  static constexpr float maxFinite() { return 57344.0f; }
+  /// Smallest positive normal value (2^-14).
+  static constexpr float minNormal() { return 6.103515625e-05f; }
+  /// Unit roundoff (2^-3).
+  static constexpr float epsilonUnit() { return 0.125f; }
+
+  friend bool operator==(fp8e5m2 a, fp8e5m2 b) {
+    return a.toFloat() == b.toFloat();
+  }
+
+  static std::uint8_t fromFloat(float f) { return Codec::fromFloat(f); }
+  static float toFloatBits(std::uint8_t b) { return Codec::toFloat(b); }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+static_assert(sizeof(fp8e4m3) == 1);
+static_assert(sizeof(fp8e5m2) == 1);
+
+}  // namespace hplmxp::lowp

@@ -1,0 +1,60 @@
+#include "lowp/precision.h"
+
+#include "util/common.h"
+
+namespace hplmxp::lowp {
+
+namespace {
+
+constexpr PrecisionSpec kSpecs[] = {
+    {StoragePrecision::kFp16, "fp16", 16, 65504.0f,
+     4.8828125e-04f /* 2^-11 */, false, 1.0},
+    {StoragePrecision::kBf16, "bf16", 16, 3.3895313892515355e+38f,
+     3.90625e-03f /* 2^-8 */, false, 1.0},
+    {StoragePrecision::kFp8E4M3, "fp8e4m3", 8, 448.0f,
+     6.25e-02f /* 2^-4 */, true, 2.0},
+    {StoragePrecision::kFp8E5M2, "fp8e5m2", 8, 57344.0f,
+     1.25e-01f /* 2^-3 */, true, 2.0},
+};
+
+}  // namespace
+
+const PrecisionSpec& spec(StoragePrecision p) {
+  for (const PrecisionSpec& s : kSpecs) {
+    if (s.precision == p) {
+      return s;
+    }
+  }
+  return kSpecs[0];  // unreachable for valid enum values
+}
+
+const char* toString(StoragePrecision p) { return spec(p).name; }
+
+StoragePrecision precisionFromString(const std::string& s) {
+  for (const PrecisionSpec& sp : kSpecs) {
+    if (s == sp.name) {
+      return sp.precision;
+    }
+  }
+  throw CheckError("unknown storage precision '" + s +
+                   "' (want fp16|bf16|fp8e4m3|fp8e5m2)");
+}
+
+std::optional<StoragePrecision> nextRungUp(StoragePrecision p) {
+  switch (p) {
+    case StoragePrecision::kFp8E5M2: return StoragePrecision::kFp8E4M3;
+    case StoragePrecision::kFp8E4M3: return StoragePrecision::kBf16;
+    case StoragePrecision::kBf16: return StoragePrecision::kFp16;
+    case StoragePrecision::kFp16: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+const std::vector<StoragePrecision>& ladderRungs() {
+  static const std::vector<StoragePrecision> rungs = {
+      StoragePrecision::kFp8E5M2, StoragePrecision::kFp8E4M3,
+      StoragePrecision::kBf16, StoragePrecision::kFp16};
+  return rungs;
+}
+
+}  // namespace hplmxp::lowp

@@ -1,0 +1,61 @@
+// The storage-precision ladder of the mixed-precision algorithm family.
+//
+// HPL-MxP (Dongarra & Luszczek 2025) defines the benchmark over a *family*
+// of algorithms: any storage precision for the LU panels is legal as long
+// as iterative refinement recovers FP64 accuracy. This module names the
+// rungs this reproduction implements — binary16 (the paper's format),
+// bfloat16, and the OCP FP8 pair — and the metadata the controller,
+// performance model, and serve cache key need to reason about them.
+//
+// Rung order is by unit roundoff (ascending accuracy, descending cost
+// savings): fp8e5m2 (u = 2^-3) -> fp8e4m3 (2^-4) -> bf16 (2^-8) ->
+// fp16 (2^-11). "Falling up the ladder" moves toward fp16.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hplmxp::lowp {
+
+enum class StoragePrecision {
+  kFp16,     // IEEE binary16: 5 exp, 10 mant (the paper's format)
+  kBf16,     // bfloat16: 8 exp, 7 mant — float32's upper half
+  kFp8E4M3,  // OCP FP8 e4m3: 4 exp, 3 mant, finite-only (NaN, no Inf)
+  kFp8E5M2,  // OCP FP8 e5m2: 5 exp, 2 mant, IEEE-style Inf/NaN
+};
+
+/// Static description of one storage format.
+struct PrecisionSpec {
+  StoragePrecision precision = StoragePrecision::kFp16;
+  const char* name = "fp16";
+  int storageBits = 16;
+  float maxFinite = 0.0f;
+  float unitRoundoff = 0.0f;  // 2^-(mant bits + 1)
+  /// FP8 formats need a per-tile FP32 scale so LU panels (whose U entries
+  /// grow with the diagonal shift) don't saturate the tiny dynamic range.
+  bool needsTileScale = false;
+  /// Mixed-GEMM peak-rate multiplier relative to the FP16 rung, for the
+  /// performance model (tensor-core FP8 doubles FP16 throughput; BF16
+  /// matches FP16 on every accelerator the paper targets).
+  double gemmPeakFactor = 1.0;
+};
+
+/// Spec lookup; total over the enum.
+[[nodiscard]] const PrecisionSpec& spec(StoragePrecision p);
+
+[[nodiscard]] const char* toString(StoragePrecision p);
+
+/// Parses "fp16" / "bf16" / "fp8e4m3" / "fp8e5m2"; throws CheckError on
+/// anything else.
+[[nodiscard]] StoragePrecision precisionFromString(const std::string& s);
+
+/// The next rung up the accuracy ladder (toward fp16), or nullopt at the
+/// top. Escalation on IR divergence climbs this chain.
+[[nodiscard]] std::optional<StoragePrecision> nextRungUp(StoragePrecision p);
+
+/// All rungs, ladder-ordered from cheapest (fp8e5m2) to most accurate
+/// (fp16) — the sweep order of the proof harness and the bench.
+[[nodiscard]] const std::vector<StoragePrecision>& ladderRungs();
+
+}  // namespace hplmxp::lowp

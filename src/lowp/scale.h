@@ -1,0 +1,51 @@
+// Per-tile power-of-two scaling for the FP8 rungs.
+//
+// FP8 e4m3 tops out at 448 and the benchmark's U panels carry the +N
+// diagonal shift, so an unscaled cast would saturate every diagonal-block
+// column. The standard fix (and what FP8 GEMM hardware pipelines do) is a
+// per-tile FP32 scale: the tile is stored as value/scale and the GEMM
+// folds scaleA * scaleB back into alpha. Scales here are exact powers of
+// two, so the divide on store, the multiply into alpha, and the widening
+// on load are all EXACT in FP32 — scaling changes which grid points the
+// format can hit, never the rounding arithmetic, which keeps the
+// cross-precision equivalence proofs bitwise.
+#pragma once
+
+#include <cmath>
+
+namespace hplmxp::lowp {
+
+/// Power-of-two scale s such that amax / s lands in (maxFinite/4,
+/// maxFinite/2] — half the format's range as saturation headroom, within
+/// one binade of it so the mantissa grid is fully used. Returns 1 for
+/// amax == 0 (empty/zero tiles) and for non-finite amax (the cast then
+/// propagates the NaN/Inf for the guards to catch).
+inline float tileScale(float amax, float maxFinite) {
+  if (!(amax > 0.0f) || !std::isfinite(amax)) {
+    return 1.0f;
+  }
+  const float target = maxFinite * 0.5f;
+  int eAmax = 0;
+  int eTarget = 0;
+  (void)std::frexp(amax, &eAmax);      // amax   = ma * 2^eAmax,  ma in [0.5,1)
+  (void)std::frexp(target, &eTarget);  // target = mt * 2^eTarget
+  // First candidate exponent; one correction step lands amax/s <= target
+  // exactly (both comparisons are exact float ops on powers of two). The
+  // clamp keeps s a NORMAL power of two even for deeply subnormal amax
+  // (where the ideal exponent would flush ldexp to zero and the scale
+  // would degenerate to 0): such tiles are numerically zero anyway, and a
+  // 2^-126 scale just stores them as (tiny)/s — below the target binade
+  // but exact and finite.
+  int e = eAmax - eTarget;
+  if (e < -126) {
+    e = -126;
+  }
+  float s = std::ldexp(1.0f, e);
+  if (amax / s > target) {
+    ++e;
+    s = std::ldexp(1.0f, e);
+  }
+  return s;
+}
+
+}  // namespace hplmxp::lowp

@@ -1,0 +1,58 @@
+// Uniform cast/pack traits over the four storage formats.
+//
+// Every rung of the precision ladder exposes the same surface — explicit
+// construction from float (round-to-nearest-even), exact widening via
+// toFloat()/operator float, raw-bit access — so the BLAS pack/cast paths,
+// gemmCore, the matrix generator, and the solver's panel casts can be
+// written once, templated on the storage type. StorageTraits adds the
+// per-format constants those templates branch on at compile time.
+#pragma once
+
+#include "fp16/half.h"
+#include "lowp/bfloat16.h"
+#include "lowp/fp8.h"
+#include "lowp/precision.h"
+
+namespace hplmxp::lowp {
+
+template <typename T>
+struct StorageTraits;
+
+template <>
+struct StorageTraits<hplmxp::half16> {
+  static constexpr StoragePrecision kPrecision = StoragePrecision::kFp16;
+  /// FP16's 65504 ceiling comfortably holds diagonally dominant LU panels;
+  /// no scaling needed (the paper's configuration).
+  static constexpr bool kNeedsTileScale = false;
+  static constexpr float maxFinite() { return hplmxp::half16::maxFinite(); }
+  static constexpr float epsilonUnit() {
+    return hplmxp::half16::epsilonUnit();
+  }
+};
+
+template <>
+struct StorageTraits<bfloat16> {
+  static constexpr StoragePrecision kPrecision = StoragePrecision::kBf16;
+  static constexpr bool kNeedsTileScale = false;  // float's full range
+  static constexpr float maxFinite() { return bfloat16::maxFinite(); }
+  static constexpr float epsilonUnit() { return bfloat16::epsilonUnit(); }
+};
+
+template <>
+struct StorageTraits<fp8e4m3> {
+  static constexpr StoragePrecision kPrecision = StoragePrecision::kFp8E4M3;
+  /// 448 saturates under the +N diagonal shift: per-tile scaling required.
+  static constexpr bool kNeedsTileScale = true;
+  static constexpr float maxFinite() { return fp8e4m3::maxFinite(); }
+  static constexpr float epsilonUnit() { return fp8e4m3::epsilonUnit(); }
+};
+
+template <>
+struct StorageTraits<fp8e5m2> {
+  static constexpr StoragePrecision kPrecision = StoragePrecision::kFp8E5M2;
+  static constexpr bool kNeedsTileScale = true;
+  static constexpr float maxFinite() { return fp8e5m2::maxFinite(); }
+  static constexpr float epsilonUnit() { return fp8e5m2::epsilonUnit(); }
+};
+
+}  // namespace hplmxp::lowp

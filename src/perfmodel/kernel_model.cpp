@@ -88,13 +88,14 @@ double KernelModel::alignFactor(double size) const {
   return rem == 0.0 ? 1.0 : alignPenalty_;
 }
 
-double KernelModel::gemmRate(double m, double n, double k,
-                             index_t lda) const {
+double KernelModel::gemmRate(double m, double n, double k, index_t lda,
+                             lowp::StoragePrecision precision) const {
+  const double peakFactor = lowp::spec(precision).gemmPeakFactor;
   if (m <= 0.0 || n <= 0.0 || k <= 0.0) {
-    return gemmPeak_;  // degenerate: no work, rate is irrelevant
+    return gemmPeak_ * peakFactor;  // degenerate: no work, rate irrelevant
   }
   if (calibrated_ && !measured_.gemm.empty()) {
-    return interpRate(measured_.gemm, std::cbrt(m * n * k));
+    return peakFactor * interpRate(measured_.gemm, std::cbrt(m * n * k));
   }
   double rate = gemmPeak_ * ramp(m, gemmHalfMN_) * ramp(n, gemmHalfMN_) *
                 ramp(k, gemmHalfK_);
@@ -102,7 +103,7 @@ double KernelModel::gemmRate(double m, double n, double k,
   if (ldaSensitive_ && isPathologicalLda(lda)) {
     rate *= 0.62;  // Fig. 7: LDA = 122880 loses roughly a third
   }
-  return rate;
+  return rate * peakFactor;
 }
 
 double KernelModel::getrfRate(double b) const {

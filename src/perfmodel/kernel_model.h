@@ -32,6 +32,7 @@
 
 #include <vector>
 
+#include "lowp/precision.h"
 #include "machine/machine.h"
 #include "util/common.h"
 
@@ -62,11 +63,16 @@ class KernelModel {
 
   [[nodiscard]] MachineKind kind() const { return kind_; }
 
-  /// Mixed-precision (FP16 in / FP32 accumulate) GEMM rate for an
+  /// Mixed-precision (low-precision in / FP32 accumulate) GEMM rate for an
   /// (m x n x k) product. `lda` models the local-matrix leading dimension
-  /// (0 = contiguous / ignore).
-  [[nodiscard]] double gemmRate(double m, double n, double k,
-                                index_t lda = 0) const;
+  /// (0 = contiguous / ignore). `precision` selects the storage rung:
+  /// FP8 tensor pipes run at 2x the FP16/BF16 MMA rate on both vendors'
+  /// parts, which PrecisionSpec::gemmPeakFactor encodes; the ramp shapes
+  /// and quirk factors are format-independent. Calibrated (measured)
+  /// curves are FP16 measurements, so the same factor applies on top.
+  [[nodiscard]] double gemmRate(
+      double m, double n, double k, index_t lda = 0,
+      lowp::StoragePrecision precision = lowp::StoragePrecision::kFp16) const;
 
   /// FP32 no-pivot GETRF rate for a B x B diagonal block.
   [[nodiscard]] double getrfRate(double b) const;

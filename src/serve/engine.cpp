@@ -381,7 +381,7 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
   try {
     const FactorCache::Fetch fetch = cache_.getOrFactor(key, [&] {
       ProblemGenerator gen(key.seed, key.n);
-      return factorMixedSingle(gen, key.b, config_.vendor);
+      return factorStorageSingle(gen, key.b, config_.vendor, key.precision);
     });
 
     // A cold factorization can be the slowest step by far; late requests

@@ -15,6 +15,7 @@
 #include <tuple>
 
 #include "core/config.h"
+#include "lowp/precision.h"
 #include "util/common.h"
 
 namespace hplmxp::serve {
@@ -26,9 +27,14 @@ struct ProblemKey {
   index_t pr = 1;
   index_t pc = 1;
   HplaiConfig::Scheduler scheduler = HplaiConfig::Scheduler::kBulk;
+  /// Storage rung the factors were produced at. Factors at different
+  /// rungs round differently, so a cached fp16 factorization must never
+  /// satisfy an fp8 request (and vice versa) — the rung is part of the
+  /// key's identity.
+  lowp::StoragePrecision precision = lowp::StoragePrecision::kFp16;
 
   [[nodiscard]] auto tied() const {
-    return std::tie(n, b, seed, pr, pc, scheduler);
+    return std::tie(n, b, seed, pr, pc, scheduler, precision);
   }
 
   friend bool operator==(const ProblemKey& a, const ProblemKey& b) {
@@ -42,7 +48,8 @@ struct ProblemKey {
     return "n=" + std::to_string(n) + " b=" + std::to_string(b) +
            " seed=" + std::to_string(seed) + " grid=" + std::to_string(pr) +
            "x" + std::to_string(pc) + " sched=" +
-           hplmxp::toString(scheduler);
+           hplmxp::toString(scheduler) + " prec=" +
+           lowp::toString(precision);
   }
 };
 

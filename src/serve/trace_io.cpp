@@ -29,6 +29,7 @@ RequestTrace loadRequestTrace(const std::string& path) {
     tr.deadlineMs = r.numberOr("deadline_ms", 0.0);
     tr.pr = static_cast<index_t>(r.numberOr("pr", 1.0));
     tr.pc = static_cast<index_t>(r.numberOr("pc", 1.0));
+    tr.precision = lowp::precisionFromString(r.stringOr("precision", "fp16"));
     HPLMXP_REQUIRE(tr.n > 0 && tr.b > 0,
                    "trace request needs positive n and b");
     trace.requests.push_back(tr);
@@ -49,6 +50,9 @@ std::string traceToJson(const RequestTrace& trace) {
        << ", \"deadline_ms\": " << r.deadlineMs;
     if (r.pr != 1 || r.pc != 1) {
       os << ", \"pr\": " << r.pr << ", \"pc\": " << r.pc;
+    }
+    if (r.precision != lowp::StoragePrecision::kFp16) {
+      os << ", \"precision\": " << jsonQuote(lowp::toString(r.precision));
     }
     os << "}" << (i + 1 < trace.requests.size() ? "," : "") << "\n";
   }

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "lowp/precision.h"
 #include "util/common.h"
 
 namespace hplmxp::serve {
@@ -36,6 +37,9 @@ struct TraceRequest {
   double deadlineMs = 0.0;
   index_t pr = 1;
   index_t pc = 1;
+  /// Storage rung for the factors ("fp16" | "bf16" | "fp8e4m3" |
+  /// "fp8e5m2"); absent in the JSON means fp16, the paper's format.
+  lowp::StoragePrecision precision = lowp::StoragePrecision::kFp16;
 };
 
 struct RequestTrace {

@@ -1,0 +1,110 @@
+// Table-driven round-to-nearest-even oracle shared by the storage-format
+// test suites (binary16, bfloat16, FP8). The oracle enumerates every
+// positive finite encoding of a format by DECODING it — the one direction
+// that is trivially exact — and then derives the correct encoding of any
+// float purely from nearest-neighbour comparisons in double, so it shares
+// no rounding code with the implementations it checks.
+//
+// Works for any storage type exposing the repo's lowp interface:
+// fromBits / bits / toFloat / isNan / isInf. Formats with an infinity
+// (binary16, bfloat16, fp8e5m2) get an overflow sentinel standing in for
+// "the next representable value above maxFinite", so the overflow tie
+// (midpoint rounds up to infinity, the even encoding) falls out of the
+// same ties-to-even rule as every interior midpoint. Finite-only formats
+// (fp8e4m3) instead saturate: everything beyond maxFinite clamps to the
+// maxFinite encoding, matching the hardware cast convention.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hplmxp::oracle {
+
+struct EncodingTable {
+  /// All non-negative finite values of the format in increasing order as
+  /// (value, encoding) pairs; for infinity-capable formats the last entry
+  /// is the overflow sentinel (maxFinite + one top-binade ulp, encoding
+  /// +inf). Doubles hold every entry and every neighbour midpoint exactly
+  /// for all formats up to 16 storage bits.
+  std::vector<std::pair<double, std::uint32_t>> entries;
+  /// Sign bit of the encoding (0x8000 for 16-bit formats, 0x80 for FP8).
+  std::uint32_t signMask = 0;
+  /// Finite-only format: overflow clamps to maxFinite instead of rounding
+  /// to an infinity encoding.
+  bool saturating = false;
+  /// Encoding of +maxFinite (the saturation target).
+  std::uint32_t maxFiniteBits = 0;
+};
+
+/// Builds the oracle table for a storage format by decoding every
+/// positive encoding. Saturation semantics are inferred from the format
+/// itself: a format with no infinity encoding saturates.
+template <typename Storage>
+EncodingTable buildEncodingTable() {
+  using Bits = decltype(std::declval<Storage>().bits());
+  EncodingTable t;
+  t.signMask = std::uint32_t{1} << (sizeof(Bits) * 8 - 1);
+  std::uint32_t infBits = 0;
+  bool hasInf = false;
+  for (std::uint32_t b = 0; b < t.signMask; ++b) {
+    const Storage v = Storage::fromBits(static_cast<Bits>(b));
+    if (v.isNan()) {
+      continue;
+    }
+    if (v.isInf()) {
+      infBits = b;
+      hasInf = true;
+      continue;
+    }
+    t.entries.emplace_back(static_cast<double>(v.toFloat()), b);
+  }
+  // Positive finite encodings of every format here are already
+  // value-ordered, but the oracle must not depend on that fact.
+  std::sort(t.entries.begin(), t.entries.end());
+  t.maxFiniteBits = t.entries.back().second;
+  t.saturating = !hasInf;
+  if (hasInf) {
+    // Overflow sentinel: extend the top binade by one ulp. Values at or
+    // beyond the midpoint to it tie/round up to infinity — exactly the
+    // IEEE overflow rule.
+    const double topUlp =
+        t.entries.back().first - t.entries[t.entries.size() - 2].first;
+    t.entries.emplace_back(t.entries.back().first + topUlp, infBits);
+  }
+  return t;
+}
+
+/// Round-to-nearest-even reference encoding of any finite float. NaN
+/// inputs are the caller's business (canonicalization is format-specific
+/// and asserted directly in the per-format suites).
+inline std::uint32_t nearestEvenOracle(const EncodingTable& t, float f) {
+  const std::uint32_t sign = std::signbit(f) ? t.signMask : 0u;
+  const double mag = std::fabs(static_cast<double>(f));
+  if (mag >= t.entries.back().first) {
+    // Beyond the grid: the saturating clamp or the infinity sentinel.
+    return sign | (t.saturating ? t.maxFiniteBits : t.entries.back().second);
+  }
+  auto hi = std::upper_bound(
+      t.entries.begin(), t.entries.end(), mag,
+      [](double v, const auto& entry) { return v < entry.first; });
+  // mag < back() and mag >= 0 == front(): hi is interior.
+  auto lo = hi - 1;
+  const double dLo = mag - lo->first;
+  const double dHi = hi->first - mag;
+  std::uint32_t bits;
+  if (dLo < dHi) {
+    bits = lo->second;
+  } else if (dHi < dLo) {
+    bits = hi->second;
+  } else {
+    // Exact tie: pick the encoding with the even low mantissa bit.
+    // Adjacent encodings differ by one, so exactly one of them is even.
+    bits = (lo->second & 1u) == 0 ? lo->second : hi->second;
+  }
+  return sign | bits;
+}
+
+}  // namespace hplmxp::oracle

@@ -11,6 +11,8 @@
 #include "blas/gemm_baseline.h"
 #include "blas/reference.h"
 #include "blas/tune.h"
+#include "lowp/bfloat16.h"
+#include "lowp/fp8.h"
 
 namespace hplmxp {
 namespace {
@@ -310,6 +312,145 @@ TEST(GemmBitwise, InvariantUnderThreadCount) {
   blas::gemmMixed(Trans::kNoTrans, Trans::kTrans, m, n, k, -1.0f, a.data(),
                   m, b.data(), n, 1.0f, c2.data(), m, &wide);
   EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-precision GEMM proofs. gemmLowp<T> must be bitwise identical to
+// the scalar order-exact oracle (blas/reference.h) for every storage
+// format, shape, transpose pair, blocking, and thread count — the
+// determinism contract the precision ladder inherits from the FP16
+// kernel. memcmp, not tolerances.
+// ---------------------------------------------------------------------------
+
+template <typename TLow>
+std::vector<TLow> roundVec(const std::vector<float>& src) {
+  std::vector<TLow> out(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    out[i] = TLow(src[i]);
+  }
+  return out;
+}
+
+const GemmCase kLowpCases[] = {
+    GemmCase{1, 1, 1, Trans::kNoTrans, Trans::kNoTrans, 1.0f, 0.0f},
+    GemmCase{5, 7, 3, Trans::kNoTrans, Trans::kTrans, 0.37f, 0.5f},
+    GemmCase{64, 64, 64, Trans::kTrans, Trans::kNoTrans, 1.0f, 1.0f},
+    GemmCase{33, 65, 17, Trans::kTrans, Trans::kTrans, -1.0f, 1.0f},
+    GemmCase{97, 101, 130, Trans::kNoTrans, Trans::kTrans, -1.0f, 1.0f},
+    GemmCase{8, 6, 256, Trans::kNoTrans, Trans::kNoTrans, 2.0f, -1.0f},
+    GemmCase{130, 3, 96, Trans::kTrans, Trans::kNoTrans, -0.5f, 0.0f},
+};
+
+template <typename TLow>
+class GemmLowpTest : public ::testing::Test {};
+
+using StorageTypes = ::testing::Types<half16, lowp::bfloat16, lowp::fp8e4m3,
+                                      lowp::fp8e5m2>;
+TYPED_TEST_SUITE(GemmLowpTest, StorageTypes);
+
+TYPED_TEST(GemmLowpTest, MatchesOrderExactOracleBitwise) {
+  unsigned seed = 100;
+  for (const GemmCase& c : kLowpCases) {
+    const index_t lda = c.ta == Trans::kNoTrans ? c.m : c.k;
+    const index_t ldb = c.tb == Trans::kNoTrans ? c.k : c.n;
+    const index_t ldc = c.m;
+    auto a = roundVec<TypeParam>(randomVec(
+        static_cast<std::size_t>(lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+        ++seed));
+    auto b = roundVec<TypeParam>(randomVec(
+        static_cast<std::size_t>(ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+        ++seed));
+    auto c1 = randomVec(static_cast<std::size_t>(ldc * c.n), ++seed);
+    auto c2 = c1;
+
+    blas::gemmLowp<TypeParam>(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(),
+                              lda, b.data(), ldb, c.beta, c1.data(), ldc);
+    blas::ref::gemmLowpOrderExact<TypeParam>(c.ta, c.tb, c.m, c.n, c.k,
+                                             c.alpha, a.data(), lda, b.data(),
+                                             ldb, c.beta, c2.data(), ldc);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)))
+        << "m=" << c.m << " n=" << c.n << " k=" << c.k;
+  }
+}
+
+TYPED_TEST(GemmLowpTest, InvariantUnderBlockingAndThreads) {
+  // The oracle result is the fixed point; every blocking and thread count
+  // must reproduce it exactly.
+  BlockingGuard guard;
+  const index_t m = 61, n = 45, k = 77;
+  auto a = roundVec<TypeParam>(
+      randomVec(static_cast<std::size_t>(m * k), 201));
+  auto b = roundVec<TypeParam>(
+      randomVec(static_cast<std::size_t>(n * k), 202));
+  auto c0 = randomVec(static_cast<std::size_t>(m * n), 203);
+
+  auto ref = c0;
+  blas::ref::gemmLowpOrderExact<TypeParam>(Trans::kNoTrans, Trans::kTrans, m,
+                                           n, k, -1.0f, a.data(), m, b.data(),
+                                           n, 1.0f, ref.data(), m);
+
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  for (blas::GemmBlocking bl :
+       {blas::GemmBlocking{}, blas::GemmBlocking{8, 6, 16},
+        blas::GemmBlocking{8, 6, 1}, blas::GemmBlocking{64, 96, 64},
+        blas::GemmBlocking{16, 12, 37}}) {
+    blas::setGemmBlocking(bl);
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &serial,
+                             &wide}) {
+      auto c = c0;
+      blas::gemmLowp<TypeParam>(Trans::kNoTrans, Trans::kTrans, m, n, k,
+                                -1.0f, a.data(), m, b.data(), n, 1.0f,
+                                c.data(), m, pool);
+      EXPECT_EQ(0,
+                std::memcmp(c.data(), ref.data(), c.size() * sizeof(float)))
+          << "mc=" << bl.mc << " nc=" << bl.nc << " kc=" << bl.kc;
+    }
+  }
+}
+
+TEST(GemmLowp, Fp16InstantiationIsGemmMixedBitwise) {
+  // The legacy FP16 entry point and the templated rung must be the same
+  // kernel — the paper's configuration cannot drift when the ladder grows.
+  for (const GemmCase& c : kLowpCases) {
+    const index_t lda = c.ta == Trans::kNoTrans ? c.m : c.k;
+    const index_t ldb = c.tb == Trans::kNoTrans ? c.k : c.n;
+    const index_t ldc = c.m;
+    auto a = roundVec<half16>(randomVec(
+        static_cast<std::size_t>(lda * (c.ta == Trans::kNoTrans ? c.k : c.m)),
+        301));
+    auto b = roundVec<half16>(randomVec(
+        static_cast<std::size_t>(ldb * (c.tb == Trans::kNoTrans ? c.n : c.k)),
+        302));
+    auto c1 = randomVec(static_cast<std::size_t>(ldc * c.n), 303);
+    auto c2 = c1;
+    blas::gemmMixed(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda,
+                    b.data(), ldb, c.beta, c1.data(), ldc);
+    blas::gemmLowp<half16>(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda,
+                           b.data(), ldb, c.beta, c2.data(), ldc);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)))
+        << "m=" << c.m << " n=" << c.n << " k=" << c.k;
+  }
+}
+
+TEST(GemmLowp, Fp32AccumulationAcrossAllRungs) {
+  // The defining mixed-precision property holds at every rung: inputs are
+  // low-precision but sums accumulate in FP32, so summing k exact ones
+  // stays exact even where the storage format could not hold k.
+  const index_t k = 256;
+  auto run = [&](auto tag) {
+    using T = decltype(tag);
+    std::vector<T> a(static_cast<std::size_t>(k), T(1.0f));
+    std::vector<T> b(static_cast<std::size_t>(k), T(1.0f));
+    float c = 0.0f;
+    blas::gemmLowp<T>(Trans::kNoTrans, Trans::kNoTrans, 1, 1, k, 1.0f,
+                      a.data(), 1, b.data(), k, 0.0f, &c, 1);
+    EXPECT_FLOAT_EQ(c, static_cast<float>(k));
+  };
+  run(half16());
+  run(lowp::bfloat16());
+  run(lowp::fp8e4m3());
+  run(lowp::fp8e5m2());
 }
 
 TEST(GemmMixed, InputsAreRoundedToHalfExactly) {

@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "encoding_oracle.h"
 #include "fp16/half.h"
 
 namespace hplmxp {
@@ -147,65 +148,23 @@ TEST(HalfExhaustive, EveryEncodingRoundTripsExactly) {
   EXPECT_EQ(nans, 2 * 1023);
 }
 
-namespace {
-
-/// All non-negative finite binary16 values in increasing order, as
-/// (value, encoding) pairs, followed by one +inf sentinel standing in for
-/// "the next representable value above maxFinite" at 2^16. Doubles hold
-/// every entry and every neighbour midpoint exactly (multiples of 2^-24
-/// below 2^17), so the oracle's compares are exact.
-std::vector<std::pair<double, std::uint16_t>> positiveHalfTable() {
-  std::vector<std::pair<double, std::uint16_t>> table;
-  table.reserve(0x7C00 + 1);
-  for (std::uint32_t bits = 0; bits < 0x7C00u; ++bits) {
-    const auto b16 = static_cast<std::uint16_t>(bits);
-    table.emplace_back(
-        static_cast<double>(half16::fromBits(b16).toFloat()), b16);
-  }
-  table.emplace_back(65536.0, static_cast<std::uint16_t>(0x7C00u));
-  // Encodings of positive finite halves are already value-ordered, but the
-  // oracle must not depend on that implementation fact.
-  std::sort(table.begin(), table.end());
-  return table;
-}
-
-/// Table-driven round-to-nearest-even reference for any finite float.
-std::uint16_t nearestEvenOracle(
-    const std::vector<std::pair<double, std::uint16_t>>& table, float f) {
-  const std::uint16_t sign = std::signbit(f) ? 0x8000u : 0x0000u;
-  const double mag = std::fabs(static_cast<double>(f));
-  if (mag >= table.back().first) {
-    return static_cast<std::uint16_t>(sign | 0x7C00u);  // beyond the grid
-  }
-  auto hi = std::upper_bound(
-      table.begin(), table.end(), mag,
-      [](double v, const auto& entry) { return v < entry.first; });
-  // mag < table.back() and mag >= 0 == table.front(): hi is interior.
-  auto lo = hi - 1;
-  const double dLo = mag - lo->first;
-  const double dHi = hi->first - mag;
-  std::uint16_t mantissaBits;
-  if (dLo < dHi) {
-    mantissaBits = lo->second;
-  } else if (dHi < dLo) {
-    mantissaBits = hi->second;
-  } else {
-    // Exact tie: pick the encoding with the even low mantissa bit.
-    mantissaBits = (lo->second & 1u) == 0 ? lo->second : hi->second;
-  }
-  return static_cast<std::uint16_t>(sign | mantissaBits);
-}
-
-}  // namespace
-
 TEST(HalfExhaustive, EncodeMatchesNearestEvenOracle) {
-  const auto table = positiveHalfTable();
+  // Shared table-driven oracle (tests/encoding_oracle.h): all positive
+  // finite binary16 values plus a 2^16 sentinel standing in for "the next
+  // representable value above maxFinite". Doubles hold every entry and
+  // every neighbour midpoint exactly (multiples of 2^-24 below 2^17), so
+  // the oracle's compares are exact.
+  const oracle::EncodingTable table = oracle::buildEncodingTable<half16>();
+  ASSERT_FALSE(table.saturating);  // binary16 overflows to infinity
+  ASSERT_EQ(table.entries.back().second, 0x7C00u);
+  ASSERT_EQ(table.entries.back().first, 65536.0);
 
   auto check = [&](float f) {
     if (!std::isfinite(f)) {
       return;
     }
-    const std::uint16_t expected = nearestEvenOracle(table, f);
+    const auto expected =
+        static_cast<std::uint16_t>(oracle::nearestEvenOracle(table, f));
     EXPECT_EQ(half16::fromFloat(f), expected) << "f=" << f;
     EXPECT_EQ(half16::fromFloat(-f),
               static_cast<std::uint16_t>(expected ^ 0x8000u))
@@ -214,9 +173,10 @@ TEST(HalfExhaustive, EncodeMatchesNearestEvenOracle) {
 
   // Every exact half value, every neighbour midpoint (the ties-to-even
   // cases), and points just off each midpoint in both directions.
-  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
-    check(static_cast<float>(table[i].first));
-    const double mid = (table[i].first + table[i + 1].first) / 2.0;
+  const auto& grid = table.entries;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    check(static_cast<float>(grid[i].first));
+    const double mid = (grid[i].first + grid[i + 1].first) / 2.0;
     const auto fMid = static_cast<float>(mid);
     check(fMid);
     check(std::nextafter(fMid, 0.0f));

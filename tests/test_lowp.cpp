@@ -1,0 +1,488 @@
+// Exhaustive verification of the low-precision storage formats the
+// precision ladder stands on: bfloat16 (2^16 encodings) and the OCP FP8
+// pair (2^8 encodings each). Every encoding is decoded against an
+// independent ldexp-based formula, every decode round-trips, and the
+// encode direction is checked against the shared table-driven
+// nearest-even oracle (tests/encoding_oracle.h) plus the format-specific
+// Inf/NaN/saturation semantics the ladder's divergence detection relies
+// on. Also covers the per-tile power-of-two scaling (lowp/scale.h) and
+// the ladder metadata (lowp/precision.h).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "encoding_oracle.h"
+#include "fp16/half.h"
+#include "lowp/bfloat16.h"
+#include "lowp/fp8.h"
+#include "lowp/precision.h"
+#include "lowp/scale.h"
+#include "lowp/traits.h"
+#include "util/common.h"
+
+namespace hplmxp {
+namespace {
+
+using lowp::bfloat16;
+using lowp::fp8e4m3;
+using lowp::fp8e5m2;
+using lowp::StoragePrecision;
+
+// ---------------------------------------------------------------------------
+// Independent decode formula: value = (-1)^s * m * 2^e assembled with
+// ldexp from the raw fields, sharing no bit manipulation with toFloat().
+// ---------------------------------------------------------------------------
+
+/// Decodes a storage encoding of a format with `expBits` exponent bits and
+/// `mantBits` mantissa bits (IEEE field layout) to its exact value.
+/// Returns the value for finite encodings; callers skip Inf/NaN.
+double decodeFormula(std::uint32_t bits, int expBits, int mantBits) {
+  const int bias = (1 << (expBits - 1)) - 1;
+  const std::uint32_t mantMask = (1u << mantBits) - 1u;
+  const std::uint32_t expField = (bits >> mantBits) & ((1u << expBits) - 1u);
+  const std::uint32_t mantField = bits & mantMask;
+  const bool neg = (bits >> (expBits + mantBits)) & 1u;
+  double mag;
+  if (expField == 0) {
+    // Subnormal: 0.mant * 2^(1 - bias).
+    mag = std::ldexp(static_cast<double>(mantField), 1 - bias - mantBits);
+  } else {
+    // Normal: 1.mant * 2^(exp - bias).
+    mag = std::ldexp(1.0 + std::ldexp(static_cast<double>(mantField),
+                                      -mantBits),
+                     static_cast<int>(expField) - bias);
+  }
+  return neg ? -mag : mag;
+}
+
+// ---------------------------------------------------------------------------
+// bfloat16: exhaustive over all 2^16 encodings.
+// ---------------------------------------------------------------------------
+
+TEST(Bf16, KnownValues) {
+  EXPECT_EQ(bfloat16(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(bfloat16(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(bfloat16(1.0f).bits(), 0x3F80u);
+  EXPECT_EQ(bfloat16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(bfloat16(bfloat16::maxFinite()).bits(), 0x7F7Fu);
+  EXPECT_EQ(bfloat16(bfloat16::minNormal()).bits(), 0x0080u);
+  // Smallest subnormal: 2^-133.
+  EXPECT_EQ(bfloat16(std::ldexp(1.0f, -133)).bits(), 0x0001u);
+}
+
+TEST(Bf16, InfinityAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(bfloat16(inf).isInf());
+  EXPECT_EQ(bfloat16(inf).bits(), 0x7F80u);
+  EXPECT_EQ(bfloat16(-inf).bits(), 0xFF80u);
+  EXPECT_TRUE(bfloat16(std::numeric_limits<float>::quiet_NaN()).isNan());
+  EXPECT_TRUE(std::isnan(bfloat16(std::nanf("1")).toFloat()));
+  // Overflow past maxFinite rounds to infinity, like binary16.
+  EXPECT_TRUE(bfloat16(std::numeric_limits<float>::max()).isInf());
+}
+
+TEST(Bf16Exhaustive, EveryEncodingDecodesToFormula) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const bfloat16 v = bfloat16::fromBits(static_cast<std::uint16_t>(bits));
+    if (v.isNan()) {
+      EXPECT_TRUE(std::isnan(v.toFloat())) << "bits=" << bits;
+      continue;
+    }
+    if (v.isInf()) {
+      EXPECT_TRUE(std::isinf(v.toFloat())) << "bits=" << bits;
+      continue;
+    }
+    EXPECT_EQ(static_cast<double>(v.toFloat()), decodeFormula(bits, 8, 7))
+        << "bits=" << bits;
+    EXPECT_EQ(std::signbit(v.toFloat()), (bits & 0x8000u) != 0)
+        << "bits=" << bits;
+  }
+}
+
+TEST(Bf16Exhaustive, EveryEncodingRoundTripsExactly) {
+  long nans = 0;
+  for (std::uint32_t bits = 0; bits <= 0xFFFFu; ++bits) {
+    const auto b16 = static_cast<std::uint16_t>(bits);
+    const bfloat16 v = bfloat16::fromBits(b16);
+    const std::uint16_t back = bfloat16::fromFloat(v.toFloat());
+    if (v.isNan()) {
+      // NaN payloads canonicalize to the quiet NaN, sign preserved.
+      EXPECT_EQ(back, static_cast<std::uint16_t>((b16 & 0x8000u) | 0x7FC0u))
+          << "bits=" << bits;
+      ++nans;
+    } else {
+      EXPECT_EQ(back, b16) << "bits=" << bits;
+      EXPECT_EQ(std::isinf(v.toFloat()), v.isInf()) << "bits=" << bits;
+    }
+  }
+  // 2 * (2^7 - 1) NaN payloads; make sure the loop actually walked them.
+  EXPECT_EQ(nans, 2 * 127);
+}
+
+TEST(Bf16Exhaustive, EncodeMatchesNearestEvenOracle) {
+  const oracle::EncodingTable table = oracle::buildEncodingTable<bfloat16>();
+  ASSERT_FALSE(table.saturating);
+  ASSERT_EQ(table.entries.back().second, 0x7F80u);  // overflow sentinel
+  ASSERT_EQ(table.entries.back().first, std::ldexp(1.0, 128));
+
+  auto check = [&](float f) {
+    if (!std::isfinite(f)) {
+      return;
+    }
+    const auto expected =
+        static_cast<std::uint16_t>(oracle::nearestEvenOracle(table, f));
+    EXPECT_EQ(bfloat16::fromFloat(f), expected) << "f=" << f;
+    EXPECT_EQ(bfloat16::fromFloat(-f),
+              static_cast<std::uint16_t>(expected ^ 0x8000u))
+        << "f=" << -f;
+  };
+
+  // Every exact bf16 value, every neighbour midpoint (ties-to-even), and
+  // points just off each midpoint. Midpoints carry 9 significant bits, so
+  // they are exact floats and the casts below lose nothing.
+  const float inf = std::numeric_limits<float>::infinity();
+  const auto& grid = table.entries;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    check(static_cast<float>(grid[i].first));
+    const double mid = (grid[i].first + grid[i + 1].first) / 2.0;
+    const auto fMid = static_cast<float>(mid);
+    check(fMid);
+    check(std::nextafter(fMid, 0.0f));
+    check(std::nextafter(fMid, inf));
+  }
+
+  // Deterministic pseudo-random sweep of the whole float space.
+  std::uint32_t s = 0x9E3779B9u;
+  for (int i = 0; i < 200000; ++i) {
+    s = s * 1664525u + 1013904223u;
+    check(std::bit_cast<float>(s & 0x7FFFFFFFu));  // sign covered in check()
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FP8: only 2^8 encodings, so decode, round-trip, AND encode are checked
+// for every encoding; the encode oracle additionally sweeps every
+// binary16 value (a superset of both FP8 grids) and a random float sweep.
+// ---------------------------------------------------------------------------
+
+template <typename Fp8>
+void fp8DecodeMatchesFormula(int expBits, int mantBits) {
+  for (std::uint32_t bits = 0; bits <= 0xFFu; ++bits) {
+    const Fp8 v = Fp8::fromBits(static_cast<std::uint8_t>(bits));
+    if (v.isNan()) {
+      EXPECT_TRUE(std::isnan(v.toFloat())) << "bits=" << bits;
+      continue;
+    }
+    if (v.isInf()) {
+      EXPECT_TRUE(std::isinf(v.toFloat())) << "bits=" << bits;
+      continue;
+    }
+    EXPECT_EQ(static_cast<double>(v.toFloat()),
+              decodeFormula(bits, expBits, mantBits))
+        << "bits=" << bits;
+    EXPECT_EQ(std::signbit(v.toFloat()), (bits & 0x80u) != 0)
+        << "bits=" << bits;
+  }
+}
+
+TEST(Fp8E4M3Exhaustive, EveryEncodingDecodesToFormula) {
+  // e4m3 reclaims the all-ones exponent for normals; the IEEE field
+  // formula still applies to every non-NaN encoding.
+  fp8DecodeMatchesFormula<fp8e4m3>(4, 3);
+}
+
+TEST(Fp8E5M2Exhaustive, EveryEncodingDecodesToFormula) {
+  fp8DecodeMatchesFormula<fp8e5m2>(5, 2);
+}
+
+template <typename Fp8>
+long fp8RoundTripCountNans(std::uint8_t canonicalNanAbs) {
+  long nans = 0;
+  for (std::uint32_t bits = 0; bits <= 0xFFu; ++bits) {
+    const auto b8 = static_cast<std::uint8_t>(bits);
+    const Fp8 v = Fp8::fromBits(b8);
+    const std::uint8_t back = Fp8::fromFloat(v.toFloat());
+    if (v.isNan()) {
+      EXPECT_EQ(back,
+                static_cast<std::uint8_t>((b8 & 0x80u) | canonicalNanAbs))
+          << "bits=" << bits;
+      ++nans;
+    } else {
+      EXPECT_EQ(back, b8) << "bits=" << bits;
+      EXPECT_EQ(std::isinf(v.toFloat()), v.isInf()) << "bits=" << bits;
+    }
+  }
+  return nans;
+}
+
+TEST(Fp8E4M3Exhaustive, EveryEncodingRoundTripsExactly) {
+  // One NaN per sign (S.1111.111), canonicalizing to itself.
+  EXPECT_EQ(fp8RoundTripCountNans<fp8e4m3>(0x7Fu), 2);
+}
+
+TEST(Fp8E5M2Exhaustive, EveryEncodingRoundTripsExactly) {
+  // Three NaN payloads per sign; all canonicalize to S.11111.10.
+  EXPECT_EQ(fp8RoundTripCountNans<fp8e5m2>(0x7Eu), 6);
+}
+
+template <typename Fp8>
+void fp8EncodeMatchesOracle(const oracle::EncodingTable& table) {
+  auto check = [&](float f) {
+    if (!std::isfinite(f)) {
+      return;
+    }
+    const auto expected =
+        static_cast<std::uint8_t>(oracle::nearestEvenOracle(table, f));
+    EXPECT_EQ(Fp8::fromFloat(f), expected) << "f=" << f;
+    EXPECT_EQ(Fp8::fromFloat(-f), static_cast<std::uint8_t>(expected ^ 0x80u))
+        << "f=" << -f;
+  };
+
+  // Every grid value, every neighbour midpoint, points just off each.
+  const float inf = std::numeric_limits<float>::infinity();
+  const auto& grid = table.entries;
+  for (std::size_t i = 0; i + 1 < grid.size(); ++i) {
+    check(static_cast<float>(grid[i].first));
+    const double mid = (grid[i].first + grid[i + 1].first) / 2.0;
+    const auto fMid = static_cast<float>(mid);
+    check(fMid);
+    check(std::nextafter(fMid, 0.0f));
+    check(std::nextafter(fMid, inf));
+  }
+
+  // Every binary16 value — a dense superset of both FP8 grids covering
+  // their full dynamic range, subnormals included.
+  for (std::uint32_t bits = 0; bits < 0x7C00u; ++bits) {
+    check(half16::toFloatBits(static_cast<std::uint16_t>(bits)));
+  }
+
+  // Deterministic pseudo-random sweep of the whole float space (mostly
+  // exercising the overflow/underflow clamps).
+  std::uint32_t s = 0x9E3779B9u;
+  for (int i = 0; i < 200000; ++i) {
+    s = s * 1664525u + 1013904223u;
+    check(std::bit_cast<float>(s & 0x7FFFFFFFu));
+  }
+}
+
+TEST(Fp8E4M3Exhaustive, EncodeMatchesNearestEvenOracle) {
+  const oracle::EncodingTable table = oracle::buildEncodingTable<fp8e4m3>();
+  ASSERT_TRUE(table.saturating);  // finite-only format
+  ASSERT_EQ(table.maxFiniteBits, 0x7Eu);
+  ASSERT_EQ(table.entries.back().first, 448.0);
+  fp8EncodeMatchesOracle<fp8e4m3>(table);
+}
+
+TEST(Fp8E5M2Exhaustive, EncodeMatchesNearestEvenOracle) {
+  const oracle::EncodingTable table = oracle::buildEncodingTable<fp8e5m2>();
+  ASSERT_FALSE(table.saturating);
+  ASSERT_EQ(table.entries.back().second, 0x7Cu);  // overflow sentinel: inf
+  ASSERT_EQ(table.entries.back().first, 65536.0);
+  fp8EncodeMatchesOracle<fp8e5m2>(table);
+}
+
+TEST(Fp8E4M3, SaturationSemantics) {
+  // Finite overflow SATURATES to +-448 — never an Inf or NaN encoding.
+  EXPECT_EQ(fp8e4m3::fromFloat(449.0f), 0x7Eu);
+  EXPECT_EQ(fp8e4m3::fromFloat(480.0f), 0x7Eu);  // would round to the NaN slot
+  EXPECT_EQ(fp8e4m3::fromFloat(1e10f), 0x7Eu);
+  EXPECT_EQ(fp8e4m3::fromFloat(std::numeric_limits<float>::max()), 0x7Eu);
+  EXPECT_EQ(fp8e4m3::fromFloat(-449.0f), 0xFEu);
+  EXPECT_EQ(fp8e4m3::fromFloat(-1e10f), 0xFEu);
+  // Inf input has no encoding: converts to NaN (hardware cast convention).
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp8e4m3::fromFloat(inf), 0x7Fu);
+  EXPECT_EQ(fp8e4m3::fromFloat(-inf), 0xFFu);
+  EXPECT_TRUE(fp8e4m3::fromBits(fp8e4m3::fromFloat(inf)).isNan());
+  // 448 itself is exact; just below the 480 midpoint still rounds to 448.
+  EXPECT_EQ(fp8e4m3::fromFloat(448.0f), 0x7Eu);
+  EXPECT_EQ(fp8e4m3::fromFloat(479.0f), 0x7Eu);
+  // No encoding ever reports isInf().
+  for (std::uint32_t bits = 0; bits <= 0xFFu; ++bits) {
+    EXPECT_FALSE(fp8e4m3::fromBits(static_cast<std::uint8_t>(bits)).isInf());
+  }
+}
+
+TEST(Fp8E5M2, OverflowAndNanSemantics) {
+  // IEEE-structured: overflow rounds to infinity under ties-to-even.
+  EXPECT_EQ(fp8e5m2::fromFloat(57344.0f), 0x7Bu);  // max finite, exact
+  EXPECT_EQ(fp8e5m2::fromFloat(61440.0f), 0x7Cu);  // midpoint ties up to inf
+  EXPECT_EQ(fp8e5m2::fromFloat(std::nextafter(61440.0f, 0.0f)), 0x7Bu);
+  EXPECT_EQ(fp8e5m2::fromFloat(-61440.0f), 0xFCu);
+  EXPECT_EQ(fp8e5m2::fromFloat(1e10f), 0x7Cu);
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp8e5m2::fromFloat(inf), 0x7Cu);
+  EXPECT_TRUE(fp8e5m2::fromBits(0x7Cu).isInf());
+  EXPECT_TRUE(std::isnan(
+      fp8e5m2::fromBits(fp8e5m2::fromFloat(std::nanf("1"))).toFloat()));
+}
+
+TEST(Fp8, SubnormalBoundaries) {
+  // e4m3: min subnormal 2^-9; its half ties down to zero (even).
+  const float e4Min = std::ldexp(1.0f, -9);
+  EXPECT_EQ(fp8e4m3::fromFloat(e4Min), 0x01u);
+  EXPECT_EQ(fp8e4m3::fromFloat(e4Min / 2.0f), 0x00u);
+  EXPECT_EQ(fp8e4m3::fromFloat(std::nextafter(e4Min / 2.0f, 1.0f)), 0x01u);
+  EXPECT_EQ(fp8e4m3::fromFloat(e4Min * 1.5f), 0x02u);  // tie to even
+  // e5m2: min subnormal 2^-16.
+  const float e5Min = std::ldexp(1.0f, -16);
+  EXPECT_EQ(fp8e5m2::fromFloat(e5Min), 0x01u);
+  EXPECT_EQ(fp8e5m2::fromFloat(e5Min / 2.0f), 0x00u);
+  EXPECT_EQ(fp8e5m2::fromFloat(std::nextafter(e5Min / 2.0f, 1.0f)), 0x01u);
+  // Min normals from the headers land on the first normal encoding.
+  EXPECT_EQ(fp8e4m3::fromFloat(fp8e4m3::minNormal()), 0x08u);
+  EXPECT_EQ(fp8e5m2::fromFloat(fp8e5m2::minNormal()), 0x04u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-tile power-of-two scaling.
+// ---------------------------------------------------------------------------
+
+/// True iff s is a (possibly subnormal) power of two.
+bool isPowerOfTwo(float s) {
+  int e = 0;
+  return s > 0.0f && std::isfinite(s) && std::frexp(s, &e) == 0.5f;
+}
+
+TEST(TileScale, LandsInTargetBinade) {
+  // Property: s is an exact power of two and amax/s in (max/4, max/2] for
+  // every positive finite amax, both FP8 formats.
+  for (float maxFinite : {fp8e4m3::maxFinite(), fp8e5m2::maxFinite()}) {
+    std::uint32_t s32 = 0x243F6A88u;
+    for (int i = 0; i < 100000; ++i) {
+      s32 = s32 * 1664525u + 1013904223u;
+      const float amax = std::fabs(std::bit_cast<float>(s32 & 0x7FFFFFFFu));
+      if (!(amax > 0.0f) || !std::isfinite(amax)) {
+        continue;
+      }
+      const float s = lowp::tileScale(amax, maxFinite);
+      ASSERT_TRUE(isPowerOfTwo(s)) << "amax=" << amax;
+      const float scaled = amax / s;
+      ASSERT_LE(scaled, maxFinite / 2.0f) << "amax=" << amax << " s=" << s;
+      if (amax >= std::ldexp(1.0f, -100)) {
+        // Lower bound of the band holds whenever the 2^-126 scale clamp
+        // for deeply subnormal tiles cannot engage.
+        ASSERT_GT(scaled, maxFinite / 4.0f) << "amax=" << amax << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(TileScale, DeeplySubnormalAmaxStaysFinite) {
+  // Below amax ~ 2^-134 the ideal scale would be a subnormal (or zero)
+  // power of two; the clamp pins it at 2^-126 so the stored tile is still
+  // exact and finite (just tiny), never inf/NaN from a zero divide.
+  for (int e = -149; e <= -130; ++e) {
+    const float amax = std::ldexp(1.0f, e);
+    ASSERT_GT(amax, 0.0f);
+    const float s = lowp::tileScale(amax, fp8e4m3::maxFinite());
+    EXPECT_TRUE(isPowerOfTwo(s)) << "e=" << e;
+    EXPECT_GE(s, std::ldexp(1.0f, -126)) << "e=" << e;
+    EXPECT_TRUE(std::isfinite(amax / s)) << "e=" << e;
+    EXPECT_LE(amax / s, fp8e4m3::maxFinite() / 2.0f) << "e=" << e;
+  }
+}
+
+TEST(TileScale, BinadeBoundariesExact) {
+  // Exact powers of two around the target band, where the frexp/ldexp
+  // correction step matters.
+  const float max = fp8e4m3::maxFinite();  // 448 = 1.75 * 2^8
+  for (int e = -30; e <= 30; ++e) {
+    const float amax = std::ldexp(1.0f, e);
+    const float s = lowp::tileScale(amax, max);
+    EXPECT_TRUE(isPowerOfTwo(s));
+    EXPECT_GT(amax / s, max / 4.0f) << "e=" << e;
+    EXPECT_LE(amax / s, max / 2.0f) << "e=" << e;
+  }
+}
+
+TEST(TileScale, DegenerateInputsYieldUnitScale) {
+  const float max = fp8e5m2::maxFinite();
+  EXPECT_EQ(lowp::tileScale(0.0f, max), 1.0f);
+  EXPECT_EQ(lowp::tileScale(-0.0f, max), 1.0f);
+  EXPECT_EQ(lowp::tileScale(-3.0f, max), 1.0f);
+  EXPECT_EQ(lowp::tileScale(std::numeric_limits<float>::infinity(), max),
+            1.0f);
+  EXPECT_EQ(lowp::tileScale(std::nanf("1"), max), 1.0f);
+}
+
+TEST(TileScale, ScaledTileNeverSaturates) {
+  // The contract the scaled cast paths rely on: after dividing by the
+  // tile scale, no entry bounded by amax can saturate or overflow the
+  // format (|v|/s <= amax/s <= max/2 < max).
+  std::uint32_t s32 = 0x1B873593u;
+  for (int i = 0; i < 20000; ++i) {
+    s32 = s32 * 1664525u + 1013904223u;
+    const float amax = std::fabs(std::bit_cast<float>(s32 & 0x7FFFFFFFu));
+    if (!(amax > 0.0f) || !std::isfinite(amax)) {
+      continue;
+    }
+    const float s = lowp::tileScale(amax, fp8e4m3::maxFinite());
+    const fp8e4m3 top(amax / s);
+    ASSERT_FALSE(top.isNan());
+    ASSERT_LT(std::fabs(top.toFloat()), fp8e4m3::maxFinite());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ladder metadata: specs agree with the storage types, the rung order is
+// by unit roundoff, and names round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(PrecisionSpec, AgreesWithStorageTypes) {
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp16).maxFinite,
+            half16::maxFinite());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp16).unitRoundoff,
+            half16::epsilonUnit());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kBf16).maxFinite,
+            bfloat16::maxFinite());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kBf16).unitRoundoff,
+            bfloat16::epsilonUnit());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E4M3).maxFinite,
+            fp8e4m3::maxFinite());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E4M3).unitRoundoff,
+            fp8e4m3::epsilonUnit());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E5M2).maxFinite,
+            fp8e5m2::maxFinite());
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E5M2).unitRoundoff,
+            fp8e5m2::epsilonUnit());
+  // Tile-scale requirements match the compile-time traits.
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp16).needsTileScale,
+            lowp::StorageTraits<half16>::kNeedsTileScale);
+  EXPECT_EQ(lowp::spec(StoragePrecision::kBf16).needsTileScale,
+            lowp::StorageTraits<bfloat16>::kNeedsTileScale);
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E4M3).needsTileScale,
+            lowp::StorageTraits<fp8e4m3>::kNeedsTileScale);
+  EXPECT_EQ(lowp::spec(StoragePrecision::kFp8E5M2).needsTileScale,
+            lowp::StorageTraits<fp8e5m2>::kNeedsTileScale);
+}
+
+TEST(PrecisionSpec, NamesRoundTrip) {
+  for (StoragePrecision p : lowp::ladderRungs()) {
+    EXPECT_EQ(lowp::precisionFromString(lowp::toString(p)), p);
+  }
+  EXPECT_THROW((void)lowp::precisionFromString("fp4"), CheckError);
+  EXPECT_THROW((void)lowp::precisionFromString(""), CheckError);
+}
+
+TEST(PrecisionSpec, LadderClimbsTowardFp16) {
+  const auto& rungs = lowp::ladderRungs();
+  ASSERT_EQ(rungs.size(), 4u);
+  // ladderRungs is ordered by strictly decreasing unit roundoff
+  // (cheapest first), and nextRungUp follows exactly that order.
+  for (std::size_t i = 0; i + 1 < rungs.size(); ++i) {
+    EXPECT_GT(lowp::spec(rungs[i]).unitRoundoff,
+              lowp::spec(rungs[i + 1]).unitRoundoff);
+    const auto up = lowp::nextRungUp(rungs[i]);
+    ASSERT_TRUE(up.has_value());
+    EXPECT_EQ(*up, rungs[i + 1]);
+  }
+  EXPECT_EQ(rungs.back(), StoragePrecision::kFp16);
+  EXPECT_FALSE(lowp::nextRungUp(StoragePrecision::kFp16).has_value());
+}
+
+}  // namespace
+}  // namespace hplmxp

@@ -1,0 +1,249 @@
+// Regression tests of the adaptive precision controller on CALIBRATED
+// conditioning regimes (n=256, b=32, seed=7; see doc/PRECISION.md):
+//
+//   diagShift = +N (default) -> dominance ~3.9: every rung converges; the
+//                               controller opens at fp8e5m2.
+//   diagShift = 8.0          -> dominance ~0.12: all rungs converge, FP8
+//                               slowly (6-7 iterations).
+//   diagShift = 4.0          -> dominance ~0.057: BOTH FP8 rungs diverge,
+//                               BF16 converges slowly (~19 iterations),
+//                               FP16 quickly (~7) — the cliff that forces
+//                               escalation.
+//   diagShift = 3.0          -> dominance ~0.042: classical IR on fp16
+//                               factors diverges; GMRES-IR on the same
+//                               factors rescues the solve.
+//   diagShift = 2.0          -> dominance <0.04: the probe routes straight
+//                               to fp16 + GMRES-IR.
+//
+// Everything the controller reports — rung sequence, iteration counts,
+// residual trajectories — must be bitwise reproducible across thread
+// counts: the kernels' order-exactness contract composed through factor,
+// IR, and GMRES.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/precision_ladder.h"
+#include "core/single_solver.h"
+#include "gen/matgen.h"
+#include "lowp/precision.h"
+
+namespace hplmxp {
+namespace {
+
+using lowp::StoragePrecision;
+
+constexpr index_t kN = 256;
+constexpr index_t kB = 32;
+constexpr std::uint64_t kSeed = 7;
+
+/// FP64 row-regenerated infinity-norm residual of the returned iterate.
+double residualInf(const ProblemGenerator& gen, const std::vector<double>& x) {
+  const index_t n = gen.n();
+  double rInf = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    double acc = gen.rhs(i);
+    for (index_t j = 0; j < n; ++j) {
+      acc -= gen.entry(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    rInf = std::max(rInf, std::fabs(acc));
+  }
+  return rInf;
+}
+
+TEST(Probe, DeterministicAndMonotoneInShift) {
+  // The probe is a pure function of (seed, n, diagShift): repeated calls
+  // agree exactly, and stronger diagonal shifts probe more dominant.
+  const ProblemGenerator weak(kSeed, kN, 4.0);
+  const ProblemGenerator strong(kSeed, kN, 8.0);
+  const ConditioningProbe p1 = probeConditioning(weak);
+  const ConditioningProbe p2 = probeConditioning(weak);
+  EXPECT_EQ(p1.minDominance, p2.minDominance);
+  EXPECT_EQ(p1.rowsSampled, p2.rowsSampled);
+  EXPECT_GT(p1.rowsSampled, 0);
+  EXPECT_LT(p1.minDominance, probeConditioning(strong).minDominance);
+  // Benchmark default (+N) is strongly dominant.
+  const ProblemGenerator easy(kSeed, kN);
+  EXPECT_GT(probeConditioning(easy).minDominance, 1.0);
+}
+
+TEST(Probe, ChoiceThresholdsMatchCalibration) {
+  auto choose = [](double dominance) {
+    ConditioningProbe p;
+    p.minDominance = dominance;
+    p.rowsSampled = 8;
+    return chooseRung(p);
+  };
+  // Strong dominance -> cheapest rung, classical IR.
+  EXPECT_EQ(choose(3.9).rung, StoragePrecision::kFp8E5M2);
+  EXPECT_EQ(choose(3.9).refiner, LadderRefiner::kIr);
+  EXPECT_EQ(choose(1.0).rung, StoragePrecision::kFp8E4M3);
+  EXPECT_EQ(choose(0.3).rung, StoragePrecision::kBf16);
+  // Below the BF16 band: fp16.
+  EXPECT_EQ(choose(0.1).rung, StoragePrecision::kFp16);
+  EXPECT_EQ(choose(0.1).refiner, LadderRefiner::kIr);
+  // Hostile conditioning routes straight to the GMRES-IR fallback.
+  EXPECT_EQ(choose(0.03).rung, StoragePrecision::kFp16);
+  EXPECT_EQ(choose(0.03).refiner, LadderRefiner::kGmresIr);
+}
+
+TEST(Ladder, DefaultProblemOpensAtFp8AndConverges) {
+  // The benchmark configuration (+N shift) is the frontier case: the
+  // controller must pick the cheapest rung and converge there, with no
+  // escalations — this is where FP8 pays its 2x GEMM throughput.
+  const ProblemGenerator gen(kSeed, kN);
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.startRung, StoragePrecision::kFp8E5M2);
+  EXPECT_EQ(r.finalRung, StoragePrecision::kFp8E5M2);
+  EXPECT_EQ(r.escalations, 0);
+  EXPECT_FALSE(r.usedGmres);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_LE(r.attempts[0].irIterations, 6);
+  EXPECT_LT(r.residualInf, r.threshold);
+  // The returned iterate really solves the system.
+  EXPECT_LT(residualInf(gen, r.x), r.threshold);
+}
+
+TEST(Ladder, CliffRegimeEscalatesFp8ToBf16) {
+  // diagShift=4.0: both FP8 rungs diverge, BF16 converges. Forcing the
+  // start at the bottom rung must climb exactly fp8e5m2 -> fp8e4m3 ->
+  // bf16, recording a divergence at each abandoned rung.
+  const ProblemGenerator gen(kSeed, kN, 4.0);
+  LadderPolicy policy;
+  policy.forcedStart = StoragePrecision::kFp8E5M2;
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd, policy);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.startRung, StoragePrecision::kFp8E5M2);
+  EXPECT_EQ(r.finalRung, StoragePrecision::kBf16);
+  EXPECT_EQ(r.escalations, 2);
+  EXPECT_FALSE(r.usedGmres);
+  ASSERT_EQ(r.attempts.size(), 3u);
+  EXPECT_EQ(r.attempts[0].precision, StoragePrecision::kFp8E5M2);
+  EXPECT_FALSE(r.attempts[0].converged);
+  EXPECT_EQ(r.attempts[1].precision, StoragePrecision::kFp8E4M3);
+  EXPECT_FALSE(r.attempts[1].converged);
+  EXPECT_EQ(r.attempts[2].precision, StoragePrecision::kBf16);
+  EXPECT_TRUE(r.attempts[2].converged);
+  // BF16 converges but needs notably more IR than fp16 would (~19 vs ~7):
+  // the accuracy/cost trade the ladder exists to navigate.
+  EXPECT_GE(r.attempts[2].irIterations, 12);
+  EXPECT_LT(r.residualInf, r.threshold);
+  EXPECT_LT(residualInf(gen, r.x), r.threshold);
+}
+
+TEST(Ladder, CliffRegimeAdaptiveChoiceAvoidsTheClimb) {
+  // Left adaptive, the probe must see the cliff (dominance ~0.057 < the
+  // 0.15 BF16 floor) and open at fp16 directly — no wasted factorizations.
+  const ProblemGenerator gen(kSeed, kN, 4.0);
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.startRung, StoragePrecision::kFp16);
+  EXPECT_EQ(r.escalations, 0);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_LE(r.attempts[0].irIterations, 10);
+}
+
+TEST(Ladder, HostileRegimeRescuedByGmres) {
+  // diagShift=3.0: classical IR diverges even on fp16 factors; the
+  // controller must fall back to GMRES-IR on the same factors and still
+  // meet the HPL-AI criterion.
+  const ProblemGenerator gen(kSeed, kN, 3.0);
+  LadderPolicy policy;
+  policy.forcedStart = StoragePrecision::kFp16;
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd, policy);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.finalRung, StoragePrecision::kFp16);
+  EXPECT_TRUE(r.usedGmres);
+  ASSERT_GE(r.attempts.size(), 2u);
+  EXPECT_FALSE(r.attempts.front().converged);
+  EXPECT_EQ(r.attempts.back().refiner, LadderRefiner::kGmresIr);
+  EXPECT_TRUE(r.attempts.back().converged);
+  EXPECT_LT(residualInf(gen, r.x), r.threshold);
+}
+
+TEST(Ladder, ExtremeRegimeRoutesStraightToGmres) {
+  // diagShift=2.0 probes below the GMRES threshold: no classical IR
+  // attempt at all, one factorization, GMRES-IR converges.
+  const ProblemGenerator gen(kSeed, kN, 2.0);
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.usedGmres);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_EQ(r.attempts[0].refiner, LadderRefiner::kGmresIr);
+  EXPECT_LT(residualInf(gen, r.x), r.threshold);
+}
+
+TEST(Ladder, GmresDisabledReportsHonestFailure) {
+  // With the fallback off, the hostile regime must NOT claim convergence
+  // (and must still return its best-effort iterate and trajectory).
+  const ProblemGenerator gen(kSeed, kN, 3.0);
+  LadderPolicy policy;
+  policy.forcedStart = StoragePrecision::kFp16;
+  policy.allowGmres = false;
+  const LadderResult r = solveLadderSingle(gen, kB, Vendor::kAmd, policy);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.usedGmres);
+  ASSERT_FALSE(r.attempts.empty());
+  EXPECT_FALSE(r.attempts.back().residualHistory.empty());
+}
+
+TEST(Ladder, DeterministicAcrossRepeatsAndRegimes) {
+  // The whole adaptive trajectory — rung sequence, per-rung iteration
+  // counts, every residual in every history — is bitwise reproducible.
+  // (Thread-count invariance of the underlying kernels is proven in the
+  // GEMM/cast suites; here we pin the composed controller, whose solver
+  // builds its own pools, by exact repetition.)
+  for (double shift : {-1.0, 8.0, 4.0, 3.0, 2.0}) {
+    const ProblemGenerator gen(kSeed, kN, shift);
+    LadderPolicy policy;
+    if (shift == 4.0) {
+      policy.forcedStart = StoragePrecision::kFp8E5M2;  // exercise the climb
+    }
+    const LadderResult r1 = solveLadderSingle(gen, kB, Vendor::kAmd, policy);
+    const LadderResult r2 = solveLadderSingle(gen, kB, Vendor::kAmd, policy);
+    EXPECT_EQ(r1.converged, r2.converged) << "shift=" << shift;
+    EXPECT_EQ(r1.startRung, r2.startRung) << "shift=" << shift;
+    EXPECT_EQ(r1.finalRung, r2.finalRung) << "shift=" << shift;
+    EXPECT_EQ(r1.escalations, r2.escalations) << "shift=" << shift;
+    EXPECT_EQ(r1.probe.minDominance, r2.probe.minDominance);
+    ASSERT_EQ(r1.attempts.size(), r2.attempts.size()) << "shift=" << shift;
+    for (std::size_t a = 0; a < r1.attempts.size(); ++a) {
+      const RungAttempt& a1 = r1.attempts[a];
+      const RungAttempt& a2 = r2.attempts[a];
+      EXPECT_EQ(a1.precision, a2.precision);
+      EXPECT_EQ(a1.refiner, a2.refiner);
+      EXPECT_EQ(a1.irIterations, a2.irIterations);
+      ASSERT_EQ(a1.residualHistory.size(), a2.residualHistory.size());
+      for (std::size_t i = 0; i < a1.residualHistory.size(); ++i) {
+        EXPECT_EQ(a1.residualHistory[i], a2.residualHistory[i])
+            << "shift=" << shift << " attempt=" << a << " iter=" << i;
+      }
+    }
+    ASSERT_EQ(r1.x.size(), r2.x.size());
+    for (std::size_t i = 0; i < r1.x.size(); ++i) {
+      EXPECT_EQ(r1.x[i], r2.x[i]) << "shift=" << shift << " i=" << i;
+    }
+  }
+}
+
+TEST(GmresSingle, RefinesFromZeroToThreshold) {
+  // Direct unit coverage of the single-device GMRES: hostile regime,
+  // fp16 factors, zero initial iterate.
+  const ProblemGenerator gen(kSeed, kN, 3.0);
+  Factorization f = factorMixedSingle(gen, kB, Vendor::kAmd);
+  std::vector<double> x(static_cast<std::size_t>(kN), 0.0);
+  const GmresSingleResult g = refineGmresSingle(f, gen, x);
+  EXPECT_TRUE(g.converged);
+  EXPECT_GT(g.iterations, 0);
+  EXPECT_LT(g.residualInf, g.threshold);
+  EXPECT_LT(residualInf(gen, x), g.threshold);
+  // The outer trajectory starts at the unrefined residual and ends below
+  // threshold: monotone progress overall (individual cycles may plateau).
+  ASSERT_GE(g.residualHistory.size(), 2u);
+  EXPECT_LT(g.residualHistory.back(), g.residualHistory.front());
+}
+
+}  // namespace
+}  // namespace hplmxp

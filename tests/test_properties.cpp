@@ -3,15 +3,21 @@
 // the kernels, and precision-loss bounds of the mixed factorization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "blas/blas.h"
+#include "blas/cast.h"
 #include "core/single_solver.h"
 #include "fp16/half.h"
 #include "gen/matgen.h"
+#include "lowp/scale.h"
+#include "lowp/traits.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace hplmxp {
 namespace {
@@ -179,6 +185,151 @@ TEST(Properties, RefinementContractsGeometrically) {
     EXPECT_LT(residuals[i], residuals[i - 1] * 1e-2)
         << "step " << i << ": " << residuals[i - 1] << " -> "
         << residuals[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cast-path properties across the storage ladder. The pack/cast kernels
+// are pure elementwise rounds (plus an order-free amax reduction in the
+// scaled flavors), so their results must be bitwise independent of
+// chunking and thread count and must match the scalar constructor.
+// ---------------------------------------------------------------------------
+
+template <typename TLow>
+void castMatchesScalarRounding() {
+  const index_t m = 37, n = 23, ldSrc = m + 5, ldDst = m + 2;
+  std::vector<float> src(static_cast<std::size_t>(ldSrc * n));
+  std::uint32_t s = 0xC0FFEE11u;
+  for (auto& v : src) {
+    s = s * 1664525u + 1013904223u;
+    v = -2.0f + 4.0f * static_cast<float>(s >> 8) / 16777216.0f;
+  }
+  std::vector<TLow> dst(static_cast<std::size_t>(ldDst * n));
+  ThreadPool wide(4);
+  blas::castToLowp<TLow>(m, n, src.data(), ldSrc, dst.data(), ldDst, &wide);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(dst[static_cast<std::size_t>(i + j * ldDst)].bits(),
+                TLow(src[static_cast<std::size_t>(i + j * ldSrc)]).bits())
+          << "i=" << i << " j=" << j;
+    }
+  }
+  // Transposing flavor: dst(j,i) = TLow(src(i,j)).
+  std::vector<TLow> dstT(static_cast<std::size_t>((n + 3) * m));
+  blas::transCastToLowp<TLow>(m, n, src.data(), ldSrc, dstT.data(), n + 3);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(dstT[static_cast<std::size_t>(j + i * (n + 3))].bits(),
+                TLow(src[static_cast<std::size_t>(i + j * ldSrc)]).bits())
+          << "i=" << i << " j=" << j;
+    }
+  }
+  // Widening back is the exact toFloat of every stored element.
+  std::vector<float> back(static_cast<std::size_t>(m * n));
+  blas::lowpToFloat<TLow>(m, n, dst.data(), ldDst, back.data(), m);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(back[static_cast<std::size_t>(i + j * m)],
+                dst[static_cast<std::size_t>(i + j * ldDst)].toFloat());
+    }
+  }
+}
+
+TEST(Properties, CastMatchesScalarRoundingAllRungs) {
+  castMatchesScalarRounding<half16>();
+  castMatchesScalarRounding<lowp::bfloat16>();
+  castMatchesScalarRounding<lowp::fp8e4m3>();
+  castMatchesScalarRounding<lowp::fp8e5m2>();
+}
+
+TEST(Properties, CastToHalfIsTheFp16Instantiation) {
+  const index_t m = 41, n = 19;
+  std::vector<float> src(static_cast<std::size_t>(m * n));
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = std::sin(0.37 * static_cast<double>(i)) * 3.0f;
+  }
+  std::vector<half16> viaLegacy(src.size()), viaTemplate(src.size());
+  blas::castToHalf(m, n, src.data(), m, viaLegacy.data(), m);
+  blas::castToLowp<half16>(m, n, src.data(), m, viaTemplate.data(), m);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(viaLegacy[i].bits(), viaTemplate[i].bits());
+  }
+}
+
+template <typename TLow>
+void scaledCastProperties() {
+  const index_t m = 53, n = 31;
+  std::vector<float> src(static_cast<std::size_t>(m * n));
+  std::uint32_t s = 0xDEADBEEFu;
+  float amax = 0.0f;
+  for (auto& v : src) {
+    s = s * 1664525u + 1013904223u;
+    // Values spanning far past the FP8 range so scaling must engage.
+    v = (-0.5f + static_cast<float>(s >> 8) / 16777216.0f) * 5.0e4f;
+    amax = std::max(amax, std::fabs(v));
+  }
+
+  std::vector<TLow> dst(src.size());
+  const float scale =
+      blas::castToLowpScaled<TLow>(m, n, src.data(), m, dst.data(), m);
+
+  // The scale is the tile's amax run through lowp::tileScale: an exact
+  // power of two landing amax/s in (max/4, max/2], so no element can
+  // saturate.
+  EXPECT_EQ(scale, lowp::tileScale(amax, TLow::maxFinite()));
+  int e = 0;
+  EXPECT_EQ(std::frexp(scale, &e), 0.5f);
+  EXPECT_GT(amax / scale, TLow::maxFinite() / 4.0f);
+  EXPECT_LE(amax / scale, TLow::maxFinite() / 2.0f);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i].bits(), TLow(src[i] / scale).bits()) << "i=" << i;
+    EXPECT_FALSE(dst[i].isNan());
+    EXPECT_FALSE(dst[i].isInf());
+  }
+
+  // Thread-count invariance: the amax reduction is order-free, so scale
+  // and stored bits are identical for any pool.
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+  std::vector<TLow> dst1(src.size()), dst4(src.size());
+  const float s1 = blas::castToLowpScaled<TLow>(m, n, src.data(), m,
+                                                dst1.data(), m, &serial);
+  const float s4 = blas::castToLowpScaled<TLow>(m, n, src.data(), m,
+                                                dst4.data(), m, &wide);
+  EXPECT_EQ(s1, scale);
+  EXPECT_EQ(s4, scale);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst1[i].bits(), dst[i].bits());
+    EXPECT_EQ(dst4[i].bits(), dst[i].bits());
+  }
+
+  // Transposing flavor: same scale, transposed placement.
+  std::vector<TLow> dstT(src.size());
+  const float sT = blas::transCastToLowpScaled<TLow>(m, n, src.data(), m,
+                                                     dstT.data(), n);
+  EXPECT_EQ(sT, scale);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      EXPECT_EQ(dstT[static_cast<std::size_t>(j + i * n)].bits(),
+                dst[static_cast<std::size_t>(i + j * m)].bits());
+    }
+  }
+}
+
+TEST(Properties, ScaledCastAcrossFp8Rungs) {
+  scaledCastProperties<lowp::fp8e4m3>();
+  scaledCastProperties<lowp::fp8e5m2>();
+}
+
+TEST(Properties, ScaledCastZeroTileUsesUnitScale) {
+  const index_t m = 8, n = 8;
+  std::vector<float> src(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<lowp::fp8e4m3> dst(src.size());
+  const float s = blas::castToLowpScaled<lowp::fp8e4m3>(m, n, src.data(), m,
+                                                        dst.data(), m);
+  EXPECT_EQ(s, 1.0f);
+  for (const auto& v : dst) {
+    EXPECT_EQ(v.toFloat(), 0.0f);
   }
 }
 
