@@ -20,6 +20,7 @@
 
 #include "bench_util.h"
 #include "serve/engine.h"
+#include "serve/fleet/fleet.h"
 #include "serve/trace_io.h"
 #include "simmpi/faults.h"
 #include "util/table.h"
@@ -53,6 +54,39 @@ ServeReport replay(const RequestTrace& trace, ServeConfig cfg) {
   }
   engine.drain();
   ServeReport r = engine.report();
+  r.trace = trace.name;
+  return r;
+}
+
+/// Replays `trace` through a sharded fleet, optionally circuit-breaking
+/// shard 0 for the middle third of the arrivals (drain + re-route).
+serve::FleetReport fleetReplay(const RequestTrace& trace,
+                               serve::FleetConfig cfg, bool degrade) {
+  serve::FleetEngine fleet(std::move(cfg));
+  Timer clock;
+  const std::size_t total = trace.requests.size();
+  for (std::size_t i = 0; i < total; ++i) {
+    if (degrade && i == total / 3) {
+      fleet.breakShard(0);
+    }
+    if (degrade && i == 2 * total / 3) {
+      fleet.unbreakShard(0);
+    }
+    const TraceRequest& tr = trace.requests[i];
+    const double at = tr.atMs * 1e-3;
+    const double nowS = clock.seconds();
+    if (at > nowS) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(at - nowS));
+    }
+    SolveRequest req;
+    req.key = {tr.n, tr.b, tr.seed, tr.pr, tr.pc,
+               HplaiConfig::Scheduler::kBulk};
+    req.rhsSeed = tr.rhsSeed;
+    req.deadlineSeconds = tr.deadlineMs * 1e-3;
+    fleet.submit(req);
+  }
+  fleet.drain();
+  serve::FleetReport r = fleet.report();
   r.trace = trace.name;
   return r;
 }
@@ -199,6 +233,40 @@ int main() {
   std::printf("breaker: healthy p99 %.2f ms vs baseline %.2f ms (%.2fx)\n",
               breakerP99, baselineP99,
               baselineP99 > 0.0 ? breakerP99 / baselineP99 : 0.0);
+
+  // Sweep 5: the sharded fleet. The same stream over 1/2/3 shards (each
+  // on its own rank grid), plus a degraded 3-shard run with shard 0
+  // circuit-broken for the middle third of the arrivals. Answers are
+  // bitwise-invariant to sharding (tests/test_fleet.cpp proves it); this
+  // sweep records what sharding costs and what degradation does to the
+  // ledger — dropped must be 0 in every row.
+  Table fleetSweep({"fleet", "completed", "p50 ms", "p99 ms", "hit rate",
+                    "reroutes", "dropped"});
+  for (const index_t shards : {index_t{1}, index_t{2}, index_t{3}}) {
+    for (const bool degrade : {false, true}) {
+      if (degrade && shards < 3) {
+        continue;
+      }
+      serve::FleetConfig cfg;
+      cfg.shards = shards;
+      cfg.groupSize = 2;
+      cfg.health.openSeconds = 60.0;  // broken until explicitly unbroken
+      cfg.shard.maxBatchDelaySeconds = 500e-6;
+      const serve::FleetReport r = fleetReplay(
+          serve::makeSyntheticTrace(kRequests, kKeys, 0.25, kN, kB, 21),
+          std::move(cfg), degrade);
+      fleetSweep.addRow(
+          {Table::num((long long)shards) + " shard" + (shards > 1 ? "s" : "") +
+               (degrade ? " (degraded)" : ""),
+           Table::num((long long)r.fleet.completed),
+           Table::num(r.fleet.total.p50Ms, 2),
+           Table::num(r.fleet.total.p99Ms, 2),
+           Table::num(r.fleet.cache.hitRate() * 100.0, 1) + "%",
+           Table::num((long long)r.reroutes),
+           Table::num((long long)r.dropped)});
+    }
+  }
+  fleetSweep.print();
 
   headline.trace = "bench-serve-headline";
   serve::writeReportFile("BENCH_serve.json", headline.toJson());

@@ -16,6 +16,7 @@
 #include "core/single_solver.h"
 #include "core/verify.h"
 #include "serve/engine.h"
+#include "serve/fleet/fleet.h"
 #include "serve/trace_io.h"
 #include "device/shim.h"
 #include "machine/variability.h"
@@ -855,48 +856,58 @@ int cmdServe(const Options& raw) {
   HPLMXP_REQUIRE(speedup > 0.0, "--speedup must be positive");
   const std::string jsonPath = opts.getString("json", "BENCH_serve.json");
   const index_t verifyCount = opts.getInt("verify", 0);
+
+  // Sharded fleet (--shards > 1): the same trace fans out over N
+  // ServeEngines behind the consistent-hash router, each on its own
+  // simmpi rank grid. The chaos schedule breaks/crashes/resurrects
+  // shards at request indices so CI can replay through degradation.
+  const index_t shards = opts.getInt("shards", 1);
+  serve::FleetConfig fcfg;
+  index_t breakAt = -1;
+  index_t breakWho = 0;
+  index_t crashAt = -1;
+  index_t crashWho = 0;
+  index_t resurrectAt = -1;
+  if (shards > 1) {
+    fcfg.shards = shards;
+    fcfg.virtualNodes = opts.getInt("serve.shards.virtual-nodes", 64);
+    fcfg.groupSize = opts.getInt("serve.shards.group-size", 2);
+    fcfg.fleetCacheBytes = scfg.cacheBytes;  // fleet-wide, split per shard
+    fcfg.hotKeyRequests = opts.getInt("serve.shards.hot-requests", 0);
+    fcfg.hotReplicas = opts.getInt("serve.shards.hot-replicas", 2);
+    fcfg.failoverLimit = opts.getInt("serve.shards.failover-limit", 2);
+    fcfg.health.openSeconds =
+        opts.getDouble("serve.shards.open-ms", 50.0) * 1e-3;
+    fcfg.groupOptions.timeout = std::chrono::milliseconds(
+        opts.getInt("serve.shards.timeout-ms", 5000));
+    breakAt = opts.getInt("break-at", -1);
+    breakWho = opts.getInt("break-shard", 0);
+    crashAt = opts.getInt("crash-at", -1);
+    crashWho = opts.getInt("crash-shard", shards - 1);
+    resurrectAt = opts.getInt("resurrect-at", -1);
+    HPLMXP_REQUIRE(breakWho >= 0 && breakWho < shards &&
+                       crashWho >= 0 && crashWho < shards,
+                   "--break-shard/--crash-shard out of range");
+  }
   warnUnused(opts);
 
-  std::printf("hplmxp serve: trace=%s requests=%zu workers=%lld batch=%lld "
-              "queue=%lld chaos=%s\n",
+  std::printf("hplmxp serve: trace=%s requests=%zu shards=%lld "
+              "workers=%lld batch=%lld queue=%lld chaos=%s\n",
               trace.name.c_str(), trace.requests.size(),
+              (long long)(shards > 1 ? shards : 1),
               (long long)scfg.workers, (long long)scfg.maxBatch,
               (long long)scfg.queueDepth, chaosName.c_str());
 
   const Vendor vendor = scfg.vendor;
   const index_t maxIr = scfg.maxIrIterations;
-  serve::ServeEngine engine(std::move(scfg));
-
-  // Open-loop replay: arrivals follow the trace clock (divided by
-  // --speedup), regardless of how far the engine has gotten.
-  std::vector<std::pair<serve::SolveRequest, serve::ServeEngine::HandlePtr>>
-      handles;
-  handles.reserve(trace.requests.size());
-  Timer replay;
-  for (const serve::TraceRequest& tr : trace.requests) {
-    const double at = tr.atMs * 1e-3 / speedup;
-    const double nowS = replay.seconds();
-    if (at > nowS) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(at - nowS));
-    }
-    serve::SolveRequest req;
-    req.key = {tr.n, tr.b, tr.seed, tr.pr, tr.pc,
-               HplaiConfig::Scheduler::kBulk, tr.precision};
-    req.rhsSeed = tr.rhsSeed;
-    req.deadlineSeconds = tr.deadlineMs * 1e-3;
-    handles.emplace_back(req, engine.submit(req));
-  }
-  engine.drain();
-
-  serve::ServeReport report = engine.report();
-  report.trace = trace.name;
-  report.toTable().print();
-  serve::writeReportFile(jsonPath, report.toJson());
-  std::printf("wrote %s\n", jsonPath.c_str());
 
   // Bitwise spot-check: completed requests must match an independent
-  // factor + single-RHS refinement of the same (key, rhs seed).
-  if (verifyCount > 0) {
+  // factor + single-RHS refinement of the same (key, rhs seed). Works on
+  // both handle flavors (engine and fleet expose wait()/solution()).
+  const auto verifyServed = [&](const auto& handles) -> int {
+    if (verifyCount <= 0) {
+      return 0;
+    }
     index_t checked = 0;
     index_t mismatched = 0;
     for (const auto& [req, handle] : handles) {
@@ -920,11 +931,90 @@ int cmdServe(const Options& raw) {
     std::printf("verify: %lld served solutions re-checked bitwise, "
                 "%lld mismatched\n",
                 (long long)checked, (long long)mismatched);
-    if (mismatched > 0) {
-      return 1;
+    return mismatched > 0 ? 1 : 0;
+  };
+
+  const auto toRequest = [](const serve::TraceRequest& tr) {
+    serve::SolveRequest req;
+    req.key = {tr.n, tr.b, tr.seed, tr.pr, tr.pc,
+               HplaiConfig::Scheduler::kBulk, tr.precision};
+    req.rhsSeed = tr.rhsSeed;
+    req.deadlineSeconds = tr.deadlineMs * 1e-3;
+    return req;
+  };
+
+  if (shards > 1) {
+    fcfg.shard = std::move(scfg);
+    serve::FleetEngine fleet(std::move(fcfg));
+    std::vector<std::pair<serve::SolveRequest,
+                          serve::FleetEngine::HandlePtr>> handles;
+    handles.reserve(trace.requests.size());
+    Timer replay;
+    index_t i = 0;
+    for (const serve::TraceRequest& tr : trace.requests) {
+      if (i == breakAt) {
+        fleet.breakShard(breakWho);
+      }
+      if (i == crashAt) {
+        fleet.crashShard(crashWho);
+      }
+      if (i == resurrectAt) {
+        if (crashAt >= 0) {
+          fleet.resurrectShard(crashWho);
+        }
+        if (breakAt >= 0) {
+          fleet.unbreakShard(breakWho);
+        }
+      }
+      const double at = tr.atMs * 1e-3 / speedup;
+      const double nowS = replay.seconds();
+      if (at > nowS) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(at - nowS));
+      }
+      const serve::SolveRequest req = toRequest(tr);
+      handles.emplace_back(req, fleet.submit(req));
+      ++i;
     }
+    fleet.drain();
+
+    serve::FleetReport report = fleet.report();
+    report.trace = trace.name;
+    report.toTable().print();
+    serve::writeReportFile(jsonPath, report.toJson());
+    std::printf("wrote %s\n", jsonPath.c_str());
+    const int bad = verifyServed(handles);
+    return bad != 0 || report.dropped != 0 || report.doubleAnswered != 0 ||
+                   !report.cacheLookupInvariant
+               ? 1
+               : 0;
   }
-  return 0;
+
+  serve::ServeEngine engine(std::move(scfg));
+
+  // Open-loop replay: arrivals follow the trace clock (divided by
+  // --speedup), regardless of how far the engine has gotten.
+  std::vector<std::pair<serve::SolveRequest, serve::ServeEngine::HandlePtr>>
+      handles;
+  handles.reserve(trace.requests.size());
+  Timer replay;
+  for (const serve::TraceRequest& tr : trace.requests) {
+    const double at = tr.atMs * 1e-3 / speedup;
+    const double nowS = replay.seconds();
+    if (at > nowS) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(at - nowS));
+    }
+    const serve::SolveRequest req = toRequest(tr);
+    handles.emplace_back(req, engine.submit(req));
+  }
+  engine.drain();
+
+  serve::ServeReport report = engine.report();
+  report.trace = trace.name;
+  report.toTable().print();
+  serve::writeReportFile(jsonPath, report.toJson());
+  std::printf("wrote %s\n", jsonPath.c_str());
+  return verifyServed(handles);
 }
 
 int cmdSpecs(const Options& raw) {
@@ -999,7 +1089,15 @@ std::string usage() {
       "            --serve.cache-mb --serve.queue-depth --serve.batch\n"
       "            --serve.batch-delay-us --serve.deadline-ms\n"
       "            --serve.workers --serve.retries\n"
-      "            --serve.chaos none|delay|transient --serve.chaos-seed)\n"
+      "            --serve.chaos none|delay|transient --serve.chaos-seed\n"
+      "            sharded fleet: --shards N\n"
+      "            --serve.shards.virtual-nodes --serve.shards.group-size\n"
+      "            --serve.shards.hot-requests --serve.shards.hot-replicas\n"
+      "            --serve.shards.failover-limit --serve.shards.open-ms\n"
+      "            --serve.shards.timeout-ms\n"
+      "            chaos schedule (request indices):\n"
+      "            --break-at --break-shard --crash-at --crash-shard\n"
+      "            --resurrect-at)\n"
       "  specs    print machine specs and the BLAS dispatch map\n"
       "  help     this text\n";
 }

@@ -44,15 +44,35 @@ bool ServeEngine::Handle::done() const {
   return done_;
 }
 
+void ServeEngine::Handle::onDone(std::function<void()> callback) {
+  bool already = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) {
+      already = true;  // fire below, outside the lock
+    } else {
+      onDone_ = std::move(callback);
+    }
+  }
+  if (already && callback) {
+    callback();
+  }
+}
+
 void ServeEngine::Handle::finish(RequestOutcome outcome,
                                  std::vector<double> solution) {
+  std::function<void()> callback;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     outcome_ = std::move(outcome);
     solution_ = std::move(solution);
     done_ = true;
+    callback = std::move(onDone_);
   }
   cv_.notify_all();
+  if (callback) {
+    callback();
+  }
 }
 
 ServeEngine::ServeEngine(ServeConfig config, ThreadPool* pool)
@@ -380,6 +400,9 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
 
   try {
     const FactorCache::Fetch fetch = cache_.getOrFactor(key, [&] {
+      if (config_.factorOverride) {
+        return config_.factorOverride(key);
+      }
       ProblemGenerator gen(key.seed, key.n);
       return factorStorageSingle(gen, key.b, config_.vendor, key.precision);
     });

@@ -92,6 +92,13 @@ struct ServeConfig {
   /// deterministic stand-in for a poisoned factorization). Failures flow
   /// through the normal retry-then-breaker path.
   std::function<bool(const ProblemKey&)> keyFaultHook;
+
+  /// When set, cache misses run this instead of the built-in single-device
+  /// factorization. The fleet tier points it at a simmpi rank-group job so
+  /// a shard's factorizations execute on (and crash with) its rank grid.
+  /// Must produce a Factorization for exactly the given key; exceptions
+  /// flow through the normal retry-then-breaker path.
+  std::function<Factorization(const ProblemKey&)> factorOverride;
 };
 
 class ServeEngine {
@@ -107,6 +114,17 @@ class ServeEngine {
     [[nodiscard]] const std::vector<double>& solution() const {
       return solution_;
     }
+    /// Terminal outcome; valid once done() is true.
+    [[nodiscard]] const RequestOutcome& outcome() const { return outcome_; }
+
+    /// Registers a completion callback, invoked exactly once when the
+    /// request reaches a terminal status — immediately if it already has
+    /// (submit() returns terminal handles for admission rejections). The
+    /// callback runs on the finishing thread (or the caller, for the
+    /// already-done case) with no engine lock held; the fleet router uses
+    /// it to fail requests over between shards without a thread per
+    /// request. One callback per handle.
+    void onDone(std::function<void()> callback);
 
    private:
     friend class ServeEngine;
@@ -116,6 +134,7 @@ class ServeEngine {
     bool done_ = false;
     RequestOutcome outcome_;
     std::vector<double> solution_;
+    std::function<void()> onDone_;
   };
   using HandlePtr = std::shared_ptr<Handle>;
 
@@ -144,6 +163,12 @@ class ServeEngine {
 
   [[nodiscard]] ServeReport report() const;
   [[nodiscard]] const FactorCache& cache() const { return cache_; }
+  /// Fleet hooks: eviction listener pass-through and crash simulation
+  /// (a crashed shard loses its resident factors).
+  void setCacheEvictionListener(std::function<void(const ProblemKey&)> fn) {
+    cache_.setEvictionListener(std::move(fn));
+  }
+  void clearCache() { cache_.clear(); }
   [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
   /// True while enough circuits are open to shed batching and shrink
   /// deadlines (ServeConfig::degradedOpenBreakers).

@@ -12,6 +12,7 @@ FactorCache::FactorCache(std::size_t budgetBytes)
 FactorCache::Fetch FactorCache::getOrFactor(
     const ProblemKey& key, const std::function<Factorization()>& factorFn) {
   std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.lookups;
   while (true) {
     auto it = entries_.find(key);
     if (it != entries_.end() && !it->second.inFlight) {
@@ -31,6 +32,10 @@ FactorCache::Fetch FactorCache::getOrFactor(
       const auto cur = entries_.find(key);
       if (cur != entries_.end() && !cur->second.inFlight) {
         cur->second.lastUse = ++useClock_;
+        // A coalesced wait that lands on a ready entry is a hit like any
+        // other — without this, hits + misses undercounts lookups and the
+        // CI-gated hit rate misreports under contention.
+        ++stats_.hits;
         return Fetch{cur->second.value, true, 0.0};
       }
       continue;  // withdrawn — race to become the factoring caller
@@ -67,6 +72,12 @@ FactorCache::Fetch FactorCache::getOrFactor(
     cv_.notify_all();
     return Fetch{produced, false, factorSeconds};
   }
+}
+
+void FactorCache::setEvictionListener(
+    std::function<void(const ProblemKey&)> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evictionListener_ = std::move(listener);
 }
 
 std::shared_ptr<const Factorization> FactorCache::peek(const ProblemKey& key) {
@@ -133,6 +144,9 @@ void FactorCache::evictForBudgetLocked() {
       return;  // only in-flight entries left; nothing evictable
     }
     bytesInUse_ -= victim->second.bytes;
+    if (evictionListener_) {
+      evictionListener_(victim->first);
+    }
     entries_.erase(victim);
     ++stats_.evictions;
   }

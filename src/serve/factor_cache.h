@@ -29,19 +29,18 @@ namespace hplmxp::serve {
 class FactorCache {
  public:
   struct Stats {
-    std::uint64_t hits = 0;        // ready entry found
+    std::uint64_t lookups = 0;     // getOrFactor calls; == hits + misses
+    std::uint64_t hits = 0;        // served from cache (ready or coalesced)
     std::uint64_t misses = 0;      // caller ran the factorization
-    std::uint64_t coalesced = 0;   // waited on another caller's in-flight
+    std::uint64_t coalesced = 0;   // wait events on another caller's flight
     std::uint64_t evictions = 0;   // LRU entries dropped for budget
     std::uint64_t factorCount = 0; // factorizations actually executed
     std::size_t bytesInUse = 0;    // ready entries currently resident
     std::size_t budgetBytes = 0;
 
     [[nodiscard]] double hitRate() const {
-      const std::uint64_t looked = hits + coalesced + misses;
-      return looked > 0
-                 ? static_cast<double>(hits + coalesced) /
-                       static_cast<double>(looked)
+      return lookups > 0
+                 ? static_cast<double>(hits) / static_cast<double>(lookups)
                  : 0.0;
     }
   };
@@ -67,6 +66,11 @@ class FactorCache {
   [[nodiscard]] std::shared_ptr<const Factorization> peek(
       const ProblemKey& key);
 
+  /// Called whenever a ready entry is evicted for budget (fleet-level
+  /// cache indices track per-shard residency through this). The listener
+  /// runs under the cache lock and must not call back into the cache.
+  void setEvictionListener(std::function<void(const ProblemKey&)> listener);
+
   [[nodiscard]] bool contains(const ProblemKey& key) const;
   [[nodiscard]] std::size_t size() const;  // ready entries
   [[nodiscard]] Stats stats() const;
@@ -88,6 +92,7 @@ class FactorCache {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<ProblemKey, Entry> entries_;
+  std::function<void(const ProblemKey&)> evictionListener_;
   std::uint64_t useClock_ = 0;
   std::size_t budgetBytes_;
   std::size_t bytesInUse_ = 0;

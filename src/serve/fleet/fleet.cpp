@@ -1,0 +1,491 @@
+#include "serve/fleet/fleet.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "gen/matgen.h"
+#include "serve/json.h"
+#include "util/logging.h"
+
+namespace hplmxp::serve {
+
+namespace {
+
+/// FNV-1a over the replicated factor panel: peers verify the broadcast
+/// arrived intact (an injected bit flip fails the job, which feeds the
+/// shard-health breaker like any other grid fault).
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h = (h ^ p[i]) * 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool contains(const std::vector<index_t>& v, index_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+// --- Handle ---------------------------------------------------------------
+
+const RequestOutcome& FleetEngine::Handle::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+  return outcome_;
+}
+
+bool FleetEngine::Handle::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+bool FleetEngine::Handle::publish(RequestOutcome outcome,
+                                  std::vector<double> solution) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_) {
+      return false;
+    }
+    outcome_ = std::move(outcome);
+    solution_ = std::move(solution);
+    done_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+// --- FleetEngine ----------------------------------------------------------
+
+FleetEngine::FleetEngine(FleetConfig config)
+    : config_(std::move(config)),
+      ring_(config_.shards, config_.virtualNodes),
+      health_(config_.health) {
+  HPLMXP_REQUIRE(config_.shards > 0, "fleet needs >= 1 shard");
+  HPLMXP_REQUIRE(config_.groupSize > 0, "fleet shards need >= 1 rank");
+  HPLMXP_REQUIRE(config_.failoverLimit >= 0,
+                 "failover limit must be >= 0");
+  HPLMXP_REQUIRE(config_.health.enabled,
+                 "fleet shard-health breaker cannot be disabled");
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (index_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = s;
+    // Sentinel keys live in n < 0 space so they can never collide with a
+    // servable key (admission rejects n <= 0).
+    shard->sentinel.n = -1 - s;
+    shard->group = std::make_unique<simmpi::RankGroup>(s, config_.groupSize,
+                                                       config_.groupOptions);
+    ServeConfig cfg = config_.shard;
+    cfg.cacheBytes = config_.fleetCacheBytes /
+                     static_cast<std::size_t>(config_.shards);
+    cfg.factorOverride = [this, s](const ProblemKey& key) {
+      return groupFactor(s, key);
+    };
+    shard->engine = std::make_unique<ServeEngine>(std::move(cfg));
+    shard->engine->setCacheEvictionListener(
+        [this, s](const ProblemKey& key) { index_.noteEviction(key, s); });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FleetEngine::~FleetEngine() { stop(); }
+
+Factorization FleetEngine::groupFactor(index_t shard, const ProblemKey& key) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  try {
+    Factorization out;
+    sh.group->runJob([&](simmpi::Comm& comm) {
+      const index_t n = key.n;
+      if (comm.rank() == 0) {
+        ProblemGenerator gen(key.seed, n);
+        Factorization f = factorStorageSingle(gen, key.b,
+                                              config_.shard.vendor,
+                                              key.precision);
+        if (comm.size() > 1) {
+          std::uint64_t sum = fnv1a(f.lu.data(), f.lu.bytes());
+          comm.bcast(0, f.lu.data(), n * n);
+          comm.bcast(0, &sum, 1);
+        }
+        out = std::move(f);
+      } else {
+        // Peers hold a verified replica of the panel: the broadcast is
+        // the crash/corruption surface an injected grid fault hits.
+        Buffer<float> replica(n * n);
+        comm.bcast(0, replica.data(), n * n);
+        std::uint64_t sum = 0;
+        comm.bcast(0, &sum, 1);
+        HPLMXP_REQUIRE(fnv1a(replica.data(), replica.bytes()) == sum,
+                       "fleet factor replication checksum mismatch");
+      }
+    });
+    HPLMXP_REQUIRE(out.n == key.n,
+                   "fleet factor job produced no factorization");
+    health_.onSuccess(sh.sentinel);
+    return out;
+  } catch (...) {
+    health_.onFailure(sh.sentinel, now());
+    if (!sh.group->alive()) {
+      markCrashed(shard);
+    }
+    throw;
+  }
+}
+
+void FleetEngine::markCrashed(index_t shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  if (!sh.crashed.exchange(true)) {
+    // A dead grid takes its resident factors with it: drop the shard's
+    // cache and withdraw its fleet-index placements so the router stops
+    // chasing factors that no longer exist.
+    sh.engine->clearCache();
+    index_.dropShard(shard);
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    logWarn("fleet: shard ", shard, " crashed (generation ",
+            sh.group->generation(), ")");
+  }
+}
+
+bool FleetEngine::shardRoutable(index_t shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  if (sh.crashed.load(std::memory_order_relaxed) || !sh.group->alive()) {
+    return false;
+  }
+  // The health breaker is the drain gate: an open circuit routes nothing
+  // (in-flight requests still finish on the shard), a half-open one
+  // admits its probe quota, a closed one routes freely.
+  return health_.allow(sh.sentinel, now());
+}
+
+index_t FleetEngine::pickShard(const ProblemKey& key, std::uint64_t count,
+                               const std::vector<index_t>& tried) {
+  const auto healthy = [&](index_t s) {
+    return !contains(tried, s) && shardRoutable(s);
+  };
+
+  // Hot keys spread round-robin across their ring successors so one
+  // popular factorization stops serializing on a single shard.
+  if (config_.hotKeyRequests > 0 && config_.hotReplicas > 1 &&
+      count >= static_cast<std::uint64_t>(config_.hotKeyRequests)) {
+    const std::vector<index_t> replicas =
+        ring_.successors(key, config_.hotReplicas, healthy);
+    if (!replicas.empty()) {
+      return replicas[count % replicas.size()];
+    }
+  }
+
+  // Cache affinity: prefer a shard that already holds the factors.
+  for (const index_t s : index_.placements(key)) {
+    if (healthy(s)) {
+      affinityHits_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+
+  const index_t chosen = ring_.route(key, healthy);
+  if (chosen >= 0 && chosen != ring_.route(key, nullptr)) {
+    // Routed off the all-up primary: the degraded-fleet detour counter.
+    reroutes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return chosen;
+}
+
+FleetEngine::HandlePtr FleetEngine::submit(const SolveRequest& request) {
+  auto handle = std::make_shared<Handle>();
+  SolveRequest req = request;
+  req.id = req.id != 0
+               ? req.id
+               : nextId_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HPLMXP_REQUIRE(!stopping_, "fleet is stopping");
+    ++outstanding_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const double submitAt = now();
+
+  const std::uint64_t count = index_.noteRequest(req.key);
+  const index_t target = pickShard(req.key, count, {});
+  if (target < 0) {
+    // Whole-fleet degradation: answer structurally, never hang.
+    RequestOutcome o;
+    o.id = req.id;
+    o.key = req.key;
+    o.rhsSeed = req.rhsSeed;
+    o.status = RequestStatus::kFailed;
+    o.error = "no healthy shard for key " + req.key.toString();
+    o.totalSeconds = now() - submitAt;
+    publishOutcome(handle, std::move(o), {});
+    return handle;
+  }
+  routeToShard(target, req, handle, submitAt, 0, {target});
+  return handle;
+}
+
+void FleetEngine::routeToShard(index_t shard, const SolveRequest& request,
+                               const HandlePtr& handle, double submitAt,
+                               index_t failovers,
+                               std::vector<index_t> tried) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  sh.routed.fetch_add(1, std::memory_order_relaxed);
+  ServeEngine::HandlePtr shardHandle = sh.engine->submit(request);
+  // The callback runs on the shard's finishing thread (or inline for
+  // admission rejections); a shard-side failure re-routes within the
+  // failover budget, everything else publishes the fleet answer exactly
+  // once.
+  shardHandle->onDone([this, shard, request, handle, submitAt, failovers,
+                       tried = std::move(tried), shardHandle]() mutable {
+    RequestOutcome o = shardHandle->outcome();
+    if (o.status == RequestStatus::kFailed &&
+        failovers < config_.failoverLimit) {
+      const index_t next =
+          pickShard(request.key, index_.requestCount(request.key), tried);
+      if (next >= 0) {
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        tried.push_back(next);
+        routeToShard(next, request, handle, submitAt, failovers + 1,
+                     std::move(tried));
+        return;
+      }
+    }
+    o.shard = shard;
+    o.failovers = failovers;
+    o.totalSeconds = now() - submitAt;  // fleet view: failover time counts
+    if (o.status == RequestStatus::kCompleted) {
+      index_.notePlacement(request.key, shard);
+    }
+    publishOutcome(handle, std::move(o),
+                   std::vector<double>(shardHandle->solution()));
+  });
+}
+
+void FleetEngine::publishOutcome(const HandlePtr& handle,
+                                 RequestOutcome outcome,
+                                 std::vector<double> solution) {
+  const RequestOutcome recorded = outcome;
+  if (!handle->publish(std::move(outcome), std::move(solution))) {
+    doubleAnswered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  recorder_.record(recorded);
+  answered_.fetch_add(1, std::memory_order_relaxed);
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle = --outstanding_ == 0;
+  }
+  if (idle) {
+    idleCv_.notify_all();
+  }
+}
+
+void FleetEngine::drain() {
+  for (const auto& sh : shards_) {
+    sh->engine->drain();
+  }
+  // Failover chains can still be in flight after every shard queue is
+  // empty; the fleet ledger is the source of truth.
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void FleetEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  for (const auto& sh : shards_) {
+    sh->engine->stop();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void FleetEngine::breakShard(index_t shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  const double t = now();
+  for (index_t i = 0; i < config_.health.failureThreshold; ++i) {
+    health_.onFailure(sh.sentinel, t);
+  }
+  opsBreaks_.fetch_add(1, std::memory_order_relaxed);
+  logInfo("fleet: shard ", shard, " circuit-broken (draining)");
+}
+
+void FleetEngine::unbreakShard(index_t shard) {
+  health_.onSuccess(shards_[static_cast<std::size_t>(shard)]->sentinel);
+}
+
+void FleetEngine::crashShard(index_t shard) {
+  shards_[static_cast<std::size_t>(shard)]->group->kill("ops crash");
+  markCrashed(shard);
+}
+
+void FleetEngine::resurrectShard(index_t shard) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  sh.group->restart();
+  sh.crashed.store(false, std::memory_order_relaxed);
+  health_.onSuccess(sh.sentinel);
+  resurrections_.fetch_add(1, std::memory_order_relaxed);
+  logInfo("fleet: shard ", shard, " resurrected (generation ",
+          sh.group->generation(), ")");
+}
+
+void FleetEngine::armShardFaults(
+    index_t shard, std::shared_ptr<simmpi::FaultInjector> faults) {
+  shards_[static_cast<std::size_t>(shard)]->group->setFaults(
+      std::move(faults));
+}
+
+FleetReport FleetEngine::report() const {
+  FleetReport r;
+  r.shards = static_cast<index_t>(shards_.size());
+
+  FactorCache::Stats cacheSum;
+  const std::vector<CircuitBreaker::KeySnapshot> health = health_.snapshot();
+  for (const auto& sh : shards_) {
+    ShardReport s;
+    s.id = sh->id;
+    s.groupAlive = sh->group->alive();
+    const simmpi::RankGroup::Stats gs = sh->group->stats();
+    s.generation = gs.generation;
+    s.groupSize = sh->group->size();
+    s.groupJobs = gs.jobs;
+    s.groupCrashes = gs.crashes;
+    s.routed = sh->routed.load(std::memory_order_relaxed);
+    s.report = sh->engine->report();
+    s.health = "healthy";
+    if (sh->crashed.load(std::memory_order_relaxed)) {
+      s.health = "crashed";
+    } else {
+      for (const auto& k : health) {
+        if (k.key == sh->sentinel) {
+          if (k.state == CircuitBreaker::State::kOpen) {
+            s.health = "broken";
+          } else if (k.state == CircuitBreaker::State::kHalfOpen) {
+            s.health = "half-open";
+          }
+          break;
+        }
+      }
+    }
+    const FactorCache::Stats cs = s.report.cache;
+    cacheSum.lookups += cs.lookups;
+    cacheSum.hits += cs.hits;
+    cacheSum.misses += cs.misses;
+    cacheSum.coalesced += cs.coalesced;
+    cacheSum.evictions += cs.evictions;
+    cacheSum.factorCount += cs.factorCount;
+    cacheSum.bytesInUse += cs.bytesInUse;
+    cacheSum.budgetBytes += cs.budgetBytes;
+    r.perShard.push_back(std::move(s));
+  }
+
+  r.fleet = recorder_.report(cacheSum, clock_.seconds(), 0);
+  r.reroutes = reroutes_.load(std::memory_order_relaxed);
+  r.failovers = failovers_.load(std::memory_order_relaxed);
+  r.affinityHits = affinityHits_.load(std::memory_order_relaxed);
+  r.opsBreaks = opsBreaks_.load(std::memory_order_relaxed);
+  r.crashes = crashes_.load(std::memory_order_relaxed);
+  r.resurrections = resurrections_.load(std::memory_order_relaxed);
+  r.healthTrips = health_.trips();
+  r.cacheIndex = index_.stats();
+  r.submitted = submitted_.load(std::memory_order_relaxed);
+  r.answered = answered_.load(std::memory_order_relaxed);
+  r.dropped = r.submitted - r.answered;
+  r.doubleAnswered = doubleAnswered_.load(std::memory_order_relaxed);
+  r.cacheLookupInvariant =
+      cacheSum.hits + cacheSum.misses == cacheSum.lookups;
+  return r;
+}
+
+// --- FleetReport rendering ------------------------------------------------
+
+Table FleetReport::toTable() const {
+  Table t({"metric", "value"});
+  t.addRow({"shards", Table::num((long long)shards)});
+  t.addRow({"submitted", Table::num((long long)submitted)});
+  t.addRow({"answered", Table::num((long long)answered)});
+  t.addRow({"dropped", Table::num((long long)dropped)});
+  t.addRow({"double answered", Table::num((long long)doubleAnswered)});
+  t.addRow({"completed", Table::num((long long)fleet.completed)});
+  t.addRow({"failed", Table::num((long long)fleet.failed)});
+  t.addRow({"reroutes / failovers", Table::num((long long)reroutes) + " / " +
+                                        Table::num((long long)failovers)});
+  t.addRow({"affinity hits", Table::num((long long)affinityHits)});
+  t.addRow({"health trips / ops breaks",
+            Table::num((long long)healthTrips) + " / " +
+                Table::num((long long)opsBreaks)});
+  t.addRow({"crashes / resurrections", Table::num((long long)crashes) +
+                                           " / " +
+                                           Table::num((long long)resurrections)});
+  t.addRow({"fleet hit rate",
+            Table::num(fleet.cache.hitRate() * 100.0, 1) + "%"});
+  t.addRow({"fleet lookups = hits + misses",
+            cacheLookupInvariant ? "yes" : "VIOLATED"});
+  t.addRow({"replicated keys",
+            Table::num((long long)cacheIndex.replicatedKeys)});
+  t.addRow({"fleet total p50/p95/p99 ms",
+            Table::num(fleet.total.p50Ms, 2) + " / " +
+                Table::num(fleet.total.p95Ms, 2) + " / " +
+                Table::num(fleet.total.p99Ms, 2)});
+  for (const ShardReport& s : perShard) {
+    t.addRow({"shard " + std::to_string(s.id) + " [" + s.health + "]",
+              Table::num((long long)s.routed) + " routed, " +
+                  Table::num((long long)s.report.completed) + " completed, " +
+                  "gen " + Table::num((long long)s.generation) + ", hit " +
+                  Table::num(s.report.cache.hitRate() * 100.0, 1) + "%"});
+  }
+  return t;
+}
+
+std::string FleetReport::toJson() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n";
+  os << "  \"trace\": " << jsonQuote(trace) << ",\n";
+  os << "  \"shards\": " << shards << ",\n";
+  os << "  \"submitted\": " << submitted << ",\n";
+  os << "  \"answered\": " << answered << ",\n";
+  os << "  \"dropped\": " << dropped << ",\n";
+  os << "  \"double_answered\": " << doubleAnswered << ",\n";
+  os << "  \"reroutes\": " << reroutes << ",\n";
+  os << "  \"failovers\": " << failovers << ",\n";
+  os << "  \"affinity_hits\": " << affinityHits << ",\n";
+  os << "  \"ops_breaks\": " << opsBreaks << ",\n";
+  os << "  \"crashes\": " << crashes << ",\n";
+  os << "  \"resurrections\": " << resurrections << ",\n";
+  os << "  \"health_trips\": " << healthTrips << ",\n";
+  os << "  \"cache_lookup_invariant\": "
+     << (cacheLookupInvariant ? "true" : "false") << ",\n";
+  os << "  \"index_placements\": " << cacheIndex.placements << ",\n";
+  os << "  \"index_evictions\": " << cacheIndex.evictions << ",\n";
+  os << "  \"index_dropped\": " << cacheIndex.dropped << ",\n";
+  os << "  \"index_resident_keys\": " << cacheIndex.residentKeys << ",\n";
+  os << "  \"index_replicated_keys\": " << cacheIndex.replicatedKeys
+     << ",\n";
+  os << "  \"fleet\": " << fleet.toJson() << ",\n";
+  os << "  \"per_shard\": [\n";
+  for (std::size_t i = 0; i < perShard.size(); ++i) {
+    const ShardReport& s = perShard[i];
+    os << "    {\n";
+    os << "      \"id\": " << s.id << ",\n";
+    os << "      \"health\": " << jsonQuote(s.health) << ",\n";
+    os << "      \"group_alive\": " << (s.groupAlive ? "true" : "false")
+       << ",\n";
+    os << "      \"generation\": " << s.generation << ",\n";
+    os << "      \"group_size\": " << s.groupSize << ",\n";
+    os << "      \"group_jobs\": " << s.groupJobs << ",\n";
+    os << "      \"group_crashes\": " << s.groupCrashes << ",\n";
+    os << "      \"routed\": " << s.routed << ",\n";
+    os << "      \"report\": " << s.report.toJson();
+    os << "    }" << (i + 1 < perShard.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hplmxp::serve

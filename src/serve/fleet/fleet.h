@@ -1,0 +1,232 @@
+// Sharded serve fabric: many ServeEngines, each backed by its own simmpi
+// rank group, behind one consistent-hash router.
+//
+//                         FleetEngine::submit
+//                                │
+//                 FleetCacheIndex (hot? placed?)
+//                                │
+//              HashRing route / successors (healthy only)
+//                                │
+//        ┌───────────────┬───────┴───────┬───────────────┐
+//     shard 0         shard 1         shard 2          ...
+//   ServeEngine     ServeEngine     ServeEngine
+//   + RankGroup     + RankGroup     + RankGroup   (factor jobs run on
+//        │               │               │         the shard's grid)
+//        └── Handle::onDone ── failover/publish ──┘
+//
+// Shard health is the existing serve/breaker state machine keyed by a
+// per-shard sentinel: factor-job failures feed onFailure, successes feed
+// onSuccess, and a shard whose circuit is open receives no new routes
+// (drain — its in-flight requests still finish) until the cool-down
+// half-opens it for a probe. A crashed shard (its rank group died, by an
+// injected fault or the ops hook) additionally loses its cached factors
+// and its fleet-index placements; resurrection restarts the group with a
+// bumped generation and closes the circuit, and the ring re-routes the
+// shard's keyspace back — no request is ever dropped or double-answered,
+// which the fleet report counts prove.
+//
+// Completed answers are bitwise-identical across shard counts: a solution
+// is a pure function of (ProblemKey, rhsSeed, maxIr) on the single-device
+// solve path every shard runs, so routing, replication, and failover can
+// never change the numbers — only who computes them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/fleet/fleet_cache.h"
+#include "serve/fleet/hash_ring.h"
+#include "simmpi/rank_group.h"
+
+namespace hplmxp::serve {
+
+struct FleetConfig {
+  index_t shards = 2;
+  index_t virtualNodes = 64;   // ring points per shard
+  index_t groupSize = 2;       // simmpi ranks per shard's grid
+  /// RunOptions for every shard's rank group. A blocking-wait timeout here
+  /// keeps a half-crashed grid from hanging its surviving peers forever;
+  /// per-shard fault injectors are armed via armShardFaults instead.
+  simmpi::RunOptions groupOptions;
+  /// Fleet-wide factor-cache budget, split evenly across the per-shard
+  /// FactorCaches (which stay the eviction authority; the fleet index
+  /// mirrors their residency through eviction listeners).
+  std::size_t fleetCacheBytes = std::size_t{64} << 20;
+  /// Hot-factor replication: once a key has been routed this many times
+  /// it is spread round-robin across `hotReplicas` ring successors
+  /// instead of pinning its primary. 0 disables.
+  index_t hotKeyRequests = 0;
+  index_t hotReplicas = 2;
+  /// Re-routes attempted after a shard-side failure before the failure
+  /// is published to the client.
+  index_t failoverLimit = 1;
+  /// Per-shard engine template; cacheBytes is overridden by the fleet
+  /// split and factorOverride is owned by the fleet.
+  ServeConfig shard;
+  /// Shard-health breaker (per-shard sentinel keys; always enabled).
+  BreakerConfig health{true, 3, 0.050, 1};
+};
+
+/// One shard's row in the fleet report.
+struct ShardReport {
+  index_t id = 0;
+  std::string health;         // healthy | broken | half-open | crashed
+  bool groupAlive = true;
+  index_t generation = 1;
+  index_t groupSize = 1;
+  std::uint64_t routed = 0;   // requests routed here (incl. failovers in)
+  std::uint64_t groupJobs = 0;
+  std::uint64_t groupCrashes = 0;
+  ServeReport report;
+};
+
+struct FleetReport {
+  std::string trace;
+  index_t shards = 0;
+  /// Fleet-level view: every published outcome, percentiles over the
+  /// fleet total (submit to publish, failover chains included), cache
+  /// stats summed over shards.
+  ServeReport fleet;
+  std::vector<ShardReport> perShard;
+
+  // Router picture.
+  std::uint64_t reroutes = 0;      // routed off the all-up primary
+  std::uint64_t failovers = 0;     // resubmits after a shard-side failure
+  std::uint64_t affinityHits = 0;  // routed to a shard already holding key
+  std::uint64_t opsBreaks = 0;     // breakShard invocations
+  std::uint64_t crashes = 0;       // shards that lost their grid
+  std::uint64_t resurrections = 0;
+  std::uint64_t healthTrips = 0;   // shard-health circuit trips
+  FleetCacheIndex::Stats cacheIndex;
+
+  // The no-lost-answer ledger the CI job gates on.
+  std::uint64_t submitted = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t dropped = 0;        // submitted - answered; must be 0
+  std::uint64_t doubleAnswered = 0; // publish attempts on a done handle
+  /// hits + misses == lookups over the summed shard caches.
+  bool cacheLookupInvariant = true;
+
+  [[nodiscard]] Table toTable() const;
+  [[nodiscard]] std::string toJson() const;
+};
+
+class FleetEngine {
+ public:
+  /// Fleet-side completion handle: published exactly once, even when the
+  /// request is failed over between shards.
+  class Handle {
+   public:
+    const RequestOutcome& wait();
+    [[nodiscard]] bool done() const;
+    [[nodiscard]] const std::vector<double>& solution() const {
+      return solution_;
+    }
+
+   private:
+    friend class FleetEngine;
+    /// False when the handle was already terminal (a double answer).
+    bool publish(RequestOutcome outcome, std::vector<double> solution);
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    RequestOutcome outcome_;
+    std::vector<double> solution_;
+  };
+  using HandlePtr = std::shared_ptr<Handle>;
+
+  explicit FleetEngine(FleetConfig config);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Routes one request; the handle resolves exactly once. With no
+  /// healthy shard left the request is answered kFailed immediately
+  /// (degraded fleet: structured failure, never a hang).
+  HandlePtr submit(const SolveRequest& request);
+
+  /// Blocks until every submitted request is published.
+  void drain();
+  void stop();
+
+  // --- ops hooks (the chaos surface of the CLI and CI job) -------------
+  /// Trips the shard's health circuit: no new routes until the breaker's
+  /// cool-down half-opens it (in-flight work drains normally).
+  void breakShard(index_t shard);
+  /// Closes the shard's health circuit immediately.
+  void unbreakShard(index_t shard);
+  /// Kills the shard's rank group and drops its cached factors plus its
+  /// fleet-index placements.
+  void crashShard(index_t shard);
+  /// Restarts a crashed shard's group (new generation) and closes its
+  /// circuit; the ring rebalances its keyspace back on the next routes.
+  void resurrectShard(index_t shard);
+  /// Arms a fault injector on the shard's rank group (organic crashes).
+  void armShardFaults(index_t shard,
+                      std::shared_ptr<simmpi::FaultInjector> faults);
+
+  [[nodiscard]] index_t shardCount() const {
+    return static_cast<index_t>(shards_.size());
+  }
+  [[nodiscard]] bool shardRoutable(index_t shard);
+  [[nodiscard]] const ServeEngine& shardEngine(index_t shard) const {
+    return *shards_[static_cast<std::size_t>(shard)]->engine;
+  }
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] const FleetCacheIndex& cacheIndex() const { return index_; }
+  [[nodiscard]] FleetReport report() const;
+
+ private:
+  struct Shard {
+    index_t id = 0;
+    ProblemKey sentinel;  // shard-health breaker key (n < 0, never real)
+    std::unique_ptr<simmpi::RankGroup> group;
+    std::unique_ptr<ServeEngine> engine;  // after group: dtor order
+    std::atomic<bool> crashed{false};
+    std::atomic<std::uint64_t> routed{0};
+  };
+
+  [[nodiscard]] double now() const { return clock_.seconds(); }
+  [[nodiscard]] Factorization groupFactor(index_t shard,
+                                          const ProblemKey& key);
+  void markCrashed(index_t shard);
+  [[nodiscard]] index_t pickShard(const ProblemKey& key, std::uint64_t count,
+                                  const std::vector<index_t>& tried);
+  void routeToShard(index_t shard, const SolveRequest& request,
+                    const HandlePtr& handle, double submitAt,
+                    index_t failovers, std::vector<index_t> tried);
+  void publishOutcome(const HandlePtr& handle, RequestOutcome outcome,
+                      std::vector<double> solution);
+
+  FleetConfig config_;
+  HashRing ring_;
+  FleetCacheIndex index_;
+  CircuitBreaker health_;
+  LatencyRecorder recorder_;
+  Timer clock_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> nextId_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> doubleAnswered_{0};
+  std::atomic<std::uint64_t> reroutes_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> affinityHits_{0};
+  std::atomic<std::uint64_t> opsBreaks_{0};
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> resurrections_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable idleCv_;
+  std::uint64_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hplmxp::serve

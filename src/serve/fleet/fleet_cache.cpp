@@ -1,0 +1,73 @@
+#include "serve/fleet/fleet_cache.h"
+
+#include <algorithm>
+
+namespace hplmxp::serve {
+
+std::uint64_t FleetCacheIndex::noteRequest(const ProblemKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++keys_[key].requests;
+}
+
+std::uint64_t FleetCacheIndex::requestCount(const ProblemKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = keys_.find(key);
+  return it != keys_.end() ? it->second.requests : 0;
+}
+
+void FleetCacheIndex::notePlacement(const ProblemKey& key, index_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KeyState& st = keys_[key];
+  if (std::find(st.shards.begin(), st.shards.end(), shard) ==
+      st.shards.end()) {
+    st.shards.push_back(shard);
+    ++stats_.placements;
+  }
+}
+
+void FleetCacheIndex::noteEviction(const ProblemKey& key, index_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    return;
+  }
+  auto& shards = it->second.shards;
+  const auto pos = std::find(shards.begin(), shards.end(), shard);
+  if (pos != shards.end()) {
+    shards.erase(pos);
+    ++stats_.evictions;
+  }
+}
+
+void FleetCacheIndex::dropShard(index_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, st] : keys_) {
+    const auto pos = std::find(st.shards.begin(), st.shards.end(), shard);
+    if (pos != st.shards.end()) {
+      st.shards.erase(pos);
+      ++stats_.dropped;
+    }
+  }
+}
+
+std::vector<index_t> FleetCacheIndex::placements(const ProblemKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = keys_.find(key);
+  return it != keys_.end() ? it->second.shards : std::vector<index_t>{};
+}
+
+FleetCacheIndex::Stats FleetCacheIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  for (const auto& [key, st] : keys_) {
+    if (!st.shards.empty()) {
+      ++s.residentKeys;
+    }
+    if (st.shards.size() >= 2) {
+      ++s.replicatedKeys;
+    }
+  }
+  return s;
+}
+
+}  // namespace hplmxp::serve

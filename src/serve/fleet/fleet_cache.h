@@ -1,0 +1,65 @@
+// Fleet-level factor-cache index: which shards hold which factorization,
+// and how hot each key is.
+//
+// The per-shard FactorCache stays the byte-budget authority (the fleet
+// budget is split across shards at construction); this index is the
+// routing-side view of residency. Placements are recorded when a shard
+// completes a request for a key and withdrawn through the per-shard
+// cache's eviction listener, so the router's cache-affinity preference
+// never chases a factor that LRU already dropped. Request counts drive
+// hot-factor replication: once a key crosses the hot threshold the router
+// spreads it across its ring successors instead of pinning one shard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/problem_key.h"
+#include "util/common.h"
+
+namespace hplmxp::serve {
+
+class FleetCacheIndex {
+ public:
+  struct Stats {
+    std::uint64_t placements = 0;  // notePlacement calls (first-time only)
+    std::uint64_t evictions = 0;   // withdrawn by a shard cache's LRU
+    std::uint64_t dropped = 0;     // withdrawn by a shard crash
+    index_t residentKeys = 0;      // keys with >= 1 live placement
+    index_t replicatedKeys = 0;    // keys resident on >= 2 shards
+  };
+
+  /// A request for `key` was routed; returns the total routed so far
+  /// (drives the hot-key threshold).
+  std::uint64_t noteRequest(const ProblemKey& key);
+
+  [[nodiscard]] std::uint64_t requestCount(const ProblemKey& key) const;
+
+  /// `shard` now holds factors for `key` (a completed execution).
+  void notePlacement(const ProblemKey& key, index_t shard);
+
+  /// `shard`'s cache evicted `key` (fed by FactorCache's listener).
+  void noteEviction(const ProblemKey& key, index_t shard);
+
+  /// A crashed shard lost everything it held.
+  void dropShard(index_t shard);
+
+  /// Shards believed to hold `key`, in insertion order.
+  [[nodiscard]] std::vector<index_t> placements(const ProblemKey& key) const;
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct KeyState {
+    std::vector<index_t> shards;  // current placements
+    std::uint64_t requests = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<ProblemKey, KeyState> keys_;
+  Stats stats_;
+};
+
+}  // namespace hplmxp::serve

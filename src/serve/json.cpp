@@ -1,6 +1,8 @@
 #include "serve/json.h"
 
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 
 namespace hplmxp::serve {
@@ -8,8 +10,26 @@ namespace hplmxp::serve {
 namespace {
 
 [[noreturn]] void parseFail(std::size_t pos, const std::string& what) {
-  throw CheckError("json parse error at offset " + std::to_string(pos) +
-                   ": " + what);
+  throw JsonParseError(pos, what);
+}
+
+/// Appends the UTF-8 encoding of a Unicode code point (<= U+10FFFF).
+void appendUtf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
 }
 
 }  // namespace
@@ -173,10 +193,60 @@ class JsonParser {
         case 'r': out.push_back('\r'); break;
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
+        case 'u': {
+          // pos_ - 2 points at the backslash that opened this escape, the
+          // offset an error should blame.
+          const std::size_t escStart = pos_ - 2;
+          std::uint32_t cp = hex4(escStart);
+          if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            parseFail(escStart, "unpaired low surrogate");
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uDC00..\uDFFF low half must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              parseFail(escStart, "unpaired high surrogate");
+            }
+            pos_ += 2;
+            const std::uint32_t lo = hex4(escStart);
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              parseFail(escStart,
+                        "high surrogate not followed by a low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          appendUtf8(out, cp);
+          break;
+        }
         default:
           parseFail(pos_ - 1, "unsupported escape");
       }
     }
+  }
+
+  /// Reads 4 hex digits at pos_ (the payload of a \uXXXX escape);
+  /// `escStart` is the offset of the opening backslash for error blame.
+  std::uint32_t hex4(std::size_t escStart) {
+    if (pos_ + 4 > text_.size()) {
+      parseFail(escStart, "truncated \\u escape");
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_];
+      std::uint32_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint32_t>(10 + c - 'a');
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint32_t>(10 + c - 'A');
+      } else {
+        parseFail(pos_, "bad hex digit in \\u escape");
+      }
+      v = (v << 4) | digit;
+      ++pos_;
+    }
+    return v;
   }
 
   JsonValue number() {
@@ -266,7 +336,18 @@ std::string jsonQuote(const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out.push_back(c);
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters are only representable escaped.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   out += "\"";

@@ -1,7 +1,9 @@
 // Minimal JSON value + recursive-descent parser for the serving layer:
 // request traces in, latency/hit-rate reports out. Deliberately tiny — no
 // external dependency, only the subset the trace format uses (objects,
-// arrays, strings, numbers, booleans, null; no \uXXXX escapes).
+// arrays, strings, numbers, booleans, null). String escapes cover the
+// full JSON repertoire including \uXXXX (surrogate pairs decode to
+// UTF-8); malformed input raises JsonParseError carrying the byte offset.
 #pragma once
 
 #include <map>
@@ -11,6 +13,23 @@
 #include "util/common.h"
 
 namespace hplmxp::serve {
+
+/// Raised on malformed JSON input. Derives from CheckError so existing
+/// catch sites keep working; carries the byte offset of the failure so
+/// tooling that replays externally generated traces can point at the
+/// exact broken escape.
+class JsonParseError : public CheckError {
+ public:
+  JsonParseError(std::size_t offset, const std::string& what)
+      : CheckError("json parse error at offset " + std::to_string(offset) +
+                   ": " + what),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 /// One parsed JSON value. A tagged struct rather than std::variant so the
 /// accessors can give precise CheckError messages on shape mismatches.

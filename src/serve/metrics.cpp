@@ -163,6 +163,7 @@ std::string ServeReport::toJson() const {
   os << "  \"breakers_open\": " << breakersOpen << ",\n";
   os << "  \"degraded\": " << (degraded ? "true" : "false") << ",\n";
   os << "  \"cache_hit_rate\": " << cache.hitRate() << ",\n";
+  os << "  \"cache_lookups\": " << cache.lookups << ",\n";
   os << "  \"cache_hits\": " << cache.hits << ",\n";
   os << "  \"cache_coalesced\": " << cache.coalesced << ",\n";
   os << "  \"cache_misses\": " << cache.misses << ",\n";

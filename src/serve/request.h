@@ -66,6 +66,8 @@ struct RequestOutcome {
   bool converged = false;
   double residualInf = 0.0;
   index_t retries = 0;  // re-executions after injected transient faults
+  index_t shard = -1;   // serving shard in a fleet; -1 single-engine
+  index_t failovers = 0;  // fleet re-routes after a shard-side failure
   std::string error;
 };
 

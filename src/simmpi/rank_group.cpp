@@ -1,0 +1,102 @@
+#include "simmpi/rank_group.h"
+
+#include <utility>
+
+#include "simmpi/faults.h"
+
+namespace hplmxp::simmpi {
+
+namespace {
+
+/// A failure takes the grid down when it is (or contains) an injected
+/// crash — timeouts and transient errors leave the group restartable
+/// without a generation bump.
+bool isCrashFailure(const std::exception& e) {
+  if (dynamic_cast<const InjectedCrashError*>(&e) != nullptr) {
+    return true;
+  }
+  if (const auto* multi = dynamic_cast<const MultiRankError*>(&e)) {
+    for (const RankFailure& f : multi->failures()) {
+      if (f.message.find("crash") != std::string::npos) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RankGroup::RankGroup(index_t groupId, index_t size, RunOptions options)
+    : id_(groupId), size_(size), options_(std::move(options)) {
+  HPLMXP_REQUIRE(size_ > 0, "rank group needs >= 1 rank");
+}
+
+bool RankGroup::alive() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.alive;
+}
+
+index_t RankGroup::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.generation;
+}
+
+RankGroup::Stats RankGroup::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RankGroup::runJob(const std::function<void(Comm&)>& fn) {
+  std::lock_guard<std::mutex> job(jobMutex_);
+  RunOptions options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stats_.alive) {
+      throw GroupDownError("rank group " + std::to_string(id_) +
+                           " is down (generation " +
+                           std::to_string(stats_.generation) + ")");
+    }
+    ++stats_.jobs;
+    options = options_;
+  }
+  try {
+    run(size_, fn, options);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failures;
+    if (isCrashFailure(e)) {
+      ++stats_.crashes;
+      stats_.alive = false;
+    }
+    throw;
+  }
+}
+
+void RankGroup::setFaults(std::shared_ptr<FaultInjector> faults) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.faults = std::move(faults);
+}
+
+void RankGroup::kill(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.alive) {
+    stats_.alive = false;
+    ++stats_.crashes;
+    (void)reason;
+  }
+}
+
+void RankGroup::restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.alive) {
+    return;
+  }
+  stats_.alive = true;
+  ++stats_.generation;
+  // The injector that killed the group has fired its one-shot crash;
+  // a resurrected grid starts clean unless a new injector is armed.
+  options_.faults.reset();
+}
+
+}  // namespace hplmxp::simmpi

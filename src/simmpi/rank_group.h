@@ -1,0 +1,77 @@
+// Persistent identity for a group of simmpi ranks across repeated jobs.
+//
+// simmpi::run is global-state-free per invocation (the only thread-local
+// is the rank binding each launched thread sets for itself), so any number
+// of rank groups can run jobs concurrently — tests/test_fleet.cpp proves
+// the non-interference. A RankGroup adds what run() deliberately lacks:
+// a stable id, a generation counter, crash latching, and restart — the
+// lifecycle a serve-fleet shard needs so "this shard's grid died" and
+// "ops resurrected it" are states, not just exceptions.
+//
+// Jobs on one group are serialized (one grid, one program at a time);
+// different groups proceed independently. A job failing with a crash-type
+// error (InjectedCrashError on a rank, or a MultiRankError containing
+// one) marks the group dead: further runJob calls fail fast with
+// GroupDownError until restart(), which bumps the generation and rearms.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "simmpi/runtime.h"
+#include "util/common.h"
+
+namespace hplmxp::simmpi {
+
+/// Thrown by runJob on a group whose grid has crashed and has not been
+/// restarted. Callers (the fleet router) treat it as "shard down".
+class GroupDownError : public CheckError {
+ public:
+  explicit GroupDownError(const std::string& msg) : CheckError(msg) {}
+};
+
+class RankGroup {
+ public:
+  struct Stats {
+    std::uint64_t jobs = 0;      // jobs attempted (including failed ones)
+    std::uint64_t failures = 0;  // jobs that threw
+    std::uint64_t crashes = 0;   // failures that took the grid down
+    index_t generation = 1;      // bumped by every restart()
+    bool alive = true;
+  };
+
+  RankGroup(index_t groupId, index_t size, RunOptions options = {});
+
+  [[nodiscard]] index_t id() const { return id_; }
+  [[nodiscard]] index_t size() const { return size_; }
+  [[nodiscard]] bool alive() const;
+  [[nodiscard]] index_t generation() const;
+  [[nodiscard]] Stats stats() const;
+
+  /// Runs `fn` as one group job (simmpi::run under this group's options).
+  /// Serialized per group. Throws GroupDownError if the group is dead;
+  /// otherwise job exceptions propagate after being tallied, and a
+  /// crash-type failure additionally marks the group dead.
+  void runJob(const std::function<void(Comm&)>& fn);
+
+  /// Arms a fault injector for subsequent jobs (replaces any current one).
+  void setFaults(std::shared_ptr<FaultInjector> faults);
+
+  /// Forces the group dead without a job failure (ops-initiated kill; the
+  /// fleet crash chaos hook). In-flight jobs finish, new ones fail fast.
+  void kill(const std::string& reason);
+
+  /// Resurrects a dead group: new generation, cleared fault injector
+  /// (the scheduled crash already fired), alive again. No-op when alive.
+  void restart();
+
+ private:
+  const index_t id_;
+  const index_t size_;
+  mutable std::mutex mutex_;  // guards options_/stats_ between jobs
+  std::mutex jobMutex_;       // serializes runJob
+  RunOptions options_;
+  Stats stats_;
+};
+
+}  // namespace hplmxp::simmpi

@@ -56,6 +56,56 @@ TEST(Json, ParsesScalarsObjectsArrays) {
   EXPECT_EQ(v.stringOr("absent", "d"), "d");
 }
 
+TEST(Json, DecodesUnicodeEscapesToUtf8) {
+  // The escape sequences are assembled from `esc` so the test source
+  // itself stays plain ASCII.
+  const std::string esc = "\\u";
+  // BMP code points across the 1-, 2-, and 3-byte UTF-8 ranges.
+  EXPECT_EQ(JsonValue::parse("\"" + esc + "0041\"").asString(), "A");
+  EXPECT_EQ(JsonValue::parse("\"" + esc + "00e9\"").asString(),
+            "\xC3\xA9");  // e-acute
+  EXPECT_EQ(JsonValue::parse("\"" + esc + "20AC\"").asString(),
+            "\xE2\x82\xAC");  // euro sign
+  // Escaped control characters (the reason external traces escape).
+  EXPECT_EQ(JsonValue::parse("\"" + esc + "0007\"").asString(), "\a");
+  // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"" + esc + "D834" + esc + "DD1E\"").asString(),
+            "\xF0\x9D\x84\x9E");
+  // Mixed with plain escapes and surrounding text.
+  EXPECT_EQ(JsonValue::parse("\"a" + esc + "0042c\\n\"").asString(), "aBc\n");
+  // Round trip: jsonQuote emits the \uXXXX escapes the parser decodes.
+  const std::string original = std::string("x\x01y\x1Fz");
+  EXPECT_EQ(JsonValue::parse(jsonQuote(original)).asString(), original);
+}
+
+TEST(Json, MalformedUnicodeEscapesCarryByteOffset) {
+  const std::string esc = "\\u";
+  const auto offsetOf = [](const std::string& text) -> std::size_t {
+    try {
+      (void)JsonValue::parse(text);
+    } catch (const JsonParseError& e) {
+      return e.offset();
+    }
+    ADD_FAILURE() << "expected JsonParseError for: " << text;
+    return static_cast<std::size_t>(-1);
+  };
+  // Bad hex digit: blamed on the digit itself.
+  EXPECT_EQ(offsetOf("\"" + esc + "12G4\""), 5u);
+  // Truncated escape: blamed on the opening backslash.
+  EXPECT_EQ(offsetOf("\"" + esc + "12"), 1u);
+  // Unpaired low surrogate.
+  EXPECT_EQ(offsetOf("\"" + esc + "DC00\""), 1u);
+  // High surrogate with no escape after it.
+  EXPECT_EQ(offsetOf("\"" + esc + "D834x\""), 1u);
+  // High surrogate followed by an escape that is not a low surrogate.
+  EXPECT_EQ(offsetOf("\"" + esc + "D834\\n\""), 1u);
+  // The offset survives nesting: the prefix before the escape counts
+  // (the bad hex digit 'Z' sits at byte 11).
+  EXPECT_EQ(offsetOf("{\"k\": \"ab" + esc + "ZZZZ\"}"), 11u);
+  // JsonParseError is still a CheckError for existing catch sites.
+  EXPECT_THROW((void)JsonValue::parse("\"" + esc + "DEAD beef\""), CheckError);
+}
+
 TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW((void)JsonValue::parse("{"), CheckError);
   EXPECT_THROW((void)JsonValue::parse("[1,]"), CheckError);
@@ -106,6 +156,7 @@ TEST(FactorCacheTest, HitsMissesAndProblemKeyIdentity) {
   EXPECT_FALSE(c.hit);
 
   const FactorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.lookups, 3u);
   EXPECT_EQ(s.hits, 1u);
   EXPECT_EQ(s.misses, 2u);
   EXPECT_EQ(s.factorCount, 2u);
@@ -154,12 +205,50 @@ TEST(FactorCacheTest, SingleFlightCoalescesConcurrentMisses) {
   for (std::thread& t : threads) {
     t.join();
   }
-  // A burst of misses on one key costs exactly one factorization.
+  // A burst of misses on one key costs exactly one factorization, and
+  // every waiter that shared the result counts as a hit (coalesced is the
+  // wait-event tally, not a third outcome).
   EXPECT_EQ(factored.load(), 1);
-  EXPECT_EQ(cache.stats().factorCount, 1u);
-  EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().hits + cache.stats().coalesced,
-            static_cast<std::uint64_t>(kThreads - 1));
+  const FactorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.factorCount, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(s.lookups, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(FactorCacheTest, CoalescedWaitersCountAsHitsUnderContention) {
+  // Regression for the waiter path returning hit=true without bumping
+  // stats_.hits: hammer one key from many threads through repeated
+  // rounds and assert the accounting identity the fleet report gates on.
+  FactorCache cache(std::size_t{16} << 20);
+  const ProblemKey k = key(32, 16, 21);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        const FactorCache::Fetch f =
+            cache.getOrFactor(k, [&] { return factorOf(k); });
+        EXPECT_NE(f.factors, nullptr);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  const FactorCache::Stats s = cache.stats();
+  EXPECT_EQ(s.lookups, static_cast<std::uint64_t>(kThreads * kRounds));
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.factorCount, 1u);
+  EXPECT_NEAR(s.hitRate(),
+              static_cast<double>(s.hits) / static_cast<double>(s.lookups),
+              1e-12);
 }
 
 TEST(FactorCacheTest, FailedFactorizationIsWithdrawn) {
