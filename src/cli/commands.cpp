@@ -9,8 +9,13 @@
 #include <thread>
 #include <utility>
 
+#include <fstream>
+#include <iostream>
+
 #include "blas/scan.h"
 #include "core/hpl_dist.h"
+#include "fleetsim/debug_cli.h"
+#include "fleetsim/fleet_sim.h"
 #include "core/hplai.h"
 #include "core/precision_ladder.h"
 #include "core/single_solver.h"
@@ -1017,6 +1022,161 @@ int cmdServe(const Options& raw) {
   return verifyServed(handles);
 }
 
+int cmdFleetsim(const Options& raw) {
+  const Options opts = layered(raw);
+
+  fleetsim::FleetSimConfig cfg;
+  const std::string topologyPath = opts.getString("topology", "");
+  if (!topologyPath.empty()) {
+    cfg.topology = fleetsim::TopologyConfig::load(topologyPath);
+  } else {
+    cfg.topology.kind = fleetsim::topologyKindFromString(
+        opts.getString("kind", "fat-tree"));
+    cfg.topology.nodes = opts.getInt("nodes", 16);
+    cfg.topology.machine = machineFrom(opts);
+    if (cfg.topology.kind == fleetsim::TopologyKind::kTorus) {
+      cfg.topology.torusX = opts.getInt("torus-x", cfg.topology.nodes);
+      cfg.topology.torusY = opts.getInt("torus-y", 1);
+      cfg.topology.torusZ = opts.getInt("torus-z", 1);
+    }
+    cfg.topology.validate();
+  }
+
+  cfg.runLu = opts.getBool("lu", false);
+  if (cfg.runLu) {
+    cfg.lu.n = opts.getInt("lu.n", 4096);
+    cfg.lu.b = opts.getInt("lu.b", 256);
+    cfg.lu.pr = opts.getInt("lu.pr", 4);
+    cfg.lu.pc = opts.getInt("lu.pc", 4);
+  }
+
+  cfg.runServe = opts.getBool("serve", true);
+  if (cfg.runServe) {
+    const std::string tracePath = opts.getString("trace", "");
+    cfg.serve.trace =
+        tracePath.empty()
+            ? serve::makeSyntheticTrace(
+                  opts.getInt("requests", 64), opts.getInt("keys", 4),
+                  opts.getDouble("gap-ms", 1.0), opts.getInt("n", 64),
+                  opts.getInt("b", 16),
+                  static_cast<std::uint64_t>(opts.getInt("seed", 42)))
+            : serve::loadRequestTrace(tracePath);
+    cfg.serve.shards = opts.getInt("shards", 1);
+    cfg.serve.virtualNodes = opts.getInt("serve.shards.virtual-nodes", 64);
+    cfg.serve.queueDepth = opts.getInt("serve.queue-depth", 64);
+    cfg.serve.maxBatch = opts.getInt("serve.batch", 8);
+    cfg.serve.batchDelayUs = opts.getDouble("serve.batch-delay-us", 1000.0);
+    cfg.serve.cacheMb =
+        static_cast<double>(opts.getInt("serve.cache-mb", 64));
+    cfg.serve.defaultDeadlineMs = opts.getDouble("serve.deadline-ms", 0.0);
+    cfg.serve.failoverLimit = opts.getInt("serve.shards.failover-limit", 2);
+    cfg.serve.hostGflops = opts.getDouble("host-gflops", 2.0);
+    cfg.serve.irIterations = opts.getInt("ir-iters", 3);
+
+    // Chaos schedule on the virtual clock (ms).
+    const double crashAtMs = opts.getDouble("crash-at-ms", -1.0);
+    if (crashAtMs >= 0.0) {
+      cfg.serve.chaos.push_back({fleetsim::ChaosAction::Kind::kCrash,
+                                 crashAtMs,
+                                 opts.getInt("crash-shard",
+                                             cfg.serve.shards - 1),
+                                 0.0});
+    }
+    const double resurrectAtMs = opts.getDouble("resurrect-at-ms", -1.0);
+    if (resurrectAtMs >= 0.0) {
+      cfg.serve.chaos.push_back({fleetsim::ChaosAction::Kind::kResurrect,
+                                 resurrectAtMs,
+                                 opts.getInt("crash-shard",
+                                             cfg.serve.shards - 1),
+                                 0.0});
+    }
+    const double slowAtMs = opts.getDouble("slow-at-ms", -1.0);
+    if (slowAtMs >= 0.0) {
+      cfg.serve.chaos.push_back({fleetsim::ChaosAction::Kind::kSlow,
+                                 slowAtMs, opts.getInt("slow-shard", 0),
+                                 opts.getDouble("slow-factor", 0.5)});
+    }
+  }
+
+  const std::string scriptPath = opts.getString("script", "");
+  const bool interactive = opts.getBool("interactive", false);
+  const std::string jsonPath = opts.getString("json", "");
+  const std::string validatePath = opts.getString("validate", "");
+  const double tolLatency = opts.getDouble("tol-latency", 5.0);
+  const double tolHit = opts.getDouble("tol-hit", 0.2);
+  warnUnused(opts);
+
+  fleetsim::FleetSession session(cfg);
+  std::printf("hplmxp fleetsim: topology=%s kind=%s nodes=%lld lu=%s "
+              "serve=%s (%zu requests, %lld shards)\n",
+              cfg.topology.name.c_str(),
+              fleetsim::toString(cfg.topology.kind),
+              (long long)cfg.topology.nodes, cfg.runLu ? "on" : "off",
+              cfg.runServe ? "on" : "off",
+              cfg.runServe ? cfg.serve.trace.requests.size() : 0,
+              (long long)(cfg.runServe ? cfg.serve.shards : 0));
+
+  int scriptErrors = 0;
+  if (!scriptPath.empty()) {
+    std::ifstream script(scriptPath);
+    HPLMXP_REQUIRE(script.good(),
+                   ("cannot open script: " + scriptPath).c_str());
+    fleetsim::DebugCli cli(session, script, std::cout);
+    scriptErrors = cli.runLoop();
+  } else if (interactive) {
+    fleetsim::DebugCli cli(session, std::cin, std::cout);
+    scriptErrors = cli.runLoop();
+  }
+  // Whatever the script left pending still runs: the report always
+  // describes the fully drained simulation.
+  session.sim().clearBreakpoints();
+  session.sim().run();
+
+  const fleetsim::FleetSimReport report = session.report();
+  std::printf("fleetsim: %llu events, virtual time %.3f s, trace hash "
+              "%016llx\n",
+              (unsigned long long)report.events, report.virtualSeconds,
+              (unsigned long long)report.traceHash);
+  if (report.hasServe) {
+    std::printf("  serve: %llu completed / %llu submitted, hit rate %.3f, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                (unsigned long long)report.serveCounters.completed,
+                (unsigned long long)report.serveCounters.submitted,
+                report.serveCounters.hitRate(), report.total.p50Ms,
+                report.total.p99Ms);
+  }
+  if (report.hasLu) {
+    std::printf("  lu: %lld/%lld iterations, %.3f s virtual, %lld "
+                "comm-bound\n",
+                (long long)report.lu.iterations,
+                (long long)report.lu.totalIterations,
+                report.lu.factorSeconds,
+                (long long)report.lu.commBoundIterations);
+  }
+
+  bool validationPass = true;
+  std::string validationJson = "null";
+  if (!validatePath.empty()) {
+    const fleetsim::ValidationResult validation =
+        fleetsim::validateAgainst(report, validatePath, tolLatency, tolHit);
+    validationPass = validation.pass;
+    validationJson = validation.toJson();
+    for (const fleetsim::ValidationLine& line : validation.lines) {
+      std::printf("  validate %-14s sim=%.4f measured=%.4f %s\n",
+                  line.metric.c_str(), line.simulated, line.measured,
+                  line.pass ? "ok" : "FAIL");
+    }
+  }
+  if (!jsonPath.empty()) {
+    std::ostringstream os;
+    os << "{\n\"report\": " << report.toJson()
+       << ",\n\"validation\": " << validationJson << "\n}\n";
+    serve::writeReportFile(jsonPath, os.str());
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+  return scriptErrors > 0 || !validationPass ? 1 : 0;
+}
+
 int cmdSpecs(const Options& raw) {
   warnUnused(raw);
   for (MachineKind kind : {MachineKind::kSummit, MachineKind::kFrontier}) {
@@ -1098,6 +1258,24 @@ std::string usage() {
       "            chaos schedule (request indices):\n"
       "            --break-at --break-shard --crash-at --crash-shard\n"
       "            --resurrect-at)\n"
+      "  fleetsim fleet-scale discrete-event co-simulation: replay a\n"
+      "           request trace and/or a factorization sweep on a virtual\n"
+      "           cluster topology, with an mgsim-style debug CLI\n"
+      "           (--topology FILE | --kind fat-tree|dragonfly|torus\n"
+      "            --nodes N --machine summit|frontier\n"
+      "            --lu on|off --lu.n --lu.b --lu.pr --lu.pc\n"
+      "            --serve on|off --trace FILE | --requests --keys\n"
+      "            --gap-ms --n --b --seed --shards N --host-gflops\n"
+      "            --ir-iters --serve.queue-depth --serve.batch\n"
+      "            --serve.batch-delay-us --serve.cache-mb\n"
+      "            --serve.deadline-ms --serve.shards.virtual-nodes\n"
+      "            --serve.shards.failover-limit\n"
+      "            chaos (virtual ms): --crash-at-ms --crash-shard\n"
+      "            --resurrect-at-ms --slow-at-ms --slow-shard\n"
+      "            --slow-factor\n"
+      "            modes: --script FILE | --interactive | (default: run)\n"
+      "            --json FILE --validate BENCH_serve.json\n"
+      "            --tol-latency X --tol-hit X)\n"
       "  specs    print machine specs and the BLAS dispatch map\n"
       "  help     this text\n";
 }
@@ -1134,6 +1312,9 @@ int dispatch(const std::vector<std::string>& args) {
     }
     if (cmd == "serve") {
       return cmdServe(opts);
+    }
+    if (cmd == "fleetsim") {
+      return cmdFleetsim(opts);
     }
     if (cmd == "specs") {
       return cmdSpecs(opts);

@@ -21,6 +21,9 @@ namespace hplmxp::cli {
 ///              fault-free baseline
 ///   serve    — solver-as-a-service: replay a request trace through the
 ///              factor cache + batching engine and report latency
+///   fleetsim — fleet-scale discrete-event co-simulation of the serving
+///              tier and/or a factorization sweep on a virtual cluster
+///              topology, with an interactive (mgsim-style) debug CLI
 ///   specs    — print the machine specs (Table I) and shim map (Table II)
 ///   help     — usage
 int dispatch(const std::vector<std::string>& args);
@@ -37,6 +40,7 @@ int cmdScan(const Options& opts);
 int cmdChaos(const Options& opts);
 int cmdRecover(const Options& opts);
 int cmdServe(const Options& opts);
+int cmdFleetsim(const Options& opts);
 int cmdSpecs(const Options& opts);
 
 }  // namespace hplmxp::cli

@@ -1,0 +1,63 @@
+// Interactive debugger over a fleet co-simulation, mgsim-style.
+//
+// The CLI drives one FleetSession through a line protocol that works
+// identically on a terminal and on a --script file (the CI mode):
+//
+//   step [N]            execute N events (default 1), printing each
+//   run                 run to exhaustion or the next breakpoint
+//   run-until <ms>      run until virtual time reaches <ms>
+//   break class <name>  break before events of a class (e.g. crash)
+//   break node <i>      break before events on node i
+//   break time <ms>     break before crossing a virtual instant
+//   breaks | clear-breaks
+//   trace [N]           show the last N executed events (default 10)
+//   show node <i>       node health: multiplier, degraded flag
+//   show shard <i>      shard state machine snapshot
+//   show cache <i>      shard i's cache occupancy
+//   show queue <i>      shard i's queued request count
+//   stats               the full report (counters + percentiles)
+//   help | quit
+//
+// Commands never throw across the loop: errors print and the session
+// continues, so a typo mid-postmortem does not lose simulator state.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fleetsim/fleet_sim.h"
+
+namespace hplmxp::fleetsim {
+
+class DebugCli {
+ public:
+  DebugCli(FleetSession& session, std::istream& in, std::ostream& out);
+
+  /// Reads commands until quit/EOF. Returns the number of commands that
+  /// failed (0 = a clean scripted session; the CI gate checks this).
+  int runLoop();
+
+  /// Executes one command line. Returns false when the session should
+  /// end (quit). Malformed commands print an error and return true.
+  bool execute(const std::string& line);
+
+  [[nodiscard]] int errors() const { return errors_; }
+
+ private:
+  void printEvent(const Event& event);
+  void cmdStep(std::istringstream& args);
+  void cmdRun();
+  void cmdRunUntil(std::istringstream& args);
+  void cmdBreak(std::istringstream& args);
+  void cmdTrace(std::istringstream& args);
+  void cmdShow(std::istringstream& args);
+  void cmdStats();
+  void reportStop(StopReason reason);
+
+  FleetSession* session_;
+  std::istream* in_;
+  std::ostream* out_;
+  int errors_ = 0;
+};
+
+}  // namespace hplmxp::fleetsim

@@ -1,0 +1,98 @@
+// Fleet co-simulation session: topology + workloads + report.
+//
+// FleetSession wires a Topology, an optional LU workload, and an optional
+// serve workload onto one Simulator. The report carries everything the
+// CLI's `stats`, the BENCH_fleetsim.json artifact, and the validation
+// gate need; validateAgainst() compares the simulated serving picture
+// with a *measured* BENCH_serve.json from `hplmxp serve` on the same
+// trace — the small-scale anchoring that keeps the model honest before
+// it is scaled to thousands of nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fleetsim/lu_workload.h"
+#include "fleetsim/serve_workload.h"
+#include "fleetsim/topology.h"
+#include "serve/metrics.h"
+
+namespace hplmxp::fleetsim {
+
+struct FleetSimConfig {
+  TopologyConfig topology;
+  bool runLu = false;
+  LuWorkloadConfig lu;
+  bool runServe = false;
+  ServeWorkloadConfig serve;
+};
+
+struct FleetSimReport {
+  std::string topologyName;
+  std::string topologyKind;
+  index_t nodes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t traceHash = 0;
+  double virtualSeconds = 0.0;
+
+  bool hasLu = false;
+  LuStats lu;
+
+  bool hasServe = false;
+  ServeStats serveCounters;  // counters only; percentiles below
+  serve::LatencyPercentiles queueWait;
+  serve::LatencyPercentiles solve;
+  serve::LatencyPercentiles total;
+
+  [[nodiscard]] std::string toJson() const;
+};
+
+class FleetSession {
+ public:
+  explicit FleetSession(FleetSimConfig config);
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] LuWorkload* lu() { return lu_.get(); }
+  [[nodiscard]] ServeWorkload* serve() { return serve_.get(); }
+  [[nodiscard]] const ServeWorkload* serve() const { return serve_.get(); }
+
+  [[nodiscard]] FleetSimReport report() const;
+
+ private:
+  FleetSimConfig config_;
+  Topology topology_;
+  Simulator sim_;
+  std::unique_ptr<LuWorkload> lu_;
+  std::unique_ptr<ServeWorkload> serve_;
+};
+
+/// One model-vs-measured comparison line of the validation gate.
+struct ValidationLine {
+  std::string metric;
+  double simulated = 0.0;
+  double measured = 0.0;
+  double ratio = 0.0;  // simulated / measured (latency checks)
+  double delta = 0.0;  // simulated - measured (rate checks)
+  bool pass = false;
+};
+
+struct ValidationResult {
+  bool pass = false;
+  std::vector<ValidationLine> lines;
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// Compares the simulated serve picture against a measured
+/// BENCH_serve.json. Latency percentiles (total p50/p99) must agree
+/// within a multiplicative `latencyFactorTol` in either direction; the
+/// cache hit rate is structural and must agree within an absolute
+/// `hitRateTol`. Throws CheckError when the report has no serve workload
+/// or the measured file is unreadable.
+ValidationResult validateAgainst(const FleetSimReport& report,
+                                 const std::string& benchServePath,
+                                 double latencyFactorTol,
+                                 double hitRateTol);
+
+}  // namespace hplmxp::fleetsim

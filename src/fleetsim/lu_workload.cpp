@@ -1,0 +1,156 @@
+#include "fleetsim/lu_workload.h"
+
+#include <algorithm>
+
+namespace hplmxp::fleetsim {
+
+void LuWorkloadConfig::validate(const Topology& topology) const {
+  HPLMXP_REQUIRE(n > 0 && b > 0, "LU workload needs positive n and b");
+  HPLMXP_REQUIRE(n % b == 0, "LU workload needs b | n");
+  HPLMXP_REQUIRE(pr >= 1 && pc >= 1, "LU grid must be >= 1x1");
+  HPLMXP_REQUIRE(pr * pc <= topology.nodes(),
+                 "LU grid larger than the topology");
+}
+
+LuWorkload::LuWorkload(LuWorkloadConfig config, const Topology& topology)
+    : config_(config),
+      topology_(&topology),
+      kernels_(topology.config().machine) {
+  config_.validate(topology);
+  stats_.totalIterations = config_.n / config_.b;
+}
+
+index_t LuWorkload::ownerNode(index_t k) const {
+  // Block-cyclic diagonal ownership, rank = row * pc + col.
+  const index_t row = k % config_.pr;
+  const index_t col = k % config_.pc;
+  return row * config_.pc + col;
+}
+
+double LuWorkload::effectiveMultiplier(index_t node) const {
+  double m = topology_->nodeMultiplier(node);
+  const auto it = injectedFactor_.find(node);
+  if (it != injectedFactor_.end()) {
+    m *= it->second;
+  }
+  return m;
+}
+
+double LuWorkload::slowestMultiplier() const {
+  // A synchronous iteration advances at the pace of the slowest
+  // participating rank (ranks occupy nodes [0, pr*pc)).
+  double slowest = 1.0;
+  for (index_t node = 0; node < config_.pr * config_.pc; ++node) {
+    slowest = std::min(slowest, effectiveMultiplier(node));
+  }
+  return slowest;
+}
+
+double LuWorkload::iterationSeconds(index_t k, double* bcastOut,
+                                    bool* commBoundOut) const {
+  const double b = static_cast<double>(config_.b);
+  const double trailing =
+      static_cast<double>(config_.n - (k + 1) * config_.b);
+  const double localTrailing =
+      std::max(trailing / static_cast<double>(config_.pr), b);
+
+  // Compute phases at the calibrated kernel rates, stalled by the
+  // slowest participating rank.
+  const double mult = slowestMultiplier();
+  const double getrf =
+      (2.0 / 3.0) * b * b * b / (kernels_.getrfRate(b) * mult);
+  const double trsm = b * b * localTrailing /
+                      (kernels_.trsmRate(b, localTrailing) * mult);
+  const double gemm =
+      2.0 * localTrailing * localTrailing * b /
+      (kernels_.gemmRate(localTrailing, localTrailing, b) * mult);
+
+  // Panel broadcast: the diagonal owner streams its b x localTrailing
+  // low-precision panel along its grid row and column; every column peer
+  // injects concurrently, sharing the rail set.
+  const double panelBytes = 2.0 * b * localTrailing;  // fp16 storage
+  const index_t root = ownerNode(k);
+  double bcast = 0.0;
+  for (index_t col = 0; col < config_.pc; ++col) {
+    const index_t peer = (root / config_.pc) * config_.pc + col;
+    bcast = std::max(bcast, topology_->transferSeconds(root, peer, panelBytes,
+                                                       config_.pc));
+  }
+  for (index_t row = 0; row < config_.pr; ++row) {
+    const index_t peer = row * config_.pc + root % config_.pc;
+    bcast = std::max(bcast, topology_->transferSeconds(root, peer, panelBytes,
+                                                       config_.pr));
+  }
+
+  // Look-ahead overlaps the broadcast with the trailing GEMM.
+  const bool commBound = bcast > gemm;
+  if (bcastOut != nullptr) *bcastOut = bcast;
+  if (commBoundOut != nullptr) *commBoundOut = commBound;
+  return getrf + trsm + std::max(bcast, gemm);
+}
+
+void LuWorkload::start(Simulator& sim) {
+  me_ = sim.workloadIndex(this);
+  sim.schedule(0.0, ownerNode(0), EventClass::kLuIteration, me_, 0);
+}
+
+void LuWorkload::scheduleSlowdown(Simulator& sim, double atSeconds,
+                                  index_t node, double factor) {
+  HPLMXP_REQUIRE(factor > 0.0 && factor <= 1.0,
+                 "slowdown factor must be in (0, 1]");
+  HPLMXP_REQUIRE(me_ >= 0, "LU workload not started yet");
+  sim.schedule(atSeconds, node, EventClass::kSlowdown, me_, node, 0, factor);
+}
+
+void LuWorkload::handle(Simulator& sim, const Event& event) {
+  switch (event.cls) {
+    case EventClass::kLuIteration: {
+      const index_t k = static_cast<index_t>(event.a);
+      double bcast = 0.0;
+      bool commBound = false;
+      const double iter = iterationSeconds(k, &bcast, &commBound);
+      stats_.iterations = k + 1;
+      stats_.commSeconds += bcast;
+      if (commBound) {
+        ++stats_.commBoundIterations;
+      }
+      // Panel-arrival markers along the owner's grid row (kept sparse:
+      // one per column peer, which is what the trace viewer wants to
+      // see land).
+      const index_t root = ownerNode(k);
+      for (index_t col = 0; col < config_.pc; ++col) {
+        const index_t peer = (root / config_.pc) * config_.pc + col;
+        if (peer != root) {
+          sim.schedule(sim.now() + bcast, peer, EventClass::kLuPanelArrival,
+                       me_, k, peer);
+        }
+      }
+      const double next = sim.now() + iter;
+      if (k + 1 < stats_.totalIterations) {
+        sim.schedule(next, ownerNode(k + 1), EventClass::kLuIteration, me_,
+                     k + 1);
+      } else {
+        sim.schedule(next, root, EventClass::kLuDone, me_);
+      }
+      break;
+    }
+    case EventClass::kLuPanelArrival:
+      break;  // trace marker only
+    case EventClass::kLuDone:
+      stats_.finished = true;
+      stats_.factorSeconds = sim.now();
+      break;
+    case EventClass::kSlowdown: {
+      const index_t node = static_cast<index_t>(event.a);
+      auto [it, inserted] = injectedFactor_.try_emplace(node, event.x);
+      if (!inserted) {
+        it->second = std::min(it->second, event.x);
+      }
+      break;
+    }
+    default:
+      HPLMXP_REQUIRE(false, "LU workload received a foreign event");
+  }
+}
+
+}  // namespace hplmxp::fleetsim

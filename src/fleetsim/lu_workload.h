@@ -1,0 +1,80 @@
+// Factorization workload: the scalesim per-iteration cost model replayed
+// as discrete events on the fleet topology.
+//
+// Where scalesim::simulateRun folds Algorithm 1 into one closed-form sum,
+// this workload walks the same block steps on the event heap: each
+// kLuIteration event prices its phases with the calibrated KernelModel
+// rates and the topology's link model, emits kLuPanelArrival markers at
+// the row/column peers the panel broadcast reaches, and schedules the
+// next step when the synchronous iteration completes. Because every
+// iteration advances at the pace of the *slowest participating node*
+// (GcdVariability multiplier x any injected kSlowdown penalties), a single
+// slow node injected mid-run visibly stretches every subsequent
+// iteration — the paper's pipeline-stall effect (Sec. VI-B) emerges from
+// event timing rather than being asserted.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fleetsim/event_core.h"
+#include "fleetsim/topology.h"
+#include "perfmodel/kernel_model.h"
+
+namespace hplmxp::fleetsim {
+
+struct LuWorkloadConfig {
+  index_t n = 4096;  // global order
+  index_t b = 256;   // block size
+  index_t pr = 4;    // rank grid rows (one rank per topology node)
+  index_t pc = 4;
+
+  void validate(const Topology& topology) const;
+};
+
+struct LuStats {
+  index_t iterations = 0;
+  index_t totalIterations = 0;
+  double factorSeconds = 0.0;      // virtual time of the full sweep
+  double commSeconds = 0.0;        // panel-broadcast share
+  index_t commBoundIterations = 0; // bcast exceeded the trailing GEMM
+  bool finished = false;
+};
+
+class LuWorkload final : public Workload {
+ public:
+  LuWorkload(LuWorkloadConfig config, const Topology& topology);
+
+  [[nodiscard]] std::string name() const override { return "lu"; }
+  void start(Simulator& sim) override;
+  void handle(Simulator& sim, const Event& event) override;
+  [[nodiscard]] bool done() const override { return stats_.finished; }
+
+  [[nodiscard]] const LuStats& stats() const { return stats_; }
+  [[nodiscard]] const LuWorkloadConfig& config() const { return config_; }
+
+  /// Current effective multiplier of `node` (variability x injected
+  /// slowdowns); the `show node` CLI view reads this.
+  [[nodiscard]] double effectiveMultiplier(index_t node) const;
+
+  /// Injects a slowdown: from virtual time `atSeconds`, node runs at
+  /// `factor` of its nominal pace (factor in (0, 1]). Call before or
+  /// during the run; takes effect via a kSlowdown event.
+  void scheduleSlowdown(Simulator& sim, double atSeconds, index_t node,
+                        double factor);
+
+ private:
+  [[nodiscard]] index_t ownerNode(index_t k) const;
+  [[nodiscard]] double slowestMultiplier() const;
+  [[nodiscard]] double iterationSeconds(index_t k, double* bcastOut,
+                                        bool* commBoundOut) const;
+
+  LuWorkloadConfig config_;
+  const Topology* topology_;
+  KernelModel kernels_;
+  index_t me_ = -1;  // workload index in the simulator
+  std::map<index_t, double> injectedFactor_;  // node -> penalty factor
+  LuStats stats_;
+};
+
+}  // namespace hplmxp::fleetsim

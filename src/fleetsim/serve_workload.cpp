@@ -1,0 +1,467 @@
+#include "fleetsim/serve_workload.h"
+
+#include <algorithm>
+
+namespace hplmxp::fleetsim {
+
+void ServeWorkloadConfig::validate(const Topology& topology) const {
+  HPLMXP_REQUIRE(!trace.requests.empty(), "serve workload needs requests");
+  HPLMXP_REQUIRE(shards >= 1, "serve workload needs >= 1 shard");
+  HPLMXP_REQUIRE(shards <= topology.nodes(),
+                 "more shards than topology nodes");
+  HPLMXP_REQUIRE(virtualNodes >= 1, "need >= 1 virtual ring node");
+  HPLMXP_REQUIRE(queueDepth >= 1, "queue depth must be >= 1");
+  HPLMXP_REQUIRE(maxBatch >= 1, "max batch must be >= 1");
+  HPLMXP_REQUIRE(batchDelayUs >= 0.0, "negative batch delay");
+  HPLMXP_REQUIRE(cacheMb > 0.0, "cache budget must be positive");
+  HPLMXP_REQUIRE(failoverLimit >= 0, "negative failover limit");
+  HPLMXP_REQUIRE(hostGflops > 0.0, "host rate must be positive");
+  HPLMXP_REQUIRE(irIterations >= 1, "need >= 1 IR iteration");
+}
+
+ServeWorkload::ServeWorkload(ServeWorkloadConfig config,
+                             const Topology& topology)
+    : config_(std::move(config)),
+      topology_(&topology),
+      ring_(config_.shards, config_.virtualNodes),
+      breaker_(config_.breaker) {
+  config_.validate(topology);
+  cacheBudgetBytes_ = config_.cacheMb * 1024.0 * 1024.0;
+  shards_.resize(static_cast<std::size_t>(config_.shards));
+  sentinels_.reserve(shards_.size());
+  const index_t stride = topology.nodes() / config_.shards;
+  for (index_t s = 0; s < config_.shards; ++s) {
+    shards_[static_cast<std::size_t>(s)].node = s * std::max<index_t>(
+                                                        stride, 1);
+    serve::ProblemKey sentinel;
+    sentinel.n = -(s + 1);  // never a servable shape
+    sentinels_.push_back(sentinel);
+  }
+}
+
+index_t ServeWorkload::shardNode(index_t shard) const {
+  HPLMXP_REQUIRE(shard >= 0 && shard < config_.shards, "shard out of range");
+  return shards_[static_cast<std::size_t>(shard)].node;
+}
+
+const serve::TraceRequest& ServeWorkload::traceRequest(index_t i) const {
+  return config_.trace.requests[static_cast<std::size_t>(i)];
+}
+
+serve::ProblemKey ServeWorkload::keyOf(const serve::TraceRequest& r) const {
+  serve::ProblemKey key;
+  key.n = r.n;
+  key.b = r.b;
+  key.seed = r.seed;
+  key.pr = r.pr;
+  key.pc = r.pc;
+  key.precision = r.precision;
+  return key;
+}
+
+index_t ServeWorkload::keyIndexOf(const serve::TraceRequest& r) {
+  const serve::ProblemKey key = keyOf(r);
+  const auto [it, inserted] =
+      keyIndex_.try_emplace(key, static_cast<index_t>(keys_.size()));
+  if (inserted) {
+    keys_.push_back(key);
+  }
+  return it->second;
+}
+
+index_t ServeWorkload::routeShard(index_t keyIndex) const {
+  return ring_.route(keys_[static_cast<std::size_t>(keyIndex)],
+                     [this](index_t s) {
+                       return !shards_[static_cast<std::size_t>(s)].crashed;
+                     });
+}
+
+double ServeWorkload::factorBytes(const serve::TraceRequest& r) const {
+  // FP32 + low-precision factor pair, the serve cache's resident shape.
+  const double n = static_cast<double>(r.n);
+  return 6.0 * n * n;
+}
+
+void ServeWorkload::start(Simulator& sim) {
+  me_ = sim.workloadIndex(this);
+  // All arrivals enter at the router (node 0) on the trace clock; routing
+  // happens when the event fires, so it sees then-current shard health.
+  for (std::size_t i = 0; i < config_.trace.requests.size(); ++i) {
+    const serve::TraceRequest& r = config_.trace.requests[i];
+    (void)keyIndexOf(r);  // intern keys in trace order (deterministic)
+    sim.schedule(r.atMs * 1e-3, 0, EventClass::kRequestArrival, me_,
+                 static_cast<std::int64_t>(i), /*shard=*/-1);
+  }
+  for (const ChaosAction& action : config_.chaos) {
+    HPLMXP_REQUIRE(action.shard >= 0 && action.shard < config_.shards,
+                   "chaos action names a bad shard");
+    const index_t node = shardNode(action.shard);
+    switch (action.kind) {
+      case ChaosAction::Kind::kCrash:
+        sim.schedule(action.atMs * 1e-3, node, EventClass::kCrash, me_,
+                     action.shard);
+        break;
+      case ChaosAction::Kind::kResurrect:
+        sim.schedule(action.atMs * 1e-3, node, EventClass::kResurrect, me_,
+                     action.shard);
+        break;
+      case ChaosAction::Kind::kSlow:
+        HPLMXP_REQUIRE(action.factor > 0.0 && action.factor <= 1.0,
+                       "slow factor must be in (0, 1]");
+        sim.schedule(action.atMs * 1e-3, node, EventClass::kSlowdown, me_,
+                     action.shard, 0, action.factor);
+        break;
+    }
+  }
+}
+
+bool ServeWorkload::done() const {
+  const std::uint64_t answered = stats_.completed + stats_.rejectedQueueFull +
+                                 stats_.rejectedDeadline +
+                                 stats_.rejectedCircuitOpen + stats_.failed;
+  return answered == config_.trace.requests.size();
+}
+
+void ServeWorkload::reject(const PendingRequest& req,
+                           serve::RequestStatus status, double now) {
+  (void)req;
+  (void)now;
+  switch (status) {
+    case serve::RequestStatus::kRejectedQueueFull:
+      ++stats_.rejectedQueueFull;
+      break;
+    case serve::RequestStatus::kRejectedDeadline:
+      ++stats_.rejectedDeadline;
+      break;
+    case serve::RequestStatus::kRejectedCircuitOpen:
+      ++stats_.rejectedCircuitOpen;
+      break;
+    default:
+      ++stats_.failed;
+      break;
+  }
+}
+
+void ServeWorkload::evictForBudget(Shard& shard) {
+  while (shard.cacheBytes > cacheBudgetBytes_ && !shard.cache.empty()) {
+    auto victim = shard.cache.begin();
+    for (auto it = shard.cache.begin(); it != shard.cache.end(); ++it) {
+      if (it->second.lastTouch < victim->second.lastTouch) {
+        victim = it;
+      }
+    }
+    shard.cacheBytes -= victim->second.bytes;
+    shard.cache.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ServeWorkload::dispatchBucket(Simulator& sim, index_t shardIndex,
+                                   index_t keyIndex) {
+  Shard& shard = shards_[static_cast<std::size_t>(shardIndex)];
+  auto bucketIt = shard.buckets.find(keyIndex);
+  if (bucketIt == shard.buckets.end() || bucketIt->second.empty()) {
+    return;
+  }
+  std::vector<PendingRequest>& bucket = bucketIt->second;
+  const std::size_t take =
+      std::min<std::size_t>(bucket.size(),
+                            static_cast<std::size_t>(config_.maxBatch));
+  const double now = sim.now();
+
+  InFlightBatch batch;
+  batch.shard = shardIndex;
+  batch.keyIndex = keyIndex;
+  batch.dispatchSeconds = now;
+  for (std::size_t i = 0; i < take; ++i) {
+    PendingRequest& req = bucket[i];
+    --shard.queuedRequests;
+    if (req.deadlineSeconds > 0.0 && now > req.deadlineSeconds) {
+      reject(req, serve::RequestStatus::kRejectedDeadline, now);
+      continue;
+    }
+    batch.requests.push_back(req);
+  }
+  bucket.erase(bucket.begin(),
+               bucket.begin() + static_cast<std::ptrdiff_t>(take));
+  ++shard.bucketGeneration[keyIndex];
+  if (!bucket.empty()) {
+    // Remainder starts a fresh window.
+    sim.schedule(now + config_.batchDelayUs * 1e-6, shard.node,
+                 EventClass::kBatchWindow, me_, shardIndex, keyIndex,
+                 static_cast<double>(shard.bucketGeneration[keyIndex]));
+  }
+  if (batch.requests.empty()) {
+    return;  // every picked request was already past its deadline
+  }
+
+  // One cache lookup per dispatched batch — the single-flight contract's
+  // accounting shape (hits + misses == lookups; a coalesced batch costs
+  // at most one factorization).
+  const serve::TraceRequest& proto =
+      traceRequest(batch.requests.front().traceIndex);
+  ++stats_.cacheLookups;
+  double factorSeconds = 0.0;
+  auto cacheIt = shard.cache.find(keyIndex);
+  const double mult =
+      topology_->nodeMultiplier(shard.node) * shard.slowFactor;
+  const double rate = config_.hostGflops * 1e9 * mult;
+  if (cacheIt != shard.cache.end()) {
+    ++stats_.cacheHits;
+    cacheIt->second.lastTouch = ++shard.lruClock;
+  } else {
+    ++stats_.cacheMisses;
+    ++stats_.factorCount;
+    const double n = static_cast<double>(proto.n);
+    factorSeconds = (2.0 / 3.0) * n * n * n / rate;
+    CacheEntry entry;
+    entry.bytes = factorBytes(proto);
+    entry.lastTouch = ++shard.lruClock;
+    shard.cacheBytes += entry.bytes;
+    shard.cache.emplace(keyIndex, entry);
+    evictForBudget(shard);
+  }
+  const double n = static_cast<double>(proto.n);
+  const double cols = static_cast<double>(batch.requests.size());
+  const double solveSeconds =
+      static_cast<double>(config_.irIterations) * 2.0 * n * n * cols / rate +
+      config_.solveOverheadUs * 1e-6;
+  batch.solveCost = factorSeconds + solveSeconds;
+
+  // One worker lane per shard: the batch queues behind whatever the lane
+  // is already solving. Queue wait = submission to lane start.
+  const double startAt = std::max(now, shard.busyUntil);
+  const double doneAt = startAt + batch.solveCost;
+  shard.busyUntil = doneAt;
+  batch.dispatchSeconds = startAt;
+
+  ++stats_.batches;
+  stats_.batchedColumns += batch.requests.size();
+  stats_.maxBatchSize = std::max(
+      stats_.maxBatchSize, static_cast<index_t>(batch.requests.size()));
+
+  batches_.push_back(std::move(batch));
+  sim.schedule(doneAt, shard.node, EventClass::kSolveDone, me_,
+               static_cast<std::int64_t>(batches_.size() - 1));
+}
+
+void ServeWorkload::crashShard(Simulator& sim, index_t shardIndex) {
+  Shard& shard = shards_[static_cast<std::size_t>(shardIndex)];
+  if (shard.crashed) {
+    return;
+  }
+  shard.crashed = true;
+  // A crash loses the cached factors (a real node death does).
+  shard.cache.clear();
+  shard.cacheBytes = 0.0;
+  shard.busyUntil = 0.0;
+  // Queued requests fail over along the ring.
+  const double now = sim.now();
+  for (auto& [keyIndex, bucket] : shard.buckets) {
+    for (PendingRequest& req : bucket) {
+      --shard.queuedRequests;
+      if (req.failovers >= config_.failoverLimit) {
+        ++stats_.failed;
+        continue;
+      }
+      const index_t next = routeShard(keyIndex);
+      if (next < 0) {
+        ++stats_.failed;
+        continue;
+      }
+      ++req.failovers;
+      ++stats_.failovers;
+      const double hop = topology_->transferSeconds(
+          shard.node, shardNode(next), config_.requestBytes, config_.shards);
+      pendingMeta_[req.traceIndex] = req;
+      sim.schedule(now + hop, shardNode(next), EventClass::kRequestArrival,
+                   me_, req.traceIndex, next);
+    }
+  }
+  shard.buckets.clear();
+  shard.bucketGeneration.clear();
+  shard.queuedRequests = 0;
+  breaker_.onFailure(sentinels_[static_cast<std::size_t>(shardIndex)], now);
+}
+
+void ServeWorkload::handle(Simulator& sim, const Event& event) {
+  const double now = sim.now();
+  switch (event.cls) {
+    case EventClass::kRequestArrival: {
+      const index_t traceIdx = static_cast<index_t>(event.a);
+      const index_t toShard = static_cast<index_t>(event.b);
+      const serve::TraceRequest& r = traceRequest(traceIdx);
+      const index_t keyIdx = keyIndexOf(r);
+      if (toShard < 0) {
+        // Router step: pick the shard, pay the wire.
+        ++stats_.submitted;
+        PendingRequest req;
+        req.traceIndex = traceIdx;
+        req.arrivalSeconds = now;
+        const double deadlineMs =
+            r.deadlineMs > 0.0 ? r.deadlineMs : config_.defaultDeadlineMs;
+        req.deadlineSeconds =
+            deadlineMs > 0.0 ? now + deadlineMs * 1e-3 : 0.0;
+        const index_t shard = routeShard(keyIdx);
+        if (shard < 0) {
+          ++stats_.failed;  // nobody healthy to route to
+          break;
+        }
+        pendingMeta_[traceIdx] = req;
+        const double hop = topology_->transferSeconds(
+            0, shardNode(shard), config_.requestBytes, config_.shards);
+        sim.schedule(now + hop, shardNode(shard),
+                     EventClass::kRequestArrival, me_, traceIdx, shard);
+        break;
+      }
+      // Shard-side admission.
+      const auto metaIt = pendingMeta_.find(traceIdx);
+      HPLMXP_REQUIRE(metaIt != pendingMeta_.end(),
+                     "request arrived without router metadata");
+      PendingRequest req = metaIt->second;
+      Shard& shard = shards_[static_cast<std::size_t>(toShard)];
+      if (shard.crashed) {
+        // Crashed between routing and arrival: fail over.
+        if (req.failovers >= config_.failoverLimit) {
+          ++stats_.failed;
+          break;
+        }
+        const index_t next = routeShard(keyIdx);
+        if (next < 0) {
+          ++stats_.failed;
+          break;
+        }
+        ++req.failovers;
+        ++stats_.failovers;
+        pendingMeta_[traceIdx] = req;
+        const double hop = topology_->transferSeconds(
+            shard.node, shardNode(next), config_.requestBytes,
+            config_.shards);
+        sim.schedule(now + hop, shardNode(next), EventClass::kRequestArrival,
+                     me_, traceIdx, next);
+        break;
+      }
+      ++shard.routed;
+      if (!breaker_.allow(sentinels_[static_cast<std::size_t>(toShard)],
+                          now)) {
+        reject(req, serve::RequestStatus::kRejectedCircuitOpen, now);
+        break;
+      }
+      if (req.deadlineSeconds > 0.0 && now > req.deadlineSeconds) {
+        reject(req, serve::RequestStatus::kRejectedDeadline, now);
+        break;
+      }
+      if (shard.queuedRequests >= config_.queueDepth) {
+        reject(req, serve::RequestStatus::kRejectedQueueFull, now);
+        break;
+      }
+      std::vector<PendingRequest>& bucket = shard.buckets[keyIdx];
+      const bool wasEmpty = bucket.empty();
+      bucket.push_back(req);
+      ++shard.queuedRequests;
+      stats_.peakQueueDepth =
+          std::max(stats_.peakQueueDepth, shard.queuedRequests);
+      if (static_cast<index_t>(bucket.size()) >= config_.maxBatch) {
+        dispatchBucket(sim, toShard, keyIdx);
+      } else if (wasEmpty) {
+        sim.schedule(now + config_.batchDelayUs * 1e-6, shard.node,
+                     EventClass::kBatchWindow, me_, toShard, keyIdx,
+                     static_cast<double>(shard.bucketGeneration[keyIdx]));
+      }
+      break;
+    }
+    case EventClass::kBatchWindow: {
+      const index_t shardIdx = static_cast<index_t>(event.a);
+      const index_t keyIdx = static_cast<index_t>(event.b);
+      Shard& shard = shards_[static_cast<std::size_t>(shardIdx)];
+      if (shard.crashed) {
+        break;
+      }
+      const auto gen = static_cast<double>(shard.bucketGeneration[keyIdx]);
+      if (gen != event.x) {
+        break;  // the bucket this window armed for already dispatched
+      }
+      dispatchBucket(sim, shardIdx, keyIdx);
+      break;
+    }
+    case EventClass::kSolveDone: {
+      InFlightBatch& batch =
+          batches_[static_cast<std::size_t>(event.a)];
+      Shard& shard = shards_[static_cast<std::size_t>(batch.shard)];
+      if (shard.crashed) {
+        // The shard died mid-solve; surviving requests fail over.
+        for (PendingRequest& req : batch.requests) {
+          if (req.failovers >= config_.failoverLimit) {
+            ++stats_.failed;
+            continue;
+          }
+          const index_t next = routeShard(batch.keyIndex);
+          if (next < 0) {
+            ++stats_.failed;
+            continue;
+          }
+          ++req.failovers;
+          ++stats_.failovers;
+          pendingMeta_[req.traceIndex] = req;
+          const double hop = topology_->transferSeconds(
+              shard.node, shardNode(next), config_.requestBytes,
+              config_.shards);
+          sim.schedule(now + hop, shardNode(next),
+                       EventClass::kRequestArrival, me_, req.traceIndex,
+                       next);
+        }
+        batch.requests.clear();
+        break;
+      }
+      breaker_.onSuccess(sentinels_[static_cast<std::size_t>(batch.shard)]);
+      for (const PendingRequest& req : batch.requests) {
+        ++stats_.completed;
+        ++shard.completed;
+        stats_.queueWaitSeconds.push_back(batch.dispatchSeconds -
+                                          req.arrivalSeconds);
+        stats_.solveSeconds.push_back(batch.solveCost);
+        stats_.totalSeconds.push_back(now - req.arrivalSeconds);
+        pendingMeta_.erase(req.traceIndex);
+      }
+      batch.requests.clear();
+      break;
+    }
+    case EventClass::kCrash:
+      crashShard(sim, static_cast<index_t>(event.a));
+      break;
+    case EventClass::kResurrect: {
+      Shard& shard = shards_[static_cast<std::size_t>(event.a)];
+      shard.crashed = false;  // cold cache, healthy again
+      shard.busyUntil = now;
+      breaker_.onSuccess(sentinels_[static_cast<std::size_t>(event.a)]);
+      break;
+    }
+    case EventClass::kSlowdown: {
+      Shard& shard = shards_[static_cast<std::size_t>(event.a)];
+      shard.slowFactor = std::min(shard.slowFactor, event.x);
+      break;
+    }
+    default:
+      HPLMXP_REQUIRE(false, "serve workload received a foreign event");
+  }
+  stats_.breakerTrips = breaker_.trips();
+}
+
+ServeWorkload::ShardView ServeWorkload::shardView(index_t shard) const {
+  HPLMXP_REQUIRE(shard >= 0 && shard < config_.shards, "shard out of range");
+  const Shard& s = shards_[static_cast<std::size_t>(shard)];
+  ShardView view;
+  view.shard = shard;
+  view.node = s.node;
+  view.crashed = s.crashed;
+  view.slowFactor = s.slowFactor;
+  view.queuedRequests = s.queuedRequests;
+  view.cachedKeys = static_cast<index_t>(s.cache.size());
+  view.cachedMb = s.cacheBytes / (1024.0 * 1024.0);
+  view.routed = s.routed;
+  view.completed = s.completed;
+  view.busyUntil = s.busyUntil;
+  return view;
+}
+
+}  // namespace hplmxp::fleetsim

@@ -1,0 +1,203 @@
+// Serve-fleet workload: a request trace replayed against lightweight
+// state machines of the sharded serving tier, entirely on virtual time.
+//
+// The real fleet's *policy* components are reused verbatim where they are
+// already pure functions of an explicit clock — the consistent-hash
+// router (serve::HashRing) and the per-shard drain gate
+// (serve::CircuitBreaker). The stateful per-shard machinery (byte-budget
+// LRU factor cache, batch window, bounded queue, worker lane) is
+// re-modelled as plain counters and maps: the simulator needs their
+// *timing and accounting* behavior, not their payloads. Accounting
+// mirrors the real engine so the validation against a measured
+// BENCH_serve.json compares like with like — one cache lookup per
+// dispatched batch (a coalesced batch costs exactly one factorization,
+// the single-flight contract), hits + misses == lookups, and the same
+// latency split (queue wait / solve / total).
+//
+// Chaos vocabulary matches the serve CLI: crash-at/crash-shard kills a
+// shard (cache and queue contents included), pending and future requests
+// fail over along the ring successors; resurrect-at restores it cold.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fleetsim/event_core.h"
+#include "fleetsim/topology.h"
+#include "serve/breaker.h"
+#include "serve/fleet/hash_ring.h"
+#include "serve/metrics.h"
+#include "serve/trace_io.h"
+
+namespace hplmxp::fleetsim {
+
+struct ChaosAction {
+  enum class Kind { kCrash, kResurrect, kSlow };
+  Kind kind = Kind::kCrash;
+  double atMs = 0.0;
+  index_t shard = 0;
+  double factor = 0.5;  // kSlow only
+};
+
+struct ServeWorkloadConfig {
+  serve::RequestTrace trace;
+  index_t shards = 1;
+  index_t virtualNodes = 64;
+  index_t queueDepth = 64;
+  index_t maxBatch = 8;
+  double batchDelayUs = 1000.0;
+  double cacheMb = 64.0;
+  double defaultDeadlineMs = 0.0;  // 0 = none
+  index_t failoverLimit = 2;
+  serve::BreakerConfig breaker;
+
+  /// Host-solve rate knob: effective GFLOP/s of one shard's solve lane.
+  /// The default is calibrated so an n=64 b=16 smoke-trace solve costs a
+  /// few hundred microseconds, the measured magnitude on the CI host.
+  double hostGflops = 2.0;
+  index_t irIterations = 3;
+  double solveOverheadUs = 100.0;
+  double requestBytes = 1024.0;  // routed request payload on the wire
+
+  std::vector<ChaosAction> chaos;
+
+  void validate(const Topology& topology) const;
+};
+
+/// Aggregated counters the report and the validation gate read. The
+/// latency series are seconds, percentile-summarized on demand.
+struct ServeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejectedQueueFull = 0;
+  std::uint64_t rejectedDeadline = 0;
+  std::uint64_t rejectedCircuitOpen = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t failovers = 0;
+
+  std::uint64_t cacheLookups = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t factorCount = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t batches = 0;
+  std::uint64_t batchedColumns = 0;
+  index_t maxBatchSize = 0;
+  index_t peakQueueDepth = 0;
+  std::uint64_t breakerTrips = 0;
+
+  std::vector<double> queueWaitSeconds;
+  std::vector<double> solveSeconds;
+  std::vector<double> totalSeconds;
+
+  [[nodiscard]] double hitRate() const {
+    return cacheLookups == 0
+               ? 0.0
+               : static_cast<double>(cacheHits) /
+                     static_cast<double>(cacheLookups);
+  }
+  [[nodiscard]] double meanBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batchedColumns) /
+                              static_cast<double>(batches);
+  }
+};
+
+class ServeWorkload final : public Workload {
+ public:
+  ServeWorkload(ServeWorkloadConfig config, const Topology& topology);
+
+  [[nodiscard]] std::string name() const override { return "serve"; }
+  void start(Simulator& sim) override;
+  void handle(Simulator& sim, const Event& event) override;
+  [[nodiscard]] bool done() const override;
+
+  [[nodiscard]] const ServeStats& stats() const { return stats_; }
+  [[nodiscard]] const ServeWorkloadConfig& config() const { return config_; }
+
+  /// Per-shard snapshot for the CLI's `show shard|cache|queue` views.
+  struct ShardView {
+    index_t shard = 0;
+    index_t node = 0;
+    bool crashed = false;
+    double slowFactor = 1.0;
+    index_t queuedRequests = 0;
+    index_t cachedKeys = 0;
+    double cachedMb = 0.0;
+    std::uint64_t routed = 0;
+    std::uint64_t completed = 0;
+    double busyUntil = 0.0;
+  };
+  [[nodiscard]] ShardView shardView(index_t shard) const;
+  [[nodiscard]] index_t shardNode(index_t shard) const;
+
+ private:
+  struct PendingRequest {
+    index_t traceIndex = 0;
+    double arrivalSeconds = 0.0;   // first submission instant
+    double deadlineSeconds = 0.0;  // absolute; 0 = none
+    index_t failovers = 0;
+  };
+
+  struct CacheEntry {
+    double bytes = 0.0;
+    std::uint64_t lastTouch = 0;  // LRU clock (deterministic counter)
+  };
+
+  struct Shard {
+    index_t node = 0;
+    bool crashed = false;
+    double slowFactor = 1.0;
+    double busyUntil = 0.0;
+    std::uint64_t routed = 0;
+    std::uint64_t completed = 0;
+    // Batching buckets: key index -> waiting requests (FIFO).
+    std::map<index_t, std::vector<PendingRequest>> buckets;
+    std::map<index_t, std::uint64_t> bucketGeneration;
+    index_t queuedRequests = 0;
+    std::map<index_t, CacheEntry> cache;  // key index -> entry
+    double cacheBytes = 0.0;
+    std::uint64_t lruClock = 0;
+  };
+
+  struct InFlightBatch {
+    index_t shard = 0;
+    index_t keyIndex = 0;
+    std::vector<PendingRequest> requests;
+    double dispatchSeconds = 0.0;
+    double solveCost = 0.0;  // factor + solve, for the latency split
+  };
+
+  [[nodiscard]] const serve::TraceRequest& traceRequest(index_t i) const;
+  [[nodiscard]] serve::ProblemKey keyOf(const serve::TraceRequest& r) const;
+  [[nodiscard]] index_t keyIndexOf(const serve::TraceRequest& r);
+  [[nodiscard]] index_t routeShard(index_t keyIndex) const;
+  [[nodiscard]] double factorBytes(const serve::TraceRequest& r) const;
+  void dispatchBucket(Simulator& sim, index_t shardIndex, index_t keyIndex);
+  void crashShard(Simulator& sim, index_t shardIndex);
+  void evictForBudget(Shard& shard);
+  void reject(const PendingRequest& req, serve::RequestStatus status,
+              double now);
+
+  ServeWorkloadConfig config_;
+  const Topology* topology_;
+  serve::HashRing ring_;
+  serve::CircuitBreaker breaker_;
+  std::vector<serve::ProblemKey> sentinels_;  // per-shard breaker keys
+  std::vector<Shard> shards_;
+  std::map<serve::ProblemKey, index_t> keyIndex_;
+  std::vector<serve::ProblemKey> keys_;
+  std::vector<InFlightBatch> batches_;
+  /// Router-side request state (deadline, failover count) keyed by trace
+  /// index; shard-arrival events carry only the index.
+  std::map<index_t, PendingRequest> pendingMeta_;
+  index_t me_ = -1;
+  index_t outstanding_ = 0;  // submitted - terminally answered
+  bool arrivalsDone_ = false;
+  ServeStats stats_;
+  double cacheBudgetBytes_ = 0.0;
+};
+
+}  // namespace hplmxp::fleetsim

@@ -1,0 +1,198 @@
+#include "fleetsim/topology.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace hplmxp::fleetsim {
+
+const char* toString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFatTree: return "fat-tree";
+    case TopologyKind::kDragonfly: return "dragonfly";
+    case TopologyKind::kTorus: return "torus";
+  }
+  return "?";
+}
+
+TopologyKind topologyKindFromString(const std::string& name) {
+  if (name == "fat-tree") return TopologyKind::kFatTree;
+  if (name == "dragonfly") return TopologyKind::kDragonfly;
+  if (name == "torus") return TopologyKind::kTorus;
+  HPLMXP_REQUIRE(false, ("unknown topology kind: " + name).c_str());
+  return TopologyKind::kFatTree;  // unreachable
+}
+
+TopologyConfig TopologyConfig::parse(const std::string& text) {
+  TopologyConfig config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    std::string key, value;
+    if (!(fields >> key)) {
+      continue;  // blank / comment-only line
+    }
+    HPLMXP_REQUIRE(static_cast<bool>(fields >> value),
+                   ("topology key without value: " + key).c_str());
+    const auto num = [&] {
+      std::size_t used = 0;
+      const double v = std::stod(value, &used);
+      HPLMXP_REQUIRE(used == value.size(),
+                     ("malformed topology number: " + value).c_str());
+      return v;
+    };
+    const auto integer = [&] { return static_cast<index_t>(num()); };
+    if (key == "name") {
+      config.name = value;
+    } else if (key == "kind") {
+      config.kind = topologyKindFromString(value);
+    } else if (key == "nodes") {
+      config.nodes = integer();
+    } else if (key == "radix") {
+      config.radix = integer();
+    } else if (key == "group-size") {
+      config.groupSize = integer();
+    } else if (key == "torus-x") {
+      config.torusX = integer();
+    } else if (key == "torus-y") {
+      config.torusY = integer();
+    } else if (key == "torus-z") {
+      config.torusZ = integer();
+    } else if (key == "link-latency-us") {
+      config.linkLatencyUs = num();
+    } else if (key == "link-bandwidth-gbs") {
+      config.linkBandwidthGBs = num();
+    } else if (key == "rail-links") {
+      config.railLinks = integer();
+    } else if (key == "machine") {
+      if (value == "summit") {
+        config.machine = MachineKind::kSummit;
+      } else if (value == "frontier") {
+        config.machine = MachineKind::kFrontier;
+      } else {
+        HPLMXP_REQUIRE(false, ("unknown machine: " + value).c_str());
+      }
+    } else if (key == "variability-seed") {
+      config.variability.seed = static_cast<std::uint64_t>(num());
+    } else if (key == "variability-spread") {
+      config.variability.spread = num();
+    } else if (key == "slow-fraction") {
+      config.variability.slowFraction = num();
+    } else if (key == "slow-penalty") {
+      config.variability.slowPenalty = num();
+    } else {
+      HPLMXP_REQUIRE(false, ("unknown topology key: " + key).c_str());
+    }
+  }
+  config.validate();
+  return config;
+}
+
+TopologyConfig TopologyConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  HPLMXP_REQUIRE(in.good(), ("cannot open topology file: " + path).c_str());
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+void TopologyConfig::validate() const {
+  HPLMXP_REQUIRE(nodes >= 1, "topology needs >= 1 node");
+  HPLMXP_REQUIRE(linkLatencyUs >= 0.0, "negative link latency");
+  HPLMXP_REQUIRE(linkBandwidthGBs > 0.0, "link bandwidth must be positive");
+  HPLMXP_REQUIRE(railLinks >= 1, "need >= 1 rail link");
+  switch (kind) {
+    case TopologyKind::kFatTree:
+      HPLMXP_REQUIRE(radix >= 2, "fat-tree radix must be >= 2");
+      break;
+    case TopologyKind::kDragonfly:
+      HPLMXP_REQUIRE(groupSize >= 1, "dragonfly group size must be >= 1");
+      break;
+    case TopologyKind::kTorus:
+      HPLMXP_REQUIRE(torusX >= 1 && torusY >= 1 && torusZ >= 1,
+                     "torus dimensions must be >= 1");
+      HPLMXP_REQUIRE(torusX * torusY * torusZ == nodes,
+                     "torus dimensions must multiply to the node count");
+      break;
+  }
+}
+
+Topology::Topology(TopologyConfig config)
+    : config_(std::move(config)), variability_(config_.variability) {
+  config_.validate();
+  link_.alpha = config_.linkLatencyUs * 1e-6;
+  link_.betaPerByte = 1.0 / (config_.linkBandwidthGBs * 1e9);
+}
+
+index_t Topology::hops(index_t from, index_t to) const {
+  HPLMXP_REQUIRE(from >= 0 && from < config_.nodes, "node out of range");
+  HPLMXP_REQUIRE(to >= 0 && to < config_.nodes, "node out of range");
+  if (from == to) {
+    return 0;
+  }
+  switch (config_.kind) {
+    case TopologyKind::kFatTree: {
+      if (from / config_.radix == to / config_.radix) {
+        return 2;  // up to the shared leaf switch, down
+      }
+      const index_t pod = config_.radix * config_.radix;
+      if (from / pod == to / pod) {
+        return 4;  // leaf, aggregation, leaf
+      }
+      return 6;  // leaf, aggregation, core, aggregation, leaf
+    }
+    case TopologyKind::kDragonfly:
+      if (from / config_.groupSize == to / config_.groupSize) {
+        return 2;  // intra-group all-to-all via the group router
+      }
+      return 5;  // local router, global link, remote router
+    case TopologyKind::kTorus: {
+      const auto axis = [](index_t a, index_t b, index_t dim) {
+        const index_t d = a > b ? a - b : b - a;
+        return std::min(d, dim - d);  // wraparound
+      };
+      const index_t plane = config_.torusX * config_.torusY;
+      const index_t fz = from / plane, tz = to / plane;
+      const index_t fy = (from % plane) / config_.torusX;
+      const index_t ty = (to % plane) / config_.torusX;
+      const index_t fx = from % config_.torusX, tx = to % config_.torusX;
+      return axis(fx, tx, config_.torusX) + axis(fy, ty, config_.torusY) +
+             axis(fz, tz, config_.torusZ);
+    }
+  }
+  return 0;
+}
+
+double Topology::transferSeconds(index_t from, index_t to, double bytes,
+                                 index_t concurrentFlows) const {
+  const index_t pathHops = hops(from, to);
+  if (pathHops == 0) {
+    return 0.0;
+  }
+  const double factor = congestionFactor(concurrentFlows, config_.railLinks);
+  return static_cast<double>(pathHops) * link_.alpha +
+         bytes * link_.betaPerByte * factor;
+}
+
+double Topology::nodeMultiplier(index_t node) const {
+  return variability_.multiplier(node);
+}
+
+bool Topology::isDegraded(index_t node) const {
+  return variability_.isDegraded(node);
+}
+
+double Topology::fleetMinMultiplier() const {
+  return variability_.fleetMin(config_.nodes);
+}
+
+const MachineSpec& Topology::machineSpec() const {
+  return hplmxp::machineSpec(config_.machine);
+}
+
+}  // namespace hplmxp::fleetsim

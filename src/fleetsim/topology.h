@@ -1,0 +1,96 @@
+// Link topologies for the fleet co-simulator.
+//
+// A topology file is the same "key value" text format the driver's
+// config files use ('#' comments). It names a node-class from
+// src/machine (summit | frontier), one of three link graphs, the
+// alpha-beta link parameters, and the per-node variability model:
+//
+//   # 1056-node dragonfly of Frontier nodes
+//   name      frontier-df
+//   kind      dragonfly
+//   nodes     1056
+//   group-size 32
+//   link-latency-us   4
+//   link-bandwidth-gbs 25
+//   machine   frontier
+//   variability-spread 0.05
+//
+// Hop counts follow the classic structural distances:
+//   * fat-tree (radix r): same leaf switch 2 hops, same pod (r^2 block)
+//     4 hops, else 6 (up to the core and back down);
+//   * dragonfly (groups of `group-size`): intra-group 2 hops, inter-group
+//     5 (source router, global link, destination router);
+//   * torus (X x Y x Z): wraparound Manhattan distance.
+// Self-sends are 0 hops and therefore free (netsim's linkTransferTime
+// edge contract).
+#pragma once
+
+#include <string>
+
+#include "machine/machine.h"
+#include "machine/variability.h"
+#include "netsim/pipeline.h"
+#include "util/common.h"
+
+namespace hplmxp::fleetsim {
+
+enum class TopologyKind { kFatTree, kDragonfly, kTorus };
+
+[[nodiscard]] const char* toString(TopologyKind kind);
+[[nodiscard]] TopologyKind topologyKindFromString(const std::string& name);
+
+struct TopologyConfig {
+  std::string name = "fleet";
+  TopologyKind kind = TopologyKind::kFatTree;
+  index_t nodes = 16;
+
+  index_t radix = 8;       // fat-tree: nodes per leaf switch
+  index_t groupSize = 16;  // dragonfly
+  index_t torusX = 4, torusY = 4, torusZ = 1;
+
+  double linkLatencyUs = 4.0;
+  double linkBandwidthGBs = 25.0;
+  index_t railLinks = 1;  // parallel rails; feeds congestionFactor
+
+  MachineKind machine = MachineKind::kFrontier;
+  VariabilityConfig variability;
+
+  /// Parses the "key value" text form. Unknown keys throw CheckError —
+  /// a typo'd topology file must not silently simulate the default.
+  static TopologyConfig parse(const std::string& text);
+  static TopologyConfig load(const std::string& path);
+  void validate() const;
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+  [[nodiscard]] index_t nodes() const { return config_.nodes; }
+  [[nodiscard]] const LinkModel& link() const { return link_; }
+
+  /// Structural hop count between two nodes (0 for self).
+  [[nodiscard]] index_t hops(index_t from, index_t to) const;
+
+  /// Transfer time of `bytes` between two nodes with `concurrentFlows`
+  /// competing for the same rail set: per-hop latency plus the bandwidth
+  /// term derated by netsim's congestionFactor.
+  [[nodiscard]] double transferSeconds(index_t from, index_t to, double bytes,
+                                       index_t concurrentFlows = 0) const;
+
+  /// Deterministic per-node throughput multiplier (machine/variability).
+  [[nodiscard]] double nodeMultiplier(index_t node) const;
+  [[nodiscard]] bool isDegraded(index_t node) const;
+  /// Slowest multiplier across the fleet — the synchronous-LU stall pace.
+  [[nodiscard]] double fleetMinMultiplier() const;
+
+  [[nodiscard]] const MachineSpec& machineSpec() const;
+
+ private:
+  TopologyConfig config_;
+  LinkModel link_;
+  GcdVariability variability_;
+};
+
+}  // namespace hplmxp::fleetsim

@@ -4,6 +4,24 @@
 
 namespace hplmxp {
 
+double linkTransferTime(const LinkModel& link, double bytes, index_t hops) {
+  HPLMXP_REQUIRE(bytes >= 0.0, "negative message size");
+  HPLMXP_REQUIRE(hops >= 0, "negative hop count");
+  if (hops == 0) {
+    return 0.0;  // self-send: never leaves the node
+  }
+  return static_cast<double>(hops) * link.alpha + bytes * link.betaPerByte;
+}
+
+double congestionFactor(index_t flows, index_t links) {
+  HPLMXP_REQUIRE(links >= 1, "need at least one link");
+  HPLMXP_REQUIRE(flows >= 0, "negative flow count");
+  if (flows <= links) {
+    return 1.0;
+  }
+  return static_cast<double>(flows) / static_cast<double>(links);
+}
+
 double treeBcastTime(const LinkModel& link, double bytes, index_t p) {
   if (p <= 1) {
     return 0.0;

@@ -36,6 +36,24 @@ struct LinkModel {
   double betaPerByte = 0;  // inverse bandwidth (s/byte)
 };
 
+/// One point-to-point transfer of `bytes` over a path of `hops` links —
+/// the fleet simulator's bandwidth oracle. Edge semantics:
+///   * self-sends (hops == 0) are free: the payload never leaves the
+///     node, a memcpy the alpha-beta model does not price;
+///   * zero-byte messages still pay the per-hop latency alpha (a pure
+///     synchronization/credit message);
+///   * the bandwidth term is paid once (store-and-forward latency is the
+///     per-hop alpha; large transfers pipeline through the path).
+double linkTransferTime(const LinkModel& link, double bytes, index_t hops);
+
+/// Congestion derating factor >= 1 for `flows` concurrent flows sharing
+/// `links` parallel links: 1 while under-subscribed (each flow has a link
+/// to itself), flows/links once saturated — past saturation the fabric
+/// splits bandwidth evenly, so transfer time scales linearly with the
+/// oversubscription ratio. flows == 0 (pricing a transfer that is itself
+/// the only traffic) costs nothing extra.
+double congestionFactor(index_t flows, index_t links);
+
 /// Completion time of an UNPIPELINED binomial-tree broadcast.
 double treeBcastTime(const LinkModel& link, double bytes, index_t p);
 

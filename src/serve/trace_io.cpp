@@ -18,9 +18,17 @@ RequestTrace loadRequestTrace(const std::string& path) {
   trace.name = doc.stringOr("name", path);
 
   const JsonValue& requests = doc.get("requests");
+  double prevAtMs = 0.0;
   for (const JsonValue& r : requests.asArray()) {
     TraceRequest tr;
-    tr.atMs = r.numberOr("at_ms", 0.0);
+    if (r.has("arrival_us")) {
+      const double gapUs = r.get("arrival_us").asNumber();
+      HPLMXP_REQUIRE(gapUs >= 0.0, "arrival_us must be non-negative");
+      tr.atMs = prevAtMs + gapUs / 1000.0;
+    } else {
+      tr.atMs = r.numberOr("at_ms", 0.0);
+    }
+    prevAtMs = tr.atMs;
     tr.n = static_cast<index_t>(r.get("n").asNumber());
     tr.b = static_cast<index_t>(r.get("b").asNumber());
     tr.seed = static_cast<std::uint64_t>(r.get("seed").asNumber());

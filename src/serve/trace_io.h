@@ -17,6 +17,12 @@
 // `at_ms` is the arrival offset from replay start; `deadline_ms` is
 // relative to arrival (0 or absent = engine default). `pr`/`pc` default to
 // the 1x1 grid the serve backend accepts.
+//
+// A request may instead carry `arrival_us`, an inter-arrival gap in
+// microseconds relative to the PREVIOUS request's arrival (the format
+// load generators like to emit). When present it overrides `at_ms`:
+// arrival = previous arrival + arrival_us/1000. Absent both fields, the
+// request arrives back-to-back with its predecessor (offset 0).
 #pragma once
 
 #include <cstdint>

@@ -112,6 +112,22 @@ struct CommState {
 
 using detail::CommState;
 
+namespace {
+std::atomic<const ClockSource*>& pollClockSlot() {
+  static std::atomic<const ClockSource*> slot{nullptr};
+  return slot;
+}
+}  // namespace
+
+void setPollClockSource(const ClockSource* source) {
+  pollClockSlot().store(source, std::memory_order_release);
+}
+
+const ClockSource& pollClockSource() {
+  const ClockSource* source = pollClockSlot().load(std::memory_order_acquire);
+  return source != nullptr ? *source : steadyClock();
+}
+
 CommTimeoutError::CommTimeoutError(std::string op, index_t rank,
                                    index_t peer, Tag tag,
                                    std::chrono::milliseconds timeout)

@@ -43,11 +43,20 @@
 #include <queue>
 #include <vector>
 
+#include "util/clock.h"
 #include "util/common.h"
 
 namespace hplmxp::simmpi {
 
 using Tag = std::int64_t;
+
+/// Clock source the Request poll backoff measures its spin window
+/// against. Defaults to the process wall clock; the fleet simulator can
+/// point it at a virtual clock so polling loops replayed under simulated
+/// time keep their spin-then-yield shape. Pass nullptr to restore the
+/// default. The source must outlive every Request that polls it.
+void setPollClockSource(const ClockSource* source);
+[[nodiscard]] const ClockSource& pollClockSource();
 
 class FaultInjector;
 
@@ -158,12 +167,15 @@ class Request {
   /// first success performs the completion, e.g. copies the received
   /// payload out). The poll companion of wait() for timeout loops.
   ///
-  /// Bounded spin-then-yield backoff: the first kPollSpinBudget misses
-  /// return immediately (latency-optimal for operations about to land);
-  /// after that every miss yields the CPU, so a tight `while (!req.test())`
-  /// loop — e.g. a dataflow rank polling an in-flight ring broadcast —
-  /// cannot starve the scheduler's worker threads on an oversubscribed
-  /// host.
+  /// Bounded spin-then-yield backoff: misses within the first
+  /// kPollSpinSeconds return immediately (latency-optimal for operations
+  /// about to land); after the window every miss yields the CPU, so a
+  /// tight `while (!req.test())` loop — e.g. a dataflow rank polling an
+  /// in-flight ring broadcast — cannot starve the scheduler's worker
+  /// threads on an oversubscribed host. The window is measured against
+  /// pollClockSource() (a *time* budget, not the old fixed miss count,
+  /// which stretched with CPU speed and meant nothing under a virtual
+  /// clock).
   bool test() {
     if (!state_ || state_->done.load(std::memory_order_acquire)) {
       return true;
@@ -190,19 +202,32 @@ class Request {
   }
 
  private:
-  /// Failed polls before test() starts yielding between attempts.
-  static constexpr std::uint32_t kPollSpinBudget = 64;
+  /// Spin window after the first failed poll before test() starts
+  /// yielding between attempts.
+  static constexpr double kPollSpinSeconds = 20e-6;
 
   struct State {
     std::mutex mutex;
     std::atomic<bool> done{false};
-    std::atomic<std::uint32_t> pollMisses{0};
+    /// Instant of the first failed poll; < 0 until a poll misses.
+    std::atomic<double> spinStartSeconds{-1.0};
     std::function<bool(bool)> tryComplete;
   };
 
   void backoff() {
-    if (state_->pollMisses.fetch_add(1, std::memory_order_relaxed) >=
-        kPollSpinBudget) {
+    const double now = pollClockSource().nowSeconds();
+    double start = state_->spinStartSeconds.load(std::memory_order_relaxed);
+    if (start < 0.0) {
+      // First miss opens the window; one racer wins, everyone measures
+      // from the same instant.
+      if (!state_->spinStartSeconds.compare_exchange_strong(
+              start, now, std::memory_order_relaxed)) {
+        // start now holds the winner's instant.
+      } else {
+        start = now;
+      }
+    }
+    if (now - start >= kPollSpinSeconds) {
       std::this_thread::yield();
     }
   }

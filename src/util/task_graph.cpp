@@ -108,8 +108,10 @@ bool TaskGraph::acyclic() const {
 /// closures can never observe a dangling frame even if execute() returns
 /// while a late-scheduled runner is still winding down.
 struct TaskGraph::ExecState {
-  explicit ExecState(std::size_t tasks, std::size_t laneCount)
-      : pending(tasks), records(tasks), lanes(laneCount) {
+  ExecState(std::size_t tasks, std::size_t laneCount,
+            const ClockSource& clockSource)
+      : pending(tasks), records(tasks), lanes(laneCount),
+        source(&clockSource), clock(clockSource) {
     deques.reserve(laneCount);
     for (std::size_t i = 0; i < laneCount; ++i) {
       deques.push_back(
@@ -123,7 +125,8 @@ struct TaskGraph::ExecState {
   std::vector<TaskRecord> records;
   std::vector<LaneStats> lanes;
 
-  Timer clock;  // shared time base for the timeline
+  const ClockSource* source;  // all timeline stamps read this source
+  Timer clock;                // shared time base for the timeline
   index_t spinsBeforeYield = 64;
 
   std::atomic<index_t> retired{0};
@@ -188,7 +191,7 @@ void TaskGraph::runTask(ExecState& st, TaskId id, std::int32_t lane,
 }
 
 void TaskGraph::runLane(ExecState& st, std::int32_t lane) {
-  const Timer laneClock;
+  const Timer laneClock(*st.source);
   const std::size_t laneCount = st.deques.size();
   index_t spins = 0;
   // Worker lanes stay until every compute task in the whole graph has
@@ -244,8 +247,11 @@ TaskGraph::ExecStats TaskGraph::execute(ThreadPool& pool,
   laneCount = std::max<index_t>(laneCount, 1);
 
   cancelled_.store(false, std::memory_order_release);
+  const ClockSource& clockSource =
+      opts.clock != nullptr ? *opts.clock : steadyClock();
   auto st = std::make_shared<ExecState>(static_cast<std::size_t>(total),
-                                        static_cast<std::size_t>(laneCount));
+                                        static_cast<std::size_t>(laneCount),
+                                        clockSource);
   st->spinsBeforeYield = std::max<index_t>(opts.spinsBeforeYield, 1);
   st->computeRemaining.store(computeTasks_, std::memory_order_relaxed);
 
@@ -278,7 +284,7 @@ TaskGraph::ExecStats TaskGraph::execute(ThreadPool& pool,
   // the cross-rank collective order identical to submission order), then
   // own deque, then steal.
   {
-    const Timer laneClock;
+    const Timer laneClock(*st->source);
     std::size_t mainHead = 0;
     index_t spins = 0;
     while (st->retired.load(std::memory_order_acquire) < total) {

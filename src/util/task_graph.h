@@ -30,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "util/clock.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +92,11 @@ class TaskGraph {
     index_t lanes = 0;
     /// Failed pop/steal attempts before an idle lane yields the CPU.
     index_t spinsBeforeYield = 64;
+    /// Time base for the timeline stamps and lane idle accounting
+    /// (util/clock.h); null = the process wall clock. The fleet simulator
+    /// passes its virtual clock here so simulated schedules fold through
+    /// trace/sched_timeline unchanged.
+    const ClockSource* clock = nullptr;
   };
 
   /// Adds a task runnable on any lane. Returns its id (dense, 0-based).

@@ -1,29 +1,37 @@
 // Wall-clock timing helpers used by the benchmark driver and trace module.
+//
+// Timers read time through util/clock.h's ClockSource abstraction (wall
+// clock by default), so timing-dependent machinery can be re-run under the
+// fleet simulator's virtual clock without code changes.
 #pragma once
 
-#include <chrono>
+#include "util/clock.h"
 
 namespace hplmxp {
 
-/// Monotonic wall-clock stopwatch with double-precision seconds.
+/// Monotonic stopwatch with double-precision seconds. Defaults to the
+/// process wall clock; pass a ClockSource (which must outlive the Timer)
+/// to run on another time base, e.g. fleetsim's ManualClock.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : Timer(steadyClock()) {}
+  explicit Timer(const ClockSource& source)
+      : source_(&source), startSeconds_(source.nowSeconds()) {}
 
   /// Restarts the stopwatch.
-  void reset() { start_ = Clock::now(); }
+  void reset() { startSeconds_ = source_->nowSeconds(); }
 
   /// Seconds elapsed since construction or last reset().
   [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return source_->nowSeconds() - startSeconds_;
   }
 
   /// Milliseconds elapsed since construction or last reset().
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const ClockSource* source_;
+  double startSeconds_;
 };
 
 /// Accumulates time over multiple start/stop intervals, e.g. the per-phase

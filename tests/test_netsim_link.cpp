@@ -1,0 +1,97 @@
+// Link-model edge cases: the fleet simulator prices every virtual
+// transfer through linkTransferTime + congestionFactor, so the
+// degenerate inputs a request-level simulation produces constantly —
+// zero-byte credit messages, self-sends, saturated links — need pinned
+// semantics.
+#include <gtest/gtest.h>
+
+#include "netsim/pipeline.h"
+
+namespace hplmxp {
+namespace {
+
+// Slingshot-ish link: 4 us latency, 25 GB/s.
+constexpr LinkModel kLink{.alpha = 4e-6, .betaPerByte = 1.0 / 25e9};
+
+TEST(LinkModel, SelfSendIsFree) {
+  EXPECT_DOUBLE_EQ(linkTransferTime(kLink, 0.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(linkTransferTime(kLink, 1e9, 0), 0.0);
+}
+
+TEST(LinkModel, ZeroByteMessagePaysPerHopLatencyOnly) {
+  EXPECT_DOUBLE_EQ(linkTransferTime(kLink, 0.0, 1), kLink.alpha);
+  EXPECT_DOUBLE_EQ(linkTransferTime(kLink, 0.0, 5), 5.0 * kLink.alpha);
+}
+
+TEST(LinkModel, BandwidthTermPaidOncePerPath) {
+  // Pipelined path: hops add latency, the payload streams once.
+  const double oneHop = linkTransferTime(kLink, 1e8, 1);
+  const double threeHops = linkTransferTime(kLink, 1e8, 3);
+  EXPECT_NEAR(threeHops - oneHop, 2.0 * kLink.alpha, 1e-12);
+  EXPECT_NEAR(oneHop, kLink.alpha + 1e8 / 25e9, 1e-12);
+}
+
+TEST(LinkModel, TransferTimeMonotoneInBytesAndHops) {
+  double prev = -1.0;
+  for (const double bytes : {0.0, 1.0, 1e3, 1e6, 1e9}) {
+    const double t = linkTransferTime(kLink, bytes, 2);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  prev = linkTransferTime(kLink, 1e6, 1);
+  for (index_t hops = 2; hops <= 8; ++hops) {
+    const double t = linkTransferTime(kLink, 1e6, hops);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LinkModel, TransferTimeRejectsNegativeInputs) {
+  EXPECT_THROW(linkTransferTime(kLink, -1.0, 1), CheckError);
+  EXPECT_THROW(linkTransferTime(kLink, 1.0, -1), CheckError);
+}
+
+TEST(LinkModel, CongestionIsFreeWhileUnderSubscribed) {
+  EXPECT_DOUBLE_EQ(congestionFactor(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(3, 4), 1.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(4, 4), 1.0);
+}
+
+TEST(LinkModel, CongestionAtSaturationSplitsBandwidthEvenly) {
+  // Past saturation, k flows on one link each see 1/k of the bandwidth:
+  // the factor is exactly the oversubscription ratio.
+  EXPECT_DOUBLE_EQ(congestionFactor(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(10, 1), 10.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(8, 4), 2.0);
+  EXPECT_DOUBLE_EQ(congestionFactor(9, 4), 2.25);
+}
+
+TEST(LinkModel, CongestionMonotoneInFlows) {
+  double prev = 0.0;
+  for (index_t flows = 0; flows <= 32; ++flows) {
+    const double f = congestionFactor(flows, 4);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(LinkModel, CongestionRejectsBadInputs) {
+  EXPECT_THROW(congestionFactor(1, 0), CheckError);
+  EXPECT_THROW(congestionFactor(-1, 1), CheckError);
+}
+
+TEST(LinkModel, CongestedTransferComposesWithOracle) {
+  // The simulator's composition: latency per hop, bandwidth derated by
+  // the congestion factor. Saturating the link doubles only the
+  // bandwidth term.
+  const double base = linkTransferTime(kLink, 1e8, 2);
+  const double congested =
+      2.0 * kLink.alpha + 1e8 * kLink.betaPerByte * congestionFactor(2, 1);
+  EXPECT_GT(congested, base);
+  EXPECT_DOUBLE_EQ(congested - base, 1e8 * kLink.betaPerByte);
+}
+
+}  // namespace
+}  // namespace hplmxp

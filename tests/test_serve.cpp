@@ -140,6 +140,42 @@ TEST(TraceIo, RoundTripsThroughJson) {
   }
 }
 
+TEST(TraceIo, ArrivalUsAccumulatesFromPreviousRequest) {
+  const std::string path = "test_serve_trace_arrival_us.json";
+  {
+    std::ofstream out(path);
+    out << R"({"name": "gaps", "requests": [
+      {"arrival_us": 0,    "n": 32, "b": 16, "seed": 1},
+      {"arrival_us": 250,  "n": 32, "b": 16, "seed": 2},
+      {"arrival_us": 1500, "n": 32, "b": 16, "seed": 3},
+      {"at_ms": 10.0,      "n": 32, "b": 16, "seed": 4},
+      {"arrival_us": 500,  "n": 32, "b": 16, "seed": 5},
+      {"n": 32, "b": 16, "seed": 6}
+    ]})";
+  }
+  const RequestTrace trace = loadRequestTrace(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(trace.requests.size(), 6u);
+  EXPECT_DOUBLE_EQ(trace.requests[0].atMs, 0.0);
+  EXPECT_DOUBLE_EQ(trace.requests[1].atMs, 0.25);
+  EXPECT_DOUBLE_EQ(trace.requests[2].atMs, 1.75);
+  // at_ms stays absolute and resets the accumulation base.
+  EXPECT_DOUBLE_EQ(trace.requests[3].atMs, 10.0);
+  EXPECT_DOUBLE_EQ(trace.requests[4].atMs, 10.5);
+  // Neither field: back-to-back with the predecessor.
+  EXPECT_DOUBLE_EQ(trace.requests[5].atMs, 0.0);
+}
+
+TEST(TraceIo, ArrivalUsRejectsNegativeGaps) {
+  const std::string path = "test_serve_trace_arrival_neg.json";
+  {
+    std::ofstream out(path);
+    out << R"({"requests": [{"arrival_us": -5, "n": 32, "b": 16, "seed": 1}]})";
+  }
+  EXPECT_THROW((void)loadRequestTrace(path), CheckError);
+  std::remove(path.c_str());
+}
+
 // --------------------------------------------------------- FactorCache --
 
 TEST(FactorCacheTest, HitsMissesAndProblemKeyIdentity) {
