@@ -477,7 +477,14 @@ int cmdChaos(const Options& raw) {
         runOpts);
     completed = true;
   } catch (const simmpi::MultiRankError& e) {
-    outcome = "multi-rank failure (aggregated)";
+    outcome = e.partitioned() ? "network partition (aggregated timeouts)"
+                              : "multi-rank failure (aggregated)";
+    if (e.partitioned()) {
+      failureLines.push_back(
+          "partition at rank boundary " +
+          std::to_string(e.partitionBoundary()) + " dropped " +
+          std::to_string(e.partitionDrops()) + " sends");
+    }
     for (const simmpi::RankFailure& f : e.failures()) {
       failureLines.push_back("rank " + std::to_string(f.rank) + ": " +
                              f.message);
@@ -520,6 +527,8 @@ int cmdChaos(const Options& raw) {
   t.addRow({"send retries", Table::num((long long)stats.retries)});
   t.addRow({"payload bit flips", Table::num((long long)stats.bitflips)});
   t.addRow({"rank crashes", Table::num((long long)stats.crashes)});
+  t.addRow({"partition-dropped sends",
+            Table::num((long long)stats.partitionDrops)});
   t.addRow({"checkpoint corruptions",
             Table::num((long long)stats.checkpointCorruptions)});
   if (completed) {
@@ -873,6 +882,9 @@ int cmdServe(const Options& raw) {
   index_t crashAt = -1;
   index_t crashWho = 0;
   index_t resurrectAt = -1;
+  index_t slowAt = -1;
+  index_t slowWho = 0;
+  double slowStretch = 5.0;
   if (shards > 1) {
     fcfg.shards = shards;
     fcfg.virtualNodes = opts.getInt("serve.shards.virtual-nodes", 64);
@@ -885,14 +897,32 @@ int cmdServe(const Options& raw) {
         opts.getDouble("serve.shards.open-ms", 50.0) * 1e-3;
     fcfg.groupOptions.timeout = std::chrono::milliseconds(
         opts.getInt("serve.shards.timeout-ms", 5000));
+    // Gray-failure defense: phi-accrual health monitor + hedged requests.
+    fcfg.healthMonitor.enabled = opts.getBool("serve.shards.health", true);
+    fcfg.healthMonitor.suspectPhi =
+        opts.getDouble("serve.shards.suspect-phi", 1.0);
+    fcfg.healthMonitor.quarantinePhi =
+        opts.getDouble("serve.shards.quarantine-phi", 3.0);
+    fcfg.healthMonitor.quarantineDwellSeconds =
+        opts.getDouble("serve.shards.dwell-ms", 100.0) * 1e-3;
+    fcfg.hedge.enabled = opts.getBool("hedge", false);
+    fcfg.hedge.delayFactor = opts.getDouble("hedge-delay-factor", 1.5);
+    fcfg.hedge.minDelaySeconds =
+        opts.getDouble("hedge-delay-ms", 2.0) * 1e-3;
+    fcfg.hedge.budgetPerSecond = opts.getDouble("hedge-budget", 20.0);
+    fcfg.hedge.budgetBurst = opts.getDouble("hedge-burst", 8.0);
     breakAt = opts.getInt("break-at", -1);
     breakWho = opts.getInt("break-shard", 0);
     crashAt = opts.getInt("crash-at", -1);
     crashWho = opts.getInt("crash-shard", shards - 1);
     resurrectAt = opts.getInt("resurrect-at", -1);
+    slowAt = opts.getInt("slow-at", -1);
+    slowWho = opts.getInt("slow-shard", 0);
+    slowStretch = opts.getDouble("slow-stretch", 5.0);
     HPLMXP_REQUIRE(breakWho >= 0 && breakWho < shards &&
-                       crashWho >= 0 && crashWho < shards,
-                   "--break-shard/--crash-shard out of range");
+                       crashWho >= 0 && crashWho < shards &&
+                       slowWho >= 0 && slowWho < shards,
+                   "--break-shard/--crash-shard/--slow-shard out of range");
   }
   warnUnused(opts);
 
@@ -962,6 +992,9 @@ int cmdServe(const Options& raw) {
       }
       if (i == crashAt) {
         fleet.crashShard(crashWho);
+      }
+      if (i == slowAt) {
+        fleet.slowShard(slowWho, slowStretch);
       }
       if (i == resurrectAt) {
         if (crashAt >= 0) {
@@ -1072,6 +1105,19 @@ int cmdFleetsim(const Options& raw) {
     cfg.serve.failoverLimit = opts.getInt("serve.shards.failover-limit", 2);
     cfg.serve.hostGflops = opts.getDouble("host-gflops", 2.0);
     cfg.serve.irIterations = opts.getInt("ir-iters", 3);
+
+    // Gray-failure defense (off by default: golden traces stay stable).
+    cfg.serve.health.enabled = opts.getBool("health", false);
+    cfg.serve.heartbeatIntervalMs = opts.getDouble("heartbeat-ms", 10.0);
+    cfg.serve.health.suspectPhi = opts.getDouble("suspect-phi", 1.0);
+    cfg.serve.health.quarantinePhi = opts.getDouble("quarantine-phi", 3.0);
+    cfg.serve.health.quarantineDwellSeconds =
+        opts.getDouble("dwell-ms", 100.0) * 1e-3;
+    cfg.serve.hedgeEnabled = opts.getBool("hedge", false);
+    cfg.serve.hedgeDelayFactor = opts.getDouble("hedge-delay-factor", 1.5);
+    cfg.serve.hedgeMinDelayMs = opts.getDouble("hedge-min-delay-ms", 2.0);
+    cfg.serve.hedgeBudgetPerSecond = opts.getDouble("hedge-budget", 20.0);
+    cfg.serve.hedgeBudgetBurst = opts.getDouble("hedge-burst", 8.0);
 
     // Chaos schedule on the virtual clock (ms).
     const double crashAtMs = opts.getDouble("crash-at-ms", -1.0);
@@ -1216,7 +1262,7 @@ std::string usage() {
       "  scan     slow-node mini-benchmark scan (--fleet --degraded)\n"
       "  chaos    distributed solve under a fault-injection scenario\n"
       "           (--scenario none|delay|transient|sdc|stall|crash\n"
-      "                       |multicrash|ckptcorrupt|ladder\n"
+      "                       |multicrash|ckptcorrupt|partition|ladder\n"
       "            ladder: adaptive-precision sweep over conditioning\n"
       "            regimes (--precision auto|fp16|bf16|fp8e4m3|fp8e5m2\n"
       "            --max-ir --gmres on|off --gmres-restart --gmres-outer)\n"
@@ -1255,9 +1301,14 @@ std::string usage() {
       "            --serve.shards.hot-requests --serve.shards.hot-replicas\n"
       "            --serve.shards.failover-limit --serve.shards.open-ms\n"
       "            --serve.shards.timeout-ms\n"
+      "            gray-failure defense: --serve.shards.health on|off\n"
+      "            --serve.shards.suspect-phi --serve.shards.quarantine-phi\n"
+      "            --serve.shards.dwell-ms --hedge on|off\n"
+      "            --hedge-delay-factor --hedge-delay-ms --hedge-budget\n"
+      "            --hedge-burst\n"
       "            chaos schedule (request indices):\n"
       "            --break-at --break-shard --crash-at --crash-shard\n"
-      "            --resurrect-at)\n"
+      "            --resurrect-at --slow-at --slow-shard --slow-stretch)\n"
       "  fleetsim fleet-scale discrete-event co-simulation: replay a\n"
       "           request trace and/or a factorization sweep on a virtual\n"
       "           cluster topology, with an mgsim-style debug CLI\n"
@@ -1273,6 +1324,10 @@ std::string usage() {
       "            chaos (virtual ms): --crash-at-ms --crash-shard\n"
       "            --resurrect-at-ms --slow-at-ms --slow-shard\n"
       "            --slow-factor\n"
+      "            gray-failure defense: --health on|off --heartbeat-ms\n"
+      "            --suspect-phi --quarantine-phi --dwell-ms\n"
+      "            --hedge on|off --hedge-delay-factor --hedge-min-delay-ms\n"
+      "            --hedge-budget --hedge-burst\n"
       "            modes: --script FILE | --interactive | (default: run)\n"
       "            --json FILE --validate BENCH_serve.json\n"
       "            --tol-latency X --tol-hit X)\n"

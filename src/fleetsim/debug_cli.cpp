@@ -125,7 +125,7 @@ void DebugCli::cmdShow(std::istringstream& args) {
   std::string what;
   index_t id = 0;
   HPLMXP_REQUIRE(static_cast<bool>(args >> what >> id),
-                 "show needs: node|shard|cache|queue <index>");
+                 "show needs: node|shard|cache|queue|health <index>");
   if (what == "node") {
     const Topology& topo = session_->topology();
     *out_ << "node " << id << ": multiplier "
@@ -153,6 +153,14 @@ void DebugCli::cmdShow(std::istringstream& args) {
   } else if (what == "queue") {
     *out_ << "shard " << view.shard << " queue: " << view.queuedRequests
           << " pending requests\n";
+  } else if (what == "health") {
+    const ServeWorkload::HealthView health =
+        session_->serve()->healthView(id, session_->sim().now());
+    *out_ << "shard " << health.shard << " @ node " << health.node
+          << ": state " << health.state << ", phi " << health.phi
+          << ", last heartbeat " << health.lastHeartbeatAge * 1e3
+          << "ms ago, heartbeats " << health.heartbeats << ", quarantines "
+          << health.quarantines << "\n";
   } else {
     HPLMXP_REQUIRE(false, ("unknown show target: " + what).c_str());
   }
@@ -172,7 +180,7 @@ bool DebugCli::execute(const std::string& line) {
     } else if (cmd == "help") {
       *out_ << "commands: step [n] | run | run-until <ms> | break "
                "class|node|time <arg> | breaks | clear-breaks | trace [n] | "
-               "show node|shard|cache|queue <i> | stats | quit\n";
+               "show node|shard|cache|queue|health <i> | stats | quit\n";
     } else if (cmd == "step") {
       cmdStep(args);
     } else if (cmd == "run") {

@@ -16,6 +16,8 @@ const char* toString(EventClass cls) {
     case EventClass::kCrash: return "crash";
     case EventClass::kResurrect: return "resurrect";
     case EventClass::kSlowdown: return "slowdown";
+    case EventClass::kHeartbeat: return "heartbeat";
+    case EventClass::kHedgeFire: return "hedge-fire";
   }
   return "?";
 }
@@ -25,7 +27,8 @@ EventClass eventClassFromString(const std::string& name) {
        {EventClass::kLuIteration, EventClass::kLuPanelArrival,
         EventClass::kLuDone, EventClass::kRequestArrival,
         EventClass::kBatchWindow, EventClass::kSolveDone, EventClass::kCrash,
-        EventClass::kResurrect, EventClass::kSlowdown}) {
+        EventClass::kResurrect, EventClass::kSlowdown,
+        EventClass::kHeartbeat, EventClass::kHedgeFire}) {
     if (name == toString(cls)) {
       return cls;
     }

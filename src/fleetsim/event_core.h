@@ -36,6 +36,10 @@ enum class EventClass : std::uint8_t {
   kCrash,            // a shard/node dies
   kResurrect,        // a crashed shard/node returns
   kSlowdown,         // a node's throughput multiplier degrades
+  // Appended (never reordered): existing golden trace hashes depend on
+  // the numeric values above.
+  kHeartbeat,        // a shard's periodic liveness pulse (phi detector)
+  kHedgeFire,        // a request's hedge delay expired (speculative copy)
 };
 
 [[nodiscard]] const char* toString(EventClass cls);

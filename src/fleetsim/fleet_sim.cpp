@@ -91,6 +91,14 @@ std::string FleetSimReport::toJson() const {
     os << "    \"max_batch_size\": " << s.maxBatchSize << ",\n";
     os << "    \"peak_queue_depth\": " << s.peakQueueDepth << ",\n";
     os << "    \"breaker_trips\": " << s.breakerTrips << ",\n";
+    os << "    \"heartbeats\": " << s.heartbeats << ",\n";
+    os << "    \"quarantines\": " << s.quarantines << ",\n";
+    os << "    \"health_detours\": " << s.healthDetours << ",\n";
+    os << "    \"hedges_issued\": " << s.hedgesIssued << ",\n";
+    os << "    \"hedge_wins\": " << s.hedgeWins << ",\n";
+    os << "    \"hedge_wasted\": " << s.hedgeWasted << ",\n";
+    os << "    \"hedge_denied\": " << s.hedgeDenied << ",\n";
+    os << "    \"solve_work_seconds\": " << s.solveWorkSeconds << ",\n";
     os << "    \"queue_wait_ms\": " << queueWait.toJson() << ",\n";
     os << "    \"solve_ms\": " << solve.toJson() << ",\n";
     os << "    \"total_ms\": " << total.toJson() << "\n  }";

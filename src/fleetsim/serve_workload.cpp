@@ -17,16 +17,39 @@ void ServeWorkloadConfig::validate(const Topology& topology) const {
   HPLMXP_REQUIRE(failoverLimit >= 0, "negative failover limit");
   HPLMXP_REQUIRE(hostGflops > 0.0, "host rate must be positive");
   HPLMXP_REQUIRE(irIterations >= 1, "need >= 1 IR iteration");
+  HPLMXP_REQUIRE(heartbeatIntervalMs > 0.0,
+                 "heartbeat interval must be positive");
+  if (hedgeEnabled) {
+    HPLMXP_REQUIRE(hedgeDelayFactor >= 0.0 && hedgeMinDelayMs >= 0.0,
+                   "hedge delay knobs must be non-negative");
+    HPLMXP_REQUIRE(hedgeBudgetPerSecond > 0.0 && hedgeBudgetBurst >= 1.0,
+                   "hedge budget must admit at least one hedge");
+  }
 }
+
+namespace {
+
+/// The phi detector is seeded from the configured pulse cadence, so the
+/// millisecond CLI knob must land in the monitor's config before it is
+/// constructed.
+serve::HealthConfig syncedHealth(const ServeWorkloadConfig& cfg) {
+  serve::HealthConfig h = cfg.health;
+  h.heartbeatIntervalSeconds = cfg.heartbeatIntervalMs * 1e-3;
+  return h;
+}
+
+}  // namespace
 
 ServeWorkload::ServeWorkload(ServeWorkloadConfig config,
                              const Topology& topology)
     : config_(std::move(config)),
       topology_(&topology),
       ring_(config_.shards, config_.virtualNodes),
-      breaker_(config_.breaker) {
+      breaker_(config_.breaker),
+      healthMon_(syncedHealth(config_), config_.shards) {
   config_.validate(topology);
   cacheBudgetBytes_ = config_.cacheMb * 1024.0 * 1024.0;
+  hedgeTokens_ = config_.hedgeBudgetBurst;
   shards_.resize(static_cast<std::size_t>(config_.shards));
   sentinels_.reserve(shards_.size());
   const index_t stride = topology.nodes() / config_.shards;
@@ -69,11 +92,128 @@ index_t ServeWorkload::keyIndexOf(const serve::TraceRequest& r) {
   return it->second;
 }
 
-index_t ServeWorkload::routeShard(index_t keyIndex) const {
-  return ring_.route(keys_[static_cast<std::size_t>(keyIndex)],
-                     [this](index_t s) {
-                       return !shards_[static_cast<std::size_t>(s)].crashed;
-                     });
+index_t ServeWorkload::routeShard(index_t keyIndex, double now) {
+  const serve::ProblemKey& key = keys_[static_cast<std::size_t>(keyIndex)];
+  // The live fleet's two-tier routing: `preferred` steers off quarantined
+  // shards, `hard` (alive at all) is the fallback so quarantine can never
+  // starve the fleet.
+  const auto hard = [this](index_t s) {
+    return !shards_[static_cast<std::size_t>(s)].crashed;
+  };
+  const auto preferred = [&](index_t s) {
+    return hard(s) && healthMon_.routable(s, now);
+  };
+  index_t chosen = ring_.route(key, preferred);
+  if (chosen < 0) {
+    chosen = ring_.route(key, hard);
+  }
+  if (config_.health.enabled && chosen >= 0) {
+    const index_t allUp = ring_.route(key, nullptr);
+    if (chosen != allUp && allUp >= 0 &&
+        healthMon_.state(allUp, now) ==
+            serve::HealthState::kQuarantined) {
+      ++stats_.healthDetours;
+    }
+  }
+  return chosen;
+}
+
+bool ServeWorkload::markAnswered(index_t traceIndex) {
+  RequestState& st = reqState_[traceIndex];
+  if (st.answered) {
+    return false;
+  }
+  st.answered = true;
+  return true;
+}
+
+void ServeWorkload::failCopy(const PendingRequest& req) {
+  if (req.hedgeCopy || !markAnswered(req.traceIndex)) {
+    ++stats_.hedgeWasted;  // a losing copy's work, discarded
+    return;
+  }
+  ++stats_.failed;
+  pendingMeta_.erase(req.traceIndex);
+}
+
+void ServeWorkload::scheduleHeartbeat(Simulator& sim, index_t shardIndex) {
+  Shard& shard = shards_[static_cast<std::size_t>(shardIndex)];
+  // A slowed shard pulses proportionally later — the gray-failure signal
+  // the phi detector exists to notice.
+  const double interval =
+      config_.heartbeatIntervalMs * 1e-3 / shard.slowFactor;
+  sim.schedule(sim.now() + interval, shard.node, EventClass::kHeartbeat, me_,
+               shardIndex, shard.pulseGeneration);
+}
+
+double ServeWorkload::hedgeDelaySeconds() const {
+  const double minDelay = config_.hedgeMinDelayMs * 1e-3;
+  const std::vector<double>& totals = stats_.totalSeconds;
+  if (totals.empty()) {
+    return minDelay;
+  }
+  // p95 of the most recent completions: the hedge must track the current
+  // service level, not the whole run's history.
+  const std::size_t window = std::min<std::size_t>(totals.size(), 64);
+  std::vector<double> recent(totals.end() -
+                                 static_cast<std::ptrdiff_t>(window),
+                             totals.end());
+  std::sort(recent.begin(), recent.end());
+  const double p95 = recent[static_cast<std::size_t>(
+      0.95 * static_cast<double>(recent.size() - 1))];
+  return std::max(minDelay, config_.hedgeDelayFactor * p95);
+}
+
+void ServeWorkload::fireHedge(Simulator& sim, index_t traceIndex,
+                              double now) {
+  const auto stIt = reqState_.find(traceIndex);
+  if (stIt == reqState_.end() || stIt->second.answered) {
+    return;  // answered in time: the hedge is moot
+  }
+  const auto metaIt = pendingMeta_.find(traceIndex);
+  if (metaIt == pendingMeta_.end()) {
+    return;
+  }
+  // Token-bucket refill on virtual time: a fleet-wide slowdown (every
+  // request late) drains the bucket; an isolated slow shard stays within
+  // budget.
+  hedgeTokens_ = std::min(
+      config_.hedgeBudgetBurst,
+      hedgeTokens_ + (now - hedgeRefillAt_) * config_.hedgeBudgetPerSecond);
+  hedgeRefillAt_ = now;
+  if (hedgeTokens_ < 1.0) {
+    ++stats_.hedgeDenied;
+    return;
+  }
+  const serve::TraceRequest& r = traceRequest(traceIndex);
+  const index_t keyIdx = keyIndexOf(r);
+  const index_t primary = stIt->second.primaryShard;
+  // Replica target: the first routable ring successor that is not the
+  // primary (the hedge exists to bet on a DIFFERENT shard).
+  index_t target = -1;
+  const std::vector<index_t> successors = ring_.successors(
+      keys_[static_cast<std::size_t>(keyIdx)], config_.shards,
+      [&](index_t s) {
+        return !shards_[static_cast<std::size_t>(s)].crashed &&
+               healthMon_.routable(s, now);
+      });
+  for (const index_t s : successors) {
+    if (s != primary) {
+      target = s;
+      break;
+    }
+  }
+  if (target < 0) {
+    ++stats_.hedgeDenied;
+    return;
+  }
+  hedgeTokens_ -= 1.0;
+  ++stats_.hedgesIssued;
+  const double hop = topology_->transferSeconds(
+      0, shardNode(target), config_.requestBytes, config_.shards);
+  // x = 1.0 marks the arriving copy as the speculative one.
+  sim.schedule(now + hop, shardNode(target), EventClass::kRequestArrival,
+               me_, traceIndex, target, /*x=*/1.0);
 }
 
 double ServeWorkload::factorBytes(const serve::TraceRequest& r) const {
@@ -113,6 +253,11 @@ void ServeWorkload::start(Simulator& sim) {
         break;
     }
   }
+  if (config_.health.enabled) {
+    for (index_t s = 0; s < config_.shards; ++s) {
+      scheduleHeartbeat(sim, s);
+    }
+  }
 }
 
 bool ServeWorkload::done() const {
@@ -124,8 +269,13 @@ bool ServeWorkload::done() const {
 
 void ServeWorkload::reject(const PendingRequest& req,
                            serve::RequestStatus status, double now) {
-  (void)req;
   (void)now;
+  if (req.hedgeCopy || !markAnswered(req.traceIndex)) {
+    // A losing copy's rejection is not the request's fate.
+    ++stats_.hedgeWasted;
+    return;
+  }
+  pendingMeta_.erase(req.traceIndex);
   switch (status) {
     case serve::RequestStatus::kRejectedQueueFull:
       ++stats_.rejectedQueueFull;
@@ -227,6 +377,8 @@ void ServeWorkload::dispatchBucket(Simulator& sim, index_t shardIndex,
       static_cast<double>(config_.irIterations) * 2.0 * n * n * cols / rate +
       config_.solveOverheadUs * 1e-6;
   batch.solveCost = factorSeconds + solveSeconds;
+  // Duplicates included: the hedge amplification gate reads this.
+  stats_.solveWorkSeconds += batch.solveCost;
 
   // One worker lane per shard: the batch queues behind whatever the lane
   // is already solving. Queue wait = submission to lane start.
@@ -251,6 +403,7 @@ void ServeWorkload::crashShard(Simulator& sim, index_t shardIndex) {
     return;
   }
   shard.crashed = true;
+  ++shard.pulseGeneration;  // pending heartbeat pulses are now stale
   // A crash loses the cached factors (a real node death does).
   shard.cache.clear();
   shard.cacheBytes = 0.0;
@@ -260,13 +413,19 @@ void ServeWorkload::crashShard(Simulator& sim, index_t shardIndex) {
   for (auto& [keyIndex, bucket] : shard.buckets) {
     for (PendingRequest& req : bucket) {
       --shard.queuedRequests;
-      if (req.failovers >= config_.failoverLimit) {
-        ++stats_.failed;
+      const auto stIt = reqState_.find(req.traceIndex);
+      if (req.hedgeCopy ||
+          (stIt != reqState_.end() && stIt->second.answered)) {
+        ++stats_.hedgeWasted;  // a losing copy dies with the shard
         continue;
       }
-      const index_t next = routeShard(keyIndex);
+      if (req.failovers >= config_.failoverLimit) {
+        failCopy(req);
+        continue;
+      }
+      const index_t next = routeShard(keyIndex, now);
       if (next < 0) {
-        ++stats_.failed;
+        failCopy(req);
         continue;
       }
       ++req.failovers;
@@ -302,33 +461,46 @@ void ServeWorkload::handle(Simulator& sim, const Event& event) {
             r.deadlineMs > 0.0 ? r.deadlineMs : config_.defaultDeadlineMs;
         req.deadlineSeconds =
             deadlineMs > 0.0 ? now + deadlineMs * 1e-3 : 0.0;
-        const index_t shard = routeShard(keyIdx);
+        const index_t shard = routeShard(keyIdx, now);
         if (shard < 0) {
+          (void)markAnswered(traceIdx);
           ++stats_.failed;  // nobody healthy to route to
           break;
         }
         pendingMeta_[traceIdx] = req;
+        reqState_[traceIdx].primaryShard = shard;
         const double hop = topology_->transferSeconds(
             0, shardNode(shard), config_.requestBytes, config_.shards);
         sim.schedule(now + hop, shardNode(shard),
                      EventClass::kRequestArrival, me_, traceIdx, shard);
+        if (config_.hedgeEnabled && config_.shards > 1) {
+          sim.schedule(now + hedgeDelaySeconds(), 0, EventClass::kHedgeFire,
+                       me_, traceIdx);
+        }
         break;
       }
       // Shard-side admission.
       const auto metaIt = pendingMeta_.find(traceIdx);
-      HPLMXP_REQUIRE(metaIt != pendingMeta_.end(),
-                     "request arrived without router metadata");
+      if (metaIt == pendingMeta_.end()) {
+        break;  // another copy already answered this request
+      }
       PendingRequest req = metaIt->second;
+      req.hedgeCopy = event.x > 0.5;
       Shard& shard = shards_[static_cast<std::size_t>(toShard)];
       if (shard.crashed) {
-        // Crashed between routing and arrival: fail over.
-        if (req.failovers >= config_.failoverLimit) {
-          ++stats_.failed;
+        // Crashed between routing and arrival: fail over (hedge copies
+        // never fail over — the primary is still in flight).
+        if (req.hedgeCopy) {
+          ++stats_.hedgeWasted;
           break;
         }
-        const index_t next = routeShard(keyIdx);
+        if (req.failovers >= config_.failoverLimit) {
+          failCopy(req);
+          break;
+        }
+        const index_t next = routeShard(keyIdx, now);
         if (next < 0) {
-          ++stats_.failed;
+          failCopy(req);
           break;
         }
         ++req.failovers;
@@ -391,13 +563,19 @@ void ServeWorkload::handle(Simulator& sim, const Event& event) {
       if (shard.crashed) {
         // The shard died mid-solve; surviving requests fail over.
         for (PendingRequest& req : batch.requests) {
-          if (req.failovers >= config_.failoverLimit) {
-            ++stats_.failed;
+          const auto stIt = reqState_.find(req.traceIndex);
+          if (req.hedgeCopy ||
+              (stIt != reqState_.end() && stIt->second.answered)) {
+            ++stats_.hedgeWasted;  // the losing copy dies with the shard
             continue;
           }
-          const index_t next = routeShard(batch.keyIndex);
+          if (req.failovers >= config_.failoverLimit) {
+            failCopy(req);
+            continue;
+          }
+          const index_t next = routeShard(batch.keyIndex, now);
           if (next < 0) {
-            ++stats_.failed;
+            failCopy(req);
             continue;
           }
           ++req.failovers;
@@ -414,7 +592,23 @@ void ServeWorkload::handle(Simulator& sim, const Event& event) {
         break;
       }
       breaker_.onSuccess(sentinels_[static_cast<std::size_t>(batch.shard)]);
+      // Completions heal a probing shard, but deliberately do NOT feed the
+      // phi stream: a busy-but-slow shard completes constantly, and those
+      // arrivals would mask the stretched pulse cadence that IS the
+      // gray-failure signal. Only the periodic pulse carries it.
+      if (config_.health.enabled &&
+          healthMon_.state(batch.shard, now) ==
+              serve::HealthState::kProbing) {
+        healthMon_.onOutcome(batch.shard, true, now);
+      }
       for (const PendingRequest& req : batch.requests) {
+        if (!markAnswered(req.traceIndex)) {
+          ++stats_.hedgeWasted;  // the other copy answered first
+          continue;
+        }
+        if (req.hedgeCopy) {
+          ++stats_.hedgeWins;
+        }
         ++stats_.completed;
         ++shard.completed;
         stats_.queueWaitSeconds.push_back(batch.dispatchSeconds -
@@ -433,7 +627,11 @@ void ServeWorkload::handle(Simulator& sim, const Event& event) {
       Shard& shard = shards_[static_cast<std::size_t>(event.a)];
       shard.crashed = false;  // cold cache, healthy again
       shard.busyUntil = now;
+      ++shard.pulseGeneration;
       breaker_.onSuccess(sentinels_[static_cast<std::size_t>(event.a)]);
+      if (config_.health.enabled) {
+        scheduleHeartbeat(sim, static_cast<index_t>(event.a));
+      }
       break;
     }
     case EventClass::kSlowdown: {
@@ -441,10 +639,29 @@ void ServeWorkload::handle(Simulator& sim, const Event& event) {
       shard.slowFactor = std::min(shard.slowFactor, event.x);
       break;
     }
+    case EventClass::kHeartbeat: {
+      const index_t shardIdx = static_cast<index_t>(event.a);
+      Shard& shard = shards_[static_cast<std::size_t>(shardIdx)];
+      if (shard.crashed || event.b != shard.pulseGeneration) {
+        break;  // stale pulse from before a crash/resurrect
+      }
+      healthMon_.heartbeat(shardIdx, now);
+      ++stats_.heartbeats;
+      if (!done()) {
+        scheduleHeartbeat(sim, shardIdx);
+      }
+      break;
+    }
+    case EventClass::kHedgeFire:
+      fireHedge(sim, static_cast<index_t>(event.a), now);
+      break;
     default:
       HPLMXP_REQUIRE(false, "serve workload received a foreign event");
   }
   stats_.breakerTrips = breaker_.trips();
+  if (config_.health.enabled) {
+    stats_.quarantines = healthMon_.quarantines();
+  }
 }
 
 ServeWorkload::ShardView ServeWorkload::shardView(index_t shard) const {
@@ -461,6 +678,22 @@ ServeWorkload::ShardView ServeWorkload::shardView(index_t shard) const {
   view.routed = s.routed;
   view.completed = s.completed;
   view.busyUntil = s.busyUntil;
+  return view;
+}
+
+ServeWorkload::HealthView ServeWorkload::healthView(index_t shard,
+                                                    double now) {
+  HPLMXP_REQUIRE(shard >= 0 && shard < config_.shards, "shard out of range");
+  const serve::ShardHealthMonitor::ShardSnapshot snap =
+      healthMon_.shardSnapshot(shard, now);
+  HealthView view;
+  view.shard = shard;
+  view.node = shards_[static_cast<std::size_t>(shard)].node;
+  view.state = serve::toString(snap.state);
+  view.phi = snap.phi;
+  view.lastHeartbeatAge = snap.lastHeartbeatAge;
+  view.heartbeats = snap.heartbeats;
+  view.quarantines = snap.quarantines;
   return view;
 }
 

@@ -27,6 +27,7 @@
 #include "fleetsim/topology.h"
 #include "serve/breaker.h"
 #include "serve/fleet/hash_ring.h"
+#include "serve/fleet/health.h"
 #include "serve/metrics.h"
 #include "serve/trace_io.h"
 
@@ -60,6 +61,25 @@ struct ServeWorkloadConfig {
   double solveOverheadUs = 100.0;
   double requestBytes = 1024.0;  // routed request payload on the wire
 
+  /// Gray-failure defense, co-simulated with the SAME policy component the
+  /// live fleet runs (serve::ShardHealthMonitor) so detector thresholds
+  /// tuned here land unchanged in FleetConfig::healthMonitor. Default OFF:
+  /// a defense-off run schedules no heartbeat/hedge events, preserving
+  /// existing golden trace hashes.
+  serve::HealthConfig health{false};
+  /// Periodic shard liveness pulses feeding the phi detector; a slowed
+  /// shard (slowFactor f) pulses every heartbeatIntervalMs / f.
+  double heartbeatIntervalMs = 10.0;
+
+  /// Hedged requests (first answer wins). Delay = hedgeDelayFactor x the
+  /// recent completed-total p95, clamped to [hedgeMinDelayMs, inf); the
+  /// token bucket caps duplicate-work amplification fleet-wide.
+  bool hedgeEnabled = false;
+  double hedgeDelayFactor = 1.5;
+  double hedgeMinDelayMs = 2.0;
+  double hedgeBudgetPerSecond = 20.0;
+  double hedgeBudgetBurst = 8.0;
+
   std::vector<ChaosAction> chaos;
 
   void validate(const Topology& topology) const;
@@ -87,6 +107,19 @@ struct ServeStats {
   index_t maxBatchSize = 0;
   index_t peakQueueDepth = 0;
   std::uint64_t breakerTrips = 0;
+
+  // Gray-failure defense tallies (all zero with the defense off).
+  std::uint64_t heartbeats = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t healthDetours = 0;  // routes steered off quarantined shards
+  std::uint64_t hedgesIssued = 0;
+  std::uint64_t hedgeWins = 0;
+  std::uint64_t hedgeWasted = 0;
+  std::uint64_t hedgeDenied = 0;
+  /// Total shard-lane solve seconds spent, duplicates included — the
+  /// duplicate-work amplification gate compares this across defense
+  /// on/off runs (must stay <= 1.15x).
+  double solveWorkSeconds = 0.0;
 
   std::vector<double> queueWaitSeconds;
   std::vector<double> solveSeconds;
@@ -133,12 +166,32 @@ class ServeWorkload final : public Workload {
   [[nodiscard]] ShardView shardView(index_t shard) const;
   [[nodiscard]] index_t shardNode(index_t shard) const;
 
+  /// Per-shard phi-detector snapshot for the CLI's `show health` view.
+  struct HealthView {
+    index_t shard = 0;
+    index_t node = 0;
+    std::string state = "healthy";
+    double phi = 0.0;
+    double lastHeartbeatAge = 0.0;  // seconds of virtual time
+    std::uint64_t heartbeats = 0;
+    std::uint64_t quarantines = 0;
+  };
+  [[nodiscard]] HealthView healthView(index_t shard, double now);
+
  private:
   struct PendingRequest {
     index_t traceIndex = 0;
     double arrivalSeconds = 0.0;   // first submission instant
     double deadlineSeconds = 0.0;  // absolute; 0 = none
     index_t failovers = 0;
+    bool hedgeCopy = false;  // this in-flight copy is the speculative one
+  };
+
+  /// Router-side fate of one trace request across all its copies: the
+  /// first terminal event answers it; later copies are wasted hedge work.
+  struct RequestState {
+    index_t primaryShard = -1;
+    bool answered = false;
   };
 
   struct CacheEntry {
@@ -153,6 +206,9 @@ class ServeWorkload final : public Workload {
     double busyUntil = 0.0;
     std::uint64_t routed = 0;
     std::uint64_t completed = 0;
+    /// Heartbeat pulse generation: crash/resurrect bump it so stale
+    /// scheduled pulses are dropped instead of pulsing for a dead shard.
+    std::int64_t pulseGeneration = 0;
     // Batching buckets: key index -> waiting requests (FIFO).
     std::map<index_t, std::vector<PendingRequest>> buckets;
     std::map<index_t, std::uint64_t> bucketGeneration;
@@ -173,18 +229,30 @@ class ServeWorkload final : public Workload {
   [[nodiscard]] const serve::TraceRequest& traceRequest(index_t i) const;
   [[nodiscard]] serve::ProblemKey keyOf(const serve::TraceRequest& r) const;
   [[nodiscard]] index_t keyIndexOf(const serve::TraceRequest& r);
-  [[nodiscard]] index_t routeShard(index_t keyIndex) const;
+  [[nodiscard]] index_t routeShard(index_t keyIndex, double now);
   [[nodiscard]] double factorBytes(const serve::TraceRequest& r) const;
   void dispatchBucket(Simulator& sim, index_t shardIndex, index_t keyIndex);
   void crashShard(Simulator& sim, index_t shardIndex);
   void evictForBudget(Shard& shard);
   void reject(const PendingRequest& req, serve::RequestStatus status,
               double now);
+  /// True when this copy's terminal event answered the request; false when
+  /// another copy already had (the caller tallies wasted hedge work).
+  [[nodiscard]] bool markAnswered(index_t traceIndex);
+  void scheduleHeartbeat(Simulator& sim, index_t shardIndex);
+  [[nodiscard]] double hedgeDelaySeconds() const;
+  void fireHedge(Simulator& sim, index_t traceIndex, double now);
+  /// Hedge-aware terminal failure: a primary copy counts as failed (if
+  /// still unanswered); a hedge copy's failure is swallowed as waste.
+  void failCopy(const PendingRequest& req);
 
   ServeWorkloadConfig config_;
   const Topology* topology_;
   serve::HashRing ring_;
   serve::CircuitBreaker breaker_;
+  /// The SAME phi-accrual detector the live fleet runs, fed virtual time —
+  /// the whole point of the co-simulation is tuning its thresholds here.
+  serve::ShardHealthMonitor healthMon_;
   std::vector<serve::ProblemKey> sentinels_;  // per-shard breaker keys
   std::vector<Shard> shards_;
   std::map<serve::ProblemKey, index_t> keyIndex_;
@@ -193,6 +261,9 @@ class ServeWorkload final : public Workload {
   /// Router-side request state (deadline, failover count) keyed by trace
   /// index; shard-arrival events carry only the index.
   std::map<index_t, PendingRequest> pendingMeta_;
+  std::map<index_t, RequestState> reqState_;
+  double hedgeTokens_ = 0.0;
+  double hedgeRefillAt_ = 0.0;
   index_t me_ = -1;
   index_t outstanding_ = 0;  // submitted - terminally answered
   bool arrivalsDone_ = false;

@@ -201,6 +201,11 @@ void ServeEngine::stop() {
   }
 }
 
+void ServeEngine::setServiceStretch(double stretch) {
+  HPLMXP_REQUIRE(stretch >= 1.0, "service stretch must be >= 1.0");
+  serviceStretch_.store(stretch, std::memory_order_relaxed);
+}
+
 bool ServeEngine::degraded() const {
   return config_.breaker.enabled && config_.degradedOpenBreakers > 0 &&
          breaker_.openCount() >= config_.degradedOpenBreakers;
@@ -421,9 +426,19 @@ void ServeEngine::executeBatch(index_t lane, const ProblemKey& key,
     }
     std::vector<std::vector<double>> xs;
     ProblemGenerator gen(key.seed, key.n);
-    const SolveManyResult res = solveManyMixedSingle(
+    SolveManyResult res = solveManyMixedSingle(
         *fetch.factors, gen, rhsSeeds, xs, config_.maxIrIterations, pool_);
     recorder_.recordBatch(static_cast<index_t>(batch.size()));
+
+    // Gray-fault hook: a slow-but-alive shard serves correct answers, just
+    // `stretch` times later. Applied after the real solve so the result is
+    // untouched and the stretch shows up purely as service time.
+    const double stretch = serviceStretch_.load(std::memory_order_relaxed);
+    if (stretch > 1.0) {
+      const double extra = res.solveSeconds * (stretch - 1.0);
+      std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+      res.solveSeconds *= stretch;
+    }
 
     // Feed the breaker BEFORE publishing outcomes: a client that saw its
     // half-open probe complete must find the circuit closed, not still

@@ -33,6 +33,7 @@
 // or, past the retry budget, structured kFailed outcomes. Never hangs.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -169,6 +170,11 @@ class ServeEngine {
     cache_.setEvictionListener(std::move(fn));
   }
   void clearCache() { cache_.clear(); }
+  /// Gray-fault hook: stretches every batch's service time by `stretch`
+  /// (sleeping the extra (stretch-1)x after the solve) WITHOUT failing
+  /// anything — the slow-but-alive shard the fleet's phi detector and
+  /// hedging are tested against. 1.0 restores full speed.
+  void setServiceStretch(double stretch);
   [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
   /// True while enough circuits are open to shed batching and shrink
   /// deadlines (ServeConfig::degradedOpenBreakers).
@@ -188,6 +194,7 @@ class ServeEngine {
 
   ServeConfig config_;
   ThreadPool* pool_;
+  std::atomic<double> serviceStretch_{1.0};
   FactorCache cache_;
   Batcher batcher_;
   CircuitBreaker breaker_;

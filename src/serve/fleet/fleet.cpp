@@ -1,6 +1,7 @@
 #include "serve/fleet/fleet.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <utility>
 
@@ -63,7 +64,8 @@ bool FleetEngine::Handle::publish(RequestOutcome outcome,
 FleetEngine::FleetEngine(FleetConfig config)
     : config_(std::move(config)),
       ring_(config_.shards, config_.virtualNodes),
-      health_(config_.health) {
+      health_(config_.health),
+      healthMon_(config_.healthMonitor, config_.shards) {
   HPLMXP_REQUIRE(config_.shards > 0, "fleet needs >= 1 shard");
   HPLMXP_REQUIRE(config_.groupSize > 0, "fleet shards need >= 1 rank");
   HPLMXP_REQUIRE(config_.failoverLimit >= 0,
@@ -79,6 +81,8 @@ FleetEngine::FleetEngine(FleetConfig config)
     shard->sentinel.n = -1 - s;
     shard->group = std::make_unique<simmpi::RankGroup>(s, config_.groupSize,
                                                        config_.groupOptions);
+    shard->slowRanks = std::make_unique<SlowRankMonitor>(
+        config_.groupSize, config_.slowRankPolicy);
     ServeConfig cfg = config_.shard;
     cfg.cacheBytes = config_.fleetCacheBytes /
                      static_cast<std::size_t>(config_.shards);
@@ -89,6 +93,19 @@ FleetEngine::FleetEngine(FleetConfig config)
     shard->engine->setCacheEvictionListener(
         [this, s](const ProblemKey& key) { index_.noteEviction(key, s); });
     shards_.push_back(std::move(shard));
+  }
+  if (config_.hedge.enabled) {
+    HPLMXP_REQUIRE(config_.hedge.delayFactor >= 0.0 &&
+                       config_.hedge.minDelaySeconds >= 0.0 &&
+                       config_.hedge.maxDelaySeconds >=
+                           config_.hedge.minDelaySeconds,
+                   "hedge delay configuration is inconsistent");
+    HPLMXP_REQUIRE(config_.hedge.budgetPerSecond > 0.0 &&
+                       config_.hedge.budgetBurst >= 1.0,
+                   "hedge budget must admit at least one hedge");
+    hedgeTokens_ = config_.hedge.budgetBurst;
+    hedgeRefillAt_ = now();
+    hedgeThread_ = std::thread([this] { hedgeLoop(); });
   }
 }
 
@@ -162,35 +179,59 @@ bool FleetEngine::shardRoutable(index_t shard) {
 
 index_t FleetEngine::pickShard(const ProblemKey& key, std::uint64_t count,
                                const std::vector<index_t>& tried) {
-  const auto healthy = [&](index_t s) {
+  const double t = now();
+  // Two-tier health: `hard` excludes shards that cannot serve (crashed
+  // grid, open breaker); `preferred` additionally steers off shards the
+  // phi detector has quarantined. The hard tier is the fallback, so
+  // gray-failure quarantine deprioritizes but can never starve routing.
+  const auto hard = [&](index_t s) {
     return !contains(tried, s) && shardRoutable(s);
+  };
+  const auto preferred = [&](index_t s) {
+    return hard(s) && healthMon_.routable(s, t);
+  };
+  const auto finish = [&](index_t chosen) {
+    if (chosen >= 0) {
+      const index_t allUp = ring_.route(key, nullptr);
+      if (chosen != allUp && allUp >= 0 &&
+          healthMon_.state(allUp, t) == HealthState::kQuarantined) {
+        healthDetours_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return chosen;
   };
 
   // Hot keys spread round-robin across their ring successors so one
   // popular factorization stops serializing on a single shard.
   if (config_.hotKeyRequests > 0 && config_.hotReplicas > 1 &&
       count >= static_cast<std::uint64_t>(config_.hotKeyRequests)) {
-    const std::vector<index_t> replicas =
-        ring_.successors(key, config_.hotReplicas, healthy);
+    std::vector<index_t> replicas =
+        ring_.successors(key, config_.hotReplicas, preferred);
+    if (replicas.empty()) {
+      replicas = ring_.successors(key, config_.hotReplicas, hard);
+    }
     if (!replicas.empty()) {
-      return replicas[count % replicas.size()];
+      return finish(replicas[count % replicas.size()]);
     }
   }
 
   // Cache affinity: prefer a shard that already holds the factors.
   for (const index_t s : index_.placements(key)) {
-    if (healthy(s)) {
+    if (preferred(s)) {
       affinityHits_.fetch_add(1, std::memory_order_relaxed);
-      return s;
+      return finish(s);
     }
   }
 
-  const index_t chosen = ring_.route(key, healthy);
+  index_t chosen = ring_.route(key, preferred);
+  if (chosen < 0) {
+    chosen = ring_.route(key, hard);  // quarantine never starves the fleet
+  }
   if (chosen >= 0 && chosen != ring_.route(key, nullptr)) {
     // Routed off the all-up primary: the degraded-fleet detour counter.
     reroutes_.fetch_add(1, std::memory_order_relaxed);
   }
-  return chosen;
+  return finish(chosen);
 }
 
 FleetEngine::HandlePtr FleetEngine::submit(const SolveRequest& request) {
@@ -222,13 +263,16 @@ FleetEngine::HandlePtr FleetEngine::submit(const SolveRequest& request) {
     return handle;
   }
   routeToShard(target, req, handle, submitAt, 0, {target});
+  if (config_.hedge.enabled && shardCount() > 1) {
+    scheduleHedge(req, handle, submitAt, {target});
+  }
   return handle;
 }
 
 void FleetEngine::routeToShard(index_t shard, const SolveRequest& request,
                                const HandlePtr& handle, double submitAt,
                                index_t failovers,
-                               std::vector<index_t> tried) {
+                               std::vector<index_t> tried, bool hedge) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   sh.routed.fetch_add(1, std::memory_order_relaxed);
   ServeEngine::HandlePtr shardHandle = sh.engine->submit(request);
@@ -237,9 +281,19 @@ void FleetEngine::routeToShard(index_t shard, const SolveRequest& request,
   // failover budget, everything else publishes the fleet answer exactly
   // once.
   shardHandle->onDone([this, shard, request, handle, submitAt, failovers,
-                       tried = std::move(tried), shardHandle]() mutable {
+                       tried = std::move(tried), hedge,
+                       shardHandle]() mutable {
     RequestOutcome o = shardHandle->outcome();
-    if (o.status == RequestStatus::kFailed &&
+    // Completions are the shard's heartbeat stream: a slow-but-alive
+    // shard reports late, the phi detector notices, and the shard drains
+    // long before the breaker would trip. Failures only matter here as
+    // probe verdicts; the breaker owns them otherwise.
+    if (o.status == RequestStatus::kCompleted) {
+      healthMon_.onOutcome(shard, true, now());
+    } else if (o.status == RequestStatus::kFailed) {
+      healthMon_.onOutcome(shard, false, now());
+    }
+    if (!hedge && o.status == RequestStatus::kFailed &&
         failovers < config_.failoverLimit) {
       const index_t next =
           pickShard(request.key, index_.requestCount(request.key), tried);
@@ -251,6 +305,13 @@ void FleetEngine::routeToShard(index_t shard, const SolveRequest& request,
         return;
       }
     }
+    if (hedge && o.status != RequestStatus::kCompleted) {
+      // A speculative copy may never decide the request's fate: had the
+      // hedge's failure published here, a still-running primary could
+      // not win anymore. Swallow it as wasted duplicate work.
+      hedgeWasted_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     o.shard = shard;
     o.failovers = failovers;
     o.totalSeconds = now() - submitAt;  // fleet view: failover time counts
@@ -258,17 +319,28 @@ void FleetEngine::routeToShard(index_t shard, const SolveRequest& request,
       index_.notePlacement(request.key, shard);
     }
     publishOutcome(handle, std::move(o),
-                   std::vector<double>(shardHandle->solution()));
+                   std::vector<double>(shardHandle->solution()), hedge);
   });
 }
 
 void FleetEngine::publishOutcome(const HandlePtr& handle,
                                  RequestOutcome outcome,
-                                 std::vector<double> solution) {
+                                 std::vector<double> solution, bool hedge) {
+  outcome.hedged = hedge;
   const RequestOutcome recorded = outcome;
   if (!handle->publish(std::move(outcome), std::move(solution))) {
-    doubleAnswered_.fetch_add(1, std::memory_order_relaxed);
+    if (handle->hedged_.load(std::memory_order_relaxed)) {
+      // The race hedging deliberately creates: both copies finished and
+      // the loser's answer bounced off the publish-once handle. Expected
+      // duplicate work, not an accounting bug.
+      hedgeWasted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      doubleAnswered_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
+  }
+  if (hedge) {
+    hedgeWins_.fetch_add(1, std::memory_order_relaxed);
   }
   recorder_.record(recorded);
   answered_.fetch_add(1, std::memory_order_relaxed);
@@ -280,6 +352,95 @@ void FleetEngine::publishOutcome(const HandlePtr& handle,
   if (idle) {
     idleCv_.notify_all();
   }
+}
+
+// --- hedged requests -------------------------------------------------------
+
+double FleetEngine::hedgeDelaySeconds() const {
+  const double p95 = recorder_.recentTotalP95Seconds();
+  const double raw = config_.hedge.delayFactor * p95;
+  return std::max(config_.hedge.minDelaySeconds,
+                  std::min(config_.hedge.maxDelaySeconds, raw));
+}
+
+void FleetEngine::scheduleHedge(const SolveRequest& request,
+                                const HandlePtr& handle, double submitAt,
+                                std::vector<index_t> tried) {
+  HedgeTask task;
+  task.fireAt = now() + hedgeDelaySeconds();
+  task.submitAt = submitAt;
+  task.request = request;
+  task.handle = handle;
+  task.tried = std::move(tried);
+  {
+    std::lock_guard<std::mutex> lock(hedgeMutex_);
+    if (hedgeStop_) {
+      return;
+    }
+    hedgeHeap_.push_back(std::move(task));
+    std::push_heap(hedgeHeap_.begin(), hedgeHeap_.end(),
+                   [](const HedgeTask& a, const HedgeTask& b) {
+                     return a.fireAt > b.fireAt;
+                   });
+  }
+  hedgeCv_.notify_one();
+}
+
+void FleetEngine::hedgeLoop() {
+  const auto later = [](const HedgeTask& a, const HedgeTask& b) {
+    return a.fireAt > b.fireAt;
+  };
+  std::unique_lock<std::mutex> lock(hedgeMutex_);
+  for (;;) {
+    if (hedgeStop_) {
+      return;
+    }
+    if (hedgeHeap_.empty()) {
+      hedgeCv_.wait(lock);
+      continue;
+    }
+    const double due = hedgeHeap_.front().fireAt;
+    const double t = now();
+    if (t < due) {
+      hedgeCv_.wait_for(lock, std::chrono::duration<double>(due - t));
+      continue;
+    }
+    std::pop_heap(hedgeHeap_.begin(), hedgeHeap_.end(), later);
+    HedgeTask task = std::move(hedgeHeap_.back());
+    hedgeHeap_.pop_back();
+    // Token-bucket refill on the same clock the fire times use.
+    hedgeTokens_ = std::min(
+        config_.hedge.budgetBurst,
+        hedgeTokens_ + (t - hedgeRefillAt_) * config_.hedge.budgetPerSecond);
+    hedgeRefillAt_ = t;
+    if (task.handle->done()) {
+      continue;  // answered in time: the hedge is moot (cancelled)
+    }
+    if (hedgeTokens_ < 1.0) {
+      hedgeDenied_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // amplification budget exhausted: fleet-wide slowness
+    }
+    hedgeTokens_ -= 1.0;
+    lock.unlock();
+    fireHedge(std::move(task));
+    lock.lock();
+  }
+}
+
+void FleetEngine::fireHedge(HedgeTask task) {
+  const index_t next = pickShard(
+      task.request.key, index_.requestCount(task.request.key), task.tried);
+  if (next < 0 || task.handle->done()) {
+    if (next < 0) {
+      hedgeDenied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  task.handle->hedged_.store(true, std::memory_order_relaxed);
+  hedgesIssued_.fetch_add(1, std::memory_order_relaxed);
+  task.tried.push_back(next);
+  routeToShard(next, task.request, task.handle, task.submitAt, 0,
+               std::move(task.tried), /*hedge=*/true);
 }
 
 void FleetEngine::drain() {
@@ -296,6 +457,17 @@ void FleetEngine::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+  }
+  // The hedge scheduler goes first so no speculative copy is submitted
+  // to a shard engine that is already shutting down.
+  {
+    std::lock_guard<std::mutex> lock(hedgeMutex_);
+    hedgeStop_ = true;
+    hedgeHeap_.clear();
+  }
+  hedgeCv_.notify_all();
+  if (hedgeThread_.joinable()) {
+    hedgeThread_.join();
   }
   for (const auto& sh : shards_) {
     sh->engine->stop();
@@ -339,6 +511,38 @@ void FleetEngine::armShardFaults(
       std::move(faults));
 }
 
+void FleetEngine::slowShard(index_t shard, double stretch) {
+  shards_[static_cast<std::size_t>(shard)]->engine->setServiceStretch(
+      stretch);
+  opsSlows_.fetch_add(1, std::memory_order_relaxed);
+  logInfo("fleet: shard ", shard, " service stretched x",
+          Table::num(stretch, 2));
+}
+
+bool FleetEngine::reportRankWaits(index_t shard, index_t k,
+                                  const std::vector<double>& waits) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  bool terminate = false;
+  {
+    std::lock_guard<std::mutex> lock(sh.slowMutex);
+    sh.slowRanks->observe(k, waits);
+    terminate = sh.slowRanks->shouldTerminate();
+  }
+  if (terminate) {
+    // A struck-out rank inside the grid is straggler evidence against the
+    // whole shard: the grid is only as fast as its slowest rank.
+    healthMon_.noteStraggler(shard, now());
+  }
+  return terminate;
+}
+
+std::function<bool(index_t, const std::vector<double>&)>
+FleetEngine::rankProgressHook(index_t shard) {
+  return [this, shard](index_t k, const std::vector<double>& waits) {
+    return reportRankWaits(shard, k, waits);
+  };
+}
+
 FleetReport FleetEngine::report() const {
   FleetReport r;
   r.shards = static_cast<index_t>(shards_.size());
@@ -357,20 +561,35 @@ FleetReport FleetEngine::report() const {
     s.routed = sh->routed.load(std::memory_order_relaxed);
     s.report = sh->engine->report();
     s.health = "healthy";
-    if (sh->crashed.load(std::memory_order_relaxed)) {
-      s.health = "crashed";
-    } else {
-      for (const auto& k : health) {
-        if (k.key == sh->sentinel) {
-          if (k.state == CircuitBreaker::State::kOpen) {
-            s.health = "broken";
-          } else if (k.state == CircuitBreaker::State::kHalfOpen) {
-            s.health = "half-open";
-          }
-          break;
+    for (const auto& k : health) {
+      if (k.key == sh->sentinel) {
+        if (k.state == CircuitBreaker::State::kOpen) {
+          s.breakerState = "open";
+        } else if (k.state == CircuitBreaker::State::kHalfOpen) {
+          s.breakerState = "half-open";
         }
+        s.breakerFailures = k.consecutiveFailures;
+        s.breakerTrips = k.trips;
+        s.breakerRejections = k.rejections;
+        break;
       }
     }
+    if (sh->crashed.load(std::memory_order_relaxed)) {
+      s.health = "crashed";
+    } else if (s.breakerState == "open") {
+      s.health = "broken";
+    } else if (s.breakerState == "half-open") {
+      s.health = "half-open";
+    }
+    const ShardHealthMonitor::ShardSnapshot hs =
+        healthMon_.shardSnapshot(sh->id, clock_.seconds());
+    s.healthState = toString(hs.state);
+    s.phi = hs.phi;
+    s.heartbeatAgeSeconds = hs.lastHeartbeatAge;
+    s.heartbeats = hs.heartbeats;
+    s.quarantines = hs.quarantines;
+    s.probes = hs.probes;
+    s.stragglerReports = hs.stragglerReports;
     const FactorCache::Stats cs = s.report.cache;
     cacheSum.lookups += cs.lookups;
     cacheSum.hits += cs.hits;
@@ -388,9 +607,21 @@ FleetReport FleetEngine::report() const {
   r.failovers = failovers_.load(std::memory_order_relaxed);
   r.affinityHits = affinityHits_.load(std::memory_order_relaxed);
   r.opsBreaks = opsBreaks_.load(std::memory_order_relaxed);
+  r.opsSlows = opsSlows_.load(std::memory_order_relaxed);
   r.crashes = crashes_.load(std::memory_order_relaxed);
   r.resurrections = resurrections_.load(std::memory_order_relaxed);
   r.healthTrips = health_.trips();
+  r.quarantines = healthMon_.quarantines();
+  r.healthDetours = healthDetours_.load(std::memory_order_relaxed);
+  r.stragglerReports = healthMon_.stragglerReports();
+  r.hedgesIssued = hedgesIssued_.load(std::memory_order_relaxed);
+  r.hedgeWins = hedgeWins_.load(std::memory_order_relaxed);
+  r.hedgeWasted = hedgeWasted_.load(std::memory_order_relaxed);
+  r.hedgeDenied = hedgeDenied_.load(std::memory_order_relaxed);
+  r.fleet.hedges = r.hedgesIssued;
+  r.fleet.hedgeWins = r.hedgeWins;
+  r.fleet.hedgeWasted = r.hedgeWasted;
+  r.fleet.quarantines = r.quarantines;
   r.cacheIndex = index_.stats();
   r.submitted = submitted_.load(std::memory_order_relaxed);
   r.answered = answered_.load(std::memory_order_relaxed);
@@ -421,6 +652,16 @@ Table FleetReport::toTable() const {
   t.addRow({"crashes / resurrections", Table::num((long long)crashes) +
                                            " / " +
                                            Table::num((long long)resurrections)});
+  t.addRow({"quarantines / detours / stragglers",
+            Table::num((long long)quarantines) + " / " +
+                Table::num((long long)healthDetours) + " / " +
+                Table::num((long long)stragglerReports)});
+  t.addRow({"hedges issued / won / wasted / denied",
+            Table::num((long long)hedgesIssued) + " / " +
+                Table::num((long long)hedgeWins) + " / " +
+                Table::num((long long)hedgeWasted) + " / " +
+                Table::num((long long)hedgeDenied)});
+  t.addRow({"ops slows", Table::num((long long)opsSlows)});
   t.addRow({"fleet hit rate",
             Table::num(fleet.cache.hitRate() * 100.0, 1) + "%"});
   t.addRow({"fleet lookups = hits + misses",
@@ -432,10 +673,12 @@ Table FleetReport::toTable() const {
                 Table::num(fleet.total.p95Ms, 2) + " / " +
                 Table::num(fleet.total.p99Ms, 2)});
   for (const ShardReport& s : perShard) {
-    t.addRow({"shard " + std::to_string(s.id) + " [" + s.health + "]",
+    t.addRow({"shard " + std::to_string(s.id) + " [" + s.health + "/" +
+                  s.healthState + "]",
               Table::num((long long)s.routed) + " routed, " +
                   Table::num((long long)s.report.completed) + " completed, " +
-                  "gen " + Table::num((long long)s.generation) + ", hit " +
+                  "gen " + Table::num((long long)s.generation) + ", phi " +
+                  Table::num(s.phi, 2) + ", hit " +
                   Table::num(s.report.cache.hitRate() * 100.0, 1) + "%"});
   }
   return t;
@@ -455,9 +698,17 @@ std::string FleetReport::toJson() const {
   os << "  \"failovers\": " << failovers << ",\n";
   os << "  \"affinity_hits\": " << affinityHits << ",\n";
   os << "  \"ops_breaks\": " << opsBreaks << ",\n";
+  os << "  \"ops_slows\": " << opsSlows << ",\n";
   os << "  \"crashes\": " << crashes << ",\n";
   os << "  \"resurrections\": " << resurrections << ",\n";
   os << "  \"health_trips\": " << healthTrips << ",\n";
+  os << "  \"quarantines\": " << quarantines << ",\n";
+  os << "  \"health_detours\": " << healthDetours << ",\n";
+  os << "  \"straggler_reports\": " << stragglerReports << ",\n";
+  os << "  \"hedges_issued\": " << hedgesIssued << ",\n";
+  os << "  \"hedge_wins\": " << hedgeWins << ",\n";
+  os << "  \"hedge_wasted\": " << hedgeWasted << ",\n";
+  os << "  \"hedge_denied\": " << hedgeDenied << ",\n";
   os << "  \"cache_lookup_invariant\": "
      << (cacheLookupInvariant ? "true" : "false") << ",\n";
   os << "  \"index_placements\": " << cacheIndex.placements << ",\n";
@@ -480,6 +731,18 @@ std::string FleetReport::toJson() const {
     os << "      \"group_jobs\": " << s.groupJobs << ",\n";
     os << "      \"group_crashes\": " << s.groupCrashes << ",\n";
     os << "      \"routed\": " << s.routed << ",\n";
+    os << "      \"breaker_state\": " << jsonQuote(s.breakerState) << ",\n";
+    os << "      \"breaker_failures\": " << s.breakerFailures << ",\n";
+    os << "      \"breaker_trips\": " << s.breakerTrips << ",\n";
+    os << "      \"breaker_rejections\": " << s.breakerRejections << ",\n";
+    os << "      \"health_state\": " << jsonQuote(s.healthState) << ",\n";
+    os << "      \"phi\": " << s.phi << ",\n";
+    os << "      \"heartbeat_age_seconds\": " << s.heartbeatAgeSeconds
+       << ",\n";
+    os << "      \"heartbeats\": " << s.heartbeats << ",\n";
+    os << "      \"quarantines\": " << s.quarantines << ",\n";
+    os << "      \"probes\": " << s.probes << ",\n";
+    os << "      \"straggler_reports\": " << s.stragglerReports << ",\n";
     os << "      \"report\": " << s.report.toJson();
     os << "    }" << (i + 1 < perShard.size() ? "," : "") << "\n";
   }

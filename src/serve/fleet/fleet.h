@@ -34,16 +34,39 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "serve/engine.h"
 #include "serve/fleet/fleet_cache.h"
 #include "serve/fleet/hash_ring.h"
+#include "serve/fleet/health.h"
 #include "simmpi/rank_group.h"
+#include "trace/slow_node.h"
 
 namespace hplmxp::serve {
+
+/// Hedged-request policy: after a p95-derived delay with no answer, the
+/// fleet re-issues the request to a replica shard; the first answer wins
+/// through the publish-once Handle and the loser's work is discarded. A
+/// token bucket caps the duplicate-work amplification — a fleet-wide
+/// slowdown (every request late) drains the bucket and stops hedging,
+/// while an isolated slow shard (the gray failure hedging exists for)
+/// stays within budget.
+struct HedgeConfig {
+  bool enabled = false;
+  /// Hedge delay = delayFactor x the observed completed-request total
+  /// p95 (clamped below); a request is hedged only once.
+  double delayFactor = 1.5;
+  double minDelaySeconds = 0.002;
+  double maxDelaySeconds = 0.500;
+  /// Token bucket: hedges admitted per second and the burst capacity.
+  double budgetPerSecond = 20.0;
+  double budgetBurst = 8.0;
+};
 
 struct FleetConfig {
   index_t shards = 2;
@@ -70,6 +93,16 @@ struct FleetConfig {
   ServeConfig shard;
   /// Shard-health breaker (per-shard sentinel keys; always enabled).
   BreakerConfig health{true, 3, 0.050, 1};
+  /// Phi-accrual gray-failure detector (serve/fleet/health.h), fed by
+  /// shard completions. Quarantined shards are *deprioritized*, not
+  /// excluded: routing falls back to them when no preferred shard is
+  /// left, so the detector can never starve the fleet.
+  HealthConfig healthMonitor;
+  /// Speculative re-issue of slow requests (first answer wins).
+  HedgeConfig hedge;
+  /// Slow-rank detection inside each shard's grid; verdicts feed the
+  /// health monitor as straggler evidence (reportRankWaits).
+  SlowRankPolicy slowRankPolicy;
 };
 
 /// One shard's row in the fleet report.
@@ -82,6 +115,19 @@ struct ShardReport {
   std::uint64_t routed = 0;   // requests routed here (incl. failovers in)
   std::uint64_t groupJobs = 0;
   std::uint64_t groupCrashes = 0;
+  // Circuit-breaker transitions for this shard's sentinel.
+  std::string breakerState = "closed";
+  index_t breakerFailures = 0;
+  std::uint64_t breakerTrips = 0;
+  std::uint64_t breakerRejections = 0;
+  // Phi-accrual detector view.
+  std::string healthState = "healthy";
+  double phi = 0.0;
+  double heartbeatAgeSeconds = 0.0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t stragglerReports = 0;
   ServeReport report;
 };
 
@@ -99,9 +145,19 @@ struct FleetReport {
   std::uint64_t failovers = 0;     // resubmits after a shard-side failure
   std::uint64_t affinityHits = 0;  // routed to a shard already holding key
   std::uint64_t opsBreaks = 0;     // breakShard invocations
+  std::uint64_t opsSlows = 0;      // slowShard invocations
   std::uint64_t crashes = 0;       // shards that lost their grid
   std::uint64_t resurrections = 0;
   std::uint64_t healthTrips = 0;   // shard-health circuit trips
+
+  // Gray-failure defense picture.
+  std::uint64_t quarantines = 0;      // entries into health quarantine
+  std::uint64_t healthDetours = 0;    // routes steered off quarantined shards
+  std::uint64_t stragglerReports = 0; // slow-rank verdicts fed to health
+  std::uint64_t hedgesIssued = 0;
+  std::uint64_t hedgeWins = 0;     // hedge published first
+  std::uint64_t hedgeWasted = 0;   // loser finished after the winner
+  std::uint64_t hedgeDenied = 0;   // token bucket empty / no replica
   FleetCacheIndex::Stats cacheIndex;
 
   // The no-lost-answer ledger the CI job gates on.
@@ -135,6 +191,9 @@ class FleetEngine {
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     bool done_ = false;
+    /// A hedge was issued for this request: a late losing publish is
+    /// expected duplicate work (hedge_wasted), not a double answer.
+    std::atomic<bool> hedged_{false};
     RequestOutcome outcome_;
     std::vector<double> solution_;
   };
@@ -170,6 +229,24 @@ class FleetEngine {
   /// Arms a fault injector on the shard's rank group (organic crashes).
   void armShardFaults(index_t shard,
                       std::shared_ptr<simmpi::FaultInjector> faults);
+  /// Gray fault: stretches the shard's service times by `stretch` (e.g.
+  /// 5.0 = every batch takes 5x as long) WITHOUT failing anything — the
+  /// slow-but-alive scenario the phi detector and hedging exist for.
+  /// 1.0 restores full speed.
+  void slowShard(index_t shard, double stretch);
+
+  // --- gray-failure instrumentation ------------------------------------
+  /// Feeds one distributed-LU step's per-rank barrier waits from the
+  /// shard's grid into its SlowRankMonitor; returns true when the monitor
+  /// wants the step terminated (a rank struck out). The verdict also
+  /// lands in the shard's health stream as straggler evidence — the loop
+  /// core/config.h's rankProgressCallback comment asks for.
+  bool reportRankWaits(index_t shard, index_t k,
+                       const std::vector<double>& waits);
+  /// Adapter bound to `shard`, directly pluggable into
+  /// HplaiConfig::rankProgressCallback.
+  [[nodiscard]] std::function<bool(index_t, const std::vector<double>&)>
+  rankProgressHook(index_t shard);
 
   [[nodiscard]] index_t shardCount() const {
     return static_cast<index_t>(shards_.size());
@@ -180,6 +257,8 @@ class FleetEngine {
   }
   [[nodiscard]] const HashRing& ring() const { return ring_; }
   [[nodiscard]] const FleetCacheIndex& cacheIndex() const { return index_; }
+  /// Phi-accrual detector (mutable: snapshots advance its state machine).
+  [[nodiscard]] ShardHealthMonitor& healthMonitor() { return healthMon_; }
   [[nodiscard]] FleetReport report() const;
 
  private:
@@ -188,8 +267,19 @@ class FleetEngine {
     ProblemKey sentinel;  // shard-health breaker key (n < 0, never real)
     std::unique_ptr<simmpi::RankGroup> group;
     std::unique_ptr<ServeEngine> engine;  // after group: dtor order
+    std::unique_ptr<SlowRankMonitor> slowRanks;
+    std::mutex slowMutex;  // SlowRankMonitor is not thread-safe
     std::atomic<bool> crashed{false};
     std::atomic<std::uint64_t> routed{0};
+  };
+
+  /// One armed speculative re-issue, waiting for its fire time.
+  struct HedgeTask {
+    double fireAt = 0.0;
+    double submitAt = 0.0;
+    SolveRequest request;
+    HandlePtr handle;
+    std::vector<index_t> tried;
   };
 
   [[nodiscard]] double now() const { return clock_.seconds(); }
@@ -200,14 +290,22 @@ class FleetEngine {
                                   const std::vector<index_t>& tried);
   void routeToShard(index_t shard, const SolveRequest& request,
                     const HandlePtr& handle, double submitAt,
-                    index_t failovers, std::vector<index_t> tried);
+                    index_t failovers, std::vector<index_t> tried,
+                    bool hedge = false);
   void publishOutcome(const HandlePtr& handle, RequestOutcome outcome,
-                      std::vector<double> solution);
+                      std::vector<double> solution, bool hedge = false);
+  void scheduleHedge(const SolveRequest& request, const HandlePtr& handle,
+                     double submitAt, std::vector<index_t> tried);
+  void hedgeLoop();
+  void fireHedge(HedgeTask task);
+  [[nodiscard]] double hedgeDelaySeconds() const;
 
   FleetConfig config_;
   HashRing ring_;
   FleetCacheIndex index_;
   CircuitBreaker health_;
+  /// mutable: report()/snapshots advance time-driven state transitions.
+  mutable ShardHealthMonitor healthMon_;
   LatencyRecorder recorder_;
   Timer clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -220,13 +318,28 @@ class FleetEngine {
   std::atomic<std::uint64_t> failovers_{0};
   std::atomic<std::uint64_t> affinityHits_{0};
   std::atomic<std::uint64_t> opsBreaks_{0};
+  std::atomic<std::uint64_t> opsSlows_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> resurrections_{0};
+  std::atomic<std::uint64_t> healthDetours_{0};
+  std::atomic<std::uint64_t> hedgesIssued_{0};
+  std::atomic<std::uint64_t> hedgeWins_{0};
+  std::atomic<std::uint64_t> hedgeWasted_{0};
+  std::atomic<std::uint64_t> hedgeDenied_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable idleCv_;
   std::uint64_t outstanding_ = 0;
   bool stopping_ = false;
+
+  // Hedge scheduler: a min-heap of armed hedges drained by one thread.
+  std::mutex hedgeMutex_;
+  std::condition_variable hedgeCv_;
+  std::vector<HedgeTask> hedgeHeap_;  // min-heap by fireAt
+  bool hedgeStop_ = false;
+  double hedgeTokens_ = 0.0;
+  double hedgeRefillAt_ = 0.0;
+  std::thread hedgeThread_;
 };
 
 }  // namespace hplmxp::serve

@@ -58,6 +58,13 @@ struct ServeReport {
   index_t breakersOpen = 0;
   bool degraded = false;
 
+  // Gray-failure defense tallies (zero outside a fleet). Filled by the
+  // FleetEngine, not the recorder.
+  std::uint64_t hedges = 0;
+  std::uint64_t hedgeWins = 0;
+  std::uint64_t hedgeWasted = 0;
+  std::uint64_t quarantines = 0;
+
   FactorCache::Stats cache;
   LatencyPercentiles queueWait;  // completed requests only
   LatencyPercentiles solve;      // batched solve time per request
@@ -77,6 +84,12 @@ class LatencyRecorder {
 
   [[nodiscard]] std::vector<RequestOutcome> outcomes() const;
 
+  /// p95 of the last ~256 completed requests' total latency (seconds);
+  /// 0 before any completion. The hedge scheduler derives its fire delay
+  /// from this, so it must track the *current* service level, not the
+  /// whole run's history.
+  [[nodiscard]] double recentTotalP95Seconds() const;
+
   /// Builds the report from everything recorded so far. Cache stats and
   /// wall time are supplied by the engine.
   [[nodiscard]] ServeReport report(const FactorCache::Stats& cacheStats,
@@ -84,8 +97,12 @@ class LatencyRecorder {
                                    index_t peakQueueDepth) const;
 
  private:
+  static constexpr std::size_t kRecentWindow = 256;
+
   mutable std::mutex mutex_;
   std::vector<RequestOutcome> outcomes_;
+  std::vector<double> recentTotals_;  // ring of completed totals (seconds)
+  std::size_t recentNext_ = 0;
   std::uint64_t batchedSolves_ = 0;
   std::uint64_t batchedColumns_ = 0;
   index_t maxBatchSize_ = 0;

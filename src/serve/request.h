@@ -68,6 +68,7 @@ struct RequestOutcome {
   index_t retries = 0;  // re-executions after injected transient faults
   index_t shard = -1;   // serving shard in a fleet; -1 single-engine
   index_t failovers = 0;  // fleet re-routes after a shard-side failure
+  bool hedged = false;    // answered by a speculative fleet re-issue
   std::string error;
 };
 

@@ -326,7 +326,7 @@ void applyDecisionSleep(FaultInjector& inj, const FaultDecision& d) {
 
 }  // namespace
 
-void Comm::injectOnSend(index_t dest, Tag tag,
+bool Comm::injectOnSend(index_t dest, Tag tag,
                         std::vector<std::byte>& payload) {
   FaultInjector& inj = *state_->faults;
   const index_t who = boundThreadRank();
@@ -336,6 +336,13 @@ void Comm::injectOnSend(index_t dest, Tag tag,
     if (d.crash) {
       inj.noteCrash();
       throwCrash(who);
+    }
+    if (inj.plan().partitionedSend(who, dest, inj.opsSeen(who) - 1)) {
+      // The partition swallows the message with no error on the sender:
+      // from both halves' point of view the other side simply went quiet.
+      // The *receiver* eventually surfaces it as a CommTimeoutError.
+      inj.notePartitionDrop();
+      return false;
     }
     applyDecisionSleep(inj, d);
     const std::size_t wordBytes = cfg.flipFp32Words ? 4 : 2;
@@ -359,7 +366,7 @@ void Comm::injectOnSend(index_t dest, Tag tag,
       inj.noteBitflip(record);
     }
     if (!d.transientSendFailure) {
-      return;
+      return true;
     }
     inj.noteTransient();
     if (attempt >= state_->sendMaxRetries) {
@@ -418,8 +425,14 @@ void Comm::sendBytes(index_t dest, Tag tag, const void* data,
     std::memcpy(payload.data(), data, bytes);
   }
   if (state_->faults != nullptr && state_->faults->armed()) {
-    injectOnSend(dest, tag, payload);  // a crash throws before delivery,
-                                       // so the op stays uncounted
+    // A crash throws before delivery (the op stays uncounted); a
+    // partition drop returns false and the message never arrives.
+    if (!injectOnSend(dest, tag, payload)) {
+      if (rep != nullptr) {
+        ++rep->counters.sends;  // the op happened, its delivery didn't
+      }
+      return;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(box.mutex);

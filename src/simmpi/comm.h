@@ -420,7 +420,10 @@ class Comm {
   /// delays/stalls sleep, crash decisions throw, bit flips corrupt the
   /// payload in place, and transient failures are retried with
   /// exponential backoff (CommSendError once the budget is exhausted).
-  void injectOnSend(index_t dest, Tag tag, std::vector<std::byte>& payload);
+  /// Returns false when a network-partition drop swallowed the send: the
+  /// caller must NOT deliver the payload (and must not error — partition
+  /// loss is silent on the sender side).
+  bool injectOnSend(index_t dest, Tag tag, std::vector<std::byte>& payload);
 
   /// Crash/stall injection point for receive-side and collective ops.
   void injectOnOp(const char* what);

@@ -21,6 +21,26 @@ FaultPlan::FaultPlan(FaultConfig config) : config_(config) {
                  "fault delays must be non-negative");
   HPLMXP_REQUIRE(config_.stallRank < 0 || config_.stallEveryOps >= 1,
                  "stallEveryOps must be at least 1");
+  HPLMXP_REQUIRE(config_.partitionBoundary < 0 ||
+                     config_.partitionBoundary >= 1,
+                 "partition boundary must split off at least one rank");
+}
+
+bool FaultPlan::partitionedSend(index_t rank, index_t dest,
+                                std::uint64_t opIndex) const {
+  if (config_.partitionBoundary < 0 || rank < 0 || dest < 0) {
+    return false;
+  }
+  if (opIndex < config_.partitionAtOp) {
+    return false;
+  }
+  if (config_.partitionOps > 0 &&
+      opIndex >= config_.partitionAtOp + config_.partitionOps) {
+    return false;  // the partition healed
+  }
+  const bool senderLow = rank < config_.partitionBoundary;
+  const bool destLow = dest < config_.partitionBoundary;
+  return senderLow != destLow;
 }
 
 std::uint64_t FaultPlan::hash(index_t rank, std::uint64_t opIndex,
@@ -178,6 +198,7 @@ FaultStats FaultInjector::stats() const {
   s.crashes = crashes_.load(std::memory_order_relaxed);
   s.checkpointCorruptions =
       ckptCorruptions_.load(std::memory_order_relaxed);
+  s.partitionDrops = partitionDrops_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -227,6 +248,15 @@ FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
     cfg.crashAtOp2 = 40;
     return cfg;
   }
+  if (name == "partition") {
+    // Split the grid down the middle for a window of ops: both halves stay
+    // alive and compute, but cross-half traffic vanishes. Surfaces as comm
+    // timeouts on both sides — the canonical gray failure.
+    cfg.partitionBoundary = worldSize > 1 ? worldSize / 2 : 1;
+    cfg.partitionAtOp = 32;
+    cfg.partitionOps = 64;
+    return cfg;
+  }
   if (name == "ckptcorrupt") {
     // A lost node whose newest stored checkpoint generation is also
     // corrupted: recovery must detect the CRC mismatch and fall back.
@@ -241,8 +271,8 @@ FaultConfig faultScenario(const std::string& name, std::uint64_t seed,
 }
 
 std::vector<std::string> knownFaultScenarios() {
-  return {"none",  "delay", "transient",  "sdc",        "sdc32",
-          "stall", "crash", "multicrash", "ckptcorrupt"};
+  return {"none",  "delay", "transient",  "sdc",         "sdc32",
+          "stall", "crash", "multicrash", "ckptcorrupt", "partition"};
 }
 
 }  // namespace hplmxp::simmpi

@@ -100,10 +100,23 @@ struct FaultConfig {
   index_t ckptCorruptRank = -1;
   std::uint64_t ckptCorruptOrdinal = 0;
 
+  /// Network partition: for a window of ops, sends crossing the rank
+  /// boundary (rank < partitionBoundary vs rank >= partitionBoundary) are
+  /// silently dropped — the grid splits into two non-communicating halves
+  /// that each believe the other hung. Cross-partition recvs surface as
+  /// CommTimeoutError (given a configured blocking-wait timeout); nothing
+  /// crashes, which is exactly what makes a partition a *gray* failure.
+  /// The window runs from the sender's `partitionAtOp`-th op for
+  /// `partitionOps` ops (0 = until the end of the run). -1 disables.
+  index_t partitionBoundary = -1;
+  std::uint64_t partitionAtOp = 0;
+  std::uint64_t partitionOps = 0;
+
   [[nodiscard]] bool anyEnabled() const {
     return delayProbability > 0.0 || transientSendProbability > 0.0 ||
            bitflipProbability > 0.0 || stallRank >= 0 || crashRank >= 0 ||
-           crashRank2 >= 0 || replayCrashRank >= 0 || ckptCorruptRank >= 0;
+           crashRank2 >= 0 || replayCrashRank >= 0 ||
+           ckptCorruptRank >= 0 || partitionBoundary >= 0;
   }
 };
 
@@ -128,6 +141,11 @@ class FaultPlan {
 
   [[nodiscard]] FaultDecision decisionFor(index_t rank,
                                           std::uint64_t opIndex) const;
+  /// True when the plan's partition window is open at the sender's
+  /// `opIndex` AND (rank, dest) are on opposite sides of the boundary —
+  /// the send must be dropped. Pure, like decisionFor.
+  [[nodiscard]] bool partitionedSend(index_t rank, index_t dest,
+                                     std::uint64_t opIndex) const;
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
  private:
@@ -148,6 +166,7 @@ struct FaultStats {
   std::uint64_t stalls = 0;
   std::uint64_t crashes = 0;
   std::uint64_t checkpointCorruptions = 0;  // stored generations flipped
+  std::uint64_t partitionDrops = 0;  // sends dropped at the partition
 };
 
 /// One applied payload bit flip, recorded exactly: which rank's send, at
@@ -210,6 +229,9 @@ class FaultInjector {
   void noteCheckpointCorruption() {
     ckptCorruptions_.fetch_add(1, std::memory_order_relaxed);
   }
+  void notePartitionDrop() {
+    partitionDrops_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   FaultPlan plan_;
@@ -228,6 +250,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> stalls_{0};
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> ckptCorruptions_{0};
+  std::atomic<std::uint64_t> partitionDrops_{0};
 };
 
 /// Binds the calling thread to a world rank for fault attribution. The
@@ -238,7 +261,7 @@ void bindThreadRank(index_t rank);
 
 /// Named fault scenarios for the chaos CLI and tests. Recognized names:
 /// none, delay, transient, sdc, sdc32, stall, crash, multicrash,
-/// ckptcorrupt. Throws CheckError otherwise.
+/// ckptcorrupt, partition. Throws CheckError otherwise.
 [[nodiscard]] FaultConfig faultScenario(const std::string& name,
                                         std::uint64_t seed,
                                         index_t worldSize);

@@ -9,9 +9,15 @@
 namespace hplmxp::simmpi {
 
 std::string MultiRankError::renderMessage(
-    const std::vector<RankFailure>& failures) {
+    const std::vector<RankFailure>& failures, index_t partitionBoundary,
+    std::uint64_t partitionDrops) {
   std::string msg =
       std::to_string(failures.size()) + " ranks failed:";
+  if (partitionDrops > 0) {
+    msg += " [network partition at rank boundary " +
+           std::to_string(partitionBoundary) + " dropped " +
+           std::to_string(partitionDrops) + " sends]";
+  }
   for (const RankFailure& f : failures) {
     msg += "\n  rank " + std::to_string(f.rank) + ": " + f.message;
   }
@@ -19,7 +25,16 @@ std::string MultiRankError::renderMessage(
 }
 
 MultiRankError::MultiRankError(std::vector<RankFailure> failures)
-    : CheckError(renderMessage(failures)), failures_(std::move(failures)) {}
+    : CheckError(renderMessage(failures, -1, 0)),
+      failures_(std::move(failures)) {}
+
+MultiRankError::MultiRankError(std::vector<RankFailure> failures,
+                               index_t partitionBoundary,
+                               std::uint64_t partitionDrops)
+    : CheckError(renderMessage(failures, partitionBoundary, partitionDrops)),
+      failures_(std::move(failures)),
+      partitionBoundary_(partitionBoundary),
+      partitionDrops_(partitionDrops) {}
 
 void run(index_t worldSize, const std::function<void(Comm&)>& fn) {
   run(worldSize, fn, RunOptions{});
@@ -94,6 +109,13 @@ void run(index_t worldSize, const std::function<void(Comm&)>& fn,
                      "; rank had issued " +
                      std::to_string(options.faults->opsSeen(f.rank)) +
                      " comm ops]";
+      }
+      const std::uint64_t drops = options.faults->stats().partitionDrops;
+      if (drops > 0) {
+        // Symmetric timeout cascades with zero dead ranks are the
+        // partition signature; carry it so callers don't misdiagnose.
+        throw MultiRankError(std::move(failures), cfg.partitionBoundary,
+                             drops);
       }
     }
     throw MultiRankError(std::move(failures));

@@ -28,15 +28,33 @@ struct RankFailure {
 class MultiRankError : public CheckError {
  public:
   explicit MultiRankError(std::vector<RankFailure> failures);
+  /// Partition provenance: when the active fault plan dropped sends at a
+  /// network partition, the aggregate says so — a wall of symmetric
+  /// timeouts with no dead rank is otherwise the hardest cascade to read.
+  MultiRankError(std::vector<RankFailure> failures,
+                 index_t partitionBoundary, std::uint64_t partitionDrops);
 
   [[nodiscard]] const std::vector<RankFailure>& failures() const {
     return failures_;
   }
+  /// True when the run's fault plan partitioned the grid and dropped at
+  /// least one cross-boundary send.
+  [[nodiscard]] bool partitioned() const { return partitionDrops_ > 0; }
+  [[nodiscard]] index_t partitionBoundary() const {
+    return partitionBoundary_;
+  }
+  [[nodiscard]] std::uint64_t partitionDrops() const {
+    return partitionDrops_;
+  }
 
  private:
-  static std::string renderMessage(const std::vector<RankFailure>& failures);
+  static std::string renderMessage(const std::vector<RankFailure>& failures,
+                                   index_t partitionBoundary,
+                                   std::uint64_t partitionDrops);
 
   std::vector<RankFailure> failures_;
+  index_t partitionBoundary_ = -1;
+  std::uint64_t partitionDrops_ = 0;
 };
 
 /// Optional robustness configuration for run(): fault injection (chaos

@@ -2,6 +2,7 @@
 // comm timeouts/retry/aggregation, and the self-healing solver guards.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -300,6 +301,96 @@ TEST(CommRobustness, SingleFailurePreservesOriginalType) {
                simmpi::InjectedCrashError);
 }
 
+// ---------------------------------------------------------------------------
+// Network partitions (the gray-failure comm fault)
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, PartitionWindowIsExactAndPure) {
+  FaultConfig cfg;
+  cfg.partitionBoundary = 2;
+  cfg.partitionAtOp = 10;
+  cfg.partitionOps = 5;
+  EXPECT_TRUE(cfg.anyEnabled());
+  const FaultPlan plan(cfg);
+  // Cross-boundary sends drop exactly inside [atOp, atOp + ops).
+  EXPECT_FALSE(plan.partitionedSend(0, 3, 9));
+  EXPECT_TRUE(plan.partitionedSend(0, 3, 10));
+  EXPECT_TRUE(plan.partitionedSend(3, 1, 14));  // both directions
+  EXPECT_FALSE(plan.partitionedSend(0, 3, 15));  // healed
+  // Same-side traffic always delivers: each half keeps working.
+  EXPECT_FALSE(plan.partitionedSend(0, 1, 12));
+  EXPECT_FALSE(plan.partitionedSend(2, 3, 12));
+  // Unbound threads are never injected into.
+  EXPECT_FALSE(plan.partitionedSend(-1, 3, 12));
+
+  // partitionOps == 0: the split never heals.
+  cfg.partitionOps = 0;
+  const FaultPlan open(cfg);
+  EXPECT_TRUE(open.partitionedSend(1, 2, 1000000));
+
+  // Disabled plans drop nothing.
+  EXPECT_FALSE(FaultPlan(FaultConfig{}).partitionedSend(0, 3, 12));
+
+  // A boundary that splits off zero ranks is a config error.
+  FaultConfig bad;
+  bad.partitionBoundary = 0;
+  EXPECT_THROW((FaultPlan(bad)), CheckError);
+}
+
+TEST(CommRobustness, PartitionSurfacesAsSymmetricTimeoutsWithProvenance) {
+  // The grid splits down the middle mid-run: nothing crashes, both halves
+  // stay alive, cross-half traffic silently vanishes. The aggregate must
+  // read as a partition (boundary + drop count), not as dead ranks —
+  // that provenance is what keeps the cascade diagnosable.
+  FaultConfig fault;
+  fault.partitionBoundary = 2;
+  fault.partitionAtOp = 8;
+  fault.partitionOps = 0;  // never heals
+  simmpi::RunOptions opts;
+  opts.faults = std::make_shared<FaultInjector>(fault, 4);
+  opts.timeout = std::chrono::milliseconds(300);
+
+  Timer wall;
+  try {
+    simmpi::run(
+        4,
+        [&](simmpi::Comm& world) {
+          std::vector<double> buf(16, 1.0);
+          for (int round = 0; round < 50; ++round) {
+            world.bcast(round % 4, buf.data(), 16);
+            world.barrier();
+          }
+        },
+        opts);
+    FAIL() << "expected MultiRankError";
+  } catch (const simmpi::MultiRankError& e) {
+    EXPECT_TRUE(e.partitioned()) << e.what();
+    EXPECT_EQ(e.partitionBoundary(), 2);
+    EXPECT_GT(e.partitionDrops(), 0u);
+    ASSERT_GE(e.failures().size(), 2u);
+    for (const simmpi::RankFailure& f : e.failures()) {
+      // Pure timeout cascade: no rank crashed, every failure is a wait.
+      EXPECT_NE(f.message.find("comm timeout"), std::string::npos)
+          << "rank " << f.rank << ": " << f.message;
+    }
+    EXPECT_NE(std::string(e.what()).find("network partition"),
+              std::string::npos);
+  }
+  EXPECT_LT(wall.seconds(), 30.0) << "partition was not bounded";
+  EXPECT_GT(opts.faults->stats().partitionDrops, 0u);
+  EXPECT_EQ(opts.faults->stats().crashes, 0u);
+}
+
+TEST(FaultScenario, PartitionScenarioSplitsTheGridDownTheMiddle) {
+  const FaultConfig cfg = simmpi::faultScenario("partition", 42, 4);
+  EXPECT_EQ(cfg.partitionBoundary, 2);
+  EXPECT_EQ(cfg.partitionAtOp, 32u);
+  EXPECT_EQ(cfg.partitionOps, 64u);
+  EXPECT_TRUE(cfg.anyEnabled());
+  const std::vector<std::string> known = simmpi::knownFaultScenarios();
+  EXPECT_NE(std::find(known.begin(), known.end(), "partition"), known.end());
+}
+
 TEST(Request, WaitIsIdempotentAndTestPolls) {
   simmpi::run(2, [&](simmpi::Comm& world) {
     if (world.rank() == 0) {
@@ -540,6 +631,13 @@ TEST(ChaosCli, CrashScenarioIsContained) {
       {"chaos", "--scenario", "crash", "--n", "64", "--b", "16", "--pr",
        "2", "--pc", "2", "--timeout-ms", "300", "--quiet"});
   EXPECT_EQ(rc, 0);  // contained: aggregated structured failure, no hang
+}
+
+TEST(ChaosCli, PartitionScenarioIsContained) {
+  const int rc = cli::dispatch(
+      {"chaos", "--scenario", "partition", "--n", "64", "--b", "16", "--pr",
+       "2", "--pc", "2", "--timeout-ms", "300", "--quiet"});
+  EXPECT_EQ(rc, 0);  // contained: aggregated timeouts with provenance
 }
 
 TEST(ChaosCli, UnknownScenarioIsRejected) {

@@ -444,6 +444,133 @@ TEST(FleetEngineTest, ReportJsonCarriesTheCiGates) {
             "healthy");
 }
 
+// ------------------------------------------------- gray-failure defense --
+
+TEST(FleetEngineTest, HedgedReplayUnderGrayFailureLosesNoAnswer) {
+  // The hedging race, stress-shaped: a slow-but-alive shard (the gray
+  // failure) plus an aggressive hedge policy means nearly every request
+  // runs as two racing copies. Whichever copy wins, the publish-once
+  // Handle must keep the ledger exact — zero dropped, zero double
+  // answered — and the answers bitwise right. Repeated to shake races.
+  const std::vector<SolveRequest> reqs = mixedTrace();
+  for (int rep = 0; rep < 3; ++rep) {
+    FleetConfig cfg = fleetConfig(3);
+    cfg.failoverLimit = 2;
+    cfg.hedge.enabled = true;
+    cfg.hedge.delayFactor = 0.25;  // hedge long before a stretched solve
+    cfg.hedge.minDelaySeconds = 0.0005;
+    cfg.hedge.budgetPerSecond = 1000.0;
+    cfg.hedge.budgetBurst = 64.0;
+    FleetEngine fleet(cfg);
+    // Stretch the shard that owns the first key so the gray failure hits
+    // live traffic no matter how the ring maps keys this run.
+    fleet.slowShard(fleet.ring().route(reqs[0].key, nullptr), 25.0);
+
+    std::vector<FleetEngine::HandlePtr> handles;
+    handles.reserve(reqs.size());
+    for (const SolveRequest& r : reqs) {
+      handles.push_back(fleet.submit(r));
+    }
+    fleet.drain();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_EQ(handles[i]->wait().status, RequestStatus::kCompleted)
+          << "rep " << rep << " request " << i << ": "
+          << handles[i]->wait().error;
+      expectBitwise(handles[i]->solution(),
+                    soloSolution(reqs[i].key, reqs[i].rhsSeed),
+                    "hedged answer");
+    }
+    const FleetReport report = fleet.report();
+    EXPECT_EQ(report.submitted, reqs.size());
+    EXPECT_EQ(report.dropped, 0u) << "rep " << rep;
+    EXPECT_EQ(report.doubleAnswered, 0u) << "rep " << rep;
+    EXPECT_TRUE(report.cacheLookupInvariant);
+    EXPECT_GT(report.hedgesIssued, 0u) << "rep " << rep;
+  }
+}
+
+TEST(FleetEngineTest, StragglerVerdictsQuarantineAndDetourTheShard) {
+  // The rankProgressHook path: slow-rank verdicts from a shard's grid are
+  // straggler evidence against the whole shard. Enough strikes quarantine
+  // it, and new routes detour to a replica instead of waiting on it.
+  FleetConfig cfg = fleetConfig(2);
+  cfg.slowRankPolicy.minLagSeconds = 0.002;
+  cfg.slowRankPolicy.medianFactor = 4.0;
+  cfg.slowRankPolicy.strikes = 2;
+  // healthMonitor.stragglerStrikes defaults to 2: two verdicts condemn.
+  FleetEngine fleet(cfg);
+
+  // Rank 0 paces the grid (arrives last, waits ~0) while rank 1 idles.
+  const std::vector<double> waits = {0.05, 0.0001};
+  const auto hook = fleet.rankProgressHook(0);
+  EXPECT_FALSE(hook(0, waits));  // strike one: observed, not terminal
+  EXPECT_TRUE(hook(1, waits));   // strike two: verdict -> straggler report
+  EXPECT_TRUE(fleet.reportRankWaits(0, 2, waits));  // second report
+
+  EXPECT_EQ(fleet.healthMonitor().stragglerReports(), 2u);
+  EXPECT_EQ(fleet.healthMonitor().quarantines(), 1u);
+  // Quarantine deprioritizes, it does not hard-exclude: the breaker tier
+  // still admits the shard (so the detector can never starve the fleet),
+  // but preferred routing steers off it — witnessed by the detour below.
+  EXPECT_TRUE(fleet.shardRoutable(0));
+
+  // A key whose ring primary is the quarantined shard detours to its
+  // replica — and still answers bitwise right.
+  ProblemKey victim;
+  for (std::uint64_t seed = 40;; ++seed) {
+    victim = key(32, 16, seed);
+    if (fleet.ring().route(victim, nullptr) == 0) {
+      break;
+    }
+  }
+  const auto h = fleet.submit(request(victim, 321));
+  ASSERT_EQ(h->wait().status, RequestStatus::kCompleted) << h->wait().error;
+  EXPECT_EQ(h->wait().shard, 1);
+  expectBitwise(h->solution(), soloSolution(victim, 321), "detoured answer");
+  fleet.drain();
+
+  const FleetReport report = fleet.report();
+  EXPECT_EQ(report.stragglerReports, 2u);
+  EXPECT_EQ(report.quarantines, 1u);
+  EXPECT_GE(report.healthDetours, 1u);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.perShard[0].healthState, "quarantined");
+  EXPECT_GE(report.perShard[0].phi, 0.0);
+  EXPECT_EQ(report.perShard[1].healthState, "healthy");
+}
+
+TEST(FleetEngineTest, ReportJsonCarriesGrayFailureFields) {
+  FleetConfig cfg = fleetConfig(2);
+  cfg.hedge.enabled = true;
+  FleetEngine fleet(cfg);
+  fleet.slowShard(0, 2.0);
+  const auto h = fleet.submit(request(key(32, 16, 27), 9));
+  ASSERT_EQ(h->wait().status, RequestStatus::kCompleted);
+  fleet.drain();
+  const FleetReport report = fleet.report();
+  const JsonValue v = JsonValue::parse(report.toJson());
+  EXPECT_DOUBLE_EQ(v.get("ops_slows").asNumber(), 1.0);
+  EXPECT_GE(v.get("quarantines").asNumber(), 0.0);
+  EXPECT_GE(v.get("health_detours").asNumber(), 0.0);
+  EXPECT_GE(v.get("straggler_reports").asNumber(), 0.0);
+  EXPECT_GE(v.get("hedges_issued").asNumber(), 0.0);
+  EXPECT_GE(v.get("hedge_wins").asNumber(), 0.0);
+  EXPECT_GE(v.get("hedge_wasted").asNumber(), 0.0);
+  EXPECT_GE(v.get("hedge_denied").asNumber(), 0.0);
+  const auto& shards = v.get("per_shard").asArray();
+  ASSERT_EQ(shards.size(), 2u);
+  double heartbeats = 0.0;
+  for (const JsonValue& s : shards) {
+    EXPECT_EQ(s.get("health_state").asString(), "healthy");
+    EXPECT_EQ(s.get("breaker_state").asString(), "closed");
+    EXPECT_GE(s.get("phi").asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(s.get("quarantines").asNumber(), 0.0);
+    heartbeats += s.get("heartbeats").asNumber();
+  }
+  // The completion fed the winner shard's heartbeat stream.
+  EXPECT_GE(heartbeats, 1.0);
+}
+
 // ---------------------------------------- rank-group isolation (simmpi) --
 
 /// One deterministic "grid job": a send/recv swap plus a barrier, returning

@@ -358,7 +358,85 @@ TEST(ServeWorkloadTest, SlowShardStretchesItsSolveTimes) {
   EXPECT_GT(p50(slow), p50(fast) * 2.0);
 }
 
-// ----------------------------------------------------------- determinism --
+// --------------------------------------------------- gray-failure defense --
+
+/// The tuned gray-failure scenario: solve-dominated traffic on 2 shards,
+/// shard 1 silently dropping to 1/5 speed at t=60ms (slow-but-alive, the
+/// failure mode that never trips a breaker). Defense = phi detector fed by
+/// 2ms heartbeat pulses + hedged requests.
+FleetSimConfig grayConfig(bool defense) {
+  FleetSimConfig cfg;
+  cfg.topology.nodes = 8;
+  cfg.topology.radix = 4;
+  cfg.runServe = true;
+  cfg.serve.trace = serve::makeSyntheticTrace(600, 8, 0.3, 96, 16, 42);
+  cfg.serve.shards = 2;
+  cfg.serve.queueDepth = 256;
+  cfg.serve.batchDelayUs = 200.0;
+  cfg.serve.hostGflops = 0.5;
+  cfg.serve.chaos.push_back(
+      {ChaosAction::Kind::kSlow, /*atMs=*/60.0, /*shard=*/1, 0.2});
+  if (defense) {
+    cfg.serve.health.enabled = true;
+    cfg.serve.heartbeatIntervalMs = 2.0;
+    cfg.serve.hedgeEnabled = true;
+  }
+  return cfg;
+}
+
+TEST(GrayDefenseTest, DefenseCutsTheSlowShardTailWithBoundedDuplicateWork) {
+  // The acceptance gate of the gray-failure defense, run entirely in the
+  // co-simulator: with the defense on, the slow shard is quarantined and
+  // traffic detours/hedges around it, so the p99 must drop to <= 0.6x the
+  // defense-off tail while duplicate solve work stays <= 1.15x — and not
+  // a single request may be dropped or double-answered.
+  FleetSession off(grayConfig(false));
+  off.sim().run();
+  const ServeStats& so = off.serve()->stats();
+  ASSERT_EQ(so.submitted, 600u);
+  ASSERT_EQ(so.completed, 600u);
+  // Defense off schedules no defense events at all.
+  EXPECT_EQ(so.heartbeats, 0u);
+  EXPECT_EQ(so.hedgesIssued, 0u);
+  EXPECT_EQ(so.quarantines, 0u);
+
+  FleetSession on(grayConfig(true));
+  on.sim().run();
+  const ServeStats& sn = on.serve()->stats();
+  EXPECT_EQ(sn.submitted, 600u);
+  EXPECT_EQ(sn.completed, 600u);  // every request answered exactly once
+  EXPECT_EQ(sn.failed, 0u);
+  EXPECT_EQ(sn.rejectedQueueFull + sn.rejectedDeadline +
+                sn.rejectedCircuitOpen,
+            0u);
+  EXPECT_TRUE(on.serve()->done());
+
+  const double p99Off =
+      serve::LatencyPercentiles::of(so.totalSeconds).p99Ms;
+  const double p99On = serve::LatencyPercentiles::of(sn.totalSeconds).p99Ms;
+  EXPECT_LE(p99On, 0.6 * p99Off)
+      << "defense-on p99 " << p99On << "ms vs off " << p99Off << "ms";
+  EXPECT_LE(sn.solveWorkSeconds, 1.15 * so.solveWorkSeconds)
+      << "duplicate-work amplification over budget";
+
+  // The detector actually fired: pulses flowed, the slow shard was
+  // quarantined, and routes detoured off it.
+  EXPECT_GT(sn.heartbeats, 0u);
+  EXPECT_GE(sn.quarantines, 1u);
+  EXPECT_GT(sn.healthDetours, 0u);
+}
+
+TEST(GrayDefenseTest, DefenseOnTraceIsDeterministic) {
+  // The whole defense — phi arithmetic, quarantine transitions, hedge
+  // token bucket, p95-derived delays — runs on virtual time, so two runs
+  // of the same config must produce byte-identical event traces.
+  const auto hash = [] {
+    FleetSession session(grayConfig(true));
+    session.sim().run();
+    return session.sim().traceHash();
+  };
+  EXPECT_EQ(hash(), hash());
+}
 
 FleetSimConfig mixedConfig() {
   FleetSimConfig cfg = serveConfig(300, 5, 0.1, 3, 64);
@@ -471,6 +549,29 @@ TEST(DebugCliTest, ErrorsAreCountedNotFatal) {
   EXPECT_EQ(cli.runLoop(), 3);
   // The run after the errors still drained the simulation.
   EXPECT_EQ(session.serve()->stats().completed, 10u);
+}
+
+TEST(DebugCliTest, ShowHealthRendersThePhiDetectorView) {
+  FleetSimConfig cfg = serveConfig(40, 2, 0.5, 2, 8);
+  cfg.serve.health.enabled = true;
+  cfg.serve.heartbeatIntervalMs = 2.0;
+  FleetSession session(cfg);
+  std::istringstream script(
+      "run\n"
+      "show health 0\n"
+      "show health 1\n"
+      "show health 99\n"
+      "quit\n");
+  std::ostringstream out;
+  DebugCli cli(session, script, out);
+  EXPECT_EQ(cli.runLoop(), 1);  // only the out-of-range shard errors
+  const std::string text = out.str();
+  EXPECT_NE(text.find("state healthy"), std::string::npos) << text;
+  EXPECT_NE(text.find("phi"), std::string::npos);
+  EXPECT_NE(text.find("heartbeats"), std::string::npos);
+  EXPECT_NE(text.find("quarantines 0"), std::string::npos);
+  EXPECT_EQ(session.serve()->stats().completed, 40u);
+  EXPECT_GT(session.serve()->stats().heartbeats, 0u);
 }
 
 // --------------------------------------------------- report + validation --
